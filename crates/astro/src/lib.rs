@@ -1,0 +1,15 @@
+//! # iw-astro — on-line visualization and steering of a simulation
+//!
+//! The Astroflow scenario of paper §4.5: a stellar-fluid [`sim`]ulation
+//! engine shares its frames through an InterWeave segment ([`shared`]),
+//! visualization clients read them under relaxed (temporal) coherence and
+//! steer the simulation by writing a steering segment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod shared;
+pub mod sim;
+
+pub use shared::{read_frame, write_steering, FrameChannel, FrameView};
+pub use sim::Simulation;

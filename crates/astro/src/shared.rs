@@ -1,0 +1,322 @@
+//! Sharing simulation frames and steering parameters through InterWeave.
+//!
+//! "We used InterWeave to connect the simulator and visualization tool
+//! directly, to support on-line visualization and steering. … We wrote an
+//! IDL specification to describe the shared data structures and replaced
+//! the original file operations with access to shared segments. …
+//! the visualization front end can control the frequency of updates from
+//! the simulator simply by specifying a temporal bound on relaxed
+//! coherence." (§4.5)
+//!
+//! Two segments: a *frame* segment (step counter, clock, and the whole
+//! density grid) written by the simulator, and a *steering* segment
+//! written by visualization clients and read by the simulator.
+
+use iw_core::{CoreError, Ptr, SegHandle, Session};
+use iw_types::desc::TypeDesc;
+use iw_types::idl;
+
+use crate::sim::Simulation;
+
+/// The IDL for the frame header (the grid travels as a separate
+/// double-array block so its size can depend on the run configuration).
+pub const ASTRO_IDL: &str = "\
+struct frame_hdr {\n\
+    int step;\n\
+    double time;\n\
+    int width;\n\
+    int height;\n\
+    double total_mass;\n\
+};\n\
+struct steering {\n\
+    double diffusion;\n\
+    double injection;\n\
+    double swirl;\n\
+    int paused;\n\
+};\n";
+
+fn frame_hdr_type() -> TypeDesc {
+    idl::compile(ASTRO_IDL).expect("static IDL").get("frame_hdr").unwrap().clone()
+}
+
+fn steering_type() -> TypeDesc {
+    idl::compile(ASTRO_IDL).expect("static IDL").get("steering").unwrap().clone()
+}
+
+/// Simulator-side publisher for frames, plus steering readback.
+#[derive(Debug)]
+pub struct FrameChannel {
+    frame_seg: SegHandle,
+    steer_seg: SegHandle,
+    hdr: Ptr,
+    grid: Ptr,
+    steer: Ptr,
+    cells: u32,
+}
+
+impl FrameChannel {
+    /// Creates the frame and steering segments for a `sim`-shaped run.
+    ///
+    /// # Errors
+    ///
+    /// Lock/allocation errors from the session.
+    pub fn create(
+        session: &mut Session,
+        base: &str,
+        sim: &Simulation,
+    ) -> Result<Self, CoreError> {
+        let frame_name = format!("{base}/frame");
+        let steer_name = format!("{base}/steering");
+        let frame_seg = session.open_segment(&frame_name)?;
+        let steer_seg = session.open_segment(&steer_name)?;
+        let cells = sim.width() * sim.height();
+
+        session.wl_acquire(&frame_seg)?;
+        let hdr = session.malloc(&frame_seg, &frame_hdr_type(), 1, Some("hdr"))?;
+        let grid = session.malloc(&frame_seg, &TypeDesc::float64(), cells, Some("grid"))?;
+        session.write_i32(&session.field(&hdr, "width")?, sim.width() as i32)?;
+        session.write_i32(&session.field(&hdr, "height")?, sim.height() as i32)?;
+        session.wl_release(&frame_seg)?;
+
+        session.wl_acquire(&steer_seg)?;
+        let steer = session.malloc(&steer_seg, &steering_type(), 1, Some("params"))?;
+        session.write_f64(&session.field(&steer, "diffusion")?, sim.diffusion)?;
+        session.write_f64(&session.field(&steer, "injection")?, sim.injection)?;
+        session.write_f64(&session.field(&steer, "swirl")?, sim.swirl)?;
+        session.wl_release(&steer_seg)?;
+
+        Ok(FrameChannel { frame_seg, steer_seg, hdr, grid, steer, cells })
+    }
+
+    /// The frame segment handle.
+    pub fn frame_handle(&self) -> &SegHandle {
+        &self.frame_seg
+    }
+
+    /// The steering segment handle.
+    pub fn steering_handle(&self) -> &SegHandle {
+        &self.steer_seg
+    }
+
+    /// Publishes the simulator's current state into the frame segment.
+    ///
+    /// # Errors
+    ///
+    /// Lock/access errors from the session.
+    pub fn publish(
+        &mut self,
+        session: &mut Session,
+        sim: &Simulation,
+    ) -> Result<(), CoreError> {
+        session.wl_acquire(&self.frame_seg)?;
+        session.write_i32(&session.field(&self.hdr, "step")?, sim.step_count() as i32)?;
+        session.write_f64(&session.field(&self.hdr, "time")?, sim.time())?;
+        session.write_f64(
+            &session.field(&self.hdr, "total_mass")?,
+            sim.total_mass(),
+        )?;
+        for (i, &v) in sim.cells().iter().enumerate() {
+            let cell = session.index(&self.grid, i as u32)?;
+            session.write_f64(&cell, v)?;
+        }
+        session.wl_release(&self.frame_seg)?;
+        Ok(())
+    }
+
+    /// Applies any steering changes written by visualization clients.
+    ///
+    /// # Errors
+    ///
+    /// Lock/access errors from the session.
+    pub fn absorb_steering(
+        &mut self,
+        session: &mut Session,
+        sim: &mut Simulation,
+    ) -> Result<bool, CoreError> {
+        session.rl_acquire(&self.steer_seg)?;
+        let diffusion = session.read_f64(&session.field(&self.steer, "diffusion")?)?;
+        let injection = session.read_f64(&session.field(&self.steer, "injection")?)?;
+        let swirl = session.read_f64(&session.field(&self.steer, "swirl")?)?;
+        let paused = session.read_i32(&session.field(&self.steer, "paused")?)? != 0;
+        session.rl_release(&self.steer_seg)?;
+        sim.diffusion = diffusion;
+        sim.injection = injection;
+        sim.swirl = swirl;
+        Ok(paused)
+    }
+
+    /// Number of grid cells in the shared frame.
+    pub fn cells(&self) -> u32 {
+        self.cells
+    }
+}
+
+/// A frame as observed by a visualization client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameView {
+    /// Simulation step the frame belongs to.
+    pub step: i32,
+    /// Simulated time.
+    pub time: f64,
+    /// Grid width.
+    pub width: i32,
+    /// Grid height.
+    pub height: i32,
+    /// Total mass diagnostic.
+    pub total_mass: f64,
+    /// The density grid, row-major.
+    pub cells: Vec<f64>,
+}
+
+impl FrameView {
+    /// Renders the frame as coarse ASCII art (the "visualization").
+    pub fn ascii_art(&self, out_w: usize, out_h: usize) -> String {
+        let ramp = b" .:-=+*#%@";
+        let peak = self.cells.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let mut art = String::with_capacity(out_w * out_h + out_h);
+        for ry in 0..out_h {
+            for rx in 0..out_w {
+                let x = rx * self.width as usize / out_w;
+                let y = ry * self.height as usize / out_h;
+                let v = self.cells[y * self.width as usize + x] / peak;
+                let i = ((v * (ramp.len() - 1) as f64).round() as usize)
+                    .min(ramp.len() - 1);
+                art.push(ramp[i] as char);
+            }
+            art.push('\n');
+        }
+        art
+    }
+}
+
+/// Reads the current frame under the session's coherence model.
+///
+/// # Errors
+///
+/// Lock/access errors from the session.
+pub fn read_frame(session: &mut Session, base: &str) -> Result<FrameView, CoreError> {
+    let name = format!("{base}/frame");
+    let h = session.open_segment(&name)?;
+    session.rl_acquire(&h)?;
+    let hdr = session.mip_to_ptr(&format!("{name}#hdr"))?;
+    let grid = session.mip_to_ptr(&format!("{name}#grid"))?;
+    let width = session.read_i32(&session.field(&hdr, "width")?)?;
+    let height = session.read_i32(&session.field(&hdr, "height")?)?;
+    let mut cells = Vec::with_capacity((width * height).max(0) as usize);
+    for i in 0..(width * height).max(0) as u32 {
+        cells.push(session.read_f64(&session.index(&grid, i)?)?);
+    }
+    let view = FrameView {
+        step: session.read_i32(&session.field(&hdr, "step")?)?,
+        time: session.read_f64(&session.field(&hdr, "time")?)?,
+        width,
+        height,
+        total_mass: session.read_f64(&session.field(&hdr, "total_mass")?)?,
+        cells,
+    };
+    session.rl_release(&h)?;
+    Ok(view)
+}
+
+/// Writes steering parameters from a visualization client.
+///
+/// # Errors
+///
+/// Lock/access errors from the session.
+pub fn write_steering(
+    session: &mut Session,
+    base: &str,
+    diffusion: f64,
+    injection: f64,
+    swirl: f64,
+) -> Result<(), CoreError> {
+    let name = format!("{base}/steering");
+    let h = session.open_segment(&name)?;
+    session.wl_acquire(&h)?;
+    let p = session.mip_to_ptr(&format!("{name}#params"))?;
+    session.write_f64(&session.field(&p, "diffusion")?, diffusion)?;
+    session.write_f64(&session.field(&p, "injection")?, injection)?;
+    session.write_f64(&session.field(&p, "swirl")?, swirl)?;
+    session.wl_release(&h)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_proto::{Coherence, Handler, Loopback};
+    use iw_server::Server;
+    use iw_types::MachineArch;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn sessions() -> (Session, Session) {
+        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        (
+            Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv.clone())))
+                .unwrap(),
+            Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap(),
+        )
+    }
+
+    #[test]
+    fn frames_flow_simulator_to_visualizer() {
+        let (mut simclient, mut viz) = sessions();
+        let mut sim = Simulation::new(8, 8);
+        let mut chan = FrameChannel::create(&mut simclient, "astro/run1", &sim).unwrap();
+        sim.step();
+        chan.publish(&mut simclient, &sim).unwrap();
+
+        let frame = read_frame(&mut viz, "astro/run1").unwrap();
+        assert_eq!(frame.step, 1);
+        assert_eq!(frame.width, 8);
+        assert_eq!(frame.cells.len(), 64);
+        assert!((frame.total_mass - sim.total_mass()).abs() < 1e-9);
+        // Grid matches bit for bit despite the architecture change.
+        for (a, b) in frame.cells.iter().zip(sim.cells()) {
+            assert_eq!(a, b);
+        }
+        let art = frame.ascii_art(8, 4);
+        assert_eq!(art.lines().count(), 4);
+    }
+
+    #[test]
+    fn steering_flows_visualizer_to_simulator() {
+        let (mut simclient, mut viz) = sessions();
+        let mut sim = Simulation::new(6, 6);
+        let mut chan = FrameChannel::create(&mut simclient, "astro/run2", &sim).unwrap();
+        write_steering(&mut viz, "astro/run2", 0.01, 5.5, 0.9).unwrap();
+        let paused = chan.absorb_steering(&mut simclient, &mut sim).unwrap();
+        assert!(!paused);
+        assert_eq!(sim.injection, 5.5);
+        assert_eq!(sim.diffusion, 0.01);
+        assert_eq!(sim.swirl, 0.9);
+    }
+
+    #[test]
+    fn temporal_coherence_throttles_frame_updates() {
+        let (mut simclient, mut viz) = sessions();
+        let mut sim = Simulation::new(6, 6);
+        let mut chan = FrameChannel::create(&mut simclient, "astro/run3", &sim).unwrap();
+        chan.publish(&mut simclient, &sim).unwrap();
+
+        let h = viz.open_segment("astro/run3/frame").unwrap();
+        viz.set_coherence(&h, Coherence::Temporal(60_000)).unwrap();
+        let f1 = read_frame(&mut viz, "astro/run3").unwrap();
+        let reqs_after_first = viz.transport_stats().requests;
+
+        // Simulator keeps producing.
+        for _ in 0..3 {
+            sim.step();
+            chan.publish(&mut simclient, &sim).unwrap();
+        }
+        // Within the temporal window the visualizer re-reads its cache.
+        let f2 = read_frame(&mut viz, "astro/run3").unwrap();
+        assert_eq!(f1.step, f2.step, "stale frame acceptable under temporal bound");
+        assert_eq!(
+            viz.transport_stats().requests,
+            reqs_after_first,
+            "no server traffic while fresh"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for modification granularity (paper
+//! Figure 5, statistical edition): client diff collection on a 256 KiB
+//! int array at three change ratios. `fig5_granularity` runs the full
+//! sweep with the server-side curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iw_core::diffing::find_byte_runs;
+use iw_core::Session;
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const N_INTS: u32 = 1 << 16;
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("granularity");
+    for ratio in [1u32, 16, 1024] {
+        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let mut w =
+            Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+        let h = w.open_segment("g/bench").unwrap();
+        w.wl_acquire(&h).unwrap();
+        let arr = w.malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr")).unwrap();
+        w.wl_release(&h).unwrap();
+
+        w.wl_acquire(&h).unwrap();
+        let mut i = 0;
+        while i < N_INTS {
+            let cell = w.index(&arr, i).unwrap();
+            w.write_i32(&cell, -(i as i32) - 1).unwrap();
+            i += ratio;
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("collect_diff", ratio),
+            &ratio,
+            |b, _| b.iter(|| w.collect_segment_diff(&h).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("word_diffing", ratio),
+            &ratio,
+            |b, _| {
+                b.iter(|| {
+                    let heap = w.heap();
+                    let seg = heap.segment_id("g/bench").unwrap();
+                    let mut n = 0usize;
+                    for &idx in heap.segment(seg).subseg_indices() {
+                        for (_, twin, cur) in heap.subseg(idx).modified_pages() {
+                            n += find_byte_runs(twin, cur, 4, true).len();
+                        }
+                    }
+                    n
+                })
+            },
+        );
+        w.wl_release(&h).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_granularity
+}
+criterion_main!(benches);

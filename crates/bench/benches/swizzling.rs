@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for pointer swizzling (paper Figure 6,
+//! statistical edition): `ptr_to_mip` / `mip_to_ptr` for an int target
+//! and a cross-segment target among 1024 blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iw_core::Session;
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn bench_swizzling(c: &mut Criterion) {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut s =
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+
+    let h = s.open_segment("sw/bench").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let int1 = s.malloc(&h, &TypeDesc::int32(), 8, Some("ints")).unwrap();
+    s.wl_release(&h).unwrap();
+
+    let hx = s.open_segment("sw/cross").unwrap();
+    s.wl_acquire(&hx).unwrap();
+    let mut mid = None;
+    for b in 0..1024 {
+        let p = s.malloc(&hx, &TypeDesc::int32(), 4, None).unwrap();
+        if b == 512 {
+            mid = Some(p);
+        }
+    }
+    s.wl_release(&hx).unwrap();
+    let cross = mid.unwrap();
+
+    s.rl_acquire(&h).unwrap();
+    s.rl_acquire(&hx).unwrap();
+
+    let mut group = c.benchmark_group("swizzle");
+    for (name, target) in [("int1", &int1), ("cross1024", &cross)] {
+        let mip = s.ptr_to_mip(target).unwrap();
+        group.bench_function(format!("collect/{name}"), |b| {
+            b.iter(|| s.ptr_to_mip(target).unwrap())
+        });
+        group.bench_function(format!("apply/{name}"), |b| {
+            b.iter(|| s.mip_to_ptr(&mip).unwrap())
+        });
+    }
+    group.finish();
+    s.rl_release(&hx).unwrap();
+    s.rl_release(&h).unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_swizzling
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for wire translation (paper Figure 4,
+//! statistical edition). Uses 64 KiB workloads so Criterion can iterate;
+//! `fig4_translation` runs the full 1 MB versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iw_bench::{dirty_all, figure4_workloads, setup};
+use iw_core::{Session, TrackMode};
+use iw_proto::Loopback;
+use iw_rpc::{marshal, MemSource, XdrType};
+use iw_types::MachineArch;
+
+struct HeapMem<'a>(&'a Session);
+
+impl MemSource for HeapMem<'_> {
+    fn bytes(&self, va: u64, len: usize) -> Option<&[u8]> {
+        self.0.heap().read_bytes(va, len).ok()
+    }
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let scale = 1.0 / 16.0; // 64 KiB
+    for w in figure4_workloads(scale) {
+        if !matches!(w.name, "int_array" | "mix" | "pointer") {
+            continue; // keep the bench suite fast; the binary covers all 9
+        }
+        let mut bed = setup(&w, MachineArch::x86());
+        let mut reader = Session::new(
+            MachineArch::x86(),
+            Box::new(Loopback::new(bed.server.clone())),
+        )
+        .unwrap();
+        reader.fetch_segment("bench/data").unwrap();
+        let rh = reader.open_segment("bench/data").unwrap();
+
+        bed.session.wl_acquire(&bed.handle).unwrap();
+        let block = bed.block.clone();
+        dirty_all(&mut bed.session, &block, &w, 1);
+
+        let mut group = c.benchmark_group(format!("translate/{}", w.name));
+        group.bench_function("collect_diff", |b| {
+            bed.session
+                .set_tracking_mode(&bed.handle, TrackMode::Diff)
+                .unwrap();
+            b.iter(|| bed.session.collect_segment_diff(&bed.handle).unwrap())
+        });
+        group.bench_function("collect_block", |b| {
+            bed.session
+                .set_tracking_mode(&bed.handle, TrackMode::NoDiff { remaining: u32::MAX })
+                .unwrap();
+            b.iter(|| bed.session.collect_segment_diff(&bed.handle).unwrap())
+        });
+        let (diff, _, _) = bed.session.collect_segment_diff(&bed.handle).unwrap();
+        group.bench_function("apply", |b| {
+            b.iter(|| reader.apply_segment_diff(&rh, &diff).unwrap())
+        });
+        let elem =
+            iw_types::layout::layout_of(&w.ty, &MachineArch::x86()).size as usize;
+        let local = bed
+            .session
+            .read_bytes_raw(&block, w.count as usize * elem)
+            .unwrap()
+            .to_vec();
+        let xdr_ty = XdrType::array(w.xdr.clone(), w.count);
+        group.bench_function("rpc_xdr_marshal", |b| {
+            b.iter(|| {
+                marshal(&xdr_ty, &local, bed.session.arch(), &HeapMem(&bed.session))
+                    .unwrap()
+            })
+        });
+        group.finish();
+        bed.session
+            .set_tracking_mode(&bed.handle, TrackMode::Diff)
+            .unwrap();
+        bed.session.wl_release(&bed.handle).unwrap();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_translation
+}
+criterion_main!(benches);

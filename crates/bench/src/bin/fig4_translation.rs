@@ -1,0 +1,186 @@
+//! Figure 4: client cost to translate 1 MB of data.
+//!
+//! For each of the paper's nine data mixes, measures
+//!
+//! - `rpc_xdr`        — rpcgen-style XDR marshaling of the whole structure
+//!   (the paper plots one RPC bar; unmarshaling "costs were roughly
+//!   identical" and is reported here for completeness);
+//! - `collect_block`  — InterWeave translation to wire format with diffing
+//!   disabled (no-diff mode);
+//! - `collect_diff`   — the same with full twin diffing (all data
+//!   modified);
+//! - `apply_block`    — installing a whole-block wire image;
+//! - `apply_diff`     — installing the equivalent wire diff.
+//!
+//! Usage: `cargo run --release -p iw-bench --bin fig4_translation [scale]`
+//! where `scale` shrinks the 1 MB workloads (default 1.0).
+
+use iw_bench::{dirty_all, figure4_workloads, secs, setup, time};
+use iw_core::{Session, TrackMode};
+use iw_proto::Loopback;
+use iw_rpc::{marshal, rmi_serialize, unmarshal, MemSource, XdrArena, XdrType};
+use iw_types::MachineArch;
+
+/// Pointer resolution against a session's heap for the XDR deep-copy
+/// baseline.
+struct HeapMem<'a>(&'a Session);
+
+impl MemSource for HeapMem<'_> {
+    fn bytes(&self, va: u64, len: usize) -> Option<&[u8]> {
+        self.0.heap().read_bytes(va, len).ok()
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let iters = 3;
+    println!("# Figure 4 — client cost to translate {}MB of data (seconds)", scale);
+    println!(
+        "{:<14} {:>9} {:>14} {:>13} {:>12} {:>11} {:>9}",
+        "workload", "rpc_xdr", "collect_block", "collect_diff", "apply_block",
+        "apply_diff", "rmi_ser"
+    );
+
+    let mut sums = [0.0f64; 5];
+    let mut sum_rmi = 0.0f64;
+    let mut sums_no_ptr_small = [0.0f64; 5];
+    for w in figure4_workloads(scale) {
+        let mut bed = setup(&w, MachineArch::x86());
+        let block_xdr = XdrType::array(w.xdr.clone(), w.count);
+
+        // A reader, synced to the initial state, for the apply side.
+        let mut reader = Session::new(
+            MachineArch::x86(),
+            Box::new(Loopback::new(bed.server.clone())),
+        )
+        .expect("reader");
+        reader.fetch_segment("bench/data").expect("sync");
+        let rh = reader.open_segment("bench/data").expect("open");
+
+        bed.session.wl_acquire(&bed.handle).expect("wl");
+        let block = bed.block.clone();
+
+        let mut best = [f64::MAX; 5];
+        let mut best_rmi = f64::MAX;
+        for round in 1..=iters {
+            dirty_all(&mut bed.session, &block, &w, round);
+
+            // RPC XDR marshal + unmarshal of the full structure.
+            let local = bed
+                .session
+                .read_bytes_raw(&block, (w.count as usize) * elem_size(&w))
+                .expect("local image")
+                .to_vec();
+            let (wire_rpc, d_marshal) = time(|| {
+                marshal(&block_xdr, &local, bed.session.arch(), &HeapMem(&bed.session))
+                    .expect("marshal")
+            });
+            let mut out = vec![0u8; local.len()];
+            let mut arena = XdrArena::new(0x4000_0000, local.len() + (1 << 16));
+            let (_, d_unmarshal) = time(|| {
+                unmarshal(&block_xdr, &wire_rpc, &mut out, &MachineArch::x86(), &mut arena)
+                    .expect("unmarshal")
+            });
+            let d_rpc = (d_marshal + d_unmarshal) / 2;
+
+            // Java-RMI-style serialization (for the paper's §1 "20×"
+            // comparison point).
+            let (_, d_rmi) = time(|| {
+                rmi_serialize(&block_xdr, &local, bed.session.arch(), &HeapMem(&bed.session))
+                    .expect("rmi")
+            });
+
+            // InterWeave collect with diffing.
+            bed.session
+                .set_tracking_mode(&bed.handle, TrackMode::Diff)
+                .expect("mode");
+            let ((diff, _, _), d_collect_diff) = time(|| {
+                bed.session.collect_segment_diff(&bed.handle).expect("collect")
+            });
+
+            // InterWeave collect in no-diff (block) mode.
+            bed.session
+                .set_tracking_mode(&bed.handle, TrackMode::NoDiff { remaining: u32::MAX })
+                .expect("mode");
+            let ((block_diff, _, _), d_collect_block) = time(|| {
+                bed.session.collect_segment_diff(&bed.handle).expect("collect")
+            });
+            bed.session
+                .set_tracking_mode(&bed.handle, TrackMode::Diff)
+                .expect("mode");
+
+            // Apply sides on the reader.
+            let (_, d_apply_diff) =
+                time(|| reader.apply_segment_diff(&rh, &diff).expect("apply"));
+            let (_, d_apply_block) =
+                time(|| reader.apply_segment_diff(&rh, &block_diff).expect("apply"));
+
+            for (slot, d) in [
+                d_rpc,
+                d_collect_block,
+                d_collect_diff,
+                d_apply_block,
+                d_apply_diff,
+            ]
+            .iter()
+            .enumerate()
+            {
+                best[slot] = best[slot].min(d.as_secs_f64());
+            }
+            best_rmi = best_rmi.min(d_rmi.as_secs_f64());
+        }
+        bed.session.wl_release(&bed.handle).expect("release");
+
+        println!(
+            "{:<14} {:>9} {:>14} {:>13} {:>12} {:>11} {:>9}",
+            w.name,
+            secs(std::time::Duration::from_secs_f64(best[0])),
+            secs(std::time::Duration::from_secs_f64(best[1])),
+            secs(std::time::Duration::from_secs_f64(best[2])),
+            secs(std::time::Duration::from_secs_f64(best[3])),
+            secs(std::time::Duration::from_secs_f64(best[4])),
+            secs(std::time::Duration::from_secs_f64(best_rmi)),
+        );
+        for i in 0..5 {
+            sums[i] += best[i];
+            if w.name != "pointer" && w.name != "small_string" {
+                sums_no_ptr_small[i] += best[i];
+            }
+        }
+        sum_rmi += best_rmi;
+    }
+
+    println!("\n# Paper §4.1 comparison points (averaged over the 9 mixes):");
+    println!(
+        "  collect/apply block vs RPC: {:+.0}%  (paper: block 25% faster)",
+        ((sums[1] + sums[3]) / 2.0 / sums[0] - 1.0) * 100.0
+    );
+    println!(
+        "  collect/apply diff  vs RPC: {:+.0}%  (paper: diff 8% faster)",
+        ((sums[2] + sums[4]) / 2.0 / sums[0] - 1.0) * 100.0
+    );
+    println!(
+        "  collect block vs collect diff: {:+.0}%  (paper: block 39% faster)",
+        (sums[1] / sums[2] - 1.0) * 100.0
+    );
+    println!(
+        "  apply block vs apply diff: {:+.0}%  (paper: block 4% faster)",
+        (sums[3] / sums[4] - 1.0) * 100.0
+    );
+    println!(
+        "  RMI-style serialization vs collect block: {:.1}x slower  (paper [4]: ~20x)",
+        sum_rmi / sums[1]
+    );
+    println!(
+        "  excl. pointer & small_string, block vs RPC: {:+.0}%  (paper: 18% faster)",
+        ((sums_no_ptr_small[1] + sums_no_ptr_small[3]) / 2.0 / sums_no_ptr_small[0] - 1.0)
+            * 100.0
+    );
+}
+
+fn elem_size(w: &iw_bench::Workload) -> usize {
+    iw_types::layout::layout_of(&w.ty, &MachineArch::x86()).size as usize
+}

@@ -1,0 +1,111 @@
+//! Figure 6: pointer swizzling cost as a function of pointed-to object
+//! type.
+//!
+//! Measures `collect pointer` (local pointer → MIP, via `ptr_to_mip`) and
+//! `apply pointer` (MIP → local pointer, via `mip_to_ptr`) for:
+//!
+//! - `int1`     — an intra-segment pointer to the start of an integer
+//!   block;
+//! - `struct1`  — an intra-segment pointer into the middle of a 32-field
+//!   structure;
+//! - `cross#n`  — cross-segment pointers into a segment with n blocks,
+//!   n ∈ {1, 16, 64, 256, 1024, 4096, 16384, 65536} (the paper's modest
+//!   rise with n reflects metadata-tree search depth).
+//!
+//! Usage: `cargo run --release -p iw-bench --bin fig6_swizzling [reps]`
+
+use std::sync::Arc;
+
+use iw_bench::{best_of, time};
+use iw_core::Session;
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut s =
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(server.clone())))
+            .expect("session");
+
+    println!("# Figure 6 — pointer swizzling cost (µs per pointer, best of 5 × {reps} reps)");
+    println!("{:<12} {:>15} {:>14}", "case", "collect_ptr", "apply_ptr");
+
+    // int1: pointer to the start of an int block.
+    let h = s.open_segment("sw/main").expect("open");
+    s.wl_acquire(&h).expect("wl");
+    let int_block = s.malloc(&h, &TypeDesc::int32(), 8, Some("ints")).expect("m");
+    let struct_ty = TypeDesc::structure(
+        "s32",
+        vec![("f", TypeDesc::array(TypeDesc::float64(), 32))],
+    );
+    let st = s.malloc(&h, &struct_ty, 1, Some("st")).expect("m");
+    s.wl_release(&h).expect("rel");
+    s.rl_acquire(&h).expect("rl");
+
+    let struct_mid = s
+        .index(&s.field(&st, "f").expect("f"), 17)
+        .expect("mid");
+    report(&mut s, "int1", &int_block, reps);
+    report(&mut s, "struct1", &struct_mid, reps);
+    s.rl_release(&h).expect("rl");
+
+    for n in [1u32, 16, 64, 256, 1024, 4096, 16384, 65536] {
+        // A separate segment with n blocks; the pointer crosses segments.
+        let name = format!("sw/cross{n}");
+        let hx = s.open_segment(&name).expect("open");
+        s.wl_acquire(&hx).expect("wl");
+        let mut mid = None;
+        for b in 0..n {
+            let p = s.malloc(&hx, &TypeDesc::int32(), 4, None).expect("m");
+            if b == n / 2 {
+                mid = Some(p);
+            }
+        }
+        s.wl_release(&hx).expect("rel");
+        s.rl_acquire(&hx).expect("rl");
+        let target = mid.expect("mid block");
+        report(&mut s, &format!("cross{n}"), &target, reps);
+        s.rl_release(&hx).expect("rl");
+    }
+}
+
+fn report(s: &mut Session, case: &str, target: &iw_core::Ptr, reps: usize) {
+    // collect: local pointer -> MIP string.
+    let d_collect = best_of(5, || {
+        let (_, d) = time(|| {
+            let mut sink = 0usize;
+            for _ in 0..reps {
+                let mip = s.ptr_to_mip(target).expect("swizzle");
+                sink = sink.wrapping_add(mip.len());
+            }
+            sink
+        });
+        d
+    });
+    let mip = s.ptr_to_mip(target).expect("swizzle");
+    // apply: MIP string -> local pointer.
+    let d_apply = best_of(5, || {
+        let (_, d) = time(|| {
+            let mut sink = 0u64;
+            for _ in 0..reps {
+                let p = s.mip_to_ptr(&mip).expect("unswizzle");
+                sink = sink.wrapping_add(p.va());
+            }
+            sink
+        });
+        d
+    });
+    println!(
+        "{:<12} {:>15.3} {:>14.3}",
+        case,
+        d_collect.as_secs_f64() * 1e6 / reps as f64,
+        d_apply.as_secs_f64() * 1e6 / reps as f64,
+    );
+}

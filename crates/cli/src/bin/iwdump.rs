@@ -1,0 +1,83 @@
+//! `iwdump` — inspect a segment on a running InterWeave server.
+//!
+//! ```text
+//! iwdump --server 127.0.0.1:7474 host/segment [--values N]
+//! ```
+//!
+//! Fetches the segment (read-only) and prints each block's serial, name,
+//! type, element count, and up to N leading primitive values (default 8).
+
+use iw_cli::Args;
+use iw_core::Session;
+use iw_proto::TcpTransport;
+use iw_types::desc::PrimKind;
+use iw_types::MachineArch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(std::env::args().skip(1));
+    let Some(segment) = args.positional(0) else {
+        eprintln!("usage: iwdump --server HOST:PORT host/segment [--values N]");
+        std::process::exit(2);
+    };
+    let server = args.flag("server").unwrap_or("127.0.0.1:7474");
+    let values: u64 = args
+        .flag("values")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(8);
+
+    let mut s = Session::new(
+        MachineArch::x86_64(),
+        Box::new(TcpTransport::connect(server.parse()?)?),
+    )?;
+    let h = s.open_segment(segment)?;
+    s.rl_acquire(&h)?;
+
+    let seg_id = s.heap().segment_id(segment).expect("opened");
+    let blocks: Vec<(u32, Option<String>, String, u32, u64)> = s
+        .heap()
+        .segment(seg_id)
+        .blocks()
+        .map(|b| {
+            (
+                b.serial,
+                b.name.clone(),
+                b.ty.to_string(),
+                b.count,
+                b.prim_count(),
+            )
+        })
+        .collect();
+
+    println!("segment {segment}: {} blocks", blocks.len());
+    for (serial, name, ty, count, prims) in blocks {
+        let label = name.clone().unwrap_or_else(|| format!("#{serial}"));
+        println!("  block {serial:<5} {label:<16} {ty} ×{count} ({prims} prims)");
+        let block_ref = name.unwrap_or_else(|| serial.to_string());
+        for off in 0..prims.min(values) {
+            let mip = format!("{segment}#{block_ref}#{off}");
+            let p = s.mip_to_ptr(&mip)?;
+            let kind = s.kind_at(&p)?;
+            let rendered = match kind {
+                PrimKind::Char => format!("{:?}", s.read_char(&p)? as char),
+                PrimKind::Int16 => s.read_i16(&p)?.to_string(),
+                PrimKind::Int32 => s.read_i32(&p)?.to_string(),
+                PrimKind::Int64 => s.read_i64(&p)?.to_string(),
+                PrimKind::Float32 => s.read_f32(&p)?.to_string(),
+                PrimKind::Float64 => s.read_f64(&p)?.to_string(),
+                PrimKind::Str { .. } => format!("{:?}", s.read_str(&p)?),
+                PrimKind::Ptr => match s.read_ptr(&p) {
+                    Ok(Some(t)) => format!("-> {}", s.ptr_to_mip(&t)?),
+                    Ok(None) => "null".into(),
+                    Err(_) => "<unresolved>".into(),
+                },
+            };
+            println!("      [{off}] {rendered}");
+        }
+        if prims > values {
+            println!("      … {} more", prims - values);
+        }
+    }
+    s.rl_release(&h)?;
+    Ok(())
+}

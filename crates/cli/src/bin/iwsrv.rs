@@ -1,0 +1,46 @@
+//! `iwsrv` — a standalone InterWeave server over TCP.
+//!
+//! ```text
+//! iwsrv [--listen 127.0.0.1:7474] [--checkpoint-dir DIR]
+//!       [--checkpoint-every N] [--recover]
+//! ```
+//!
+//! With `--checkpoint-dir`, every segment is checkpointed every N
+//! versions (default 8); with `--recover`, segments found in the
+//! directory are restored before serving — the paper's "partial
+//! protection against server failure" (§2.2).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use iw_cli::Args;
+use iw_proto::{Handler, TcpServer};
+use iw_server::Server;
+use parking_lot::Mutex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(std::env::args().skip(1));
+    let listen = args.flag("listen").unwrap_or("127.0.0.1:7474");
+    let every: u64 = args
+        .flag("checkpoint-every")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(8);
+
+    let server = match args.flag("checkpoint-dir") {
+        Some(dir) if args.switch("recover") => {
+            let s = Server::recover(PathBuf::from(dir), every)?;
+            eprintln!("iwsrv: recovered checkpoints from {dir}");
+            s
+        }
+        Some(dir) => Server::with_checkpointing(PathBuf::from(dir), every),
+        None => Server::new(),
+    };
+    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(server));
+    let tcp = TcpServer::spawn(listen.parse()?, handler)?;
+    eprintln!("iwsrv: serving on {}", tcp.addr());
+    eprintln!("iwsrv: press ctrl-c to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

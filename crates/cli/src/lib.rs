@@ -1,0 +1,109 @@
+//! # iw-cli — command-line tools for InterWeave-rs
+//!
+//! - **`iwsrv`** — a standalone InterWeave server daemon over TCP, with
+//!   optional periodic checkpointing and crash recovery;
+//! - **`iwdump`** — connects to a server and pretty-prints a segment:
+//!   blocks, types, and leading values.
+//!
+//! Argument parsing is a deliberate 60-line hand-rolled affair
+//! ([`Args`]): two flags and a positional don't justify a dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` flags plus positionals.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument list (excluding the program name).
+    ///
+    /// `--key value` becomes a flag, a lone `--key` at the end or before
+    /// another `--…` becomes a switch, anything else is positional.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.flags.insert(key.to_string(), v);
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// The value of flag `key`, if given.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// `true` when the bare switch `--key` was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn flags_switches_positionals() {
+        let a = parse("--listen 0.0.0.0:7474 --recover seg/name --verbose");
+        assert_eq!(a.flag("listen"), Some("0.0.0.0:7474"));
+        assert!(!a.switch("listen"));
+        // `--recover seg/name`: seg/name is the flag value here.
+        assert_eq!(a.flag("recover"), Some("seg/name"));
+        assert!(a.switch("verbose"));
+        assert_eq!(a.positional_len(), 0);
+    }
+
+    #[test]
+    fn trailing_switch_and_positional() {
+        let a = parse("host/segment --tcp");
+        assert_eq!(a.positional(0), Some("host/segment"));
+        assert!(a.switch("tcp"));
+        assert_eq!(a.flag("tcp"), None);
+    }
+
+    #[test]
+    fn adjacent_switches() {
+        let a = parse("--a --b value");
+        assert!(a.switch("a"));
+        assert_eq!(a.flag("b"), Some("value"));
+    }
+
+    #[test]
+    fn empty() {
+        let a = parse("");
+        assert_eq!(a.positional(0), None);
+        assert!(!a.switch("x"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Word-by-word twin comparison and run splicing.
+//!
+//! "When it finds a modified page, [the diffing routine] performs a
+//! word-by-word comparison of the current version of the page and the
+//! page's twin, identifying the first (`change_begin`) and last
+//! (`change_end`) words of a contiguous run of modified words." (§3.1)
+//!
+//! "Diff run splicing: in a diffing operation, if one or two adjacent
+//! words are unchanged while both of their neighboring words are changed,
+//! we treat the entire sequence as changed in order to avoid starting a
+//! new run length encoding section in the diff." (§3.3)
+//!
+//! The comparison is kept separate from wire translation so the
+//! granularity experiment (paper Figure 5) can time "word diffing" and
+//! "translation" independently.
+
+/// Maximum number of unchanged words spliced into a surrounding run.
+pub const SPLICE_GAP_WORDS: usize = 2;
+
+/// Compares `twin` and `current` (same length) word by word and returns
+/// the modified byte runs `[(begin, end)]`, with run splicing applied when
+/// `splice` is set.
+///
+/// `word` is the machine word size in bytes. A trailing partial word is
+/// compared as a unit.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `word` is zero.
+pub fn find_byte_runs(
+    twin: &[u8],
+    current: &[u8],
+    word: usize,
+    splice: bool,
+) -> Vec<(usize, usize)> {
+    assert_eq!(twin.len(), current.len(), "twin and page must be same size");
+    assert!(word > 0, "word size must be non-zero");
+    let n = twin.len();
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let end = (i + word).min(n);
+        if twin[i..end] != current[i..end] {
+            let begin = i;
+            let mut last_changed_end = end;
+            i = end;
+            let mut gap = 0usize;
+            while i < n {
+                let wend = (i + word).min(n);
+                if twin[i..wend] != current[i..wend] {
+                    last_changed_end = wend;
+                    gap = 0;
+                } else {
+                    gap += 1;
+                    if !splice || gap > SPLICE_GAP_WORDS {
+                        break;
+                    }
+                }
+                i = wend;
+            }
+            runs.push((begin, last_changed_end));
+            // Skip the unchanged gap we just scanned past.
+            i = last_changed_end.max(i);
+        } else {
+            i = end;
+        }
+    }
+    runs
+}
+
+/// Merges byte runs that are adjacent or overlapping (used when combining
+/// runs that meet at page boundaries).
+pub fn merge_adjacent(mut runs: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    runs.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(runs.len());
+    for (b, e) in runs {
+        match out.last_mut() {
+            Some((_, pe)) if *pe >= b => *pe = (*pe).max(e),
+            _ => out.push((b, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: usize) -> Vec<u8> {
+        vec![0u8; n]
+    }
+
+    #[test]
+    fn identical_pages_have_no_runs() {
+        let a = page(64);
+        assert!(find_byte_runs(&a, &a, 4, true).is_empty());
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = page(64);
+        let mut cur = page(64);
+        cur[8] = 1;
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(8, 12)]);
+    }
+
+    #[test]
+    fn contiguous_words_form_one_run() {
+        let twin = page(64);
+        let mut cur = page(64);
+        cur[8..20].fill(9);
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(8, 20)]);
+    }
+
+    #[test]
+    fn splicing_bridges_small_gaps() {
+        let twin = page(64);
+        let mut cur = page(64);
+        cur[0..4].fill(1); // word 0 changed
+        cur[12..16].fill(1); // word 3 changed (gap of 2 words)
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(0, 16)]);
+        // Without splicing: two runs.
+        assert_eq!(
+            find_byte_runs(&twin, &cur, 4, false),
+            vec![(0, 4), (12, 16)]
+        );
+    }
+
+    #[test]
+    fn gap_of_three_words_breaks_run() {
+        let twin = page(64);
+        let mut cur = page(64);
+        cur[0..4].fill(1); // word 0
+        cur[16..20].fill(1); // word 4 (gap of 3)
+        assert_eq!(
+            find_byte_runs(&twin, &cur, 4, true),
+            vec![(0, 4), (16, 20)]
+        );
+    }
+
+    #[test]
+    fn alternating_words_splice_into_one_run() {
+        // The paper's double-word case: every other word changed.
+        let twin = page(64);
+        let mut cur = page(64);
+        for w in (0..16).step_by(2) {
+            cur[w * 4..w * 4 + 4].fill(7);
+        }
+        let runs = find_byte_runs(&twin, &cur, 4, true);
+        assert_eq!(runs, vec![(0, 60)], "ratio-2 pattern must splice");
+        let unspliced = find_byte_runs(&twin, &cur, 4, false);
+        assert_eq!(unspliced.len(), 8);
+    }
+
+    #[test]
+    fn eight_byte_words() {
+        let twin = page(64);
+        let mut cur = page(64);
+        cur[9] = 1;
+        assert_eq!(find_byte_runs(&twin, &cur, 8, true), vec![(8, 16)]);
+    }
+
+    #[test]
+    fn trailing_partial_word() {
+        let twin = page(10);
+        let mut cur = page(10);
+        cur[9] = 5;
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(8, 10)]);
+    }
+
+    #[test]
+    fn change_at_page_start_and_end() {
+        let twin = page(32);
+        let mut cur = page(32);
+        cur[0] = 1;
+        cur[31] = 1;
+        assert_eq!(
+            find_byte_runs(&twin, &cur, 4, true),
+            vec![(0, 4), (28, 32)]
+        );
+    }
+
+    #[test]
+    fn whole_page_changed() {
+        let twin = page(64);
+        let cur = vec![1u8; 64];
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn merge_adjacent_runs() {
+        assert_eq!(
+            merge_adjacent(vec![(0, 4), (4, 8), (12, 16), (14, 20)]),
+            vec![(0, 8), (12, 20)]
+        );
+        assert_eq!(merge_adjacent(vec![]), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn mismatched_lengths_panic() {
+        let _ = find_byte_runs(&[0; 4], &[0; 8], 4, true);
+    }
+}

@@ -1,0 +1,1806 @@
+//! The InterWeave client session: segments, locks, diff collection and
+//! application, and pointer swizzling.
+//!
+//! A [`Session`] corresponds to one InterWeave client process: it owns the
+//! process's heap (in the paper, the InterWeave-managed heap area mapped
+//! into the address space), a cached connection to servers, and the
+//! per-segment coherence state. The API mirrors the paper's Figure 1:
+//! `open_segment`, `wl_acquire`/`wl_release`, `rl_acquire`/`rl_release`,
+//! `malloc`, `mip_to_ptr`, `ptr_to_mip`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use iw_heap::{BlockMeta, Heap, SegId};
+use iw_proto::msg::{Reply, Request};
+use iw_proto::{Coherence, LockMode, Transport, TransportStats};
+use iw_types::arch::MachineArch;
+use iw_types::desc::{PrimKind, TypeDesc};
+use iw_wire::codec::{WireReader, WireWriter};
+use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+use iw_wire::mip::{BlockRef, Mip};
+use iw_wire::prim::{no_pointers_in, prim_from_wire};
+
+use crate::diffing::find_byte_runs;
+use crate::error::CoreError;
+use crate::segstate::{SegState, TrackMode};
+
+/// A handle to an open segment (the paper's `IW_handle_t`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SegHandle {
+    name: std::sync::Arc<str>,
+}
+
+impl SegHandle {
+    /// The segment's name (`host/path`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn for_name(name: &str) -> SegHandle {
+        SegHandle { name: name.into() }
+    }
+}
+
+/// A typed pointer into shared memory: a simulated virtual address plus
+/// the type of the value it points at (used for field/index navigation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ptr {
+    pub(crate) va: u64,
+    pub(crate) ty: TypeDesc,
+}
+
+impl Ptr {
+    /// The simulated virtual address.
+    pub fn va(&self) -> u64 {
+        self.va
+    }
+
+    /// The type of the pointed-at value.
+    pub fn ty(&self) -> &TypeDesc {
+        &self.ty
+    }
+}
+
+/// Tunables and ablation switches for a session.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Apply diff-run splicing (§3.3). Disable for ablation.
+    pub splice: bool,
+    /// Enable no-diff mode adaptation (§3.3). Disable for ablation.
+    pub no_diff_adaptation: bool,
+    /// Enable last-block prediction during diff application (§3.3).
+    pub prediction: bool,
+    /// How many times to retry a busy lock before giving up.
+    pub lock_retries: u32,
+    /// Microseconds to sleep between busy-lock retries.
+    pub lock_backoff_us: u64,
+    /// Page size for modification tracking (`None` = the platform
+    /// default of 4096). Small pages let tests exercise page-boundary
+    /// logic cheaply.
+    pub page_size: Option<u32>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            splice: true,
+            no_diff_adaptation: true,
+            prediction: true,
+            lock_retries: 10_000,
+            lock_backoff_us: 100,
+            page_size: None,
+        }
+    }
+}
+
+/// Counters for the optimization experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Serial→block lookups during diff application.
+    pub apply_block_lookups: u64,
+    /// …of which the last-block predictor answered without a tree search.
+    pub apply_pred_hits: u64,
+    /// Diffs collected.
+    pub diffs_collected: u64,
+    /// Diffs applied.
+    pub diffs_applied: u64,
+    /// Primitive units transmitted in collected diffs.
+    pub prims_sent: u64,
+    /// Primitive units installed from applied diffs.
+    pub prims_received: u64,
+}
+
+/// An InterWeave client session (the library a client links against).
+pub struct Session {
+    pub(crate) heap: Heap,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) client_id: u64,
+    pub(crate) segs: HashMap<String, SegState>,
+    /// Pointer fields whose target segment is not (yet) cached:
+    /// field VA → target MIP. The local word holds 0 until resolved.
+    pub(crate) unresolved: HashMap<u64, Mip>,
+    pub(crate) opts: SessionOptions,
+    pub(crate) stats: SessionStats,
+    /// Open transaction, if any (see [`crate::tx`]).
+    pub(crate) tx: Option<crate::tx::TxState>,
+    /// Additional servers, keyed by segment-URL host ("Every segment is
+    /// managed by an InterWeave server at the IP address corresponding
+    /// to the segment's URL. Different segments may be managed by
+    /// different servers.", §2.1). Segments whose host has no entry use
+    /// the default transport.
+    pub(crate) extra_links: HashMap<String, ServerLink>,
+}
+
+/// A connection to one InterWeave server plus the client id it assigned.
+pub(crate) struct ServerLink {
+    pub transport: Box<dyn Transport>,
+    pub client_id: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("client_id", &self.client_id)
+            .field("arch", &self.heap.arch().name)
+            .field("segments", &self.segs.len())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Creates a session for a client on `arch`, speaking through
+    /// `transport`. Performs the Hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors from the handshake.
+    pub fn new(
+        arch: MachineArch,
+        transport: Box<dyn Transport>,
+    ) -> Result<Self, CoreError> {
+        Session::with_options(arch, transport, SessionOptions::default())
+    }
+
+    /// As [`Session::new`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors from the handshake.
+    pub fn with_options(
+        arch: MachineArch,
+        mut transport: Box<dyn Transport>,
+        opts: SessionOptions,
+    ) -> Result<Self, CoreError> {
+        let info = format!("interweave-rs client on {arch}");
+        let client_id = match transport.request(&Request::Hello { info })? {
+            Reply::Welcome { client } => client,
+            other => return Err(unexpected(other)),
+        };
+        let heap = match opts.page_size {
+            Some(ps) => Heap::with_page_size(arch, ps),
+            None => Heap::new(arch),
+        };
+        Ok(Session {
+            heap,
+            transport,
+            client_id,
+            segs: HashMap::new(),
+            unresolved: HashMap::new(),
+            opts,
+            stats: SessionStats::default(),
+            tx: None,
+            extra_links: HashMap::new(),
+        })
+    }
+
+    /// The architecture this client lays data out for.
+    pub fn arch(&self) -> &MachineArch {
+        self.heap.arch()
+    }
+
+    /// The session's heap (read access for tests and tools).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Optimization counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Cumulative simulated write faults (page-twin creations) — the
+    /// overhead no-diff mode eliminates.
+    pub fn twin_faults(&self) -> u64 {
+        self.heap.fault_count()
+    }
+
+    /// Transport traffic counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Resets transport traffic counters.
+    pub fn reset_transport_stats(&mut self) {
+        self.transport.reset_stats();
+        for l in self.extra_links.values_mut() {
+            l.transport.reset_stats();
+        }
+    }
+
+    /// Registers a connection to the server responsible for segments
+    /// whose URL host is `host` (e.g. `"data.example.org"` for segments
+    /// named `data.example.org/…`). Performs the Hello handshake.
+    /// Segments with unregistered hosts use the session's default
+    /// transport.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors from the handshake.
+    pub fn add_server(
+        &mut self,
+        host: &str,
+        mut transport: Box<dyn Transport>,
+    ) -> Result<(), CoreError> {
+        let info = format!("interweave-rs client on {}", self.heap.arch());
+        let client_id = match transport.request(&Request::Hello { info })? {
+            Reply::Welcome { client } => client,
+            other => return Err(unexpected(other)),
+        };
+        self.extra_links
+            .insert(host.to_string(), ServerLink { transport, client_id });
+        Ok(())
+    }
+
+    /// The host component of a segment name (everything before the first
+    /// slash).
+    fn host_of(segment: &str) -> &str {
+        segment.split('/').next().unwrap_or("")
+    }
+
+    /// Performs one request against the server responsible for `segment`,
+    /// substituting that server's client id. `make` receives the id.
+    pub(crate) fn request_for(
+        &mut self,
+        segment: &str,
+        make: impl FnOnce(u64) -> Request,
+    ) -> Result<Reply, CoreError> {
+        let host = Session::host_of(segment).to_string();
+        if let Some(link) = self.extra_links.get_mut(&host) {
+            Ok(link.transport.request(&make(link.client_id))?)
+        } else {
+            Ok(self.transport.request(&make(self.client_id))?)
+        }
+    }
+
+    // ==================================================================
+    // Segments and locks
+    // ==================================================================
+
+    /// Opens (or creates) a segment: the paper's `IW_open_segment`.
+    ///
+    /// # Errors
+    ///
+    /// Protocol errors; opening an already-open segment returns the same
+    /// handle.
+    pub fn open_segment(&mut self, name: &str) -> Result<SegHandle, CoreError> {
+        if !self.segs.contains_key(name) {
+            match self.request_for(name, |client| Request::Open {
+                client,
+                segment: name.to_string(),
+            })? {
+                Reply::Opened { .. } => {}
+                other => return Err(unexpected(other)),
+            }
+            let id = self.heap.create_segment(name)?;
+            self.segs.insert(name.to_string(), SegState::new(id));
+        }
+        Ok(SegHandle { name: name.into() })
+    }
+
+    /// Sets the coherence model used by subsequent read-lock acquisitions
+    /// on this segment (dynamic, per the paper).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`] when the segment is not open.
+    pub fn set_coherence(
+        &mut self,
+        h: &SegHandle,
+        coherence: Coherence,
+    ) -> Result<(), CoreError> {
+        self.state_mut(h.name())?.coherence = coherence;
+        Ok(())
+    }
+
+    pub(crate) fn state(&self, name: &str) -> Result<&SegState, CoreError> {
+        self.segs.get(name).ok_or_else(|| CoreError::NotOpen(name.to_string()))
+    }
+
+    pub(crate) fn state_mut(&mut self, name: &str) -> Result<&mut SegState, CoreError> {
+        self.segs
+            .get_mut(name)
+            .ok_or_else(|| CoreError::NotOpen(name.to_string()))
+    }
+
+    fn acquire_with_retry(
+        &mut self,
+        name: &str,
+        mode: LockMode,
+        have_version: u64,
+        coherence: Coherence,
+    ) -> Result<Reply, CoreError> {
+        for _ in 0..=self.opts.lock_retries {
+            let reply = self.request_for(name, |client| Request::Acquire {
+                client,
+                segment: name.to_string(),
+                mode,
+                have_version,
+                coherence,
+            })?;
+            match reply {
+                Reply::Busy => {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        self.opts.lock_backoff_us,
+                    ));
+                }
+                Reply::Error { message } => return Err(CoreError::Server(message)),
+                other => return Ok(other),
+            }
+        }
+        Err(CoreError::LockTimeout(name.to_string()))
+    }
+
+    /// Acquires the write lock: the paper's `IW_wl_acquire`. Brings the
+    /// cached copy fully up to date and write-protects its pages for
+    /// modification tracking (unless in no-diff mode).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`], [`CoreError::LockTimeout`], protocol
+    /// errors.
+    pub fn wl_acquire(&mut self, h: &SegHandle) -> Result<(), CoreError> {
+        let name = h.name().to_string();
+        if self.state(&name)?.lock.is_some() {
+            return Err(CoreError::BadPath(format!(
+                "`{name}` is already locked by this session (locks do not nest)"
+            )));
+        }
+        let have = self.state(&name)?.version;
+        let reply = self.acquire_with_retry(&name, LockMode::Write, have, Coherence::Full)?;
+        let Reply::Granted { version, update, next_serial, next_type_serial } = reply
+        else {
+            return Err(unexpected(reply));
+        };
+        if let Some(diff) = update {
+            self.apply_segment_diff(h, &diff)?;
+        }
+        let in_tx = self.tx.is_some();
+        let protect = {
+            let st = self.state_mut(&name)?;
+            st.version = version;
+            st.lock = Some(LockMode::Write);
+            st.server_locked = true;
+            st.next_serial = st.next_serial.max(next_serial);
+            st.types_synced = next_type_serial;
+            st.last_update = Instant::now();
+            st.new_blocks.clear();
+            st.freed.clear();
+            st.pending_free.clear();
+            // Transactions need twins for rollback, so no-diff mode is
+            // suspended while one is open.
+            in_tx || matches!(st.mode, TrackMode::Diff)
+        };
+        let id = self.state(&name)?.id;
+        if protect {
+            self.heap.protect_segment(id);
+        }
+        if in_tx {
+            if let Some(tx) = &mut self.tx {
+                if !tx.segments.contains(&name) {
+                    tx.segments.push(name.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases the write lock: the paper's `IW_wl_release`. Collects the
+    /// diff of everything modified under the lock, translates it to wire
+    /// format, and ships it to the server.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotLocked`] without the write lock; translation and
+    /// protocol errors.
+    pub fn wl_release(&mut self, h: &SegHandle) -> Result<(), CoreError> {
+        let name = h.name().to_string();
+        if self.tx.is_some() {
+            return Err(CoreError::BadPath(format!(
+                "`{name}` is part of an open transaction; use tx_commit/tx_abort"
+            )));
+        }
+        if self.state(&name)?.lock != Some(LockMode::Write) {
+            return Err(CoreError::NotLocked { segment: name, write: true });
+        }
+        let (diff, changed, per_block) = self.collect_segment_diff(h)?;
+        let is_empty = diff.new_types.is_empty()
+            && diff.new_blocks.is_empty()
+            && diff.block_diffs.is_empty()
+            && diff.freed.is_empty();
+        let payload = if is_empty { None } else { Some(diff) };
+        let reply = self.request_for(&name, |client| Request::Release {
+            client,
+            segment: name.clone(),
+            diff: payload,
+        })?;
+        let Reply::Released { version } = reply else {
+            return Err(unexpected(reply));
+        };
+        let id = self.state(&name)?.id;
+        self.heap.clear_tracking(id);
+        let total: u64 = self
+            .heap
+            .segment(id)
+            .blocks()
+            .map(BlockMeta::prim_count)
+            .sum();
+        let adapt = self.opts.no_diff_adaptation;
+        let st = self.state_mut(&name)?;
+        st.version = version;
+        st.lock = None;
+        st.server_locked = false;
+        st.new_blocks.clear();
+        st.freed.clear();
+        st.last_update = Instant::now();
+        if adapt {
+            st.adapt_after_release(changed, total, &per_block);
+        }
+        Ok(())
+    }
+
+    /// Acquires a read lock: the paper's `IW_rl_acquire`. Checks whether
+    /// the cached copy is "recent enough" under the segment's coherence
+    /// model and fetches an update when it is not. Temporal coherence
+    /// satisfied by the local real-time stamp never contacts the server;
+    /// Delta/Diff coherence poll without taking a server-side lock; Full
+    /// coherence takes a genuine shared lock at the server.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`], [`CoreError::LockTimeout`], protocol
+    /// errors.
+    pub fn rl_acquire(&mut self, h: &SegHandle) -> Result<(), CoreError> {
+        let name = h.name().to_string();
+        if self.state(&name)?.lock.is_some() {
+            return Err(CoreError::BadPath(format!(
+                "`{name}` is already locked by this session (locks do not nest)"
+            )));
+        }
+        let (coherence, have, fresh_enough) = {
+            let st = self.state(&name)?;
+            let fresh = matches!(st.coherence, Coherence::Temporal(ms)
+                if st.version > 0
+                    && st.last_update.elapsed().as_millis() <= u128::from(ms));
+            (st.coherence, st.version, fresh)
+        };
+        if fresh_enough {
+            let st = self.state_mut(&name)?;
+            st.lock = Some(LockMode::Read);
+            st.server_locked = false;
+            return Ok(());
+        }
+        match coherence {
+            Coherence::Full => {
+                let reply =
+                    self.acquire_with_retry(&name, LockMode::Read, have, coherence)?;
+                let Reply::Granted { version, update, .. } = reply else {
+                    return Err(unexpected(reply));
+                };
+                if let Some(diff) = update {
+                    self.apply_segment_diff(h, &diff)?;
+                }
+                let st = self.state_mut(&name)?;
+                st.version = version;
+                st.lock = Some(LockMode::Read);
+                st.server_locked = true;
+                st.last_update = Instant::now();
+            }
+            _ => {
+                // Relaxed models: poll for an update; no server-side lock.
+                let reply = self.request_for(&name, |client| Request::Poll {
+                    client,
+                    segment: name.clone(),
+                    have_version: have,
+                    coherence,
+                })?;
+                match reply {
+                    Reply::UpToDate => {}
+                    Reply::Update { diff } => {
+                        self.apply_segment_diff(h, &diff)?;
+                        let st = self.state_mut(&name)?;
+                        st.last_update = Instant::now();
+                    }
+                    Reply::Error { message } => return Err(CoreError::Server(message)),
+                    other => return Err(unexpected(other)),
+                }
+                let st = self.state_mut(&name)?;
+                st.lock = Some(LockMode::Read);
+                st.server_locked = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases a read lock: the paper's `IW_rl_release`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotLocked`] when no read lock is held.
+    pub fn rl_release(&mut self, h: &SegHandle) -> Result<(), CoreError> {
+        let name = h.name().to_string();
+        let st = self.state(&name)?;
+        if st.lock != Some(LockMode::Read) {
+            return Err(CoreError::NotLocked { segment: name, write: false });
+        }
+        if st.server_locked {
+            let reply = self.request_for(&name, |client| Request::Release {
+                client,
+                segment: name.clone(),
+                diff: None,
+            })?;
+            if !matches!(reply, Reply::Released { .. }) {
+                return Err(unexpected(reply));
+            }
+        }
+        let st = self.state_mut(&name)?;
+        st.lock = None;
+        st.server_locked = false;
+        Ok(())
+    }
+
+    pub(crate) fn require_lock(&self, seg: SegId, write: bool) -> Result<(), CoreError> {
+        let name = &self.heap.segment(seg).name;
+        let st = self.state(name)?;
+        let ok = matches!(
+            (st.lock, write),
+            (Some(LockMode::Write), _) | (Some(LockMode::Read), false)
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::NotLocked { segment: name.clone(), write })
+        }
+    }
+
+    /// Closes a segment: releases any held lock and discards the local
+    /// cached copy (the inverse of [`Session::open_segment`]). Pointers
+    /// into the segment become dangling; pointer *fields* elsewhere that
+    /// referenced it revert to unresolved MIPs and re-fetch on next use.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`]; [`CoreError::BadPath`] while the segment
+    /// is part of an open transaction.
+    pub fn close_segment(&mut self, h: &SegHandle) -> Result<(), CoreError> {
+        let name = h.name().to_string();
+        if let Some(tx) = &self.tx {
+            if tx.segments.contains(&name) {
+                return Err(CoreError::BadPath(format!(
+                    "`{name}` is part of an open transaction"
+                )));
+            }
+        }
+        let st = self.state(&name)?;
+        let id = st.id;
+        let locked = st.lock;
+        let server_locked = st.server_locked;
+        match locked {
+            Some(LockMode::Write) => self.wl_release(h)?,
+            Some(LockMode::Read) if server_locked => self.rl_release(h)?,
+            _ => {}
+        }
+        // Re-point local pointers into this segment back to MIPs so other
+        // segments' caches stay usable.
+        let spans: Vec<(u64, u64)> = self
+            .heap
+            .segment(id)
+            .blocks()
+            .map(|b| (b.va, b.end()))
+            .collect();
+        let arch = self.heap.arch().clone();
+        // Find pointer fields across all *other* segments that point into
+        // this one, and demote them to unresolved MIPs.
+        let mut demotions: Vec<(u64, Mip)> = Vec::new();
+        let other_ids: Vec<SegId> = self
+            .segs
+            .values()
+            .map(|st| st.id)
+            .filter(|&other| other != id)
+            .collect();
+        for other in other_ids {
+            let metas: Vec<BlockMeta> =
+                self.heap.segment(other).blocks().cloned().collect();
+            for meta in metas {
+                let slice = self.heap.read_bytes(meta.va, meta.size() as usize)?;
+                for run in meta.flat.runs() {
+                    if run.kind != PrimKind::Ptr {
+                        continue;
+                    }
+                    for k in 0..run.count {
+                        let off = (run.local_off + k * run.stride) as usize;
+                        let size = arch.pointer_size as usize;
+                        let va = read_va(&slice[off..off + size], &arch);
+                        if va != 0 && spans.iter().any(|&(lo, hi)| va >= lo && va < hi)
+                        {
+                            let field_va = meta.va + off as u64;
+                            let mip = self.mip_for_va(va)?;
+                            demotions.push((field_va, mip));
+                        }
+                    }
+                }
+            }
+        }
+        for (field_va, mip) in demotions {
+            let size = arch.pointer_size as usize;
+            let mut zero = vec![0u8; size];
+            write_va(&mut zero, &arch, 0);
+            self.heap
+                .bytes_mut_unprotected(field_va, size)?
+                .copy_from_slice(&zero);
+            self.unresolved.insert(field_va, mip);
+        }
+        // Drop unresolved entries whose *field* lived in the segment.
+        for &(lo, hi) in &spans {
+            self.unresolved.retain(|&va, _| !(lo..hi).contains(&va));
+        }
+        self.heap.remove_segment(id);
+        self.segs.remove(&name);
+        Ok(())
+    }
+
+    /// Names and cached versions of all open segments.
+    pub fn segments(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .segs
+            .iter()
+            .map(|(n, st)| (n.clone(), st.version))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The cached version of one open segment.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`].
+    pub fn segment_version(&self, h: &SegHandle) -> Result<u64, CoreError> {
+        Ok(self.state(h.name())?.version)
+    }
+
+    // ==================================================================
+    // Bulk raw access and experiment controls
+    // ==================================================================
+
+    /// Bulk write of raw local-format bytes at `p` (through modification
+    /// tracking). Intended for large array updates where per-element
+    /// accessors would dominate; the caller is responsible for encoding
+    /// values in this session's architecture format.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotLocked`] without the write lock; heap bounds
+    /// errors.
+    pub fn write_bytes_raw(&mut self, p: &Ptr, bytes: &[u8]) -> Result<(), CoreError> {
+        let (seg, meta) = self.heap.block_at(p.va)?;
+        self.require_lock(seg, true)?;
+        if p.va + bytes.len() as u64 > meta.end() {
+            return Err(CoreError::BadPath(format!(
+                "raw write of {} bytes overruns block {}",
+                bytes.len(),
+                meta.serial
+            )));
+        }
+        self.heap.write_bytes(p.va, bytes)?;
+        Ok(())
+    }
+
+    /// Bulk read of raw local-format bytes at `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotLocked`] without a lock; heap bounds errors.
+    pub fn read_bytes_raw(&self, p: &Ptr, len: usize) -> Result<&[u8], CoreError> {
+        let (seg, meta) = self.heap.block_at(p.va)?;
+        self.require_lock(seg, false)?;
+        if p.va + len as u64 > meta.end() {
+            return Err(CoreError::BadPath(format!(
+                "raw read of {len} bytes overruns block {}",
+                meta.serial
+            )));
+        }
+        Ok(self.heap.read_bytes(p.va, len)?)
+    }
+
+    /// Forces the tracking mode of a segment (benchmarks pin `Diff` or
+    /// `NoDiff` to measure "collect diff" vs "collect block"; normal
+    /// callers rely on the automatic adaptation).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`].
+    pub fn set_tracking_mode(
+        &mut self,
+        h: &SegHandle,
+        mode: TrackMode,
+    ) -> Result<(), CoreError> {
+        let st = self.state_mut(h.name())?;
+        st.mode = mode;
+        let id = st.id;
+        let locked_for_write = st.lock == Some(LockMode::Write);
+        // Mode changes normally take effect at the next write-lock
+        // acquire; if we already hold the write lock, align protection
+        // with the mode now.
+        if locked_for_write {
+            match mode {
+                TrackMode::Diff => self.heap.protect_segment(id),
+                TrackMode::NoDiff { .. } => self.heap.unprotect_segment(id),
+            }
+        }
+        Ok(())
+    }
+
+    /// The current tracking mode of a segment.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`].
+    pub fn tracking_mode(&self, h: &SegHandle) -> Result<TrackMode, CoreError> {
+        Ok(self.state(h.name())?.mode)
+    }
+
+    // ==================================================================
+    // Allocation
+    // ==================================================================
+
+    /// Allocates a block of `count` elements of `ty`: the paper's
+    /// `IW_malloc` (with an optional symbolic name). Requires the write
+    /// lock.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotLocked`] without the write lock; heap errors for
+    /// bad names or sizes.
+    pub fn malloc(
+        &mut self,
+        h: &SegHandle,
+        ty: &TypeDesc,
+        count: u32,
+        name: Option<&str>,
+    ) -> Result<Ptr, CoreError> {
+        let seg_name = h.name().to_string();
+        let st = self.state(&seg_name)?;
+        if st.lock != Some(LockMode::Write) {
+            return Err(CoreError::NotLocked { segment: seg_name, write: true });
+        }
+        let id = st.id;
+        let serial = st.next_serial;
+        let va = self.heap.alloc_block(id, serial, name, ty, count)?;
+        // Register the type so it travels in the next diff (a no-op when
+        // already known).
+        self.heap.segment_types_mut(id).register(ty);
+        let st = self.state_mut(&seg_name)?;
+        st.next_serial += 1;
+        st.new_blocks.push(serial);
+        Ok(Ptr { va, ty: ty.clone() })
+    }
+
+    /// Frees a block: the paper's `IW_free`. The pointer must reference
+    /// the start of a block. Requires the write lock.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotLocked`]; [`CoreError::BadPath`] when `p` is not a
+    /// block start.
+    pub fn free(&mut self, h: &SegHandle, p: &Ptr) -> Result<(), CoreError> {
+        let seg_name = h.name().to_string();
+        let st = self.state(&seg_name)?;
+        if st.lock != Some(LockMode::Write) {
+            return Err(CoreError::NotLocked { segment: seg_name, write: true });
+        }
+        let id = st.id;
+        let (bseg, serial, bva, bend) = {
+            let (bseg, meta) = self.heap.block_at(p.va)?;
+            (bseg, meta.serial, meta.va, meta.end())
+        };
+        if bseg != id || bva != p.va {
+            return Err(CoreError::BadPath(format!(
+                "free() requires a pointer to the start of a block in `{seg_name}`"
+            )));
+        }
+        let in_tx = self.tx.is_some();
+        let created_here = self
+            .state(&seg_name)?
+            .new_blocks.contains(&serial);
+        if in_tx && !created_here {
+            // Deferred: the block must stay resurrectable until commit.
+            let st = self.state_mut(&seg_name)?;
+            if !st.pending_free.contains(&serial) {
+                st.pending_free.push(serial);
+            }
+            return Ok(());
+        }
+        self.heap.free_block(id, serial)?;
+        self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
+        let st = self.state_mut(&seg_name)?;
+        if let Some(pos) = st.new_blocks.iter().position(|&s| s == serial) {
+            // Created and freed in the same critical section: never tell
+            // the server.
+            st.new_blocks.remove(pos);
+        } else {
+            st.freed.push(serial);
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // Diff collection (§3.1 "Diff creation and translation")
+    // ==================================================================
+
+    /// Collects the wire-format diff of all modifications made under the
+    /// current write lock. Public for the benchmark harness; applications
+    /// use [`Session::wl_release`].
+    ///
+    /// Returns `(diff, changed primitive units, per-block change
+    /// fractions)`.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors (e.g. a pointer to unmapped memory).
+    #[allow(clippy::type_complexity)]
+    pub fn collect_segment_diff(
+        &mut self,
+        h: &SegHandle,
+    ) -> Result<(SegmentDiff, u64, Vec<(u32, f64)>), CoreError> {
+        let name = h.name().to_string();
+        let st = self.state(&name)?;
+        let id = st.id;
+        let from_version = st.version;
+        let types_synced = st.types_synced;
+        let new_set: HashSet<u32> = st.new_blocks.iter().copied().collect();
+        let new_order = st.new_blocks.clone();
+        let freed = st.freed.clone();
+        let flagged: HashSet<u32> = st.block_nodiff.clone();
+        let whole_segment = matches!(st.mode, TrackMode::NoDiff { .. });
+
+        let mut diff = SegmentDiff {
+            from_version,
+            to_version: from_version + 1,
+            ..Default::default()
+        };
+
+        // Newly used type descriptors.
+        for (serial, ty) in self.heap.segment(id).types.iter() {
+            if serial >= types_synced {
+                diff.new_types.push((serial, ty.clone()));
+            }
+        }
+
+        // New blocks travel whole.
+        for serial in new_order {
+            let (type_serial, count, bname, data) = {
+                let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
+                let type_serial = self
+                    .heap
+                    .segment(id)
+                    .types
+                    .serial_of(&meta.ty)
+                    .expect("type registered at malloc");
+                let data = self.translate_block_range(
+                    &meta,
+                    meta.va,
+                    meta.end(),
+                    &mut 0,
+                    &mut Vec::new(),
+                )?;
+                (type_serial, meta.count, meta.name.clone(), data)
+            };
+            diff.new_blocks.push(NewBlock {
+                serial,
+                name: bname,
+                type_serial,
+                count,
+                data,
+            });
+        }
+
+        // Modified blocks.
+        let mut per_block: BTreeMap<u32, Vec<RunAcc>> = BTreeMap::new();
+        let mut changed: u64 = 0;
+
+        if whole_segment {
+            // No-diff mode: transmit every pre-existing block whole.
+            let serials: Vec<u32> = self
+                .heap
+                .segment(id)
+                .blocks()
+                .map(|b| b.serial)
+                .filter(|s| !new_set.contains(s))
+                .collect();
+            for serial in serials {
+                let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
+                let data =
+                    self.translate_block_range(&meta, meta.va, meta.end(), &mut 0, &mut Vec::new())?;
+                let count = meta.prim_count();
+                changed += count;
+                push_run(
+                    per_block.entry(serial).or_default(),
+                    DiffRun { start: 0, count, data },
+                );
+            }
+        } else {
+            let word = self.heap.arch().word_size as usize;
+            let splice = self.opts.splice;
+            let ps = u64::from(self.heap.page_size());
+            let mut touched_flagged: Vec<u32> = Vec::new();
+            // Per-block floor prevents double-emitting a primitive that
+            // spans two dirty pages.
+            let mut floors: HashMap<u32, u64> = HashMap::new();
+
+            let subseg_idxs = self.heap.segment(id).subseg_indices().to_vec();
+            for ss_idx in subseg_idxs {
+                let base = self.heap.subseg(ss_idx).base();
+                // Gather the modified pages' byte runs first (pure word
+                // diffing), then translate.
+                let page_runs: Vec<(u64, u64)> = {
+                    let ss = self.heap.subseg(ss_idx);
+                    let mut v = Vec::new();
+                    for (page, twin, cur) in ss.modified_pages() {
+                        for (b0, b1) in find_byte_runs(twin, cur, word, splice) {
+                            let lo = base + page as u64 * ps + b0 as u64;
+                            let hi = base + page as u64 * ps + b1 as u64;
+                            v.push((lo, hi));
+                        }
+                    }
+                    v
+                };
+                for (lo, hi) in page_runs {
+                    let mut cursor = lo;
+                    while cursor < hi {
+                        let found = match self.heap.block_at(cursor) {
+                            Ok((_, meta)) => Some((meta.va, meta.serial)),
+                            Err(_) => self
+                                .heap
+                                .next_block_at_or_after(ss_idx, cursor)
+                                .filter(|&(va, _)| va < hi),
+                        };
+                        let Some((bva, serial)) = found else { break };
+                        let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
+                        let bend = meta.end();
+                        if new_set.contains(&serial) {
+                            cursor = bend;
+                            continue;
+                        }
+                        if flagged.contains(&serial) {
+                            if !touched_flagged.contains(&serial) {
+                                touched_flagged.push(serial);
+                            }
+                            cursor = bend;
+                            continue;
+                        }
+                        let floor = floors.entry(serial).or_insert(0);
+                        let runs = per_block.entry(serial).or_default();
+                        let lo_clamped = cursor.max(bva);
+                        let hi_clamped = hi.min(bend);
+                        let mut emitted: Vec<DiffRun> = Vec::new();
+                        self.translate_block_range(
+                            &meta,
+                            lo_clamped,
+                            hi_clamped,
+                            floor,
+                            &mut emitted,
+                        )?;
+                        for run in emitted {
+                            changed += run.count;
+                            push_run(runs, run);
+                        }
+                        cursor = bend;
+                    }
+                }
+            }
+            // Flagged (block-level no-diff) blocks touched this section:
+            // transmit whole.
+            for serial in touched_flagged {
+                let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
+                let data =
+                    self.translate_block_range(&meta, meta.va, meta.end(), &mut 0, &mut Vec::new())?;
+                let count = meta.prim_count();
+                changed += count;
+                push_run(
+                    per_block.entry(serial).or_default(),
+                    DiffRun { start: 0, count, data },
+                );
+            }
+        }
+
+        let mut fractions = Vec::with_capacity(per_block.len());
+        for (serial, accs) in per_block {
+            let block_prims = self
+                .heap
+                .segment(id)
+                .block_by_serial(serial)
+                .map(BlockMeta::prim_count)
+                .unwrap_or(1);
+            let run_prims: u64 = accs.iter().map(|r| r.count).sum();
+            fractions.push((serial, run_prims as f64 / block_prims.max(1) as f64));
+            diff.block_diffs.push(BlockDiff { serial, runs: finish_runs(accs) });
+        }
+        diff.freed = freed;
+        self.stats.diffs_collected += 1;
+        self.stats.prims_sent += changed;
+        Ok((diff, changed, fractions))
+    }
+
+    /// Translates the local bytes of `[lo_va, hi_va)` within one block to
+    /// wire format, appending one RLE run to `out` (primitives inside a
+    /// contiguous byte range have consecutive primitive offsets, so each
+    /// call yields at most one run). `floor` suppresses primitives already
+    /// emitted by an earlier overlapping range (a primitive spanning two
+    /// dirty pages) and advances past everything emitted here.
+    ///
+    /// Translation proceeds run by run (the payoff of isomorphic type
+    /// descriptors, §3.3): fixed-size runs use tight per-kind loops,
+    /// strings and pointers go element by element.
+    ///
+    /// Returns the concatenated wire payload, which whole-block callers
+    /// use directly.
+    fn translate_block_range(
+        &self,
+        meta: &BlockMeta,
+        lo_va: u64,
+        hi_va: u64,
+        floor: &mut u64,
+        out: &mut Vec<DiffRun>,
+    ) -> Result<Bytes, CoreError> {
+        self.translate_block_range_cached(meta, lo_va, hi_va, floor, out, &mut None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn translate_block_range_cached(
+        &self,
+        meta: &BlockMeta,
+        lo_va: u64,
+        hi_va: u64,
+        floor: &mut u64,
+        out: &mut Vec<DiffRun>,
+        swz_cache: &mut Option<SwizzleCache>,
+    ) -> Result<Bytes, CoreError> {
+        let arch = self.heap.arch().clone();
+        let little = arch.endian.is_little();
+        let slice = self.heap.read_bytes(meta.va, meta.size() as usize)?;
+        let rel_lo = (lo_va - meta.va) as u32;
+        let rel_hi = (hi_va - meta.va) as u32;
+        let mut w = WireWriter::with_capacity((rel_hi.saturating_sub(rel_lo)) as usize + 16);
+        let mut start: Option<u64> = None;
+        let mut total: u64 = 0;
+        for mut run in meta.flat.seek_byte_runs(rel_lo) {
+            if run.local_off >= rel_hi {
+                break;
+            }
+            // Skip elements already emitted by an earlier range.
+            if run.prim_off < *floor {
+                let skip = (*floor - run.prim_off).min(u64::from(run.count)) as u32;
+                run.prim_off += u64::from(skip);
+                run.local_off += skip * run.stride;
+                run.count -= skip;
+                if run.count == 0 || run.local_off >= rel_hi {
+                    continue;
+                }
+            }
+            // Clip to elements starting before rel_hi.
+            let span = rel_hi - run.local_off;
+            let max_elems = span.div_ceil(run.stride.max(1)).max(1);
+            run.count = run.count.min(max_elems);
+            match run.kind {
+                PrimKind::Ptr => {
+                    let size = arch.pointer_size as usize;
+                    let mut scratch = String::with_capacity(48);
+                    for k in 0..run.count {
+                        let off = (run.local_off + k * run.stride) as usize;
+                        let window = &slice[off..off + size];
+                        let field_va = meta.va + off as u64;
+                        self.swizzle_window_into(
+                            field_va,
+                            window,
+                            swz_cache,
+                            &mut scratch,
+                        )?;
+                        w.put_str(&scratch);
+                    }
+                }
+                PrimKind::Str { cap } => {
+                    for k in 0..run.count {
+                        let off = (run.local_off + k * run.stride) as usize;
+                        let window = &slice[off..off + cap as usize];
+                        w.put_len_bytes(iw_wire::prim::local_str_bytes(window));
+                    }
+                }
+                kind => {
+                    let size = kind.local_size(&arch) as usize;
+                    encode_fixed_run(
+                        &mut w,
+                        &slice[run.local_off as usize..],
+                        size,
+                        run.stride as usize,
+                        run.count as usize,
+                        little,
+                    );
+                }
+            }
+            if start.is_none() {
+                start = Some(run.prim_off);
+            }
+            total += u64::from(run.count);
+            *floor = run.prim_off + u64::from(run.count);
+        }
+        let payload = w.finish();
+        if let Some(s) = start {
+            out.push(DiffRun { start: s, count: total, data: payload.clone() });
+        }
+        Ok(payload)
+    }
+
+    /// As [`Session::swizzle_window`], with a one-entry block cache for
+    /// pointer-dense translation loops. Appends the MIP into `out`
+    /// (cleared first) to avoid per-pointer allocations.
+    fn swizzle_window_into(
+        &self,
+        field_va: u64,
+        window: &[u8],
+        cache: &mut Option<SwizzleCache>,
+        out: &mut String,
+    ) -> Result<(), CoreError> {
+        out.clear();
+        let va = read_va(window, self.heap.arch());
+        if va == 0 {
+            if let Some(mip) = self.unresolved.get(&field_va) {
+                use std::fmt::Write;
+                let _ = write!(out, "{mip}");
+            }
+            return Ok(());
+        }
+        if let Some(c) = cache {
+            if va >= c.block_lo && va < c.block_hi {
+                if let Some(run) = &c.run {
+                    let rel = (va - c.block_lo) as u32;
+                    let stride = run.stride.max(1);
+                    if rel >= run.local_off && (rel - run.local_off).is_multiple_of(stride) {
+                        let k = (rel - run.local_off) / stride;
+                        if k < run.count {
+                            let prim_off = run.prim_off + u64::from(k);
+                            out.push_str(&c.prefix);
+                            if prim_off != 0 {
+                                out.push('#');
+                                push_u64(out, prim_off);
+                            }
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        // Slow path: full metadata search, then refresh the cache.
+        let (seg, meta) = self.heap.block_at(va)?;
+        let mut prefix =
+            String::with_capacity(self.heap.segment(seg).name.len() + 12);
+        prefix.push_str(&self.heap.segment(seg).name);
+        prefix.push('#');
+        match &meta.name {
+            Some(n) => prefix.push_str(n),
+            None => push_u64(&mut prefix, u64::from(meta.serial)),
+        }
+        *cache = Some(SwizzleCache {
+            block_lo: meta.va,
+            block_hi: meta.end(),
+            prefix,
+            run: meta.flat.single_run(),
+        });
+        let mip = self.mip_for_va(va)?;
+        use std::fmt::Write;
+        let _ = write!(out, "{mip}");
+        Ok(())
+    }
+
+    /// Builds the MIP for an arbitrary local address (`IW_ptr_to_mip`'s
+    /// core).
+    pub(crate) fn mip_for_va(&self, va: u64) -> Result<Mip, CoreError> {
+        let (seg, meta) = self.heap.block_at(va)?;
+        let rel = (va - meta.va) as u32;
+        let prim = meta.flat.prim_containing_byte(rel).ok_or_else(|| {
+            CoreError::DanglingPointer(format!(
+                "address {va:#x} points into padding of block {}",
+                meta.serial
+            ))
+        })?;
+        if u64::from(prim.local_off) != u64::from(rel) {
+            return Err(CoreError::DanglingPointer(format!(
+                "address {va:#x} points into the middle of a primitive"
+            )));
+        }
+        let block = match &meta.name {
+            Some(n) => BlockRef::Name(n.clone()),
+            None => BlockRef::Serial(meta.serial),
+        };
+        Ok(Mip {
+            segment: self.heap.segment(seg).name.clone(),
+            block,
+            offset: prim.prim_off,
+        })
+    }
+
+    // ==================================================================
+    // Diff application (§3.1, inverse direction)
+    // ==================================================================
+
+    /// Applies a wire diff to the local cached copy. Public for the
+    /// benchmark harness; normal callers go through the lock API.
+    ///
+    /// # Errors
+    ///
+    /// Wire decoding errors; heap errors on inconsistent diffs.
+    pub fn apply_segment_diff(
+        &mut self,
+        h: &SegHandle,
+        diff: &SegmentDiff,
+    ) -> Result<(), CoreError> {
+        let name = h.name().to_string();
+        let id = self.state(&name)?.id;
+
+        for (serial, ty) in &diff.new_types {
+            self.heap.segment_types_mut(id).install(*serial, ty.clone());
+        }
+        let mut unswz_cache: Option<UnswizzleCache> = None;
+
+        // New blocks arrive in server version-list order; sequential
+        // allocation places same-version blocks contiguously ("data
+        // layout for cache locality", §3.3).
+        for nb in &diff.new_blocks {
+            let ty = self
+                .heap
+                .segment(id)
+                .types
+                .get(nb.type_serial)
+                .ok_or(CoreError::Server(format!(
+                    "diff references unknown type {}",
+                    nb.type_serial
+                )))?
+                .clone();
+            let va = self
+                .heap
+                .alloc_block(id, nb.serial, nb.name.as_deref(), &ty, nb.count)?;
+            let meta = self.heap.segment(id).block_by_serial(nb.serial)?.clone();
+            let prims = meta.prim_count();
+            if prims > 0 {
+                let mut r = WireReader::new(Bytes::from(nb.data.to_vec()));
+                self.apply_run(&meta, 0, prims, &mut r, &mut unswz_cache)?;
+            }
+            self.heap.set_block_version(id, nb.serial, diff.to_version)?;
+            self.stats.prims_received += prims;
+            let _ = va;
+        }
+
+        // Modified blocks, with client-side last-block prediction: "we
+        // predict the next changed block in the diff to be the next
+        // consecutive block in memory for the client".
+        let mut pred: Option<u64> = None; // end VA of last applied block
+        for bd in &diff.block_diffs {
+            self.stats.apply_block_lookups += 1;
+            let mut meta: Option<BlockMeta> = None;
+            if self.opts.prediction {
+                if let Some(end_va) = pred {
+                    if let Ok(idx) = self.heap.subseg_at(end_va.saturating_sub(1)) {
+                        if let Some((va, serial)) =
+                            self.heap.next_block_at_or_after(idx, end_va)
+                        {
+                            if serial == bd.serial {
+                                self.stats.apply_pred_hits += 1;
+                                meta = Some(
+                                    self.heap
+                                        .segment(id)
+                                        .block_by_serial(serial)?
+                                        .clone(),
+                                );
+                                let _ = va;
+                            }
+                        }
+                    }
+                }
+            }
+            let meta = match meta {
+                Some(m) => m,
+                None => self.heap.segment(id).block_by_serial(bd.serial)?.clone(),
+            };
+            for run in &bd.runs {
+                let mut r = WireReader::new(Bytes::from(run.data.to_vec()));
+                self.apply_run(&meta, run.start, run.count, &mut r, &mut unswz_cache)?;
+                self.stats.prims_received += run.count;
+            }
+            self.heap.set_block_version(id, bd.serial, diff.to_version)?;
+            pred = Some(meta.end());
+        }
+
+        for &serial in &diff.freed {
+            // A tombstone for a block this cache never created (e.g. a
+            // create+free pair inside one composed chain, or a server
+            // being conservative) is simply a no-op.
+            let Ok(meta) = self.heap.segment(id).block_by_serial(serial) else {
+                continue;
+            };
+            let (bva, bend) = (meta.va, meta.end());
+            self.heap.free_block(id, serial)?;
+            self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
+        }
+
+        let st = self.state_mut(&name)?;
+        st.version = diff.to_version;
+        self.stats.diffs_applied += 1;
+        Ok(())
+    }
+
+    /// Decodes `count` primitives starting at `start` from `r` into the
+    /// block's local image, bypassing modification tracking (this is a
+    /// library write, not an application write).
+    fn apply_run(
+        &mut self,
+        meta: &BlockMeta,
+        start: u64,
+        count: u64,
+        r: &mut WireReader,
+        unswz_cache: &mut Option<UnswizzleCache>,
+    ) -> Result<(), CoreError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let arch = self.heap.arch().clone();
+        let first = meta.flat.prim_at(start).ok_or_else(|| {
+            CoreError::Server(format!("run start {start} outside block {}", meta.serial))
+        })?;
+        let last = meta.flat.prim_at(start + count - 1).ok_or_else(|| {
+            CoreError::Server(format!(
+                "run end {} outside block {}",
+                start + count - 1,
+                meta.serial
+            ))
+        })?;
+        let span_lo = first.local_off as usize;
+        let span_hi = last.local_off as usize + last.local_size(&arch) as usize;
+        let mut scratch =
+            self.heap.read_bytes(meta.va + span_lo as u64, span_hi - span_lo)?.to_vec();
+        let mut unresolved_ops: Vec<(u64, Option<Mip>)> = Vec::new();
+        let little = arch.endian.is_little();
+        let mut remaining = count;
+        for mut run in meta.flat.seek_prim_runs(start) {
+            if remaining == 0 {
+                break;
+            }
+            run.count = run.count.min(remaining as u32).min(remaining.min(u64::from(u32::MAX)) as u32);
+            remaining -= u64::from(run.count);
+            match run.kind {
+                PrimKind::Ptr => {
+                    let size = arch.pointer_size as usize;
+                    let track_clears = !self.unresolved.is_empty();
+                    for k in 0..run.count {
+                        let loff = run.local_off + k * run.stride;
+                        let off = loff as usize - span_lo;
+                        let mip_bytes = r.get_len_bytes().map_err(CoreError::Wire)?;
+                        let mip_str = std::str::from_utf8(&mip_bytes)
+                            .map_err(|_| CoreError::Wire(
+                                iw_wire::codec::WireError::InvalidUtf8,
+                            ))?;
+                        let field_va = meta.va + u64::from(loff);
+                        let window = &mut scratch[off..off + size];
+                        match self.resolve_mip_cached(mip_str, unswz_cache)? {
+                            ResolvedPtr::Null => {
+                                write_va(window, &arch, 0);
+                                if track_clears {
+                                    unresolved_ops.push((field_va, None));
+                                }
+                            }
+                            ResolvedPtr::Local(va) => {
+                                write_va(window, &arch, va);
+                                if track_clears {
+                                    unresolved_ops.push((field_va, None));
+                                }
+                            }
+                            ResolvedPtr::Unresolved(mip) => {
+                                write_va(window, &arch, 0);
+                                unresolved_ops.push((field_va, Some(mip)));
+                            }
+                        }
+                    }
+                }
+                PrimKind::Str { cap } => {
+                    for k in 0..run.count {
+                        let off = (run.local_off + k * run.stride) as usize - span_lo;
+                        let window = &mut scratch[off..off + cap as usize];
+                        prim_from_wire(r, run.kind, window, &arch, &mut no_pointers_in)
+                            .map_err(CoreError::Wire)?;
+                    }
+                }
+                kind => {
+                    let size = kind.local_size(&arch) as usize;
+                    let base = run.local_off as usize - span_lo;
+                    decode_fixed_run(
+                        r,
+                        &mut scratch[base..],
+                        size,
+                        run.stride as usize,
+                        run.count as usize,
+                        little,
+                    )
+                    .map_err(CoreError::Wire)?;
+                }
+            }
+        }
+        self.heap
+            .bytes_mut_unprotected(meta.va + span_lo as u64, span_hi - span_lo)?
+            .copy_from_slice(&scratch);
+        for (field_va, mip) in unresolved_ops {
+            match mip {
+                Some(m) => {
+                    self.unresolved.insert(field_va, m);
+                }
+                None => {
+                    self.unresolved.remove(&field_va);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a wire MIP string against locally cached segments.
+    pub(crate) fn resolve_mip_to_va(
+        &self,
+        mip_str: &str,
+    ) -> Result<ResolvedPtr, CoreError> {
+        if mip_str.is_empty() {
+            return Ok(ResolvedPtr::Null);
+        }
+        let mip: Mip = mip_str.parse().map_err(CoreError::Wire)?;
+        let Some(seg_id) = self.heap.segment_id(&mip.segment) else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        let seg = self.heap.segment(seg_id);
+        let meta = match &mip.block {
+            BlockRef::Serial(n) => seg.block_by_serial(*n),
+            BlockRef::Name(n) => seg.block_by_name(n),
+        };
+        let Ok(meta) = meta else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        let Some(p) = meta.flat.prim_at(mip.offset) else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        Ok(ResolvedPtr::Local(meta.va + u64::from(p.local_off)))
+    }
+
+    /// As [`Session::resolve_mip_to_va`], with a one-entry prefix cache
+    /// for pointer-dense diff application.
+    fn resolve_mip_cached(
+        &self,
+        mip_str: &str,
+        cache: &mut Option<UnswizzleCache>,
+    ) -> Result<ResolvedPtr, CoreError> {
+        if mip_str.is_empty() {
+            return Ok(ResolvedPtr::Null);
+        }
+        let (prefix, offset) = split_mip_offset(mip_str);
+        if let Some(c) = cache {
+            if c.prefix == prefix {
+                if let Some(run) = &c.run {
+                    if offset >= run.prim_off
+                        && offset < run.prim_off + u64::from(run.count)
+                    {
+                        let k = (offset - run.prim_off) as u32;
+                        return Ok(ResolvedPtr::Local(
+                            c.block_va + u64::from(run.local_off + k * run.stride),
+                        ));
+                    }
+                }
+                return Ok(match c.flat.prim_at(offset) {
+                    Some(p) => ResolvedPtr::Local(c.block_va + u64::from(p.local_off)),
+                    None => {
+                        ResolvedPtr::Unresolved(mip_str.parse().map_err(CoreError::Wire)?)
+                    }
+                });
+            }
+        }
+        let mip: Mip = mip_str.parse().map_err(CoreError::Wire)?;
+        let Some(seg_id) = self.heap.segment_id(&mip.segment) else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        let seg = self.heap.segment(seg_id);
+        let meta = match &mip.block {
+            BlockRef::Serial(n) => seg.block_by_serial(*n),
+            BlockRef::Name(n) => seg.block_by_name(n),
+        };
+        let Ok(meta) = meta else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        *cache = Some(UnswizzleCache {
+            prefix: prefix.to_string(),
+            block_va: meta.va,
+            flat: meta.flat.clone(),
+            run: meta.flat.single_run(),
+        });
+        match meta.flat.prim_at(mip.offset) {
+            Some(p) => Ok(ResolvedPtr::Local(meta.va + u64::from(p.local_off))),
+            None => Ok(ResolvedPtr::Unresolved(mip)),
+        }
+    }
+}
+
+/// Resolution outcome for a wire MIP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ResolvedPtr {
+    Null,
+    Local(u64),
+    Unresolved(Mip),
+}
+
+/// One-entry swizzle cache: consecutive pointers overwhelmingly target
+/// the same block ("blocks modified together in the past tend to be
+/// modified together in the future", §3.3), so the block metadata and the
+/// MIP prefix are reused across a run of pointers.
+struct SwizzleCache {
+    block_lo: u64,
+    block_hi: u64,
+    /// `segment#block` prefix, ready for the offset suffix.
+    prefix: String,
+    /// Arithmetic lookup when the target block is one homogeneous run.
+    run: Option<iw_types::flat::RunRef>,
+}
+
+/// One-entry unswizzle cache: repeated MIP prefixes resolve to the same
+/// block without re-searching the metadata trees.
+struct UnswizzleCache {
+    prefix: String,
+    block_va: u64,
+    flat: std::sync::Arc<iw_types::flat::FlatLayout>,
+    run: Option<iw_types::flat::RunRef>,
+}
+
+/// Splits a MIP string into its `segment#block` prefix and numeric offset
+/// (0 when omitted).
+fn split_mip_offset(s: &str) -> (&str, u64) {
+    if let Some(pos) = s.rfind('#') {
+        let tail = &s[pos + 1..];
+        if !tail.is_empty()
+            && tail.bytes().all(|b| b.is_ascii_digit())
+            && s[..pos].contains('#')
+        {
+            if let Ok(off) = tail.parse::<u64>() {
+                return (&s[..pos], off);
+            }
+        }
+    }
+    (s, 0)
+}
+
+fn push_u64(s: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    s.push_str(std::str::from_utf8(&buf[i..]).expect("digits are ASCII"));
+}
+
+fn unexpected(reply: Reply) -> CoreError {
+    match reply {
+        Reply::Error { message } => CoreError::Server(message),
+        other => CoreError::Server(format!("unexpected reply: {other:?}")),
+    }
+}
+
+/// A run being accumulated across page runs: payload chunks are kept as
+/// cheap `Bytes` handles and concatenated once at the end, so merging N
+/// adjacent page runs is O(total) instead of O(total²).
+struct RunAcc {
+    start: u64,
+    count: u64,
+    chunks: Vec<Bytes>,
+}
+
+/// Appends `run` to `accs`, merging with the previous run when contiguous
+/// in primitive offsets.
+fn push_run(accs: &mut Vec<RunAcc>, run: DiffRun) {
+    if let Some(last) = accs.last_mut() {
+        if last.start + last.count == run.start {
+            last.count += run.count;
+            last.chunks.push(run.data);
+            return;
+        }
+    }
+    accs.push(RunAcc { start: run.start, count: run.count, chunks: vec![run.data] });
+}
+
+/// Finalizes accumulated runs into wire [`DiffRun`]s.
+fn finish_runs(accs: Vec<RunAcc>) -> Vec<DiffRun> {
+    accs.into_iter()
+        .map(|a| {
+            if a.chunks.len() == 1 {
+                let mut chunks = a.chunks;
+                return DiffRun {
+                    start: a.start,
+                    count: a.count,
+                    data: chunks.pop().expect("one chunk"),
+                };
+            }
+            let total: usize = a.chunks.iter().map(Bytes::len).sum();
+            let mut data = Vec::with_capacity(total);
+            for c in &a.chunks {
+                data.extend_from_slice(c);
+            }
+            DiffRun { start: a.start, count: a.count, data: Bytes::from(data) }
+        })
+        .collect()
+}
+
+/// Bulk-encodes `count` fixed-size primitives (each `size` bytes, spaced
+/// `stride` apart in `src`) to big-endian wire format. Packed big-endian
+/// runs are a single memcpy; everything else is a tight loop.
+fn encode_fixed_run(
+    w: &mut WireWriter,
+    src: &[u8],
+    size: usize,
+    stride: usize,
+    count: usize,
+    little: bool,
+) {
+    if count == 0 {
+        return;
+    }
+    if stride == size && (!little || size == 1) {
+        w.put_bytes(&src[..count * size]);
+        return;
+    }
+    if !little {
+        for k in 0..count {
+            w.put_bytes(&src[k * stride..k * stride + size]);
+        }
+        return;
+    }
+    // Little-endian packed runs: size-specialized bswap loops.
+    if stride == size {
+        let data = &src[..count * size];
+        match size {
+            2 => {
+                for c in data.chunks_exact(2) {
+                    let v = u16::from_le_bytes(c.try_into().expect("2B"));
+                    w.put_u16(v);
+                }
+                return;
+            }
+            4 => {
+                for c in data.chunks_exact(4) {
+                    let v = u32::from_le_bytes(c.try_into().expect("4B"));
+                    w.put_u32(v);
+                }
+                return;
+            }
+            8 => {
+                for c in data.chunks_exact(8) {
+                    let v = u64::from_le_bytes(c.try_into().expect("8B"));
+                    w.put_u64(v);
+                }
+                return;
+            }
+            _ => {}
+        }
+    }
+    // Strided or odd-sized: reverse each element through a stack buffer.
+    let mut buf = [0u8; 8];
+    for k in 0..count {
+        let e = &src[k * stride..k * stride + size];
+        for i in 0..size {
+            buf[i] = e[size - 1 - i];
+        }
+        w.put_bytes(&buf[..size]);
+    }
+}
+
+/// Bulk-decodes `count` fixed-size primitives from big-endian wire format
+/// into `dst` (the inverse of [`encode_fixed_run`]).
+fn decode_fixed_run(
+    r: &mut WireReader,
+    dst: &mut [u8],
+    size: usize,
+    stride: usize,
+    count: usize,
+    little: bool,
+) -> Result<(), iw_wire::codec::WireError> {
+    if count == 0 {
+        return Ok(());
+    }
+    if stride == size && (!little || size == 1) {
+        return r.copy_into(&mut dst[..count * size]);
+    }
+    if little && stride == size && matches!(size, 2 | 4 | 8) {
+        let d = &mut dst[..count * size];
+        r.copy_into(d)?;
+        match size {
+            2 => {
+                for c in d.chunks_exact_mut(2) {
+                    c.swap(0, 1);
+                }
+            }
+            4 => {
+                for c in d.chunks_exact_mut(4) {
+                    let v = u32::from_be_bytes((&*c).try_into().expect("4B"));
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            _ => {
+                for c in d.chunks_exact_mut(8) {
+                    let v = u64::from_be_bytes((&*c).try_into().expect("8B"));
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        return Ok(());
+    }
+    let mut buf = [0u8; 8];
+    for k in 0..count {
+        r.copy_into(&mut buf[..size])?;
+        let d = &mut dst[k * stride..k * stride + size];
+        if little && size > 1 {
+            for i in 0..size {
+                d[i] = buf[size - 1 - i];
+            }
+        } else {
+            d.copy_from_slice(&buf[..size]);
+        }
+    }
+    Ok(())
+}
+
+/// Reads a local-format pointer word (a simulated VA).
+pub(crate) fn read_va(window: &[u8], arch: &MachineArch) -> u64 {
+    let little = arch.endian.is_little();
+    match window.len() {
+        4 => {
+            let b: [u8; 4] = window.try_into().expect("4-byte window");
+            if little { u32::from_le_bytes(b) as u64 } else { u32::from_be_bytes(b) as u64 }
+        }
+        8 => {
+            let b: [u8; 8] = window.try_into().expect("8-byte window");
+            if little { u64::from_le_bytes(b) } else { u64::from_be_bytes(b) }
+        }
+        n => unreachable!("pointer windows are 4 or 8 bytes, not {n}"),
+    }
+}
+
+/// Writes a local-format pointer word.
+pub(crate) fn write_va(window: &mut [u8], arch: &MachineArch, va: u64) {
+    let little = arch.endian.is_little();
+    match window.len() {
+        4 => {
+            let v = va as u32;
+            window.copy_from_slice(&if little { v.to_le_bytes() } else { v.to_be_bytes() });
+        }
+        8 => {
+            window
+                .copy_from_slice(&if little { va.to_le_bytes() } else { va.to_be_bytes() });
+        }
+        n => unreachable!("pointer windows are 4 or 8 bytes, not {n}"),
+    }
+}

@@ -1,0 +1,288 @@
+//! Transactions over shared segments.
+//!
+//! The paper's §6 announces this as ongoing work: "We are incorporating
+//! transaction support into InterWeave and studying the interplay of
+//! transactions, RPC, and global shared state." This module implements
+//! that extension on top of the mechanisms the paper already provides:
+//!
+//! - **Write sets** are exactly the page twins: every tracked write under
+//!   a write lock has a pristine copy, so *abort* is "copy the twins
+//!   back" — no extra logging.
+//! - **Commit** collects the per-segment wire diffs and ships them in a
+//!   single [`iw_proto::Request::Commit`], which the server validates
+//!   (locks held, versions current) before applying any entry.
+//! - Blocks allocated inside the transaction are discarded on abort;
+//!   `free` inside a transaction is deferred until commit so the data can
+//!   be resurrected by an abort.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::sync::Arc;
+//! # use iw_core::Session;
+//! # use iw_proto::{Handler, Loopback};
+//! # use iw_server::Server;
+//! # use iw_types::{MachineArch, desc::TypeDesc};
+//! # use parking_lot::Mutex;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+//! # let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv)))?;
+//! let h = s.open_segment("bank/accounts")?;
+//! s.wl_acquire(&h)?;
+//! let a = s.malloc(&h, &TypeDesc::int64(), 1, Some("alice"))?;
+//! let b = s.malloc(&h, &TypeDesc::int64(), 1, Some("bob"))?;
+//! s.write_i64(&a, 100)?;
+//! s.wl_release(&h)?;
+//!
+//! s.tx_begin()?;
+//! s.wl_acquire(&h)?;
+//! s.write_i64(&a, s.read_i64(&a)? - 30)?;
+//! s.write_i64(&b, s.read_i64(&b)? + 30)?;
+//! s.tx_commit()?;                      // both updates, atomically
+//! # Ok(()) }
+//! ```
+
+use iw_proto::msg::{Reply, Request};
+use iw_proto::LockMode;
+use iw_wire::diff::SegmentDiff;
+
+use crate::error::CoreError;
+use crate::session::Session;
+
+/// One commit entry: a segment name and its (possibly empty) diff.
+type CommitEntry = (String, Option<SegmentDiff>);
+
+/// Post-release adaptation inputs per segment: `(name, changed prims,
+/// per-block change fractions)`.
+type AdaptEntry = (String, u64, Vec<(u32, f64)>);
+
+/// State of an open transaction.
+#[derive(Debug, Default)]
+pub(crate) struct TxState {
+    /// Segments write-locked during the transaction, in acquisition
+    /// order.
+    pub segments: Vec<String>,
+}
+
+impl Session {
+    /// `true` while a transaction is open.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Opens a transaction. Until [`Session::tx_commit`] or
+    /// [`Session::tx_abort`], every segment write-locked by this session
+    /// joins the transaction: its `wl_release` is deferred to the commit,
+    /// and frees are buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPath`] when a transaction is already open or a
+    /// write lock is currently held (locks must be acquired *inside* the
+    /// transaction so their twins cover the whole write set).
+    pub fn tx_begin(&mut self) -> Result<(), CoreError> {
+        if self.tx.is_some() {
+            return Err(CoreError::BadPath("transaction already open".into()));
+        }
+        if self
+            .segs
+            .values()
+            .any(|st| st.lock == Some(LockMode::Write))
+        {
+            return Err(CoreError::BadPath(
+                "tx_begin with a write lock already held".into(),
+            ));
+        }
+        self.tx = Some(TxState::default());
+        Ok(())
+    }
+
+    /// Commits the transaction: collects the wire diff of every joined
+    /// segment and applies them at the server in one atomic request,
+    /// then releases the locks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPath`] without an open transaction; translation
+    /// and protocol errors. On a server-side rejection the transaction
+    /// is aborted locally (twins restored) and the server error
+    /// returned.
+    pub fn tx_commit(&mut self) -> Result<(), CoreError> {
+        let tx = self
+            .tx
+            .take()
+            .ok_or_else(|| CoreError::BadPath("no open transaction".into()))?;
+        // Apply deferred frees, then collect per-segment diffs.
+        let mut entries: Vec<CommitEntry> = Vec::new();
+        let mut adapt: Vec<AdaptEntry> = Vec::new();
+        for name in &tx.segments {
+            let (id, pending) = {
+                let st = self.state(name)?;
+                (st.id, st.pending_free.clone())
+            };
+            for serial in pending {
+                let (bva, bend) = {
+                    let meta = self.heap.segment(id).block_by_serial(serial)?;
+                    (meta.va, meta.end())
+                };
+                self.heap.free_block(id, serial)?;
+                self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
+                self.state_mut(name)?.freed.push(serial);
+            }
+            self.state_mut(name)?.pending_free.clear();
+            let h = crate::session::SegHandle::for_name(name);
+            let (diff, changed, fractions) = self.collect_segment_diff(&h)?;
+            let is_empty = diff.new_types.is_empty()
+                && diff.new_blocks.is_empty()
+                && diff.block_diffs.is_empty()
+                && diff.freed.is_empty();
+            entries.push((name.clone(), (!is_empty).then_some(diff)));
+            adapt.push((name.clone(), changed, fractions));
+        }
+        if entries.is_empty() {
+            return Ok(()); // empty transaction
+        }
+        // Group entries by server: each server commits its own segments
+        // atomically. (Cross-server atomicity would need two-phase
+        // commit; this prototype documents per-server atomicity.)
+        let mut by_host: Vec<(String, Vec<CommitEntry>)> = Vec::new();
+        for (name, diff) in &entries {
+            let host = name.split('/').next().unwrap_or("").to_string();
+            match by_host.iter_mut().find(|(h, _)| *h == host) {
+                Some((_, v)) => v.push((name.clone(), diff.clone())),
+                None => by_host.push((host, vec![(name.clone(), diff.clone())])),
+            }
+        }
+        let mut versions: Vec<(String, u64)> = Vec::new();
+        for (_, group) in &by_host {
+            let first_segment = group[0].0.clone();
+            let group_clone = group.clone();
+            let reply = self.request_for(&first_segment, |client| Request::Commit {
+                client,
+                entries: group_clone,
+            })?;
+            match reply {
+                Reply::Committed { versions: vs } => {
+                    for ((name, _), v) in group.iter().zip(vs) {
+                        versions.push((name.clone(), v));
+                    }
+                }
+                Reply::Error { message } => {
+                    // Roll back locally; locks are still ours, so release
+                    // them everywhere.
+                    self.rollback_segments(&tx.segments)?;
+                    for name in &tx.segments {
+                        let n = name.clone();
+                        let _ = self.request_for(&n, |client| Request::Release {
+                            client,
+                            segment: n.clone(),
+                            diff: None,
+                        });
+                        let st = self.state_mut(name)?;
+                        st.lock = None;
+                        st.server_locked = false;
+                    }
+                    return Err(CoreError::Server(message));
+                }
+                other => {
+                    return Err(CoreError::Server(format!(
+                        "unexpected reply: {other:?}"
+                    )))
+                }
+            }
+        }
+        let versions: Vec<u64> = entries
+            .iter()
+            .map(|(n, _)| {
+                versions
+                    .iter()
+                    .find(|(vn, _)| vn == n)
+                    .map(|(_, v)| *v)
+                    .expect("every entry committed")
+            })
+            .collect();
+        for ((name, version), (_, changed, fractions)) in
+            entries.iter().map(|(n, _)| n).zip(versions).zip(adapt)
+        {
+            let id = self.state(name)?.id;
+            self.heap.clear_tracking(id);
+            let total: u64 = self
+                .heap
+                .segment(id)
+                .blocks()
+                .map(iw_heap::BlockMeta::prim_count)
+                .sum();
+            let adapt_on = self.opts.no_diff_adaptation;
+            let st = self.state_mut(name)?;
+            st.version = version;
+            st.lock = None;
+            st.server_locked = false;
+            st.new_blocks.clear();
+            st.freed.clear();
+            st.last_update = std::time::Instant::now();
+            if adapt_on {
+                st.adapt_after_release(changed, total, &fractions);
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts the transaction: every tracked write is rolled back from
+    /// its page twin, blocks allocated inside the transaction are
+    /// discarded, deferred frees are forgotten, and the write locks are
+    /// released with no diff.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadPath`] without an open transaction; heap errors on
+    /// internal inconsistency.
+    pub fn tx_abort(&mut self) -> Result<(), CoreError> {
+        let tx = self
+            .tx
+            .take()
+            .ok_or_else(|| CoreError::BadPath("no open transaction".into()))?;
+        self.rollback_segments(&tx.segments)?;
+        for name in &tx.segments {
+            let n = name.clone();
+            let reply = self.request_for(&n, |client| Request::Release {
+                client,
+                segment: n.clone(),
+                diff: None,
+            })?;
+            if !matches!(reply, Reply::Released { .. }) {
+                return Err(CoreError::Server(format!("unexpected reply: {reply:?}")));
+            }
+            let st = self.state_mut(name)?;
+            st.lock = None;
+            st.server_locked = false;
+        }
+        Ok(())
+    }
+
+    /// Restores local state of the given segments to their
+    /// pre-transaction content.
+    fn rollback_segments(&mut self, segments: &[String]) -> Result<(), CoreError> {
+        for name in segments {
+            let (id, new_blocks) = {
+                let st = self.state(name)?;
+                (st.id, st.new_blocks.clone())
+            };
+            // Undo tracked writes from twins, then discard tx-allocated
+            // blocks (their contents are gone with them).
+            self.heap.restore_segment_twins(id);
+            for serial in new_blocks {
+                let (bva, bend) = {
+                    let meta = self.heap.segment(id).block_by_serial(serial)?;
+                    (meta.va, meta.end())
+                };
+                self.heap.free_block(id, serial)?;
+                self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
+            }
+            let st = self.state_mut(name)?;
+            st.new_blocks.clear();
+            st.freed.clear();
+            st.pending_free.clear();
+        }
+        Ok(())
+    }
+}

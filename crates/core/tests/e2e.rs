@@ -1,0 +1,512 @@
+//! End-to-end tests: sessions on (simulated) heterogeneous machines
+//! sharing segments through a real server over the loopback transport.
+
+use std::sync::Arc;
+
+use iw_core::{Session, SessionOptions};
+use iw_proto::{Coherence, Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::idl;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+
+fn server() -> Arc<Mutex<dyn Handler>> {
+    Arc::new(Mutex::new(Server::new()))
+}
+
+fn session_on(srv: &Arc<Mutex<dyn Handler>>, arch: MachineArch) -> Session {
+    Session::new(arch, Box::new(Loopback::new(srv.clone()))).unwrap()
+}
+
+#[test]
+fn scalar_sharing_across_all_architecture_pairs() {
+    for writer_arch in MachineArch::all() {
+        for reader_arch in MachineArch::all() {
+            let srv = server();
+            let mut w = session_on(&srv, writer_arch.clone());
+            let mut r = session_on(&srv, reader_arch.clone());
+
+            let ty = idl::compile(
+                "struct rec { char c; short s; int i; hyper h; float f; double d; };",
+            )
+            .unwrap()
+            .get("rec")
+            .unwrap()
+            .clone();
+
+            let h = w.open_segment("x/scalars").unwrap();
+            w.wl_acquire(&h).unwrap();
+            let p = w.malloc(&h, &ty, 1, Some("rec")).unwrap();
+            w.write_char(&w.field(&p, "c").unwrap(), 0x7A).unwrap();
+            w.write_i16(&w.field(&p, "s").unwrap(), -1234).unwrap();
+            w.write_i32(&w.field(&p, "i").unwrap(), -56789).unwrap();
+            w.write_i64(&w.field(&p, "h").unwrap(), -987654321012345).unwrap();
+            w.write_f32(&w.field(&p, "f").unwrap(), 1.5e-3).unwrap();
+            w.write_f64(&w.field(&p, "d").unwrap(), -2.25e8).unwrap();
+            w.wl_release(&h).unwrap();
+
+            let h2 = r.open_segment("x/scalars").unwrap();
+            r.rl_acquire(&h2).unwrap();
+            let q = r.mip_to_ptr("x/scalars#rec").unwrap();
+            assert_eq!(r.read_char(&r.field(&q, "c").unwrap()).unwrap(), 0x7A);
+            assert_eq!(r.read_i16(&r.field(&q, "s").unwrap()).unwrap(), -1234);
+            assert_eq!(r.read_i32(&r.field(&q, "i").unwrap()).unwrap(), -56789);
+            assert_eq!(
+                r.read_i64(&r.field(&q, "h").unwrap()).unwrap(),
+                -987654321012345
+            );
+            assert_eq!(r.read_f32(&r.field(&q, "f").unwrap()).unwrap(), 1.5e-3);
+            assert_eq!(r.read_f64(&r.field(&q, "d").unwrap()).unwrap(), -2.25e8);
+            r.rl_release(&h2).unwrap();
+        }
+    }
+}
+
+#[test]
+fn linked_list_shared_between_le_and_be_machines() {
+    let srv = server();
+    let mut x86 = session_on(&srv, MachineArch::x86());
+    let mut sparc = session_on(&srv, MachineArch::sparc_v9());
+
+    let node_t = idl::compile("struct node { int key; struct node *next; };")
+        .unwrap()
+        .get("node")
+        .unwrap()
+        .clone();
+
+    // x86 builds the paper's list: head -> 3 -> 2 -> 1.
+    let h = x86.open_segment("host/list").unwrap();
+    x86.wl_acquire(&h).unwrap();
+    let head = x86.malloc(&h, &node_t, 1, Some("head")).unwrap();
+    for key in [1, 2, 3] {
+        let n = x86.malloc(&h, &node_t, 1, None).unwrap();
+        x86.write_i32(&x86.field(&n, "key").unwrap(), key).unwrap();
+        let old_first = x86.read_ptr(&x86.field(&head, "next").unwrap()).unwrap();
+        x86.write_ptr(&x86.field(&n, "next").unwrap(), old_first.as_ref())
+            .unwrap();
+        x86.write_ptr(&x86.field(&head, "next").unwrap(), Some(&n))
+            .unwrap();
+    }
+    x86.wl_release(&h).unwrap();
+
+    // SPARC walks it.
+    let h2 = sparc.open_segment("host/list").unwrap();
+    sparc.rl_acquire(&h2).unwrap();
+    let head2 = sparc.mip_to_ptr("host/list#head").unwrap();
+    let mut keys = Vec::new();
+    let mut p = sparc.read_ptr(&sparc.field(&head2, "next").unwrap()).unwrap();
+    while let Some(node) = p {
+        keys.push(sparc.read_i32(&sparc.field(&node, "key").unwrap()).unwrap());
+        p = sparc.read_ptr(&sparc.field(&node, "next").unwrap()).unwrap();
+    }
+    assert_eq!(keys, vec![3, 2, 1]);
+    sparc.rl_release(&h2).unwrap();
+
+    // SPARC inserts 4 at the front; x86 sees it.
+    sparc.wl_acquire(&h2).unwrap();
+    let n = sparc.malloc(&h2, &node_t, 1, None).unwrap();
+    sparc.write_i32(&sparc.field(&n, "key").unwrap(), 4).unwrap();
+    let old = sparc.read_ptr(&sparc.field(&head2, "next").unwrap()).unwrap();
+    sparc
+        .write_ptr(&sparc.field(&n, "next").unwrap(), old.as_ref())
+        .unwrap();
+    sparc
+        .write_ptr(&sparc.field(&head2, "next").unwrap(), Some(&n))
+        .unwrap();
+    sparc.wl_release(&h2).unwrap();
+
+    x86.rl_acquire(&h).unwrap();
+    let mut keys = Vec::new();
+    let mut p = x86.read_ptr(&x86.field(&head, "next").unwrap()).unwrap();
+    while let Some(node) = p {
+        keys.push(x86.read_i32(&x86.field(&node, "key").unwrap()).unwrap());
+        p = x86.read_ptr(&x86.field(&node, "next").unwrap()).unwrap();
+    }
+    assert_eq!(keys, vec![4, 3, 2, 1]);
+    x86.rl_release(&h).unwrap();
+}
+
+#[test]
+fn strings_cross_architecture() {
+    let srv = server();
+    let mut a = session_on(&srv, MachineArch::alpha());
+    let mut b = session_on(&srv, MachineArch::mips32());
+
+    let ty = idl::compile("struct msg { string text<64>; string tag<4>; };")
+        .unwrap()
+        .get("msg")
+        .unwrap()
+        .clone();
+    let h = a.open_segment("m/s").unwrap();
+    a.wl_acquire(&h).unwrap();
+    let p = a.malloc(&h, &ty, 1, Some("the_msg")).unwrap();
+    a.write_str(&a.field(&p, "text").unwrap(), "hello, heterogeneous world")
+        .unwrap();
+    a.write_str(&a.field(&p, "tag").unwrap(), "xyz").unwrap();
+    a.wl_release(&h).unwrap();
+
+    let h2 = b.open_segment("m/s").unwrap();
+    b.rl_acquire(&h2).unwrap();
+    let q = b.mip_to_ptr("m/s#the_msg").unwrap();
+    assert_eq!(
+        b.read_str(&b.field(&q, "text").unwrap()).unwrap(),
+        "hello, heterogeneous world"
+    );
+    assert_eq!(b.read_str(&b.field(&q, "tag").unwrap()).unwrap(), "xyz");
+    // Over-capacity writes are rejected.
+    b.rl_release(&h2).unwrap();
+    b.wl_acquire(&h2).unwrap();
+    assert!(b
+        .write_str(&b.field(&q, "tag").unwrap(), "toolong")
+        .is_err());
+    b.wl_release(&h2).unwrap();
+}
+
+#[test]
+fn incremental_diffs_transfer_less_than_full_segment() {
+    let srv = server();
+    let mut w = session_on(&srv, MachineArch::x86());
+    let mut r = session_on(&srv, MachineArch::x86());
+
+    let h = w.open_segment("d/inc").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let arr = w.malloc(&h, &TypeDesc::int32(), 10_000, Some("arr")).unwrap();
+    for i in 0..10_000 {
+        let e = w.index(&arr, i).unwrap();
+        w.write_i32(&e, i as i32).unwrap();
+    }
+    w.wl_release(&h).unwrap();
+
+    // Reader caches the whole thing.
+    let h2 = r.open_segment("d/inc").unwrap();
+    r.rl_acquire(&h2).unwrap();
+    r.rl_release(&h2).unwrap();
+    let full = r.transport_stats().bytes_received;
+
+    // One element changes.
+    w.wl_acquire(&h).unwrap();
+    let e = w.index(&arr, 777).unwrap();
+    w.write_i32(&e, -1).unwrap();
+    w.wl_release(&h).unwrap();
+
+    r.reset_transport_stats();
+    r.rl_acquire(&h2).unwrap();
+    let q = r.mip_to_ptr("d/inc#arr").unwrap();
+    assert_eq!(r.read_i32(&r.index(&q, 777).unwrap()).unwrap(), -1);
+    assert_eq!(r.read_i32(&r.index(&q, 776).unwrap()).unwrap(), 776);
+    r.rl_release(&h2).unwrap();
+    let incremental = r.transport_stats().bytes_received;
+    assert!(
+        incremental * 20 < full,
+        "incremental update ({incremental} B) should be far below full transfer ({full} B)"
+    );
+}
+
+#[test]
+fn delta_coherence_skips_updates() {
+    let srv = server();
+    let mut w = session_on(&srv, MachineArch::x86());
+    let mut r = session_on(&srv, MachineArch::x86());
+
+    let h = w.open_segment("c/delta").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let x = w.malloc(&h, &TypeDesc::int32(), 1, Some("x")).unwrap();
+    w.write_i32(&x, 0).unwrap();
+    w.wl_release(&h).unwrap();
+
+    let h2 = r.open_segment("c/delta").unwrap();
+    r.set_coherence(&h2, Coherence::Delta(2)).unwrap();
+    r.rl_acquire(&h2).unwrap();
+    let q = r.mip_to_ptr("c/delta#x").unwrap();
+    assert_eq!(r.read_i32(&q).unwrap(), 0);
+    r.rl_release(&h2).unwrap();
+
+    // One more version: within delta-2, reader may stay stale.
+    w.wl_acquire(&h).unwrap();
+    w.write_i32(&x, 1).unwrap();
+    w.wl_release(&h).unwrap();
+    r.rl_acquire(&h2).unwrap();
+    assert_eq!(r.read_i32(&q).unwrap(), 0, "delta(2) tolerates 1 version");
+    r.rl_release(&h2).unwrap();
+
+    // Two more versions: now 3 behind, must update.
+    for v in 2..=3 {
+        w.wl_acquire(&h).unwrap();
+        w.write_i32(&x, v).unwrap();
+        w.wl_release(&h).unwrap();
+    }
+    r.rl_acquire(&h2).unwrap();
+    assert_eq!(r.read_i32(&q).unwrap(), 3, "delta(2) must refresh at 3 stale");
+    r.rl_release(&h2).unwrap();
+}
+
+#[test]
+fn diff_coherence_tracks_modified_fraction() {
+    let srv = server();
+    let mut w = session_on(&srv, MachineArch::x86());
+    let mut r = session_on(&srv, MachineArch::x86());
+
+    let h = w.open_segment("c/diffco").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let arr = w.malloc(&h, &TypeDesc::int32(), 1600, Some("arr")).unwrap();
+    w.wl_release(&h).unwrap();
+
+    let h2 = r.open_segment("c/diffco").unwrap();
+    // Allow up to 5% stale data.
+    r.set_coherence(&h2, Coherence::diff_percent(5.0)).unwrap();
+    r.rl_acquire(&h2).unwrap();
+    r.rl_release(&h2).unwrap();
+
+    // Modify one subblock (16 prims of 1600 = 1%): under the bound.
+    w.wl_acquire(&h).unwrap();
+    w.write_i32(&w.index(&arr, 0).unwrap(), 9).unwrap();
+    w.wl_release(&h).unwrap();
+    r.rl_acquire(&h2).unwrap();
+    let q = r.mip_to_ptr("c/diffco#arr").unwrap();
+    assert_eq!(
+        r.read_i32(&r.index(&q, 0).unwrap()).unwrap(),
+        0,
+        "1% stale is within a 5% bound"
+    );
+    r.rl_release(&h2).unwrap();
+
+    // Modify 10% of elements: bound exceeded, refresh required.
+    w.wl_acquire(&h).unwrap();
+    for i in 0..160 {
+        w.write_i32(&w.index(&arr, i * 10).unwrap(), 7).unwrap();
+    }
+    w.wl_release(&h).unwrap();
+    r.rl_acquire(&h2).unwrap();
+    assert_eq!(r.read_i32(&r.index(&q, 0).unwrap()).unwrap(), 7);
+    r.rl_release(&h2).unwrap();
+}
+
+#[test]
+fn temporal_coherence_avoids_server_traffic_while_fresh() {
+    let srv = server();
+    let mut w = session_on(&srv, MachineArch::x86());
+    let mut r = session_on(&srv, MachineArch::x86());
+
+    let h = w.open_segment("c/temp").unwrap();
+    w.wl_acquire(&h).unwrap();
+    w.malloc(&h, &TypeDesc::int32(), 4, Some("arr")).unwrap();
+    w.wl_release(&h).unwrap();
+
+    let h2 = r.open_segment("c/temp").unwrap();
+    r.set_coherence(&h2, Coherence::Temporal(60_000)).unwrap();
+    r.rl_acquire(&h2).unwrap();
+    r.rl_release(&h2).unwrap();
+    let after_first = r.transport_stats().requests;
+
+    // Within the 60 s window: no server round trips at all.
+    for _ in 0..10 {
+        r.rl_acquire(&h2).unwrap();
+        r.rl_release(&h2).unwrap();
+    }
+    assert_eq!(
+        r.transport_stats().requests,
+        after_first,
+        "fresh temporal reads must be communication-free"
+    );
+}
+
+#[test]
+fn writer_exclusion_reports_busy_to_second_writer() {
+    let srv = server();
+    let mut a = session_on(&srv, MachineArch::x86());
+    let mut b = Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(srv.clone())),
+        SessionOptions { lock_retries: 2, lock_backoff_us: 1, ..Default::default() },
+    )
+    .unwrap();
+
+    let ha = a.open_segment("l/x").unwrap();
+    let hb = b.open_segment("l/x").unwrap();
+    a.wl_acquire(&ha).unwrap();
+    let err = b.wl_acquire(&hb).unwrap_err();
+    assert!(matches!(err, iw_core::CoreError::LockTimeout(_)), "{err}");
+    a.wl_release(&ha).unwrap();
+    b.wl_acquire(&hb).unwrap();
+    b.wl_release(&hb).unwrap();
+}
+
+#[test]
+fn free_propagates_to_other_clients() {
+    let srv = server();
+    let mut a = session_on(&srv, MachineArch::x86());
+    let mut b = session_on(&srv, MachineArch::x86());
+
+    let ty = TypeDesc::int32();
+    let ha = a.open_segment("f/p").unwrap();
+    a.wl_acquire(&ha).unwrap();
+    let keep = a.malloc(&ha, &ty, 4, Some("keep")).unwrap();
+    let _goner = a.malloc(&ha, &ty, 4, Some("goner")).unwrap();
+    a.wl_release(&ha).unwrap();
+
+    let hb = b.open_segment("f/p").unwrap();
+    b.rl_acquire(&hb).unwrap();
+    assert!(b.mip_to_ptr("f/p#goner").is_ok());
+    b.rl_release(&hb).unwrap();
+
+    a.wl_acquire(&ha).unwrap();
+    let goner = a.mip_to_ptr("f/p#goner").unwrap();
+    a.free(&ha, &goner).unwrap();
+    a.wl_release(&ha).unwrap();
+
+    b.rl_acquire(&hb).unwrap();
+    assert!(b.mip_to_ptr("f/p#goner").is_err(), "freed block must vanish");
+    assert!(b.mip_to_ptr("f/p#keep").is_ok());
+    b.rl_release(&hb).unwrap();
+    let _ = keep;
+}
+
+#[test]
+fn cross_segment_pointers_resolve_lazily() {
+    let srv = server();
+    let mut a = session_on(&srv, MachineArch::x86());
+    let mut b = session_on(&srv, MachineArch::alpha());
+
+    // Segment "data" holds an int; segment "dir" holds a pointer to it.
+    let ha = a.open_segment("x/data").unwrap();
+    a.wl_acquire(&ha).unwrap();
+    let value = a.malloc(&ha, &TypeDesc::int32(), 1, Some("value")).unwrap();
+    a.write_i32(&value, 424242).unwrap();
+    a.wl_release(&ha).unwrap();
+
+    let hd = a.open_segment("x/dir").unwrap();
+    a.wl_acquire(&hd).unwrap();
+    let slot = a.malloc(&hd, &TypeDesc::pointer(), 1, Some("slot")).unwrap();
+    a.write_ptr(&slot, Some(&value)).unwrap();
+    a.wl_release(&hd).unwrap();
+
+    // b opens only the directory; following the pointer faults in the
+    // data segment on demand.
+    let hb = b.open_segment("x/dir").unwrap();
+    b.rl_acquire(&hb).unwrap();
+    let slot_b = b.mip_to_ptr("x/dir#slot").unwrap();
+    let target = b.read_ptr(&slot_b).unwrap().expect("non-null");
+    // Target segment must require a lock for data access.
+    let hdata = b.open_segment("x/data").unwrap();
+    b.rl_acquire(&hdata).unwrap();
+    assert_eq!(b.read_i32(&target).unwrap(), 424242);
+    b.rl_release(&hdata).unwrap();
+    b.rl_release(&hb).unwrap();
+}
+
+#[test]
+fn no_diff_mode_engages_under_heavy_writes() {
+    let srv = server();
+    let mut w = session_on(&srv, MachineArch::x86());
+    let h = w.open_segment("nd/seg").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let arr = w.malloc(&h, &TypeDesc::int32(), 1024, Some("arr")).unwrap();
+    w.wl_release(&h).unwrap();
+
+    // Rewrite the whole array repeatedly.
+    for round in 0..4 {
+        w.wl_acquire(&h).unwrap();
+        for i in 0..1024 {
+            w.write_i32(&w.index(&arr, i).unwrap(), round * 10_000 + i as i32)
+                .unwrap();
+        }
+        w.wl_release(&h).unwrap();
+    }
+    // Whether or not mode internals are visible, correctness holds: a
+    // reader sees the last round.
+    let mut r = session_on(&srv, MachineArch::x86());
+    let h2 = r.open_segment("nd/seg").unwrap();
+    r.rl_acquire(&h2).unwrap();
+    let q = r.mip_to_ptr("nd/seg#arr").unwrap();
+    assert_eq!(r.read_i32(&r.index(&q, 1023).unwrap()).unwrap(), 3 * 10_000 + 1023);
+    r.rl_release(&h2).unwrap();
+}
+
+#[test]
+fn type_mismatch_and_lock_violations_are_caught() {
+    let srv = server();
+    let mut s = session_on(&srv, MachineArch::x86());
+    let h = s.open_segment("err/seg").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let p = s.malloc(&h, &TypeDesc::int32(), 1, Some("x")).unwrap();
+    // Wrong type.
+    assert!(matches!(
+        s.read_f64(&p),
+        Err(iw_core::CoreError::TypeMismatch { .. })
+    ));
+    s.wl_release(&h).unwrap();
+    // Write without lock.
+    assert!(matches!(
+        s.write_i32(&p, 5),
+        Err(iw_core::CoreError::NotLocked { .. })
+    ));
+    // Read without lock.
+    assert!(matches!(
+        s.read_i32(&p),
+        Err(iw_core::CoreError::NotLocked { .. })
+    ));
+    // Read lock does not allow writes.
+    s.rl_acquire(&h).unwrap();
+    assert!(matches!(
+        s.write_i32(&p, 5),
+        Err(iw_core::CoreError::NotLocked { write: true, .. })
+    ));
+    assert_eq!(s.read_i32(&p).unwrap(), 0);
+    s.rl_release(&h).unwrap();
+}
+
+#[test]
+fn mips_roundtrip_through_ptr_to_mip() {
+    let srv = server();
+    let mut s = session_on(&srv, MachineArch::x86());
+    let ty = idl::compile("struct pair { int a; int b; };")
+        .unwrap()
+        .get("pair")
+        .unwrap()
+        .clone();
+    let h = s.open_segment("mips/seg").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let p = s.malloc(&h, &ty, 8, Some("pairs")).unwrap();
+    let third_b = s.field(&s.index(&p, 3).unwrap(), "b").unwrap();
+    let mip = s.ptr_to_mip(&third_b).unwrap();
+    assert_eq!(mip, "mips/seg#pairs#7"); // element 3, field b = prim 7
+    let back = s.mip_to_ptr(&mip).unwrap();
+    assert_eq!(back.va(), third_b.va());
+    s.wl_release(&h).unwrap();
+}
+
+#[test]
+fn concurrent_writers_over_threads() {
+    let srv = server();
+    let mut init = session_on(&srv, MachineArch::x86());
+    let h = init.open_segment("mt/ctr").unwrap();
+    init.wl_acquire(&h).unwrap();
+    init.malloc(&h, &TypeDesc::int32(), 1, Some("ctr")).unwrap();
+    init.wl_release(&h).unwrap();
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let srv = srv.clone();
+            std::thread::spawn(move || {
+                let mut s = session_on(&srv, MachineArch::x86());
+                let h = s.open_segment("mt/ctr").unwrap();
+                for _ in 0..25 {
+                    s.wl_acquire(&h).unwrap();
+                    let p = s.mip_to_ptr("mt/ctr#ctr").unwrap();
+                    let v = s.read_i32(&p).unwrap();
+                    s.write_i32(&p, v + 1).unwrap();
+                    s.wl_release(&h).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    init.rl_acquire(&h).unwrap();
+    let p = init.mip_to_ptr("mt/ctr#ctr").unwrap();
+    assert_eq!(init.read_i32(&p).unwrap(), 100, "lost update detected");
+    init.rl_release(&h).unwrap();
+}

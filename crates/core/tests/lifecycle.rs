@@ -1,0 +1,159 @@
+//! Segment lifecycle: close/reopen, cross-segment pointer demotion on
+//! close, temporal coherence expiry, and introspection.
+
+use std::sync::Arc;
+
+use iw_core::{CoreError, Session};
+use iw_proto::{Coherence, Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+
+fn server() -> Arc<Mutex<dyn Handler>> {
+    Arc::new(Mutex::new(Server::new()))
+}
+
+fn session(srv: &Arc<Mutex<dyn Handler>>) -> Session {
+    Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap()
+}
+
+#[test]
+fn close_and_reopen_resyncs() {
+    let srv = server();
+    let mut s = session(&srv);
+    let h = s.open_segment("lc/a").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let p = s.malloc(&h, &TypeDesc::int32(), 4, Some("x")).unwrap();
+    s.write_i32(&s.index(&p, 0).unwrap(), 7).unwrap();
+    s.wl_release(&h).unwrap();
+
+    s.close_segment(&h).unwrap();
+    assert!(s.segments().is_empty());
+    // Accessing the old pointer now fails cleanly.
+    assert!(s.rl_acquire(&h).is_err(), "closed handle must not re-lock");
+
+    // Reopen: fresh fetch brings the data back.
+    let h2 = s.open_segment("lc/a").unwrap();
+    s.rl_acquire(&h2).unwrap();
+    let p2 = s.mip_to_ptr("lc/a#x").unwrap();
+    assert_eq!(s.read_i32(&s.index(&p2, 0).unwrap()).unwrap(), 7);
+    s.rl_release(&h2).unwrap();
+}
+
+#[test]
+fn close_demotes_cross_segment_pointers() {
+    let srv = server();
+    let mut s = session(&srv);
+    // data segment with a target; dir segment pointing at it.
+    let hd = s.open_segment("lc/data").unwrap();
+    s.wl_acquire(&hd).unwrap();
+    let target = s.malloc(&hd, &TypeDesc::int32(), 1, Some("t")).unwrap();
+    s.write_i32(&target, 5).unwrap();
+    s.wl_release(&hd).unwrap();
+
+    let hr = s.open_segment("lc/dir").unwrap();
+    s.wl_acquire(&hr).unwrap();
+    let slot = s.malloc(&hr, &TypeDesc::pointer(), 1, Some("slot")).unwrap();
+    s.write_ptr(&slot, Some(&target)).unwrap();
+    s.wl_release(&hr).unwrap();
+
+    // Close the *target* segment: the dir's pointer must survive as an
+    // unresolved MIP and re-resolve on next dereference.
+    s.close_segment(&hd).unwrap();
+    s.rl_acquire(&hr).unwrap();
+    let slot2 = s.mip_to_ptr("lc/dir#slot").unwrap();
+    let back = s.read_ptr(&slot2).unwrap().expect("refetches on demand");
+    let hd2 = s.open_segment("lc/data").unwrap();
+    s.rl_acquire(&hd2).unwrap();
+    assert_eq!(s.read_i32(&back).unwrap(), 5);
+    s.rl_release(&hd2).unwrap();
+    s.rl_release(&hr).unwrap();
+}
+
+#[test]
+fn close_is_refused_inside_transactions() {
+    let srv = server();
+    let mut s = session(&srv);
+    let h = s.open_segment("lc/tx").unwrap();
+    s.tx_begin().unwrap();
+    s.wl_acquire(&h).unwrap();
+    assert!(matches!(s.close_segment(&h), Err(CoreError::BadPath(_))));
+    s.tx_abort().unwrap();
+    s.close_segment(&h).unwrap();
+}
+
+#[test]
+fn temporal_expiry_triggers_refetch() {
+    let srv = server();
+    let mut w = session(&srv);
+    let mut r = session(&srv);
+    let h = w.open_segment("lc/temp").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let x = w.malloc(&h, &TypeDesc::int32(), 1, Some("x")).unwrap();
+    w.write_i32(&x, 1).unwrap();
+    w.wl_release(&h).unwrap();
+
+    let hr = r.open_segment("lc/temp").unwrap();
+    // Phase 1: a generous bound so scheduler jitter cannot expire it.
+    r.set_coherence(&hr, Coherence::Temporal(600_000)).unwrap();
+    r.rl_acquire(&hr).unwrap();
+    let p = r.mip_to_ptr("lc/temp#x").unwrap();
+    assert_eq!(r.read_i32(&p).unwrap(), 1);
+    r.rl_release(&hr).unwrap();
+
+    w.wl_acquire(&h).unwrap();
+    w.write_i32(&x, 2).unwrap();
+    w.wl_release(&h).unwrap();
+
+    // Within the (10-minute) bound: stale value acceptable.
+    r.rl_acquire(&hr).unwrap();
+    assert_eq!(r.read_i32(&p).unwrap(), 1);
+    r.rl_release(&hr).unwrap();
+
+    // Phase 2: shrink the bound below the elapsed time: must refetch.
+    r.set_coherence(&hr, Coherence::Temporal(1)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    r.rl_acquire(&hr).unwrap();
+    assert_eq!(r.read_i32(&p).unwrap(), 2, "temporal bound expired");
+    r.rl_release(&hr).unwrap();
+}
+
+#[test]
+fn introspection_reports_versions() {
+    let srv = server();
+    let mut s = session(&srv);
+    let ha = s.open_segment("lc/v/a").unwrap();
+    let hb = s.open_segment("lc/v/b").unwrap();
+    assert_eq!(s.segment_version(&ha).unwrap(), 0);
+    s.wl_acquire(&ha).unwrap();
+    s.malloc(&ha, &TypeDesc::int32(), 1, None).unwrap();
+    s.wl_release(&ha).unwrap();
+    assert_eq!(s.segment_version(&ha).unwrap(), 1);
+    assert_eq!(s.segment_version(&hb).unwrap(), 0);
+    let listed = s.segments();
+    assert_eq!(
+        listed,
+        vec![("lc/v/a".to_string(), 1), ("lc/v/b".to_string(), 0)]
+    );
+}
+
+#[test]
+fn locks_do_not_nest() {
+    let srv = server();
+    let mut s = session(&srv);
+    let h = s.open_segment("lc/nest").unwrap();
+    s.wl_acquire(&h).unwrap();
+    // Re-acquiring in either mode is a usage error, and must not disturb
+    // block tracking for the open critical section.
+    assert!(matches!(s.wl_acquire(&h), Err(CoreError::BadPath(_))));
+    assert!(matches!(s.rl_acquire(&h), Err(CoreError::BadPath(_))));
+    let p = s.malloc(&h, &TypeDesc::int32(), 1, Some("x")).unwrap();
+    s.write_i32(&p, 3).unwrap();
+    s.wl_release(&h).unwrap();
+
+    s.rl_acquire(&h).unwrap();
+    assert!(matches!(s.rl_acquire(&h), Err(CoreError::BadPath(_))));
+    assert_eq!(s.read_i32(&p).unwrap(), 3);
+    s.rl_release(&h).unwrap();
+}

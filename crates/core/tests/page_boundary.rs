@@ -1,0 +1,133 @@
+//! Page-boundary corners of diff collection: primitives that straddle two
+//! pages must be translated exactly once even when both pages are dirty,
+//! and runs that meet at page boundaries must merge.
+
+use std::sync::Arc;
+
+use iw_core::{Session, SessionOptions};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::{idl, MachineArch};
+use parking_lot::Mutex;
+
+fn tiny_page_session(srv: &Arc<Mutex<dyn Handler>>) -> Session {
+    Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(srv.clone())),
+        SessionOptions { page_size: Some(256), ..Default::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn straddling_primitive_emitted_once() {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut w = tiny_page_session(&srv);
+    // struct { char c[4]; double d[64]; } on x86 puts doubles at offsets
+    // 4, 12, …, 508 — several straddle the 256-byte page boundary.
+    let ty = idl::compile("struct s { char c[4]; double d[64]; };")
+        .unwrap()
+        .get("s")
+        .unwrap()
+        .clone();
+    let h = w.open_segment("pb/seg").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let p = w.malloc(&h, &ty, 1, Some("s")).unwrap();
+    w.wl_release(&h).unwrap();
+
+    w.wl_acquire(&h).unwrap();
+    let d = w.field(&p, "d").unwrap();
+    for i in 0..64 {
+        let cell = w.index(&d, i).unwrap();
+        w.write_f64(&cell, i as f64 + 0.5).unwrap();
+    }
+    let (diff, changed, _) = w.collect_segment_diff(&h).unwrap();
+    // 64 doubles + maybe chars spliced in: every primitive once.
+    let total_runs_prims: u64 = diff
+        .block_diffs
+        .iter()
+        .flat_map(|b| &b.runs)
+        .map(|r| r.count)
+        .sum();
+    assert_eq!(changed, total_runs_prims);
+    assert!(
+        total_runs_prims <= 68,
+        "no primitive may be double-counted: {total_runs_prims}"
+    );
+    // Runs within one block must never overlap.
+    for b in &diff.block_diffs {
+        let mut prev_end = 0u64;
+        for r in &b.runs {
+            assert!(r.start >= prev_end, "overlapping runs at {}", r.start);
+            prev_end = r.start + r.count;
+        }
+    }
+    w.wl_release(&h).unwrap();
+
+    // And a standard-page reader decodes it all correctly.
+    let mut r = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv)))
+        .unwrap();
+    let hr = r.open_segment("pb/seg").unwrap();
+    r.rl_acquire(&hr).unwrap();
+    let q = r.mip_to_ptr("pb/seg#s").unwrap();
+    let dq = r.field(&q, "d").unwrap();
+    for i in 0..64 {
+        assert_eq!(
+            r.read_f64(&r.index(&dq, i).unwrap()).unwrap(),
+            i as f64 + 0.5
+        );
+    }
+    r.rl_release(&hr).unwrap();
+}
+
+#[test]
+fn sparse_writes_in_distinct_pages_stay_distinct_runs() {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut w = tiny_page_session(&srv);
+    let h = w.open_segment("pb/sparse").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let ty = iw_types::desc::TypeDesc::int32();
+    let p = w.malloc(&h, &ty, 1024, Some("a")).unwrap(); // 4 KiB = 16 pages
+    w.wl_release(&h).unwrap();
+
+    w.wl_acquire(&h).unwrap();
+    // One int in page 0, one in page 8.
+    w.write_i32(&w.index(&p, 1).unwrap(), -1).unwrap();
+    w.write_i32(&w.index(&p, 8 * 64 + 3).unwrap(), -2).unwrap();
+    let (diff, changed, _) = w.collect_segment_diff(&h).unwrap();
+    assert_eq!(changed, 2);
+    let runs: Vec<(u64, u64)> = diff
+        .block_diffs
+        .iter()
+        .flat_map(|b| &b.runs)
+        .map(|r| (r.start, r.count))
+        .collect();
+    assert_eq!(runs, vec![(1, 1), (515, 1)]);
+    w.wl_release(&h).unwrap();
+}
+
+#[test]
+fn adjacent_page_runs_merge_into_one_wire_run() {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut w = tiny_page_session(&srv);
+    let h = w.open_segment("pb/merge").unwrap();
+    w.wl_acquire(&h).unwrap();
+    let ty = iw_types::desc::TypeDesc::int32();
+    let p = w.malloc(&h, &ty, 256, Some("a")).unwrap(); // 1 KiB = 4 pages
+    w.wl_release(&h).unwrap();
+
+    w.wl_acquire(&h).unwrap();
+    // Contiguous write spanning all four pages.
+    for i in 0..256 {
+        w.write_i32(&w.index(&p, i).unwrap(), i as i32 + 1000).unwrap();
+    }
+    let (diff, _, _) = w.collect_segment_diff(&h).unwrap();
+    let runs: Vec<(u64, u64)> = diff
+        .block_diffs
+        .iter()
+        .flat_map(|b| &b.runs)
+        .map(|r| (r.start, r.count))
+        .collect();
+    assert_eq!(runs, vec![(0, 256)], "page-boundary runs must merge");
+    w.wl_release(&h).unwrap();
+}

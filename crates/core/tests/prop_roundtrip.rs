@@ -1,0 +1,149 @@
+//! Property test: arbitrary typed data, mutated arbitrarily, survives the
+//! full collect-diff → server → apply-diff cycle between arbitrary
+//! architecture pairs.
+
+use std::sync::Arc;
+
+use iw_core::{Ptr, Session};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::{PrimKind, TypeDesc};
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = MachineArch> {
+    prop_oneof![
+        Just(MachineArch::x86()),
+        Just(MachineArch::x86_64()),
+        Just(MachineArch::alpha()),
+        Just(MachineArch::sparc_v9()),
+        Just(MachineArch::mips32()),
+    ]
+}
+
+/// Small leaf-only struct types (pointers are tested separately — their
+/// values are addresses, not arbitrary data).
+fn arb_block_type() -> impl Strategy<Value = TypeDesc> {
+    let leaf = prop_oneof![
+        Just(TypeDesc::char8()),
+        Just(TypeDesc::int16()),
+        Just(TypeDesc::int32()),
+        Just(TypeDesc::int64()),
+        Just(TypeDesc::float32()),
+        Just(TypeDesc::float64()),
+        (2u32..10).prop_map(TypeDesc::string),
+    ];
+    prop::collection::vec(leaf, 1..6).prop_map(|tys| {
+        TypeDesc::structure(
+            "t",
+            tys.iter()
+                .enumerate()
+                .map(|(i, t)| -> (&str, TypeDesc) {
+                    (Box::leak(format!("f{i}").into_boxed_str()), t.clone())
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Deterministic value for primitive `i` in round `round`.
+fn write_prim(s: &mut Session, p: &Ptr, i: u64, round: u64) {
+    let kind = s.kind_at(p).unwrap();
+    let seed = (i * 31 + round * 1009) as i64;
+    match kind {
+        PrimKind::Char => s.write_char(p, (seed % 251) as u8).unwrap(),
+        PrimKind::Int16 => s.write_i16(p, (seed % 30000) as i16).unwrap(),
+        PrimKind::Int32 => s.write_i32(p, (seed % 2_000_000_000) as i32).unwrap(),
+        PrimKind::Int64 => s.write_i64(p, seed * 1_000_003).unwrap(),
+        PrimKind::Float32 => s.write_f32(p, seed as f32 * 0.5).unwrap(),
+        PrimKind::Float64 => s.write_f64(p, seed as f64 * 0.25).unwrap(),
+        PrimKind::Str { cap } => {
+            let len = (seed.unsigned_abs() % u64::from(cap.min(9))) as usize;
+            let txt: String =
+                (0..len).map(|k| char::from(b'a' + ((seed as usize + k) % 26) as u8)).collect();
+            s.write_str(p, &txt).unwrap();
+        }
+        PrimKind::Ptr => unreachable!("no pointers in this property"),
+    }
+}
+
+fn check_prim(s: &mut Session, p: &Ptr, i: u64, round: u64) {
+    let kind = s.kind_at(p).unwrap();
+    let seed = (i * 31 + round * 1009) as i64;
+    match kind {
+        PrimKind::Char => assert_eq!(s.read_char(p).unwrap(), (seed % 251) as u8),
+        PrimKind::Int16 => assert_eq!(s.read_i16(p).unwrap(), (seed % 30000) as i16),
+        PrimKind::Int32 => {
+            assert_eq!(s.read_i32(p).unwrap(), (seed % 2_000_000_000) as i32)
+        }
+        PrimKind::Int64 => assert_eq!(s.read_i64(p).unwrap(), seed * 1_000_003),
+        PrimKind::Float32 => assert_eq!(s.read_f32(p).unwrap(), seed as f32 * 0.5),
+        PrimKind::Float64 => assert_eq!(s.read_f64(p).unwrap(), seed as f64 * 0.25),
+        PrimKind::Str { cap } => {
+            let len = (seed.unsigned_abs() % u64::from(cap.min(9))) as usize;
+            let txt: String =
+                (0..len).map(|k| char::from(b'a' + ((seed as usize + k) % 26) as u8)).collect();
+            assert_eq!(s.read_str(p).unwrap(), txt);
+        }
+        PrimKind::Ptr => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_mutations_roundtrip_across_archs(
+        ty in arb_block_type(),
+        count in 1u32..20,
+        writer_arch in arb_arch(),
+        reader_arch in arb_arch(),
+        mutations in prop::collection::vec((0u64..1000, 1u64..4), 0..12),
+    ) {
+        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let mut w = Session::new(writer_arch, Box::new(Loopback::new(srv.clone()))).unwrap();
+        let mut r = Session::new(reader_arch, Box::new(Loopback::new(srv.clone()))).unwrap();
+
+        let hw = w.open_segment("prop/seg").unwrap();
+        w.wl_acquire(&hw).unwrap();
+        let base = w.malloc(&hw, &ty, count, Some("blk")).unwrap();
+        let nprims = ty.prim_count() * u64::from(count);
+        // Round 0: write every primitive.
+        for i in 0..nprims {
+            let p = w.mip_to_ptr(&format!("prop/seg#blk#{i}")).unwrap();
+            write_prim(&mut w, &p, i, 0);
+        }
+        w.wl_release(&hw).unwrap();
+        let _ = base;
+
+        // Reader caches round 0.
+        let hr = r.open_segment("prop/seg").unwrap();
+        r.rl_acquire(&hr).unwrap();
+        for i in 0..nprims {
+            let p = r.mip_to_ptr(&format!("prop/seg#blk#{i}")).unwrap();
+            check_prim(&mut r, &p, i, 0);
+        }
+        r.rl_release(&hr).unwrap();
+
+        // Apply random mutations in later rounds.
+        let mut latest: std::collections::HashMap<u64, u64> = Default::default();
+        for &(slot, round) in &mutations {
+            let i = slot % nprims;
+            w.wl_acquire(&hw).unwrap();
+            let p = w.mip_to_ptr(&format!("prop/seg#blk#{i}")).unwrap();
+            write_prim(&mut w, &p, i, round);
+            w.wl_release(&hw).unwrap();
+            latest.insert(i, round);
+        }
+
+        // Reader must observe exactly the latest value of every prim.
+        r.rl_acquire(&hr).unwrap();
+        for i in 0..nprims {
+            let round = latest.get(&i).copied().unwrap_or(0);
+            let p = r.mip_to_ptr(&format!("prop/seg#blk#{i}")).unwrap();
+            check_prim(&mut r, &p, i, round);
+        }
+        r.rl_release(&hr).unwrap();
+    }
+}

@@ -1,0 +1,109 @@
+//! Block metadata.
+//!
+//! "Each block must have a well-defined type, but this type can be a
+//! recursively defined structure of arbitrary complexity, so blocks can be
+//! of arbitrary size. Every block has a serial number within its segment,
+//! assigned by `IW_malloc()`. It may also have an optional symbolic name."
+//! (§3.1)
+
+use std::sync::Arc;
+
+use iw_types::desc::TypeDesc;
+use iw_types::flat::FlatLayout;
+
+/// Metadata the client keeps for one block (the paper's block header).
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Serial number within the segment.
+    pub serial: u32,
+    /// Optional symbolic name (must contain a non-digit).
+    pub name: Option<String>,
+    /// Start virtual address of the block's local image.
+    pub va: u64,
+    /// Element type descriptor (the type passed to `IW_malloc`).
+    pub ty: TypeDesc,
+    /// Number of contiguous elements of `ty` (1 for scalars).
+    pub count: u32,
+    /// Flattened translation layout of the whole block on this heap's
+    /// architecture.
+    pub flat: Arc<FlatLayout>,
+    /// Version of the segment in which this block was last modified, as
+    /// known to this client (used for layout locality and prediction).
+    pub version: u64,
+}
+
+impl BlockMeta {
+    /// Size in bytes of the block's local image.
+    pub fn size(&self) -> u32 {
+        self.flat.local_size()
+    }
+
+    /// One-past-the-end virtual address.
+    pub fn end(&self) -> u64 {
+        self.va + u64::from(self.size())
+    }
+
+    /// `true` when `va` falls inside this block.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.va && va < self.end()
+    }
+
+    /// Number of primitive data units in the block.
+    pub fn prim_count(&self) -> u64 {
+        self.flat.prim_count()
+    }
+}
+
+/// Builds the block-level type for `count` elements of `ty`: the type
+/// itself for a single element, an array otherwise.
+pub fn block_type(ty: &TypeDesc, count: u32) -> TypeDesc {
+    if count == 1 {
+        ty.clone()
+    } else {
+        TypeDesc::array(ty.clone(), count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_types::arch::MachineArch;
+
+    fn meta(count: u32) -> BlockMeta {
+        let ty = TypeDesc::int32();
+        let bt = block_type(&ty, count);
+        BlockMeta {
+            serial: 1,
+            name: None,
+            va: 0x1000,
+            ty,
+            count,
+            flat: Arc::new(FlatLayout::new(&bt, &MachineArch::x86())),
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn scalar_block_geometry() {
+        let m = meta(1);
+        assert_eq!(m.size(), 4);
+        assert_eq!(m.end(), 0x1004);
+        assert!(m.contains(0x1003));
+        assert!(!m.contains(0x1004));
+        assert_eq!(m.prim_count(), 1);
+    }
+
+    #[test]
+    fn array_block_geometry() {
+        let m = meta(100);
+        assert_eq!(m.size(), 400);
+        assert_eq!(m.prim_count(), 100);
+    }
+
+    #[test]
+    fn block_type_for_single_is_elem() {
+        let ty = TypeDesc::float64();
+        assert_eq!(block_type(&ty, 1), ty);
+        assert_eq!(block_type(&ty, 3), TypeDesc::array(ty.clone(), 3));
+    }
+}

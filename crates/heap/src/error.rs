@@ -1,0 +1,100 @@
+//! Heap error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// An address did not fall within any cached subsegment.
+    BadAddress {
+        /// The offending virtual address.
+        va: u64,
+    },
+    /// An address fell inside a subsegment but not inside any block
+    /// (free space, block header padding, …).
+    NotInBlock {
+        /// The offending virtual address.
+        va: u64,
+    },
+    /// Access extended past the end of a subsegment or block.
+    OutOfBounds {
+        /// Start of the attempted access.
+        va: u64,
+        /// Length of the attempted access.
+        len: usize,
+    },
+    /// The named segment is not cached in this heap.
+    UnknownSegment(String),
+    /// The named segment is already cached in this heap.
+    DuplicateSegment(String),
+    /// No block with this serial number exists in the segment.
+    UnknownBlockSerial(u32),
+    /// No block with this symbolic name exists in the segment.
+    UnknownBlockName(String),
+    /// A symbolic block name was already taken.
+    DuplicateBlockName(String),
+    /// A symbolic block name consisted only of digits (reserved for serial
+    /// numbers in MIP syntax).
+    InvalidBlockName(String),
+    /// The block is too large to address (> 4 GiB local image).
+    BlockTooLarge {
+        /// Requested size in bytes.
+        bytes: u64,
+    },
+    /// An operation required a block that was freed.
+    BlockFreed(u32),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::BadAddress { va } => {
+                write!(f, "address {va:#x} is not in any cached subsegment")
+            }
+            HeapError::NotInBlock { va } => {
+                write!(f, "address {va:#x} is not inside any block")
+            }
+            HeapError::OutOfBounds { va, len } => {
+                write!(f, "access of {len} bytes at {va:#x} is out of bounds")
+            }
+            HeapError::UnknownSegment(s) => write!(f, "segment `{s}` is not cached"),
+            HeapError::DuplicateSegment(s) => {
+                write!(f, "segment `{s}` is already cached")
+            }
+            HeapError::UnknownBlockSerial(n) => write!(f, "no block with serial {n}"),
+            HeapError::UnknownBlockName(s) => write!(f, "no block named `{s}`"),
+            HeapError::DuplicateBlockName(s) => {
+                write!(f, "block name `{s}` already in use")
+            }
+            HeapError::InvalidBlockName(s) => write!(
+                f,
+                "block name `{s}` is all digits, which is reserved for serial numbers"
+            ),
+            HeapError::BlockTooLarge { bytes } => {
+                write!(f, "block of {bytes} bytes exceeds the 4 GiB block limit")
+            }
+            HeapError::BlockFreed(n) => write!(f, "block {n} has been freed"),
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(HeapError::BadAddress { va: 0x10 }
+            .to_string()
+            .contains("0x10"));
+        assert!(HeapError::UnknownSegment("x/y".into())
+            .to_string()
+            .contains("x/y"));
+        assert!(HeapError::InvalidBlockName("123".into())
+            .to_string()
+            .contains("digits"));
+    }
+}

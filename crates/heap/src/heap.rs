@@ -1,0 +1,743 @@
+//! The InterWeave client heap.
+//!
+//! "An InterWeave client manages its own heap area, rather than relying on
+//! the standard C library function `malloc()`. The InterWeave heap routines
+//! manage subsegments, and maintain a variety of bookkeeping information
+//! [including] a collection of balanced search trees to allow InterWeave to
+//! quickly locate blocks by name, serial number, or address." (§3.1)
+//!
+//! Addresses here are *simulated* virtual addresses: every subsegment is
+//! assigned a page-aligned base in a per-heap 64-bit address space, and
+//! local-format pointer fields store these addresses (encoded per the
+//! heap's architecture). Dereferencing resolves through the global
+//! `subseg_addr_tree`, exactly as the paper's swizzling metadata does — the
+//! bit patterns are simply owned by the library instead of the OS.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use iw_types::arch::MachineArch;
+use iw_types::flat::FlatLayout;
+use iw_types::desc::TypeDesc;
+
+use crate::block::{block_type, BlockMeta};
+use crate::error::HeapError;
+use crate::segment::SegmentHeap;
+use crate::subseg::Subsegment;
+
+/// Identifies a cached segment within one heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegId(pub(crate) usize);
+
+/// Default page size (bytes), matching the paper's Linux/x86 testbed.
+pub const DEFAULT_PAGE_SIZE: u32 = 4096;
+
+/// Minimum subsegment size in pages; larger blocks get a subsegment sized
+/// to fit.
+pub const MIN_SUBSEG_PAGES: usize = 16;
+
+/// Alignment of every block's start address.
+pub const BLOCK_ALIGN: u32 = 16;
+
+const VA_BASE: u64 = 0x0001_0000;
+
+/// The client-side heap: all cached segments, their subsegments and blocks,
+/// and the global address tree.
+#[derive(Debug)]
+pub struct Heap {
+    arch: MachineArch,
+    page_size: u32,
+    next_va: u64,
+    subsegs: Vec<Option<Subsegment>>,
+    /// Which segment each subsegment belongs to (parallel to `subsegs`).
+    subseg_seg: Vec<SegId>,
+    /// `subseg_addr_tree`: subsegment base VA → subsegment index.
+    subseg_addr_tree: BTreeMap<u64, usize>,
+    segments: Vec<Option<SegmentHeap>>,
+    by_name: HashMap<String, SegId>,
+    /// Cache of flattened layouts keyed by (type, count).
+    flat_cache: HashMap<(TypeDesc, u32), Arc<FlatLayout>>,
+}
+
+impl Heap {
+    /// Creates a heap for `arch` with the default page size.
+    pub fn new(arch: MachineArch) -> Self {
+        Heap::with_page_size(arch, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates a heap with an explicit page size (small pages make tests
+    /// exercise page-boundary logic cheaply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero or not a multiple of 8.
+    pub fn with_page_size(arch: MachineArch, page_size: u32) -> Self {
+        assert!(page_size > 0 && page_size.is_multiple_of(8), "bad page size");
+        Heap {
+            arch,
+            page_size,
+            next_va: VA_BASE,
+            subsegs: Vec::new(),
+            subseg_seg: Vec::new(),
+            subseg_addr_tree: BTreeMap::new(),
+            segments: Vec::new(),
+            by_name: HashMap::new(),
+            flat_cache: HashMap::new(),
+        }
+    }
+
+    /// The architecture this heap lays data out for.
+    pub fn arch(&self) -> &MachineArch {
+        &self.arch
+    }
+
+    /// The page size used for twinning and protection.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    // ------------------------------------------------------------------
+    // Segments
+    // ------------------------------------------------------------------
+
+    /// Creates heap state for a newly cached segment.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::DuplicateSegment`] when the name is already cached.
+    pub fn create_segment(&mut self, name: &str) -> Result<SegId, HeapError> {
+        if self.by_name.contains_key(name) {
+            return Err(HeapError::DuplicateSegment(name.to_string()));
+        }
+        let id = SegId(self.segments.len());
+        self.segments.push(Some(SegmentHeap::new(name.to_string())));
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a cached segment by name.
+    pub fn segment_id(&self, name: &str) -> Option<SegId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrows a segment's heap state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live segment.
+    pub fn segment(&self, id: SegId) -> &SegmentHeap {
+        self.segments[id.0].as_ref().expect("segment dropped")
+    }
+
+    fn segment_mut(&mut self, id: SegId) -> &mut SegmentHeap {
+        self.segments[id.0].as_mut().expect("segment dropped")
+    }
+
+    /// Mutable access to a segment's type registry (the client library
+    /// registers types at `IW_malloc` time and installs server-provided
+    /// descriptors during diff application).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live segment.
+    pub fn segment_types_mut(&mut self, id: SegId) -> &mut crate::segment::TypeRegistry {
+        &mut self.segment_mut(id).types
+    }
+
+    /// Discards all local state for a segment (un-caching it).
+    pub fn remove_segment(&mut self, id: SegId) {
+        if let Some(seg) = self.segments[id.0].take() {
+            self.by_name.remove(&seg.name);
+            for idx in seg.subsegs {
+                if let Some(ss) = self.subsegs[idx].take() {
+                    self.subseg_addr_tree.remove(&ss.base());
+                }
+            }
+        }
+    }
+
+    /// Names of all cached segments.
+    pub fn segment_names(&self) -> impl Iterator<Item = &str> {
+        self.by_name.keys().map(String::as_str)
+    }
+
+    // ------------------------------------------------------------------
+    // Subsegments
+    // ------------------------------------------------------------------
+
+    /// Borrows a subsegment by index (indices come from
+    /// [`SegmentHeap::subseg_indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subsegment was dropped with its segment.
+    pub fn subseg(&self, idx: usize) -> &Subsegment {
+        self.subsegs[idx].as_ref().expect("subsegment dropped")
+    }
+
+    fn subseg_mut(&mut self, idx: usize) -> &mut Subsegment {
+        self.subsegs[idx].as_mut().expect("subsegment dropped")
+    }
+
+    /// The subsegment index containing `va`, via the global address tree.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] when `va` is outside every subsegment.
+    pub fn subseg_at(&self, va: u64) -> Result<usize, HeapError> {
+        let (_, &idx) = self
+            .subseg_addr_tree
+            .range(..=va)
+            .next_back()
+            .ok_or(HeapError::BadAddress { va })?;
+        let ss = self.subsegs[idx].as_ref().ok_or(HeapError::BadAddress { va })?;
+        if !ss.contains(va) {
+            return Err(HeapError::BadAddress { va });
+        }
+        Ok(idx)
+    }
+
+    /// The segment that owns the subsegment containing `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] when `va` is outside every subsegment.
+    pub fn segment_of_va(&self, va: u64) -> Result<SegId, HeapError> {
+        Ok(self.subseg_seg[self.subseg_at(va)?])
+    }
+
+    fn new_subseg(&mut self, seg: SegId, min_bytes: u64) -> usize {
+        let ps = u64::from(self.page_size);
+        let want = min_bytes.max(ps * MIN_SUBSEG_PAGES as u64);
+        let pages = want.div_ceil(ps) as usize;
+        let base = self.next_va;
+        self.next_va += pages as u64 * ps;
+        let idx = self.subsegs.len();
+        self.subsegs.push(Some(Subsegment::new(base, pages, self.page_size)));
+        self.subseg_seg.push(seg);
+        self.subseg_addr_tree.insert(base, idx);
+        self.segment_mut(seg).subsegs.push(idx);
+        // The whole subsegment starts as free space.
+        self.segment_mut(seg)
+            .free
+            .insert(base, pages as u64 * ps);
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Returns (and caches) the flattened layout for `count` elements of
+    /// `ty` on this heap's architecture.
+    pub fn flat_layout(&mut self, ty: &TypeDesc, count: u32) -> Arc<FlatLayout> {
+        if let Some(f) = self.flat_cache.get(&(ty.clone(), count)) {
+            return f.clone();
+        }
+        let bt = block_type(ty, count);
+        let f = Arc::new(FlatLayout::new(&bt, &self.arch));
+        self.flat_cache.insert((ty.clone(), count), f.clone());
+        f
+    }
+
+    /// Allocates a zeroed block of `count` elements of `ty` in `seg` under
+    /// the given `serial` (serial assignment is the client library's job;
+    /// it requires the segment's write lock).
+    ///
+    /// Returns the block's start VA.
+    ///
+    /// # Errors
+    ///
+    /// - [`HeapError::BlockTooLarge`] when the local image exceeds 4 GiB;
+    /// - [`HeapError::DuplicateBlockName`] when `name` is taken;
+    /// - [`HeapError::InvalidBlockName`] when `name` is all digits.
+    pub fn alloc_block(
+        &mut self,
+        seg: SegId,
+        serial: u32,
+        name: Option<&str>,
+        ty: &TypeDesc,
+        count: u32,
+    ) -> Result<u64, HeapError> {
+        if let Some(n) = name {
+            if n.chars().all(|c| c.is_ascii_digit()) {
+                return Err(HeapError::InvalidBlockName(n.to_string()));
+            }
+            if self.segment(seg).names.contains_key(n) {
+                return Err(HeapError::DuplicateBlockName(n.to_string()));
+            }
+        }
+        let flat = self.flat_layout(ty, count);
+        let size = u64::from(flat.local_size());
+        if size > u64::from(u32::MAX) {
+            return Err(HeapError::BlockTooLarge { bytes: size });
+        }
+        let alloc_size = size.max(1).next_multiple_of(u64::from(BLOCK_ALIGN));
+        let va = self.carve(seg, alloc_size);
+
+        // Zero the space without tripping modification tracking: block
+        // creation is reported to the server as a whole new block, not as
+        // a diff.
+        let idx = self.subseg_at(va)?;
+        self.subseg_mut(idx)
+            .bytes_mut_unprotected(va, alloc_size as usize)?
+            .fill(0);
+        self.subseg_mut(idx).blk_addr_tree.insert(va, serial);
+
+        let meta = BlockMeta {
+            serial,
+            name: name.map(str::to_string),
+            va,
+            ty: ty.clone(),
+            count,
+            flat,
+            version: 0,
+        };
+        let segh = self.segment_mut(seg);
+        if let Some(n) = name {
+            segh.names.insert(n.to_string(), serial);
+        }
+        segh.blocks.insert(serial, meta);
+        Ok(va)
+    }
+
+    /// First-fit carve of `alloc_size` bytes from the segment's free list,
+    /// growing the segment with a new subsegment when necessary.
+    fn carve(&mut self, seg: SegId, alloc_size: u64) -> u64 {
+        let pick = self
+            .segment(seg)
+            .free
+            .iter()
+            .find(|(_, &len)| len >= alloc_size)
+            .map(|(&va, &len)| (va, len));
+        let (va, len) = match pick {
+            Some(hit) => hit,
+            None => {
+                self.new_subseg(seg, alloc_size);
+                self.segment(seg)
+                    .free
+                    .iter()
+                    .find(|(_, &len)| len >= alloc_size)
+                    .map(|(&va, &len)| (va, len))
+                    .expect("fresh subsegment must satisfy the allocation")
+            }
+        };
+        let segh = self.segment_mut(seg);
+        segh.free.remove(&va);
+        if len > alloc_size {
+            segh.free.insert(va + alloc_size, len - alloc_size);
+        }
+        va
+    }
+
+    /// Frees a block, returning its space to the segment's free list
+    /// (with coalescing of adjacent free ranges in the same subsegment).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::UnknownBlockSerial`] when the block does not exist.
+    pub fn free_block(&mut self, seg: SegId, serial: u32) -> Result<(), HeapError> {
+        let meta = self
+            .segment_mut(seg)
+            .blocks
+            .remove(&serial)
+            .ok_or(HeapError::UnknownBlockSerial(serial))?;
+        if let Some(n) = &meta.name {
+            self.segment_mut(seg).names.remove(n);
+        }
+        let idx = self.subseg_at(meta.va)?;
+        self.subseg_mut(idx).blk_addr_tree.remove(&meta.va);
+        let (ss_base, ss_end) = {
+            let ss = self.subseg(idx);
+            (ss.base(), ss.end())
+        };
+        let alloc_size =
+            u64::from(meta.size()).max(1).next_multiple_of(u64::from(BLOCK_ALIGN));
+        let mut start = meta.va;
+        let mut len = alloc_size;
+        let segh = self.segment_mut(seg);
+        // Coalesce with the previous free range if adjacent.
+        if let Some((&pva, &plen)) = segh.free.range(..start).next_back() {
+            if pva + plen == start && pva >= ss_base {
+                segh.free.remove(&pva);
+                start = pva;
+                len += plen;
+            }
+        }
+        // Coalesce with the following free range if adjacent.
+        if let Some((&nva, &nlen)) = segh.free.range(start + len..).next() {
+            if start + len == nva && nva + nlen <= ss_end {
+                segh.free.remove(&nva);
+                len += nlen;
+            }
+        }
+        segh.free.insert(start, len);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Address resolution (swizzling support)
+    // ------------------------------------------------------------------
+
+    /// Finds the block containing `va`: searches the `subseg_addr_tree`
+    /// for the spanning subsegment, then its `blk_addr_tree` for the
+    /// pointed-to block — the exact procedure of §3.1's pointer
+    /// swizzling.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] outside every subsegment,
+    /// [`HeapError::NotInBlock`] inside a subsegment but not a block.
+    pub fn block_at(&self, va: u64) -> Result<(SegId, &BlockMeta), HeapError> {
+        let idx = self.subseg_at(va)?;
+        let ss = self.subseg(idx);
+        let (_, &serial) = ss
+            .blk_addr_tree
+            .range(..=va)
+            .next_back()
+            .ok_or(HeapError::NotInBlock { va })?;
+        let seg = self.subseg_seg[idx];
+        let meta = self.segment(seg).block_by_serial(serial)?;
+        if !meta.contains(va) {
+            return Err(HeapError::NotInBlock { va });
+        }
+        Ok((seg, meta))
+    }
+
+    /// The first block whose start address is `>= va` within subsegment
+    /// `idx` — used by diff collection to advance from one block to the
+    /// next within a modified run.
+    pub fn next_block_at_or_after(&self, idx: usize, va: u64) -> Option<(u64, u32)> {
+        self.subseg(idx)
+            .blk_addr_tree
+            .range(va..)
+            .next()
+            .map(|(&va, &serial)| (va, serial))
+    }
+
+    // ------------------------------------------------------------------
+    // Raw data access
+    // ------------------------------------------------------------------
+
+    /// Reads `len` bytes at `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] / [`HeapError::OutOfBounds`].
+    pub fn read_bytes(&self, va: u64, len: usize) -> Result<&[u8], HeapError> {
+        self.subseg(self.subseg_at(va)?).bytes(va, len)
+    }
+
+    /// Writes `src` at `va` through modification tracking (twins are
+    /// created for protected pages, as the SIGSEGV handler would).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] / [`HeapError::OutOfBounds`].
+    pub fn write_bytes(&mut self, va: u64, src: &[u8]) -> Result<(), HeapError> {
+        let idx = self.subseg_at(va)?;
+        self.subseg_mut(idx).write(va, src)
+    }
+
+    /// Mutable access at `va` through modification tracking.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] / [`HeapError::OutOfBounds`].
+    pub fn bytes_mut(&mut self, va: u64, len: usize) -> Result<&mut [u8], HeapError> {
+        let idx = self.subseg_at(va)?;
+        self.subseg_mut(idx).bytes_mut(va, len)
+    }
+
+    /// Mutable access bypassing modification tracking (library-internal
+    /// writes such as diff application).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::BadAddress`] / [`HeapError::OutOfBounds`].
+    pub fn bytes_mut_unprotected(
+        &mut self,
+        va: u64,
+        len: usize,
+    ) -> Result<&mut [u8], HeapError> {
+        let idx = self.subseg_at(va)?;
+        self.subseg_mut(idx).bytes_mut_unprotected(va, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Modification tracking control
+    // ------------------------------------------------------------------
+
+    /// Write-protects all pages of a segment (write-lock acquisition).
+    pub fn protect_segment(&mut self, seg: SegId) {
+        let idxs = self.segment(seg).subsegs.clone();
+        for idx in idxs {
+            self.subseg_mut(idx).protect_all();
+        }
+    }
+
+    /// Drops all twins and protection for a segment (after diff
+    /// collection, or when abandoning tracking).
+    pub fn clear_tracking(&mut self, seg: SegId) {
+        let idxs = self.segment(seg).subsegs.clone();
+        for idx in idxs {
+            self.subseg_mut(idx).clear_tracking();
+        }
+    }
+
+    /// Rolls every twinned page of a segment back to its pristine
+    /// content (transaction abort), clearing tracking.
+    pub fn restore_segment_twins(&mut self, seg: SegId) {
+        let idxs = self.segment(seg).subsegs.clone();
+        for idx in idxs {
+            self.subseg_mut(idx).restore_twins();
+        }
+    }
+
+    /// Clears protection without touching twins (no-diff mode: writes
+    /// proceed at full speed with no twin overhead).
+    pub fn unprotect_segment(&mut self, seg: SegId) {
+        let idxs = self.segment(seg).subsegs.clone();
+        for idx in idxs {
+            self.subseg_mut(idx).unprotect_all();
+        }
+    }
+
+    /// Cumulative simulated write faults (twin creations) across all
+    /// live subsegments.
+    pub fn fault_count(&self) -> u64 {
+        self.subsegs
+            .iter()
+            .flatten()
+            .map(Subsegment::fault_count)
+            .sum()
+    }
+
+    /// Updates the last-modified version recorded in a block's header.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::UnknownBlockSerial`] when the block does not exist.
+    pub fn set_block_version(
+        &mut self,
+        seg: SegId,
+        serial: u32,
+        version: u64,
+    ) -> Result<(), HeapError> {
+        self.segment_mut(seg).mutate_block(serial, |b| b.version = version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_types::desc::TypeDesc;
+
+    fn heap() -> Heap {
+        Heap::with_page_size(MachineArch::x86(), 256)
+    }
+
+    #[test]
+    fn create_and_lookup_segment() {
+        let mut h = heap();
+        let id = h.create_segment("host/a").unwrap();
+        assert_eq!(h.segment_id("host/a"), Some(id));
+        assert_eq!(h.segment_id("host/b"), None);
+        assert!(h.create_segment("host/a").is_err());
+        assert_eq!(h.segment(id).name, "host/a");
+        let names: Vec<&str> = h.segment_names().collect();
+        assert_eq!(names, vec!["host/a"]);
+    }
+
+    #[test]
+    fn alloc_zeroes_and_registers() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let va = h
+            .alloc_block(s, 1, Some("head"), &TypeDesc::int32(), 4)
+            .unwrap();
+        assert_eq!(va % u64::from(BLOCK_ALIGN), 0);
+        assert_eq!(h.read_bytes(va, 16).unwrap(), &[0; 16]);
+        let b = h.segment(s).block_by_serial(1).unwrap();
+        assert_eq!(b.va, va);
+        assert_eq!(b.size(), 16);
+        assert_eq!(b.prim_count(), 4);
+        assert_eq!(h.segment(s).block_by_name("head").unwrap().serial, 1);
+        let (seg, found) = h.block_at(va + 7).unwrap();
+        assert_eq!(seg, s);
+        assert_eq!(found.serial, 1);
+    }
+
+    #[test]
+    fn block_name_rules() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        assert!(matches!(
+            h.alloc_block(s, 1, Some("123"), &TypeDesc::int32(), 1),
+            Err(HeapError::InvalidBlockName(_))
+        ));
+        h.alloc_block(s, 1, Some("ok"), &TypeDesc::int32(), 1).unwrap();
+        assert!(matches!(
+            h.alloc_block(s, 2, Some("ok"), &TypeDesc::int32(), 1),
+            Err(HeapError::DuplicateBlockName(_))
+        ));
+    }
+
+    #[test]
+    fn sequential_allocations_are_contiguous() {
+        // Layout-for-locality depends on this: blocks allocated together
+        // land together.
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let a = h.alloc_block(s, 1, None, &TypeDesc::int32(), 4).unwrap();
+        let b = h.alloc_block(s, 2, None, &TypeDesc::int32(), 4).unwrap();
+        assert_eq!(b, a + 16);
+    }
+
+    #[test]
+    fn big_block_gets_own_subsegment() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        // 256-byte pages, MIN_SUBSEG_PAGES=16 → default subseg 4096 bytes.
+        let va = h
+            .alloc_block(s, 1, None, &TypeDesc::int32(), 5000)
+            .unwrap();
+        // 20000 bytes > 4096: sized to fit.
+        assert_eq!(h.segment(s).subseg_indices().len(), 1);
+        let ss = h.subseg(h.subseg_at(va).unwrap());
+        assert!(ss.len() >= 20000);
+        assert_eq!(ss.len() % 256, 0);
+    }
+
+    #[test]
+    fn segment_grows_with_new_subsegments() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        for i in 0..100 {
+            h.alloc_block(s, i, None, &TypeDesc::int32(), 64).unwrap();
+        }
+        assert!(h.segment(s).subseg_indices().len() > 1);
+        // All blocks remain addressable.
+        for i in 0..100 {
+            let b = h.segment(s).block_by_serial(i).unwrap();
+            let va = b.va;
+            assert_eq!(h.block_at(va).unwrap().1.serial, i);
+        }
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let a = h.alloc_block(s, 1, Some("x"), &TypeDesc::int32(), 8).unwrap();
+        h.write_bytes(a, &[0xFF; 32]).unwrap();
+        h.free_block(s, 1).unwrap();
+        assert!(h.block_at(a).is_err());
+        assert!(h.segment(s).block_by_name("x").is_err());
+        // Reuse zeroes the space.
+        let b = h.alloc_block(s, 2, None, &TypeDesc::int32(), 8).unwrap();
+        assert_eq!(a, b, "first fit should reuse the freed range");
+        assert_eq!(h.read_bytes(b, 32).unwrap(), &[0; 32]);
+    }
+
+    #[test]
+    fn free_coalesces_adjacent_ranges() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let _a = h.alloc_block(s, 1, None, &TypeDesc::int32(), 8).unwrap();
+        let _b = h.alloc_block(s, 2, None, &TypeDesc::int32(), 8).unwrap();
+        let _c = h.alloc_block(s, 3, None, &TypeDesc::int32(), 8).unwrap();
+        let before = h.segment(s).free.len();
+        h.free_block(s, 1).unwrap();
+        h.free_block(s, 3).unwrap();
+        h.free_block(s, 2).unwrap(); // merges all three
+        let after = h.segment(s).free.len();
+        assert!(after <= before + 1, "ranges must coalesce: {after} vs {before}");
+        // A block spanning all three slots now fits without growth.
+        let subsegs_before = h.segment(s).subseg_indices().len();
+        h.alloc_block(s, 4, None, &TypeDesc::int32(), 24).unwrap();
+        assert_eq!(h.segment(s).subseg_indices().len(), subsegs_before);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        h.alloc_block(s, 1, None, &TypeDesc::int32(), 1).unwrap();
+        h.free_block(s, 1).unwrap();
+        assert!(matches!(
+            h.free_block(s, 1),
+            Err(HeapError::UnknownBlockSerial(1))
+        ));
+    }
+
+    #[test]
+    fn block_at_rejects_free_space_and_wild_addresses() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let va = h.alloc_block(s, 1, None, &TypeDesc::int32(), 1).unwrap();
+        // Just past the block (within the subsegment's free space).
+        assert!(matches!(
+            h.block_at(va + 16),
+            Err(HeapError::NotInBlock { .. })
+        ));
+        assert!(matches!(h.block_at(7), Err(HeapError::BadAddress { .. })));
+    }
+
+    #[test]
+    fn protection_roundtrip_through_heap() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let va = h.alloc_block(s, 1, None, &TypeDesc::int32(), 128).unwrap();
+        h.protect_segment(s);
+        h.write_bytes(va + 300, &[1, 2, 3, 4]).unwrap();
+        let idx = h.subseg_at(va).unwrap();
+        assert_eq!(h.subseg(idx).twin_count(), 1);
+        h.clear_tracking(s);
+        assert_eq!(h.subseg(idx).twin_count(), 0);
+    }
+
+    #[test]
+    fn remove_segment_unmaps_addresses() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let va = h.alloc_block(s, 1, None, &TypeDesc::int32(), 1).unwrap();
+        h.remove_segment(s);
+        assert!(h.block_at(va).is_err());
+        assert_eq!(h.segment_id("h/s"), None);
+        // Name can be reused afterwards.
+        h.create_segment("h/s").unwrap();
+    }
+
+    #[test]
+    fn next_block_at_or_after_walks_blocks() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        let a = h.alloc_block(s, 1, None, &TypeDesc::int32(), 4).unwrap();
+        let b = h.alloc_block(s, 2, None, &TypeDesc::int32(), 4).unwrap();
+        let idx = h.subseg_at(a).unwrap();
+        assert_eq!(h.next_block_at_or_after(idx, a), Some((a, 1)));
+        assert_eq!(h.next_block_at_or_after(idx, a + 1), Some((b, 2)));
+        assert_eq!(h.next_block_at_or_after(idx, b + 1), None);
+    }
+
+    #[test]
+    fn flat_layout_cache_returns_same_arc() {
+        let mut h = heap();
+        let f1 = h.flat_layout(&TypeDesc::int32(), 10);
+        let f2 = h.flat_layout(&TypeDesc::int32(), 10);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        let f3 = h.flat_layout(&TypeDesc::int32(), 11);
+        assert!(!Arc::ptr_eq(&f1, &f3));
+    }
+
+    #[test]
+    fn set_block_version_updates_header() {
+        let mut h = heap();
+        let s = h.create_segment("h/s").unwrap();
+        h.alloc_block(s, 1, None, &TypeDesc::int32(), 1).unwrap();
+        h.set_block_version(s, 1, 42).unwrap();
+        assert_eq!(h.segment(s).block_by_serial(1).unwrap().version, 42);
+        assert!(h.set_block_version(s, 9, 1).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # iw-heap — the InterWeave client heap
+//!
+//! Memory-management substrate for InterWeave-rs (the ICDCS'03 InterWeave
+//! reproduction): segments as collections of page-multiple [`Subsegment`]s,
+//! strongly typed blocks with serial numbers and optional symbolic names,
+//! first-fit free lists, and the metadata trees that power modification
+//! tracking and pointer swizzling:
+//!
+//! - the global `subseg_addr_tree` (subsegments of all segments by
+//!   address),
+//! - per-subsegment `blk_addr_tree` (blocks by address),
+//! - per-segment `blk_number_tree` and `blk_name_tree` (blocks by serial
+//!   and by name).
+//!
+//! Modification tracking mirrors the paper's `mprotect`/SIGSEGV twinning
+//! with per-page protection bitmaps: the first tracked write to a
+//! protected page snapshots a pristine *twin* into the subsegment's
+//! pagemap; diff collection later compares each dirty page to its twin
+//! word by word. See `DESIGN.md` for the substitution argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_heap::{Heap, SegId};
+//! use iw_types::arch::MachineArch;
+//! use iw_types::desc::TypeDesc;
+//!
+//! let mut heap = Heap::new(MachineArch::x86());
+//! let seg = heap.create_segment("example.org/data")?;
+//! let va = heap.alloc_block(seg, 1, Some("head"), &TypeDesc::int32(), 16)?;
+//!
+//! heap.protect_segment(seg);                 // write-lock acquired
+//! heap.write_bytes(va, &7i32.to_le_bytes())?; // faults; twin created
+//!
+//! let idx = heap.subseg_at(va)?;
+//! assert_eq!(heap.subseg(idx).twin_count(), 1);
+//! # Ok::<(), iw_heap::HeapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod error;
+mod heap;
+mod segment;
+mod subseg;
+
+pub use block::{block_type, BlockMeta};
+pub use error::HeapError;
+pub use heap::{Heap, SegId, BLOCK_ALIGN, DEFAULT_PAGE_SIZE, MIN_SUBSEG_PAGES};
+pub use segment::{SegmentHeap, TypeRegistry};
+pub use subseg::Subsegment;

@@ -1,0 +1,224 @@
+//! Per-segment heap metadata: block trees, free lists, and the type
+//! registry.
+//!
+//! Each entry in the client's segment table holds "one [pointer] for the
+//! first subsegment that belongs to that segment, one for the first free
+//! space in the segment, and two for a pair of balanced trees containing
+//! the segment's blocks. One tree is sorted by block serial number
+//! (`blk_number_tree`), the other by block symbolic name (`blk_name_tree`);
+//! together they support translation from MIPs to local pointers." (§3.1)
+
+use std::collections::{BTreeMap, HashMap};
+
+use iw_types::desc::TypeDesc;
+
+use crate::block::BlockMeta;
+use crate::error::HeapError;
+
+/// The registry of type descriptors used by a segment, with
+/// segment-specific serial numbers "to be used by the server and client in
+/// wire-format messages" (§3.1).
+#[derive(Debug, Default)]
+pub struct TypeRegistry {
+    types: Vec<TypeDesc>,
+    index: HashMap<TypeDesc, u32>,
+}
+
+impl TypeRegistry {
+    /// Registers `ty`, returning its serial (existing serial if already
+    /// registered).
+    pub fn register(&mut self, ty: &TypeDesc) -> u32 {
+        if let Some(&s) = self.index.get(ty) {
+            return s;
+        }
+        let s = self.types.len() as u32;
+        self.types.push(ty.clone());
+        self.index.insert(ty.clone(), s);
+        s
+    }
+
+    /// Installs a type received from the server under an explicit serial.
+    /// Serials must arrive in order (they are dense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serial` skips ahead of the registry size.
+    pub fn install(&mut self, serial: u32, ty: TypeDesc) {
+        if let Some(existing) = self.types.get(serial as usize) {
+            debug_assert_eq!(existing, &ty, "type serial reused for different type");
+            return;
+        }
+        assert_eq!(
+            serial as usize,
+            self.types.len(),
+            "type serials must be installed densely"
+        );
+        self.types.push(ty.clone());
+        self.index.insert(ty, serial);
+    }
+
+    /// Looks up a descriptor by serial.
+    pub fn get(&self, serial: u32) -> Option<&TypeDesc> {
+        self.types.get(serial as usize)
+    }
+
+    /// Looks up the serial of a descriptor.
+    pub fn serial_of(&self, ty: &TypeDesc) -> Option<u32> {
+        self.index.get(ty).copied()
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// `true` when no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates `(serial, descriptor)` pairs in serial order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &TypeDesc)> {
+        self.types.iter().enumerate().map(|(i, t)| (i as u32, t))
+    }
+}
+
+/// Heap-side state for one cached segment.
+#[derive(Debug)]
+pub struct SegmentHeap {
+    /// The segment's name (its URL path, e.g. `"host/list"`).
+    pub name: String,
+    /// Indices of this segment's subsegments in the owning heap, in
+    /// allocation order (the paper's linked list of subsegments).
+    pub(crate) subsegs: Vec<usize>,
+    /// Free space: start VA → length (the paper's free list).
+    pub(crate) free: BTreeMap<u64, u64>,
+    /// `blk_number_tree`: serial → block metadata.
+    pub(crate) blocks: BTreeMap<u32, BlockMeta>,
+    /// `blk_name_tree`: symbolic name → serial.
+    pub(crate) names: BTreeMap<String, u32>,
+    /// Type descriptors used in this segment.
+    pub types: TypeRegistry,
+}
+
+impl SegmentHeap {
+    pub(crate) fn new(name: String) -> Self {
+        SegmentHeap {
+            name,
+            subsegs: Vec::new(),
+            free: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            names: BTreeMap::new(),
+            types: TypeRegistry::default(),
+        }
+    }
+
+    /// Looks up a block by serial number.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::UnknownBlockSerial`] when absent.
+    pub fn block_by_serial(&self, serial: u32) -> Result<&BlockMeta, HeapError> {
+        self.blocks
+            .get(&serial)
+            .ok_or(HeapError::UnknownBlockSerial(serial))
+    }
+
+    /// Looks up a block by symbolic name.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::UnknownBlockName`] when absent.
+    pub fn block_by_name(&self, name: &str) -> Result<&BlockMeta, HeapError> {
+        let serial = self
+            .names
+            .get(name)
+            .ok_or_else(|| HeapError::UnknownBlockName(name.to_string()))?;
+        self.block_by_serial(*serial)
+    }
+
+    /// Iterates blocks in serial order.
+    pub fn blocks(&self) -> impl Iterator<Item = &BlockMeta> {
+        self.blocks.values()
+    }
+
+    /// Number of live blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Indices of the segment's subsegments in the owning heap.
+    pub fn subseg_indices(&self) -> &[usize] {
+        &self.subsegs
+    }
+
+    /// Total free bytes (diagnostics).
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    pub(crate) fn mutate_block<R>(
+        &mut self,
+        serial: u32,
+        f: impl FnOnce(&mut BlockMeta) -> R,
+    ) -> Result<R, HeapError> {
+        self.blocks
+            .get_mut(&serial)
+            .map(f)
+            .ok_or(HeapError::UnknownBlockSerial(serial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_dedups() {
+        let mut r = TypeRegistry::default();
+        let a = r.register(&TypeDesc::int32());
+        let b = r.register(&TypeDesc::float64());
+        let a2 = r.register(&TypeDesc::int32());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a), Some(&TypeDesc::int32()));
+        assert_eq!(r.serial_of(&TypeDesc::float64()), Some(b));
+        assert_eq!(r.serial_of(&TypeDesc::char8()), None);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn registry_install_dense() {
+        let mut r = TypeRegistry::default();
+        r.install(0, TypeDesc::int32());
+        r.install(1, TypeDesc::pointer());
+        // Idempotent re-install.
+        r.install(0, TypeDesc::int32());
+        assert_eq!(r.len(), 2);
+        let collected: Vec<u32> = r.iter().map(|(s, _)| s).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "densely")]
+    fn registry_install_sparse_panics() {
+        let mut r = TypeRegistry::default();
+        r.install(5, TypeDesc::int32());
+    }
+
+    #[test]
+    fn segment_lookup_errors() {
+        let s = SegmentHeap::new("h/s".into());
+        assert!(matches!(
+            s.block_by_serial(3),
+            Err(HeapError::UnknownBlockSerial(3))
+        ));
+        assert!(matches!(
+            s.block_by_name("x"),
+            Err(HeapError::UnknownBlockName(_))
+        ));
+        assert_eq!(s.block_count(), 0);
+        assert_eq!(s.free_bytes(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Subsegments: the contiguous pieces of a cached segment.
+//!
+//! "The copy of a segment cached by a given process need not be contiguous
+//! in the application's virtual address space, so long as individually
+//! malloc'd blocks are contiguous. The InterWeave library can therefore
+//! implement a segment as a collection of subsegments, invisible to the
+//! user. Each subsegment is contiguous, and can be any integral number of
+//! pages in length." (§3.1)
+//!
+//! Real InterWeave write-protects subsegment pages with `mprotect` and
+//! catches SIGSEGV to create page *twins*. This reproduction keeps a
+//! per-page protection bitmap instead: every write that goes through the
+//! heap checks the bitmap and, on the first touch of a protected page,
+//! snapshots the page into the `pagemap` exactly as the paper's fault
+//! handler would. The observable algorithm — one twin per dirtied page,
+//! word-by-word comparison at diff time — is identical; only the trigger
+//! differs (see DESIGN.md).
+
+use crate::error::HeapError;
+
+/// A contiguous, page-multiple region of a cached segment.
+#[derive(Debug)]
+pub struct Subsegment {
+    /// Base simulated virtual address (page aligned).
+    base: u64,
+    /// Page size in bytes (constant per heap).
+    page_size: u32,
+    /// The local-format bytes of this subsegment.
+    data: Vec<u8>,
+    /// Per-page twins, created lazily on first protected write
+    /// (the paper's "pagemap (pointers to twins)").
+    pagemap: Vec<Option<Box<[u8]>>>,
+    /// Per-page write-protection bits (the `mprotect` stand-in).
+    protected: Vec<bool>,
+    /// Cumulative simulated write faults (twin creations).
+    faults: u64,
+    /// Blocks in this subsegment, sorted by start address
+    /// (the paper's `blk_addr_tree`): start VA → block serial.
+    pub(crate) blk_addr_tree: std::collections::BTreeMap<u64, u32>,
+}
+
+impl Subsegment {
+    /// Creates a zero-filled subsegment of `pages` pages at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page aligned or `pages` is zero.
+    pub fn new(base: u64, pages: usize, page_size: u32) -> Self {
+        assert!(pages > 0, "subsegment must have at least one page");
+        assert_eq!(base % u64::from(page_size), 0, "base must be page aligned");
+        Subsegment {
+            base,
+            page_size,
+            data: vec![0; pages * page_size as usize],
+            pagemap: (0..pages).map(|_| None).collect(),
+            protected: vec![false; pages],
+            faults: 0,
+            blk_addr_tree: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Base virtual address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the subsegment holds no bytes (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> usize {
+        self.pagemap.len()
+    }
+
+    /// One-past-the-end virtual address.
+    pub fn end(&self) -> u64 {
+        self.base + self.len() as u64
+    }
+
+    /// `true` when `va` falls inside this subsegment.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.base && va < self.end()
+    }
+
+    /// Immutable view of `len` bytes at `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBounds`] when the range leaves the subsegment.
+    pub fn bytes(&self, va: u64, len: usize) -> Result<&[u8], HeapError> {
+        let off = self.offset_of(va, len)?;
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Writes `src` at `va`, creating twins for any protected page touched
+    /// (the simulated SIGSEGV handler).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBounds`] when the range leaves the subsegment.
+    pub fn write(&mut self, va: u64, src: &[u8]) -> Result<(), HeapError> {
+        let off = self.offset_of(va, src.len())?;
+        self.fault_range(off, src.len());
+        self.data[off..off + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Mutable view of `len` bytes at `va`, faulting pages first. Used by
+    /// bulk operations (diff application) that write in place.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBounds`] when the range leaves the subsegment.
+    pub fn bytes_mut(&mut self, va: u64, len: usize) -> Result<&mut [u8], HeapError> {
+        let off = self.offset_of(va, len)?;
+        self.fault_range(off, len);
+        Ok(&mut self.data[off..off + len])
+    }
+
+    /// Mutable view that bypasses protection (used by the library itself
+    /// when installing server updates that must not look like local
+    /// modifications).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfBounds`] when the range leaves the subsegment.
+    pub fn bytes_mut_unprotected(
+        &mut self,
+        va: u64,
+        len: usize,
+    ) -> Result<&mut [u8], HeapError> {
+        let off = self.offset_of(va, len)?;
+        Ok(&mut self.data[off..off + len])
+    }
+
+    fn offset_of(&self, va: u64, len: usize) -> Result<usize, HeapError> {
+        if !self.contains(va) {
+            return Err(HeapError::BadAddress { va });
+        }
+        let off = (va - self.base) as usize;
+        if off + len > self.data.len() {
+            return Err(HeapError::OutOfBounds { va, len });
+        }
+        Ok(off)
+    }
+
+    /// Creates twins for all protected pages overlapping `[off, off+len)`
+    /// and clears their protection — the work of the paper's SIGSEGV
+    /// handler, which "creates a pristine copy, or twin, of the page …
+    /// saves a pointer to that twin in the faulting subsegment's header …
+    /// and then asks the operating system to re-enable write access".
+    fn fault_range(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let ps = self.page_size as usize;
+        let first = off / ps;
+        let last = (off + len - 1) / ps;
+        for page in first..=last {
+            if self.protected[page] {
+                let start = page * ps;
+                let twin: Box<[u8]> = self.data[start..start + ps].into();
+                self.pagemap[page] = Some(twin);
+                self.protected[page] = false;
+                self.faults += 1;
+            }
+        }
+    }
+
+    /// Write-protects every page (done at write-lock acquisition).
+    /// Pages that already have a twin from the current critical section
+    /// keep it and stay unprotected.
+    pub fn protect_all(&mut self) {
+        for (page, p) in self.protected.iter_mut().enumerate() {
+            if self.pagemap[page].is_none() {
+                *p = true;
+            }
+        }
+    }
+
+    /// Clears all protection bits without touching twins (used when
+    /// entering no-diff mode, where modification tracking is disabled).
+    pub fn unprotect_all(&mut self) {
+        self.protected.iter_mut().for_each(|p| *p = false);
+    }
+
+    /// Restores every twinned page to its pristine (twin) content —
+    /// the rollback primitive for aborted transactions. Twins and
+    /// protection are cleared afterwards.
+    pub fn restore_twins(&mut self) {
+        let ps = self.page_size as usize;
+        for (i, slot) in self.pagemap.iter_mut().enumerate() {
+            if let Some(twin) = slot.take() {
+                self.data[i * ps..(i + 1) * ps].copy_from_slice(&twin);
+            }
+        }
+        self.unprotect_all();
+    }
+
+    /// Drops all twins and protection (done after diff collection).
+    pub fn clear_tracking(&mut self) {
+        self.pagemap.iter_mut().for_each(|t| *t = None);
+        self.unprotect_all();
+    }
+
+    /// Iterates `(page index, twin, current page bytes)` for every page
+    /// that has a twin — i.e. every page dirtied since `protect_all`.
+    pub fn modified_pages(&self) -> impl Iterator<Item = (usize, &[u8], &[u8])> {
+        let ps = self.page_size as usize;
+        self.pagemap.iter().enumerate().filter_map(move |(i, t)| {
+            t.as_deref()
+                .map(|twin| (i, twin, &self.data[i * ps..(i + 1) * ps]))
+        })
+    }
+
+    /// Cumulative simulated write faults (twin creations) since the
+    /// subsegment was created — the analogue of the paper's SIGSEGV
+    /// count, which no-diff mode exists to eliminate.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Number of pages currently twinned.
+    pub fn twin_count(&self) -> usize {
+        self.pagemap.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// `true` if page `i` is write-protected.
+    pub fn is_protected(&self, i: usize) -> bool {
+        self.protected[i]
+    }
+
+    /// The page size this subsegment was built with.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subseg() -> Subsegment {
+        Subsegment::new(0x1000, 4, 256)
+    }
+
+    #[test]
+    fn geometry() {
+        let s = subseg();
+        assert_eq!(s.base(), 0x1000);
+        assert_eq!(s.len(), 1024);
+        assert_eq!(s.pages(), 4);
+        assert_eq!(s.end(), 0x1400);
+        assert!(s.contains(0x1000));
+        assert!(s.contains(0x13FF));
+        assert!(!s.contains(0x1400));
+        assert!(!s.contains(0xFFF));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn misaligned_base_panics() {
+        let _ = Subsegment::new(0x1001, 1, 256);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = subseg();
+        s.write(0x1010, &[1, 2, 3]).unwrap();
+        assert_eq!(s.bytes(0x1010, 3).unwrap(), &[1, 2, 3]);
+        assert_eq!(s.bytes(0x100F, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut s = subseg();
+        assert!(matches!(
+            s.bytes(0x0, 1),
+            Err(HeapError::BadAddress { .. })
+        ));
+        assert!(matches!(
+            s.bytes(0x13FF, 2),
+            Err(HeapError::OutOfBounds { .. })
+        ));
+        assert!(s.write(0x1400, &[0]).is_err());
+    }
+
+    #[test]
+    fn unprotected_writes_make_no_twins() {
+        let mut s = subseg();
+        s.write(0x1000, &[1; 100]).unwrap();
+        assert_eq!(s.twin_count(), 0);
+        assert_eq!(s.modified_pages().count(), 0);
+    }
+
+    #[test]
+    fn protected_write_creates_twin_with_pristine_content() {
+        let mut s = subseg();
+        s.write(0x1000, &[7; 256]).unwrap(); // page 0 pre-content
+        s.protect_all();
+        assert!(s.is_protected(0));
+        s.write(0x1004, &[9, 9]).unwrap();
+        assert!(!s.is_protected(0), "fault must unprotect");
+        assert_eq!(s.twin_count(), 1);
+        let (idx, twin, cur) = s.modified_pages().next().unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(twin, &[7u8; 256][..], "twin is the pristine copy");
+        assert_eq!(&cur[4..6], &[9, 9]);
+    }
+
+    #[test]
+    fn second_write_to_same_page_keeps_first_twin() {
+        let mut s = subseg();
+        s.protect_all();
+        s.write(0x1000, &[1]).unwrap();
+        s.write(0x1001, &[2]).unwrap();
+        assert_eq!(s.twin_count(), 1);
+        let (_, twin, _) = s.modified_pages().next().unwrap();
+        assert_eq!(twin[0], 0, "twin must predate the first write");
+    }
+
+    #[test]
+    fn write_spanning_pages_twins_each() {
+        let mut s = subseg();
+        s.protect_all();
+        s.write(0x10FE, &[1, 2, 3, 4]).unwrap(); // pages 0 and 1
+        assert_eq!(s.twin_count(), 2);
+        let pages: Vec<usize> = s.modified_pages().map(|(i, _, _)| i).collect();
+        assert_eq!(pages, vec![0, 1]);
+    }
+
+    #[test]
+    fn reprotect_preserves_existing_twins() {
+        let mut s = subseg();
+        s.protect_all();
+        s.write(0x1000, &[1]).unwrap();
+        s.protect_all(); // e.g. nested lock re-acquire
+        assert!(!s.is_protected(0), "twinned page must stay writable");
+        assert!(s.is_protected(1));
+    }
+
+    #[test]
+    fn restore_twins_rolls_back_content() {
+        let mut s = subseg();
+        s.write(0x1000, &[7; 16]).unwrap();
+        s.protect_all();
+        s.write(0x1000, &[9; 16]).unwrap();
+        s.write(0x1100, &[5]).unwrap();
+        s.restore_twins();
+        assert_eq!(s.bytes(0x1000, 16).unwrap(), &[7; 16]);
+        assert_eq!(s.bytes(0x1100, 1).unwrap(), &[0]);
+        assert_eq!(s.twin_count(), 0);
+        assert!(!s.is_protected(0));
+    }
+
+    #[test]
+    fn clear_tracking_resets() {
+        let mut s = subseg();
+        s.protect_all();
+        s.write(0x1000, &[1]).unwrap();
+        s.clear_tracking();
+        assert_eq!(s.twin_count(), 0);
+        assert!(!s.is_protected(0));
+        assert!(!s.is_protected(3));
+    }
+
+    #[test]
+    fn unprotected_mut_view_bypasses_twinning() {
+        let mut s = subseg();
+        s.protect_all();
+        s.bytes_mut_unprotected(0x1000, 4).unwrap()[0] = 5;
+        assert_eq!(s.twin_count(), 0);
+        assert!(s.is_protected(0), "protection must survive library writes");
+    }
+
+    #[test]
+    fn bytes_mut_faults_like_write() {
+        let mut s = subseg();
+        s.protect_all();
+        s.bytes_mut(0x1100, 8).unwrap().fill(3);
+        assert_eq!(s.twin_count(), 1);
+        assert_eq!(s.bytes(0x1100, 8).unwrap(), &[3; 8]);
+    }
+
+    #[test]
+    fn zero_length_write_is_noop() {
+        let mut s = subseg();
+        s.protect_all();
+        s.write(0x1000, &[]).unwrap();
+        assert_eq!(s.twin_count(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the heap allocator: random allocate/free interleavings
+//! must never produce overlapping blocks, dangling metadata, or unresolvable
+//! addresses.
+
+use iw_heap::{Heap, HeapError};
+use iw_types::arch::MachineArch;
+use iw_types::desc::TypeDesc;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { count: u32, ty_pick: u8 },
+    Free { victim: usize },
+    Write { victim: usize, off_frac: f64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u32..200, 0u8..4).prop_map(|(count, ty_pick)| Op::Alloc { count, ty_pick }),
+        1 => (0usize..64).prop_map(|victim| Op::Free { victim }),
+        2 => ((0usize..64), 0.0f64..1.0).prop_map(|(victim, off_frac)| Op::Write {
+            victim,
+            off_frac
+        }),
+    ]
+}
+
+fn ty_for(pick: u8) -> TypeDesc {
+    match pick {
+        0 => TypeDesc::char8(),
+        1 => TypeDesc::int32(),
+        2 => TypeDesc::float64(),
+        _ => TypeDesc::structure(
+            "s",
+            vec![("i", TypeDesc::int32()), ("d", TypeDesc::float64())],
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocator_invariants_hold(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut h = Heap::with_page_size(MachineArch::x86(), 256);
+        let seg = h.create_segment("p/t").unwrap();
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_serial = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Alloc { count, ty_pick } => {
+                    let ty = ty_for(ty_pick);
+                    let serial = next_serial;
+                    next_serial += 1;
+                    let va = h.alloc_block(seg, serial, None, &ty, count).unwrap();
+                    // Fresh blocks are zeroed even when reusing freed space.
+                    let size = h.segment(seg).block_by_serial(serial).unwrap().size();
+                    prop_assert!(h
+                        .read_bytes(va, size as usize)
+                        .unwrap()
+                        .iter()
+                        .all(|&b| b == 0));
+                    live.push(serial);
+                }
+                Op::Free { victim } => {
+                    if live.is_empty() { continue; }
+                    let serial = live.remove(victim % live.len());
+                    h.free_block(seg, serial).unwrap();
+                    prop_assert!(matches!(
+                        h.free_block(seg, serial),
+                        Err(HeapError::UnknownBlockSerial(_))
+                    ));
+                }
+                Op::Write { victim, off_frac } => {
+                    if live.is_empty() { continue; }
+                    let serial = live[victim % live.len()];
+                    let (va, size) = {
+                        let b = h.segment(seg).block_by_serial(serial).unwrap();
+                        (b.va, b.size())
+                    };
+                    let off = ((size.saturating_sub(1)) as f64 * off_frac) as u64;
+                    h.write_bytes(va + off, &[0xAB]).unwrap();
+                    prop_assert_eq!(h.read_bytes(va + off, 1).unwrap(), &[0xAB]);
+                }
+            }
+
+            // Invariant: live blocks never overlap, sorted by address.
+            let mut spans: Vec<(u64, u64)> = live
+                .iter()
+                .map(|&s| {
+                    let b = h.segment(seg).block_by_serial(s).unwrap();
+                    (b.va, b.end())
+                })
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+            }
+
+            // Invariant: interior addresses resolve to the right block.
+            for &s in &live {
+                let b = h.segment(seg).block_by_serial(s).unwrap();
+                let (va, end) = (b.va, b.end());
+                let mid = va + (end - va) / 2;
+                let (_, found) = h.block_at(mid).unwrap();
+                prop_assert_eq!(found.serial, s);
+            }
+
+            prop_assert_eq!(h.segment(seg).block_count(), live.len());
+        }
+    }
+}

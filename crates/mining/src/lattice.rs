@@ -1,0 +1,190 @@
+//! The incremental sequence lattice.
+//!
+//! "The database server reads from an active, growing database and builds
+//! a summary data structure (a lattice of item sequences) to be used by
+//! mining queries. Each node in the lattice represents a potentially
+//! meaningful sequence of transactions, and contains pointers to other
+//! sequences of which it is a prefix." (§4.4)
+//!
+//! The miner counts contiguous item sequences (n-grams over each
+//! customer's flattened purchase stream) up to a length bound. The
+//! result is prefix-closed by construction: every prefix of a counted
+//! sequence is counted at least as often, so the frequent set always
+//! forms a lattice reachable from the root.
+
+use std::collections::HashMap;
+
+use crate::gen::{CustomerSeq, Item};
+
+/// A sequence of items (a lattice node key).
+pub type Seq = Vec<Item>;
+
+/// The in-memory summary lattice.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    counts: HashMap<Seq, u32>,
+    max_len: usize,
+    min_support: u32,
+    customers_seen: u32,
+}
+
+impl Lattice {
+    /// Creates an empty lattice counting sequences up to `max_len` items,
+    /// reporting those with at least `min_support` supporting customers.
+    pub fn new(max_len: usize, min_support: u32) -> Self {
+        assert!(max_len >= 1, "max_len must be at least 1");
+        Lattice {
+            counts: HashMap::new(),
+            max_len,
+            min_support,
+            customers_seen: 0,
+        }
+    }
+
+    /// Number of customers processed so far.
+    pub fn customers_seen(&self) -> u32 {
+        self.customers_seen
+    }
+
+    /// Number of distinct sequences counted (frequent or not).
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The support of `seq`, if counted.
+    pub fn support(&self, seq: &[Item]) -> Option<u32> {
+        self.counts.get(seq).copied()
+    }
+
+    /// Feeds a batch of customers into the lattice (the incremental
+    /// update path: "the server then repeatedly updates the structure
+    /// using an additional 1% of the database each time").
+    pub fn update(&mut self, customers: &[CustomerSeq]) {
+        for c in customers {
+            self.customers_seen += 1;
+            let stream: Vec<Item> = c
+                .transactions
+                .iter()
+                .flat_map(|t| t.iter().copied())
+                .collect();
+            // Each distinct n-gram counts once per customer.
+            let mut seen: HashMap<&[Item], ()> = HashMap::new();
+            for start in 0..stream.len() {
+                for len in 1..=self.max_len.min(stream.len() - start) {
+                    let gram = &stream[start..start + len];
+                    if seen.insert(gram, ()).is_none() {
+                        *self.counts.entry(gram.to_vec()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All frequent sequences with their supports, sorted by (length,
+    /// sequence) so parents precede children.
+    pub fn frequent(&self) -> Vec<(Seq, u32)> {
+        let mut out: Vec<(Seq, u32)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= self.min_support)
+            .map(|(s, &c)| (s.clone(), c))
+            .collect();
+        out.sort_unstable_by(|a, b| (a.0.len(), &a.0).cmp(&(b.0.len(), &b.0)));
+        out
+    }
+
+    /// Answers a mining query: the frequent extensions of `prefix`,
+    /// most-supported first.
+    pub fn extensions(&self, prefix: &[Item]) -> Vec<(Seq, u32)> {
+        let mut out: Vec<(Seq, u32)> = self
+            .counts
+            .iter()
+            .filter(|(s, &c)| {
+                c >= self.min_support
+                    && s.len() == prefix.len() + 1
+                    && s.starts_with(prefix)
+            })
+            .map(|(s, &c)| (s.clone(), c))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    fn customer(id: u32, txns: &[&[Item]]) -> CustomerSeq {
+        CustomerSeq {
+            id,
+            transactions: txns.iter().map(|t| t.to_vec()).collect(),
+        }
+    }
+
+    #[test]
+    fn counts_ngrams_once_per_customer() {
+        let mut l = Lattice::new(2, 1);
+        l.update(&[customer(0, &[&[1, 2], &[1, 2]]) /* stream 1 2 1 2 */]);
+        assert_eq!(l.support(&[1]), Some(1), "per-customer dedup");
+        assert_eq!(l.support(&[1, 2]), Some(1));
+        assert_eq!(l.support(&[2, 1]), Some(1));
+        assert_eq!(l.support(&[3]), None);
+        assert_eq!(l.customers_seen(), 1);
+    }
+
+    #[test]
+    fn support_accumulates_across_customers() {
+        let mut l = Lattice::new(2, 2);
+        l.update(&[customer(0, &[&[5, 6]]), customer(1, &[&[5, 6]])]);
+        l.update(&[customer(2, &[&[5]])]);
+        assert_eq!(l.support(&[5]), Some(3));
+        assert_eq!(l.support(&[5, 6]), Some(2));
+        let freq = l.frequent();
+        assert!(freq.contains(&(vec![5], 3)));
+        assert!(freq.contains(&(vec![5, 6], 2)));
+        assert!(!freq.iter().any(|(s, _)| s == &vec![6, 5]));
+    }
+
+    #[test]
+    fn frequent_is_prefix_closed_and_parent_first() {
+        let db = generate(&GenConfig::small(3));
+        let mut l = Lattice::new(3, 5);
+        l.update(&db.customers);
+        let freq = l.frequent();
+        let set: std::collections::HashSet<&Seq> = freq.iter().map(|(s, _)| s).collect();
+        for (i, (s, sup)) in freq.iter().enumerate() {
+            if s.len() > 1 {
+                let prefix = s[..s.len() - 1].to_vec();
+                assert!(set.contains(&prefix), "prefix of {s:?} missing");
+                // Parent precedes child in the ordering.
+                let pidx = freq.iter().position(|(q, _)| *q == prefix).unwrap();
+                assert!(pidx < i);
+                // Anti-monotone support.
+                let (_, psup) = &freq[pidx];
+                assert!(psup >= sup);
+            }
+        }
+    }
+
+    #[test]
+    fn extensions_are_ranked() {
+        let mut l = Lattice::new(2, 1);
+        l.update(&[
+            customer(0, &[&[1, 2]]),
+            customer(1, &[&[1, 2]]),
+            customer(2, &[&[1, 3]]),
+        ]);
+        let ext = l.extensions(&[1]);
+        assert_eq!(ext[0], (vec![1, 2], 2));
+        assert_eq!(ext[1], (vec![1, 3], 1));
+        assert!(l.extensions(&[9]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len")]
+    fn zero_max_len_rejected() {
+        let _ = Lattice::new(0, 1);
+    }
+}

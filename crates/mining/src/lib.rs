@@ -1,0 +1,18 @@
+//! # iw-mining — the incremental sequence-mining application
+//!
+//! The datamining workload of paper §4.4: a QUEST-style synthetic
+//! transaction [`gen`]erator, an incremental sequence [`lattice`] miner,
+//! and the machinery to [share](shared) the summary lattice through an
+//! InterWeave segment — the workload behind the Figure 7 bandwidth
+//! experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod lattice;
+pub mod shared;
+
+pub use gen::{generate, CustomerSeq, Database, GenConfig, Item};
+pub use lattice::{Lattice, Seq};
+pub use shared::{read_lattice, LatticePublisher, PublishStats};

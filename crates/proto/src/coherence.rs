@@ -1,0 +1,140 @@
+//! Relaxed coherence models.
+//!
+//! "Among the relaxed coherence models currently supported by InterWeave,
+//! *Delta* coherence guarantees that the segment is no more than x versions
+//! out-of-date; *Temporal* coherence guarantees that it is no more than x
+//! time units out of date; and *Diff-based* coherence guarantees that no
+//! more than x% of the primitive data elements in the segment are out of
+//! date. In all cases, x can be specified dynamically by the process."
+//! (§3.2)
+
+use std::fmt;
+
+use iw_wire::codec::{WireError, WireReader, WireWriter};
+
+/// The coherence requirement a client attaches to a read-lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Coherence {
+    /// Always fetch the most recent version (the strictest model; what
+    /// plain RPC-by-value would give you).
+    #[default]
+    Full,
+    /// The cached copy may be up to `x` versions out of date.
+    Delta(u32),
+    /// The cached copy may be up to `x` milliseconds out of date. The
+    /// client library enforces this with a per-segment real-time stamp.
+    Temporal(u64),
+    /// At most `x` *basis points* (hundredths of a percent) of the
+    /// segment's primitive data may be out of date. The server enforces
+    /// this with a conservative per-client modification counter.
+    Diff(u32),
+}
+
+impl Coherence {
+    /// Convenience constructor for Diff coherence given a percentage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_proto::coherence::Coherence;
+    /// assert_eq!(Coherence::diff_percent(2.5), Coherence::Diff(250));
+    /// ```
+    pub fn diff_percent(pct: f64) -> Self {
+        Coherence::Diff((pct * 100.0).round() as u32)
+    }
+
+    /// Serializes onto a wire writer.
+    pub fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Coherence::Full => w.put_u8(0),
+            Coherence::Delta(x) => {
+                w.put_u8(1);
+                w.put_u32(*x);
+            }
+            Coherence::Temporal(ms) => {
+                w.put_u8(2);
+                w.put_u64(*ms);
+            }
+            Coherence::Diff(bp) => {
+                w.put_u8(3);
+                w.put_u32(*bp);
+            }
+        }
+    }
+
+    /// Deserializes from a wire reader.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadTag`] on an unknown model tag, plus truncation
+    /// errors.
+    pub fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => Coherence::Full,
+            1 => Coherence::Delta(r.get_u32()?),
+            2 => Coherence::Temporal(r.get_u64()?),
+            3 => Coherence::Diff(r.get_u32()?),
+            tag => return Err(WireError::BadTag { what: "coherence model", tag }),
+        })
+    }
+}
+
+
+impl fmt::Display for Coherence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Coherence::Full => f.write_str("full"),
+            Coherence::Delta(x) => write!(f, "delta({x})"),
+            Coherence::Temporal(ms) => write!(f, "temporal({ms}ms)"),
+            Coherence::Diff(bp) => write!(f, "diff({}%)", *bp as f64 / 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_models() {
+        for c in [
+            Coherence::Full,
+            Coherence::Delta(3),
+            Coherence::Temporal(1500),
+            Coherence::Diff(250),
+        ] {
+            let mut w = WireWriter::new();
+            c.encode(&mut w);
+            let mut r = WireReader::new(w.finish());
+            assert_eq!(Coherence::decode(&mut r).unwrap(), c);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(9);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            Coherence::decode(&mut r),
+            Err(WireError::BadTag { what: "coherence model", .. })
+        ));
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(Coherence::default(), Coherence::Full);
+        assert_eq!(Coherence::Delta(2).to_string(), "delta(2)");
+        assert_eq!(Coherence::Diff(250).to_string(), "diff(2.5%)");
+        assert_eq!(Coherence::Temporal(9).to_string(), "temporal(9ms)");
+        assert_eq!(Coherence::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn diff_percent_conversion() {
+        assert_eq!(Coherence::diff_percent(0.0), Coherence::Diff(0));
+        assert_eq!(Coherence::diff_percent(100.0), Coherence::Diff(10_000));
+    }
+}

@@ -1,0 +1,498 @@
+//! Protocol messages between InterWeave clients and servers.
+//!
+//! The protocol is request/reply. A client first sends [`Request::Hello`]
+//! to obtain a client id (servers keep per-client state for Diff coherence
+//! and lock bookkeeping), then opens segments and acquires/releases locks.
+//! Lock acquisition piggybacks the coherence check and, when the cached
+//! copy is not recent enough, the wire diff that brings it up to date —
+//! one round trip does it all, as in the paper.
+//!
+//! Lock grants are non-blocking at the protocol level: a busy lock yields
+//! [`Reply::Busy`] and the client library retries, so a single transport
+//! thread can never deadlock behind a queued lock.
+
+use bytes::Bytes;
+
+use iw_wire::codec::{WireError, WireReader, WireWriter};
+use iw_wire::diff::SegmentDiff;
+
+use crate::coherence::Coherence;
+
+/// Lock mode requested by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared reader lock.
+    Read,
+    /// Exclusive writer lock.
+    Write,
+}
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Introduces a client; the reply carries its id.
+    Hello {
+        /// Human-readable client description (architecture name etc.),
+        /// for diagnostics.
+        info: String,
+    },
+    /// Opens (or creates) a segment.
+    Open {
+        /// Requesting client.
+        client: u64,
+        /// Segment name (`host/path`).
+        segment: String,
+    },
+    /// Acquires a lock, piggybacking the coherence check.
+    Acquire {
+        /// Requesting client.
+        client: u64,
+        /// Segment name.
+        segment: String,
+        /// Read or write.
+        mode: LockMode,
+        /// Version of the client's cached copy (0 = nothing cached).
+        have_version: u64,
+        /// Coherence requirement for read locks.
+        coherence: Coherence,
+    },
+    /// Releases a lock; write releases carry the update diff.
+    Release {
+        /// Requesting client.
+        client: u64,
+        /// Segment name.
+        segment: String,
+        /// `Some(diff)` for a write release that modified the segment.
+        diff: Option<SegmentDiff>,
+    },
+    /// Atomically commits write-lock releases for several segments
+    /// (transaction support — the paper's §6 future work). The server
+    /// validates every entry (writer lock held, base version current)
+    /// before applying any of them.
+    Commit {
+        /// Requesting client.
+        client: u64,
+        /// `(segment, diff)` pairs; a `None` diff releases the lock with
+        /// no changes.
+        entries: Vec<(String, Option<SegmentDiff>)>,
+    },
+    /// Read-only fetch of an update without locking (used by the
+    /// adaptive polling path).
+    Poll {
+        /// Requesting client.
+        client: u64,
+        /// Segment name.
+        segment: String,
+        /// Version of the client's cached copy.
+        have_version: u64,
+        /// Coherence requirement.
+        coherence: Coherence,
+    },
+}
+
+/// A server→client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Reply to [`Request::Hello`].
+    Welcome {
+        /// The id the client must present in subsequent requests.
+        client: u64,
+    },
+    /// Reply to [`Request::Open`].
+    Opened {
+        /// Current version of the segment (0 for a fresh segment).
+        version: u64,
+    },
+    /// Lock granted.
+    Granted {
+        /// Segment version after any piggybacked update.
+        version: u64,
+        /// Update diff when the cached copy was not recent enough
+        /// (`None` = recent enough, keep using it).
+        update: Option<SegmentDiff>,
+        /// For write locks: the serial the client must use for its next
+        /// new block (serials are segment-global).
+        next_serial: u32,
+        /// For write locks: the serial for the next new type descriptor.
+        next_type_serial: u32,
+    },
+    /// The lock is held incompatibly; retry later.
+    Busy,
+    /// Reply to [`Request::Release`].
+    Released {
+        /// The segment version after the release.
+        version: u64,
+    },
+    /// Reply to [`Request::Commit`]: per-entry post-commit versions.
+    Committed {
+        /// Segment versions in entry order.
+        versions: Vec<u64>,
+    },
+    /// Reply to [`Request::Poll`]: the cached copy is recent enough.
+    UpToDate,
+    /// Reply to [`Request::Poll`]: an update is needed and included.
+    Update {
+        /// The update diff.
+        diff: SegmentDiff,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Serializes the request into framed wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Hello { info } => {
+                w.put_u8(0);
+                w.put_str(info);
+            }
+            Request::Open { client, segment } => {
+                w.put_u8(1);
+                w.put_u64(*client);
+                w.put_str(segment);
+            }
+            Request::Acquire { client, segment, mode, have_version, coherence } => {
+                w.put_u8(2);
+                w.put_u64(*client);
+                w.put_str(segment);
+                w.put_u8(match mode {
+                    LockMode::Read => 0,
+                    LockMode::Write => 1,
+                });
+                w.put_u64(*have_version);
+                coherence.encode(&mut w);
+            }
+            Request::Release { client, segment, diff } => {
+                w.put_u8(3);
+                w.put_u64(*client);
+                w.put_str(segment);
+                match diff {
+                    None => w.put_u8(0),
+                    Some(d) => {
+                        w.put_u8(1);
+                        w.put_len_bytes(&d.encode());
+                    }
+                }
+            }
+            Request::Commit { client, entries } => {
+                w.put_u8(5);
+                w.put_u64(*client);
+                w.put_u32(entries.len() as u32);
+                for (segment, diff) in entries {
+                    w.put_str(segment);
+                    match diff {
+                        None => w.put_u8(0),
+                        Some(d) => {
+                            w.put_u8(1);
+                            w.put_len_bytes(&d.encode());
+                        }
+                    }
+                }
+            }
+            Request::Poll { client, segment, have_version, coherence } => {
+                w.put_u8(4);
+                w.put_u64(*client);
+                w.put_str(segment);
+                w.put_u64(*have_version);
+                coherence.encode(&mut w);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a request from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from malformed input.
+    pub fn decode(bytes: Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let req = match r.get_u8()? {
+            0 => Request::Hello { info: r.get_str()? },
+            1 => Request::Open { client: r.get_u64()?, segment: r.get_str()? },
+            2 => {
+                let client = r.get_u64()?;
+                let segment = r.get_str()?;
+                let mode = match r.get_u8()? {
+                    0 => LockMode::Read,
+                    1 => LockMode::Write,
+                    tag => return Err(WireError::BadTag { what: "lock mode", tag }),
+                };
+                let have_version = r.get_u64()?;
+                let coherence = Coherence::decode(&mut r)?;
+                Request::Acquire { client, segment, mode, have_version, coherence }
+            }
+            3 => {
+                let client = r.get_u64()?;
+                let segment = r.get_str()?;
+                let diff = match r.get_u8()? {
+                    0 => None,
+                    1 => {
+                        let body = r.get_len_bytes()?;
+                        let mut dr = WireReader::new(body);
+                        Some(SegmentDiff::decode(&mut dr)?)
+                    }
+                    tag => return Err(WireError::BadTag { what: "release diff flag", tag }),
+                };
+                Request::Release { client, segment, diff }
+            }
+            4 => {
+                let client = r.get_u64()?;
+                let segment = r.get_str()?;
+                let have_version = r.get_u64()?;
+                let coherence = Coherence::decode(&mut r)?;
+                Request::Poll { client, segment, have_version, coherence }
+            }
+            5 => {
+                let client = r.get_u64()?;
+                let n = r.get_u32()?;
+                if n > 1 << 16 {
+                    return Err(WireError::LengthOverflow { len: u64::from(n) });
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let segment = r.get_str()?;
+                    let diff = match r.get_u8()? {
+                        0 => None,
+                        1 => {
+                            let body = r.get_len_bytes()?;
+                            let mut dr = WireReader::new(body);
+                            Some(SegmentDiff::decode(&mut dr)?)
+                        }
+                        tag => {
+                            return Err(WireError::BadTag {
+                                what: "commit diff flag",
+                                tag,
+                            })
+                        }
+                    };
+                    entries.push((segment, diff));
+                }
+                Request::Commit { client, entries }
+            }
+            tag => return Err(WireError::BadTag { what: "request", tag }),
+        };
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Serializes the reply into framed wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            Reply::Welcome { client } => {
+                w.put_u8(0);
+                w.put_u64(*client);
+            }
+            Reply::Opened { version } => {
+                w.put_u8(1);
+                w.put_u64(*version);
+            }
+            Reply::Granted { version, update, next_serial, next_type_serial } => {
+                w.put_u8(2);
+                w.put_u64(*version);
+                match update {
+                    None => w.put_u8(0),
+                    Some(d) => {
+                        w.put_u8(1);
+                        w.put_len_bytes(&d.encode());
+                    }
+                }
+                w.put_u32(*next_serial);
+                w.put_u32(*next_type_serial);
+            }
+            Reply::Busy => w.put_u8(3),
+            Reply::Released { version } => {
+                w.put_u8(4);
+                w.put_u64(*version);
+            }
+            Reply::UpToDate => w.put_u8(5),
+            Reply::Committed { versions } => {
+                w.put_u8(8);
+                w.put_u32(versions.len() as u32);
+                for v in versions {
+                    w.put_u64(*v);
+                }
+            }
+            Reply::Update { diff } => {
+                w.put_u8(6);
+                w.put_len_bytes(&diff.encode());
+            }
+            Reply::Error { message } => {
+                w.put_u8(7);
+                w.put_str(message);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a reply from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from malformed input.
+    pub fn decode(bytes: Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let reply = match r.get_u8()? {
+            0 => Reply::Welcome { client: r.get_u64()? },
+            1 => Reply::Opened { version: r.get_u64()? },
+            2 => {
+                let version = r.get_u64()?;
+                let update = match r.get_u8()? {
+                    0 => None,
+                    1 => {
+                        let body = r.get_len_bytes()?;
+                        let mut dr = WireReader::new(body);
+                        Some(SegmentDiff::decode(&mut dr)?)
+                    }
+                    tag => return Err(WireError::BadTag { what: "grant diff flag", tag }),
+                };
+                let next_serial = r.get_u32()?;
+                let next_type_serial = r.get_u32()?;
+                Reply::Granted { version, update, next_serial, next_type_serial }
+            }
+            3 => Reply::Busy,
+            4 => Reply::Released { version: r.get_u64()? },
+            5 => Reply::UpToDate,
+            6 => {
+                let body = r.get_len_bytes()?;
+                let mut dr = WireReader::new(body);
+                Reply::Update { diff: SegmentDiff::decode(&mut dr)? }
+            }
+            7 => Reply::Error { message: r.get_str()? },
+            8 => {
+                let n = r.get_u32()?;
+                if n > 1 << 16 {
+                    return Err(WireError::LengthOverflow { len: u64::from(n) });
+                }
+                let mut versions = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    versions.push(r.get_u64()?);
+                }
+                Reply::Committed { versions }
+            }
+            tag => return Err(WireError::BadTag { what: "reply", tag }),
+        };
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_wire::diff::{BlockDiff, DiffRun};
+
+    fn sample_diff() -> SegmentDiff {
+        SegmentDiff {
+            from_version: 1,
+            to_version: 2,
+            block_diffs: vec![BlockDiff {
+                serial: 0,
+                runs: vec![DiffRun {
+                    start: 2,
+                    count: 1,
+                    data: Bytes::from_static(&[0, 0, 0, 5]),
+                }],
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Hello { info: "x86 test client".into() },
+            Request::Open { client: 7, segment: "h/s".into() },
+            Request::Acquire {
+                client: 7,
+                segment: "h/s".into(),
+                mode: LockMode::Write,
+                have_version: 3,
+                coherence: Coherence::Delta(2),
+            },
+            Request::Release { client: 7, segment: "h/s".into(), diff: None },
+            Request::Release {
+                client: 7,
+                segment: "h/s".into(),
+                diff: Some(sample_diff()),
+            },
+            Request::Poll {
+                client: 7,
+                segment: "h/s".into(),
+                have_version: 1,
+                coherence: Coherence::Diff(100),
+            },
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = [
+            Reply::Welcome { client: 9 },
+            Reply::Opened { version: 4 },
+            Reply::Granted {
+                version: 5,
+                update: Some(sample_diff()),
+                next_serial: 17,
+                next_type_serial: 3,
+            },
+            Reply::Granted {
+                version: 5,
+                update: None,
+                next_serial: 0,
+                next_type_serial: 0,
+            },
+            Reply::Busy,
+            Reply::Released { version: 6 },
+            Reply::UpToDate,
+            Reply::Update { diff: sample_diff() },
+            Reply::Error { message: "no such segment".into() },
+        ];
+        for reply in replies {
+            assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn commit_roundtrips() {
+        let req = Request::Commit {
+            client: 3,
+            entries: vec![
+                ("a/b".into(), Some(sample_diff())),
+                ("c/d".into(), None),
+            ],
+        };
+        assert_eq!(Request::decode(req.encode()).unwrap(), req);
+        let reply = Reply::Committed { versions: vec![4, 9] };
+        assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Request::decode(Bytes::from_static(&[0xFF])).is_err());
+        assert!(Reply::decode(Bytes::from_static(&[0xEE])).is_err());
+        assert!(Request::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn bad_lock_mode_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(2); // Acquire
+        w.put_u64(1);
+        w.put_str("s");
+        w.put_u8(7); // invalid mode
+        assert!(matches!(
+            Request::decode(w.finish()),
+            Err(WireError::BadTag { what: "lock mode", .. })
+        ));
+    }
+}

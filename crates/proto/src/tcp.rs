@@ -1,0 +1,222 @@
+//! TCP transport: the same protocol over real sockets.
+//!
+//! Frames are `u32` big-endian length prefixes followed by the encoded
+//! message. The paper's clients cache one TCP connection per segment table
+//! entry; here a [`TcpTransport`] is one such cached connection.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::msg::{Reply, Request};
+use crate::transport::{Handler, ProtoError, Transport, TransportStats};
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a frame longer than 256 MiB is rejected as
+/// `InvalidData`.
+pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 256 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// A client connection to an InterWeave server over TCP.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    stats: TransportStats,
+}
+
+impl TcpTransport {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream, stats: TransportStats::default() })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
+        let body = req.encode();
+        self.stats.requests += 1;
+        self.stats.bytes_sent += body.len() as u64;
+        write_frame(&mut self.stream, &body)
+            .map_err(|e| ProtoError::Channel(e.to_string()))?;
+        let reply = read_frame(&mut self.stream)
+            .map_err(|e| ProtoError::Channel(e.to_string()))?
+            .ok_or_else(|| ProtoError::Channel("server closed connection".into()))?;
+        self.stats.bytes_received += reply.len() as u64;
+        Ok(Reply::decode(Bytes::from(reply))?)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TransportStats::default();
+    }
+}
+
+/// A running TCP server loop wrapping a [`Handler`].
+///
+/// Dropping the value shuts the listener down and joins its threads.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `handler` on connection-per-thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn(
+        addr: SocketAddr,
+        handler: Arc<Mutex<dyn Handler>>,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("iw-tcp-accept".into())
+            .spawn(move || {
+                let mut workers = Vec::new();
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let handler = handler.clone();
+                    workers.push(std::thread::spawn(move || {
+                        while let Ok(Some(body)) = read_frame(&mut stream) {
+                            let reply = handler.lock().handle(Bytes::from(body));
+                            if write_frame(&mut stream, &reply).is_err() {
+                                break;
+                            }
+                        }
+                    }));
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })?;
+        Ok(TcpServer { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handler() -> Arc<Mutex<dyn Handler>> {
+        Arc::new(Mutex::new(|req: Bytes| match Request::decode(req) {
+            Ok(Request::Hello { info }) => {
+                Reply::Welcome { client: info.len() as u64 }.encode()
+            }
+            _ => Reply::Error { message: "unexpected".into() }.encode(),
+        }))
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let server = TcpServer::spawn("127.0.0.1:0".parse().unwrap(), handler()).unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let reply = t.request(&Request::Hello { info: "abcd".into() }).unwrap();
+        assert_eq!(reply, Reply::Welcome { client: 4 });
+        assert_eq!(t.stats().requests, 1);
+        assert!(t.stats().bytes_sent > 0);
+        assert!(t.stats().bytes_received > 0);
+    }
+
+    #[test]
+    fn multiple_clients_share_one_server() {
+        let server = TcpServer::spawn("127.0.0.1:0".parse().unwrap(), handler()).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = server.addr();
+                std::thread::spawn(move || {
+                    let mut t = TcpTransport::connect(addr).unwrap();
+                    for _ in 0..10 {
+                        let reply = t
+                            .request(&Request::Hello { info: "x".repeat(i + 1) })
+                            .unwrap();
+                        assert_eq!(reply, Reply::Welcome { client: (i + 1) as u64 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn server_shutdown_is_clean() {
+        let server = TcpServer::spawn("127.0.0.1:0".parse().unwrap(), handler()).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // After drop the port no longer accepts our protocol.
+        // (A connect may still succeed briefly on some platforms, but a
+        // request must fail.)
+        if let Ok(mut t) = TcpTransport::connect(addr) {
+            let _ = t.request(&Request::Hello { info: String::new() });
+        }
+    }
+}

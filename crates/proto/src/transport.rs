@@ -1,0 +1,241 @@
+//! Transports carrying protocol messages, with byte accounting.
+//!
+//! All transports move *encoded* messages, even the in-process loopback,
+//! so the byte counters reflect exactly what would cross a network. The
+//! bandwidth results (paper Figure 7) are computed from these counters.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::msg::{Reply, Request};
+
+/// Errors raised by transports and protocol handling.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// A message failed to encode or decode.
+    Wire(iw_wire::codec::WireError),
+    /// The underlying channel failed (connection reset, handler died…).
+    Channel(String),
+    /// The server reported an error.
+    Server(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Wire(e) => write!(f, "wire format error: {e}"),
+            ProtoError::Channel(m) => write!(f, "transport failure: {m}"),
+            ProtoError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl Error for ProtoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtoError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<iw_wire::codec::WireError> for ProtoError {
+    fn from(e: iw_wire::codec::WireError) -> Self {
+        ProtoError::Wire(e)
+    }
+}
+
+/// Byte and message counters for a transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Bytes sent (requests).
+    pub bytes_sent: u64,
+    /// Bytes received (replies).
+    pub bytes_received: u64,
+    /// Number of round trips.
+    pub requests: u64,
+}
+
+impl TransportStats {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// A synchronous request/reply transport to one InterWeave server.
+///
+/// Implementations must count encoded bytes in [`Transport::stats`].
+pub trait Transport: Send {
+    /// Performs one round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Channel`] on transport failure, [`ProtoError::Wire`]
+    /// on undecodable replies.
+    fn request(&mut self, req: &Request) -> Result<Reply, ProtoError>;
+
+    /// Cumulative traffic counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Resets the traffic counters (between experiment phases).
+    fn reset_stats(&mut self);
+}
+
+/// A message handler: something that can answer encoded requests with
+/// encoded replies (in practice, an `iw-server` instance).
+pub trait Handler: Send {
+    /// Handles one encoded request, returning the encoded reply.
+    fn handle(&mut self, request: Bytes) -> Bytes;
+}
+
+impl<F: FnMut(Bytes) -> Bytes + Send> Handler for F {
+    fn handle(&mut self, request: Bytes) -> Bytes {
+        self(request)
+    }
+}
+
+/// An in-process loopback transport: requests are encoded, handed to a
+/// shared [`Handler`], and the encoded reply is decoded — byte-for-byte
+/// what a socket would carry, without the socket.
+///
+/// Cloning produces another client connection to the same handler.
+pub struct Loopback {
+    handler: Arc<Mutex<dyn Handler>>,
+    stats: TransportStats,
+    /// Optional fault injection: drop every Nth request (for failure
+    /// tests). 0 = disabled.
+    drop_every: u64,
+}
+
+impl fmt::Debug for Loopback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Loopback").field("stats", &self.stats).finish()
+    }
+}
+
+impl Loopback {
+    /// Wraps a handler.
+    pub fn new(handler: Arc<Mutex<dyn Handler>>) -> Self {
+        Loopback { handler, stats: TransportStats::default(), drop_every: 0 }
+    }
+
+    /// Returns a second connection to the same handler (its own counters).
+    pub fn another(&self) -> Self {
+        Loopback {
+            handler: self.handler.clone(),
+            stats: TransportStats::default(),
+            drop_every: 0,
+        }
+    }
+
+    /// Enables fault injection: every `n`-th request is dropped and
+    /// surfaces as a channel error, as a lost TCP connection would.
+    pub fn drop_every(&mut self, n: u64) {
+        self.drop_every = n;
+    }
+}
+
+impl Transport for Loopback {
+    fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
+        let encoded = req.encode();
+        self.stats.requests += 1;
+        self.stats.bytes_sent += encoded.len() as u64;
+        if self.drop_every != 0 && self.stats.requests.is_multiple_of(self.drop_every) {
+            return Err(ProtoError::Channel("injected message drop".into()));
+        }
+        let reply_bytes = self.handler.lock().handle(encoded);
+        self.stats.bytes_received += reply_bytes.len() as u64;
+        let reply = Reply::decode(reply_bytes)?;
+        Ok(reply)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TransportStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_handler() -> Arc<Mutex<dyn Handler>> {
+        Arc::new(Mutex::new(|req: Bytes| {
+            // Parrot a Welcome whose id is the request length.
+            Reply::Welcome { client: req.len() as u64 }.encode()
+        }))
+    }
+
+    #[test]
+    fn loopback_counts_encoded_bytes() {
+        let mut t = Loopback::new(echo_handler());
+        let req = Request::Hello { info: "abc".into() };
+        let expect_len = req.encode().len() as u64;
+        let reply = t.request(&req).unwrap();
+        assert_eq!(reply, Reply::Welcome { client: expect_len });
+        let s = t.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.bytes_sent, expect_len);
+        assert!(s.bytes_received > 0);
+        assert_eq!(s.total_bytes(), s.bytes_sent + s.bytes_received);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut t = Loopback::new(echo_handler());
+        t.request(&Request::Hello { info: String::new() }).unwrap();
+        t.reset_stats();
+        assert_eq!(t.stats(), TransportStats::default());
+    }
+
+    #[test]
+    fn cloned_connections_share_handler_not_stats() {
+        let mut a = Loopback::new(echo_handler());
+        let mut b = a.another();
+        a.request(&Request::Hello { info: "x".into() }).unwrap();
+        a.request(&Request::Hello { info: "x".into() }).unwrap();
+        b.request(&Request::Hello { info: "x".into() }).unwrap();
+        assert_eq!(a.stats().requests, 2);
+        assert_eq!(b.stats().requests, 1);
+    }
+
+    #[test]
+    fn fault_injection_drops_requests() {
+        let mut t = Loopback::new(echo_handler());
+        t.drop_every(2);
+        assert!(t.request(&Request::Hello { info: String::new() }).is_ok());
+        assert!(matches!(
+            t.request(&Request::Hello { info: String::new() }),
+            Err(ProtoError::Channel(_))
+        ));
+        assert!(t.request(&Request::Hello { info: String::new() }).is_ok());
+    }
+
+    #[test]
+    fn undecodable_reply_is_wire_error() {
+        let garbage: Arc<Mutex<dyn Handler>> =
+            Arc::new(Mutex::new(|_req: Bytes| Bytes::from_static(&[0xFF, 0x00])));
+        let mut t = Loopback::new(garbage);
+        assert!(matches!(
+            t.request(&Request::Hello { info: String::new() }),
+            Err(ProtoError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn proto_error_display_and_source() {
+        let e = ProtoError::Server("nope".into());
+        assert!(e.to_string().contains("nope"));
+        assert!(e.source().is_none());
+        let w = ProtoError::Wire(iw_wire::codec::WireError::InvalidUtf8);
+        assert!(w.source().is_some());
+    }
+}

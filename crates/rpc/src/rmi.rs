@@ -1,0 +1,325 @@
+//! A Java-RMI-style object-serialization baseline.
+//!
+//! The paper's introduction claims InterWeave translation is "20 times
+//! faster than Java RMI" (measured in the companion workshop paper \[4\]).
+//! To make that comparison reproducible without a JVM, this module
+//! implements the *wire discipline* that makes Java serialization slow
+//! and fat, following the Java Object Serialization Stream Protocol in
+//! miniature:
+//!
+//! - every object is written with a **class descriptor**: the first
+//!   occurrence spells out the class name and every field name and type
+//!   signature as UTF strings; later occurrences use a back-handle;
+//! - every object (and string) is assigned a **handle** in a growing
+//!   table, looked up by identity on write and by index on read;
+//! - primitive fields go through per-field tagged writes (as
+//!   `ObjectOutputStream.writeInt` etc. do), not bulk copies;
+//! - references serialize the referent inline the first time (deep copy)
+//!   and as a handle afterwards.
+//!
+//! The result is a faithful cost model: descriptor overhead per class,
+//! per-object bookkeeping, and per-field dispatch — the three things the
+//! paper's 20× gap consists of.
+
+use std::collections::HashMap;
+
+use iw_types::arch::MachineArch;
+use iw_types::layout::Layout;
+
+use crate::xdr::{MemSource, XdrError, XdrType};
+
+const TC_OBJECT: u8 = 0x73;
+const TC_CLASSDESC: u8 = 0x72;
+const TC_REFERENCE: u8 = 0x71;
+const TC_NULL: u8 = 0x70;
+const TC_STRING: u8 = 0x74;
+const TC_ARRAY: u8 = 0x75;
+
+/// Serializes one local-format value of XDR type `ty` in RMI style.
+///
+/// The XDR type language is reused for the comparison to be apples to
+/// apples (same local images, same pointee resolution through
+/// [`MemSource`]).
+///
+/// # Errors
+///
+/// [`XdrError::BadPointer`] when a non-null reference cannot be resolved.
+pub fn rmi_serialize(
+    ty: &XdrType,
+    local: &[u8],
+    arch: &MachineArch,
+    mem: &dyn MemSource,
+) -> Result<Vec<u8>, XdrError> {
+    let mut out = Vec::with_capacity(local.len() * 2);
+    let mut st = RmiState::default();
+    write_value(ty, local, arch, mem, &mut out, &mut st)?;
+    Ok(out)
+}
+
+#[derive(Default)]
+struct RmiState {
+    /// Class-descriptor handles by a synthetic class key.
+    classes: HashMap<String, u32>,
+    /// Object handles by referent address (identity map).
+    objects: HashMap<u64, u32>,
+    next_handle: u32,
+}
+
+impl RmiState {
+    fn new_handle(&mut self) -> u32 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+}
+
+fn class_key(ty: &XdrType) -> String {
+    // A compact synthetic "class name"; the cost model only needs its
+    // length to be realistic.
+    match ty {
+        XdrType::Char => "C".into(),
+        XdrType::Short => "S".into(),
+        XdrType::Int => "I".into(),
+        XdrType::Hyper => "J".into(),
+        XdrType::Float => "F".into(),
+        XdrType::Double => "D".into(),
+        XdrType::String { .. } => "Ljava/lang/String;".into(),
+        XdrType::Pointer { pointee } => format!("L{};", class_key(pointee)),
+        XdrType::Array { elem, .. } => format!("[{}", class_key(elem)),
+        XdrType::Struct { fields } => {
+            let mut k = String::from("Lcom/example/Rec");
+            k.push_str(&fields.len().to_string());
+            for f in fields {
+                k.push('_');
+                k.push_str(&class_key(f));
+            }
+            k.push(';');
+            k
+        }
+    }
+}
+
+fn write_utf(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Writes a class descriptor (or a back-reference to one).
+fn write_class_desc(ty: &XdrType, out: &mut Vec<u8>, st: &mut RmiState) {
+    let key = class_key(ty);
+    if let Some(&h) = st.classes.get(&key) {
+        out.push(TC_REFERENCE);
+        out.extend_from_slice(&h.to_be_bytes());
+        return;
+    }
+    out.push(TC_CLASSDESC);
+    write_utf(out, &key);
+    out.extend_from_slice(&0x1122_3344_5566_7788u64.to_be_bytes()); // serialVersionUID
+    out.push(0x02); // SC_SERIALIZABLE
+    if let XdrType::Struct { fields } = ty {
+        out.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+        for (i, f) in fields.iter().enumerate() {
+            out.push(b'f');
+            write_utf(out, &format!("field{i}"));
+            write_utf(out, &class_key(f));
+        }
+    } else {
+        out.extend_from_slice(&0u16.to_be_bytes());
+    }
+    let h = st.new_handle();
+    st.classes.insert(key, h);
+}
+
+fn read_word(window: &[u8], arch: &MachineArch) -> u64 {
+    let little = arch.endian.is_little();
+    match window.len() {
+        1 => window[0] as u64,
+        2 => {
+            let b: [u8; 2] = window.try_into().expect("2B");
+            if little { u16::from_le_bytes(b) as u64 } else { u16::from_be_bytes(b) as u64 }
+        }
+        4 => {
+            let b: [u8; 4] = window.try_into().expect("4B");
+            if little { u32::from_le_bytes(b) as u64 } else { u32::from_be_bytes(b) as u64 }
+        }
+        8 => {
+            let b: [u8; 8] = window.try_into().expect("8B");
+            if little { u64::from_le_bytes(b) } else { u64::from_be_bytes(b) }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// `ObjectOutputStream`-style per-field primitive writes, out of line as
+/// the JVM's are virtual calls.
+#[inline(never)]
+fn write_prim_field(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(bytes);
+}
+
+fn write_value(
+    ty: &XdrType,
+    local: &[u8],
+    arch: &MachineArch,
+    mem: &dyn MemSource,
+    out: &mut Vec<u8>,
+    st: &mut RmiState,
+) -> Result<(), XdrError> {
+    match ty {
+        XdrType::Char => write_prim_field(out, &[local[0]]),
+        XdrType::Short => {
+            write_prim_field(out, &(read_word(&local[..2], arch) as u16).to_be_bytes())
+        }
+        XdrType::Int | XdrType::Float => {
+            write_prim_field(out, &(read_word(&local[..4], arch) as u32).to_be_bytes())
+        }
+        XdrType::Hyper | XdrType::Double => {
+            write_prim_field(out, &read_word(&local[..8], arch).to_be_bytes())
+        }
+        XdrType::String { cap } => {
+            let window = &local[..*cap as usize];
+            let s = match window.iter().position(|&b| b == 0) {
+                Some(n) => &window[..n],
+                None => window,
+            };
+            out.push(TC_STRING);
+            out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+            out.extend_from_slice(s);
+            let _ = st.new_handle(); // strings get handles too
+        }
+        XdrType::Pointer { pointee } => {
+            let va = read_word(&local[..arch.pointer_size as usize], arch);
+            if va == 0 {
+                out.push(TC_NULL);
+            } else if let Some(&h) = st.objects.get(&va) {
+                out.push(TC_REFERENCE);
+                out.extend_from_slice(&h.to_be_bytes());
+            } else {
+                out.push(TC_OBJECT);
+                write_class_desc(pointee, out, st);
+                let h = st.new_handle();
+                st.objects.insert(va, h);
+                let pl = pointee.layout(arch);
+                let bytes = mem
+                    .bytes(va, pl.size as usize)
+                    .ok_or(XdrError::BadPointer { va })?;
+                write_value(pointee, bytes, arch, mem, out, st)?;
+            }
+        }
+        XdrType::Array { elem, len } => {
+            out.push(TC_ARRAY);
+            write_class_desc(ty, out, st);
+            let _ = st.new_handle();
+            out.extend_from_slice(&len.to_be_bytes());
+            let el = elem.layout(arch);
+            for i in 0..*len {
+                let off = (i * el.size) as usize;
+                write_value(elem, &local[off..off + el.size as usize], arch, mem, out, st)?;
+            }
+        }
+        XdrType::Struct { fields } => {
+            out.push(TC_OBJECT);
+            write_class_desc(ty, out, st);
+            let _ = st.new_handle();
+            let mut off = 0u32;
+            for f in fields {
+                let fl = f.layout(arch);
+                off = Layout::align_up(off, fl.align);
+                write_value(
+                    f,
+                    &local[off as usize..(off + fl.size) as usize],
+                    arch,
+                    mem,
+                    out,
+                    st,
+                )?;
+                off += fl.size;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xdr::FlatMem;
+
+    struct NoMem;
+    impl MemSource for NoMem {
+        fn bytes(&self, _: u64, _: usize) -> Option<&[u8]> {
+            None
+        }
+    }
+
+    fn x86() -> MachineArch {
+        MachineArch::x86()
+    }
+
+    #[test]
+    fn struct_stream_carries_class_descriptor_once() {
+        let ty = XdrType::Struct { fields: vec![XdrType::Int, XdrType::Int] };
+        let arr = XdrType::array(ty, 3);
+        let local = [0u8; 24];
+        let wire = rmi_serialize(&arr, &local, &x86(), &NoMem).unwrap();
+        // The struct's field list is spelled out exactly once (the
+        // array descriptor embeds the class *name* again, but field
+        // descriptions only appear in the full class descriptor); later
+        // elements use TC_REFERENCE.
+        let desc_count = wire
+            .windows(b"field0".len())
+            .filter(|w| *w == b"field0")
+            .count();
+        assert_eq!(desc_count, 1, "field descriptions must be written once");
+        assert!(wire.iter().filter(|&&b| b == TC_REFERENCE).count() >= 2);
+    }
+
+    #[test]
+    fn rmi_wire_is_fatter_than_xdr() {
+        let ty = XdrType::Struct {
+            fields: vec![XdrType::Int, XdrType::Double, XdrType::String { cap: 16 }],
+        };
+        let arr = XdrType::array(ty, 50);
+        let layout = arr.layout(&x86());
+        let local = vec![0u8; layout.size as usize];
+        let rmi = rmi_serialize(&arr, &local, &x86(), &NoMem).unwrap();
+        let xdr = crate::xdr::marshal(&arr, &local, &x86(), &NoMem).unwrap();
+        assert!(
+            rmi.len() > xdr.len(),
+            "rmi {} should exceed xdr {}",
+            rmi.len(),
+            xdr.len()
+        );
+    }
+
+    #[test]
+    fn shared_referents_become_back_references() {
+        // Two pointers to the same int: the second is a 5-byte handle,
+        // not a second deep copy.
+        let pointee = 9i32.to_le_bytes();
+        let mem = FlatMem::new(0x2000, &pointee);
+        let ty = XdrType::array(XdrType::pointer(XdrType::Int), 2);
+        let mut local = Vec::new();
+        local.extend_from_slice(&0x2000u32.to_le_bytes());
+        local.extend_from_slice(&0x2000u32.to_le_bytes());
+        let wire = rmi_serialize(&ty, &local, &x86(), &mem).unwrap();
+        assert_eq!(
+            wire.iter().filter(|&&b| b == TC_OBJECT).count(),
+            1,
+            "only one deep copy"
+        );
+        assert!(wire.contains(&TC_REFERENCE));
+    }
+
+    #[test]
+    fn null_pointers_and_dangling() {
+        let ty = XdrType::pointer(XdrType::Int);
+        let wire = rmi_serialize(&ty, &[0; 4], &x86(), &NoMem).unwrap();
+        assert_eq!(wire, vec![TC_NULL]);
+        let local = 0xBEEFu32.to_le_bytes();
+        assert!(matches!(
+            rmi_serialize(&ty, &local, &x86(), &NoMem),
+            Err(XdrError::BadPointer { .. })
+        ));
+    }
+}

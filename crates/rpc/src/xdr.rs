@@ -1,0 +1,671 @@
+//! XDR marshaling with rpcgen semantics.
+//!
+//! The paper's Figure 4 compares InterWeave translation against "RPC
+//! parameter marshaling functions generated with the standard Linux
+//! `rpcgen` tool". This module reimplements that exact wire discipline
+//! (RFC 4506):
+//!
+//! - every item occupies a multiple of 4 bytes on the wire (chars and
+//!   shorts widen to 4; strings pad to 4);
+//! - pointers use **deep-copy semantics**: a 4-byte presence flag followed
+//!   by the marshaled pointee ("when RPC marshals a pointer, deep copy
+//!   semantics require that the pointed-to data … be marshaled along with
+//!   the pointer", §4.1);
+//! - doubles are marshaled through a non-inlined call, reproducing the
+//!   rpcgen behaviour the paper calls out ("the RPC overhead for
+//!   structures with doubles inside is high in part because rpcgen does
+//!   not inline the marshaling routine for doubles").
+//!
+//! Marshal/unmarshal operate on the same architecture-specific local
+//! images the InterWeave client uses, so the comparison is apples to
+//! apples.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use iw_types::arch::MachineArch;
+use iw_types::layout::Layout;
+
+/// The XDR-side type language. Unlike InterWeave descriptors, pointers
+/// carry their pointee type — rpcgen stubs know it statically and deep
+/// copy through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrType {
+    /// 8-bit char (widens to 4 bytes on the wire).
+    Char,
+    /// 16-bit short (widens to 4 bytes on the wire).
+    Short,
+    /// 32-bit int.
+    Int,
+    /// 64-bit hyper.
+    Hyper,
+    /// 32-bit float.
+    Float,
+    /// 64-bit double.
+    Double,
+    /// NUL-terminated string with fixed local capacity.
+    String {
+        /// Local capacity in bytes including the NUL.
+        cap: u32,
+    },
+    /// Pointer with deep-copy marshaling.
+    Pointer {
+        /// The pointed-to type.
+        pointee: Arc<XdrType>,
+    },
+    /// Fixed-length array.
+    Array {
+        /// Element type.
+        elem: Arc<XdrType>,
+        /// Element count.
+        len: u32,
+    },
+    /// Structure.
+    Struct {
+        /// Fields in declaration order.
+        fields: Vec<XdrType>,
+    },
+}
+
+impl XdrType {
+    /// A pointer to `pointee`.
+    pub fn pointer(pointee: XdrType) -> Self {
+        XdrType::Pointer { pointee: Arc::new(pointee) }
+    }
+
+    /// An array of `len` elements.
+    pub fn array(elem: XdrType, len: u32) -> Self {
+        XdrType::Array { elem: Arc::new(elem), len }
+    }
+
+    /// Local-format size and alignment on `arch` (identical rules to the
+    /// InterWeave layout engine).
+    pub fn layout(&self, arch: &MachineArch) -> Layout {
+        match self {
+            XdrType::Char => Layout { size: 1, align: 1 },
+            XdrType::Short => Layout { size: 2, align: arch.int16_align },
+            XdrType::Int => Layout { size: 4, align: arch.int32_align },
+            XdrType::Hyper => Layout { size: 8, align: arch.int64_align },
+            XdrType::Float => Layout { size: 4, align: arch.float32_align },
+            XdrType::Double => Layout { size: 8, align: arch.float64_align },
+            XdrType::String { cap } => Layout { size: *cap, align: 1 },
+            XdrType::Pointer { .. } => Layout {
+                size: arch.pointer_size,
+                align: arch.pointer_align,
+            },
+            XdrType::Array { elem, len } => {
+                let el = elem.layout(arch);
+                Layout { size: el.size * len, align: el.align }
+            }
+            XdrType::Struct { fields } => {
+                let mut off = 0u32;
+                let mut align = 1u32;
+                for f in fields {
+                    let fl = f.layout(arch);
+                    off = Layout::align_up(off, fl.align) + fl.size;
+                    align = align.max(fl.align);
+                }
+                Layout { size: Layout::align_up(off.max(1), align), align }
+            }
+        }
+    }
+}
+
+/// Errors from XDR marshaling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// The wire data ended early or a length field was corrupt.
+    Truncated,
+    /// A pointer's local word referenced memory the [`MemSource`] cannot
+    /// resolve.
+    BadPointer {
+        /// The unresolvable address.
+        va: u64,
+    },
+    /// A wire string exceeded its declared local capacity.
+    StringOverflow,
+    /// The unmarshal arena ran out of space for deep-copied pointees.
+    ArenaFull,
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::Truncated => f.write_str("truncated XDR data"),
+            XdrError::BadPointer { va } => write!(f, "unresolvable pointer {va:#x}"),
+            XdrError::StringOverflow => f.write_str("XDR string exceeds capacity"),
+            XdrError::ArenaFull => f.write_str("XDR unmarshal arena exhausted"),
+        }
+    }
+}
+
+impl Error for XdrError {}
+
+/// Resolves pointer words during deep-copy marshaling (the stand-in for
+/// rpcgen stubs chasing real C pointers).
+pub trait MemSource {
+    /// Returns `len` bytes at `va`, or `None` when unmapped.
+    fn bytes(&self, va: u64, len: usize) -> Option<&[u8]>;
+}
+
+/// A trivial flat-buffer memory: address 0 is null; addresses are
+/// `base + offset` into one buffer.
+#[derive(Debug)]
+pub struct FlatMem<'a> {
+    base: u64,
+    data: &'a [u8],
+}
+
+impl<'a> FlatMem<'a> {
+    /// Wraps `data` mapped at `base`.
+    pub fn new(base: u64, data: &'a [u8]) -> Self {
+        FlatMem { base, data }
+    }
+}
+
+impl MemSource for FlatMem<'_> {
+    fn bytes(&self, va: u64, len: usize) -> Option<&[u8]> {
+        let off = va.checked_sub(self.base)? as usize;
+        self.data.get(off..off + len)
+    }
+}
+
+fn read_word(window: &[u8], arch: &MachineArch) -> u64 {
+    let little = arch.endian.is_little();
+    match window.len() {
+        1 => window[0] as u64,
+        2 => {
+            let b: [u8; 2] = window.try_into().unwrap();
+            if little { u16::from_le_bytes(b) as u64 } else { u16::from_be_bytes(b) as u64 }
+        }
+        4 => {
+            let b: [u8; 4] = window.try_into().unwrap();
+            if little { u32::from_le_bytes(b) as u64 } else { u32::from_be_bytes(b) as u64 }
+        }
+        8 => {
+            let b: [u8; 8] = window.try_into().unwrap();
+            if little { u64::from_le_bytes(b) } else { u64::from_be_bytes(b) }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn write_word(window: &mut [u8], arch: &MachineArch, v: u64) {
+    let little = arch.endian.is_little();
+    match window.len() {
+        1 => window[0] = v as u8,
+        2 => window.copy_from_slice(&if little {
+            (v as u16).to_le_bytes()
+        } else {
+            (v as u16).to_be_bytes()
+        }),
+        4 => window.copy_from_slice(&if little {
+            (v as u32).to_le_bytes()
+        } else {
+            (v as u32).to_be_bytes()
+        }),
+        8 => window
+            .copy_from_slice(&if little { v.to_le_bytes() } else { v.to_be_bytes() }),
+        _ => unreachable!(),
+    }
+}
+
+/// rpcgen marshals doubles through `xdr_double`, an out-of-line call.
+#[inline(never)]
+fn xdr_put_double(out: &mut Vec<u8>, bits: u64) {
+    out.extend_from_slice(&bits.to_be_bytes());
+}
+
+/// rpcgen chases pointers through `xdr_pointer` → `xdr_reference`, an
+/// out-of-line call per pointee. Kept non-inlined to reproduce that call
+/// structure.
+#[inline(never)]
+fn xdr_reference(
+    pointee: &XdrType,
+    bytes: &[u8],
+    arch: &MachineArch,
+    mem: &dyn MemSource,
+    out: &mut Vec<u8>,
+) -> Result<(), XdrError> {
+    marshal_into(pointee, bytes, arch, mem, out)
+}
+
+/// rpcgen decodes strings through `xdr_string`, which `mem_alloc`s a
+/// buffer for the decoded bytes; the transient allocation and the
+/// out-of-line call are reproduced here.
+#[inline(never)]
+fn xdr_string_decode(src: &[u8]) -> Vec<u8> {
+    src.to_vec()
+}
+
+#[inline(never)]
+fn xdr_get_double(wire: &[u8], pos: &mut usize) -> Result<u64, XdrError> {
+    let b: [u8; 8] = wire
+        .get(*pos..*pos + 8)
+        .ok_or(XdrError::Truncated)?
+        .try_into()
+        .unwrap();
+    *pos += 8;
+    Ok(u64::from_be_bytes(b))
+}
+
+/// Marshals a local-format value of type `ty` into XDR wire bytes.
+///
+/// # Errors
+///
+/// [`XdrError::BadPointer`] when a non-null pointer cannot be resolved
+/// through `mem`.
+pub fn marshal(
+    ty: &XdrType,
+    local: &[u8],
+    arch: &MachineArch,
+    mem: &dyn MemSource,
+) -> Result<Vec<u8>, XdrError> {
+    let mut out = Vec::with_capacity(local.len() + local.len() / 2);
+    marshal_into(ty, local, arch, mem, &mut out)?;
+    Ok(out)
+}
+
+fn marshal_into(
+    ty: &XdrType,
+    local: &[u8],
+    arch: &MachineArch,
+    mem: &dyn MemSource,
+    out: &mut Vec<u8>,
+) -> Result<(), XdrError> {
+    match ty {
+        XdrType::Char => {
+            // Chars widen to a 4-byte XDR int.
+            out.extend_from_slice(&(local[0] as i8 as i32).to_be_bytes());
+        }
+        XdrType::Short => {
+            let v = read_word(&local[..2], arch) as u16 as i16;
+            out.extend_from_slice(&(v as i32).to_be_bytes());
+        }
+        XdrType::Int | XdrType::Float => {
+            let v = read_word(&local[..4], arch) as u32;
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        XdrType::Hyper => {
+            let v = read_word(&local[..8], arch);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        XdrType::Double => {
+            let bits = read_word(&local[..8], arch);
+            xdr_put_double(out, bits);
+        }
+        XdrType::String { cap } => {
+            let window = &local[..*cap as usize];
+            let s = match window.iter().position(|&b| b == 0) {
+                Some(n) => &window[..n],
+                None => window,
+            };
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s);
+            // XDR pads byte arrays to a 4-byte boundary.
+            let pad = (4 - s.len() % 4) % 4;
+            out.extend_from_slice(&[0u8; 3][..pad]);
+        }
+        XdrType::Pointer { pointee } => {
+            let va = read_word(&local[..arch.pointer_size as usize], arch);
+            if va == 0 {
+                out.extend_from_slice(&0u32.to_be_bytes());
+            } else {
+                out.extend_from_slice(&1u32.to_be_bytes());
+                let pl = pointee.layout(arch);
+                let bytes = mem
+                    .bytes(va, pl.size as usize)
+                    .ok_or(XdrError::BadPointer { va })?;
+                // Deep copy: the pointee travels inline.
+                xdr_reference(pointee, bytes, arch, mem, out)?;
+            }
+        }
+        XdrType::Array { elem, len } => {
+            let el = elem.layout(arch);
+            for i in 0..*len {
+                let off = (i * el.size) as usize;
+                marshal_into(elem, &local[off..off + el.size as usize], arch, mem, out)?;
+            }
+        }
+        XdrType::Struct { fields } => {
+            let mut off = 0u32;
+            for f in fields {
+                let fl = f.layout(arch);
+                off = Layout::align_up(off, fl.align);
+                marshal_into(
+                    f,
+                    &local[off as usize..(off + fl.size) as usize],
+                    arch,
+                    mem,
+                    out,
+                )?;
+                off += fl.size;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An arena receiving deep-copied pointees during unmarshal (rpcgen stubs
+/// `malloc` these; we bump-allocate).
+#[derive(Debug)]
+pub struct XdrArena {
+    base: u64,
+    data: Vec<u8>,
+    cap: usize,
+}
+
+impl XdrArena {
+    /// An arena mapped at `base` with capacity `cap` bytes.
+    pub fn new(base: u64, cap: usize) -> Self {
+        XdrArena { base, data: Vec::with_capacity(cap), cap }
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> usize {
+        self.data.len()
+    }
+
+    fn alloc(&mut self, size: usize, align: u32) -> Result<(u64, usize), XdrError> {
+        let off = Layout::align_up(self.data.len() as u32, align) as usize;
+        if off + size > self.cap {
+            return Err(XdrError::ArenaFull);
+        }
+        self.data.resize(off + size, 0);
+        Ok((self.base + off as u64, off))
+    }
+
+    /// The arena contents (for verifying deep-copied pointees).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl MemSource for XdrArena {
+    fn bytes(&self, va: u64, len: usize) -> Option<&[u8]> {
+        let off = va.checked_sub(self.base)? as usize;
+        self.data.get(off..off + len)
+    }
+}
+
+/// Unmarshals XDR wire bytes into a local-format image. Deep-copied
+/// pointees are placed in `arena` and the local pointer words set to
+/// their arena addresses.
+///
+/// # Errors
+///
+/// [`XdrError::Truncated`], [`XdrError::StringOverflow`],
+/// [`XdrError::ArenaFull`].
+pub fn unmarshal(
+    ty: &XdrType,
+    wire: &[u8],
+    local: &mut [u8],
+    arch: &MachineArch,
+    arena: &mut XdrArena,
+) -> Result<usize, XdrError> {
+    let mut pos = 0usize;
+    unmarshal_at(ty, wire, &mut pos, local, arch, arena)?;
+    Ok(pos)
+}
+
+fn take<'a>(wire: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], XdrError> {
+    let s = wire.get(*pos..*pos + n).ok_or(XdrError::Truncated)?;
+    *pos += n;
+    Ok(s)
+}
+
+fn unmarshal_at(
+    ty: &XdrType,
+    wire: &[u8],
+    pos: &mut usize,
+    local: &mut [u8],
+    arch: &MachineArch,
+    arena: &mut XdrArena,
+) -> Result<(), XdrError> {
+    match ty {
+        XdrType::Char => {
+            let b: [u8; 4] = take(wire, pos, 4)?.try_into().unwrap();
+            local[0] = i32::from_be_bytes(b) as u8;
+        }
+        XdrType::Short => {
+            let b: [u8; 4] = take(wire, pos, 4)?.try_into().unwrap();
+            write_word(&mut local[..2], arch, i32::from_be_bytes(b) as u16 as u64);
+        }
+        XdrType::Int | XdrType::Float => {
+            let b: [u8; 4] = take(wire, pos, 4)?.try_into().unwrap();
+            write_word(&mut local[..4], arch, u32::from_be_bytes(b) as u64);
+        }
+        XdrType::Hyper => {
+            let b: [u8; 8] = take(wire, pos, 8)?.try_into().unwrap();
+            write_word(&mut local[..8], arch, u64::from_be_bytes(b));
+        }
+        XdrType::Double => {
+            let bits = xdr_get_double(wire, pos)?;
+            write_word(&mut local[..8], arch, bits);
+        }
+        XdrType::String { cap } => {
+            let b: [u8; 4] = take(wire, pos, 4)?.try_into().unwrap();
+            let len = u32::from_be_bytes(b) as usize;
+            if len + 1 > *cap as usize {
+                return Err(XdrError::StringOverflow);
+            }
+            let s = take(wire, pos, len)?;
+            let decoded = xdr_string_decode(s); // rpcgen mem_alloc emulation
+            local[..len].copy_from_slice(&decoded);
+            local[len..*cap as usize].fill(0);
+            let pad = (4 - len % 4) % 4;
+            take(wire, pos, pad)?;
+        }
+        XdrType::Pointer { pointee } => {
+            let b: [u8; 4] = take(wire, pos, 4)?.try_into().unwrap();
+            let flag = u32::from_be_bytes(b);
+            let psize = arch.pointer_size as usize;
+            if flag == 0 {
+                write_word(&mut local[..psize], arch, 0);
+            } else {
+                let pl = pointee.layout(arch);
+                let (va, off) = arena.alloc(pl.size as usize, pl.align)?;
+                // Decode into a scratch image, then install it (the arena
+                // is also the MemSource for nested pointers).
+                let mut scratch = vec![0u8; pl.size as usize];
+                unmarshal_at(pointee, wire, pos, &mut scratch, arch, arena)?;
+                arena.data[off..off + pl.size as usize].copy_from_slice(&scratch);
+                write_word(&mut local[..psize], arch, va);
+            }
+        }
+        XdrType::Array { elem, len } => {
+            let el = elem.layout(arch);
+            for i in 0..*len {
+                let off = (i * el.size) as usize;
+                unmarshal_at(
+                    elem,
+                    wire,
+                    pos,
+                    &mut local[off..off + el.size as usize],
+                    arch,
+                    arena,
+                )?;
+            }
+        }
+        XdrType::Struct { fields } => {
+            let mut off = 0u32;
+            for f in fields {
+                let fl = f.layout(arch);
+                off = Layout::align_up(off, fl.align);
+                unmarshal_at(
+                    f,
+                    wire,
+                    pos,
+                    &mut local[off as usize..(off + fl.size) as usize],
+                    arch,
+                    arena,
+                )?;
+                off += fl.size;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NoMem;
+    impl MemSource for NoMem {
+        fn bytes(&self, _: u64, _: usize) -> Option<&[u8]> {
+            None
+        }
+    }
+
+    fn x86() -> MachineArch {
+        MachineArch::x86()
+    }
+
+    #[test]
+    fn ints_and_chars_widen_to_four_bytes() {
+        let wire = marshal(&XdrType::Char, &[0xFF], &x86(), &NoMem).unwrap();
+        assert_eq!(wire, (-1i32).to_be_bytes());
+        let wire =
+            marshal(&XdrType::Short, &(-2i16).to_le_bytes(), &x86(), &NoMem).unwrap();
+        assert_eq!(wire, (-2i32).to_be_bytes());
+        let wire = marshal(&XdrType::Int, &7i32.to_le_bytes(), &x86(), &NoMem).unwrap();
+        assert_eq!(wire.len(), 4);
+    }
+
+    #[test]
+    fn strings_pad_to_four() {
+        let ty = XdrType::String { cap: 16 };
+        let mut local = [0u8; 16];
+        local[..5].copy_from_slice(b"hello");
+        let wire = marshal(&ty, &local, &x86(), &NoMem).unwrap();
+        // 4 (len) + 5 (bytes) + 3 (pad) = 12
+        assert_eq!(wire.len(), 12);
+        assert_eq!(&wire[..4], &5u32.to_be_bytes());
+        assert_eq!(&wire[4..9], b"hello");
+        assert_eq!(&wire[9..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn null_pointer_is_zero_flag() {
+        let ty = XdrType::pointer(XdrType::Int);
+        let wire = marshal(&ty, &[0; 4], &x86(), &NoMem).unwrap();
+        assert_eq!(wire, 0u32.to_be_bytes());
+    }
+
+    #[test]
+    fn pointer_deep_copies_pointee() {
+        let ty = XdrType::pointer(XdrType::Int);
+        // Memory: an int 99 at va 0x1000.
+        let pointee = 99i32.to_le_bytes();
+        let mem = FlatMem::new(0x1000, &pointee);
+        let local = 0x1000u32.to_le_bytes();
+        let wire = marshal(&ty, &local, &x86(), &mem).unwrap();
+        assert_eq!(wire.len(), 8); // flag + int
+        assert_eq!(&wire[..4], &1u32.to_be_bytes());
+        assert_eq!(&wire[4..], &99i32.to_be_bytes());
+    }
+
+    #[test]
+    fn dangling_pointer_errors() {
+        let ty = XdrType::pointer(XdrType::Int);
+        let local = 0xBEEFu32.to_le_bytes();
+        assert!(matches!(
+            marshal(&ty, &local, &x86(), &NoMem),
+            Err(XdrError::BadPointer { va: 0xBEEF })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_struct_across_archs() {
+        let ty = XdrType::Struct {
+            fields: vec![
+                XdrType::Char,
+                XdrType::Int,
+                XdrType::Double,
+                XdrType::String { cap: 8 },
+            ],
+        };
+        for src in MachineArch::all() {
+            for dst in MachineArch::all() {
+                let sl = ty.layout(&src);
+                let mut local = vec![0u8; sl.size as usize];
+                // c=5 at 0, int at 4, double at (x86:8 / natural:8), str…
+                local[0] = 5;
+                // Fill via marshal from a hand-built image is tedious;
+                // instead roundtrip zeros + char and compare wire forms.
+                let wire = marshal(&ty, &local, &src, &NoMem).unwrap();
+                let dl = ty.layout(&dst);
+                let mut out = vec![0u8; dl.size as usize];
+                let mut arena = XdrArena::new(0x10_000, 1024);
+                let used = unmarshal(&ty, &wire, &mut out, &dst, &mut arena).unwrap();
+                assert_eq!(used, wire.len());
+                // Re-marshal from dst: identical wire bytes.
+                let wire2 = marshal(&ty, &out, &dst, &NoMem).unwrap();
+                assert_eq!(wire, wire2, "{} -> {}", src.name, dst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unmarshal_allocates_pointees_in_arena() {
+        let ty = XdrType::pointer(XdrType::Int);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_be_bytes());
+        wire.extend_from_slice(&77i32.to_be_bytes());
+        let arch = x86();
+        let mut local = [0u8; 4];
+        let mut arena = XdrArena::new(0x5000, 64);
+        unmarshal(&ty, &wire, &mut local, &arch, &mut arena).unwrap();
+        let va = u32::from_le_bytes(local) as u64;
+        assert_eq!(va, 0x5000);
+        assert_eq!(arena.used(), 4);
+        assert_eq!(arena.data(), &77i32.to_le_bytes());
+    }
+
+    #[test]
+    fn truncation_and_overflow_detected() {
+        let mut arena = XdrArena::new(0, 0);
+        let mut local = [0u8; 4];
+        assert!(matches!(
+            unmarshal(&XdrType::Int, &[0, 0], &mut local, &x86(), &mut arena),
+            Err(XdrError::Truncated)
+        ));
+        let ty = XdrType::String { cap: 2 };
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&9u32.to_be_bytes());
+        wire.extend_from_slice(b"too long hi 1234");
+        let mut local = [0u8; 2];
+        assert!(matches!(
+            unmarshal(&ty, &wire, &mut local, &x86(), &mut arena),
+            Err(XdrError::StringOverflow)
+        ));
+        // Arena exhaustion.
+        let ty = XdrType::pointer(XdrType::Int);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_be_bytes());
+        wire.extend_from_slice(&1i32.to_be_bytes());
+        let mut local = [0u8; 4];
+        assert!(matches!(
+            unmarshal(&ty, &wire, &mut local, &x86(), &mut arena),
+            Err(XdrError::ArenaFull)
+        ));
+    }
+
+    #[test]
+    fn array_of_shorts_is_4n_bytes_on_wire() {
+        let ty = XdrType::array(XdrType::Short, 5);
+        let local = [0u8; 10];
+        let wire = marshal(&ty, &local, &x86(), &NoMem).unwrap();
+        assert_eq!(wire.len(), 20, "shorts widen on the wire");
+    }
+
+    #[test]
+    fn big_endian_local_formats() {
+        let sparc = MachineArch::sparc_v9();
+        let local = 0x0102_0304u32.to_be_bytes();
+        let wire = marshal(&XdrType::Int, &local, &sparc, &NoMem).unwrap();
+        assert_eq!(wire, local, "BE local == wire for ints");
+    }
+}

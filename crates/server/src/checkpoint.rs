@@ -1,0 +1,318 @@
+//! Segment checkpointing.
+//!
+//! "As partial protection against server failure, InterWeave periodically
+//! checkpoints segments and their metadata to persistent storage." (§2.2)
+//!
+//! One file per segment (`<escaped name>.iwck`), written atomically via a
+//! temp file + rename. The format reuses the wire codec, so a checkpoint
+//! is readable by any architecture.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+
+use iw_wire::codec::{WireReader, WireWriter};
+use iw_wire::tdesc::{decode_type, encode_type};
+
+use crate::error::ServerError;
+use crate::segment::ServerSegment;
+
+const MAGIC: &[u8; 4] = b"IWCK";
+const FORMAT_VERSION: u32 = 1;
+
+/// Escapes a segment name into a safe file name.
+fn file_name(segment: &str) -> String {
+    let mut out = String::with_capacity(segment.len() + 5);
+    for c in segment.chars() {
+        match c {
+            '/' => out.push_str("%2F"),
+            '%' => out.push_str("%25"),
+            c => out.push(c),
+        }
+    }
+    out.push_str(".iwck");
+    out
+}
+
+/// Writes a checkpoint of `seg` into `dir`.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing the file.
+pub fn write(dir: &Path, seg: &mut ServerSegment) -> Result<PathBuf, ServerError> {
+    fs::create_dir_all(dir)?;
+    let mut w = WireWriter::new();
+    w.put_bytes(MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_str(&seg.name);
+    w.put_u64(seg.version());
+    w.put_u32(seg.next_serial());
+
+    let types: Vec<_> = seg.types_iter().map(|(t, v)| (t.clone(), v)).collect();
+    w.put_u32(types.len() as u32);
+    for (ty, intro) in &types {
+        encode_type(&mut w, ty);
+        w.put_u64(*intro);
+    }
+
+    let serials: Vec<u32> = seg.blocks_iter().map(|b| b.serial).collect();
+    w.put_u32(serials.len() as u32);
+    for serial in serials {
+        let (name, type_serial, count, created, version) = {
+            let b = seg.block(serial).expect("block listed");
+            (b.name.clone(), b.type_serial, b.count, b.created_version, b.version)
+        };
+        let data = seg.block_data(serial)?;
+        w.put_u32(serial);
+        match &name {
+            Some(n) => {
+                w.put_u8(1);
+                w.put_str(n);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32(type_serial);
+        w.put_u32(count);
+        w.put_u64(created);
+        w.put_u64(version);
+        let subs = seg.block_subblock_versions(serial).to_vec();
+        w.put_u32(subs.len() as u32);
+        for v in subs {
+            w.put_u64(v);
+        }
+        w.put_len_bytes(&data);
+    }
+
+    let freed: Vec<(u64, u32, u64)> = seg.freed_iter().collect();
+    w.put_u32(freed.len() as u32);
+    for (v, serial, created) in freed {
+        w.put_u64(v);
+        w.put_u32(serial);
+        w.put_u64(created);
+    }
+
+    let path = dir.join(file_name(&seg.name));
+    let tmp = dir.join(format!("{}.tmp", file_name(&seg.name)));
+    fs::write(&tmp, w.finish())?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Restores one segment from a checkpoint file.
+///
+/// # Errors
+///
+/// I/O errors and [`ServerError::BadCheckpoint`] on corrupt contents.
+pub fn restore(path: &Path) -> Result<ServerSegment, ServerError> {
+    let bytes = fs::read(path)?;
+    let mut r = WireReader::new(Bytes::from(bytes));
+    let bad = |m: &str| ServerError::BadCheckpoint(m.to_string());
+
+    let magic = r.get_bytes(4).map_err(|_| bad("truncated magic"))?;
+    if &magic[..] != MAGIC {
+        return Err(bad("wrong magic"));
+    }
+    if r.get_u32()? != FORMAT_VERSION {
+        return Err(bad("unsupported format version"));
+    }
+    let name = r.get_str()?;
+    let version = r.get_u64()?;
+    let next_serial = r.get_u32()?;
+
+    let mut seg = ServerSegment::new(name);
+
+    let n_types = r.get_u32()?;
+    for _ in 0..n_types {
+        let ty = decode_type(&mut r)?;
+        let intro = r.get_u64()?;
+        seg.restore_type(ty, intro);
+    }
+
+    let n_blocks = r.get_u32()?;
+    for _ in 0..n_blocks {
+        let serial = r.get_u32()?;
+        let name = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_str()?),
+            _ => return Err(bad("bad name flag")),
+        };
+        let type_serial = r.get_u32()?;
+        let count = r.get_u32()?;
+        let created = r.get_u64()?;
+        let bversion = r.get_u64()?;
+        let n_subs = r.get_u32()?;
+        if n_subs > 1 << 26 {
+            return Err(bad("absurd subblock count"));
+        }
+        let mut subs = Vec::with_capacity(n_subs as usize);
+        for _ in 0..n_subs {
+            subs.push(r.get_u64()?);
+        }
+        let data = r.get_len_bytes()?;
+        seg.restore_block(serial, name, type_serial, count, created, bversion, subs, &data)?;
+    }
+
+    let n_freed = r.get_u32()?;
+    let mut freed = Vec::with_capacity((n_freed as usize).min(1 << 20));
+    for _ in 0..n_freed {
+        let v = r.get_u64()?;
+        let s = r.get_u32()?;
+        let created = r.get_u64()?;
+        freed.push((v, s, created));
+    }
+    seg.restore_state(version, next_serial, freed);
+    Ok(seg)
+}
+
+/// Restores every checkpoint in `dir`.
+///
+/// # Errors
+///
+/// I/O errors; individual corrupt files are skipped with a best-effort
+/// policy only for unreadable file names — corrupt contents error out.
+pub fn restore_dir(dir: &Path) -> Result<Vec<ServerSegment>, ServerError> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "iwck") {
+            out.push(restore(&path)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_types::desc::TypeDesc;
+    use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "iwck-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn populated_segment() -> ServerSegment {
+        let mut seg = ServerSegment::new("host/data");
+        let diff = SegmentDiff {
+            from_version: 0,
+            to_version: 1,
+            new_types: vec![(0, TypeDesc::int32()), (1, TypeDesc::string(8))],
+            new_blocks: vec![
+                NewBlock {
+                    serial: 0,
+                    name: Some("nums".into()),
+                    type_serial: 0,
+                    count: 40,
+                    data: Bytes::from(vec![0u8; 160]),
+                },
+                NewBlock {
+                    serial: 1,
+                    name: None,
+                    type_serial: 1,
+                    count: 1,
+                    data: {
+                        let mut w = WireWriter::new();
+                        w.put_str("hi");
+                        w.finish()
+                    },
+                },
+            ],
+            ..Default::default()
+        };
+        seg.apply_diff(&diff).unwrap();
+        // Another version touching one subblock.
+        let diff = SegmentDiff {
+            from_version: 1,
+            to_version: 2,
+            block_diffs: vec![BlockDiff {
+                serial: 0,
+                runs: vec![DiffRun {
+                    start: 20,
+                    count: 1,
+                    data: Bytes::from(7u32.to_be_bytes().to_vec()),
+                }],
+            }],
+            freed: vec![1],
+            ..Default::default()
+        };
+        seg.apply_diff(&diff).unwrap();
+        seg
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let dir = temp_dir("rt");
+        let mut seg = populated_segment();
+        let path = write(&dir, &mut seg).unwrap();
+        let mut back = restore(&path).unwrap();
+
+        assert_eq!(back.name, "host/data");
+        assert_eq!(back.version(), seg.version());
+        assert_eq!(back.next_serial(), seg.next_serial());
+        assert_eq!(back.next_type_serial(), seg.next_type_serial());
+        assert_eq!(back.block_count(), seg.block_count());
+        assert_eq!(back.total_prims(), seg.total_prims());
+        assert_eq!(
+            back.block_subblock_versions(0),
+            seg.block_subblock_versions(0)
+        );
+        assert_eq!(back.block_data(0).unwrap(), seg.block_data(0).unwrap());
+
+        // A stale client update built from the restored segment matches
+        // one built from the original (bypassing the original's diff
+        // cache, which the checkpoint intentionally does not persist).
+        seg.clear_diff_cache();
+        let a = seg.collect_update(99, 1).unwrap();
+        let b = back.collect_update(99, 1).unwrap();
+        assert_eq!(a, b);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_dir_finds_all_segments() {
+        let dir = temp_dir("dir");
+        let mut a = populated_segment();
+        let mut b = ServerSegment::new("host/other");
+        write(&dir, &mut a).unwrap();
+        write(&dir, &mut b).unwrap();
+        let segs = restore_dir(&dir).unwrap();
+        let mut names: Vec<&str> = segs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["host/data", "host/other"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_missing_dir_is_empty() {
+        let segs = restore_dir(Path::new("/nonexistent/iw-nowhere")).unwrap();
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let dir = temp_dir("bad");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.iwck");
+        fs::write(&path, b"NOTAMAGIC").unwrap();
+        assert!(matches!(
+            restore(&path),
+            Err(ServerError::BadCheckpoint(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_name_escaping() {
+        assert_eq!(file_name("a/b"), "a%2Fb.iwck");
+        assert_eq!(file_name("a%b"), "a%25b.iwck");
+    }
+}

@@ -1,0 +1,30 @@
+//! # iw-server — the InterWeave server
+//!
+//! Server side of InterWeave-rs (the ICDCS'03 InterWeave reproduction):
+//!
+//! - [`wirestore`] — blocks stored in wire format, with variable-length
+//!   strings/MIPs out-of-line (§3.2);
+//! - [`segment`] — per-segment versioning: the `svr_blk_number_tree`, the
+//!   `blk_version_list` with markers, per-subblock version arrays, diff
+//!   application/construction, the diff cache, Diff-coherence counters,
+//!   and last-block prediction;
+//! - [`locks`] — reader/writer lock table;
+//! - [`server`] — the protocol front-end implementing
+//!   [`iw_proto::Handler`];
+//! - [`checkpoint`] — periodic persistence and recovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod error;
+pub mod locks;
+pub mod segment;
+pub mod server;
+pub mod wirestore;
+
+pub use error::ServerError;
+pub use locks::LockTable;
+pub use segment::{ServerBlock, ServerSegment, DIFF_CACHE_CAP, SUBBLOCK_PRIMS};
+pub use server::Server;
+pub use wirestore::{StoreLayout, WireStore};

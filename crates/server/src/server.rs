@@ -1,0 +1,514 @@
+//! The InterWeave server: segment table, client registry, and protocol
+//! front-end.
+//!
+//! "An InterWeave server can manage an arbitrary number of segments, and
+//! maintains an up-to-date copy of each of them. It also controls access
+//! to these segments." (§3.2)
+//!
+//! A [`Server`] implements [`iw_proto::Handler`], so it can sit behind the
+//! loopback transport (in-process experiments) or [`iw_proto::TcpServer`]
+//! (real sockets) unchanged.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use bytes::Bytes;
+
+use iw_proto::msg::{LockMode, Reply, Request};
+use iw_proto::Coherence;
+
+use crate::checkpoint;
+use crate::error::ServerError;
+use crate::locks::LockTable;
+use crate::segment::ServerSegment;
+
+/// Per-client bookkeeping.
+#[derive(Debug, Clone)]
+struct ClientInfo {
+    /// Free-form description from the Hello (architecture etc.).
+    #[allow(dead_code)]
+    info: String,
+}
+
+/// An InterWeave server instance.
+#[derive(Debug, Default)]
+pub struct Server {
+    segments: HashMap<String, ServerSegment>,
+    locks: LockTable,
+    clients: HashMap<u64, ClientInfo>,
+    next_client: u64,
+    /// When set, segments are checkpointed to this directory every
+    /// `checkpoint_interval` versions ("as partial protection against
+    /// server failure, InterWeave periodically checkpoints segments and
+    /// their metadata to persistent storage", §2.2).
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_interval: u64,
+}
+
+impl Server {
+    /// Creates a server with no segments.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Enables periodic checkpointing: every `interval` versions of a
+    /// segment, its state is written under `dir`.
+    pub fn with_checkpointing(dir: PathBuf, interval: u64) -> Self {
+        Server {
+            checkpoint_dir: Some(dir),
+            checkpoint_interval: interval.max(1),
+            ..Server::default()
+        }
+    }
+
+    /// Restores every segment checkpoint found under `dir` and enables
+    /// checkpointing there.
+    ///
+    /// # Errors
+    ///
+    /// I/O and corruption errors from checkpoint files.
+    pub fn recover(dir: PathBuf, interval: u64) -> Result<Self, ServerError> {
+        let mut server = Server::with_checkpointing(dir.clone(), interval);
+        for seg in checkpoint::restore_dir(&dir)? {
+            server.segments.insert(seg.name.clone(), seg);
+        }
+        Ok(server)
+    }
+
+    /// Registers a client and returns its id.
+    pub fn hello(&mut self, info: &str) -> u64 {
+        self.next_client += 1;
+        self.clients
+            .insert(self.next_client, ClientInfo { info: info.to_string() });
+        self.next_client
+    }
+
+    /// Opens (or creates) a segment, returning its current version.
+    pub fn open(&mut self, segment: &str) -> u64 {
+        self.segments
+            .entry(segment.to_string())
+            .or_insert_with(|| ServerSegment::new(segment))
+            .version()
+    }
+
+    /// Direct access to a segment's state (benchmarks and tests).
+    pub fn segment(&self, name: &str) -> Option<&ServerSegment> {
+        self.segments.get(name)
+    }
+
+    /// Mutable access to a segment's state (benchmarks and tests).
+    pub fn segment_mut(&mut self, name: &str) -> Option<&mut ServerSegment> {
+        self.segments.get_mut(name)
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Drops a client, releasing all its locks.
+    pub fn disconnect(&mut self, client: u64) {
+        self.clients.remove(&client);
+        self.locks.release_all(client);
+    }
+
+    fn acquire(
+        &mut self,
+        client: u64,
+        segment: &str,
+        mode: LockMode,
+        have_version: u64,
+        coherence: Coherence,
+    ) -> Reply {
+        let Some(seg) = self.segments.get_mut(segment) else {
+            return Reply::Error { message: format!("no such segment `{segment}`") };
+        };
+        if !self.locks.acquire(segment, client, mode) {
+            return Reply::Busy;
+        }
+        // Writers must start from the current version, so they always get
+        // a Full-coherence update; readers follow their model.
+        let effective = match mode {
+            LockMode::Write => Coherence::Full,
+            LockMode::Read => coherence,
+        };
+        let update = if seg.needs_update(client, have_version, effective) {
+            match seg.collect_update(client, have_version) {
+                Ok(d) => Some(d),
+                Err(e) => {
+                    self.locks.release(segment, client);
+                    return Reply::Error { message: e.to_string() };
+                }
+            }
+        } else {
+            None
+        };
+        Reply::Granted {
+            version: seg.version(),
+            update,
+            next_serial: seg.next_serial(),
+            next_type_serial: seg.next_type_serial(),
+        }
+    }
+
+    fn release(
+        &mut self,
+        client: u64,
+        segment: &str,
+        diff: Option<&iw_wire::diff::SegmentDiff>,
+    ) -> Reply {
+        let Some(seg) = self.segments.get_mut(segment) else {
+            return Reply::Error { message: format!("no such segment `{segment}`") };
+        };
+        if let Some(diff) = diff {
+            if !self.locks.is_writer(segment, client) {
+                return Reply::Error {
+                    message: "release with diff requires the writer lock".into(),
+                };
+            }
+            match seg.apply_diff(diff) {
+                Ok(_) => {}
+                Err(e) => return Reply::Error { message: e.to_string() },
+            }
+            self.maybe_checkpoint(segment);
+        }
+        let seg_version = self
+            .segments
+            .get(segment)
+            .map(ServerSegment::version)
+            .unwrap_or(0);
+        self.locks.release(segment, client);
+        Reply::Released { version: seg_version }
+    }
+
+    fn commit(
+        &mut self,
+        client: u64,
+        entries: &[(String, Option<iw_wire::diff::SegmentDiff>)],
+    ) -> Reply {
+        // Validate everything first: locks held, versions current,
+        // segments exist. Nothing is applied unless all entries pass.
+        for (segment, diff) in entries {
+            let Some(seg) = self.segments.get(segment) else {
+                return Reply::Error { message: format!("no such segment `{segment}`") };
+            };
+            if !self.locks.is_writer(segment, client) {
+                return Reply::Error {
+                    message: format!("commit requires the writer lock on `{segment}`"),
+                };
+            }
+            if let Some(d) = diff {
+                if d.from_version != seg.version() {
+                    return Reply::Error {
+                        message: format!(
+                            "commit base version {} stale for `{segment}` (current {})",
+                            d.from_version,
+                            seg.version()
+                        ),
+                    };
+                }
+            }
+        }
+        let mut versions = Vec::with_capacity(entries.len());
+        for (segment, diff) in entries {
+            let seg = self.segments.get_mut(segment).expect("validated");
+            if let Some(d) = diff {
+                match seg.apply_diff(d) {
+                    Ok(v) => versions.push(v),
+                    Err(e) => {
+                        // Structural failure after validation indicates a
+                        // client bug; report it (earlier entries stand, as
+                        // documented for the prototype).
+                        return Reply::Error { message: e.to_string() };
+                    }
+                }
+            } else {
+                versions.push(seg.version());
+            }
+        }
+        for (segment, diff) in entries {
+            if diff.is_some() {
+                self.maybe_checkpoint(segment);
+            }
+            self.locks.release(segment, client);
+        }
+        Reply::Committed { versions }
+    }
+
+    fn poll(
+        &mut self,
+        client: u64,
+        segment: &str,
+        have_version: u64,
+        coherence: Coherence,
+    ) -> Reply {
+        let Some(seg) = self.segments.get_mut(segment) else {
+            return Reply::Error { message: format!("no such segment `{segment}`") };
+        };
+        if !seg.needs_update(client, have_version, coherence) {
+            return Reply::UpToDate;
+        }
+        match seg.collect_update(client, have_version) {
+            Ok(diff) => Reply::Update { diff },
+            Err(e) => Reply::Error { message: e.to_string() },
+        }
+    }
+
+    fn maybe_checkpoint(&mut self, segment: &str) {
+        let Some(dir) = &self.checkpoint_dir else { return };
+        let dir = dir.clone();
+        let interval = self.checkpoint_interval;
+        if let Some(seg) = self.segments.get_mut(segment) {
+            if seg.version() % interval == 0 {
+                // Checkpointing is best-effort; failures must not take the
+                // release path down.
+                let _ = checkpoint::write(&dir, seg);
+            }
+        }
+    }
+
+    /// Handles one decoded request (the protocol entry point).
+    pub fn handle_request(&mut self, req: &Request) -> Reply {
+        match req {
+            Request::Hello { info } => Reply::Welcome { client: self.hello(info) },
+            Request::Open { client: _, segment } => {
+                Reply::Opened { version: self.open(segment) }
+            }
+            Request::Acquire { client, segment, mode, have_version, coherence } => {
+                self.acquire(*client, segment, *mode, *have_version, *coherence)
+            }
+            Request::Release { client, segment, diff } => {
+                self.release(*client, segment, diff.as_ref())
+            }
+            Request::Commit { client, entries } => self.commit(*client, entries),
+            Request::Poll { client, segment, have_version, coherence } => {
+                self.poll(*client, segment, *have_version, *coherence)
+            }
+        }
+    }
+}
+
+impl iw_proto::Handler for Server {
+    fn handle(&mut self, request: Bytes) -> Bytes {
+        match Request::decode(request) {
+            Ok(req) => self.handle_request(&req).encode(),
+            Err(e) => Reply::Error { message: format!("bad request: {e}") }.encode(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_types::desc::TypeDesc;
+    use iw_wire::diff::{NewBlock, SegmentDiff};
+
+    fn seed_diff(from: u64) -> SegmentDiff {
+        SegmentDiff {
+            from_version: from,
+            to_version: from + 1,
+            new_types: vec![(0, TypeDesc::int32())],
+            new_blocks: vec![NewBlock {
+                serial: 0,
+                name: None,
+                type_serial: 0,
+                count: 4,
+                data: Bytes::from(vec![0u8; 16]),
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hello_assigns_distinct_ids() {
+        let mut s = Server::new();
+        let a = s.hello("x86 client");
+        let b = s.hello("sparc client");
+        assert_ne!(a, b);
+        assert_eq!(s.client_count(), 2);
+    }
+
+    #[test]
+    fn open_creates_once() {
+        let mut s = Server::new();
+        assert_eq!(s.open("h/s"), 0);
+        assert_eq!(s.open("h/s"), 0);
+        assert!(s.segment("h/s").is_some());
+    }
+
+    #[test]
+    fn write_cycle_advances_version() {
+        let mut s = Server::new();
+        let c = s.hello("c");
+        s.open("h/s");
+        let r = s.handle_request(&Request::Acquire {
+            client: c,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        assert!(matches!(r, Reply::Granted { version: 0, update: None, .. }));
+        let r = s.handle_request(&Request::Release {
+            client: c,
+            segment: "h/s".into(),
+            diff: Some(seed_diff(0)),
+        });
+        assert_eq!(r, Reply::Released { version: 1 });
+    }
+
+    #[test]
+    fn second_writer_sees_busy_then_grant() {
+        let mut s = Server::new();
+        let a = s.hello("a");
+        let b = s.hello("b");
+        s.open("h/s");
+        let acq = |client| Request::Acquire {
+            client,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        };
+        assert!(matches!(s.handle_request(&acq(a)), Reply::Granted { .. }));
+        assert_eq!(s.handle_request(&acq(b)), Reply::Busy);
+        s.handle_request(&Request::Release {
+            client: a,
+            segment: "h/s".into(),
+            diff: None,
+        });
+        assert!(matches!(s.handle_request(&acq(b)), Reply::Granted { .. }));
+    }
+
+    #[test]
+    fn release_with_diff_requires_writer() {
+        let mut s = Server::new();
+        let c = s.hello("c");
+        s.open("h/s");
+        let r = s.handle_request(&Request::Release {
+            client: c,
+            segment: "h/s".into(),
+            diff: Some(seed_diff(0)),
+        });
+        assert!(matches!(r, Reply::Error { .. }));
+    }
+
+    #[test]
+    fn reader_gets_update_only_when_stale() {
+        let mut s = Server::new();
+        let w = s.hello("w");
+        let rd = s.hello("r");
+        s.open("h/s");
+        s.handle_request(&Request::Acquire {
+            client: w,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        s.handle_request(&Request::Release {
+            client: w,
+            segment: "h/s".into(),
+            diff: Some(seed_diff(0)),
+        });
+        // Stale reader: full transfer.
+        let r = s.handle_request(&Request::Acquire {
+            client: rd,
+            segment: "h/s".into(),
+            mode: LockMode::Read,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        let Reply::Granted { version: 1, update: Some(d), .. } = r else {
+            panic!("want update, got {r:?}");
+        };
+        assert_eq!(d.new_blocks.len(), 1);
+        s.handle_request(&Request::Release {
+            client: rd,
+            segment: "h/s".into(),
+            diff: None,
+        });
+        // Fresh reader: no update.
+        let r = s.handle_request(&Request::Acquire {
+            client: rd,
+            segment: "h/s".into(),
+            mode: LockMode::Read,
+            have_version: 1,
+            coherence: Coherence::Full,
+        });
+        assert!(matches!(r, Reply::Granted { update: None, .. }));
+    }
+
+    #[test]
+    fn poll_path() {
+        let mut s = Server::new();
+        let c = s.hello("c");
+        s.open("h/s");
+        let r = s.handle_request(&Request::Poll {
+            client: c,
+            segment: "h/s".into(),
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        assert_eq!(r, Reply::UpToDate);
+    }
+
+    #[test]
+    fn unknown_segment_errors() {
+        let mut s = Server::new();
+        let c = s.hello("c");
+        for req in [
+            Request::Acquire {
+                client: c,
+                segment: "nope".into(),
+                mode: LockMode::Read,
+                have_version: 0,
+                coherence: Coherence::Full,
+            },
+            Request::Poll {
+                client: c,
+                segment: "nope".into(),
+                have_version: 0,
+                coherence: Coherence::Full,
+            },
+            Request::Release { client: c, segment: "nope".into(), diff: None },
+        ] {
+            assert!(matches!(s.handle_request(&req), Reply::Error { .. }));
+        }
+    }
+
+    #[test]
+    fn disconnect_releases_locks() {
+        let mut s = Server::new();
+        let a = s.hello("a");
+        let b = s.hello("b");
+        s.open("h/s");
+        s.handle_request(&Request::Acquire {
+            client: a,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        s.disconnect(a);
+        let r = s.handle_request(&Request::Acquire {
+            client: b,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        assert!(matches!(r, Reply::Granted { .. }));
+    }
+
+    #[test]
+    fn handler_rejects_garbage_bytes() {
+        use iw_proto::Handler;
+        let mut s = Server::new();
+        let reply = s.handle(Bytes::from_static(&[0xFF, 0x01]));
+        assert!(matches!(
+            Reply::decode(reply).unwrap(),
+            Reply::Error { .. }
+        ));
+    }
+}

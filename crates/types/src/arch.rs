@@ -1,0 +1,256 @@
+//! Machine architecture descriptions.
+//!
+//! InterWeave shares data among *heterogeneous* machines: different byte
+//! orders, word sizes, pointer widths, and alignment rules. The paper's
+//! implementation ran on Alpha, Sparc, x86, and MIPS. In this reproduction a
+//! [`MachineArch`] drives an explicit layout engine (see
+//! [`crate::layout`]), so a single test process can host clients with
+//! different simulated architectures and exchange wire-format data between
+//! them, exactly as real InterWeave clients on different hardware would.
+
+use std::fmt;
+
+/// Byte order of a machine architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endian {
+    /// Least-significant byte first (x86, Alpha).
+    Little,
+    /// Most-significant byte first (SPARC, MIPS in the paper's testbed).
+    Big,
+}
+
+impl Endian {
+    /// Returns `true` for [`Endian::Little`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_types::arch::Endian;
+    /// assert!(Endian::Little.is_little());
+    /// assert!(!Endian::Big.is_little());
+    /// ```
+    pub fn is_little(self) -> bool {
+        matches!(self, Endian::Little)
+    }
+}
+
+impl fmt::Display for Endian {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endian::Little => f.write_str("little-endian"),
+            Endian::Big => f.write_str("big-endian"),
+        }
+    }
+}
+
+/// A machine architecture: sizes, alignments, byte order, and pointer width.
+///
+/// All sizes and alignments are in bytes. The local (in-memory) format of
+/// every shared block is computed from one of these descriptions by the
+/// layout engine; the wire format is architecture-independent.
+///
+/// # Examples
+///
+/// ```
+/// use iw_types::arch::MachineArch;
+///
+/// let x86 = MachineArch::x86();
+/// let sparc = MachineArch::sparc_v9();
+/// assert_ne!(x86.pointer_size, sparc.pointer_size);
+/// assert_ne!(x86.endian, sparc.endian);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MachineArch {
+    /// Human-readable architecture name (e.g. `"x86"`).
+    pub name: &'static str,
+    /// Byte order.
+    pub endian: Endian,
+    /// Size of a pointer in bytes (4 or 8).
+    pub pointer_size: u32,
+    /// Alignment of a pointer in bytes.
+    pub pointer_align: u32,
+    /// Alignment of a 16-bit integer.
+    pub int16_align: u32,
+    /// Alignment of a 32-bit integer.
+    pub int32_align: u32,
+    /// Alignment of a 64-bit integer.
+    pub int64_align: u32,
+    /// Alignment of a 32-bit float.
+    pub float32_align: u32,
+    /// Alignment of a 64-bit float. Classic i386 ABIs use 4 here, which is
+    /// one of the heterogeneity hazards InterWeave must absorb.
+    pub float64_align: u32,
+    /// Machine word size in bytes, used by the twin/diff comparison loop
+    /// (the paper compares pages "word-by-word").
+    pub word_size: u32,
+}
+
+impl MachineArch {
+    /// 32-bit x86 (i386 System V ABI): little-endian, 4-byte pointers, and
+    /// notably only 4-byte alignment for `double`.
+    pub fn x86() -> Self {
+        MachineArch {
+            name: "x86",
+            endian: Endian::Little,
+            pointer_size: 4,
+            pointer_align: 4,
+            int16_align: 2,
+            int32_align: 4,
+            int64_align: 4,
+            float32_align: 4,
+            float64_align: 4,
+            word_size: 4,
+        }
+    }
+
+    /// 64-bit x86-64 (System V ABI): little-endian, 8-byte pointers,
+    /// natural alignment everywhere.
+    pub fn x86_64() -> Self {
+        MachineArch {
+            name: "x86_64",
+            endian: Endian::Little,
+            pointer_size: 8,
+            pointer_align: 8,
+            int16_align: 2,
+            int32_align: 4,
+            int64_align: 8,
+            float32_align: 4,
+            float64_align: 8,
+            word_size: 8,
+        }
+    }
+
+    /// DEC Alpha (LP64): little-endian, 8-byte pointers, natural alignment.
+    /// One of the four architectures in the paper's testbed.
+    pub fn alpha() -> Self {
+        MachineArch {
+            name: "alpha",
+            endian: Endian::Little,
+            pointer_size: 8,
+            pointer_align: 8,
+            int16_align: 2,
+            int32_align: 4,
+            int64_align: 8,
+            float32_align: 4,
+            float64_align: 8,
+            word_size: 8,
+        }
+    }
+
+    /// SPARC V9 (LP64): big-endian, 8-byte pointers, natural alignment.
+    pub fn sparc_v9() -> Self {
+        MachineArch {
+            name: "sparc_v9",
+            endian: Endian::Big,
+            pointer_size: 8,
+            pointer_align: 8,
+            int16_align: 2,
+            int32_align: 4,
+            int64_align: 8,
+            float32_align: 4,
+            float64_align: 8,
+            word_size: 8,
+        }
+    }
+
+    /// 32-bit MIPS (o32, big-endian configuration): 4-byte pointers,
+    /// 8-byte-aligned doubles.
+    pub fn mips32() -> Self {
+        MachineArch {
+            name: "mips32",
+            endian: Endian::Big,
+            pointer_size: 4,
+            pointer_align: 4,
+            int16_align: 2,
+            int32_align: 4,
+            int64_align: 8,
+            float32_align: 4,
+            float64_align: 8,
+            word_size: 4,
+        }
+    }
+
+    /// All built-in architectures, useful for exhaustive cross-architecture
+    /// tests.
+    pub fn all() -> Vec<MachineArch> {
+        vec![
+            MachineArch::x86(),
+            MachineArch::x86_64(),
+            MachineArch::alpha(),
+            MachineArch::sparc_v9(),
+            MachineArch::mips32(),
+        ]
+    }
+
+    /// The architecture matching the paper's evaluation machine
+    /// (500 MHz Pentium III running Linux): [`MachineArch::x86`].
+    pub fn paper_default() -> Self {
+        MachineArch::x86()
+    }
+}
+
+impl Default for MachineArch {
+    fn default() -> Self {
+        MachineArch::paper_default()
+    }
+}
+
+impl fmt::Display for MachineArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}-bit pointers)",
+            self.name,
+            self.endian,
+            self.pointer_size * 8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        let all = MachineArch::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn x86_double_alignment_is_relaxed() {
+        assert_eq!(MachineArch::x86().float64_align, 4);
+        assert_eq!(MachineArch::alpha().float64_align, 8);
+    }
+
+    #[test]
+    fn endianness_mix_is_represented() {
+        let all = MachineArch::all();
+        assert!(all.iter().any(|a| a.endian == Endian::Little));
+        assert!(all.iter().any(|a| a.endian == Endian::Big));
+    }
+
+    #[test]
+    fn pointer_sizes_cover_32_and_64_bits() {
+        let all = MachineArch::all();
+        assert!(all.iter().any(|a| a.pointer_size == 4));
+        assert!(all.iter().any(|a| a.pointer_size == 8));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = MachineArch::sparc_v9().to_string();
+        assert!(s.contains("sparc"));
+        assert!(s.contains("big-endian"));
+        assert!(s.contains("64-bit"));
+    }
+
+    #[test]
+    fn default_is_paper_machine() {
+        assert_eq!(MachineArch::default(), MachineArch::x86());
+    }
+}

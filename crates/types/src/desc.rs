@@ -1,0 +1,413 @@
+//! Machine-independent type descriptors.
+//!
+//! InterWeave declares shared data types in an IDL (see [`crate::idl`]); the
+//! IDL compiler produces *type descriptors* that the client library uses to
+//! translate between local (machine-specific) format and wire format, and to
+//! swizzle pointers. A descriptor specifies the substructure and layout of
+//! its type: primitives have pre-defined descriptors; derived types are
+//! arrays, records, pointers, or strings, recursively.
+//!
+//! Offsets in machine-independent pointers (MIPs) and in wire-format diffs
+//! are measured in *primitive data units* — characters, integers, floats,
+//! strings, pointers — rather than in bytes, so that clients with different
+//! in-memory layouts agree on positions. [`TypeDesc::prim_count`] gives the
+//! number of primitive units occupied by a value of a type.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The primitive data kinds understood by the translation machinery.
+///
+/// Each variant is exactly one *primitive data unit* for the purpose of
+/// machine-independent offsets, including variable-length strings and
+/// pointers (a pointer travels on the wire as a MIP string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimKind {
+    /// 8-bit character / byte.
+    Char,
+    /// 16-bit signed integer.
+    Int16,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// IEEE 754 single-precision float.
+    Float32,
+    /// IEEE 754 double-precision float.
+    Float64,
+    /// NUL-terminated string with a fixed local capacity in bytes
+    /// (variable-length on the wire).
+    Str {
+        /// Local-format capacity in bytes, including the terminating NUL.
+        cap: u32,
+    },
+    /// A pointer to shared data; locally a machine address, on the wire a
+    /// MIP string.
+    Ptr,
+}
+
+impl PrimKind {
+    /// Size in bytes of this primitive in *local* format on `arch`.
+    pub fn local_size(self, arch: &crate::arch::MachineArch) -> u32 {
+        match self {
+            PrimKind::Char => 1,
+            PrimKind::Int16 => 2,
+            PrimKind::Int32 => 4,
+            PrimKind::Int64 => 8,
+            PrimKind::Float32 => 4,
+            PrimKind::Float64 => 8,
+            PrimKind::Str { cap } => cap,
+            PrimKind::Ptr => arch.pointer_size,
+        }
+    }
+
+    /// Alignment in bytes of this primitive in local format on `arch`.
+    pub fn local_align(self, arch: &crate::arch::MachineArch) -> u32 {
+        match self {
+            PrimKind::Char => 1,
+            PrimKind::Int16 => arch.int16_align,
+            PrimKind::Int32 => arch.int32_align,
+            PrimKind::Int64 => arch.int64_align,
+            PrimKind::Float32 => arch.float32_align,
+            PrimKind::Float64 => arch.float64_align,
+            PrimKind::Str { .. } => 1,
+            PrimKind::Ptr => arch.pointer_align,
+        }
+    }
+
+    /// Size in bytes of this primitive in wire format, or `None` when it is
+    /// variable-length (strings and pointers).
+    pub fn wire_size(self) -> Option<u32> {
+        match self {
+            PrimKind::Char => Some(1),
+            PrimKind::Int16 => Some(2),
+            PrimKind::Int32 => Some(4),
+            PrimKind::Int64 => Some(8),
+            PrimKind::Float32 => Some(4),
+            PrimKind::Float64 => Some(8),
+            PrimKind::Str { .. } | PrimKind::Ptr => None,
+        }
+    }
+
+    /// `true` for the variable-length kinds (strings and pointers), which
+    /// servers store out-of-line (paper §3.2).
+    pub fn is_variable(self) -> bool {
+        self.wire_size().is_none()
+    }
+}
+
+impl fmt::Display for PrimKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimKind::Char => f.write_str("char"),
+            PrimKind::Int16 => f.write_str("short"),
+            PrimKind::Int32 => f.write_str("int"),
+            PrimKind::Int64 => f.write_str("hyper"),
+            PrimKind::Float32 => f.write_str("float"),
+            PrimKind::Float64 => f.write_str("double"),
+            PrimKind::Str { cap } => write!(f, "string<{cap}>"),
+            PrimKind::Ptr => f.write_str("pointer"),
+        }
+    }
+}
+
+/// A field of a [`TypeKind::Struct`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name as declared in the IDL.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeDesc,
+}
+
+/// The shape of a type: a primitive, or one of the derived forms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// A primitive data unit.
+    Prim(PrimKind),
+    /// A fixed-length array of a single element type.
+    Array {
+        /// Element type.
+        elem: TypeDesc,
+        /// Number of elements.
+        len: u32,
+    },
+    /// A record with named, typed fields.
+    Struct {
+        /// Record name as declared in the IDL.
+        name: String,
+        /// Fields in declaration order.
+        fields: Vec<Field>,
+    },
+}
+
+/// A machine-independent type descriptor.
+///
+/// Descriptors are immutable and cheaply cloneable (reference counted), so a
+/// recursive structure type (`struct node { struct node *next; }`) is
+/// expressed as a `Ptr` primitive — the pointee's descriptor is resolved at
+/// swizzle time from segment metadata, never followed during translation —
+/// which keeps descriptors acyclic.
+///
+/// # Examples
+///
+/// ```
+/// use iw_types::desc::TypeDesc;
+///
+/// let node = TypeDesc::structure(
+///     "node",
+///     vec![("key", TypeDesc::int32()), ("next", TypeDesc::pointer())],
+/// );
+/// assert_eq!(node.prim_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeDesc {
+    kind: Arc<TypeKind>,
+}
+
+impl TypeDesc {
+    /// Builds a descriptor from a [`TypeKind`].
+    pub fn new(kind: TypeKind) -> Self {
+        TypeDesc { kind: Arc::new(kind) }
+    }
+
+    /// The pre-defined descriptor for `char`.
+    pub fn char8() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Char))
+    }
+
+    /// The pre-defined descriptor for 16-bit `short`.
+    pub fn int16() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Int16))
+    }
+
+    /// The pre-defined descriptor for 32-bit `int`.
+    pub fn int32() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Int32))
+    }
+
+    /// The pre-defined descriptor for 64-bit `hyper`.
+    pub fn int64() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Int64))
+    }
+
+    /// The pre-defined descriptor for `float`.
+    pub fn float32() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Float32))
+    }
+
+    /// The pre-defined descriptor for `double`.
+    pub fn float64() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Float64))
+    }
+
+    /// A string with local capacity `cap` bytes (including the NUL).
+    pub fn string(cap: u32) -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Str { cap }))
+    }
+
+    /// A pointer to shared data.
+    pub fn pointer() -> Self {
+        TypeDesc::new(TypeKind::Prim(PrimKind::Ptr))
+    }
+
+    /// An array of `len` elements of type `elem`.
+    pub fn array(elem: TypeDesc, len: u32) -> Self {
+        TypeDesc::new(TypeKind::Array { elem, len })
+    }
+
+    /// A structure named `name` with the given `(field name, type)` pairs.
+    pub fn structure<N: Into<String>>(name: N, fields: Vec<(&str, TypeDesc)>) -> Self {
+        TypeDesc::new(TypeKind::Struct {
+            name: name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(n, ty)| Field { name: n.to_string(), ty })
+                .collect(),
+        })
+    }
+
+    /// The underlying [`TypeKind`].
+    pub fn kind(&self) -> &TypeKind {
+        &self.kind
+    }
+
+    /// Number of primitive data units a value of this type occupies.
+    ///
+    /// This is the unit in which MIP offsets and wire-format diff runs are
+    /// measured.
+    pub fn prim_count(&self) -> u64 {
+        match self.kind() {
+            TypeKind::Prim(_) => 1,
+            TypeKind::Array { elem, len } => elem.prim_count() * u64::from(*len),
+            TypeKind::Struct { fields, .. } => {
+                fields.iter().map(|f| f.ty.prim_count()).sum()
+            }
+        }
+    }
+
+    /// `true` if this type is a single primitive.
+    pub fn is_prim(&self) -> bool {
+        matches!(self.kind(), TypeKind::Prim(_))
+    }
+
+    /// If this is a primitive type, its kind.
+    pub fn as_prim(&self) -> Option<PrimKind> {
+        match self.kind() {
+            TypeKind::Prim(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// `true` if any primitive within this type is a pointer.
+    pub fn contains_pointer(&self) -> bool {
+        match self.kind() {
+            TypeKind::Prim(p) => *p == PrimKind::Ptr,
+            TypeKind::Array { elem, .. } => elem.contains_pointer(),
+            TypeKind::Struct { fields, .. } => {
+                fields.iter().any(|f| f.ty.contains_pointer())
+            }
+        }
+    }
+
+    /// `true` if any primitive within this type is variable-length on the
+    /// wire (string or pointer).
+    pub fn contains_variable(&self) -> bool {
+        match self.kind() {
+            TypeKind::Prim(p) => p.is_variable(),
+            TypeKind::Array { elem, .. } => elem.contains_variable(),
+            TypeKind::Struct { fields, .. } => {
+                fields.iter().any(|f| f.ty.contains_variable())
+            }
+        }
+    }
+
+    /// Looks up a struct field by name, returning `(index, &Field)`.
+    pub fn field(&self, name: &str) -> Option<(usize, &Field)> {
+        match self.kind() {
+            TypeKind::Struct { fields, .. } => {
+                fields.iter().enumerate().find(|(_, f)| f.name == name)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TypeDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            TypeKind::Prim(p) => write!(f, "{p}"),
+            TypeKind::Array { elem, len } => write!(f, "{elem}[{len}]"),
+            TypeKind::Struct { name, .. } => write!(f, "struct {name}"),
+        }
+    }
+}
+
+/// Serial number of a type descriptor within a segment.
+///
+/// Like blocks, type descriptors have segment-specific serial numbers used by
+/// the server and client in wire-format messages (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TypeSerial(pub u32);
+
+impl fmt::Display for TypeSerial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::MachineArch;
+
+    fn mix_struct() -> TypeDesc {
+        TypeDesc::structure(
+            "mix",
+            vec![
+                ("i", TypeDesc::int32()),
+                ("d", TypeDesc::float64()),
+                ("s", TypeDesc::string(16)),
+                ("p", TypeDesc::pointer()),
+            ],
+        )
+    }
+
+    #[test]
+    fn prim_counts() {
+        assert_eq!(TypeDesc::int32().prim_count(), 1);
+        assert_eq!(TypeDesc::string(256).prim_count(), 1);
+        assert_eq!(TypeDesc::array(TypeDesc::float64(), 10).prim_count(), 10);
+        assert_eq!(mix_struct().prim_count(), 4);
+        assert_eq!(TypeDesc::array(mix_struct(), 5).prim_count(), 20);
+    }
+
+    #[test]
+    fn nested_prim_count() {
+        let inner = TypeDesc::structure(
+            "inner",
+            vec![("a", TypeDesc::array(TypeDesc::char8(), 3))],
+        );
+        let outer = TypeDesc::structure(
+            "outer",
+            vec![("x", inner.clone()), ("y", TypeDesc::array(inner, 2))],
+        );
+        assert_eq!(outer.prim_count(), 9);
+    }
+
+    #[test]
+    fn pointer_and_variable_detection() {
+        assert!(mix_struct().contains_pointer());
+        assert!(mix_struct().contains_variable());
+        assert!(!TypeDesc::int32().contains_pointer());
+        assert!(TypeDesc::string(4).contains_variable());
+        assert!(!TypeDesc::array(TypeDesc::float64(), 8).contains_variable());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let m = mix_struct();
+        let (idx, f) = m.field("s").expect("field s");
+        assert_eq!(idx, 2);
+        assert_eq!(f.ty.as_prim(), Some(PrimKind::Str { cap: 16 }));
+        assert!(m.field("zzz").is_none());
+        assert!(TypeDesc::int32().field("i").is_none());
+    }
+
+    #[test]
+    fn local_sizes_differ_by_arch() {
+        let p = PrimKind::Ptr;
+        assert_eq!(p.local_size(&MachineArch::x86()), 4);
+        assert_eq!(p.local_size(&MachineArch::alpha()), 8);
+        assert_eq!(PrimKind::Float64.local_align(&MachineArch::x86()), 4);
+        assert_eq!(PrimKind::Float64.local_align(&MachineArch::sparc_v9()), 8);
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(PrimKind::Int32.wire_size(), Some(4));
+        assert_eq!(PrimKind::Float64.wire_size(), Some(8));
+        assert_eq!(PrimKind::Str { cap: 9 }.wire_size(), None);
+        assert_eq!(PrimKind::Ptr.wire_size(), None);
+        assert!(PrimKind::Ptr.is_variable());
+        assert!(!PrimKind::Char.is_variable());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TypeDesc::int32().to_string(), "int");
+        assert_eq!(
+            TypeDesc::array(TypeDesc::float64(), 3).to_string(),
+            "double[3]"
+        );
+        assert_eq!(mix_struct().to_string(), "struct mix");
+        assert_eq!(TypeDesc::string(8).to_string(), "string<8>");
+        assert_eq!(TypeSerial(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn descriptors_compare_structurally() {
+        assert_eq!(mix_struct(), mix_struct());
+        assert_ne!(mix_struct(), TypeDesc::int32());
+    }
+}

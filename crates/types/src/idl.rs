@@ -1,0 +1,677 @@
+//! The InterWeave interface description language (IDL).
+//!
+//! "As in multi-language RPC systems, the types of shared data in InterWeave
+//! must be declared in an interface description language. The InterWeave IDL
+//! compiler translates these declarations into the appropriate programming
+//! language(s) ... It also creates initialized type descriptors that specify
+//! the layout of the types on the specified machine." (§2.1)
+//!
+//! This module is that compiler, minus the language-binding code generation
+//! (the host language here is always Rust, and access goes through the typed
+//! accessor API): it parses a C-flavoured IDL and produces machine-
+//! independent [`TypeDesc`] values. Machine-specific layout is computed on
+//! demand by [`crate::layout`] / [`crate::flat`].
+//!
+//! # Grammar
+//!
+//! ```text
+//! file      := (constdef | typedef | structdef)*
+//! constdef  := "const" IDENT "=" NUM ";"
+//! typedef   := "typedef" type declarator ";"
+//! structdef := "struct" IDENT "{" (type declarator ";")* "}" ";"
+//! type      := "char" | "short" | "int" | "hyper" | "float" | "double"
+//!            | "string" "<" size ">" | "struct" IDENT | IDENT
+//! declarator:= "*"* IDENT ("<" size ">")? ("[" size "]")*
+//! size      := NUM | IDENT            (a previously declared const)
+//! ```
+//!
+//! Pointers are fully opaque (`T*` compiles to a pointer primitive): the
+//! pointee's type is discovered at swizzle time from the pointed-to block's
+//! own descriptor, which is what lets recursive types like the paper's
+//! linked list work without cyclic descriptors.
+//!
+//! # Examples
+//!
+//! ```
+//! use iw_types::idl::compile;
+//!
+//! let module = compile(
+//!     "struct node { int key; struct node *next; };",
+//! ).unwrap();
+//! let node = module.get("node").unwrap();
+//! assert_eq!(node.prim_count(), 2);
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::desc::TypeDesc;
+
+/// A compiled IDL module: an ordered collection of named types and
+/// constants.
+#[derive(Debug, Clone, Default)]
+pub struct IdlModule {
+    names: Vec<String>,
+    types: BTreeMap<String, TypeDesc>,
+    consts: BTreeMap<String, u64>,
+}
+
+impl IdlModule {
+    /// Looks up a type by name.
+    pub fn get(&self, name: &str) -> Option<&TypeDesc> {
+        self.types.get(name)
+    }
+
+    /// The declared type names, in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Iterates `(name, descriptor)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TypeDesc)> {
+        self.names
+            .iter()
+            .map(move |n| (n.as_str(), &self.types[n]))
+    }
+
+    /// Looks up a declared constant.
+    pub fn constant(&self, name: &str) -> Option<u64> {
+        self.consts.get(name).copied()
+    }
+
+    fn insert(&mut self, name: String, ty: TypeDesc) -> Result<(), String> {
+        if self.types.contains_key(&name) {
+            return Err(format!("duplicate type name `{name}`"));
+        }
+        self.names.push(name.clone());
+        self.types.insert(name, ty);
+        Ok(())
+    }
+}
+
+/// An error produced while compiling IDL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for IdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "idl error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for IdlError {}
+
+/// Compiles IDL source text into an [`IdlModule`].
+///
+/// # Errors
+///
+/// Returns an [`IdlError`] (with line/column) on lexical errors, syntax
+/// errors, references to undefined types, duplicate definitions, or
+/// zero-capacity strings.
+pub fn compile(src: &str) -> Result<IdlModule, IdlError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0, module: IdlModule::default() }.parse()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, IdlError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let (mut line, mut col) = (1u32, 1u32);
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+    loop {
+        let (l0, c0) = (line, col);
+        let Some(&c) = chars.peek() else { break };
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == '/' {
+            // Comment or error.
+            bump!();
+            match chars.peek() {
+                Some('/') => {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                }
+                Some('*') => {
+                    bump!();
+                    let mut closed = false;
+                    while let Some(c) = bump!() {
+                        if c == '*' {
+                            if let Some('/') = chars.peek() {
+                                bump!();
+                                closed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !closed {
+                        return Err(IdlError {
+                            line: l0,
+                            col: c0,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                }
+                _ => {
+                    return Err(IdlError {
+                        line: l0,
+                        col: c0,
+                        message: "unexpected `/`".into(),
+                    })
+                }
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    s.push(c);
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            out.push(Spanned { tok: Tok::Ident(s), line: l0, col: c0 });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut n: u64 = 0;
+            while let Some(&c) = chars.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d)))
+                        .ok_or(IdlError {
+                            line: l0,
+                            col: c0,
+                            message: "integer literal overflow".into(),
+                        })?;
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            out.push(Spanned { tok: Tok::Num(n), line: l0, col: c0 });
+            continue;
+        }
+        if "{}[]<>*;,=".contains(c) {
+            bump!();
+            out.push(Spanned { tok: Tok::Punct(c), line: l0, col: c0 });
+            continue;
+        }
+        return Err(IdlError {
+            line: l0,
+            col: c0,
+            message: format!("unexpected character `{c}`"),
+        });
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    module: IdlModule,
+}
+
+/// Base type parsed before a declarator; `StrPending` marks XDR-style
+/// `string name<N>` whose capacity follows the identifier.
+enum BaseTy {
+    Ty(TypeDesc),
+    StrPending,
+}
+
+impl Parser {
+    fn parse(mut self) -> Result<IdlModule, IdlError> {
+        while self.pos < self.tokens.len() {
+            let t = self.peek_ident()?;
+            match t.as_str() {
+                "typedef" => self.typedef()?,
+                "struct" => self.structdef()?,
+                "const" => self.constdef()?,
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected `typedef`, `struct`, or `const`, found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(self.module)
+    }
+
+    fn err_here(&self, message: String) -> IdlError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1));
+        IdlError { line, col, message }
+    }
+
+    fn err_eof(&self) -> IdlError {
+        let (line, col) = self
+            .tokens
+            .last()
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1));
+        IdlError { line, col, message: "unexpected end of input".into() }
+    }
+
+    fn next(&mut self) -> Result<Spanned, IdlError> {
+        let t = self.tokens.get(self.pos).cloned().ok_or_else(|| self.err_eof())?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_ident(&self) -> Result<String, IdlError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            Some(t) => Err(self.err_here(format!("expected identifier, found {t:?}"))),
+            None => Err(self.err_eof()),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), IdlError> {
+        match self.next()?.tok {
+            Tok::Punct(p) if p == c => Ok(()),
+            t => Err(self.err_here(format!("expected `{c}`, found {t:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, IdlError> {
+        match self.next()?.tok {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err_here(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<u64, IdlError> {
+        match self.next()?.tok {
+            Tok::Num(n) => Ok(n),
+            t => Err(self.err_here(format!("expected number, found {t:?}"))),
+        }
+    }
+
+    fn constdef(&mut self) -> Result<(), IdlError> {
+        self.expect_ident()?; // "const"
+        let name = self.expect_ident()?;
+        // Accept both `const N = 5;` and XDR-ish `const N 5;`.
+        if let Some(Tok::Punct('=')) = self.peek() {
+            self.next()?;
+        }
+        let value = self.expect_num()?;
+        self.expect_punct(';')?;
+        if self.module.consts.contains_key(&name) {
+            return Err(self.err_here(format!("duplicate const `{name}`")));
+        }
+        self.module.consts.insert(name, value);
+        Ok(())
+    }
+
+    /// Parses a size: a number or a previously declared constant.
+    fn expect_size(&mut self) -> Result<u64, IdlError> {
+        match self.next()?.tok {
+            Tok::Num(n) => Ok(n),
+            Tok::Ident(name) => self
+                .module
+                .consts
+                .get(&name)
+                .copied()
+                .ok_or_else(|| self.err_here(format!("undefined const `{name}`"))),
+            t => Err(self.err_here(format!("expected size, found {t:?}"))),
+        }
+    }
+
+    fn typedef(&mut self) -> Result<(), IdlError> {
+        self.expect_ident()?; // "typedef"
+        let base = self.base_type()?;
+        let (name, ty) = self.declarator(base)?;
+        self.expect_punct(';')?;
+        self.module
+            .insert(name, ty)
+            .map_err(|m| self.err_here(m))
+    }
+
+    fn structdef(&mut self) -> Result<(), IdlError> {
+        self.expect_ident()?; // "struct"
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut fields: Vec<(String, TypeDesc)> = Vec::new();
+        loop {
+            if let Some(Tok::Punct('}')) = self.peek() {
+                self.next()?;
+                break;
+            }
+            let base = self.base_type()?;
+            let (fname, fty) = self.declarator(base)?;
+            if fields.iter().any(|(n, _)| *n == fname) {
+                return Err(self.err_here(format!(
+                    "duplicate field `{fname}` in struct `{name}`"
+                )));
+            }
+            fields.push((fname, fty));
+            self.expect_punct(';')?;
+        }
+        self.expect_punct(';')?;
+        let ty = TypeDesc::structure(
+            name.clone(),
+            fields.iter().map(|(n, t)| (n.as_str(), t.clone())).collect(),
+        );
+        self.module
+            .insert(name, ty)
+            .map_err(|m| self.err_here(m))
+    }
+
+    /// Parses `"<" size ">"`, validating the capacity.
+    fn string_cap(&mut self) -> Result<u32, IdlError> {
+        self.expect_punct('<')?;
+        let cap = self.expect_size()?;
+        self.expect_punct('>')?;
+        if cap == 0 || cap > u64::from(u32::MAX) {
+            return Err(self.err_here(format!("string capacity {cap} out of range")));
+        }
+        Ok(cap as u32)
+    }
+
+    /// Parses the base type (everything before the declarator).
+    fn base_type(&mut self) -> Result<BaseTy, IdlError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "char" => Ok(BaseTy::Ty(TypeDesc::char8())),
+            "short" => Ok(BaseTy::Ty(TypeDesc::int16())),
+            "int" => Ok(BaseTy::Ty(TypeDesc::int32())),
+            "hyper" => Ok(BaseTy::Ty(TypeDesc::int64())),
+            "float" => Ok(BaseTy::Ty(TypeDesc::float32())),
+            "double" => Ok(BaseTy::Ty(TypeDesc::float64())),
+            "string" => {
+                // Two accepted spellings: `string<N> name` and the
+                // XDR-style `string name<N>`. The latter is resolved in
+                // `declarator` via the pending marker.
+                if let Some(Tok::Punct('<')) = self.peek() {
+                    let cap = self.string_cap()?;
+                    Ok(BaseTy::Ty(TypeDesc::string(cap)))
+                } else {
+                    Ok(BaseTy::StrPending)
+                }
+            }
+            "struct" => {
+                let sname = self.expect_ident()?;
+                // By-value use requires the definition, unless the
+                // declarator turns out to be a pointer (the base type is
+                // then discarded — pointees resolve at swizzle time).
+                if let Some(Tok::Punct('*')) = self.peek() {
+                    return Ok(BaseTy::Ty(TypeDesc::structure(sname, vec![])));
+                }
+                self.module
+                    .get(&sname)
+                    .cloned()
+                    .map(BaseTy::Ty)
+                    .ok_or_else(|| {
+                        self.err_here(format!("undefined struct `{sname}`"))
+                    })
+            }
+            other => self
+                .module
+                .get(other)
+                .cloned()
+                .map(BaseTy::Ty)
+                .ok_or_else(|| self.err_here(format!("undefined type `{other}`"))),
+        }
+    }
+
+    /// Parses `"*"* IDENT ("<" NUM ">")? ("[" NUM "]")*` and applies it to
+    /// `base`. The `<N>` capacity suffix is the XDR-style string spelling
+    /// and is required exactly when the base type was `string` without an
+    /// inline capacity.
+    fn declarator(&mut self, base: BaseTy) -> Result<(String, TypeDesc), IdlError> {
+        let mut stars = 0u32;
+        while let Some(Tok::Punct('*')) = self.peek() {
+            self.next()?;
+            stars += 1;
+        }
+        let name = self.expect_ident()?;
+        let base = match base {
+            BaseTy::Ty(t) => t,
+            BaseTy::StrPending => {
+                if stars > 0 {
+                    // `string *p;` — a pointer; capacity suffix not allowed.
+                    TypeDesc::string(1)
+                } else {
+                    let cap = self.string_cap()?;
+                    TypeDesc::string(cap)
+                }
+            }
+        };
+        let mut dims = Vec::new();
+        while let Some(Tok::Punct('[')) = self.peek() {
+            self.next()?;
+            let n = self.expect_size()?;
+            if n > u64::from(u32::MAX) {
+                return Err(self.err_here(format!("array length {n} out of range")));
+            }
+            self.expect_punct(']')?;
+            dims.push(n as u32);
+        }
+        let mut ty = if stars > 0 { TypeDesc::pointer() } else { base };
+        for &d in dims.iter().rev() {
+            ty = TypeDesc::array(ty, d);
+        }
+        Ok((name, ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::MachineArch;
+    use crate::desc::{PrimKind, TypeKind};
+    use crate::layout::layout_of;
+
+    #[test]
+    fn paper_linked_list_node() {
+        let m = compile(
+            "struct node { int key; struct node *next; };",
+        )
+        .unwrap();
+        let node = m.get("node").unwrap();
+        let TypeKind::Struct { fields, .. } = node.kind() else {
+            panic!("expected struct")
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].ty.as_prim(), Some(PrimKind::Int32));
+        assert_eq!(fields[1].ty.as_prim(), Some(PrimKind::Ptr));
+    }
+
+    #[test]
+    fn typedefs_and_arrays() {
+        let m = compile(
+            "typedef double vec3[3];\n\
+             struct particle { vec3 pos; vec3 vel; int id; };",
+        )
+        .unwrap();
+        let v = m.get("vec3").unwrap();
+        assert_eq!(v.prim_count(), 3);
+        let p = m.get("particle").unwrap();
+        assert_eq!(p.prim_count(), 7);
+        assert_eq!(layout_of(p, &MachineArch::alpha()).size, 56);
+    }
+
+    #[test]
+    fn multidimensional_arrays_outermost_first() {
+        let m = compile("typedef int mat[2][3];").unwrap();
+        let t = m.get("mat").unwrap();
+        let TypeKind::Array { elem, len } = t.kind() else { panic!() };
+        assert_eq!(*len, 2);
+        let TypeKind::Array { len: inner, .. } = elem.kind() else { panic!() };
+        assert_eq!(*inner, 3);
+    }
+
+    #[test]
+    fn strings_and_pointers() {
+        let m = compile(
+            "struct rec { string name<256>; string tag<4>; int *vals[8]; };",
+        )
+        .unwrap();
+        let r = m.get("rec").unwrap();
+        let (_, f) = r.field("name").unwrap();
+        assert_eq!(f.ty.as_prim(), Some(PrimKind::Str { cap: 256 }));
+        let (_, f) = r.field("vals").unwrap();
+        // int *vals[8] is an array of 8 pointers.
+        let TypeKind::Array { elem, len: 8 } = f.ty.kind() else { panic!() };
+        assert_eq!(elem.as_prim(), Some(PrimKind::Ptr));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let m = compile(
+            "// leading comment\n\
+             struct s { /* inline */ int a; // trailing\n };",
+        )
+        .unwrap();
+        assert!(m.get("s").is_some());
+    }
+
+    #[test]
+    fn nested_struct_by_value_requires_definition() {
+        let err = compile("struct a { struct b inner; };").unwrap_err();
+        assert!(err.message.contains("undefined struct `b`"), "{err}");
+        let ok = compile(
+            "struct b { int x; };\nstruct a { struct b inner; };",
+        )
+        .unwrap();
+        assert_eq!(ok.get("a").unwrap().prim_count(), 1);
+    }
+
+    #[test]
+    fn pointer_to_undefined_struct_is_fine() {
+        // Forward/self references through pointers must not need the def.
+        let m = compile("struct a { struct later *p; };").unwrap();
+        assert_eq!(m.get("a").unwrap().prim_count(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = compile("struct s { int a;\n  bogus b; };").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("undefined type `bogus`"));
+        assert!(err.to_string().contains("idl error at 2:"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = compile("struct s { int a; };\nstruct s { int b; };").unwrap_err();
+        assert!(err.message.contains("duplicate type name"));
+        let err = compile("struct s { int a; int a; };").unwrap_err();
+        assert!(err.message.contains("duplicate field"));
+    }
+
+    #[test]
+    fn lexical_errors() {
+        assert!(compile("struct s { int a; } %").is_err());
+        assert!(compile("/* unterminated").is_err());
+        assert!(compile("/ odd").is_err());
+        let err = compile("typedef string<0> s;").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn declaration_order_preserved() {
+        let m = compile(
+            "typedef int a; typedef int b; struct c { int x; };",
+        )
+        .unwrap();
+        assert_eq!(m.names(), &["a", "b", "c"]);
+        let collected: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn eof_mid_declaration() {
+        assert!(compile("struct s { int").is_err());
+        assert!(compile("typedef").is_err());
+        assert!(compile("struct").is_err());
+    }
+
+    #[test]
+    fn consts_size_arrays_and_strings() {
+        let m = compile(
+            "const GRID = 16;\n\
+             const NAME_LEN = 32;\n\
+             struct tile { double cells[GRID]; string label<NAME_LEN>; };",
+        )
+        .unwrap();
+        assert_eq!(m.constant("GRID"), Some(16));
+        assert_eq!(m.constant("NOPE"), None);
+        let t = m.get("tile").unwrap();
+        assert_eq!(t.prim_count(), 17);
+        let (_, f) = t.field("label").unwrap();
+        assert_eq!(f.ty.as_prim(), Some(crate::desc::PrimKind::Str { cap: 32 }));
+    }
+
+    #[test]
+    fn const_errors() {
+        assert!(compile("const A = 1; const A = 2;").unwrap_err()
+            .message.contains("duplicate const"));
+        assert!(compile("struct s { int v[UNDEF]; };").unwrap_err()
+            .message.contains("undefined const"));
+    }
+
+    #[test]
+    fn paper_figure4_types_compile() {
+        // The 9 data mixes of Figure 4, as IDL.
+        let m = compile(
+            "struct int_struct { int f[32]; };\n\
+             struct double_struct { double f[32]; };\n\
+             struct int_double { int i; double d; };\n\
+             struct mix { int i; double d; string s<256>; string t<4>; int *p; };",
+        )
+        .unwrap();
+        assert_eq!(m.get("int_struct").unwrap().prim_count(), 32);
+        assert_eq!(m.get("mix").unwrap().prim_count(), 5);
+    }
+}

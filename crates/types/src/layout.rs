@@ -1,0 +1,218 @@
+//! The layout engine: machine-specific sizes, alignments, and field offsets.
+//!
+//! The paper's type descriptors record "both the byte offset of each field
+//! from the beginning of the structure in local format, and the
+//! machine-independent primitive offset of each field" (§3.1). This module
+//! computes the local-format side for a given [`MachineArch`] using C
+//! structure-layout rules: each field is placed at the next offset aligned
+//! to its alignment, and the structure size is rounded up to the structure's
+//! own alignment (the maximum field alignment).
+
+use crate::arch::MachineArch;
+use crate::desc::{TypeDesc, TypeKind};
+
+/// Local-format size and alignment of a type on some architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Layout {
+    /// Size in bytes, always a multiple of `align` (so array stride == size).
+    pub size: u32,
+    /// Alignment in bytes.
+    pub align: u32,
+}
+
+impl Layout {
+    /// Rounds `off` up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero (alignments are always ≥ 1).
+    pub fn align_up(off: u32, align: u32) -> u32 {
+        assert!(align > 0, "alignment must be non-zero");
+        off.div_ceil(align) * align
+    }
+}
+
+/// Computes the local-format [`Layout`] of `ty` on `arch`.
+///
+/// # Examples
+///
+/// ```
+/// use iw_types::arch::MachineArch;
+/// use iw_types::desc::TypeDesc;
+/// use iw_types::layout::layout_of;
+///
+/// let t = TypeDesc::structure(
+///     "s",
+///     vec![("c", TypeDesc::char8()), ("d", TypeDesc::float64())],
+/// );
+/// // x86 aligns double to 4 bytes; alpha to 8.
+/// assert_eq!(layout_of(&t, &MachineArch::x86()).size, 12);
+/// assert_eq!(layout_of(&t, &MachineArch::alpha()).size, 16);
+/// ```
+pub fn layout_of(ty: &TypeDesc, arch: &MachineArch) -> Layout {
+    match ty.kind() {
+        TypeKind::Prim(p) => Layout {
+            size: p.local_size(arch),
+            align: p.local_align(arch),
+        },
+        TypeKind::Array { elem, len } => {
+            let el = layout_of(elem, arch);
+            Layout { size: el.size * len, align: el.align }
+        }
+        TypeKind::Struct { fields, .. } => {
+            let mut off = 0u32;
+            let mut align = 1u32;
+            for f in fields {
+                let fl = layout_of(&f.ty, arch);
+                off = Layout::align_up(off, fl.align) + fl.size;
+                align = align.max(fl.align);
+            }
+            Layout { size: Layout::align_up(off.max(1), align), align }
+        }
+    }
+}
+
+/// Byte offsets of each field of a struct type on `arch`, in declaration
+/// order. Returns an empty vector for non-struct types.
+pub fn field_offsets(ty: &TypeDesc, arch: &MachineArch) -> Vec<u32> {
+    let TypeKind::Struct { fields, .. } = ty.kind() else {
+        return Vec::new();
+    };
+    let mut offs = Vec::with_capacity(fields.len());
+    let mut off = 0u32;
+    for f in fields {
+        let fl = layout_of(&f.ty, arch);
+        off = Layout::align_up(off, fl.align);
+        offs.push(off);
+        off += fl.size;
+    }
+    offs
+}
+
+/// Machine-independent primitive offsets of each field of a struct type, in
+/// declaration order. Returns an empty vector for non-struct types.
+pub fn field_prim_offsets(ty: &TypeDesc) -> Vec<u64> {
+    let TypeKind::Struct { fields, .. } = ty.kind() else {
+        return Vec::new();
+    };
+    let mut offs = Vec::with_capacity(fields.len());
+    let mut off = 0u64;
+    for f in fields {
+        offs.push(off);
+        off += f.ty.prim_count();
+    }
+    offs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::TypeDesc;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(Layout::align_up(0, 4), 0);
+        assert_eq!(Layout::align_up(1, 4), 4);
+        assert_eq!(Layout::align_up(4, 4), 4);
+        assert_eq!(Layout::align_up(5, 8), 8);
+        assert_eq!(Layout::align_up(17, 1), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be non-zero")]
+    fn align_up_zero_panics() {
+        let _ = Layout::align_up(3, 0);
+    }
+
+    #[test]
+    fn primitive_layouts_track_arch() {
+        let x86 = MachineArch::x86();
+        let alpha = MachineArch::alpha();
+        assert_eq!(layout_of(&TypeDesc::pointer(), &x86).size, 4);
+        assert_eq!(layout_of(&TypeDesc::pointer(), &alpha).size, 8);
+        assert_eq!(layout_of(&TypeDesc::float64(), &x86).align, 4);
+        assert_eq!(layout_of(&TypeDesc::float64(), &alpha).align, 8);
+        assert_eq!(layout_of(&TypeDesc::string(13), &x86).size, 13);
+        assert_eq!(layout_of(&TypeDesc::string(13), &x86).align, 1);
+    }
+
+    #[test]
+    fn struct_padding_differs_across_archs() {
+        // struct { int i; double d; char c; }
+        let t = TypeDesc::structure(
+            "s",
+            vec![
+                ("i", TypeDesc::int32()),
+                ("d", TypeDesc::float64()),
+                ("c", TypeDesc::char8()),
+            ],
+        );
+        let x86 = MachineArch::x86();
+        let sparc = MachineArch::sparc_v9();
+        // x86: i@0, d@4 (4-aligned), c@12 -> size 16 (align 4)
+        assert_eq!(field_offsets(&t, &x86), vec![0, 4, 12]);
+        assert_eq!(layout_of(&t, &x86), Layout { size: 16, align: 4 });
+        // sparc: i@0, d@8, c@16 -> size 24 (align 8)
+        assert_eq!(field_offsets(&t, &sparc), vec![0, 8, 16]);
+        assert_eq!(layout_of(&t, &sparc), Layout { size: 24, align: 8 });
+    }
+
+    #[test]
+    fn array_stride_equals_elem_size() {
+        let t = TypeDesc::array(TypeDesc::int16(), 5);
+        let l = layout_of(&t, &MachineArch::x86());
+        assert_eq!(l, Layout { size: 10, align: 2 });
+    }
+
+    #[test]
+    fn struct_size_is_multiple_of_align() {
+        // struct { double d; char c; } must pad to 16 on natural-alignment
+        // machines so arrays of it stay aligned.
+        let t = TypeDesc::structure(
+            "s",
+            vec![("d", TypeDesc::float64()), ("c", TypeDesc::char8())],
+        );
+        let l = layout_of(&t, &MachineArch::alpha());
+        assert_eq!(l, Layout { size: 16, align: 8 });
+        let l32 = layout_of(&t, &MachineArch::x86());
+        assert_eq!(l32, Layout { size: 12, align: 4 });
+    }
+
+    #[test]
+    fn empty_struct_occupies_one_byte() {
+        let t = TypeDesc::structure("e", vec![]);
+        let l = layout_of(&t, &MachineArch::x86());
+        assert_eq!(l.size, 1);
+    }
+
+    #[test]
+    fn prim_offsets_are_machine_independent() {
+        let t = TypeDesc::structure(
+            "s",
+            vec![
+                ("i", TypeDesc::int32()),
+                ("a", TypeDesc::array(TypeDesc::char8(), 7)),
+                ("d", TypeDesc::float64()),
+            ],
+        );
+        assert_eq!(field_prim_offsets(&t), vec![0, 1, 8]);
+        assert!(field_offsets(&TypeDesc::int32(), &MachineArch::x86()).is_empty());
+        assert!(field_prim_offsets(&TypeDesc::int32()).is_empty());
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let inner = TypeDesc::structure(
+            "inner",
+            vec![("c", TypeDesc::char8()), ("i", TypeDesc::int32())],
+        );
+        let outer = TypeDesc::structure(
+            "outer",
+            vec![("c", TypeDesc::char8()), ("in", inner)],
+        );
+        let x86 = MachineArch::x86();
+        // inner: c@0, i@4 -> size 8 align 4. outer: c@0, in@4 -> size 12.
+        assert_eq!(field_offsets(&outer, &x86), vec![0, 4]);
+        assert_eq!(layout_of(&outer, &x86).size, 12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the layout engine and flattened layouts.
+//!
+//! These exercise the invariants diff collection and swizzling rely on:
+//! every primitive of a random type tree has a sane, non-overlapping local
+//! placement on every architecture, and the seek operations agree with
+//! plain iteration.
+
+use iw_types::arch::MachineArch;
+use iw_types::desc::TypeDesc;
+use iw_types::flat::FlatLayout;
+use iw_types::layout::{field_offsets, layout_of};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary (bounded) type trees.
+fn arb_type() -> impl Strategy<Value = TypeDesc> {
+    let leaf = prop_oneof![
+        Just(TypeDesc::char8()),
+        Just(TypeDesc::int16()),
+        Just(TypeDesc::int32()),
+        Just(TypeDesc::int64()),
+        Just(TypeDesc::float32()),
+        Just(TypeDesc::float64()),
+        (1u32..12).prop_map(TypeDesc::string),
+        Just(TypeDesc::pointer()),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            (inner.clone(), 1u32..5).prop_map(|(t, n)| TypeDesc::array(t, n)),
+            prop::collection::vec(inner, 1..5).prop_map(|fields| {
+                TypeDesc::structure(
+                    "s",
+                    fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| -> (&str, TypeDesc) {
+                            // Leak tiny names; fine for tests.
+                            let name: &'static str =
+                                Box::leak(format!("f{i}").into_boxed_str());
+                            (name, t.clone())
+                        })
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn layout_size_is_multiple_of_align(ty in arb_type()) {
+        for arch in MachineArch::all() {
+            let l = layout_of(&ty, &arch);
+            prop_assert!(l.align >= 1);
+            prop_assert_eq!(l.size % l.align, 0);
+        }
+    }
+
+    #[test]
+    fn field_offsets_are_aligned_and_monotonic(ty in arb_type()) {
+        for arch in MachineArch::all() {
+            if let iw_types::desc::TypeKind::Struct { fields, .. } = ty.kind() {
+                let offs = field_offsets(&ty, &arch);
+                prop_assert_eq!(offs.len(), fields.len());
+                let mut prev_end = 0u32;
+                for (f, off) in fields.iter().zip(&offs) {
+                    let fl = layout_of(&f.ty, &arch);
+                    prop_assert_eq!(off % fl.align, 0);
+                    prop_assert!(*off >= prev_end, "fields overlap");
+                    prev_end = off + fl.size;
+                }
+                prop_assert!(prev_end <= layout_of(&ty, &arch).size);
+            }
+        }
+    }
+
+    #[test]
+    fn prims_are_in_bounds_and_non_overlapping(ty in arb_type()) {
+        for arch in MachineArch::all() {
+            let fl = FlatLayout::new(&ty, &arch);
+            let mut prev_end = 0u32;
+            let mut count = 0u64;
+            for p in fl.iter() {
+                prop_assert_eq!(p.prim_off, count);
+                prop_assert!(p.local_off >= prev_end,
+                    "prim {} overlaps previous (arch {})", count, arch.name);
+                prev_end = p.local_off + p.local_size(&arch);
+                count += 1;
+            }
+            prop_assert_eq!(count, fl.prim_count());
+            prop_assert_eq!(count, ty.prim_count());
+            prop_assert!(prev_end <= fl.local_size());
+        }
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_flattenings_agree(ty in arb_type()) {
+        for arch in MachineArch::all() {
+            let a: Vec<_> = FlatLayout::new(&ty, &arch).iter().collect();
+            let b: Vec<_> = FlatLayout::new_unoptimized(&ty, &arch).iter().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn seek_prim_matches_iteration(ty in arb_type(), frac in 0.0f64..1.0) {
+        let arch = MachineArch::x86();
+        let fl = FlatLayout::new(&ty, &arch);
+        let n = fl.prim_count();
+        if n > 0 {
+            let target = ((n as f64) * frac) as u64 % n;
+            let got: Vec<_> = fl.seek_prim(target).take(4).collect();
+            let want: Vec<_> = fl.iter().skip(target as usize).take(4).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn seek_byte_matches_linear_scan(ty in arb_type(), frac in 0.0f64..1.0) {
+        for arch in [MachineArch::x86(), MachineArch::sparc_v9()] {
+            let fl = FlatLayout::new(&ty, &arch);
+            let byte = ((fl.local_size() as f64) * frac) as u32;
+            let want = fl
+                .iter()
+                .find(|p| p.local_off + p.local_size(&arch) > byte);
+            let got = fl.seek_byte(byte).next();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

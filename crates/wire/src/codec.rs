@@ -1,0 +1,388 @@
+//! Low-level wire codec.
+//!
+//! All multi-byte quantities on the wire are big-endian ("network order"),
+//! floats are IEEE 754, strings are `u32` length-prefixed UTF-8. This is the
+//! canonical format every InterWeave client translates its local format to
+//! and from; it never depends on any machine architecture.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An error while decoding wire-format bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the expected datum.
+    UnexpectedEof {
+        /// How many bytes the decoder wanted.
+        wanted: usize,
+        /// How many were available.
+        available: usize,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enumeration tag byte had no defined meaning.
+    BadTag {
+        /// The decoder context (e.g. `"type descriptor"`).
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A declared length exceeded a sanity bound.
+    LengthOverflow {
+        /// The declared length.
+        len: u64,
+    },
+    /// A MIP string failed to parse.
+    BadMip(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { wanted, available } => write!(
+                f,
+                "unexpected end of wire data (wanted {wanted} bytes, {available} available)"
+            ),
+            WireError::InvalidUtf8 => f.write_str("wire string is not valid UTF-8"),
+            WireError::BadTag { what, tag } => {
+                write!(f, "invalid {what} tag {tag:#04x}")
+            }
+            WireError::LengthOverflow { len } => {
+                write!(f, "declared length {len} exceeds sanity bound")
+            }
+            WireError::BadMip(s) => write!(f, "malformed MIP `{s}`"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Maximum length accepted for any single length-prefixed item (64 MiB).
+/// Protects decoders from corrupt or hostile length fields.
+pub const MAX_ITEM_LEN: u64 = 64 << 20;
+
+/// An append-only wire-format writer.
+///
+/// # Examples
+///
+/// ```
+/// use iw_wire::codec::{WireReader, WireWriter};
+///
+/// let mut w = WireWriter::new();
+/// w.put_u32(7);
+/// w.put_str("hello");
+/// let bytes = w.finish();
+///
+/// let mut r = WireReader::new(bytes);
+/// assert_eq!(r.get_u32()?, 7);
+/// assert_eq!(r.get_str()?, "hello");
+/// assert!(r.is_empty());
+/// # Ok::<(), iw_wire::codec::WireError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: BytesMut::new() }
+    }
+
+    /// Creates a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Appends a big-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+
+    /// Appends a big-endian IEEE 754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64(v);
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Appends `u32` length-prefixed raw bytes.
+    pub fn put_len_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v);
+    }
+
+    /// Appends a `u32` length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_len_bytes(v.as_bytes());
+    }
+
+    /// Finalizes the writer into immutable bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A wire-format reader over immutable bytes.
+#[derive(Debug, Clone)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wraps `buf` for reading.
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::UnexpectedEof { wanted: n, available: self.buf.len() });
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when the buffer is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer than 2 bytes remain.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Reads a big-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer than 8 bytes remain.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64())
+    }
+
+    /// Reads a big-endian IEEE 754 `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer than 8 bytes remain.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64())
+    }
+
+    /// Reads `n` raw bytes (zero-copy slice of the underlying buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer than `n` bytes remain.
+    pub fn get_bytes(&mut self, n: usize) -> Result<Bytes, WireError> {
+        self.need(n)?;
+        Ok(self.buf.split_to(n))
+    }
+
+    /// Copies exactly `dst.len()` bytes into `dst`, advancing the reader.
+    /// The allocation-free fast path for bulk fixed-size decoding.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] when fewer bytes remain.
+    pub fn copy_into(&mut self, dst: &mut [u8]) -> Result<(), WireError> {
+        self.need(dst.len())?;
+        self.buf.copy_to_slice(dst);
+        Ok(())
+    }
+
+    /// Reads `u32` length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] on truncation;
+    /// [`WireError::LengthOverflow`] when the declared length exceeds
+    /// [`MAX_ITEM_LEN`].
+    pub fn get_len_bytes(&mut self) -> Result<Bytes, WireError> {
+        let n = self.get_u32()?;
+        if u64::from(n) > MAX_ITEM_LEN {
+            return Err(WireError::LengthOverflow { len: u64::from(n) });
+        }
+        self.get_bytes(n as usize)
+    }
+
+    /// Reads a `u32` length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireReader::get_len_bytes`], plus [`WireError::InvalidUtf8`].
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let b = self.get_len_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0102_0304_0506_0708);
+        w.put_i64(-42);
+        w.put_f64(6.5);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 6.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wire_is_big_endian() {
+        let mut w = WireWriter::new();
+        w.put_u32(0x0102_0304);
+        let b = w.finish();
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        let mut w = WireWriter::new();
+        w.put_str("héllo");
+        w.put_len_bytes(&[9, 8, 7]);
+        w.put_bytes(&[1, 2]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(&r.get_len_bytes().unwrap()[..], &[9, 8, 7]);
+        assert_eq!(&r.get_bytes(2).unwrap()[..], &[1, 2]);
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut r = WireReader::new(Bytes::from_static(&[1, 2]));
+        let err = r.get_u32().unwrap_err();
+        assert_eq!(err, WireError::UnexpectedEof { wanted: 4, available: 2 });
+        assert!(err.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn bad_utf8_is_detected() {
+        let mut w = WireWriter::new();
+        w.put_len_bytes(&[0xFF, 0xFE]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_str().unwrap_err(), WireError::InvalidUtf8);
+    }
+
+    #[test]
+    fn hostile_length_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            r.get_len_bytes().unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_len_bytes() {
+        let mut w = WireWriter::new();
+        w.put_u32(10);
+        w.put_bytes(&[1, 2, 3]);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            r.get_len_bytes().unwrap_err(),
+            WireError::UnexpectedEof { wanted: 10, available: 3 }
+        ));
+    }
+
+    #[test]
+    fn writer_capacity_and_len() {
+        let mut w = WireWriter::with_capacity(64);
+        assert!(w.is_empty());
+        w.put_u8(1);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! The wire-format diff.
+//!
+//! "A wire-format block diff consists of a block serial number, the length
+//! of the diff (measured in bytes), and a series of run length encoded data
+//! changes, each of which consists of the starting point and length of the
+//! change (both measured in primitive data units), and the updated data (in
+//! wire format)." (§3.1)
+//!
+//! A [`SegmentDiff`] bundles everything needed to move a cached copy of a
+//! segment from one version to another: type-descriptor registrations, new
+//! blocks (with their full wire images), per-block run diffs, and freed
+//! blocks.
+
+use bytes::Bytes;
+use iw_types::desc::TypeDesc;
+
+use crate::codec::{WireError, WireReader, WireWriter};
+use crate::tdesc::{decode_type, encode_type};
+
+/// One run-length-encoded change within a block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRun {
+    /// Starting point of the change, in primitive data units from the
+    /// beginning of the block.
+    pub start: u64,
+    /// Length of the change, in primitive data units.
+    pub count: u64,
+    /// The updated data, in wire format (`count` primitives).
+    pub data: Bytes,
+}
+
+/// The diff for a single block: its serial number and RLE runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BlockDiff {
+    /// Serial number of the block within its segment.
+    pub serial: u32,
+    /// Changed runs, in increasing `start` order.
+    pub runs: Vec<DiffRun>,
+}
+
+impl BlockDiff {
+    /// Total wire size of the run payloads in bytes — the paper's
+    /// "length of the diff, measured in bytes".
+    pub fn diff_len(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Total number of changed primitive data units. The server adds this
+    /// to its per-client counters for Diff coherence (§3.2).
+    pub fn prims_changed(&self) -> u64 {
+        self.runs.iter().map(|r| r.count).sum()
+    }
+}
+
+/// A freshly created block travelling in a diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewBlock {
+    /// Serial number assigned by the allocating client.
+    pub serial: u32,
+    /// Optional symbolic name.
+    pub name: Option<String>,
+    /// Segment-specific serial of the block's type descriptor.
+    pub type_serial: u32,
+    /// Number of elements of the type (blocks are allocated as `count`
+    /// contiguous values, like `calloc`).
+    pub count: u32,
+    /// Full wire-format image of the block.
+    pub data: Bytes,
+}
+
+/// A complete wire diff for one segment version transition.
+///
+/// `from_version == 0` denotes a full segment transfer (the initial cache
+/// fill at first lock acquisition).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SegmentDiff {
+    /// Version the receiver must hold for the diff to apply (0 = none).
+    pub from_version: u64,
+    /// Version the receiver holds after applying.
+    pub to_version: u64,
+    /// Type descriptors not previously known to the receiver, as
+    /// `(type serial, descriptor)` pairs in ascending serial order.
+    pub new_types: Vec<(u32, TypeDesc)>,
+    /// Blocks created in this version range.
+    pub new_blocks: Vec<NewBlock>,
+    /// Modified blocks and their runs.
+    pub block_diffs: Vec<BlockDiff>,
+    /// Serial numbers of blocks freed in this version range.
+    pub freed: Vec<u32>,
+}
+
+impl SegmentDiff {
+    /// Total wire payload size in bytes: run data plus new-block images.
+    /// This is the quantity the bandwidth experiments report.
+    pub fn payload_len(&self) -> usize {
+        self.block_diffs.iter().map(BlockDiff::diff_len).sum::<usize>()
+            + self.new_blocks.iter().map(|b| b.data.len()).sum::<usize>()
+    }
+
+    /// Serializes the diff (including its encoded size for framing).
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(64 + self.payload_len());
+        w.put_u64(self.from_version);
+        w.put_u64(self.to_version);
+        w.put_u32(self.new_types.len() as u32);
+        for (serial, ty) in &self.new_types {
+            w.put_u32(*serial);
+            encode_type(&mut w, ty);
+        }
+        w.put_u32(self.new_blocks.len() as u32);
+        for b in &self.new_blocks {
+            w.put_u32(b.serial);
+            match &b.name {
+                Some(n) => {
+                    w.put_u8(1);
+                    w.put_str(n);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u32(b.type_serial);
+            w.put_u32(b.count);
+            w.put_len_bytes(&b.data);
+        }
+        w.put_u32(self.block_diffs.len() as u32);
+        for d in &self.block_diffs {
+            w.put_u32(d.serial);
+            w.put_u32(d.diff_len() as u32);
+            w.put_u32(d.runs.len() as u32);
+            for run in &d.runs {
+                w.put_u64(run.start);
+                w.put_u64(run.count);
+                w.put_len_bytes(&run.data);
+            }
+        }
+        w.put_u32(self.freed.len() as u32);
+        for s in &self.freed {
+            w.put_u32(*s);
+        }
+        w.finish()
+    }
+
+    /// Decodes a diff previously produced by [`SegmentDiff::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] arising from truncation, bad tags, or hostile
+    /// length fields.
+    pub fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        let from_version = r.get_u64()?;
+        let to_version = r.get_u64()?;
+        let n_types = checked_count(r.get_u32()?)?;
+        let mut new_types = Vec::with_capacity(n_types);
+        for _ in 0..n_types {
+            let serial = r.get_u32()?;
+            let ty = decode_type(r)?;
+            new_types.push((serial, ty));
+        }
+        let n_new = checked_count(r.get_u32()?)?;
+        let mut new_blocks = Vec::with_capacity(n_new);
+        for _ in 0..n_new {
+            let serial = r.get_u32()?;
+            let name = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_str()?),
+                tag => return Err(WireError::BadTag { what: "block name flag", tag }),
+            };
+            let type_serial = r.get_u32()?;
+            let count = r.get_u32()?;
+            let data = r.get_len_bytes()?;
+            new_blocks.push(NewBlock { serial, name, type_serial, count, data });
+        }
+        let n_diffs = checked_count(r.get_u32()?)?;
+        let mut block_diffs = Vec::with_capacity(n_diffs);
+        for _ in 0..n_diffs {
+            let serial = r.get_u32()?;
+            let declared_len = r.get_u32()? as usize;
+            let n_runs = checked_count(r.get_u32()?)?;
+            let mut runs = Vec::with_capacity(n_runs);
+            for _ in 0..n_runs {
+                let start = r.get_u64()?;
+                let count = r.get_u64()?;
+                let data = r.get_len_bytes()?;
+                runs.push(DiffRun { start, count, data });
+            }
+            let d = BlockDiff { serial, runs };
+            if d.diff_len() != declared_len {
+                return Err(WireError::BadMip(format!(
+                    "block {serial} diff length mismatch: declared {declared_len}, actual {}",
+                    d.diff_len()
+                )));
+            }
+            block_diffs.push(d);
+        }
+        let n_freed = checked_count(r.get_u32()?)?;
+        let mut freed = Vec::with_capacity(n_freed);
+        for _ in 0..n_freed {
+            freed.push(r.get_u32()?);
+        }
+        Ok(SegmentDiff {
+            from_version,
+            to_version,
+            new_types,
+            new_blocks,
+            block_diffs,
+            freed,
+        })
+    }
+}
+
+/// Bounds element counts read off the wire so `Vec::with_capacity` cannot be
+/// used as an allocation bomb.
+fn checked_count(n: u32) -> Result<usize, WireError> {
+    if n > 1 << 24 {
+        return Err(WireError::LengthOverflow { len: u64::from(n) });
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SegmentDiff {
+        SegmentDiff {
+            from_version: 3,
+            to_version: 5,
+            new_types: vec![(1, TypeDesc::int32()), (2, TypeDesc::string(8))],
+            new_blocks: vec![NewBlock {
+                serial: 10,
+                name: Some("head".into()),
+                type_serial: 1,
+                count: 4,
+                data: Bytes::from_static(&[0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4]),
+            }],
+            block_diffs: vec![BlockDiff {
+                serial: 2,
+                runs: vec![
+                    DiffRun {
+                        start: 0,
+                        count: 1,
+                        data: Bytes::from_static(&[0, 0, 0, 9]),
+                    },
+                    DiffRun {
+                        start: 7,
+                        count: 2,
+                        data: Bytes::from_static(&[0, 0, 0, 1, 0, 0, 0, 2]),
+                    },
+                ],
+            }],
+            freed: vec![99, 100],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        let enc = d.encode();
+        let mut r = WireReader::new(enc);
+        let out = SegmentDiff::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(out, d);
+    }
+
+    #[test]
+    fn lengths_and_counts() {
+        let d = sample();
+        assert_eq!(d.block_diffs[0].diff_len(), 12);
+        assert_eq!(d.block_diffs[0].prims_changed(), 3);
+        assert_eq!(d.payload_len(), 12 + 16);
+    }
+
+    #[test]
+    fn empty_diff_roundtrips() {
+        let d = SegmentDiff { from_version: 1, to_version: 1, ..Default::default() };
+        let mut r = WireReader::new(d.encode());
+        assert_eq!(SegmentDiff::decode(&mut r).unwrap(), d);
+    }
+
+    #[test]
+    fn declared_length_mismatch_rejected() {
+        let d = sample();
+        let enc = d.encode();
+        // Corrupt the declared diff length of the first block diff.
+        // Layout: find it by re-encoding with a tweak instead of byte
+        // surgery: craft bytes manually.
+        let mut w = WireWriter::new();
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_u32(0); // types
+        w.put_u32(0); // new blocks
+        w.put_u32(1); // one diff
+        w.put_u32(5); // serial
+        w.put_u32(999); // wrong declared length
+        w.put_u32(1); // one run
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_len_bytes(&[1, 2, 3, 4]);
+        w.put_u32(0); // freed
+        let mut r = WireReader::new(w.finish());
+        assert!(SegmentDiff::decode(&mut r).is_err());
+        // Sanity: the untampered encoding still decodes.
+        let mut r = WireReader::new(enc);
+        assert!(SegmentDiff::decode(&mut r).is_ok());
+    }
+
+    #[test]
+    fn hostile_counts_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_u32(u32::MAX); // absurd type count
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            SegmentDiff::decode(&mut r),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_name_flag_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_u32(0);
+        w.put_u32(1); // one new block
+        w.put_u32(7); // serial
+        w.put_u8(9); // invalid name flag
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            SegmentDiff::decode(&mut r),
+            Err(WireError::BadTag { what: "block name flag", .. })
+        ));
+    }
+}

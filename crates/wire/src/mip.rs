@@ -1,0 +1,180 @@
+//! Machine-independent pointers (MIPs).
+//!
+//! "By concatenating the segment URL with a block name or number and
+//! optional offset (delimited by pound signs), we obtain a machine-
+//! independent pointer: `foo.org/path#block#offset`. To accommodate
+//! heterogeneous data formats, offsets are measured in primitive data
+//! units — characters, integers, floats, etc. — rather than in bytes."
+//! (§2.1)
+//!
+//! On the wire a pointer travels as its MIP string (the empty string for a
+//! null pointer); the server stores MIPs verbatim and never swizzles.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::codec::WireError;
+
+/// Identifies a block within a segment: by serial number or by its optional
+/// symbolic name.
+///
+/// All-digit path components parse as serial numbers, so symbolic names must
+/// contain at least one non-digit (enforced by the client at naming time).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockRef {
+    /// The block's serial number within its segment.
+    Serial(u32),
+    /// The block's symbolic name.
+    Name(String),
+}
+
+impl fmt::Display for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockRef::Serial(n) => write!(f, "{n}"),
+            BlockRef::Name(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u32> for BlockRef {
+    fn from(n: u32) -> Self {
+        BlockRef::Serial(n)
+    }
+}
+
+impl From<&str> for BlockRef {
+    fn from(s: &str) -> Self {
+        match s.parse::<u32>() {
+            Ok(n) => BlockRef::Serial(n),
+            Err(_) => BlockRef::Name(s.to_string()),
+        }
+    }
+}
+
+/// A machine-independent pointer: segment URL, block reference, and offset
+/// in primitive data units.
+///
+/// # Examples
+///
+/// ```
+/// use iw_wire::mip::{BlockRef, Mip};
+///
+/// let m: Mip = "foo.org/list#head".parse()?;
+/// assert_eq!(m.segment, "foo.org/list");
+/// assert_eq!(m.block, BlockRef::Name("head".into()));
+/// assert_eq!(m.offset, 0);
+///
+/// let m: Mip = "foo.org/db#42#17".parse()?;
+/// assert_eq!(m.block, BlockRef::Serial(42));
+/// assert_eq!(m.offset, 17);
+/// assert_eq!(m.to_string(), "foo.org/db#42#17");
+/// # Ok::<(), iw_wire::codec::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mip {
+    /// The segment URL (`host/path`).
+    pub segment: String,
+    /// The block within the segment.
+    pub block: BlockRef,
+    /// Offset into the block, in primitive data units.
+    pub offset: u64,
+}
+
+impl Mip {
+    /// Builds a MIP from parts.
+    pub fn new(segment: impl Into<String>, block: impl Into<BlockRef>, offset: u64) -> Self {
+        Mip { segment: segment.into(), block: block.into(), offset }
+    }
+
+    /// A MIP to the start of a block.
+    pub fn to_block(segment: impl Into<String>, block: impl Into<BlockRef>) -> Self {
+        Mip::new(segment, block, 0)
+    }
+}
+
+impl fmt::Display for Mip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.segment, self.block)?;
+        if self.offset != 0 {
+            write!(f, "#{}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Mip {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        let bad = || WireError::BadMip(s.to_string());
+        let mut parts = s.split('#');
+        let segment = parts.next().filter(|p| !p.is_empty()).ok_or_else(bad)?;
+        let block = parts.next().filter(|p| !p.is_empty()).ok_or_else(bad)?;
+        let offset = match parts.next() {
+            Some(off) => off.parse::<u64>().map_err(|_| bad())?,
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(Mip { segment: segment.to_string(), block: BlockRef::from(block), offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_block_name() {
+        let m: Mip = "host/list#head".parse().unwrap();
+        assert_eq!(m, Mip::to_block("host/list", "head"));
+    }
+
+    #[test]
+    fn parse_serial_and_offset() {
+        let m: Mip = "h/s#7#123".parse().unwrap();
+        assert_eq!(m.block, BlockRef::Serial(7));
+        assert_eq!(m.offset, 123);
+    }
+
+    #[test]
+    fn display_omits_zero_offset() {
+        assert_eq!(Mip::to_block("a/b", "blk").to_string(), "a/b#blk");
+        assert_eq!(Mip::new("a/b", 3u32, 9).to_string(), "a/b#3#9");
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in ["x.org/seg#0", "x.org/seg#name", "x.org/seg#12#9999999999"] {
+            let m: Mip = s.parse().unwrap();
+            assert_eq!(m.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn malformed_mips_rejected() {
+        for s in ["", "noseg", "#blk", "seg#", "a#b#c", "a#b#1#2", "a#b#-1"] {
+            assert!(s.parse::<Mip>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn digit_names_parse_as_serials() {
+        assert_eq!(BlockRef::from("42"), BlockRef::Serial(42));
+        assert_eq!(BlockRef::from("4x2"), BlockRef::Name("4x2".into()));
+        // Serial overflow falls back to a name; client naming rules forbid
+        // this, and parsing must not panic.
+        assert_eq!(
+            BlockRef::from("99999999999999"),
+            BlockRef::Name("99999999999999".into())
+        );
+    }
+
+    #[test]
+    fn blockref_display() {
+        assert_eq!(BlockRef::Serial(5).to_string(), "5");
+        assert_eq!(BlockRef::Name("head".into()).to_string(), "head");
+    }
+}

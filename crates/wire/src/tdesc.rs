@@ -1,0 +1,234 @@
+//! Wire encoding of type descriptors.
+//!
+//! "Unlike the InterWeave client library, which obtains its type descriptors
+//! from the application program, the InterWeave server must obtain its type
+//! descriptors from clients" (§3.2). Clients therefore ship descriptor trees
+//! to the server in machine-independent form when they first use a type in a
+//! segment; this module defines that form.
+
+use iw_types::desc::{Field, PrimKind, TypeDesc, TypeKind};
+
+use crate::codec::{WireError, WireReader, WireWriter};
+
+const TAG_PRIM: u8 = 0x01;
+const TAG_ARRAY: u8 = 0x02;
+const TAG_STRUCT: u8 = 0x03;
+
+const KIND_CHAR: u8 = 0x01;
+const KIND_INT16: u8 = 0x02;
+const KIND_INT32: u8 = 0x03;
+const KIND_INT64: u8 = 0x04;
+const KIND_FLOAT32: u8 = 0x05;
+const KIND_FLOAT64: u8 = 0x06;
+const KIND_STR: u8 = 0x07;
+const KIND_PTR: u8 = 0x08;
+
+/// Maximum nesting depth accepted when decoding (guards against hostile or
+/// corrupt input).
+pub const MAX_TYPE_DEPTH: u32 = 64;
+
+/// Appends the wire encoding of `ty` to `w`.
+pub fn encode_type(w: &mut WireWriter, ty: &TypeDesc) {
+    match ty.kind() {
+        TypeKind::Prim(p) => {
+            w.put_u8(TAG_PRIM);
+            match p {
+                PrimKind::Char => w.put_u8(KIND_CHAR),
+                PrimKind::Int16 => w.put_u8(KIND_INT16),
+                PrimKind::Int32 => w.put_u8(KIND_INT32),
+                PrimKind::Int64 => w.put_u8(KIND_INT64),
+                PrimKind::Float32 => w.put_u8(KIND_FLOAT32),
+                PrimKind::Float64 => w.put_u8(KIND_FLOAT64),
+                PrimKind::Str { cap } => {
+                    w.put_u8(KIND_STR);
+                    w.put_u32(*cap);
+                }
+                PrimKind::Ptr => w.put_u8(KIND_PTR),
+            }
+        }
+        TypeKind::Array { elem, len } => {
+            w.put_u8(TAG_ARRAY);
+            w.put_u32(*len);
+            encode_type(w, elem);
+        }
+        TypeKind::Struct { name, fields } => {
+            w.put_u8(TAG_STRUCT);
+            w.put_str(name);
+            w.put_u32(fields.len() as u32);
+            for f in fields {
+                w.put_str(&f.name);
+                encode_type(w, &f.ty);
+            }
+        }
+    }
+}
+
+/// Decodes a type descriptor from `r`.
+///
+/// # Errors
+///
+/// [`WireError::BadTag`] on unknown tags, [`WireError::LengthOverflow`] when
+/// nesting exceeds [`MAX_TYPE_DEPTH`] or a struct declares an absurd field
+/// count, plus truncation errors from the underlying reader.
+pub fn decode_type(r: &mut WireReader) -> Result<TypeDesc, WireError> {
+    decode_at_depth(r, 0)
+}
+
+fn decode_at_depth(r: &mut WireReader, depth: u32) -> Result<TypeDesc, WireError> {
+    if depth > MAX_TYPE_DEPTH {
+        return Err(WireError::LengthOverflow { len: u64::from(depth) });
+    }
+    match r.get_u8()? {
+        TAG_PRIM => {
+            let kind = match r.get_u8()? {
+                KIND_CHAR => PrimKind::Char,
+                KIND_INT16 => PrimKind::Int16,
+                KIND_INT32 => PrimKind::Int32,
+                KIND_INT64 => PrimKind::Int64,
+                KIND_FLOAT32 => PrimKind::Float32,
+                KIND_FLOAT64 => PrimKind::Float64,
+                KIND_STR => {
+                    let cap = r.get_u32()?;
+                    if cap == 0 {
+                        return Err(WireError::LengthOverflow { len: 0 });
+                    }
+                    PrimKind::Str { cap }
+                }
+                KIND_PTR => PrimKind::Ptr,
+                tag => return Err(WireError::BadTag { what: "primitive kind", tag }),
+            };
+            Ok(TypeDesc::new(TypeKind::Prim(kind)))
+        }
+        TAG_ARRAY => {
+            let len = r.get_u32()?;
+            let elem = decode_at_depth(r, depth + 1)?;
+            Ok(TypeDesc::new(TypeKind::Array { elem, len }))
+        }
+        TAG_STRUCT => {
+            let name = r.get_str()?;
+            let n = r.get_u32()?;
+            if n > 1 << 16 {
+                return Err(WireError::LengthOverflow { len: u64::from(n) });
+            }
+            let mut fields = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let fname = r.get_str()?;
+                let fty = decode_at_depth(r, depth + 1)?;
+                fields.push(Field { name: fname, ty: fty });
+            }
+            Ok(TypeDesc::new(TypeKind::Struct { name, fields }))
+        }
+        tag => Err(WireError::BadTag { what: "type descriptor", tag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn roundtrip(ty: &TypeDesc) -> TypeDesc {
+        let mut w = WireWriter::new();
+        encode_type(&mut w, ty);
+        let mut r = WireReader::new(w.finish());
+        let out = decode_type(&mut r).unwrap();
+        assert!(r.is_empty());
+        out
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        for ty in [
+            TypeDesc::char8(),
+            TypeDesc::int16(),
+            TypeDesc::int32(),
+            TypeDesc::int64(),
+            TypeDesc::float32(),
+            TypeDesc::float64(),
+            TypeDesc::string(77),
+            TypeDesc::pointer(),
+        ] {
+            assert_eq!(roundtrip(&ty), ty);
+        }
+    }
+
+    #[test]
+    fn nested_types_roundtrip() {
+        let ty = TypeDesc::structure(
+            "outer",
+            vec![
+                ("a", TypeDesc::array(TypeDesc::int32(), 10)),
+                (
+                    "b",
+                    TypeDesc::structure(
+                        "inner",
+                        vec![("s", TypeDesc::string(4)), ("p", TypeDesc::pointer())],
+                    ),
+                ),
+            ],
+        );
+        assert_eq!(roundtrip(&ty), ty);
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let mut r = WireReader::new(Bytes::from_static(&[0x99]));
+        assert!(matches!(
+            decode_type(&mut r),
+            Err(WireError::BadTag { what: "type descriptor", .. })
+        ));
+        let mut r = WireReader::new(Bytes::from_static(&[TAG_PRIM, 0x77]));
+        assert!(matches!(
+            decode_type(&mut r),
+            Err(WireError::BadTag { what: "primitive kind", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_cap_string_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_PRIM);
+        w.put_u8(KIND_STR);
+        w.put_u32(0);
+        let mut r = WireReader::new(w.finish());
+        assert!(decode_type(&mut r).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        // 100 nested arrays exceed MAX_TYPE_DEPTH.
+        let mut w = WireWriter::new();
+        for _ in 0..100 {
+            w.put_u8(TAG_ARRAY);
+            w.put_u32(1);
+        }
+        w.put_u8(TAG_PRIM);
+        w.put_u8(KIND_CHAR);
+        let mut r = WireReader::new(w.finish());
+        assert!(decode_type(&mut r).is_err());
+    }
+
+    #[test]
+    fn absurd_field_count_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_STRUCT);
+        w.put_str("evil");
+        w.put_u32(u32::MAX);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            decode_type(&mut r),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(TAG_ARRAY);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            decode_type(&mut r),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+}

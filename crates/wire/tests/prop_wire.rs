@@ -1,0 +1,164 @@
+//! Property tests: wire encodings are total, injective round-trips.
+
+use bytes::Bytes;
+use iw_types::arch::MachineArch;
+use iw_types::desc::{PrimKind, TypeDesc};
+use iw_wire::codec::{WireReader, WireWriter};
+use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+use iw_wire::mip::{BlockRef, Mip};
+use iw_wire::prim::{no_pointers, no_pointers_in, prim_from_wire, prim_to_wire};
+use iw_wire::tdesc::{decode_type, encode_type};
+use proptest::prelude::*;
+
+fn arb_fixed_kind() -> impl Strategy<Value = PrimKind> {
+    prop_oneof![
+        Just(PrimKind::Char),
+        Just(PrimKind::Int16),
+        Just(PrimKind::Int32),
+        Just(PrimKind::Int64),
+        Just(PrimKind::Float32),
+        Just(PrimKind::Float64),
+    ]
+}
+
+fn arb_arch() -> impl Strategy<Value = MachineArch> {
+    prop_oneof![
+        Just(MachineArch::x86()),
+        Just(MachineArch::x86_64()),
+        Just(MachineArch::alpha()),
+        Just(MachineArch::sparc_v9()),
+        Just(MachineArch::mips32()),
+    ]
+}
+
+fn arb_type() -> impl Strategy<Value = TypeDesc> {
+    let leaf = prop_oneof![
+        Just(TypeDesc::char8()),
+        Just(TypeDesc::int32()),
+        Just(TypeDesc::float64()),
+        (1u32..64).prop_map(TypeDesc::string),
+        Just(TypeDesc::pointer()),
+    ];
+    leaf.prop_recursive(4, 32, 5, |inner| {
+        prop_oneof![
+            (inner.clone(), 0u32..6).prop_map(|(t, n)| TypeDesc::array(t, n)),
+            (prop::collection::vec(inner, 0..5), "[a-z]{1,6}").prop_map(
+                |(tys, name)| {
+                    TypeDesc::structure(
+                        name,
+                        tys.iter()
+                            .enumerate()
+                            .map(|(i, t)| -> (&str, TypeDesc) {
+                                (Box::leak(format!("f{i}").into_boxed_str()), t.clone())
+                            })
+                            .collect(),
+                    )
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn fixed_prims_roundtrip_across_arch_pairs(
+        kind in arb_fixed_kind(),
+        src_arch in arb_arch(),
+        dst_arch in arb_arch(),
+        bytes in prop::collection::vec(any::<u8>(), 8),
+    ) {
+        // A value written on src and read on dst must carry the same
+        // logical value: check by normalizing both to big-endian.
+        let size = kind.local_size(&src_arch) as usize;
+        let src_local = &bytes[..size];
+        let mut w = WireWriter::new();
+        prim_to_wire(&mut w, kind, src_local, &src_arch, &mut no_pointers).unwrap();
+        let wire = w.finish();
+
+        let mut dst_local = vec![0u8; kind.local_size(&dst_arch) as usize];
+        let mut r = WireReader::new(wire.clone());
+        prim_from_wire(&mut r, kind, &mut dst_local, &dst_arch, &mut no_pointers_in)
+            .unwrap();
+
+        // Re-encode from dst: identical wire bytes.
+        let mut w2 = WireWriter::new();
+        prim_to_wire(&mut w2, kind, &dst_local, &dst_arch, &mut no_pointers).unwrap();
+        prop_assert_eq!(wire, w2.finish());
+    }
+
+    #[test]
+    fn type_descriptors_roundtrip(ty in arb_type()) {
+        let mut w = WireWriter::new();
+        encode_type(&mut w, &ty);
+        let mut r = WireReader::new(w.finish());
+        let back = decode_type(&mut r).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back, ty);
+    }
+
+    #[test]
+    fn decode_type_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = WireReader::new(Bytes::from(bytes));
+        let _ = decode_type(&mut r); // must not panic or hang
+    }
+
+    #[test]
+    fn mips_roundtrip(
+        seg in "[a-z]{1,8}(\\.[a-z]{2,3})?/[a-z]{1,8}",
+        serial in prop::option::of(0u32..10_000),
+        name in "[a-z][a-z0-9]{0,7}",
+        off in 0u64..1_000_000,
+    ) {
+        let block = match serial {
+            Some(n) => BlockRef::Serial(n),
+            None => BlockRef::Name(name),
+        };
+        let m = Mip { segment: seg, block, offset: off };
+        let parsed: Mip = m.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn segment_diffs_roundtrip(
+        from in 0u64..100,
+        delta in 0u64..10,
+        runs in prop::collection::vec((0u64..1000, 1u64..16), 0..8),
+        freed in prop::collection::vec(0u32..100, 0..4),
+        payload in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let d = SegmentDiff {
+            from_version: from,
+            to_version: from + delta,
+            new_types: vec![(0, TypeDesc::int32())],
+            new_blocks: vec![NewBlock {
+                serial: 1,
+                name: None,
+                type_serial: 0,
+                count: 1,
+                data: Bytes::from(payload.clone()),
+            }],
+            block_diffs: vec![BlockDiff {
+                serial: 2,
+                runs: runs
+                    .iter()
+                    .map(|&(start, count)| DiffRun {
+                        start,
+                        count,
+                        data: Bytes::from(payload.clone()),
+                    })
+                    .collect(),
+            }],
+            freed,
+        };
+        let mut r = WireReader::new(d.encode());
+        let back = SegmentDiff::decode(&mut r).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn diff_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut r = WireReader::new(Bytes::from(bytes));
+        let _ = SegmentDiff::decode(&mut r);
+    }
+}

@@ -1,0 +1,123 @@
+//! Transactions across multiple servers (the paper's §6 future work,
+//! implemented).
+//!
+//! Two banks run their own InterWeave servers; account segments live at
+//! each bank's host. A teller session connected to both performs
+//! transfers as transactions: both balances move or neither does, and an
+//! aborted transfer rolls back from page twins.
+//!
+//! ```text
+//! cargo run -p iw-examples --bin bank
+//! ```
+
+use std::sync::Arc;
+
+use iw_core::{CoreError, Session};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::{idl, MachineArch};
+use parking_lot::Mutex;
+
+const ACCT_IDL: &str = "struct acct { hyper balance; int ops; string owner<24>; };";
+
+fn open_account(
+    s: &mut Session,
+    segment: &str,
+    owner: &str,
+    opening: i64,
+) -> Result<(), CoreError> {
+    let acct_t = idl::compile(ACCT_IDL).expect("static idl").get("acct").unwrap().clone();
+    let h = s.open_segment(segment)?;
+    s.wl_acquire(&h)?;
+    let a = s.malloc(&h, &acct_t, 1, Some("acct"))?;
+    s.write_i64(&s.field(&a, "balance")?, opening)?;
+    s.write_str(&s.field(&a, "owner")?, owner)?;
+    s.wl_release(&h)?;
+    Ok(())
+}
+
+fn transfer(
+    s: &mut Session,
+    from: &str,
+    to: &str,
+    amount: i64,
+) -> Result<Result<(), String>, CoreError> {
+    let hf = s.open_segment(from)?;
+    let ht = s.open_segment(to)?;
+    s.tx_begin()?;
+    s.wl_acquire(&hf)?;
+    s.wl_acquire(&ht)?;
+    let fa = s.mip_to_ptr(&format!("{from}#acct"))?;
+    let ta = s.mip_to_ptr(&format!("{to}#acct"))?;
+    let fbal = s.read_i64(&s.field(&fa, "balance")?)?;
+    if fbal < amount {
+        // Business rule violated: abort. Twins roll everything back.
+        s.tx_abort()?;
+        return Ok(Err(format!("insufficient funds: {fbal} < {amount}")));
+    }
+    let tbal = s.read_i64(&s.field(&ta, "balance")?)?;
+    s.write_i64(&s.field(&fa, "balance")?, fbal - amount)?;
+    s.write_i64(&s.field(&ta, "balance")?, tbal + amount)?;
+    for p in [&fa, &ta] {
+        let ops = s.field(p, "ops")?;
+        let n = s.read_i32(&ops)?;
+        s.write_i32(&ops, n + 1)?;
+    }
+    s.tx_commit()?;
+    Ok(Ok(()))
+}
+
+fn balance(s: &mut Session, segment: &str) -> Result<(String, i64, i32), CoreError> {
+    let h = s.open_segment(segment)?;
+    s.rl_acquire(&h)?;
+    let a = s.mip_to_ptr(&format!("{segment}#acct"))?;
+    let owner = s.read_str(&s.field(&a, "owner")?)?;
+    let bal = s.read_i64(&s.field(&a, "balance")?)?;
+    let ops = s.read_i32(&s.field(&a, "ops")?)?;
+    s.rl_release(&h)?;
+    Ok((owner, bal, ops))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two independent banks, each its own InterWeave server.
+    let north: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let south: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+
+    // The teller speaks to both; segments route by URL host.
+    let mut teller =
+        Session::new(MachineArch::x86_64(), Box::new(Loopback::new(north.clone())))?;
+    teller.add_server("south.bank", Box::new(Loopback::new(south.clone())))?;
+
+    open_account(&mut teller, "north.bank/ada", "Ada", 120)?;
+    open_account(&mut teller, "south.bank/bob", "Bob", 40)?;
+
+    println!("opening:");
+    for seg in ["north.bank/ada", "south.bank/bob"] {
+        let (owner, bal, ops) = balance(&mut teller, seg)?;
+        println!("  {seg}: {owner} has {bal} ({ops} ops)");
+    }
+
+    println!("\ntransfer 50 Ada -> Bob (cross-server transaction):");
+    match transfer(&mut teller, "north.bank/ada", "south.bank/bob", 50)? {
+        Ok(()) => println!("  committed"),
+        Err(e) => println!("  aborted: {e}"),
+    }
+
+    println!("transfer 500 Ada -> Bob (must abort, twins roll back):");
+    match transfer(&mut teller, "north.bank/ada", "south.bank/bob", 500)? {
+        Ok(()) => println!("  committed"),
+        Err(e) => println!("  aborted: {e}"),
+    }
+
+    println!("\nfinal:");
+    let mut total = 0;
+    for seg in ["north.bank/ada", "south.bank/bob"] {
+        let (owner, bal, ops) = balance(&mut teller, seg)?;
+        println!("  {seg}: {owner} has {bal} ({ops} ops)");
+        total += bal;
+    }
+    assert_eq!(total, 160, "money is conserved");
+    println!("total across banks: {total} (conserved)");
+    println!("bank OK");
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! A shared calendar — the "CSCW / non-scientific" workload shape the
+//! paper's `mix` experiment models: structures holding integers, doubles,
+//! long and short strings, and pointers.
+//!
+//! Three users on three different (simulated) machines collaborate on one
+//! shared week: adding appointments, editing titles, and linking related
+//! entries, all with ordinary field reads and writes.
+//!
+//! ```text
+//! cargo run -p iw-examples --bin calendar
+//! ```
+
+use std::sync::Arc;
+
+use iw_core::{CoreError, Ptr, Session};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::{idl, MachineArch};
+use parking_lot::Mutex;
+
+const CAL_IDL: &str = "\
+struct appt {\n\
+    int day;\n\
+    int hour;\n\
+    double duration;\n\
+    string title<64>;\n\
+    string room<8>;\n\
+    struct appt *related;\n\
+    struct appt *next;\n\
+};\n\
+struct calendar {\n\
+    int count;\n\
+    struct appt *first;\n\
+};\n";
+
+struct CalClient {
+    session: Session,
+    handle: iw_core::SegHandle,
+}
+
+impl CalClient {
+    fn connect(srv: &Arc<Mutex<dyn Handler>>, arch: MachineArch) -> Result<Self, CoreError> {
+        let mut session = Session::new(arch, Box::new(Loopback::new(srv.clone())))?;
+        let handle = session.open_segment("team/week27")?;
+        Ok(CalClient { session, handle })
+    }
+
+    fn add_appt(
+        &mut self,
+        day: i32,
+        hour: i32,
+        duration: f64,
+        title: &str,
+        room: &str,
+    ) -> Result<Ptr, CoreError> {
+        let s = &mut self.session;
+        let appt_t = idl::compile(CAL_IDL).expect("static idl").get("appt").unwrap().clone();
+        s.wl_acquire(&self.handle)?;
+        let cal = s.mip_to_ptr("team/week27#cal")?;
+        let a = s.malloc(&self.handle, &appt_t, 1, None)?;
+        s.write_i32(&s.field(&a, "day")?, day)?;
+        s.write_i32(&s.field(&a, "hour")?, hour)?;
+        s.write_f64(&s.field(&a, "duration")?, duration)?;
+        s.write_str(&s.field(&a, "title")?, title)?;
+        s.write_str(&s.field(&a, "room")?, room)?;
+        let first = s.field(&cal, "first")?;
+        let old = s.read_ptr(&first)?;
+        s.write_ptr(&s.field(&a, "next")?, old.as_ref())?;
+        s.write_ptr(&first, Some(&a))?;
+        let count = s.field(&cal, "count")?;
+        let n = s.read_i32(&count)?;
+        s.write_i32(&count, n + 1)?;
+        s.wl_release(&self.handle)?;
+        Ok(a)
+    }
+
+    fn print_week(&mut self, who: &str) -> Result<(), CoreError> {
+        let s = &mut self.session;
+        s.rl_acquire(&self.handle)?;
+        let cal = s.mip_to_ptr("team/week27#cal")?;
+        let count = s.read_i32(&s.field(&cal, "count")?)?;
+        println!("[{who}] {count} appointments:");
+        let mut p = s.read_ptr(&s.field(&cal, "first")?)?;
+        let days = ["mon", "tue", "wed", "thu", "fri"];
+        while let Some(a) = p {
+            let day = s.read_i32(&s.field(&a, "day")?)? as usize;
+            let hour = s.read_i32(&s.field(&a, "hour")?)?;
+            let dur = s.read_f64(&s.field(&a, "duration")?)?;
+            let title = s.read_str(&s.field(&a, "title")?)?;
+            let room = s.read_str(&s.field(&a, "room")?)?;
+            let related = s.read_ptr(&s.field(&a, "related")?)?;
+            let rel = match related {
+                Some(r) => format!(" ↪ {}", s.read_str(&s.field(&r, "title")?)?),
+                None => String::new(),
+            };
+            println!(
+                "  {} {:02}:00 ({:.1}h) {title} [{room}]{rel}",
+                days.get(day).copied().unwrap_or("???"),
+                hour,
+                dur
+            );
+            p = s.read_ptr(&s.field(&a, "next")?)?;
+        }
+        s.rl_release(&self.handle)?;
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+
+    // The organizer creates the calendar.
+    let mut alice = CalClient::connect(&srv, MachineArch::x86_64())?;
+    let cal_t = idl::compile(CAL_IDL)?.get("calendar").unwrap().clone();
+    alice.session.wl_acquire(&alice.handle)?;
+    alice.session.malloc(&alice.handle, &cal_t, 1, Some("cal"))?;
+    alice.session.wl_release(&alice.handle)?;
+
+    let mut bob = CalClient::connect(&srv, MachineArch::mips32())?;
+    let mut carol = CalClient::connect(&srv, MachineArch::sparc_v9())?;
+
+    let standup = alice.add_appt(0, 9, 0.25, "standup", "z1")?;
+    bob.add_appt(1, 14, 1.5, "design review: wire-format diffs", "big")?;
+    let retro = carol.add_appt(4, 16, 1.0, "retrospective", "z1")?;
+
+    // Carol links the retro to Alice's standup (cross-client pointer!).
+    carol.session.wl_acquire(&carol.handle)?;
+    let retro_mine = carol
+        .session
+        .mip_to_ptr(&carol.session.ptr_to_mip(&retro)?)?;
+    let standup_mip = alice.session.ptr_to_mip(&standup)?;
+    let standup_theirs = carol.session.mip_to_ptr(&standup_mip)?;
+    carol.session.write_ptr(
+        &carol.session.field(&retro_mine, "related")?,
+        Some(&standup_theirs),
+    )?;
+    carol.session.wl_release(&carol.handle)?;
+
+    // Everyone sees the same week, natively laid out.
+    alice.print_week("alice/x86_64")?;
+    bob.print_week("bob/mips32")?;
+    carol.print_week("carol/sparc")?;
+
+    println!("calendar OK");
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Quickstart: the paper's Figure 1 shared linked list.
+//!
+//! Two clients — one simulating a little-endian 32-bit x86 machine, one a
+//! big-endian 64-bit SPARC — share the list `host/list` through one
+//! InterWeave server. Run with:
+//!
+//! ```text
+//! cargo run -p iw-examples --bin quickstart
+//! ```
+
+use std::sync::Arc;
+
+use iw_core::{CoreError, Ptr, SegHandle, Session};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::{idl, MachineArch};
+use parking_lot::Mutex;
+
+const LIST_IDL: &str = "struct node { int key; struct node *next; };";
+
+/// `list_insert` from Figure 1.
+fn list_insert(s: &mut Session, h: &SegHandle, head: &Ptr, key: i32) -> Result<(), CoreError> {
+    s.wl_acquire(h)?; // write lock
+    let node_t = idl::compile(LIST_IDL).expect("static idl").get("node").unwrap().clone();
+    let p = s.malloc(h, &node_t, 1, None)?;
+    s.write_i32(&s.field(&p, "key")?, key)?;
+    let old_first = s.read_ptr(&s.field(head, "next")?)?;
+    s.write_ptr(&s.field(&p, "next")?, old_first.as_ref())?;
+    s.write_ptr(&s.field(head, "next")?, Some(&p))?;
+    s.wl_release(h)?; // write unlock
+    Ok(())
+}
+
+/// `list_search` from Figure 1.
+fn list_search(s: &mut Session, h: &SegHandle, head: &Ptr, key: i32) -> Result<bool, CoreError> {
+    s.rl_acquire(h)?; // read lock
+    let mut p = s.read_ptr(&s.field(head, "next")?)?;
+    while let Some(node) = p {
+        if s.read_i32(&s.field(&node, "key")?)? == key {
+            s.rl_release(h)?;
+            return Ok(true);
+        }
+        p = s.read_ptr(&s.field(&node, "next")?)?;
+    }
+    s.rl_release(h)?; // read unlock
+    Ok(false)
+}
+
+fn walk(s: &mut Session, h: &SegHandle, head: &Ptr) -> Result<Vec<i32>, CoreError> {
+    s.rl_acquire(h)?;
+    let mut keys = Vec::new();
+    let mut p = s.read_ptr(&s.field(head, "next")?)?;
+    while let Some(node) = p {
+        keys.push(s.read_i32(&s.field(&node, "key")?)?);
+        p = s.read_ptr(&s.field(&node, "next")?)?;
+    }
+    s.rl_release(h)?;
+    Ok(keys)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+
+    // Client A: 32-bit little-endian x86.
+    let mut a = Session::new(MachineArch::x86(), Box::new(Loopback::new(server.clone())))?;
+    // Client B: 64-bit big-endian SPARC.
+    let mut b = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(server)))?;
+
+    println!("client A: {}", a.arch());
+    println!("client B: {}", b.arch());
+
+    // list_init() — client A creates the header node.
+    let node_t = idl::compile(LIST_IDL)?.get("node").unwrap().clone();
+    let ha = a.open_segment("host/list")?;
+    a.wl_acquire(&ha)?;
+    let head_a = a.malloc(&ha, &node_t, 1, Some("head"))?;
+    a.wl_release(&ha)?;
+
+    // A inserts odd keys.
+    for key in [1, 3, 5] {
+        list_insert(&mut a, &ha, &head_a, key)?;
+    }
+
+    // B bootstraps via the MIP "host/list#head" and inserts even keys.
+    let hb = b.open_segment("host/list")?;
+    let head_b = b.mip_to_ptr("host/list#head")?;
+    for key in [2, 4, 6] {
+        list_insert(&mut b, &hb, &head_b, key)?;
+    }
+
+    // Both clients see the same list, each in its own native layout.
+    let via_a = walk(&mut a, &ha, &head_a)?;
+    let via_b = walk(&mut b, &hb, &head_b)?;
+    println!("list via A (x86):   {via_a:?}");
+    println!("list via B (sparc): {via_b:?}");
+    assert_eq!(via_a, via_b);
+    assert_eq!(via_a, vec![6, 4, 2, 5, 3, 1]);
+
+    for key in [4, 42] {
+        println!(
+            "search key {key:2}: {}",
+            if list_search(&mut b, &hb, &head_b, key)? { "found" } else { "absent" }
+        );
+    }
+
+    println!(
+        "traffic A: {} B sent / {} B received over {} requests",
+        a.transport_stats().bytes_sent,
+        a.transport_stats().bytes_received,
+        a.transport_stats().requests,
+    );
+    println!("quickstart OK");
+    Ok(())
+}

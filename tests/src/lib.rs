@@ -1,0 +1,2 @@
+//! Host crate for InterWeave-rs cross-crate integration tests (see the
+//! `tests/` directory of this package).

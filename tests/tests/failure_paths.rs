@@ -1,0 +1,124 @@
+//! Failure-path coverage: server-rejected transaction commits roll back,
+//! and the §3.3 locality layout materializes at first fetch.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use iw_core::{CoreError, Session};
+use iw_proto::msg::{Reply, Request};
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+
+/// A handler wrapper that turns the next `Commit` into a server error
+/// (simulating a concurrent administrative rejection or validation
+/// failure) while passing everything else through.
+struct CommitSabotage {
+    inner: Server,
+    armed: bool,
+}
+
+impl Handler for CommitSabotage {
+    fn handle(&mut self, request: Bytes) -> Bytes {
+        if self.armed {
+            if let Ok(Request::Commit { .. }) = Request::decode(request.clone()) {
+                self.armed = false;
+                return Reply::Error { message: "injected commit failure".into() }
+                    .encode();
+            }
+        }
+        self.inner.handle(request)
+    }
+}
+
+#[test]
+fn rejected_commit_rolls_back_and_releases_locks() {
+    let handler = Arc::new(Mutex::new(CommitSabotage {
+        inner: Server::new(),
+        armed: false,
+    }));
+    let dyn_handler: Arc<Mutex<dyn Handler>> = handler.clone();
+    let mut s =
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(dyn_handler.clone())))
+            .unwrap();
+    let h = s.open_segment("fp/acct").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let bal = s.malloc(&h, &TypeDesc::int64(), 1, Some("bal")).unwrap();
+    s.write_i64(&bal, 100).unwrap();
+    s.wl_release(&h).unwrap();
+
+    // Arm the sabotage, run a transaction.
+    handler.lock().armed = true;
+    s.tx_begin().unwrap();
+    s.wl_acquire(&h).unwrap();
+    s.write_i64(&bal, 0).unwrap();
+    let err = s.tx_commit().unwrap_err();
+    assert!(matches!(err, CoreError::Server(_)), "{err}");
+    assert!(!s.in_tx());
+
+    // Local state rolled back.
+    s.rl_acquire(&h).unwrap();
+    assert_eq!(s.read_i64(&bal).unwrap(), 100);
+    s.rl_release(&h).unwrap();
+
+    // The write lock was released: another client can proceed, and the
+    // server state is untouched.
+    let mut other =
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(dyn_handler))).unwrap();
+    let ho = other.open_segment("fp/acct").unwrap();
+    other.wl_acquire(&ho).unwrap();
+    let b = other.mip_to_ptr("fp/acct#bal").unwrap();
+    assert_eq!(other.read_i64(&b).unwrap(), 100);
+    other.write_i64(&b, 250).unwrap();
+    other.wl_release(&ho).unwrap();
+
+    // The original session converges to the new committed state.
+    s.rl_acquire(&h).unwrap();
+    assert_eq!(s.read_i64(&bal).unwrap(), 250);
+    s.rl_release(&h).unwrap();
+}
+
+#[test]
+fn first_fetch_places_same_version_blocks_contiguously() {
+    // §3.3 "Data layout for cache locality": "When a segment is cached at
+    // a client for the first time, blocks that have the same version
+    // number … are placed in contiguous locations."
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut w =
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
+    let h = w.open_segment("fp/layout").unwrap();
+    // Three write sections, three blocks each.
+    for section in 0..3 {
+        w.wl_acquire(&h).unwrap();
+        for k in 0..3 {
+            let name = format!("s{section}b{k}");
+            w.malloc(&h, &TypeDesc::int32(), 8, Some(&name)).unwrap();
+        }
+        w.wl_release(&h).unwrap();
+    }
+
+    // A fresh client's first fetch must group each section's blocks.
+    let mut r =
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+    let hr = r.open_segment("fp/layout").unwrap();
+    r.rl_acquire(&hr).unwrap();
+    for section in 0..3 {
+        let mut vas: Vec<u64> = (0..3)
+            .map(|k| {
+                r.mip_to_ptr(&format!("fp/layout#s{section}b{k}"))
+                    .unwrap()
+                    .va()
+            })
+            .collect();
+        vas.sort_unstable();
+        // 8 ints = 32 bytes, 16-aligned allocation → stride 32.
+        assert_eq!(
+            vas[2] - vas[0],
+            64,
+            "section {section} blocks must be contiguous: {vas:?}"
+        );
+    }
+    r.rl_release(&hr).unwrap();
+}

@@ -1,0 +1,179 @@
+//! Model-based randomized testing: a fleet of clients on random
+//! architectures performs random operation sequences against one server,
+//! while a plain in-process `HashMap` model tracks what every primitive
+//! should contain. After every write-lock release and every read-lock
+//! acquire, the acting client's view must match the model exactly.
+//!
+//! This is the harness that would catch cross-cutting bugs none of the
+//! unit suites see: stale diffs, mis-applied runs, swizzle corruption,
+//! allocator reuse bugs, transaction rollback leaks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use iw_core::Session;
+use iw_proto::{Handler, Loopback};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// The reference model: segment → block name → vector of i32 values.
+type Model = HashMap<&'static str, HashMap<String, Vec<i32>>>;
+
+const SEGMENTS: [&str; 2] = ["model/a", "model/b"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a block of `len` ints named `bN` in segment `seg_pick`.
+    Alloc { seg_pick: u8, len: u8 },
+    /// Write `value` at `idx` (mod len) of a random existing block.
+    Write { seg_pick: u8, block_pick: u8, idx: u8, value: i32 },
+    /// Free a random existing block.
+    Free { seg_pick: u8, block_pick: u8 },
+    /// Full read-back validation of one segment.
+    Validate { seg_pick: u8 },
+    /// A transaction that writes then aborts: must be invisible.
+    AbortedTx { seg_pick: u8, block_pick: u8, idx: u8, value: i32 },
+    /// Switch the acting client.
+    SwitchClient { client_pick: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (any::<u8>(), 1u8..40).prop_map(|(seg_pick, len)| Op::Alloc { seg_pick, len }),
+        6 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<i32>())
+            .prop_map(|(seg_pick, block_pick, idx, value)| Op::Write {
+                seg_pick, block_pick, idx, value
+            }),
+        1 => (any::<u8>(), any::<u8>())
+            .prop_map(|(seg_pick, block_pick)| Op::Free { seg_pick, block_pick }),
+        2 => any::<u8>().prop_map(|seg_pick| Op::Validate { seg_pick }),
+        2 => (any::<u8>(), any::<u8>(), any::<u8>(), any::<i32>())
+            .prop_map(|(seg_pick, block_pick, idx, value)| Op::AbortedTx {
+                seg_pick, block_pick, idx, value
+            }),
+        2 => any::<u8>().prop_map(|client_pick| Op::SwitchClient { client_pick }),
+    ]
+}
+
+fn validate(s: &mut Session, seg: &'static str, model: &Model) {
+    let h = s.open_segment(seg).unwrap();
+    s.rl_acquire(&h).unwrap();
+    let blocks = &model[seg];
+    for (name, vals) in blocks {
+        let p = s
+            .mip_to_ptr(&format!("{seg}#{name}"))
+            .unwrap_or_else(|e| panic!("{seg}#{name} missing: {e}"));
+        for (i, want) in vals.iter().enumerate() {
+            let cell = s.index(&p, i as u32).unwrap();
+            let got = s.read_i32(&cell).unwrap();
+            assert_eq!(got, *want, "{seg}#{name}[{i}] on {}", s.arch().name);
+        }
+    }
+    s.rl_release(&h).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn clients_always_agree_with_the_model(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let archs = MachineArch::all();
+        let mut clients: Vec<Session> = archs
+            .iter()
+            .map(|a| {
+                Session::new(a.clone(), Box::new(Loopback::new(srv.clone()))).unwrap()
+            })
+            .collect();
+        let mut model: Model = SEGMENTS.iter().map(|&s| (s, HashMap::new())).collect();
+        let mut next_block = 0u32;
+        let mut cur = 0usize;
+
+        for seg in SEGMENTS {
+            clients[cur].open_segment(seg).unwrap();
+        }
+
+        for op in ops {
+            match op {
+                Op::Alloc { seg_pick, len } => {
+                    let seg = SEGMENTS[seg_pick as usize % SEGMENTS.len()];
+                    let name = format!("b{next_block}");
+                    next_block += 1;
+                    let s = &mut clients[cur];
+                    let h = s.open_segment(seg).unwrap();
+                    s.wl_acquire(&h).unwrap();
+                    s.malloc(&h, &TypeDesc::int32(), u32::from(len), Some(&name))
+                        .unwrap();
+                    s.wl_release(&h).unwrap();
+                    model.get_mut(seg).unwrap().insert(name, vec![0; len as usize]);
+                }
+                Op::Write { seg_pick, block_pick, idx, value } => {
+                    let seg = SEGMENTS[seg_pick as usize % SEGMENTS.len()];
+                    let names: Vec<String> = model[seg].keys().cloned().collect();
+                    if names.is_empty() { continue; }
+                    let name = &names[block_pick as usize % names.len()];
+                    let len = model[seg][name].len();
+                    let i = idx as usize % len;
+                    let s = &mut clients[cur];
+                    let h = s.open_segment(seg).unwrap();
+                    s.wl_acquire(&h).unwrap();
+                    let p = s.mip_to_ptr(&format!("{seg}#{name}")).unwrap();
+                    let cell = s.index(&p, i as u32).unwrap();
+                    s.write_i32(&cell, value).unwrap();
+                    s.wl_release(&h).unwrap();
+                    model.get_mut(seg).unwrap().get_mut(name).unwrap()[i] = value;
+                }
+                Op::Free { seg_pick, block_pick } => {
+                    let seg = SEGMENTS[seg_pick as usize % SEGMENTS.len()];
+                    let names: Vec<String> = model[seg].keys().cloned().collect();
+                    if names.is_empty() { continue; }
+                    let name = names[block_pick as usize % names.len()].clone();
+                    let s = &mut clients[cur];
+                    let h = s.open_segment(seg).unwrap();
+                    s.wl_acquire(&h).unwrap();
+                    let p = s.mip_to_ptr(&format!("{seg}#{name}")).unwrap();
+                    s.free(&h, &p).unwrap();
+                    s.wl_release(&h).unwrap();
+                    model.get_mut(seg).unwrap().remove(&name);
+                }
+                Op::Validate { seg_pick } => {
+                    let seg = SEGMENTS[seg_pick as usize % SEGMENTS.len()];
+                    validate(&mut clients[cur], seg, &model);
+                }
+                Op::AbortedTx { seg_pick, block_pick, idx, value } => {
+                    let seg = SEGMENTS[seg_pick as usize % SEGMENTS.len()];
+                    let names: Vec<String> = model[seg].keys().cloned().collect();
+                    if names.is_empty() { continue; }
+                    let name = &names[block_pick as usize % names.len()];
+                    let len = model[seg][name].len();
+                    let i = idx as usize % len;
+                    let s = &mut clients[cur];
+                    let h = s.open_segment(seg).unwrap();
+                    s.tx_begin().unwrap();
+                    s.wl_acquire(&h).unwrap();
+                    let p = s.mip_to_ptr(&format!("{seg}#{name}")).unwrap();
+                    let cell = s.index(&p, i as u32).unwrap();
+                    s.write_i32(&cell, value).unwrap();
+                    s.tx_abort().unwrap();
+                    // Model unchanged.
+                }
+                Op::SwitchClient { client_pick } => {
+                    cur = client_pick as usize % clients.len();
+                    for seg in SEGMENTS {
+                        clients[cur].open_segment(seg).unwrap();
+                    }
+                }
+            }
+        }
+        // Every client converges to the model at the end.
+        for c in &mut clients {
+            for seg in SEGMENTS {
+                c.open_segment(seg).unwrap();
+                validate(c, seg, &model);
+            }
+        }
+    }
+}
