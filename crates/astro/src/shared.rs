@@ -36,11 +36,19 @@ struct steering {\n\
 };\n";
 
 fn frame_hdr_type() -> TypeDesc {
-    idl::compile(ASTRO_IDL).expect("static IDL").get("frame_hdr").unwrap().clone()
+    idl::compile(ASTRO_IDL)
+        .expect("static IDL")
+        .get("frame_hdr")
+        .unwrap()
+        .clone()
 }
 
 fn steering_type() -> TypeDesc {
-    idl::compile(ASTRO_IDL).expect("static IDL").get("steering").unwrap().clone()
+    idl::compile(ASTRO_IDL)
+        .expect("static IDL")
+        .get("steering")
+        .unwrap()
+        .clone()
 }
 
 /// Simulator-side publisher for frames, plus steering readback.
@@ -60,11 +68,7 @@ impl FrameChannel {
     /// # Errors
     ///
     /// Lock/allocation errors from the session.
-    pub fn create(
-        session: &mut Session,
-        base: &str,
-        sim: &Simulation,
-    ) -> Result<Self, CoreError> {
+    pub fn create(session: &mut Session, base: &str, sim: &Simulation) -> Result<Self, CoreError> {
         let frame_name = format!("{base}/frame");
         let steer_name = format!("{base}/steering");
         let frame_seg = session.open_segment(&frame_name)?;
@@ -85,7 +89,14 @@ impl FrameChannel {
         session.write_f64(&session.field(&steer, "swirl")?, sim.swirl)?;
         session.wl_release(&steer_seg)?;
 
-        Ok(FrameChannel { frame_seg, steer_seg, hdr, grid, steer, cells })
+        Ok(FrameChannel {
+            frame_seg,
+            steer_seg,
+            hdr,
+            grid,
+            steer,
+            cells,
+        })
     }
 
     /// The frame segment handle.
@@ -103,18 +114,11 @@ impl FrameChannel {
     /// # Errors
     ///
     /// Lock/access errors from the session.
-    pub fn publish(
-        &mut self,
-        session: &mut Session,
-        sim: &Simulation,
-    ) -> Result<(), CoreError> {
+    pub fn publish(&mut self, session: &mut Session, sim: &Simulation) -> Result<(), CoreError> {
         session.wl_acquire(&self.frame_seg)?;
         session.write_i32(&session.field(&self.hdr, "step")?, sim.step_count() as i32)?;
         session.write_f64(&session.field(&self.hdr, "time")?, sim.time())?;
-        session.write_f64(
-            &session.field(&self.hdr, "total_mass")?,
-            sim.total_mass(),
-        )?;
+        session.write_f64(&session.field(&self.hdr, "total_mass")?, sim.total_mass())?;
         for (i, &v) in sim.cells().iter().enumerate() {
             let cell = session.index(&self.grid, i as u32)?;
             session.write_f64(&cell, v)?;
@@ -172,15 +176,19 @@ impl FrameView {
     /// Renders the frame as coarse ASCII art (the "visualization").
     pub fn ascii_art(&self, out_w: usize, out_h: usize) -> String {
         let ramp = b" .:-=+*#%@";
-        let peak = self.cells.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let peak = self
+            .cells
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
         let mut art = String::with_capacity(out_w * out_h + out_h);
         for ry in 0..out_h {
             for rx in 0..out_w {
                 let x = rx * self.width as usize / out_w;
                 let y = ry * self.height as usize / out_h;
                 let v = self.cells[y * self.width as usize + x] / peak;
-                let i = ((v * (ramp.len() - 1) as f64).round() as usize)
-                    .min(ramp.len() - 1);
+                let i = ((v * (ramp.len() - 1) as f64).round() as usize).min(ramp.len() - 1);
                 art.push(ramp[i] as char);
             }
             art.push('\n');
@@ -253,8 +261,7 @@ mod tests {
     fn sessions() -> (Session, Session) {
         let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
         (
-            Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv.clone())))
-                .unwrap(),
+            Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv.clone()))).unwrap(),
             Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap(),
         )
     }
@@ -312,7 +319,10 @@ mod tests {
         }
         // Within the temporal window the visualizer re-reads its cache.
         let f2 = read_frame(&mut viz, "astro/run3").unwrap();
-        assert_eq!(f1.step, f2.step, "stale frame acceptable under temporal bound");
+        assert_eq!(
+            f1.step, f2.step,
+            "stale frame acceptable under temporal bound"
+        );
         assert_eq!(
             viz.transport_stats().requests,
             reqs_after_first,

@@ -100,9 +100,16 @@ impl Simulation {
         self.density
             .iter()
             .enumerate()
-            .fold((f64::MIN, 0), |(best, bi), (i, &v)| {
-                if v > best { (v, i) } else { (best, bi) }
-            })
+            .fold(
+                (f64::MIN, 0),
+                |(best, bi), (i, &v)| {
+                    if v > best {
+                        (v, i)
+                    } else {
+                        (best, bi)
+                    }
+                },
+            )
     }
 
     /// Advances one time step.
@@ -127,8 +134,7 @@ impl Simulation {
                 let sx = sx.clamp(0.0, (w - 1) as f64) as usize;
                 let sy = sy.clamp(0.0, (h - 1) as f64) as usize;
                 let advected = self.density[idx(sx, sy)];
-                self.scratch[idx(x, y)] =
-                    (advected + self.diffusion * self.dt * lap) * 0.999;
+                self.scratch[idx(x, y)] = (advected + self.diffusion * self.dt * lap) * 0.999;
             }
         }
         std::mem::swap(&mut self.density, &mut self.scratch);
@@ -150,7 +156,10 @@ mod tests {
         let (peak, at) = sim.peak();
         assert!(peak > 0.9);
         let (x, y) = (at % 16, at / 16);
-        assert!((7..=9).contains(&x) && (7..=9).contains(&y), "core at {x},{y}");
+        assert!(
+            (7..=9).contains(&x) && (7..=9).contains(&y),
+            "core at {x},{y}"
+        );
     }
 
     #[test]

@@ -19,11 +19,12 @@ fn bench_granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("granularity");
     for ratio in [1u32, 16, 1024] {
         let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-        let mut w =
-            Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+        let mut w = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
         let h = w.open_segment("g/bench").unwrap();
         w.wl_acquire(&h).unwrap();
-        let arr = w.malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr")).unwrap();
+        let arr = w
+            .malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr"))
+            .unwrap();
         w.wl_release(&h).unwrap();
 
         w.wl_acquire(&h).unwrap();
@@ -34,28 +35,22 @@ fn bench_granularity(c: &mut Criterion) {
             i += ratio;
         }
 
-        group.bench_with_input(
-            BenchmarkId::new("collect_diff", ratio),
-            &ratio,
-            |b, _| b.iter(|| w.collect_segment_diff(&h).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("word_diffing", ratio),
-            &ratio,
-            |b, _| {
-                b.iter(|| {
-                    let heap = w.heap();
-                    let seg = heap.segment_id("g/bench").unwrap();
-                    let mut n = 0usize;
-                    for &idx in heap.segment(seg).subseg_indices() {
-                        for (_, twin, cur) in heap.subseg(idx).modified_pages() {
-                            n += find_byte_runs(twin, cur, 4, true).len();
-                        }
+        group.bench_with_input(BenchmarkId::new("collect_diff", ratio), &ratio, |b, _| {
+            b.iter(|| w.collect_segment_diff(&h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("word_diffing", ratio), &ratio, |b, _| {
+            b.iter(|| {
+                let heap = w.heap();
+                let seg = heap.segment_id("g/bench").unwrap();
+                let mut n = 0usize;
+                for &idx in heap.segment(seg).subseg_indices() {
+                    for (_, twin, cur) in heap.subseg(idx).modified_pages() {
+                        n += find_byte_runs(twin, cur, 4, true).len();
                     }
-                    n
-                })
-            },
-        );
+                }
+                n
+            })
+        });
         w.wl_release(&h).unwrap();
     }
     group.finish();

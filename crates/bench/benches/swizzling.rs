@@ -13,8 +13,7 @@ use std::sync::Arc;
 
 fn bench_swizzling(c: &mut Criterion) {
     let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-    let mut s =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+    let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
 
     let h = s.open_segment("sw/bench").unwrap();
     s.wl_acquire(&h).unwrap();

@@ -45,7 +45,12 @@ fn bench_translation(c: &mut Criterion) {
         });
         group.bench_function("collect_block", |b| {
             bed.session
-                .set_tracking_mode(&bed.handle, TrackMode::NoDiff { remaining: u32::MAX })
+                .set_tracking_mode(
+                    &bed.handle,
+                    TrackMode::NoDiff {
+                        remaining: u32::MAX,
+                    },
+                )
                 .unwrap();
             b.iter(|| bed.session.collect_segment_diff(&bed.handle).unwrap())
         });
@@ -53,8 +58,7 @@ fn bench_translation(c: &mut Criterion) {
         group.bench_function("apply", |b| {
             b.iter(|| reader.apply_segment_diff(&rh, &diff).unwrap())
         });
-        let elem =
-            iw_types::layout::layout_of(&w.ty, &MachineArch::x86()).size as usize;
+        let elem = iw_types::layout::layout_of(&w.ty, &MachineArch::x86()).size as usize;
         let local = bed
             .session
             .read_bytes_raw(&block, w.count as usize * elem)
@@ -62,10 +66,7 @@ fn bench_translation(c: &mut Criterion) {
             .to_vec();
         let xdr_ty = XdrType::array(w.xdr.clone(), w.count);
         group.bench_function("rpc_xdr_marshal", |b| {
-            b.iter(|| {
-                marshal(&xdr_ty, &local, bed.session.arch(), &HeapMem(&bed.session))
-                    .unwrap()
-            })
+            b.iter(|| marshal(&xdr_ty, &local, bed.session.arch(), &HeapMem(&bed.session)).unwrap())
         });
         group.finish();
         bed.session

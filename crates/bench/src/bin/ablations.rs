@@ -55,11 +55,16 @@ fn main() {
 fn splicing() {
     println!("# ablation 1 — diff-run splicing (ratio-2 pattern, {N_INTS} ints)");
     for (label, splice) in [("spliced", true), ("unspliced", false)] {
-        let opts = SessionOptions { splice, ..Default::default() };
+        let opts = SessionOptions {
+            splice,
+            ..Default::default()
+        };
         let (mut w, _, _) = session_pair(opts);
         let h = w.open_segment("ab/splice").expect("open");
         w.wl_acquire(&h).expect("wl");
-        let arr = w.malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr")).expect("m");
+        let arr = w
+            .malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr"))
+            .expect("m");
         w.wl_release(&h).expect("rel");
 
         w.wl_acquire(&h).expect("wl");
@@ -85,8 +90,9 @@ fn splicing() {
 /// 2. Isomorphic type descriptors: merged vs per-field layouts.
 fn isomorphic() {
     println!("# ablation 2 — isomorphic type descriptors (struct of 32 ints × 8192)");
-    let fields: Vec<(String, TypeDesc)> =
-        (0..32).map(|i| (format!("f{i}"), TypeDesc::int32())).collect();
+    let fields: Vec<(String, TypeDesc)> = (0..32)
+        .map(|i| (format!("f{i}"), TypeDesc::int32()))
+        .collect();
     let ty = TypeDesc::new(iw_types::desc::TypeKind::Struct {
         name: "int_struct".into(),
         fields: fields
@@ -124,18 +130,24 @@ fn isomorphic() {
 fn no_diff_mode() {
     println!("# ablation 3 — no-diff mode (8 whole-array overwrites)");
     for (label, adapt) in [("adaptive", true), ("always-diff", false)] {
-        let opts = SessionOptions { no_diff_adaptation: adapt, ..Default::default() };
+        let opts = SessionOptions {
+            no_diff_adaptation: adapt,
+            ..Default::default()
+        };
         let (mut w, _, _) = session_pair(opts);
         let h = w.open_segment("ab/nodiff").expect("open");
         w.wl_acquire(&h).expect("wl");
-        let arr = w.malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr")).expect("m");
+        let arr = w
+            .malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr"))
+            .expect("m");
         w.wl_release(&h).expect("rel");
 
         let mut total = std::time::Duration::ZERO;
         for round in 0..8u32 {
             w.wl_acquire(&h).expect("wl");
-            let bytes: Vec<u8> =
-                (0..N_INTS).flat_map(|i| (i ^ round).to_le_bytes()).collect();
+            let bytes: Vec<u8> = (0..N_INTS)
+                .flat_map(|i| (i ^ round).to_le_bytes())
+                .collect();
             w.write_bytes_raw(&arr, &bytes).expect("w");
             let (_, d) = time(|| w.wl_release(&h).expect("rel"));
             total += d;
@@ -163,7 +175,10 @@ fn no_diff_mode() {
 fn prediction() {
     println!("# ablation 4 — last-block prediction (512 small blocks, 8 update rounds)");
     for (label, pred) in [("predicted", true), ("tree-only", false)] {
-        let opts = SessionOptions { prediction: pred, ..Default::default() };
+        let opts = SessionOptions {
+            prediction: pred,
+            ..Default::default()
+        };
         let (mut w, mut r, _) = session_pair(opts.clone());
         let h = w.open_segment("ab/pred").expect("open");
         w.wl_acquire(&h).expect("wl");
@@ -202,7 +217,9 @@ fn diff_caching() {
     let (mut w, _, server) = session_pair(SessionOptions::default());
     let h = w.open_segment("ab/cache").expect("open");
     w.wl_acquire(&h).expect("wl");
-    let arr = w.malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr")).expect("m");
+    let arr = w
+        .malloc(&h, &TypeDesc::int32(), N_INTS, Some("arr"))
+        .expect("m");
     w.wl_release(&h).expect("rel");
     w.wl_acquire(&h).expect("wl");
     let mut i = 0;

@@ -44,8 +44,7 @@ fn main() {
         let server = Arc::new(Mutex::new(Server::new()));
         let handler: Arc<Mutex<dyn Handler>> = server.clone();
         let mut writer =
-            Session::new(MachineArch::x86(), Box::new(Loopback::new(handler)))
-                .expect("writer");
+            Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).expect("writer");
         // Recreate the bed manually against this server.
         let bed_template = setup(&w, MachineArch::x86());
         drop(bed_template); // only needed the workload definition path
@@ -56,7 +55,12 @@ fn main() {
             .expect("malloc");
         if w.has_pointers {
             let targets = writer
-                .malloc(&h, &iw_types::desc::TypeDesc::int32(), w.count, Some("targets"))
+                .malloc(
+                    &h,
+                    &iw_types::desc::TypeDesc::int32(),
+                    w.count,
+                    Some("targets"),
+                )
                 .expect("targets");
             iw_bench::aim_pointers(&mut writer, &w, &block, &targets);
         }
@@ -65,8 +69,7 @@ fn main() {
         // Dirty everything; collect the full diff client-side.
         writer.wl_acquire(&h).expect("wl");
         dirty_all(&mut writer, &block, &w, 1);
-        let ((diff, _, _), d_cli) =
-            time(|| writer.collect_segment_diff(&h).expect("collect"));
+        let ((diff, _, _), d_cli) = time(|| writer.collect_segment_diff(&h).expect("collect"));
 
         let mut srv = server.lock();
         let seg = srv.segment_mut("bench/data").expect("segment");

@@ -37,16 +37,25 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
     let iters = 3;
-    println!("# Figure 4 — client cost to translate {}MB of data (seconds)", scale);
+    println!(
+        "# Figure 4 — client cost to translate {}MB of data (seconds)",
+        scale
+    );
     println!(
         "{:<14} {:>9} {:>14} {:>13} {:>12} {:>11} {:>9}",
-        "workload", "rpc_xdr", "collect_block", "collect_diff", "apply_block",
-        "apply_diff", "rmi_ser"
+        "workload",
+        "rpc_xdr",
+        "collect_block",
+        "collect_diff",
+        "apply_block",
+        "apply_diff",
+        "rmi_ser"
     );
 
     let mut sums = [0.0f64; 5];
     let mut sum_rmi = 0.0f64;
     let mut sums_no_ptr_small = [0.0f64; 5];
+    let mut metric_dumps: Vec<(&'static str, String)> = Vec::new();
     for w in figure4_workloads(scale) {
         let mut bed = setup(&w, MachineArch::x86());
         let block_xdr = XdrType::array(w.xdr.clone(), w.count);
@@ -75,22 +84,38 @@ fn main() {
                 .expect("local image")
                 .to_vec();
             let (wire_rpc, d_marshal) = time(|| {
-                marshal(&block_xdr, &local, bed.session.arch(), &HeapMem(&bed.session))
-                    .expect("marshal")
+                marshal(
+                    &block_xdr,
+                    &local,
+                    bed.session.arch(),
+                    &HeapMem(&bed.session),
+                )
+                .expect("marshal")
             });
             let mut out = vec![0u8; local.len()];
             let mut arena = XdrArena::new(0x4000_0000, local.len() + (1 << 16));
             let (_, d_unmarshal) = time(|| {
-                unmarshal(&block_xdr, &wire_rpc, &mut out, &MachineArch::x86(), &mut arena)
-                    .expect("unmarshal")
+                unmarshal(
+                    &block_xdr,
+                    &wire_rpc,
+                    &mut out,
+                    &MachineArch::x86(),
+                    &mut arena,
+                )
+                .expect("unmarshal")
             });
             let d_rpc = (d_marshal + d_unmarshal) / 2;
 
             // Java-RMI-style serialization (for the paper's §1 "20×"
             // comparison point).
             let (_, d_rmi) = time(|| {
-                rmi_serialize(&block_xdr, &local, bed.session.arch(), &HeapMem(&bed.session))
-                    .expect("rmi")
+                rmi_serialize(
+                    &block_xdr,
+                    &local,
+                    bed.session.arch(),
+                    &HeapMem(&bed.session),
+                )
+                .expect("rmi")
             });
 
             // InterWeave collect with diffing.
@@ -98,23 +123,31 @@ fn main() {
                 .set_tracking_mode(&bed.handle, TrackMode::Diff)
                 .expect("mode");
             let ((diff, _, _), d_collect_diff) = time(|| {
-                bed.session.collect_segment_diff(&bed.handle).expect("collect")
+                bed.session
+                    .collect_segment_diff(&bed.handle)
+                    .expect("collect")
             });
 
             // InterWeave collect in no-diff (block) mode.
             bed.session
-                .set_tracking_mode(&bed.handle, TrackMode::NoDiff { remaining: u32::MAX })
+                .set_tracking_mode(
+                    &bed.handle,
+                    TrackMode::NoDiff {
+                        remaining: u32::MAX,
+                    },
+                )
                 .expect("mode");
             let ((block_diff, _, _), d_collect_block) = time(|| {
-                bed.session.collect_segment_diff(&bed.handle).expect("collect")
+                bed.session
+                    .collect_segment_diff(&bed.handle)
+                    .expect("collect")
             });
             bed.session
                 .set_tracking_mode(&bed.handle, TrackMode::Diff)
                 .expect("mode");
 
             // Apply sides on the reader.
-            let (_, d_apply_diff) =
-                time(|| reader.apply_segment_diff(&rh, &diff).expect("apply"));
+            let (_, d_apply_diff) = time(|| reader.apply_segment_diff(&rh, &diff).expect("apply"));
             let (_, d_apply_block) =
                 time(|| reader.apply_segment_diff(&rh, &block_diff).expect("apply"));
 
@@ -133,6 +166,12 @@ fn main() {
             best_rmi = best_rmi.min(d_rmi.as_secs_f64());
         }
         bed.session.wl_release(&bed.handle).expect("release");
+
+        // Registry snapshot for this workload: writer-side client metrics
+        // merged with the loopback server's own registry.
+        let mut snap = bed.session.metrics_snapshot();
+        snap.merge_prefixed("", bed.server.lock().metrics_snapshot());
+        metric_dumps.push((w.name, snap.to_json()));
 
         println!(
             "{:<14} {:>9} {:>14} {:>13} {:>12} {:>11} {:>9}",
@@ -176,9 +215,13 @@ fn main() {
     );
     println!(
         "  excl. pointer & small_string, block vs RPC: {:+.0}%  (paper: 18% faster)",
-        ((sums_no_ptr_small[1] + sums_no_ptr_small[3]) / 2.0 / sums_no_ptr_small[0] - 1.0)
-            * 100.0
+        ((sums_no_ptr_small[1] + sums_no_ptr_small[3]) / 2.0 / sums_no_ptr_small[0] - 1.0) * 100.0
     );
+
+    println!("\n# Metrics snapshots (iw-telemetry JSON, one object per workload):");
+    for (name, json) in metric_dumps {
+        println!("{name} {json}");
+    }
 }
 
 fn elem_size(w: &iw_bench::Workload) -> usize {

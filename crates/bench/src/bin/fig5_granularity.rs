@@ -40,15 +40,14 @@ fn main() {
     );
 
     let mut ratio = 1u32;
+    let mut last_metrics: Option<String> = None;
     while ratio <= 16384 {
         let server = Arc::new(Mutex::new(Server::new()));
         let handler: Arc<Mutex<dyn Handler>> = server.clone();
-        let mut writer =
-            Session::new(MachineArch::x86(), Box::new(Loopback::new(handler.clone())))
-                .expect("writer");
+        let mut writer = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler.clone())))
+            .expect("writer");
         let mut reader =
-            Session::new(MachineArch::x86(), Box::new(Loopback::new(handler)))
-                .expect("reader");
+            Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).expect("reader");
 
         // Version 1: the full array.
         let h = writer.open_segment("g/seg").expect("open");
@@ -86,8 +85,7 @@ fn main() {
         });
 
         // (b) Full client collection (word diffing + translation).
-        let ((diff, _, _), d_collect) =
-            time(|| writer.collect_segment_diff(&h).expect("collect"));
+        let ((diff, _, _), d_collect) = time(|| writer.collect_segment_diff(&h).expect("collect"));
         let d_translate = d_collect.saturating_sub(d_word);
 
         // (c) Server applies the client's diff.
@@ -102,8 +100,7 @@ fn main() {
         drop(srv);
 
         // (e) Client applies the server's update.
-        let (_, d_cli_apply) =
-            time(|| reader.apply_segment_diff(&rh, &upd).expect("apply"));
+        let (_, d_cli_apply) = time(|| reader.apply_segment_diff(&rh, &upd).expect("apply"));
 
         println!(
             "{:>6} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}   ({} page runs, {} B wire)",
@@ -117,10 +114,22 @@ fn main() {
             n_runs,
             upd.payload_len(),
         );
+
+        // Registry snapshot for the finest granularity (ratio 1): writer
+        // client metrics merged with the server's own registry.
+        if ratio == 1 {
+            let mut snap = writer.metrics_snapshot();
+            snap.merge_prefixed("", server.lock().metrics_snapshot());
+            last_metrics = Some(snap.to_json());
+        }
         ratio *= 2;
     }
     println!("\n# expected artifacts (paper §4.2):");
     println!("#  - srv_collect / cli_apply constant for ratios 1..16 (16-prim subblocks)");
     println!("#  - word_diff knee at ratio 1024 (4 KB pages / 4 B words)");
     println!("#  - translate jump between ratios 2 and 4 (run splicing loses effect)");
+    if let Some(json) = last_metrics {
+        println!("\n# Metrics snapshot (iw-telemetry JSON, ratio=1 run):");
+        println!("{json}");
+    }
 }

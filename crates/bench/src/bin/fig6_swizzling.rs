@@ -31,8 +31,7 @@ fn main() {
         .unwrap_or(20_000);
     let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
     let mut s =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(server.clone())))
-            .expect("session");
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(server.clone()))).expect("session");
 
     println!("# Figure 6 — pointer swizzling cost (µs per pointer, best of 5 × {reps} reps)");
     println!("{:<12} {:>15} {:>14}", "case", "collect_ptr", "apply_ptr");
@@ -40,18 +39,16 @@ fn main() {
     // int1: pointer to the start of an int block.
     let h = s.open_segment("sw/main").expect("open");
     s.wl_acquire(&h).expect("wl");
-    let int_block = s.malloc(&h, &TypeDesc::int32(), 8, Some("ints")).expect("m");
-    let struct_ty = TypeDesc::structure(
-        "s32",
-        vec![("f", TypeDesc::array(TypeDesc::float64(), 32))],
-    );
+    let int_block = s
+        .malloc(&h, &TypeDesc::int32(), 8, Some("ints"))
+        .expect("m");
+    let struct_ty =
+        TypeDesc::structure("s32", vec![("f", TypeDesc::array(TypeDesc::float64(), 32))]);
     let st = s.malloc(&h, &struct_ty, 1, Some("st")).expect("m");
     s.wl_release(&h).expect("rel");
     s.rl_acquire(&h).expect("rl");
 
-    let struct_mid = s
-        .index(&s.field(&st, "f").expect("f"), 17)
-        .expect("mid");
+    let struct_mid = s.index(&s.field(&st, "f").expect("f"), 17).expect("mid");
     report(&mut s, "int1", &int_block, reps);
     report(&mut s, "struct1", &struct_mid, reps);
     s.rl_release(&h).expect("rl");

@@ -70,21 +70,22 @@ fn main() {
     );
     let mut diff_only_bytes = None;
     let mut full_bytes = None;
+    let mut diff_only_metrics = None;
     for (name, coherence) in configs {
-        let bytes = run_config(&db, min_support, coherence);
-        let fetches = bytes.1;
+        let (bytes, fetches, metrics) = run_config(&db, min_support, coherence);
         println!(
             "{:<14} {:>12} {:>10.2} {:>8}",
             name,
-            bytes.0,
-            bytes.0 as f64 / (1024.0 * 1024.0),
+            bytes,
+            bytes as f64 / (1024.0 * 1024.0),
             fetches
         );
         if name == "diff_only" {
-            diff_only_bytes = Some(bytes.0);
+            diff_only_bytes = Some(bytes);
+            diff_only_metrics = Some(metrics);
         }
         if name == "full_transfer" {
-            full_bytes = Some(bytes.0);
+            full_bytes = Some(bytes);
         }
     }
     if let (Some(full), Some(diff)) = (full_bytes, diff_only_bytes) {
@@ -93,35 +94,41 @@ fn main() {
             (1.0 - diff as f64 / full as f64) * 100.0
         );
     }
+    if let Some(json) = diff_only_metrics {
+        println!("\n# Metrics snapshot (iw-telemetry JSON, diff_only reader + server):");
+        println!("{json}");
+    }
 }
 
 /// Runs the full increment schedule with one reader under `coherence`
 /// (`None` = re-fetch the whole structure each version). Returns
-/// (reader bytes received, update fetch count).
+/// (reader bytes received, update fetch count, metrics snapshot JSON).
 fn run_config(
     db: &iw_mining::Database,
     min_support: u32,
     coherence: Option<Coherence>,
-) -> (u64, u64) {
+) -> (u64, u64, String) {
     let server = Arc::new(Mutex::new(Server::new()));
     let handler: Arc<Mutex<dyn Handler>> = server.clone();
-    let mut publisher_session =
-        Session::new(MachineArch::alpha(), Box::new(Loopback::new(handler.clone())))
-            .expect("publisher");
+    let mut publisher_session = Session::new(
+        MachineArch::alpha(),
+        Box::new(Loopback::new(handler.clone())),
+    )
+    .expect("publisher");
 
     // Seed with half the database ("initially generated using half the
     // database").
     let mut lattice = Lattice::new(4, min_support);
     let half = db.customers.len() / 2;
     lattice.update(db.slice(0, half));
-    let mut publisher =
-        LatticePublisher::create(&mut publisher_session, SEGMENT).expect("create");
-    publisher.publish(&mut publisher_session, &lattice).expect("seed");
+    let mut publisher = LatticePublisher::create(&mut publisher_session, SEGMENT).expect("create");
+    publisher
+        .publish(&mut publisher_session, &lattice)
+        .expect("seed");
 
     // The mining client appears after the seed.
     let mut reader =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(handler)))
-            .expect("reader");
+        Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).expect("reader");
     let h = reader.open_segment(SEGMENT).expect("open");
     if let Some(c) = coherence {
         reader.set_coherence(&h, c).expect("coherence");
@@ -136,7 +143,9 @@ fn run_config(
     let mut fetches = 0u64;
     for round in 0..INCREMENTS {
         lattice.update(db.slice(half + round * step, step));
-        publisher.publish(&mut publisher_session, &lattice).expect("publish");
+        publisher
+            .publish(&mut publisher_session, &lattice)
+            .expect("publish");
         match coherence {
             Some(_) => {
                 let before = reader.stats().diffs_applied;
@@ -169,7 +178,9 @@ fn run_config(
             v
         }),
     };
-    (bytes, fetches)
+    let mut snap = reader.metrics_snapshot();
+    snap.merge_prefixed("", server.lock().metrics_snapshot());
+    (bytes, fetches, snap.to_json())
 }
 
 thread_local! {

@@ -39,7 +39,10 @@ pub struct Workload {
 pub const WORKLOAD_BYTES: u32 = 1 << 20;
 
 fn int_struct_ty() -> TypeDesc {
-    TypeDesc::structure("int_struct", vec![("f", TypeDesc::array(TypeDesc::int32(), 32))])
+    TypeDesc::structure(
+        "int_struct",
+        vec![("f", TypeDesc::array(TypeDesc::int32(), 32))],
+    )
 }
 
 fn double_struct_ty() -> TypeDesc {
@@ -77,11 +80,15 @@ pub fn figure4_workloads(scale: f64) -> Vec<Workload> {
         let elem = iw_types::layout::layout_of(ty, &arch).size.max(1);
         (((WORKLOAD_BYTES as f64 * scale) / elem as f64).round() as u32).max(1)
     };
-    let xdr_int_struct = XdrType::Struct { fields: vec![XdrType::array(XdrType::Int, 32)] };
-    let xdr_double_struct =
-        XdrType::Struct { fields: vec![XdrType::array(XdrType::Double, 32)] };
-    let xdr_int_double =
-        XdrType::Struct { fields: vec![XdrType::Int, XdrType::Double] };
+    let xdr_int_struct = XdrType::Struct {
+        fields: vec![XdrType::array(XdrType::Int, 32)],
+    };
+    let xdr_double_struct = XdrType::Struct {
+        fields: vec![XdrType::array(XdrType::Double, 32)],
+    };
+    let xdr_int_double = XdrType::Struct {
+        fields: vec![XdrType::Int, XdrType::Double],
+    };
     let xdr_mix = XdrType::Struct {
         fields: vec![
             XdrType::Int,
@@ -167,8 +174,8 @@ pub struct Bed {
     pub handle: SegHandle,
     /// Pointer to the workload block.
     pub block: Ptr,
-    /// The shared server (for attaching more clients).
-    pub server: Arc<Mutex<dyn Handler>>,
+    /// The shared server (for attaching more clients or scraping metrics).
+    pub server: Arc<Mutex<Server>>,
     /// The workload.
     pub workload: Workload,
 }
@@ -176,10 +183,10 @@ pub struct Bed {
 /// Creates a fresh server + session and allocates the workload block,
 /// with pointer fields (if any) aimed at an int-array target block.
 pub fn setup(workload: &Workload, arch: MachineArch) -> Bed {
-    let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let server = Arc::new(Mutex::new(Server::new()));
     let mut session = Session::with_options(
         arch,
-        Box::new(Loopback::new(server.clone())),
+        Box::new(Loopback::new(server.clone() as Arc<Mutex<dyn Handler>>)),
         SessionOptions::default(),
     )
     .expect("hello");
@@ -190,7 +197,12 @@ pub fn setup(workload: &Workload, arch: MachineArch) -> Bed {
         .expect("malloc");
     if workload.has_pointers {
         let targets = session
-            .malloc(&handle, &TypeDesc::int32(), workload.count.max(1), Some("targets"))
+            .malloc(
+                &handle,
+                &TypeDesc::int32(),
+                workload.count.max(1),
+                Some("targets"),
+            )
             .expect("targets");
         aim_pointers(&mut session, workload, &block, &targets);
     }
@@ -218,8 +230,12 @@ pub fn aim_pointers(session: &mut Session, workload: &Workload, block: &Ptr, tar
             "mix" => session.field(&elem, "p").expect("field p"),
             other => unreachable!("workload {other} has no pointers"),
         };
-        let target = session.index(targets, i % workload.count.max(1)).expect("target");
-        session.write_ptr(&ptr_field, Some(&target)).expect("write ptr");
+        let target = session
+            .index(targets, i % workload.count.max(1))
+            .expect("target");
+        session
+            .write_ptr(&ptr_field, Some(&target))
+            .expect("write ptr");
     }
 }
 
@@ -238,7 +254,9 @@ pub fn dirty_all(session: &mut Session, bed_block: &Ptr, workload: &Workload, ro
                     v.to_be_bytes()
                 });
             }
-            session.write_bytes_raw(bed_block, &bytes).expect("raw write");
+            session
+                .write_bytes_raw(bed_block, &bytes)
+                .expect("raw write");
         }
         "double_array" => {
             let mut bytes = Vec::with_capacity(workload.count as usize * 8);
@@ -250,10 +268,12 @@ pub fn dirty_all(session: &mut Session, bed_block: &Ptr, workload: &Workload, ro
                     v.to_be_bytes()
                 });
             }
-            session.write_bytes_raw(bed_block, &bytes).expect("raw write");
+            session
+                .write_bytes_raw(bed_block, &bytes)
+                .expect("raw write");
         }
-        "int_struct" | "double_struct" | "int_double" | "string" | "small_string"
-        | "pointer" | "mix" => {
+        "int_struct" | "double_struct" | "int_double" | "string" | "small_string" | "pointer"
+        | "mix" => {
             dirty_elementwise(session, bed_block, workload, round);
         }
         other => unreachable!("unknown workload {other}"),
@@ -382,8 +402,7 @@ mod tests {
             let mut bed = setup(&w, MachineArch::x86());
             bed.session.wl_acquire(&bed.handle).unwrap();
             dirty_all(&mut bed.session, &bed.block.clone(), &w, 1);
-            let (diff, changed, _) =
-                bed.session.collect_segment_diff(&bed.handle).unwrap();
+            let (diff, changed, _) = bed.session.collect_segment_diff(&bed.handle).unwrap();
             assert!(changed > 0, "{}: nothing changed", w.name);
             assert!(!diff.block_diffs.is_empty(), "{}", w.name);
             bed.session.wl_release(&bed.handle).unwrap();

@@ -1,0 +1,46 @@
+//! `iwstat` — scrapes a live `iwsrv` and prints its metrics.
+//!
+//! ```text
+//! iwstat [--server 127.0.0.1:7474] [--json | --prom] [--filter PREFIX]
+//! ```
+//!
+//! Connects over TCP, performs the Hello handshake, sends a `Stats`
+//! request, and renders the server's metrics snapshot: human-readable
+//! text by default, JSON with `--json`, Prometheus text exposition with
+//! `--prom`. `--filter` keeps only metrics whose name starts with the
+//! given prefix (e.g. `server.lock.`).
+
+use iw_cli::Args;
+use iw_proto::{Reply, Request, TcpTransport, Transport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(std::env::args().skip(1));
+    let addr = args.flag("server").unwrap_or("127.0.0.1:7474");
+
+    let mut transport = TcpTransport::connect(addr.parse()?)?;
+    let client = match transport.request(&Request::Hello {
+        info: "iwstat scraper".into(),
+    })? {
+        Reply::Welcome { client } => client,
+        other => return Err(format!("unexpected reply to Hello: {other:?}").into()),
+    };
+    let mut snapshot = match transport.request(&Request::Stats { client })? {
+        Reply::Stats { snapshot } => snapshot,
+        other => return Err(format!("unexpected reply to Stats: {other:?}").into()),
+    };
+
+    if let Some(prefix) = args.flag("filter") {
+        snapshot.counters.retain(|(n, _)| n.starts_with(prefix));
+        snapshot.gauges.retain(|(n, _)| n.starts_with(prefix));
+        snapshot.histograms.retain(|(n, _)| n.starts_with(prefix));
+    }
+
+    if args.switch("json") {
+        println!("{}", snapshot.to_json());
+    } else if args.switch("prom") {
+        print!("{}", snapshot.render_prometheus());
+    } else {
+        print!("{}", snapshot.render_text());
+    }
+    Ok(())
+}

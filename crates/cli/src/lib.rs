@@ -3,7 +3,9 @@
 //! - **`iwsrv`** — a standalone InterWeave server daemon over TCP, with
 //!   optional periodic checkpointing and crash recovery;
 //! - **`iwdump`** — connects to a server and pretty-prints a segment:
-//!   blocks, types, and leading values.
+//!   blocks, types, and leading values;
+//! - **`iwstat`** — scrapes a live server's metrics snapshot and renders
+//!   it as text, JSON, or Prometheus exposition.
 //!
 //! Argument parsing is a deliberate 60-line hand-rolled affair
 //! ([`Args`]): two flags and a positional don't justify a dependency.

@@ -80,7 +80,8 @@ fn serve_populate_dump_recover() {
         let b = s.malloc(&h, &ty, 1, Some("beta")).unwrap();
         s.write_i32(&s.field(&a, "id").unwrap(), 7).unwrap();
         s.write_str(&s.field(&a, "tag").unwrap(), "hello").unwrap();
-        s.write_ptr(&s.field(&a, "peer").unwrap(), Some(&b)).unwrap();
+        s.write_ptr(&s.field(&a, "peer").unwrap(), Some(&b))
+            .unwrap();
         s.write_i32(&s.field(&b, "id").unwrap(), 8).unwrap();
         s.wl_release(&h).unwrap();
 

@@ -1,0 +1,159 @@
+//! End-to-end metrics test: spawn `iwsrv`, drive a writer/reader workload
+//! through the client library over TCP, then scrape the server with
+//! `iwstat` and check the diff, lock, and diff-cache metrics are live.
+
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use iw_core::Session;
+use iw_proto::{Coherence, TcpTransport};
+use iw_types::{idl, MachineArch};
+
+struct Srv(Child);
+
+impl Drop for Srv {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[allow(clippy::zombie_processes)] // killed + waited in Srv::drop
+fn spawn_srv(port: u16) -> Srv {
+    let child = Command::new(env!("CARGO_BIN_EXE_iwsrv"))
+        .arg("--listen")
+        .arg(format!("127.0.0.1:{port}"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn iwsrv");
+    for _ in 0..100 {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return Srv(child);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("iwsrv did not come up on port {port}");
+}
+
+fn iwstat(port: u16, extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_iwstat"))
+        .arg("--server")
+        .arg(format!("127.0.0.1:{port}"))
+        .args(extra)
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("run iwstat");
+    assert!(out.status.success(), "iwstat exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+/// Pulls `"name":value` out of the iwstat JSON dump.
+fn json_counter(json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let at = json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} not in {json}"));
+    json[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} has no numeric value"))
+}
+
+fn connect(port: u16) -> Session {
+    Session::new(
+        MachineArch::x86(),
+        Box::new(TcpTransport::connect(format!("127.0.0.1:{port}").parse().unwrap()).unwrap()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn workload_metrics_visible_through_iwstat() {
+    let port = 17493;
+    let _srv = spawn_srv(port);
+
+    let ty = idl::compile("struct pt { int x; int y; };")
+        .unwrap()
+        .get("pt")
+        .unwrap()
+        .clone();
+
+    // Writer: create blocks, then publish several versions.
+    let mut w = connect(port);
+    let hw = w.open_segment("stats/demo").unwrap();
+    w.wl_acquire(&hw).unwrap();
+    let blk = w.malloc(&hw, &ty, 64, Some("pts")).unwrap();
+    w.wl_release(&hw).unwrap();
+    for round in 0..4 {
+        w.wl_acquire(&hw).unwrap();
+        let f = w.index(&blk, round as u32).unwrap();
+        w.write_i32(&w.field(&f, "x").unwrap(), round + 1).unwrap();
+        w.wl_release(&hw).unwrap();
+    }
+
+    // Reader: lag behind, then catch up twice — the second catch-up from
+    // an intermediate version exercises the diff cache.
+    let mut r = connect(port);
+    let hr = r.open_segment("stats/demo").unwrap();
+    r.set_coherence(&hr, Coherence::Full).unwrap();
+    r.rl_acquire(&hr).unwrap();
+    r.rl_release(&hr).unwrap();
+    for round in 4..8 {
+        w.wl_acquire(&hw).unwrap();
+        let f = w.index(&blk, round as u32).unwrap();
+        w.write_i32(&w.field(&f, "x").unwrap(), round + 1).unwrap();
+        w.wl_release(&hw).unwrap();
+    }
+    r.rl_acquire(&hr).unwrap();
+    r.rl_release(&hr).unwrap();
+    // A second reader from scratch re-requests an update the cache may
+    // now serve.
+    let mut r2 = connect(port);
+    let hr2 = r2.open_segment("stats/demo").unwrap();
+    r2.rl_acquire(&hr2).unwrap();
+    r2.rl_release(&hr2).unwrap();
+
+    // Client-side registry saw the same workload.
+    let client_snap = w.metrics_snapshot();
+    assert!(client_snap.counter("client.diff.collected_total").unwrap() >= 9);
+    assert!(client_snap.counter("client.lock.acquires_total").unwrap() >= 9);
+    assert!(client_snap.counter("proto.requests_total").unwrap() > 0);
+
+    // Scrape over TCP with the real binary.
+    let json = iwstat(port, &["--json"]);
+    assert!(json_counter(&json, "server.req.acquire_total") >= 12);
+    assert!(json_counter(&json, "server.req.release_total") >= 12);
+    assert!(json_counter(&json, "server.lock.granted_total") >= 12);
+    assert!(
+        json_counter(&json, "server.diff_cache.misses_total") > 0,
+        "updates were built: {json}"
+    );
+    assert!(
+        json_counter(&json, "server.diff_cache.hits_total")
+            + json_counter(&json, "server.diff_cache.misses_total")
+            >= 3,
+        "three stale readers requested updates: {json}"
+    );
+    assert!(
+        json_counter(&json, "server.segment.stats/demo.version") >= 9,
+        "version: {json}"
+    );
+
+    // Text rendering carries the same numbers.
+    let text = iwstat(port, &[]);
+    assert!(text.contains("server.requests_total"), "{text}");
+    // Prometheus rendering sanitizes names.
+    let prom = iwstat(port, &["--prom"]);
+    assert!(
+        prom.contains("# TYPE server_requests_total counter"),
+        "{prom}"
+    );
+    // Filtering keeps only the requested prefix.
+    let filtered = iwstat(port, &["--json", "--filter", "server.lock."]);
+    assert!(filtered.contains("server.lock.granted_total"), "{filtered}");
+    assert!(!filtered.contains("server.req.acquire_total"), "{filtered}");
+}

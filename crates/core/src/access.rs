@@ -24,13 +24,18 @@ use crate::session::{read_va, write_va, Ptr, ResolvedPtr, Session};
 
 impl Session {
     /// Locates the primitive at `p` and checks it has kind `expect`.
-    fn prim_window(&self, p: &Ptr, expect: &'static str) -> Result<(u64, PrimKind, u32), CoreError> {
+    fn prim_window(
+        &self,
+        p: &Ptr,
+        expect: &'static str,
+    ) -> Result<(u64, PrimKind, u32), CoreError> {
         let (seg, meta) = self.heap().block_at(p.va)?;
         self.require_lock(seg, false)?;
         let rel = (p.va - meta.va) as u32;
-        let prim = meta.flat.prim_containing_byte(rel).ok_or_else(|| {
-            CoreError::BadPath(format!("{:#x} is in padding", p.va))
-        })?;
+        let prim = meta
+            .flat
+            .prim_containing_byte(rel)
+            .ok_or_else(|| CoreError::BadPath(format!("{:#x} is in padding", p.va)))?;
         if prim.local_off != rel {
             return Err(CoreError::BadPath(format!(
                 "{:#x} is not aligned to a primitive",
@@ -41,16 +46,14 @@ impl Session {
         Ok((p.va, prim.kind, prim.local_size(self.arch())))
     }
 
-    fn check_kind(
-        &self,
-        found: PrimKind,
-        expect: &'static str,
-        ok: bool,
-    ) -> Result<(), CoreError> {
+    fn check_kind(&self, found: PrimKind, expect: &'static str, ok: bool) -> Result<(), CoreError> {
         if ok {
             Ok(())
         } else {
-            Err(CoreError::TypeMismatch { expected: expect, found })
+            Err(CoreError::TypeMismatch {
+                expected: expect,
+                found,
+            })
         }
     }
 
@@ -268,7 +271,10 @@ impl Session {
     pub fn read_str(&self, p: &Ptr) -> Result<String, CoreError> {
         let (va, kind, size) = self.prim_window(p, "string")?;
         let PrimKind::Str { .. } = kind else {
-            return Err(CoreError::TypeMismatch { expected: "string", found: kind });
+            return Err(CoreError::TypeMismatch {
+                expected: "string",
+                found: kind,
+            });
         };
         let window = self.heap().read_bytes(va, size as usize)?;
         Ok(String::from_utf8_lossy(local_str_bytes(window)).into_owned())
@@ -283,7 +289,10 @@ impl Session {
     pub fn write_str(&mut self, p: &Ptr, v: &str) -> Result<(), CoreError> {
         let (va, kind, size) = self.prim_window(p, "string")?;
         let PrimKind::Str { cap } = kind else {
-            return Err(CoreError::TypeMismatch { expected: "string", found: kind });
+            return Err(CoreError::TypeMismatch {
+                expected: "string",
+                found: kind,
+            });
         };
         if v.len() + 1 > cap as usize {
             return Err(CoreError::BadPath(format!(
@@ -398,17 +407,24 @@ impl Session {
         // it is the primitive at that offset.
         let elem_size = layout_of(&meta.ty, self.arch()).size;
         if elem_size > 0 && rel.is_multiple_of(elem_size) {
-            return Ok(Ptr { va, ty: meta.ty.clone() });
+            return Ok(Ptr {
+                va,
+                ty: meta.ty.clone(),
+            });
         }
-        let prim = meta.flat.prim_containing_byte(rel).ok_or_else(|| {
-            CoreError::DanglingPointer(format!("{va:#x} points into padding"))
-        })?;
+        let prim = meta
+            .flat
+            .prim_containing_byte(rel)
+            .ok_or_else(|| CoreError::DanglingPointer(format!("{va:#x} points into padding")))?;
         if prim.local_off != rel {
             return Err(CoreError::DanglingPointer(format!(
                 "{va:#x} is not a primitive boundary"
             )));
         }
-        Ok(Ptr { va, ty: TypeDesc::new(TypeKind::Prim(prim.kind)) })
+        Ok(Ptr {
+            va,
+            ty: TypeDesc::new(TypeKind::Prim(prim.kind)),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -423,18 +439,17 @@ impl Session {
     /// field.
     pub fn field(&self, p: &Ptr, name: &str) -> Result<Ptr, CoreError> {
         let TypeKind::Struct { fields, .. } = p.ty.kind() else {
-            return Err(CoreError::BadPath(format!(
-                "`{}` is not a struct",
-                p.ty
-            )));
+            return Err(CoreError::BadPath(format!("`{}` is not a struct", p.ty)));
         };
-        let (idx, f) = p
-            .ty
-            .field(name)
-            .ok_or_else(|| CoreError::BadPath(format!("no field `{name}` in {}", p.ty)))?;
+        let (idx, f) =
+            p.ty.field(name)
+                .ok_or_else(|| CoreError::BadPath(format!("no field `{name}` in {}", p.ty)))?;
         let offs = iw_types::layout::field_offsets(&p.ty, self.arch());
         let _ = fields;
-        Ok(Ptr { va: p.va + u64::from(offs[idx]), ty: f.ty.clone() })
+        Ok(Ptr {
+            va: p.va + u64::from(offs[idx]),
+            ty: f.ty.clone(),
+        })
     }
 
     /// Navigates to element `i` of the array (or multi-element block
@@ -454,7 +469,10 @@ impl Session {
                 )));
             }
             let stride = layout_of(elem, self.arch()).size;
-            return Ok(Ptr { va: p.va + u64::from(i) * u64::from(stride), ty: elem.clone() });
+            return Ok(Ptr {
+                va: p.va + u64::from(i) * u64::from(stride),
+                ty: elem.clone(),
+            });
         }
         let (_, meta) = self.heap().block_at(p.va)?;
         if p.va == meta.va {
@@ -534,11 +552,7 @@ impl Session {
     /// Protocol errors.
     pub fn fetch_segment(&mut self, segment: &str) -> Result<(), CoreError> {
         let h = self.open_segment(segment)?;
-        let have = self
-            .segs
-            .get(segment)
-            .map(|st| st.version)
-            .unwrap_or(0);
+        let have = self.segs.get(segment).map(|st| st.version).unwrap_or(0);
         let reply = self.request_for(segment, |client| Request::Poll {
             client,
             segment: segment.to_string(),

@@ -132,10 +132,7 @@ mod tests {
         let mut cur = page(64);
         cur[0..4].fill(1); // word 0
         cur[16..20].fill(1); // word 4 (gap of 3)
-        assert_eq!(
-            find_byte_runs(&twin, &cur, 4, true),
-            vec![(0, 4), (16, 20)]
-        );
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(0, 4), (16, 20)]);
     }
 
     #[test]
@@ -174,10 +171,7 @@ mod tests {
         let mut cur = page(32);
         cur[0] = 1;
         cur[31] = 1;
-        assert_eq!(
-            find_byte_runs(&twin, &cur, 4, true),
-            vec![(0, 4), (28, 32)]
-        );
+        assert_eq!(find_byte_runs(&twin, &cur, 4, true), vec![(0, 4), (28, 32)]);
     }
 
     #[test]

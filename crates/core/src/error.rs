@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let e = CoreError::NotLocked { segment: "a/b".into(), write: true };
+        let e = CoreError::NotLocked {
+            segment: "a/b".into(),
+            write: true,
+        };
         assert!(e.to_string().contains("write"));
         let e = CoreError::TypeMismatch {
             expected: "int",

@@ -57,12 +57,11 @@
 mod access;
 pub mod diffing;
 mod error;
+mod metrics;
 mod segstate;
 mod session;
 pub mod tx;
 
 pub use error::CoreError;
-pub use segstate::{
-    TrackMode, NO_DIFF_ENTER_FRACTION, NO_DIFF_ENTER_STREAK, NO_DIFF_PROBE_PERIOD,
-};
+pub use segstate::{TrackMode, NO_DIFF_ENTER_FRACTION, NO_DIFF_ENTER_STREAK, NO_DIFF_PROBE_PERIOD};
 pub use session::{Ptr, SegHandle, Session, SessionOptions, SessionStats};

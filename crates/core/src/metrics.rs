@@ -1,0 +1,94 @@
+//! Client-side metrics: a per-session [`Registry`] with pre-resolved
+//! handles for every hot-path counter.
+//!
+//! The handles are resolved once at session construction; hot paths touch
+//! only the atomics behind the cached `Arc`s, never the registry's name
+//! map. Per-pointer swizzle/unswizzle cache hits are batched in the cache
+//! structs themselves (plain integer increments) and flushed into the
+//! counters once per translation call, so pointer-dense workloads pay no
+//! per-element atomic traffic.
+
+use std::sync::Arc;
+
+use iw_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Pre-resolved metric handles for one [`crate::Session`].
+pub(crate) struct SessionMetrics {
+    registry: Arc<Registry>,
+    /// `client.diff.collected_total` — diffs collected for write releases.
+    pub diffs_collected: Arc<Counter>,
+    /// `client.diff.applied_total` — update diffs installed locally.
+    pub diffs_applied: Arc<Counter>,
+    /// `client.diff.prims_sent_total` — primitive units in collected diffs.
+    pub prims_sent: Arc<Counter>,
+    /// `client.diff.prims_received_total` — primitive units installed.
+    pub prims_received: Arc<Counter>,
+    /// `client.diff.collect_us` — wall time of one diff collection.
+    pub collect_us: Arc<Histogram>,
+    /// `client.diff.apply_us` — wall time of one diff application.
+    pub apply_us: Arc<Histogram>,
+    /// `client.diff.collected_bytes` — wire payload size per collected diff.
+    pub collected_bytes: Arc<Histogram>,
+    /// `client.apply.block_lookups_total` — serial→block lookups on apply.
+    pub apply_block_lookups: Arc<Counter>,
+    /// `client.apply.pred_hits_total` — lookups the predictor answered.
+    pub apply_pred_hits: Arc<Counter>,
+    /// `client.swizzle.cache_hits_total` — pointer swizzles served by the
+    /// one-entry block cache.
+    pub swizzle_cache_hits: Arc<Counter>,
+    /// `client.swizzle.cache_misses_total` — swizzles that searched the
+    /// metadata trees.
+    pub swizzle_cache_misses: Arc<Counter>,
+    /// `client.unswizzle.cache_hits_total` — MIP resolutions served by the
+    /// one-entry prefix cache.
+    pub unswizzle_cache_hits: Arc<Counter>,
+    /// `client.unswizzle.cache_misses_total` — resolutions that searched.
+    pub unswizzle_cache_misses: Arc<Counter>,
+    /// `client.lock.acquires_total` — lock acquisitions attempted.
+    pub lock_acquires: Arc<Counter>,
+    /// `client.lock.busy_retries_total` — `Busy` replies retried.
+    pub lock_busy_retries: Arc<Counter>,
+    /// `client.lock.wait_us` — wall time from first request to grant.
+    pub lock_wait_us: Arc<Histogram>,
+    /// `client.update.piggyback_bytes` — payload of updates piggybacked on
+    /// lock grants and polls.
+    pub update_bytes: Arc<Histogram>,
+    /// `client.no_diff.transitions_total` — tracking-mode flips either way.
+    pub no_diff_transitions: Arc<Counter>,
+    /// `client.twin_faults` — cumulative simulated write faults (refreshed
+    /// from the heap at snapshot time).
+    pub twin_faults: Arc<Gauge>,
+}
+
+impl SessionMetrics {
+    /// Resolves every handle against `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        SessionMetrics {
+            diffs_collected: registry.counter("client.diff.collected_total"),
+            diffs_applied: registry.counter("client.diff.applied_total"),
+            prims_sent: registry.counter("client.diff.prims_sent_total"),
+            prims_received: registry.counter("client.diff.prims_received_total"),
+            collect_us: registry.histogram_us("client.diff.collect_us"),
+            apply_us: registry.histogram_us("client.diff.apply_us"),
+            collected_bytes: registry.histogram_bytes("client.diff.collected_bytes"),
+            apply_block_lookups: registry.counter("client.apply.block_lookups_total"),
+            apply_pred_hits: registry.counter("client.apply.pred_hits_total"),
+            swizzle_cache_hits: registry.counter("client.swizzle.cache_hits_total"),
+            swizzle_cache_misses: registry.counter("client.swizzle.cache_misses_total"),
+            unswizzle_cache_hits: registry.counter("client.unswizzle.cache_hits_total"),
+            unswizzle_cache_misses: registry.counter("client.unswizzle.cache_misses_total"),
+            lock_acquires: registry.counter("client.lock.acquires_total"),
+            lock_busy_retries: registry.counter("client.lock.busy_retries_total"),
+            lock_wait_us: registry.histogram_us("client.lock.wait_us"),
+            update_bytes: registry.histogram_bytes("client.update.piggyback_bytes"),
+            no_diff_transitions: registry.counter("client.no_diff.transitions_total"),
+            twin_faults: registry.gauge("client.twin_faults"),
+            registry,
+        }
+    }
+
+    /// The registry behind the handles.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}

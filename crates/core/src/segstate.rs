@@ -112,7 +112,9 @@ impl SegState {
                     self.mode = TrackMode::Diff;
                     self.high_streak = 0;
                 } else {
-                    self.mode = TrackMode::NoDiff { remaining: remaining - 1 };
+                    self.mode = TrackMode::NoDiff {
+                        remaining: remaining - 1,
+                    };
                 }
             }
             TrackMode::Diff => {
@@ -124,8 +126,9 @@ impl SegState {
                 if frac >= NO_DIFF_ENTER_FRACTION {
                     self.high_streak += 1;
                     if self.high_streak >= NO_DIFF_ENTER_STREAK {
-                        self.mode =
-                            TrackMode::NoDiff { remaining: NO_DIFF_PROBE_PERIOD };
+                        self.mode = TrackMode::NoDiff {
+                            remaining: NO_DIFF_PROBE_PERIOD,
+                        };
                         self.high_streak = 0;
                         return; // block-level adaptation moot
                     }
@@ -166,7 +169,12 @@ mod tests {
         s.adapt_after_release(80, 100, &[]);
         assert_eq!(s.mode, TrackMode::Diff);
         s.adapt_after_release(90, 100, &[]);
-        assert_eq!(s.mode, TrackMode::NoDiff { remaining: NO_DIFF_PROBE_PERIOD });
+        assert_eq!(
+            s.mode,
+            TrackMode::NoDiff {
+                remaining: NO_DIFF_PROBE_PERIOD
+            }
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `malloc`, `mip_to_ptr`, `ptr_to_mip`.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -16,6 +17,7 @@ use bytes::Bytes;
 use iw_heap::{BlockMeta, Heap, SegId};
 use iw_proto::msg::{Reply, Request};
 use iw_proto::{Coherence, LockMode, Transport, TransportStats};
+use iw_telemetry::{Registry, Snapshot};
 use iw_types::arch::MachineArch;
 use iw_types::desc::{PrimKind, TypeDesc};
 use iw_wire::codec::{WireReader, WireWriter};
@@ -25,6 +27,7 @@ use iw_wire::prim::{no_pointers_in, prim_from_wire};
 
 use crate::diffing::find_byte_runs;
 use crate::error::CoreError;
+use crate::metrics::SessionMetrics;
 use crate::segstate::{SegState, TrackMode};
 
 /// A handle to an open segment (the paper's `IW_handle_t`).
@@ -123,7 +126,7 @@ pub struct Session {
     /// field VA → target MIP. The local word holds 0 until resolved.
     pub(crate) unresolved: HashMap<u64, Mip>,
     pub(crate) opts: SessionOptions,
-    pub(crate) stats: SessionStats,
+    pub(crate) metrics: SessionMetrics,
     /// Open transaction, if any (see [`crate::tx`]).
     pub(crate) tx: Option<crate::tx::TxState>,
     /// Additional servers, keyed by segment-URL host ("Every segment is
@@ -157,10 +160,7 @@ impl Session {
     /// # Errors
     ///
     /// Transport/protocol errors from the handshake.
-    pub fn new(
-        arch: MachineArch,
-        transport: Box<dyn Transport>,
-    ) -> Result<Self, CoreError> {
+    pub fn new(arch: MachineArch, transport: Box<dyn Transport>) -> Result<Self, CoreError> {
         Session::with_options(arch, transport, SessionOptions::default())
     }
 
@@ -174,6 +174,8 @@ impl Session {
         mut transport: Box<dyn Transport>,
         opts: SessionOptions,
     ) -> Result<Self, CoreError> {
+        let metrics = SessionMetrics::new(Arc::new(Registry::new()));
+        transport.bind_registry(metrics.registry());
         let info = format!("interweave-rs client on {arch}");
         let client_id = match transport.request(&Request::Hello { info })? {
             Reply::Welcome { client } => client,
@@ -190,7 +192,7 @@ impl Session {
             segs: HashMap::new(),
             unresolved: HashMap::new(),
             opts,
-            stats: SessionStats::default(),
+            metrics,
             tx: None,
             extra_links: HashMap::new(),
         })
@@ -206,9 +208,29 @@ impl Session {
         &self.heap
     }
 
-    /// Optimization counters.
+    /// Optimization counters (a view over the session's metric registry).
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        SessionStats {
+            apply_block_lookups: self.metrics.apply_block_lookups.get(),
+            apply_pred_hits: self.metrics.apply_pred_hits.get(),
+            diffs_collected: self.metrics.diffs_collected.get(),
+            diffs_applied: self.metrics.diffs_applied.get(),
+            prims_sent: self.metrics.prims_sent.get(),
+            prims_received: self.metrics.prims_received.get(),
+        }
+    }
+
+    /// The session's metric registry (transport counters are bound into it
+    /// as well, so one scrape sees the whole client).
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// Point-in-time copy of every client metric, with instantaneous
+    /// gauges (twin faults) refreshed first.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.twin_faults.set(self.heap.fault_count() as i64);
+        self.metrics.registry().snapshot()
     }
 
     /// Cumulative simulated write faults (page-twin creations) — the
@@ -249,8 +271,13 @@ impl Session {
             Reply::Welcome { client } => client,
             other => return Err(unexpected(other)),
         };
-        self.extra_links
-            .insert(host.to_string(), ServerLink { transport, client_id });
+        self.extra_links.insert(
+            host.to_string(),
+            ServerLink {
+                transport,
+                client_id,
+            },
+        );
         Ok(())
     }
 
@@ -306,17 +333,15 @@ impl Session {
     /// # Errors
     ///
     /// [`CoreError::NotOpen`] when the segment is not open.
-    pub fn set_coherence(
-        &mut self,
-        h: &SegHandle,
-        coherence: Coherence,
-    ) -> Result<(), CoreError> {
+    pub fn set_coherence(&mut self, h: &SegHandle, coherence: Coherence) -> Result<(), CoreError> {
         self.state_mut(h.name())?.coherence = coherence;
         Ok(())
     }
 
     pub(crate) fn state(&self, name: &str) -> Result<&SegState, CoreError> {
-        self.segs.get(name).ok_or_else(|| CoreError::NotOpen(name.to_string()))
+        self.segs
+            .get(name)
+            .ok_or_else(|| CoreError::NotOpen(name.to_string()))
     }
 
     pub(crate) fn state_mut(&mut self, name: &str) -> Result<&mut SegState, CoreError> {
@@ -332,6 +357,8 @@ impl Session {
         have_version: u64,
         coherence: Coherence,
     ) -> Result<Reply, CoreError> {
+        self.metrics.lock_acquires.inc();
+        let started = Instant::now();
         for _ in 0..=self.opts.lock_retries {
             let reply = self.request_for(name, |client| Request::Acquire {
                 client,
@@ -342,12 +369,14 @@ impl Session {
             })?;
             match reply {
                 Reply::Busy => {
-                    std::thread::sleep(std::time::Duration::from_micros(
-                        self.opts.lock_backoff_us,
-                    ));
+                    self.metrics.lock_busy_retries.inc();
+                    std::thread::sleep(std::time::Duration::from_micros(self.opts.lock_backoff_us));
                 }
                 Reply::Error { message } => return Err(CoreError::Server(message)),
-                other => return Ok(other),
+                other => {
+                    self.metrics.lock_wait_us.record_duration(started.elapsed());
+                    return Ok(other);
+                }
             }
         }
         Err(CoreError::LockTimeout(name.to_string()))
@@ -370,11 +399,17 @@ impl Session {
         }
         let have = self.state(&name)?.version;
         let reply = self.acquire_with_retry(&name, LockMode::Write, have, Coherence::Full)?;
-        let Reply::Granted { version, update, next_serial, next_type_serial } = reply
+        let Reply::Granted {
+            version,
+            update,
+            next_serial,
+            next_type_serial,
+        } = reply
         else {
             return Err(unexpected(reply));
         };
         if let Some(diff) = update {
+            self.metrics.update_bytes.record(diff.payload_len() as u64);
             self.apply_segment_diff(h, &diff)?;
         }
         let in_tx = self.tx.is_some();
@@ -423,7 +458,10 @@ impl Session {
             )));
         }
         if self.state(&name)?.lock != Some(LockMode::Write) {
-            return Err(CoreError::NotLocked { segment: name, write: true });
+            return Err(CoreError::NotLocked {
+                segment: name,
+                write: true,
+            });
         }
         let (diff, changed, per_block) = self.collect_segment_diff(h)?;
         let is_empty = diff.new_types.is_empty()
@@ -456,7 +494,11 @@ impl Session {
         st.freed.clear();
         st.last_update = Instant::now();
         if adapt {
+            let was_no_diff = matches!(st.mode, TrackMode::NoDiff { .. });
             st.adapt_after_release(changed, total, &per_block);
+            if matches!(st.mode, TrackMode::NoDiff { .. }) != was_no_diff {
+                self.metrics.no_diff_transitions.inc();
+            }
         }
         Ok(())
     }
@@ -494,12 +536,15 @@ impl Session {
         }
         match coherence {
             Coherence::Full => {
-                let reply =
-                    self.acquire_with_retry(&name, LockMode::Read, have, coherence)?;
-                let Reply::Granted { version, update, .. } = reply else {
+                let reply = self.acquire_with_retry(&name, LockMode::Read, have, coherence)?;
+                let Reply::Granted {
+                    version, update, ..
+                } = reply
+                else {
                     return Err(unexpected(reply));
                 };
                 if let Some(diff) = update {
+                    self.metrics.update_bytes.record(diff.payload_len() as u64);
                     self.apply_segment_diff(h, &diff)?;
                 }
                 let st = self.state_mut(&name)?;
@@ -519,6 +564,7 @@ impl Session {
                 match reply {
                     Reply::UpToDate => {}
                     Reply::Update { diff } => {
+                        self.metrics.update_bytes.record(diff.payload_len() as u64);
                         self.apply_segment_diff(h, &diff)?;
                         let st = self.state_mut(&name)?;
                         st.last_update = Instant::now();
@@ -543,7 +589,10 @@ impl Session {
         let name = h.name().to_string();
         let st = self.state(&name)?;
         if st.lock != Some(LockMode::Read) {
-            return Err(CoreError::NotLocked { segment: name, write: false });
+            return Err(CoreError::NotLocked {
+                segment: name,
+                write: false,
+            });
         }
         if st.server_locked {
             let reply = self.request_for(&name, |client| Request::Release {
@@ -571,7 +620,10 @@ impl Session {
         if ok {
             Ok(())
         } else {
-            Err(CoreError::NotLocked { segment: name.clone(), write })
+            Err(CoreError::NotLocked {
+                segment: name.clone(),
+                write,
+            })
         }
     }
 
@@ -621,8 +673,7 @@ impl Session {
             .filter(|&other| other != id)
             .collect();
         for other in other_ids {
-            let metas: Vec<BlockMeta> =
-                self.heap.segment(other).blocks().cloned().collect();
+            let metas: Vec<BlockMeta> = self.heap.segment(other).blocks().cloned().collect();
             for meta in metas {
                 let slice = self.heap.read_bytes(meta.va, meta.size() as usize)?;
                 for run in meta.flat.runs() {
@@ -633,8 +684,7 @@ impl Session {
                         let off = (run.local_off + k * run.stride) as usize;
                         let size = arch.pointer_size as usize;
                         let va = read_va(&slice[off..off + size], &arch);
-                        if va != 0 && spans.iter().any(|&(lo, hi)| va >= lo && va < hi)
-                        {
+                        if va != 0 && spans.iter().any(|&(lo, hi)| va >= lo && va < hi) {
                             let field_va = meta.va + off as u64;
                             let mip = self.mip_for_va(va)?;
                             demotions.push((field_va, mip));
@@ -732,11 +782,7 @@ impl Session {
     /// # Errors
     ///
     /// [`CoreError::NotOpen`].
-    pub fn set_tracking_mode(
-        &mut self,
-        h: &SegHandle,
-        mode: TrackMode,
-    ) -> Result<(), CoreError> {
+    pub fn set_tracking_mode(&mut self, h: &SegHandle, mode: TrackMode) -> Result<(), CoreError> {
         let st = self.state_mut(h.name())?;
         st.mode = mode;
         let id = st.id;
@@ -784,7 +830,10 @@ impl Session {
         let seg_name = h.name().to_string();
         let st = self.state(&seg_name)?;
         if st.lock != Some(LockMode::Write) {
-            return Err(CoreError::NotLocked { segment: seg_name, write: true });
+            return Err(CoreError::NotLocked {
+                segment: seg_name,
+                write: true,
+            });
         }
         let id = st.id;
         let serial = st.next_serial;
@@ -809,7 +858,10 @@ impl Session {
         let seg_name = h.name().to_string();
         let st = self.state(&seg_name)?;
         if st.lock != Some(LockMode::Write) {
-            return Err(CoreError::NotLocked { segment: seg_name, write: true });
+            return Err(CoreError::NotLocked {
+                segment: seg_name,
+                write: true,
+            });
         }
         let id = st.id;
         let (bseg, serial, bva, bend) = {
@@ -822,9 +874,7 @@ impl Session {
             )));
         }
         let in_tx = self.tx.is_some();
-        let created_here = self
-            .state(&seg_name)?
-            .new_blocks.contains(&serial);
+        let created_here = self.state(&seg_name)?.new_blocks.contains(&serial);
         if in_tx && !created_here {
             // Deferred: the block must stay resurrectable until commit.
             let st = self.state_mut(&seg_name)?;
@@ -865,6 +915,8 @@ impl Session {
         &mut self,
         h: &SegHandle,
     ) -> Result<(SegmentDiff, u64, Vec<(u32, f64)>), CoreError> {
+        let collect_us = Arc::clone(&self.metrics.collect_us);
+        let _timer = collect_us.start_timer();
         let name = h.name().to_string();
         let st = self.state(&name)?;
         let id = st.id;
@@ -932,13 +984,22 @@ impl Session {
                 .collect();
             for serial in serials {
                 let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
-                let data =
-                    self.translate_block_range(&meta, meta.va, meta.end(), &mut 0, &mut Vec::new())?;
+                let data = self.translate_block_range(
+                    &meta,
+                    meta.va,
+                    meta.end(),
+                    &mut 0,
+                    &mut Vec::new(),
+                )?;
                 let count = meta.prim_count();
                 changed += count;
                 push_run(
                     per_block.entry(serial).or_default(),
-                    DiffRun { start: 0, count, data },
+                    DiffRun {
+                        start: 0,
+                        count,
+                        data,
+                    },
                 );
             }
         } else {
@@ -1015,13 +1076,22 @@ impl Session {
             // transmit whole.
             for serial in touched_flagged {
                 let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
-                let data =
-                    self.translate_block_range(&meta, meta.va, meta.end(), &mut 0, &mut Vec::new())?;
+                let data = self.translate_block_range(
+                    &meta,
+                    meta.va,
+                    meta.end(),
+                    &mut 0,
+                    &mut Vec::new(),
+                )?;
                 let count = meta.prim_count();
                 changed += count;
                 push_run(
                     per_block.entry(serial).or_default(),
-                    DiffRun { start: 0, count, data },
+                    DiffRun {
+                        start: 0,
+                        count,
+                        data,
+                    },
                 );
             }
         }
@@ -1036,11 +1106,17 @@ impl Session {
                 .unwrap_or(1);
             let run_prims: u64 = accs.iter().map(|r| r.count).sum();
             fractions.push((serial, run_prims as f64 / block_prims.max(1) as f64));
-            diff.block_diffs.push(BlockDiff { serial, runs: finish_runs(accs) });
+            diff.block_diffs.push(BlockDiff {
+                serial,
+                runs: finish_runs(accs),
+            });
         }
         diff.freed = freed;
-        self.stats.diffs_collected += 1;
-        self.stats.prims_sent += changed;
+        self.metrics.diffs_collected.inc();
+        self.metrics.prims_sent.add(changed);
+        self.metrics
+            .collected_bytes
+            .record(diff.payload_len() as u64);
         Ok((diff, changed, fractions))
     }
 
@@ -1112,12 +1188,7 @@ impl Session {
                         let off = (run.local_off + k * run.stride) as usize;
                         let window = &slice[off..off + size];
                         let field_va = meta.va + off as u64;
-                        self.swizzle_window_into(
-                            field_va,
-                            window,
-                            swz_cache,
-                            &mut scratch,
-                        )?;
+                        self.swizzle_window_into(field_va, window, swz_cache, &mut scratch)?;
                         w.put_str(&scratch);
                     }
                 }
@@ -1146,9 +1217,19 @@ impl Session {
             total += u64::from(run.count);
             *floor = run.prim_off + u64::from(run.count);
         }
+        if let Some(c) = swz_cache {
+            if c.hits > 0 {
+                self.metrics.swizzle_cache_hits.add(c.hits);
+                c.hits = 0;
+            }
+        }
         let payload = w.finish();
         if let Some(s) = start {
-            out.push(DiffRun { start: s, count: total, data: payload.clone() });
+            out.push(DiffRun {
+                start: s,
+                count: total,
+                data: payload.clone(),
+            });
         }
         Ok(payload)
     }
@@ -1180,6 +1261,7 @@ impl Session {
                     if rel >= run.local_off && (rel - run.local_off).is_multiple_of(stride) {
                         let k = (rel - run.local_off) / stride;
                         if k < run.count {
+                            c.hits += 1;
                             let prim_off = run.prim_off + u64::from(k);
                             out.push_str(&c.prefix);
                             if prim_off != 0 {
@@ -1193,9 +1275,14 @@ impl Session {
             }
         }
         // Slow path: full metadata search, then refresh the cache.
+        if let Some(c) = cache {
+            if c.hits > 0 {
+                self.metrics.swizzle_cache_hits.add(c.hits);
+            }
+        }
+        self.metrics.swizzle_cache_misses.inc();
         let (seg, meta) = self.heap.block_at(va)?;
-        let mut prefix =
-            String::with_capacity(self.heap.segment(seg).name.len() + 12);
+        let mut prefix = String::with_capacity(self.heap.segment(seg).name.len() + 12);
         prefix.push_str(&self.heap.segment(seg).name);
         prefix.push('#');
         match &meta.name {
@@ -1207,6 +1294,7 @@ impl Session {
             block_hi: meta.end(),
             prefix,
             run: meta.flat.single_run(),
+            hits: 0,
         });
         let mip = self.mip_for_va(va)?;
         use std::fmt::Write;
@@ -1256,6 +1344,8 @@ impl Session {
         h: &SegHandle,
         diff: &SegmentDiff,
     ) -> Result<(), CoreError> {
+        let apply_us = Arc::clone(&self.metrics.apply_us);
+        let _timer = apply_us.start_timer();
         let name = h.name().to_string();
         let id = self.state(&name)?.id;
 
@@ -1287,8 +1377,9 @@ impl Session {
                 let mut r = WireReader::new(Bytes::from(nb.data.to_vec()));
                 self.apply_run(&meta, 0, prims, &mut r, &mut unswz_cache)?;
             }
-            self.heap.set_block_version(id, nb.serial, diff.to_version)?;
-            self.stats.prims_received += prims;
+            self.heap
+                .set_block_version(id, nb.serial, diff.to_version)?;
+            self.metrics.prims_received.add(prims);
             let _ = va;
         }
 
@@ -1297,22 +1388,15 @@ impl Session {
         // consecutive block in memory for the client".
         let mut pred: Option<u64> = None; // end VA of last applied block
         for bd in &diff.block_diffs {
-            self.stats.apply_block_lookups += 1;
+            self.metrics.apply_block_lookups.inc();
             let mut meta: Option<BlockMeta> = None;
             if self.opts.prediction {
                 if let Some(end_va) = pred {
                     if let Ok(idx) = self.heap.subseg_at(end_va.saturating_sub(1)) {
-                        if let Some((va, serial)) =
-                            self.heap.next_block_at_or_after(idx, end_va)
-                        {
+                        if let Some((va, serial)) = self.heap.next_block_at_or_after(idx, end_va) {
                             if serial == bd.serial {
-                                self.stats.apply_pred_hits += 1;
-                                meta = Some(
-                                    self.heap
-                                        .segment(id)
-                                        .block_by_serial(serial)?
-                                        .clone(),
-                                );
+                                self.metrics.apply_pred_hits.inc();
+                                meta = Some(self.heap.segment(id).block_by_serial(serial)?.clone());
                                 let _ = va;
                             }
                         }
@@ -1326,9 +1410,10 @@ impl Session {
             for run in &bd.runs {
                 let mut r = WireReader::new(Bytes::from(run.data.to_vec()));
                 self.apply_run(&meta, run.start, run.count, &mut r, &mut unswz_cache)?;
-                self.stats.prims_received += run.count;
+                self.metrics.prims_received.add(run.count);
             }
-            self.heap.set_block_version(id, bd.serial, diff.to_version)?;
+            self.heap
+                .set_block_version(id, bd.serial, diff.to_version)?;
             pred = Some(meta.end());
         }
 
@@ -1344,9 +1429,15 @@ impl Session {
             self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
         }
 
+        if let Some(c) = &mut unswz_cache {
+            if c.hits > 0 {
+                self.metrics.unswizzle_cache_hits.add(c.hits);
+                c.hits = 0;
+            }
+        }
         let st = self.state_mut(&name)?;
         st.version = diff.to_version;
-        self.stats.diffs_applied += 1;
+        self.metrics.diffs_applied.inc();
         Ok(())
     }
 
@@ -1377,8 +1468,10 @@ impl Session {
         })?;
         let span_lo = first.local_off as usize;
         let span_hi = last.local_off as usize + last.local_size(&arch) as usize;
-        let mut scratch =
-            self.heap.read_bytes(meta.va + span_lo as u64, span_hi - span_lo)?.to_vec();
+        let mut scratch = self
+            .heap
+            .read_bytes(meta.va + span_lo as u64, span_hi - span_lo)?
+            .to_vec();
         let mut unresolved_ops: Vec<(u64, Option<Mip>)> = Vec::new();
         let little = arch.endian.is_little();
         let mut remaining = count;
@@ -1386,7 +1479,10 @@ impl Session {
             if remaining == 0 {
                 break;
             }
-            run.count = run.count.min(remaining as u32).min(remaining.min(u64::from(u32::MAX)) as u32);
+            run.count = run
+                .count
+                .min(remaining as u32)
+                .min(remaining.min(u64::from(u32::MAX)) as u32);
             remaining -= u64::from(run.count);
             match run.kind {
                 PrimKind::Ptr => {
@@ -1397,9 +1493,7 @@ impl Session {
                         let off = loff as usize - span_lo;
                         let mip_bytes = r.get_len_bytes().map_err(CoreError::Wire)?;
                         let mip_str = std::str::from_utf8(&mip_bytes)
-                            .map_err(|_| CoreError::Wire(
-                                iw_wire::codec::WireError::InvalidUtf8,
-                            ))?;
+                            .map_err(|_| CoreError::Wire(iw_wire::codec::WireError::InvalidUtf8))?;
                         let field_va = meta.va + u64::from(loff);
                         let window = &mut scratch[off..off + size];
                         match self.resolve_mip_cached(mip_str, unswz_cache)? {
@@ -1462,10 +1556,7 @@ impl Session {
     }
 
     /// Resolves a wire MIP string against locally cached segments.
-    pub(crate) fn resolve_mip_to_va(
-        &self,
-        mip_str: &str,
-    ) -> Result<ResolvedPtr, CoreError> {
+    pub(crate) fn resolve_mip_to_va(&self, mip_str: &str) -> Result<ResolvedPtr, CoreError> {
         if mip_str.is_empty() {
             return Ok(ResolvedPtr::Null);
         }
@@ -1500,10 +1591,9 @@ impl Session {
         let (prefix, offset) = split_mip_offset(mip_str);
         if let Some(c) = cache {
             if c.prefix == prefix {
+                c.hits += 1;
                 if let Some(run) = &c.run {
-                    if offset >= run.prim_off
-                        && offset < run.prim_off + u64::from(run.count)
-                    {
+                    if offset >= run.prim_off && offset < run.prim_off + u64::from(run.count) {
                         let k = (offset - run.prim_off) as u32;
                         return Ok(ResolvedPtr::Local(
                             c.block_va + u64::from(run.local_off + k * run.stride),
@@ -1512,12 +1602,16 @@ impl Session {
                 }
                 return Ok(match c.flat.prim_at(offset) {
                     Some(p) => ResolvedPtr::Local(c.block_va + u64::from(p.local_off)),
-                    None => {
-                        ResolvedPtr::Unresolved(mip_str.parse().map_err(CoreError::Wire)?)
-                    }
+                    None => ResolvedPtr::Unresolved(mip_str.parse().map_err(CoreError::Wire)?),
                 });
             }
         }
+        if let Some(c) = cache {
+            if c.hits > 0 {
+                self.metrics.unswizzle_cache_hits.add(c.hits);
+            }
+        }
+        self.metrics.unswizzle_cache_misses.inc();
         let mip: Mip = mip_str.parse().map_err(CoreError::Wire)?;
         let Some(seg_id) = self.heap.segment_id(&mip.segment) else {
             return Ok(ResolvedPtr::Unresolved(mip));
@@ -1535,6 +1629,7 @@ impl Session {
             block_va: meta.va,
             flat: meta.flat.clone(),
             run: meta.flat.single_run(),
+            hits: 0,
         });
         match meta.flat.prim_at(mip.offset) {
             Some(p) => Ok(ResolvedPtr::Local(meta.va + u64::from(p.local_off))),
@@ -1562,6 +1657,9 @@ struct SwizzleCache {
     prefix: String,
     /// Arithmetic lookup when the target block is one homogeneous run.
     run: Option<iw_types::flat::RunRef>,
+    /// Hits batched here and flushed to the metrics counter per
+    /// translation call, keeping atomics off the per-pointer path.
+    hits: u64,
 }
 
 /// One-entry unswizzle cache: repeated MIP prefixes resolve to the same
@@ -1571,6 +1669,9 @@ struct UnswizzleCache {
     block_va: u64,
     flat: std::sync::Arc<iw_types::flat::FlatLayout>,
     run: Option<iw_types::flat::RunRef>,
+    /// Hits batched here and flushed to the metrics counter per applied
+    /// diff, keeping atomics off the per-pointer path.
+    hits: u64,
 }
 
 /// Splits a MIP string into its `segment#block` prefix and numeric offset
@@ -1578,10 +1679,7 @@ struct UnswizzleCache {
 fn split_mip_offset(s: &str) -> (&str, u64) {
     if let Some(pos) = s.rfind('#') {
         let tail = &s[pos + 1..];
-        if !tail.is_empty()
-            && tail.bytes().all(|b| b.is_ascii_digit())
-            && s[..pos].contains('#')
-        {
+        if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) && s[..pos].contains('#') {
             if let Ok(off) = tail.parse::<u64>() {
                 return (&s[..pos], off);
             }
@@ -1630,7 +1728,11 @@ fn push_run(accs: &mut Vec<RunAcc>, run: DiffRun) {
             return;
         }
     }
-    accs.push(RunAcc { start: run.start, count: run.count, chunks: vec![run.data] });
+    accs.push(RunAcc {
+        start: run.start,
+        count: run.count,
+        chunks: vec![run.data],
+    });
 }
 
 /// Finalizes accumulated runs into wire [`DiffRun`]s.
@@ -1650,7 +1752,11 @@ fn finish_runs(accs: Vec<RunAcc>) -> Vec<DiffRun> {
             for c in &a.chunks {
                 data.extend_from_slice(c);
             }
-            DiffRun { start: a.start, count: a.count, data: Bytes::from(data) }
+            DiffRun {
+                start: a.start,
+                count: a.count,
+                data: Bytes::from(data),
+            }
         })
         .collect()
 }
@@ -1779,11 +1885,19 @@ pub(crate) fn read_va(window: &[u8], arch: &MachineArch) -> u64 {
     match window.len() {
         4 => {
             let b: [u8; 4] = window.try_into().expect("4-byte window");
-            if little { u32::from_le_bytes(b) as u64 } else { u32::from_be_bytes(b) as u64 }
+            if little {
+                u32::from_le_bytes(b) as u64
+            } else {
+                u32::from_be_bytes(b) as u64
+            }
         }
         8 => {
             let b: [u8; 8] = window.try_into().expect("8-byte window");
-            if little { u64::from_le_bytes(b) } else { u64::from_be_bytes(b) }
+            if little {
+                u64::from_le_bytes(b)
+            } else {
+                u64::from_be_bytes(b)
+            }
         }
         n => unreachable!("pointer windows are 4 or 8 bytes, not {n}"),
     }
@@ -1795,11 +1909,18 @@ pub(crate) fn write_va(window: &mut [u8], arch: &MachineArch, va: u64) {
     match window.len() {
         4 => {
             let v = va as u32;
-            window.copy_from_slice(&if little { v.to_le_bytes() } else { v.to_be_bytes() });
+            window.copy_from_slice(&if little {
+                v.to_le_bytes()
+            } else {
+                v.to_be_bytes()
+            });
         }
         8 => {
-            window
-                .copy_from_slice(&if little { va.to_le_bytes() } else { va.to_be_bytes() });
+            window.copy_from_slice(&if little {
+                va.to_le_bytes()
+            } else {
+                va.to_be_bytes()
+            });
         }
         n => unreachable!("pointer windows are 4 or 8 bytes, not {n}"),
     }

@@ -184,11 +184,7 @@ impl Session {
                     }
                     return Err(CoreError::Server(message));
                 }
-                other => {
-                    return Err(CoreError::Server(format!(
-                        "unexpected reply: {other:?}"
-                    )))
-                }
+                other => return Err(CoreError::Server(format!("unexpected reply: {other:?}"))),
             }
         }
         let versions: Vec<u64> = entries

@@ -30,7 +30,11 @@ struct sink {\n\
 };\n";
 
 fn sink(s: &mut Session) -> (SegHandle, Ptr) {
-    let ty = idl::compile(KITCHEN_SINK).unwrap().get("sink").unwrap().clone();
+    let ty = idl::compile(KITCHEN_SINK)
+        .unwrap()
+        .get("sink")
+        .unwrap()
+        .clone();
     let h = s.open_segment("acc/seg").unwrap();
     s.wl_acquire(&h).unwrap();
     let p = s.malloc(&h, &ty, 1, Some("sink")).unwrap();
@@ -44,17 +48,25 @@ fn every_accessor_roundtrips_its_own_kind() {
     s.write_char(&s.field(&p, "c").unwrap(), 0xAB).unwrap();
     s.write_i16(&s.field(&p, "s16").unwrap(), -3000).unwrap();
     s.write_i32(&s.field(&p, "i32").unwrap(), 123456).unwrap();
-    s.write_i64(&s.field(&p, "i64").unwrap(), -9e15 as i64).unwrap();
+    s.write_i64(&s.field(&p, "i64").unwrap(), -9e15 as i64)
+        .unwrap();
     s.write_f32(&s.field(&p, "f32").unwrap(), 0.5).unwrap();
     s.write_f64(&s.field(&p, "f64").unwrap(), -0.25).unwrap();
-    s.write_str(&s.field(&p, "txt").unwrap(), "hi there!").unwrap();
+    s.write_str(&s.field(&p, "txt").unwrap(), "hi there!")
+        .unwrap();
     assert_eq!(s.read_char(&s.field(&p, "c").unwrap()).unwrap(), 0xAB);
     assert_eq!(s.read_i16(&s.field(&p, "s16").unwrap()).unwrap(), -3000);
     assert_eq!(s.read_i32(&s.field(&p, "i32").unwrap()).unwrap(), 123456);
-    assert_eq!(s.read_i64(&s.field(&p, "i64").unwrap()).unwrap(), -9e15 as i64);
+    assert_eq!(
+        s.read_i64(&s.field(&p, "i64").unwrap()).unwrap(),
+        -9e15 as i64
+    );
     assert_eq!(s.read_f32(&s.field(&p, "f32").unwrap()).unwrap(), 0.5);
     assert_eq!(s.read_f64(&s.field(&p, "f64").unwrap()).unwrap(), -0.25);
-    assert_eq!(s.read_str(&s.field(&p, "txt").unwrap()).unwrap(), "hi there!");
+    assert_eq!(
+        s.read_str(&s.field(&p, "txt").unwrap()).unwrap(),
+        "hi there!"
+    );
     s.wl_release(&h).unwrap();
 }
 
@@ -64,15 +76,39 @@ fn kind_mismatch_matrix_rejects_cleanly() {
     let (_h, p) = sink(&mut s);
     let i32f = s.field(&p, "i32").unwrap();
     // Reading an int as anything else fails.
-    assert!(matches!(s.read_char(&i32f), Err(CoreError::TypeMismatch { .. })));
-    assert!(matches!(s.read_i16(&i32f), Err(CoreError::TypeMismatch { .. })));
-    assert!(matches!(s.read_i64(&i32f), Err(CoreError::TypeMismatch { .. })));
-    assert!(matches!(s.read_f32(&i32f), Err(CoreError::TypeMismatch { .. })));
-    assert!(matches!(s.read_f64(&i32f), Err(CoreError::TypeMismatch { .. })));
-    assert!(matches!(s.read_str(&i32f), Err(CoreError::TypeMismatch { .. })));
-    assert!(matches!(s.read_ptr(&i32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(
+        s.read_char(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.read_i16(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.read_i64(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.read_f32(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.read_f64(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.read_str(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        s.read_ptr(&i32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
     // Same on the write side.
-    assert!(matches!(s.write_f64(&i32f, 1.0), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(
+        s.write_f64(&i32f, 1.0),
+        Err(CoreError::TypeMismatch { .. })
+    ));
     assert!(matches!(
         s.write_str(&i32f, "x"),
         Err(CoreError::TypeMismatch { .. })
@@ -83,19 +119,28 @@ fn kind_mismatch_matrix_rejects_cleanly() {
     ));
     // And float32 vs float64 are distinct.
     let f32f = s.field(&p, "f32").unwrap();
-    assert!(matches!(s.read_f64(&f32f), Err(CoreError::TypeMismatch { .. })));
+    assert!(matches!(
+        s.read_f64(&f32f),
+        Err(CoreError::TypeMismatch { .. })
+    ));
 }
 
 #[test]
 fn kind_at_reports_true_kinds() {
     let mut s = session();
     let (_h, p) = sink(&mut s);
-    assert_eq!(s.kind_at(&s.field(&p, "c").unwrap()).unwrap(), PrimKind::Char);
+    assert_eq!(
+        s.kind_at(&s.field(&p, "c").unwrap()).unwrap(),
+        PrimKind::Char
+    );
     assert_eq!(
         s.kind_at(&s.field(&p, "txt").unwrap()).unwrap(),
         PrimKind::Str { cap: 12 }
     );
-    assert_eq!(s.kind_at(&s.field(&p, "link").unwrap()).unwrap(), PrimKind::Ptr);
+    assert_eq!(
+        s.kind_at(&s.field(&p, "link").unwrap()).unwrap(),
+        PrimKind::Ptr
+    );
     // At the struct start, the first primitive's kind is reported.
     assert_eq!(s.kind_at(&p).unwrap(), PrimKind::Char);
 }
@@ -105,10 +150,7 @@ fn navigation_errors() {
     let mut s = session();
     let (_h, p) = sink(&mut s);
     // No such field.
-    assert!(matches!(
-        s.field(&p, "nope"),
-        Err(CoreError::BadPath(_))
-    ));
+    assert!(matches!(s.field(&p, "nope"), Err(CoreError::BadPath(_))));
     // field() on a non-struct.
     let i = s.field(&p, "i32").unwrap();
     assert!(matches!(s.field(&i, "x"), Err(CoreError::BadPath(_))));
@@ -133,11 +175,13 @@ fn block_element_indexing_and_nested_navigation() {
     let grid = s.malloc(&h, &ty, 8, Some("grid")).unwrap();
     for i in 0..8 {
         let e = s.index(&grid, i).unwrap();
-        s.write_i32(&s.field(&e, "v").unwrap(), i as i32 * 11).unwrap();
+        s.write_i32(&s.field(&e, "v").unwrap(), i as i32 * 11)
+            .unwrap();
         // Chain each element to the next.
         if i > 0 {
             let prev = s.index(&grid, i - 1).unwrap();
-            s.write_ptr(&s.field(&prev, "next").unwrap(), Some(&e)).unwrap();
+            s.write_ptr(&s.field(&prev, "next").unwrap(), Some(&e))
+                .unwrap();
         }
     }
     // Walk the chain.

@@ -27,13 +27,12 @@ fn scalar_sharing_across_all_architecture_pairs() {
             let mut w = session_on(&srv, writer_arch.clone());
             let mut r = session_on(&srv, reader_arch.clone());
 
-            let ty = idl::compile(
-                "struct rec { char c; short s; int i; hyper h; float f; double d; };",
-            )
-            .unwrap()
-            .get("rec")
-            .unwrap()
-            .clone();
+            let ty =
+                idl::compile("struct rec { char c; short s; int i; hyper h; float f; double d; };")
+                    .unwrap()
+                    .get("rec")
+                    .unwrap()
+                    .clone();
 
             let h = w.open_segment("x/scalars").unwrap();
             w.wl_acquire(&h).unwrap();
@@ -41,7 +40,8 @@ fn scalar_sharing_across_all_architecture_pairs() {
             w.write_char(&w.field(&p, "c").unwrap(), 0x7A).unwrap();
             w.write_i16(&w.field(&p, "s").unwrap(), -1234).unwrap();
             w.write_i32(&w.field(&p, "i").unwrap(), -56789).unwrap();
-            w.write_i64(&w.field(&p, "h").unwrap(), -987654321012345).unwrap();
+            w.write_i64(&w.field(&p, "h").unwrap(), -987654321012345)
+                .unwrap();
             w.write_f32(&w.field(&p, "f").unwrap(), 1.5e-3).unwrap();
             w.write_f64(&w.field(&p, "d").unwrap(), -2.25e8).unwrap();
             w.wl_release(&h).unwrap();
@@ -95,10 +95,14 @@ fn linked_list_shared_between_le_and_be_machines() {
     sparc.rl_acquire(&h2).unwrap();
     let head2 = sparc.mip_to_ptr("host/list#head").unwrap();
     let mut keys = Vec::new();
-    let mut p = sparc.read_ptr(&sparc.field(&head2, "next").unwrap()).unwrap();
+    let mut p = sparc
+        .read_ptr(&sparc.field(&head2, "next").unwrap())
+        .unwrap();
     while let Some(node) = p {
         keys.push(sparc.read_i32(&sparc.field(&node, "key").unwrap()).unwrap());
-        p = sparc.read_ptr(&sparc.field(&node, "next").unwrap()).unwrap();
+        p = sparc
+            .read_ptr(&sparc.field(&node, "next").unwrap())
+            .unwrap();
     }
     assert_eq!(keys, vec![3, 2, 1]);
     sparc.rl_release(&h2).unwrap();
@@ -106,8 +110,12 @@ fn linked_list_shared_between_le_and_be_machines() {
     // SPARC inserts 4 at the front; x86 sees it.
     sparc.wl_acquire(&h2).unwrap();
     let n = sparc.malloc(&h2, &node_t, 1, None).unwrap();
-    sparc.write_i32(&sparc.field(&n, "key").unwrap(), 4).unwrap();
-    let old = sparc.read_ptr(&sparc.field(&head2, "next").unwrap()).unwrap();
+    sparc
+        .write_i32(&sparc.field(&n, "key").unwrap(), 4)
+        .unwrap();
+    let old = sparc
+        .read_ptr(&sparc.field(&head2, "next").unwrap())
+        .unwrap();
     sparc
         .write_ptr(&sparc.field(&n, "next").unwrap(), old.as_ref())
         .unwrap();
@@ -171,7 +179,9 @@ fn incremental_diffs_transfer_less_than_full_segment() {
 
     let h = w.open_segment("d/inc").unwrap();
     w.wl_acquire(&h).unwrap();
-    let arr = w.malloc(&h, &TypeDesc::int32(), 10_000, Some("arr")).unwrap();
+    let arr = w
+        .malloc(&h, &TypeDesc::int32(), 10_000, Some("arr"))
+        .unwrap();
     for i in 0..10_000 {
         let e = w.index(&arr, i).unwrap();
         w.write_i32(&e, i as i32).unwrap();
@@ -237,7 +247,11 @@ fn delta_coherence_skips_updates() {
         w.wl_release(&h).unwrap();
     }
     r.rl_acquire(&h2).unwrap();
-    assert_eq!(r.read_i32(&q).unwrap(), 3, "delta(2) must refresh at 3 stale");
+    assert_eq!(
+        r.read_i32(&q).unwrap(),
+        3,
+        "delta(2) must refresh at 3 stale"
+    );
     r.rl_release(&h2).unwrap();
 }
 
@@ -318,7 +332,11 @@ fn writer_exclusion_reports_busy_to_second_writer() {
     let mut b = Session::with_options(
         MachineArch::x86(),
         Box::new(Loopback::new(srv.clone())),
-        SessionOptions { lock_retries: 2, lock_backoff_us: 1, ..Default::default() },
+        SessionOptions {
+            lock_retries: 2,
+            lock_backoff_us: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -356,7 +374,10 @@ fn free_propagates_to_other_clients() {
     a.wl_release(&ha).unwrap();
 
     b.rl_acquire(&hb).unwrap();
-    assert!(b.mip_to_ptr("f/p#goner").is_err(), "freed block must vanish");
+    assert!(
+        b.mip_to_ptr("f/p#goner").is_err(),
+        "freed block must vanish"
+    );
     assert!(b.mip_to_ptr("f/p#keep").is_ok());
     b.rl_release(&hb).unwrap();
     let _ = keep;
@@ -377,7 +398,9 @@ fn cross_segment_pointers_resolve_lazily() {
 
     let hd = a.open_segment("x/dir").unwrap();
     a.wl_acquire(&hd).unwrap();
-    let slot = a.malloc(&hd, &TypeDesc::pointer(), 1, Some("slot")).unwrap();
+    let slot = a
+        .malloc(&hd, &TypeDesc::pointer(), 1, Some("slot"))
+        .unwrap();
     a.write_ptr(&slot, Some(&value)).unwrap();
     a.wl_release(&hd).unwrap();
 
@@ -419,7 +442,10 @@ fn no_diff_mode_engages_under_heavy_writes() {
     let h2 = r.open_segment("nd/seg").unwrap();
     r.rl_acquire(&h2).unwrap();
     let q = r.mip_to_ptr("nd/seg#arr").unwrap();
-    assert_eq!(r.read_i32(&r.index(&q, 1023).unwrap()).unwrap(), 3 * 10_000 + 1023);
+    assert_eq!(
+        r.read_i32(&r.index(&q, 1023).unwrap()).unwrap(),
+        3 * 10_000 + 1023
+    );
     r.rl_release(&h2).unwrap();
 }
 

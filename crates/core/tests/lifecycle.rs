@@ -54,7 +54,9 @@ fn close_demotes_cross_segment_pointers() {
 
     let hr = s.open_segment("lc/dir").unwrap();
     s.wl_acquire(&hr).unwrap();
-    let slot = s.malloc(&hr, &TypeDesc::pointer(), 1, Some("slot")).unwrap();
+    let slot = s
+        .malloc(&hr, &TypeDesc::pointer(), 1, Some("slot"))
+        .unwrap();
     s.write_ptr(&slot, Some(&target)).unwrap();
     s.wl_release(&hr).unwrap();
 

@@ -22,8 +22,7 @@ fn dual_session_on(
     other_srv: &Arc<Mutex<dyn Handler>>,
     arch: MachineArch,
 ) -> Session {
-    let mut s =
-        Session::new(arch, Box::new(Loopback::new(main_srv.clone()))).unwrap();
+    let mut s = Session::new(arch, Box::new(Loopback::new(main_srv.clone()))).unwrap();
     s.add_server("other.net", Box::new(Loopback::new(other_srv.clone())))
         .unwrap();
     s
@@ -55,8 +54,7 @@ fn segments_route_to_their_hosts_server() {
     let o = other_srv.clone();
     {
         // Peek through fresh clients bound to a single server each.
-        let mut cm =
-            Session::new(MachineArch::alpha(), Box::new(Loopback::new(m))).unwrap();
+        let mut cm = Session::new(MachineArch::alpha(), Box::new(Loopback::new(m))).unwrap();
         let hm2 = cm.open_segment("main.org/data").unwrap();
         cm.rl_acquire(&hm2).unwrap();
         let p = cm.mip_to_ptr("main.org/data#x").unwrap();
@@ -70,8 +68,7 @@ fn segments_route_to_their_hosts_server() {
         cm.rl_release(&h_missing).unwrap();
     }
     {
-        let mut co =
-            Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(o))).unwrap();
+        let mut co = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(o))).unwrap();
         let ho2 = co.open_segment("other.net/data").unwrap();
         co.rl_acquire(&ho2).unwrap();
         let p = co.mip_to_ptr("other.net/data#x").unwrap();
@@ -92,7 +89,9 @@ fn cross_server_pointers_resolve() {
 
     let hm = s.open_segment("main.org/dir").unwrap();
     s.wl_acquire(&hm).unwrap();
-    let slot = s.malloc(&hm, &TypeDesc::pointer(), 1, Some("slot")).unwrap();
+    let slot = s
+        .malloc(&hm, &TypeDesc::pointer(), 1, Some("slot"))
+        .unwrap();
     s.write_ptr(&slot, Some(&target)).unwrap();
     s.wl_release(&hm).unwrap();
 

@@ -14,7 +14,10 @@ fn tiny_page_session(srv: &Arc<Mutex<dyn Handler>>) -> Session {
     Session::with_options(
         MachineArch::x86(),
         Box::new(Loopback::new(srv.clone())),
-        SessionOptions { page_size: Some(256), ..Default::default() },
+        SessionOptions {
+            page_size: Some(256),
+            ..Default::default()
+        },
     )
     .unwrap()
 }
@@ -65,8 +68,7 @@ fn straddling_primitive_emitted_once() {
     w.wl_release(&h).unwrap();
 
     // And a standard-page reader decodes it all correctly.
-    let mut r = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv)))
-        .unwrap();
+    let mut r = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv))).unwrap();
     let hr = r.open_segment("pb/seg").unwrap();
     r.rl_acquire(&hr).unwrap();
     let q = r.mip_to_ptr("pb/seg#s").unwrap();
@@ -119,7 +121,8 @@ fn adjacent_page_runs_merge_into_one_wire_run() {
     w.wl_acquire(&h).unwrap();
     // Contiguous write spanning all four pages.
     for i in 0..256 {
-        w.write_i32(&w.index(&p, i).unwrap(), i as i32 + 1000).unwrap();
+        w.write_i32(&w.index(&p, i).unwrap(), i as i32 + 1000)
+            .unwrap();
     }
     let (diff, _, _) = w.collect_segment_diff(&h).unwrap();
     let runs: Vec<(u64, u64)> = diff

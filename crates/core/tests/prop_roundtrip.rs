@@ -60,8 +60,9 @@ fn write_prim(s: &mut Session, p: &Ptr, i: u64, round: u64) {
         PrimKind::Float64 => s.write_f64(p, seed as f64 * 0.25).unwrap(),
         PrimKind::Str { cap } => {
             let len = (seed.unsigned_abs() % u64::from(cap.min(9))) as usize;
-            let txt: String =
-                (0..len).map(|k| char::from(b'a' + ((seed as usize + k) % 26) as u8)).collect();
+            let txt: String = (0..len)
+                .map(|k| char::from(b'a' + ((seed as usize + k) % 26) as u8))
+                .collect();
             s.write_str(p, &txt).unwrap();
         }
         PrimKind::Ptr => unreachable!("no pointers in this property"),
@@ -82,8 +83,9 @@ fn check_prim(s: &mut Session, p: &Ptr, i: u64, round: u64) {
         PrimKind::Float64 => assert_eq!(s.read_f64(p).unwrap(), seed as f64 * 0.25),
         PrimKind::Str { cap } => {
             let len = (seed.unsigned_abs() % u64::from(cap.min(9))) as usize;
-            let txt: String =
-                (0..len).map(|k| char::from(b'a' + ((seed as usize + k) % 26) as u8)).collect();
+            let txt: String = (0..len)
+                .map(|k| char::from(b'a' + ((seed as usize + k) % 26) as u8))
+                .collect();
             assert_eq!(s.read_str(p).unwrap(), txt);
         }
         PrimKind::Ptr => unreachable!(),

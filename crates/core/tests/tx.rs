@@ -106,7 +106,8 @@ fn abort_discards_tx_allocated_blocks_and_pointer_links() {
     s.wl_acquire(&h).unwrap();
     let n = s.malloc(&h, &node_t, 1, None).unwrap();
     s.write_i32(&s.field(&n, "key").unwrap(), 9).unwrap();
-    s.write_ptr(&s.field(&head, "next").unwrap(), Some(&n)).unwrap();
+    s.write_ptr(&s.field(&head, "next").unwrap(), Some(&n))
+        .unwrap();
     s.tx_abort().unwrap();
 
     s.rl_acquire(&h).unwrap();

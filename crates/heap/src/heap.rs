@@ -17,8 +17,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use iw_types::arch::MachineArch;
-use iw_types::flat::FlatLayout;
 use iw_types::desc::TypeDesc;
+use iw_types::flat::FlatLayout;
 
 use crate::block::{block_type, BlockMeta};
 use crate::error::HeapError;
@@ -72,7 +72,10 @@ impl Heap {
     ///
     /// Panics if `page_size` is zero or not a multiple of 8.
     pub fn with_page_size(arch: MachineArch, page_size: u32) -> Self {
-        assert!(page_size > 0 && page_size.is_multiple_of(8), "bad page size");
+        assert!(
+            page_size > 0 && page_size.is_multiple_of(8),
+            "bad page size"
+        );
         Heap {
             arch,
             page_size,
@@ -190,7 +193,9 @@ impl Heap {
             .range(..=va)
             .next_back()
             .ok_or(HeapError::BadAddress { va })?;
-        let ss = self.subsegs[idx].as_ref().ok_or(HeapError::BadAddress { va })?;
+        let ss = self.subsegs[idx]
+            .as_ref()
+            .ok_or(HeapError::BadAddress { va })?;
         if !ss.contains(va) {
             return Err(HeapError::BadAddress { va });
         }
@@ -213,14 +218,13 @@ impl Heap {
         let base = self.next_va;
         self.next_va += pages as u64 * ps;
         let idx = self.subsegs.len();
-        self.subsegs.push(Some(Subsegment::new(base, pages, self.page_size)));
+        self.subsegs
+            .push(Some(Subsegment::new(base, pages, self.page_size)));
         self.subseg_seg.push(seg);
         self.subseg_addr_tree.insert(base, idx);
         self.segment_mut(seg).subsegs.push(idx);
         // The whole subsegment starts as free space.
-        self.segment_mut(seg)
-            .free
-            .insert(base, pages as u64 * ps);
+        self.segment_mut(seg).free.insert(base, pages as u64 * ps);
         idx
     }
 
@@ -351,8 +355,9 @@ impl Heap {
             let ss = self.subseg(idx);
             (ss.base(), ss.end())
         };
-        let alloc_size =
-            u64::from(meta.size()).max(1).next_multiple_of(u64::from(BLOCK_ALIGN));
+        let alloc_size = u64::from(meta.size())
+            .max(1)
+            .next_multiple_of(u64::from(BLOCK_ALIGN));
         let mut start = meta.va;
         let mut len = alloc_size;
         let segh = self.segment_mut(seg);
@@ -455,11 +460,7 @@ impl Heap {
     /// # Errors
     ///
     /// [`HeapError::BadAddress`] / [`HeapError::OutOfBounds`].
-    pub fn bytes_mut_unprotected(
-        &mut self,
-        va: u64,
-        len: usize,
-    ) -> Result<&mut [u8], HeapError> {
+    pub fn bytes_mut_unprotected(&mut self, va: u64, len: usize) -> Result<&mut [u8], HeapError> {
         let idx = self.subseg_at(va)?;
         self.subseg_mut(idx).bytes_mut_unprotected(va, len)
     }
@@ -524,7 +525,8 @@ impl Heap {
         serial: u32,
         version: u64,
     ) -> Result<(), HeapError> {
-        self.segment_mut(seg).mutate_block(serial, |b| b.version = version)
+        self.segment_mut(seg)
+            .mutate_block(serial, |b| b.version = version)
     }
 }
 
@@ -576,7 +578,8 @@ mod tests {
             h.alloc_block(s, 1, Some("123"), &TypeDesc::int32(), 1),
             Err(HeapError::InvalidBlockName(_))
         ));
-        h.alloc_block(s, 1, Some("ok"), &TypeDesc::int32(), 1).unwrap();
+        h.alloc_block(s, 1, Some("ok"), &TypeDesc::int32(), 1)
+            .unwrap();
         assert!(matches!(
             h.alloc_block(s, 2, Some("ok"), &TypeDesc::int32(), 1),
             Err(HeapError::DuplicateBlockName(_))
@@ -599,9 +602,7 @@ mod tests {
         let mut h = heap();
         let s = h.create_segment("h/s").unwrap();
         // 256-byte pages, MIN_SUBSEG_PAGES=16 → default subseg 4096 bytes.
-        let va = h
-            .alloc_block(s, 1, None, &TypeDesc::int32(), 5000)
-            .unwrap();
+        let va = h.alloc_block(s, 1, None, &TypeDesc::int32(), 5000).unwrap();
         // 20000 bytes > 4096: sized to fit.
         assert_eq!(h.segment(s).subseg_indices().len(), 1);
         let ss = h.subseg(h.subseg_at(va).unwrap());
@@ -629,7 +630,9 @@ mod tests {
     fn free_and_reuse() {
         let mut h = heap();
         let s = h.create_segment("h/s").unwrap();
-        let a = h.alloc_block(s, 1, Some("x"), &TypeDesc::int32(), 8).unwrap();
+        let a = h
+            .alloc_block(s, 1, Some("x"), &TypeDesc::int32(), 8)
+            .unwrap();
         h.write_bytes(a, &[0xFF; 32]).unwrap();
         h.free_block(s, 1).unwrap();
         assert!(h.block_at(a).is_err());
@@ -652,7 +655,10 @@ mod tests {
         h.free_block(s, 3).unwrap();
         h.free_block(s, 2).unwrap(); // merges all three
         let after = h.segment(s).free.len();
-        assert!(after <= before + 1, "ranges must coalesce: {after} vs {before}");
+        assert!(
+            after <= before + 1,
+            "ranges must coalesce: {after} vs {before}"
+        );
         // A block spanning all three slots now fits without growth.
         let subsegs_before = h.segment(s).subseg_indices().len();
         h.alloc_block(s, 4, None, &TypeDesc::int32(), 24).unwrap();

@@ -131,11 +131,7 @@ impl Subsegment {
     /// # Errors
     ///
     /// [`HeapError::OutOfBounds`] when the range leaves the subsegment.
-    pub fn bytes_mut_unprotected(
-        &mut self,
-        va: u64,
-        len: usize,
-    ) -> Result<&mut [u8], HeapError> {
+    pub fn bytes_mut_unprotected(&mut self, va: u64, len: usize) -> Result<&mut [u8], HeapError> {
         let off = self.offset_of(va, len)?;
         Ok(&mut self.data[off..off + len])
     }
@@ -282,10 +278,7 @@ mod tests {
     #[test]
     fn bounds_checked() {
         let mut s = subseg();
-        assert!(matches!(
-            s.bytes(0x0, 1),
-            Err(HeapError::BadAddress { .. })
-        ));
+        assert!(matches!(s.bytes(0x0, 1), Err(HeapError::BadAddress { .. })));
         assert!(matches!(
             s.bytes(0x13FF, 2),
             Err(HeapError::OutOfBounds { .. })

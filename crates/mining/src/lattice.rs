@@ -100,9 +100,7 @@ impl Lattice {
             .counts
             .iter()
             .filter(|(s, &c)| {
-                c >= self.min_support
-                    && s.len() == prefix.len() + 1
-                    && s.starts_with(prefix)
+                c >= self.min_support && s.len() == prefix.len() + 1 && s.starts_with(prefix)
             })
             .map(|(s, &c)| (s.clone(), c))
             .collect();

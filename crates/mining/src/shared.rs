@@ -132,16 +132,10 @@ impl LatticePublisher {
                         *seq.last().expect("non-empty") as i32,
                     )?;
                     session.write_i32(&session.field(&node, "support")?, *support as i32)?;
-                    session.write_i32(
-                        &session.field(&node, "seq_len")?,
-                        seq.len() as i32,
-                    )?;
+                    session.write_i32(&session.field(&node, "seq_len")?, seq.len() as i32)?;
                     let seq_arr = session.field(&node, "seq")?;
                     for (k, item) in seq.iter().take(MAX_SEQ).enumerate() {
-                        session.write_i32(
-                            &session.index(&seq_arr, k as u32)?,
-                            *item as i32,
-                        )?;
+                        session.write_i32(&session.index(&seq_arr, k as u32)?, *item as i32)?;
                     }
                     // Link at the head of the parent's child list.
                     let parent = if seq.len() == 1 {
@@ -151,10 +145,8 @@ impl LatticePublisher {
                     };
                     let parent_first = session.field(&parent, "first_child")?;
                     let old_first = session.read_ptr(&parent_first)?;
-                    session.write_ptr(
-                        &session.field(&node, "next_sibling")?,
-                        old_first.as_ref(),
-                    )?;
+                    session
+                        .write_ptr(&session.field(&node, "next_sibling")?, old_first.as_ref())?;
                     session.write_ptr(&parent_first, Some(&node))?;
                     self.nodes.insert(seq.clone(), node);
                     self.published_support.insert(seq.clone(), *support);
@@ -177,10 +169,7 @@ impl LatticePublisher {
 /// # Errors
 ///
 /// Lock and access errors from the session.
-pub fn read_lattice(
-    session: &mut Session,
-    segment: &str,
-) -> Result<Vec<(Seq, u32)>, CoreError> {
+pub fn read_lattice(session: &mut Session, segment: &str) -> Result<Vec<(Seq, u32)>, CoreError> {
     let handle = session.open_segment(segment)?;
     session.rl_acquire(&handle)?;
     let root = session.mip_to_ptr(&format!("{segment}#root"))?;
@@ -219,21 +208,16 @@ mod tests {
     use std::sync::Arc;
 
     fn customer(id: u32, items: &[Item]) -> CustomerSeq {
-        CustomerSeq { id, transactions: vec![items.to_vec()] }
+        CustomerSeq {
+            id,
+            transactions: vec![items.to_vec()],
+        }
     }
 
     fn setup() -> (Session, Session) {
         let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-        let pubr = Session::new(
-            MachineArch::x86(),
-            Box::new(Loopback::new(srv.clone())),
-        )
-        .unwrap();
-        let sub = Session::new(
-            MachineArch::sparc_v9(),
-            Box::new(Loopback::new(srv)),
-        )
-        .unwrap();
+        let pubr = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
+        let sub = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv))).unwrap();
         (pubr, sub)
     }
 

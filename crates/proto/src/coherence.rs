@@ -13,8 +13,7 @@ use std::fmt;
 use iw_wire::codec::{WireError, WireReader, WireWriter};
 
 /// The coherence requirement a client attaches to a read-lock acquisition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Coherence {
     /// Always fetch the most recent version (the strictest model; what
     /// plain RPC-by-value would give you).
@@ -75,11 +74,15 @@ impl Coherence {
             1 => Coherence::Delta(r.get_u32()?),
             2 => Coherence::Temporal(r.get_u64()?),
             3 => Coherence::Diff(r.get_u32()?),
-            tag => return Err(WireError::BadTag { what: "coherence model", tag }),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "coherence model",
+                    tag,
+                })
+            }
         })
     }
 }
-
 
 impl fmt::Display for Coherence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -119,7 +122,10 @@ mod tests {
         let mut r = WireReader::new(w.finish());
         assert!(matches!(
             Coherence::decode(&mut r),
-            Err(WireError::BadTag { what: "coherence model", .. })
+            Err(WireError::BadTag {
+                what: "coherence model",
+                ..
+            })
         ));
     }
 

@@ -13,6 +13,7 @@
 
 use bytes::Bytes;
 
+use iw_telemetry::{HistogramSnapshot, Snapshot};
 use iw_wire::codec::{WireError, WireReader, WireWriter};
 use iw_wire::diff::SegmentDiff;
 
@@ -88,6 +89,37 @@ pub enum Request {
         /// Coherence requirement.
         coherence: Coherence,
     },
+    /// Fetches the server's metrics snapshot (used by `iwstat`).
+    Stats {
+        /// Requesting client.
+        client: u64,
+    },
+}
+
+impl Request {
+    /// Short lowercase names of every request kind, indexed by
+    /// [`Request::kind_index`] (used for per-kind transport counters).
+    pub const KINDS: [&'static str; 7] = [
+        "hello", "open", "acquire", "release", "poll", "commit", "stats",
+    ];
+
+    /// Index of this request's kind in [`Request::KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Request::Hello { .. } => 0,
+            Request::Open { .. } => 1,
+            Request::Acquire { .. } => 2,
+            Request::Release { .. } => 3,
+            Request::Poll { .. } => 4,
+            Request::Commit { .. } => 5,
+            Request::Stats { .. } => 6,
+        }
+    }
+
+    /// Short lowercase name of this request's kind.
+    pub fn kind(&self) -> &'static str {
+        Request::KINDS[self.kind_index()]
+    }
 }
 
 /// A server→client reply.
@@ -135,6 +167,11 @@ pub enum Reply {
         /// The update diff.
         diff: SegmentDiff,
     },
+    /// Reply to [`Request::Stats`]: the server's metrics snapshot.
+    Stats {
+        /// Every counter, gauge and histogram the server exposes.
+        snapshot: Snapshot,
+    },
     /// The request failed.
     Error {
         /// Human-readable reason.
@@ -156,7 +193,13 @@ impl Request {
                 w.put_u64(*client);
                 w.put_str(segment);
             }
-            Request::Acquire { client, segment, mode, have_version, coherence } => {
+            Request::Acquire {
+                client,
+                segment,
+                mode,
+                have_version,
+                coherence,
+            } => {
                 w.put_u8(2);
                 w.put_u64(*client);
                 w.put_str(segment);
@@ -167,7 +210,11 @@ impl Request {
                 w.put_u64(*have_version);
                 coherence.encode(&mut w);
             }
-            Request::Release { client, segment, diff } => {
+            Request::Release {
+                client,
+                segment,
+                diff,
+            } => {
                 w.put_u8(3);
                 w.put_u64(*client);
                 w.put_str(segment);
@@ -194,12 +241,21 @@ impl Request {
                     }
                 }
             }
-            Request::Poll { client, segment, have_version, coherence } => {
+            Request::Poll {
+                client,
+                segment,
+                have_version,
+                coherence,
+            } => {
                 w.put_u8(4);
                 w.put_u64(*client);
                 w.put_str(segment);
                 w.put_u64(*have_version);
                 coherence.encode(&mut w);
+            }
+            Request::Stats { client } => {
+                w.put_u8(6);
+                w.put_u64(*client);
             }
         }
         w.finish()
@@ -214,18 +270,32 @@ impl Request {
         let mut r = WireReader::new(bytes);
         let req = match r.get_u8()? {
             0 => Request::Hello { info: r.get_str()? },
-            1 => Request::Open { client: r.get_u64()?, segment: r.get_str()? },
+            1 => Request::Open {
+                client: r.get_u64()?,
+                segment: r.get_str()?,
+            },
             2 => {
                 let client = r.get_u64()?;
                 let segment = r.get_str()?;
                 let mode = match r.get_u8()? {
                     0 => LockMode::Read,
                     1 => LockMode::Write,
-                    tag => return Err(WireError::BadTag { what: "lock mode", tag }),
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "lock mode",
+                            tag,
+                        })
+                    }
                 };
                 let have_version = r.get_u64()?;
                 let coherence = Coherence::decode(&mut r)?;
-                Request::Acquire { client, segment, mode, have_version, coherence }
+                Request::Acquire {
+                    client,
+                    segment,
+                    mode,
+                    have_version,
+                    coherence,
+                }
             }
             3 => {
                 let client = r.get_u64()?;
@@ -237,16 +307,30 @@ impl Request {
                         let mut dr = WireReader::new(body);
                         Some(SegmentDiff::decode(&mut dr)?)
                     }
-                    tag => return Err(WireError::BadTag { what: "release diff flag", tag }),
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "release diff flag",
+                            tag,
+                        })
+                    }
                 };
-                Request::Release { client, segment, diff }
+                Request::Release {
+                    client,
+                    segment,
+                    diff,
+                }
             }
             4 => {
                 let client = r.get_u64()?;
                 let segment = r.get_str()?;
                 let have_version = r.get_u64()?;
                 let coherence = Coherence::decode(&mut r)?;
-                Request::Poll { client, segment, have_version, coherence }
+                Request::Poll {
+                    client,
+                    segment,
+                    have_version,
+                    coherence,
+                }
             }
             5 => {
                 let client = r.get_u64()?;
@@ -275,7 +359,15 @@ impl Request {
                 }
                 Request::Commit { client, entries }
             }
-            tag => return Err(WireError::BadTag { what: "request", tag }),
+            6 => Request::Stats {
+                client: r.get_u64()?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "request",
+                    tag,
+                })
+            }
         };
         Ok(req)
     }
@@ -294,7 +386,12 @@ impl Reply {
                 w.put_u8(1);
                 w.put_u64(*version);
             }
-            Reply::Granted { version, update, next_serial, next_type_serial } => {
+            Reply::Granted {
+                version,
+                update,
+                next_serial,
+                next_type_serial,
+            } => {
                 w.put_u8(2);
                 w.put_u64(*version);
                 match update {
@@ -328,6 +425,10 @@ impl Reply {
                 w.put_u8(7);
                 w.put_str(message);
             }
+            Reply::Stats { snapshot } => {
+                w.put_u8(9);
+                encode_snapshot(&mut w, snapshot);
+            }
         }
         w.finish()
     }
@@ -340,8 +441,12 @@ impl Reply {
     pub fn decode(bytes: Bytes) -> Result<Self, WireError> {
         let mut r = WireReader::new(bytes);
         let reply = match r.get_u8()? {
-            0 => Reply::Welcome { client: r.get_u64()? },
-            1 => Reply::Opened { version: r.get_u64()? },
+            0 => Reply::Welcome {
+                client: r.get_u64()?,
+            },
+            1 => Reply::Opened {
+                version: r.get_u64()?,
+            },
             2 => {
                 let version = r.get_u64()?;
                 let update = match r.get_u8()? {
@@ -351,21 +456,37 @@ impl Reply {
                         let mut dr = WireReader::new(body);
                         Some(SegmentDiff::decode(&mut dr)?)
                     }
-                    tag => return Err(WireError::BadTag { what: "grant diff flag", tag }),
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "grant diff flag",
+                            tag,
+                        })
+                    }
                 };
                 let next_serial = r.get_u32()?;
                 let next_type_serial = r.get_u32()?;
-                Reply::Granted { version, update, next_serial, next_type_serial }
+                Reply::Granted {
+                    version,
+                    update,
+                    next_serial,
+                    next_type_serial,
+                }
             }
             3 => Reply::Busy,
-            4 => Reply::Released { version: r.get_u64()? },
+            4 => Reply::Released {
+                version: r.get_u64()?,
+            },
             5 => Reply::UpToDate,
             6 => {
                 let body = r.get_len_bytes()?;
                 let mut dr = WireReader::new(body);
-                Reply::Update { diff: SegmentDiff::decode(&mut dr)? }
+                Reply::Update {
+                    diff: SegmentDiff::decode(&mut dr)?,
+                }
             }
-            7 => Reply::Error { message: r.get_str()? },
+            7 => Reply::Error {
+                message: r.get_str()?,
+            },
             8 => {
                 let n = r.get_u32()?;
                 if n > 1 << 16 {
@@ -377,10 +498,87 @@ impl Reply {
                 }
                 Reply::Committed { versions }
             }
+            9 => Reply::Stats {
+                snapshot: decode_snapshot(&mut r)?,
+            },
             tag => return Err(WireError::BadTag { what: "reply", tag }),
         };
         Ok(reply)
     }
+}
+
+/// Most entries a decoded snapshot section may carry (names, buckets…):
+/// a sanity cap against hostile lengths, far above any real registry.
+const SNAPSHOT_CAP: u32 = 1 << 16;
+
+fn checked_len(n: u32) -> Result<usize, WireError> {
+    if n > SNAPSHOT_CAP {
+        return Err(WireError::LengthOverflow { len: u64::from(n) });
+    }
+    Ok(n as usize)
+}
+
+fn encode_snapshot(w: &mut WireWriter, snap: &Snapshot) {
+    w.put_u32(snap.counters.len() as u32);
+    for (name, value) in &snap.counters {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+    w.put_u32(snap.gauges.len() as u32);
+    for (name, value) in &snap.gauges {
+        w.put_str(name);
+        w.put_i64(*value);
+    }
+    w.put_u32(snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        w.put_str(name);
+        w.put_u32(h.bounds.len() as u32);
+        for b in &h.bounds {
+            w.put_u64(*b);
+        }
+        w.put_u32(h.counts.len() as u32);
+        for c in &h.counts {
+            w.put_u64(*c);
+        }
+        w.put_u64(h.sum);
+        w.put_u64(h.count);
+    }
+}
+
+fn decode_snapshot(r: &mut WireReader) -> Result<Snapshot, WireError> {
+    let mut snap = Snapshot::default();
+    let n = checked_len(r.get_u32()?)?;
+    snap.counters.reserve(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        snap.counters.push((name, r.get_u64()?));
+    }
+    let n = checked_len(r.get_u32()?)?;
+    snap.gauges.reserve(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        snap.gauges.push((name, r.get_i64()?));
+    }
+    let n = checked_len(r.get_u32()?)?;
+    snap.histograms.reserve(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let mut h = HistogramSnapshot::default();
+        let nb = checked_len(r.get_u32()?)?;
+        h.bounds.reserve(nb);
+        for _ in 0..nb {
+            h.bounds.push(r.get_u64()?);
+        }
+        let nc = checked_len(r.get_u32()?)?;
+        h.counts.reserve(nc);
+        for _ in 0..nc {
+            h.counts.push(r.get_u64()?);
+        }
+        h.sum = r.get_u64()?;
+        h.count = r.get_u64()?;
+        snap.histograms.push((name, h));
+    }
+    Ok(snap)
 }
 
 #[cfg(test)]
@@ -407,8 +605,13 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         let reqs = [
-            Request::Hello { info: "x86 test client".into() },
-            Request::Open { client: 7, segment: "h/s".into() },
+            Request::Hello {
+                info: "x86 test client".into(),
+            },
+            Request::Open {
+                client: 7,
+                segment: "h/s".into(),
+            },
             Request::Acquire {
                 client: 7,
                 segment: "h/s".into(),
@@ -416,7 +619,11 @@ mod tests {
                 have_version: 3,
                 coherence: Coherence::Delta(2),
             },
-            Request::Release { client: 7, segment: "h/s".into(), diff: None },
+            Request::Release {
+                client: 7,
+                segment: "h/s".into(),
+                diff: None,
+            },
             Request::Release {
                 client: 7,
                 segment: "h/s".into(),
@@ -454,8 +661,12 @@ mod tests {
             Reply::Busy,
             Reply::Released { version: 6 },
             Reply::UpToDate,
-            Reply::Update { diff: sample_diff() },
-            Reply::Error { message: "no such segment".into() },
+            Reply::Update {
+                diff: sample_diff(),
+            },
+            Reply::Error {
+                message: "no such segment".into(),
+            },
         ];
         for reply in replies {
             assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
@@ -466,14 +677,96 @@ mod tests {
     fn commit_roundtrips() {
         let req = Request::Commit {
             client: 3,
-            entries: vec![
-                ("a/b".into(), Some(sample_diff())),
-                ("c/d".into(), None),
-            ],
+            entries: vec![("a/b".into(), Some(sample_diff())), ("c/d".into(), None)],
         };
         assert_eq!(Request::decode(req.encode()).unwrap(), req);
-        let reply = Reply::Committed { versions: vec![4, 9] };
+        let reply = Reply::Committed {
+            versions: vec![4, 9],
+        };
         assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let req = Request::Stats { client: 42 };
+        assert_eq!(Request::decode(req.encode()).unwrap(), req);
+
+        let snapshot = Snapshot {
+            counters: vec![
+                ("server.diff_cache.hits_total".into(), 17),
+                ("server.requests_total".into(), 0),
+            ],
+            gauges: vec![("server.lock.queue_depth".into(), -3)],
+            histograms: vec![(
+                "server.checkpoint_us".into(),
+                HistogramSnapshot {
+                    bounds: vec![1, 2, 4, 8],
+                    counts: vec![0, 1, 2, 0, 5],
+                    sum: 99,
+                    count: 8,
+                },
+            )],
+        };
+        let reply = Reply::Stats { snapshot };
+        assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
+
+        let empty = Reply::Stats {
+            snapshot: Snapshot::default(),
+        };
+        assert_eq!(Reply::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn oversized_snapshot_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(9); // Reply::Stats
+        w.put_u32(u32::MAX); // hostile counter count
+        assert!(matches!(
+            Reply::decode(w.finish()),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn request_kinds_cover_every_variant() {
+        let reqs = [
+            Request::Hello {
+                info: String::new(),
+            },
+            Request::Open {
+                client: 0,
+                segment: "s".into(),
+            },
+            Request::Acquire {
+                client: 0,
+                segment: "s".into(),
+                mode: LockMode::Read,
+                have_version: 0,
+                coherence: Coherence::Full,
+            },
+            Request::Release {
+                client: 0,
+                segment: "s".into(),
+                diff: None,
+            },
+            Request::Poll {
+                client: 0,
+                segment: "s".into(),
+                have_version: 0,
+                coherence: Coherence::Full,
+            },
+            Request::Commit {
+                client: 0,
+                entries: vec![],
+            },
+            Request::Stats { client: 0 },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for req in reqs {
+            assert_eq!(Request::KINDS[req.kind_index()], req.kind());
+            assert!(seen.insert(req.kind_index()), "duplicate kind index");
+        }
+        assert_eq!(seen.len(), Request::KINDS.len());
     }
 
     #[test]
@@ -492,7 +785,10 @@ mod tests {
         w.put_u8(7); // invalid mode
         assert!(matches!(
             Request::decode(w.finish()),
-            Err(WireError::BadTag { what: "lock mode", .. })
+            Err(WireError::BadTag {
+                what: "lock mode",
+                ..
+            })
         ));
     }
 }

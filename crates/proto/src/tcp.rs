@@ -11,10 +11,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
+use iw_telemetry::Registry;
 use parking_lot::Mutex;
 
 use crate::msg::{Reply, Request};
-use crate::transport::{Handler, ProtoError, Transport, TransportStats};
+use crate::transport::{Handler, ProtoError, Transport, TransportMetrics, TransportStats};
 
 /// Writes one length-prefixed frame.
 ///
@@ -43,7 +44,10 @@ pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > 256 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
@@ -54,7 +58,7 @@ pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
-    stats: TransportStats,
+    metrics: TransportMetrics,
 }
 
 impl TcpTransport {
@@ -66,30 +70,35 @@ impl TcpTransport {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, stats: TransportStats::default() })
+        Ok(TcpTransport {
+            stream,
+            metrics: TransportMetrics::default(),
+        })
     }
 }
 
 impl Transport for TcpTransport {
     fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
         let body = req.encode();
-        self.stats.requests += 1;
-        self.stats.bytes_sent += body.len() as u64;
-        write_frame(&mut self.stream, &body)
-            .map_err(|e| ProtoError::Channel(e.to_string()))?;
+        self.metrics.sent(req, body.len() as u64);
+        write_frame(&mut self.stream, &body).map_err(|e| ProtoError::Channel(e.to_string()))?;
         let reply = read_frame(&mut self.stream)
             .map_err(|e| ProtoError::Channel(e.to_string()))?
             .ok_or_else(|| ProtoError::Channel("server closed connection".into()))?;
-        self.stats.bytes_received += reply.len() as u64;
+        self.metrics.received(reply.len() as u64);
         Ok(Reply::decode(Bytes::from(reply))?)
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats
+        self.metrics.view()
     }
 
     fn reset_stats(&mut self) {
-        self.stats = TransportStats::default();
+        self.metrics.reset();
+    }
+
+    fn bind_registry(&mut self, registry: &Arc<Registry>) {
+        self.metrics = TransportMetrics::new(registry);
     }
 }
 
@@ -110,10 +119,7 @@ impl TcpServer {
     /// # Errors
     ///
     /// Propagates bind errors.
-    pub fn spawn(
-        addr: SocketAddr,
-        handler: Arc<Mutex<dyn Handler>>,
-    ) -> io::Result<TcpServer> {
+    pub fn spawn(addr: SocketAddr, handler: Arc<Mutex<dyn Handler>>) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -141,7 +147,11 @@ impl TcpServer {
                     let _ = w.join();
                 }
             })?;
-        Ok(TcpServer { addr: local, stop, accept_thread: Some(accept_thread) })
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (with the actual port when 0 was requested).
@@ -167,10 +177,14 @@ mod tests {
 
     fn handler() -> Arc<Mutex<dyn Handler>> {
         Arc::new(Mutex::new(|req: Bytes| match Request::decode(req) {
-            Ok(Request::Hello { info }) => {
-                Reply::Welcome { client: info.len() as u64 }.encode()
+            Ok(Request::Hello { info }) => Reply::Welcome {
+                client: info.len() as u64,
             }
-            _ => Reply::Error { message: "unexpected".into() }.encode(),
+            .encode(),
+            _ => Reply::Error {
+                message: "unexpected".into(),
+            }
+            .encode(),
         }))
     }
 
@@ -178,7 +192,11 @@ mod tests {
     fn tcp_roundtrip() {
         let server = TcpServer::spawn("127.0.0.1:0".parse().unwrap(), handler()).unwrap();
         let mut t = TcpTransport::connect(server.addr()).unwrap();
-        let reply = t.request(&Request::Hello { info: "abcd".into() }).unwrap();
+        let reply = t
+            .request(&Request::Hello {
+                info: "abcd".into(),
+            })
+            .unwrap();
         assert_eq!(reply, Reply::Welcome { client: 4 });
         assert_eq!(t.stats().requests, 1);
         assert!(t.stats().bytes_sent > 0);
@@ -195,9 +213,16 @@ mod tests {
                     let mut t = TcpTransport::connect(addr).unwrap();
                     for _ in 0..10 {
                         let reply = t
-                            .request(&Request::Hello { info: "x".repeat(i + 1) })
+                            .request(&Request::Hello {
+                                info: "x".repeat(i + 1),
+                            })
                             .unwrap();
-                        assert_eq!(reply, Reply::Welcome { client: (i + 1) as u64 });
+                        assert_eq!(
+                            reply,
+                            Reply::Welcome {
+                                client: (i + 1) as u64
+                            }
+                        );
                     }
                 })
             })
@@ -216,7 +241,9 @@ mod tests {
         // (A connect may still succeed briefly on some platforms, but a
         // request must fail.)
         if let Ok(mut t) = TcpTransport::connect(addr) {
-            let _ = t.request(&Request::Hello { info: String::new() });
+            let _ = t.request(&Request::Hello {
+                info: String::new(),
+            });
         }
     }
 }

@@ -9,6 +9,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use iw_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 
 use crate::msg::{Reply, Request};
@@ -67,6 +68,86 @@ impl TransportStats {
     }
 }
 
+/// Pre-resolved traffic counters living in a [`Registry`].
+///
+/// A transport starts with a private registry; [`Transport::bind_registry`]
+/// re-homes the counters into a shared one (typically the session's) so a
+/// single scrape sees traffic alongside the client metrics. Names:
+/// `proto.requests_total`, `proto.bytes_sent_total`,
+/// `proto.bytes_received_total`, and per message kind
+/// `proto.req.<kind>_total` / `proto.req.<kind>_bytes_total`.
+#[derive(Debug)]
+pub(crate) struct TransportMetrics {
+    requests: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    per_kind: Vec<PerKind>,
+}
+
+#[derive(Debug)]
+struct PerKind {
+    count: Arc<Counter>,
+    bytes: Arc<Counter>,
+}
+
+impl TransportMetrics {
+    pub fn new(registry: &Arc<Registry>) -> Self {
+        let per_kind = Request::KINDS
+            .iter()
+            .map(|k| PerKind {
+                count: registry.counter(&format!("proto.req.{k}_total")),
+                bytes: registry.counter(&format!("proto.req.{k}_bytes_total")),
+            })
+            .collect();
+        TransportMetrics {
+            requests: registry.counter("proto.requests_total"),
+            bytes_sent: registry.counter("proto.bytes_sent_total"),
+            bytes_received: registry.counter("proto.bytes_received_total"),
+            per_kind,
+        }
+    }
+
+    /// Accounts the request leg of one round trip.
+    pub fn sent(&self, req: &Request, bytes: u64) {
+        self.requests.inc();
+        self.bytes_sent.add(bytes);
+        let k = &self.per_kind[req.kind_index()];
+        k.count.inc();
+        k.bytes.add(bytes);
+    }
+
+    /// Accounts the reply leg of one round trip.
+    pub fn received(&self, bytes: u64) {
+        self.bytes_received.add(bytes);
+    }
+
+    /// The aggregate counters as a plain [`TransportStats`] value.
+    pub fn view(&self) -> TransportStats {
+        TransportStats {
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            requests: self.requests.get(),
+        }
+    }
+
+    /// Zeroes every counter (between experiment phases).
+    pub fn reset(&self) {
+        self.requests.reset();
+        self.bytes_sent.reset();
+        self.bytes_received.reset();
+        for k in &self.per_kind {
+            k.count.reset();
+            k.bytes.reset();
+        }
+    }
+}
+
+impl Default for TransportMetrics {
+    fn default() -> Self {
+        TransportMetrics::new(&Arc::new(Registry::default()))
+    }
+}
+
 /// A synchronous request/reply transport to one InterWeave server.
 ///
 /// Implementations must count encoded bytes in [`Transport::stats`].
@@ -84,6 +165,13 @@ pub trait Transport: Send {
 
     /// Resets the traffic counters (between experiment phases).
     fn reset_stats(&mut self);
+
+    /// Re-homes the transport's traffic counters into `registry`, so one
+    /// scrape covers transport and application metrics together. Call
+    /// before traffic flows: counts accumulated earlier stay behind in
+    /// the private registry. Default: no-op for transports that keep no
+    /// counters.
+    fn bind_registry(&mut self, _registry: &Arc<Registry>) {}
 }
 
 /// A message handler: something that can answer encoded requests with
@@ -106,7 +194,10 @@ impl<F: FnMut(Bytes) -> Bytes + Send> Handler for F {
 /// Cloning produces another client connection to the same handler.
 pub struct Loopback {
     handler: Arc<Mutex<dyn Handler>>,
-    stats: TransportStats,
+    metrics: TransportMetrics,
+    /// Round trips attempted on this connection (drives fault injection;
+    /// unlike the metrics counters, never shared with other connections).
+    attempts: u64,
     /// Optional fault injection: drop every Nth request (for failure
     /// tests). 0 = disabled.
     drop_every: u64,
@@ -114,23 +205,26 @@ pub struct Loopback {
 
 impl fmt::Debug for Loopback {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Loopback").field("stats", &self.stats).finish()
+        f.debug_struct("Loopback")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
 impl Loopback {
     /// Wraps a handler.
     pub fn new(handler: Arc<Mutex<dyn Handler>>) -> Self {
-        Loopback { handler, stats: TransportStats::default(), drop_every: 0 }
+        Loopback {
+            handler,
+            metrics: TransportMetrics::default(),
+            attempts: 0,
+            drop_every: 0,
+        }
     }
 
     /// Returns a second connection to the same handler (its own counters).
     pub fn another(&self) -> Self {
-        Loopback {
-            handler: self.handler.clone(),
-            stats: TransportStats::default(),
-            drop_every: 0,
-        }
+        Loopback::new(self.handler.clone())
     }
 
     /// Enables fault injection: every `n`-th request is dropped and
@@ -143,23 +237,27 @@ impl Loopback {
 impl Transport for Loopback {
     fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
         let encoded = req.encode();
-        self.stats.requests += 1;
-        self.stats.bytes_sent += encoded.len() as u64;
-        if self.drop_every != 0 && self.stats.requests.is_multiple_of(self.drop_every) {
+        self.attempts += 1;
+        self.metrics.sent(req, encoded.len() as u64);
+        if self.drop_every != 0 && self.attempts.is_multiple_of(self.drop_every) {
             return Err(ProtoError::Channel("injected message drop".into()));
         }
         let reply_bytes = self.handler.lock().handle(encoded);
-        self.stats.bytes_received += reply_bytes.len() as u64;
+        self.metrics.received(reply_bytes.len() as u64);
         let reply = Reply::decode(reply_bytes)?;
         Ok(reply)
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats
+        self.metrics.view()
     }
 
     fn reset_stats(&mut self) {
-        self.stats = TransportStats::default();
+        self.metrics.reset();
+    }
+
+    fn bind_registry(&mut self, registry: &Arc<Registry>) {
+        self.metrics = TransportMetrics::new(registry);
     }
 }
 
@@ -170,7 +268,10 @@ mod tests {
     fn echo_handler() -> Arc<Mutex<dyn Handler>> {
         Arc::new(Mutex::new(|req: Bytes| {
             // Parrot a Welcome whose id is the request length.
-            Reply::Welcome { client: req.len() as u64 }.encode()
+            Reply::Welcome {
+                client: req.len() as u64,
+            }
+            .encode()
         }))
     }
 
@@ -191,7 +292,10 @@ mod tests {
     #[test]
     fn reset_clears_counters() {
         let mut t = Loopback::new(echo_handler());
-        t.request(&Request::Hello { info: String::new() }).unwrap();
+        t.request(&Request::Hello {
+            info: String::new(),
+        })
+        .unwrap();
         t.reset_stats();
         assert_eq!(t.stats(), TransportStats::default());
     }
@@ -211,12 +315,22 @@ mod tests {
     fn fault_injection_drops_requests() {
         let mut t = Loopback::new(echo_handler());
         t.drop_every(2);
-        assert!(t.request(&Request::Hello { info: String::new() }).is_ok());
+        assert!(t
+            .request(&Request::Hello {
+                info: String::new()
+            })
+            .is_ok());
         assert!(matches!(
-            t.request(&Request::Hello { info: String::new() }),
+            t.request(&Request::Hello {
+                info: String::new()
+            }),
             Err(ProtoError::Channel(_))
         ));
-        assert!(t.request(&Request::Hello { info: String::new() }).is_ok());
+        assert!(t
+            .request(&Request::Hello {
+                info: String::new()
+            })
+            .is_ok());
     }
 
     #[test]
@@ -225,7 +339,9 @@ mod tests {
             Arc::new(Mutex::new(|_req: Bytes| Bytes::from_static(&[0xFF, 0x00])));
         let mut t = Loopback::new(garbage);
         assert!(matches!(
-            t.request(&Request::Hello { info: String::new() }),
+            t.request(&Request::Hello {
+                info: String::new()
+            }),
             Err(ProtoError::Wire(_))
         ));
     }

@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use iw_proto::coherence::Coherence;
 use iw_proto::msg::{LockMode, Reply, Request};
+use iw_telemetry::{HistogramSnapshot, Snapshot};
 use iw_wire::diff::{BlockDiff, DiffRun, SegmentDiff};
 use proptest::prelude::*;
 
@@ -39,27 +40,66 @@ fn arb_diff() -> impl Strategy<Value = SegmentDiff> {
         })
 }
 
+fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        prop::collection::vec(any::<u64>(), 0..5),
+        prop::collection::vec(any::<u64>(), 0..6),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(bounds, counts, sum, count)| HistogramSnapshot {
+            bounds,
+            counts,
+            sum,
+            count,
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec(("[a-z._/]{1,24}", any::<u64>()), 0..6),
+        prop::collection::vec(("[a-z._/]{1,24}", any::<i64>()), 0..4),
+        prop::collection::vec(("[a-z._/]{1,24}", arb_histogram_snapshot()), 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| Snapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         "[ -~]{0,40}".prop_map(|info| Request::Hello { info }),
         (any::<u64>(), "[a-z./#0-9]{1,30}")
             .prop_map(|(client, segment)| Request::Open { client, segment }),
-        (any::<u64>(), "[a-z./]{1,20}", any::<bool>(), any::<u64>(), arb_coherence())
+        (
+            any::<u64>(),
+            "[a-z./]{1,20}",
+            any::<bool>(),
+            any::<u64>(),
+            arb_coherence()
+        )
             .prop_map(|(client, segment, write, have_version, coherence)| {
                 Request::Acquire {
                     client,
                     segment,
-                    mode: if write { LockMode::Write } else { LockMode::Read },
+                    mode: if write {
+                        LockMode::Write
+                    } else {
+                        LockMode::Read
+                    },
                     have_version,
                     coherence,
                 }
             }),
-        (any::<u64>(), "[a-z./]{1,20}", prop::option::of(arb_diff()))
-            .prop_map(|(client, segment, diff)| Request::Release {
+        (any::<u64>(), "[a-z./]{1,20}", prop::option::of(arb_diff())).prop_map(
+            |(client, segment, diff)| Request::Release {
                 client,
                 segment,
                 diff
-            }),
+            }
+        ),
         (
             any::<u64>(),
             prop::collection::vec(("[a-z./]{1,12}", prop::option::of(arb_diff())), 0..3)
@@ -73,6 +113,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 coherence
             }
         ),
+        any::<u64>().prop_map(|client| Request::Stats { client }),
     ]
 }
 
@@ -80,9 +121,19 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![
         any::<u64>().prop_map(|client| Reply::Welcome { client }),
         any::<u64>().prop_map(|version| Reply::Opened { version }),
-        (any::<u64>(), prop::option::of(arb_diff()), any::<u32>(), any::<u32>())
+        (
+            any::<u64>(),
+            prop::option::of(arb_diff()),
+            any::<u32>(),
+            any::<u32>()
+        )
             .prop_map(|(version, update, next_serial, next_type_serial)| {
-                Reply::Granted { version, update, next_serial, next_type_serial }
+                Reply::Granted {
+                    version,
+                    update,
+                    next_serial,
+                    next_type_serial,
+                }
             }),
         Just(Reply::Busy),
         any::<u64>().prop_map(|version| Reply::Released { version }),
@@ -90,6 +141,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
             .prop_map(|versions| Reply::Committed { versions }),
         Just(Reply::UpToDate),
         arb_diff().prop_map(|diff| Reply::Update { diff }),
+        arb_snapshot().prop_map(|snapshot| Reply::Stats { snapshot }),
         "[ -~]{0,60}".prop_map(|message| Reply::Error { message }),
     ]
 }

@@ -136,15 +136,27 @@ fn read_word(window: &[u8], arch: &MachineArch) -> u64 {
         1 => window[0] as u64,
         2 => {
             let b: [u8; 2] = window.try_into().expect("2B");
-            if little { u16::from_le_bytes(b) as u64 } else { u16::from_be_bytes(b) as u64 }
+            if little {
+                u16::from_le_bytes(b) as u64
+            } else {
+                u16::from_be_bytes(b) as u64
+            }
         }
         4 => {
             let b: [u8; 4] = window.try_into().expect("4B");
-            if little { u32::from_le_bytes(b) as u64 } else { u32::from_be_bytes(b) as u64 }
+            if little {
+                u32::from_le_bytes(b) as u64
+            } else {
+                u32::from_be_bytes(b) as u64
+            }
         }
         8 => {
             let b: [u8; 8] = window.try_into().expect("8B");
-            if little { u64::from_le_bytes(b) } else { u64::from_be_bytes(b) }
+            if little {
+                u64::from_le_bytes(b)
+            } else {
+                u64::from_be_bytes(b)
+            }
         }
         _ => unreachable!(),
     }
@@ -214,7 +226,14 @@ fn write_value(
             let el = elem.layout(arch);
             for i in 0..*len {
                 let off = (i * el.size) as usize;
-                write_value(elem, &local[off..off + el.size as usize], arch, mem, out, st)?;
+                write_value(
+                    elem,
+                    &local[off..off + el.size as usize],
+                    arch,
+                    mem,
+                    out,
+                    st,
+                )?;
             }
         }
         XdrType::Struct { fields } => {
@@ -258,7 +277,9 @@ mod tests {
 
     #[test]
     fn struct_stream_carries_class_descriptor_once() {
-        let ty = XdrType::Struct { fields: vec![XdrType::Int, XdrType::Int] };
+        let ty = XdrType::Struct {
+            fields: vec![XdrType::Int, XdrType::Int],
+        };
         let arr = XdrType::array(ty, 3);
         let local = [0u8; 24];
         let wire = rmi_serialize(&arr, &local, &x86(), &NoMem).unwrap();

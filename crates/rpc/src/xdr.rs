@@ -71,12 +71,17 @@ pub enum XdrType {
 impl XdrType {
     /// A pointer to `pointee`.
     pub fn pointer(pointee: XdrType) -> Self {
-        XdrType::Pointer { pointee: Arc::new(pointee) }
+        XdrType::Pointer {
+            pointee: Arc::new(pointee),
+        }
     }
 
     /// An array of `len` elements.
     pub fn array(elem: XdrType, len: u32) -> Self {
-        XdrType::Array { elem: Arc::new(elem), len }
+        XdrType::Array {
+            elem: Arc::new(elem),
+            len,
+        }
     }
 
     /// Local-format size and alignment on `arch` (identical rules to the
@@ -84,19 +89,40 @@ impl XdrType {
     pub fn layout(&self, arch: &MachineArch) -> Layout {
         match self {
             XdrType::Char => Layout { size: 1, align: 1 },
-            XdrType::Short => Layout { size: 2, align: arch.int16_align },
-            XdrType::Int => Layout { size: 4, align: arch.int32_align },
-            XdrType::Hyper => Layout { size: 8, align: arch.int64_align },
-            XdrType::Float => Layout { size: 4, align: arch.float32_align },
-            XdrType::Double => Layout { size: 8, align: arch.float64_align },
-            XdrType::String { cap } => Layout { size: *cap, align: 1 },
+            XdrType::Short => Layout {
+                size: 2,
+                align: arch.int16_align,
+            },
+            XdrType::Int => Layout {
+                size: 4,
+                align: arch.int32_align,
+            },
+            XdrType::Hyper => Layout {
+                size: 8,
+                align: arch.int64_align,
+            },
+            XdrType::Float => Layout {
+                size: 4,
+                align: arch.float32_align,
+            },
+            XdrType::Double => Layout {
+                size: 8,
+                align: arch.float64_align,
+            },
+            XdrType::String { cap } => Layout {
+                size: *cap,
+                align: 1,
+            },
             XdrType::Pointer { .. } => Layout {
                 size: arch.pointer_size,
                 align: arch.pointer_align,
             },
             XdrType::Array { elem, len } => {
                 let el = elem.layout(arch);
-                Layout { size: el.size * len, align: el.align }
+                Layout {
+                    size: el.size * len,
+                    align: el.align,
+                }
             }
             XdrType::Struct { fields } => {
                 let mut off = 0u32;
@@ -106,7 +132,10 @@ impl XdrType {
                     off = Layout::align_up(off, fl.align) + fl.size;
                     align = align.max(fl.align);
                 }
-                Layout { size: Layout::align_up(off.max(1), align), align }
+                Layout {
+                    size: Layout::align_up(off.max(1), align),
+                    align,
+                }
             }
         }
     }
@@ -177,15 +206,27 @@ fn read_word(window: &[u8], arch: &MachineArch) -> u64 {
         1 => window[0] as u64,
         2 => {
             let b: [u8; 2] = window.try_into().unwrap();
-            if little { u16::from_le_bytes(b) as u64 } else { u16::from_be_bytes(b) as u64 }
+            if little {
+                u16::from_le_bytes(b) as u64
+            } else {
+                u16::from_be_bytes(b) as u64
+            }
         }
         4 => {
             let b: [u8; 4] = window.try_into().unwrap();
-            if little { u32::from_le_bytes(b) as u64 } else { u32::from_be_bytes(b) as u64 }
+            if little {
+                u32::from_le_bytes(b) as u64
+            } else {
+                u32::from_be_bytes(b) as u64
+            }
         }
         8 => {
             let b: [u8; 8] = window.try_into().unwrap();
-            if little { u64::from_le_bytes(b) } else { u64::from_be_bytes(b) }
+            if little {
+                u64::from_le_bytes(b)
+            } else {
+                u64::from_be_bytes(b)
+            }
         }
         _ => unreachable!(),
     }
@@ -205,8 +246,11 @@ fn write_word(window: &mut [u8], arch: &MachineArch, v: u64) {
         } else {
             (v as u32).to_be_bytes()
         }),
-        8 => window
-            .copy_from_slice(&if little { v.to_le_bytes() } else { v.to_be_bytes() }),
+        8 => window.copy_from_slice(&if little {
+            v.to_le_bytes()
+        } else {
+            v.to_be_bytes()
+        }),
         _ => unreachable!(),
     }
 }
@@ -359,7 +403,11 @@ pub struct XdrArena {
 impl XdrArena {
     /// An arena mapped at `base` with capacity `cap` bytes.
     pub fn new(base: u64, cap: usize) -> Self {
-        XdrArena { base, data: Vec::with_capacity(cap), cap }
+        XdrArena {
+            base,
+            data: Vec::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Bytes allocated so far.
@@ -527,8 +575,7 @@ mod tests {
     fn ints_and_chars_widen_to_four_bytes() {
         let wire = marshal(&XdrType::Char, &[0xFF], &x86(), &NoMem).unwrap();
         assert_eq!(wire, (-1i32).to_be_bytes());
-        let wire =
-            marshal(&XdrType::Short, &(-2i16).to_le_bytes(), &x86(), &NoMem).unwrap();
+        let wire = marshal(&XdrType::Short, &(-2i16).to_le_bytes(), &x86(), &NoMem).unwrap();
         assert_eq!(wire, (-2i32).to_be_bytes());
         let wire = marshal(&XdrType::Int, &7i32.to_le_bytes(), &x86(), &NoMem).unwrap();
         assert_eq!(wire.len(), 4);

@@ -61,7 +61,13 @@ pub fn write(dir: &Path, seg: &mut ServerSegment) -> Result<PathBuf, ServerError
     for serial in serials {
         let (name, type_serial, count, created, version) = {
             let b = seg.block(serial).expect("block listed");
-            (b.name.clone(), b.type_serial, b.count, b.created_version, b.version)
+            (
+                b.name.clone(),
+                b.type_serial,
+                b.count,
+                b.created_version,
+                b.version,
+            )
         };
         let data = seg.block_data(serial)?;
         w.put_u32(serial);
@@ -150,7 +156,16 @@ pub fn restore(path: &Path) -> Result<ServerSegment, ServerError> {
             subs.push(r.get_u64()?);
         }
         let data = r.get_len_bytes()?;
-        seg.restore_block(serial, name, type_serial, count, created, bversion, subs, &data)?;
+        seg.restore_block(
+            serial,
+            name,
+            type_serial,
+            count,
+            created,
+            bversion,
+            subs,
+            &data,
+        )?;
     }
 
     let n_freed = r.get_u32()?;
@@ -192,10 +207,7 @@ mod tests {
     use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "iwck-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("iwck-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -303,10 +315,7 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("x.iwck");
         fs::write(&path, b"NOTAMAGIC").unwrap();
-        assert!(matches!(
-            restore(&path),
-            Err(ServerError::BadCheckpoint(_))
-        ));
+        assert!(matches!(restore(&path), Err(ServerError::BadCheckpoint(_))));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -52,7 +52,11 @@ impl fmt::Display for ServerError {
             ServerError::UnknownType(s) => write!(f, "unknown type serial {s}"),
             ServerError::DuplicateBlock(s) => write!(f, "block serial {s} already exists"),
             ServerError::DuplicateName(n) => write!(f, "block name `{n}` already exists"),
-            ServerError::RunOutOfRange { serial, start, count } => write!(
+            ServerError::RunOutOfRange {
+                serial,
+                start,
+                count,
+            } => write!(
                 f,
                 "diff run [{start}, {start}+{count}) out of range in block {serial}"
             ),
@@ -90,7 +94,10 @@ mod tests {
 
     #[test]
     fn display_mentions_detail() {
-        let e = ServerError::VersionMismatch { diff_from: 3, current: 5 };
+        let e = ServerError::VersionMismatch {
+            diff_from: 3,
+            current: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
         assert!(ServerError::UnknownBlock(9).to_string().contains('9'));
         let w: ServerError = WireError::InvalidUtf8.into();

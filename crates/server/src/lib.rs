@@ -19,6 +19,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod locks;
+mod metrics;
 pub mod segment;
 pub mod server;
 pub mod wirestore;

@@ -60,7 +60,9 @@ impl LockTable {
     /// Releases whatever `client` holds on `segment`. Returns `true` when
     /// the client actually held something.
     pub fn release(&mut self, segment: &str, client: u64) -> bool {
-        let Some(st) = self.locks.get_mut(segment) else { return false };
+        let Some(st) = self.locks.get_mut(segment) else {
+            return false;
+        };
         let mut held = st.readers.remove(&client);
         if st.writer == Some(client) {
             st.writer = None;
@@ -89,6 +91,20 @@ impl LockTable {
     /// Number of readers currently holding `segment` (diagnostics).
     pub fn reader_count(&self, segment: &str) -> usize {
         self.locks.get(segment).map_or(0, |st| st.readers.len())
+    }
+
+    /// The client holding the writer lock on `segment`, if any.
+    pub fn writer(&self, segment: &str) -> Option<u64> {
+        self.locks.get(segment).and_then(|st| st.writer)
+    }
+
+    /// Total locks currently held across all segments (each reader and
+    /// each writer counts as one).
+    pub fn held_count(&self) -> usize {
+        self.locks
+            .values()
+            .map(|st| st.readers.len() + usize::from(st.writer.is_some()))
+            .sum()
     }
 }
 
@@ -135,7 +151,10 @@ mod tests {
     fn upgrade_when_sole_reader() {
         let mut t = LockTable::new();
         assert!(t.acquire("s", 1, LockMode::Read));
-        assert!(t.acquire("s", 1, LockMode::Write), "sole reader may upgrade");
+        assert!(
+            t.acquire("s", 1, LockMode::Write),
+            "sole reader may upgrade"
+        );
         assert!(!t.acquire("s", 2, LockMode::Read));
     }
 

@@ -1,0 +1,81 @@
+//! Server-side metrics: a per-server [`Registry`] with pre-resolved
+//! handles, scraped remotely via `Request::Stats` (the `iwstat` CLI).
+//!
+//! Hot per-segment counters (diff-cache hits, subblock scans…) stay plain
+//! `u64` fields on [`crate::segment::ServerSegment`] — the segment is
+//! always behind the server lock, so atomics would buy nothing — and are
+//! aggregated into the snapshot at scrape time.
+
+use std::fmt;
+use std::sync::Arc;
+
+use iw_proto::Request;
+use iw_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Pre-resolved metric handles for one [`crate::Server`].
+pub(crate) struct ServerMetrics {
+    registry: Arc<Registry>,
+    /// `server.requests_total` — requests handled, all kinds.
+    pub requests: Arc<Counter>,
+    /// `server.req.<kind>_total`, indexed like [`Request::KINDS`].
+    pub req_kind: Vec<Arc<Counter>>,
+    /// `server.errors_total` — requests answered with `Reply::Error`.
+    pub errors: Arc<Counter>,
+    /// `server.lock.granted_total` — lock acquisitions granted.
+    pub lock_granted: Arc<Counter>,
+    /// `server.lock.busy_total` — acquisitions refused as busy.
+    pub lock_busy: Arc<Counter>,
+    /// `server.lock.released_total` — locks actually released.
+    pub lock_released: Arc<Counter>,
+    /// `server.checkpoints_total` — checkpoint files written.
+    pub checkpoints: Arc<Counter>,
+    /// `server.checkpoint_us` — wall time of one checkpoint write.
+    pub checkpoint_us: Arc<Histogram>,
+    /// `server.locks_held` — locks currently held (refreshed at scrape).
+    pub locks_held: Arc<Gauge>,
+    /// `server.clients` — registered clients (refreshed at scrape).
+    pub clients: Arc<Gauge>,
+}
+
+impl ServerMetrics {
+    /// Resolves every handle against `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let req_kind = Request::KINDS
+            .iter()
+            .map(|k| registry.counter(&format!("server.req.{k}_total")))
+            .collect();
+        ServerMetrics {
+            requests: registry.counter("server.requests_total"),
+            req_kind,
+            errors: registry.counter("server.errors_total"),
+            lock_granted: registry.counter("server.lock.granted_total"),
+            lock_busy: registry.counter("server.lock.busy_total"),
+            lock_released: registry.counter("server.lock.released_total"),
+            checkpoints: registry.counter("server.checkpoints_total"),
+            checkpoint_us: registry.histogram_us("server.checkpoint_us"),
+            locks_held: registry.gauge("server.locks_held"),
+            clients: registry.gauge("server.clients"),
+            registry,
+        }
+    }
+
+    /// The registry behind the handles.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new(Arc::new(Registry::new()))
+    }
+}
+
+impl fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("requests", &self.requests.get())
+            .field("errors", &self.errors.get())
+            .finish_non_exhaustive()
+    }
+}

@@ -96,6 +96,13 @@ pub struct ServerSegment {
     diff_cache: VecDeque<((u64, u64), SegmentDiff)>,
     /// Diff-cache hit counter (diagnostics / ablation).
     pub diff_cache_hits: u64,
+    /// Updates built from scratch because no cached diff (or chain)
+    /// covered the request.
+    pub diff_cache_misses: u64,
+    /// Diff-cache hits served by splicing a chain of cached diffs.
+    pub chain_compositions: u64,
+    /// Subblocks examined while building updates from scratch.
+    pub subblocks_scanned: u64,
     /// Per-client conservative modified-prims counters for Diff coherence.
     diff_counters: HashMap<u64, u64>,
     /// Total primitive units across live blocks.
@@ -127,6 +134,9 @@ impl ServerSegment {
             freed: Vec::new(),
             diff_cache: VecDeque::new(),
             diff_cache_hits: 0,
+            diff_cache_misses: 0,
+            chain_compositions: 0,
+            subblocks_scanned: 0,
             diff_counters: HashMap::new(),
             total_prims: 0,
             next_serial: 0,
@@ -336,7 +346,8 @@ impl ServerSegment {
             }
             self.version_list.remove(&block.list_key);
             self.total_prims -= block.prims;
-            self.freed.push((new_version, serial, block.created_version));
+            self.freed
+                .push((new_version, serial, block.created_version));
         }
 
         // "For each client using Diff coherence, the server must track the
@@ -395,6 +406,24 @@ impl ServerSegment {
         }
     }
 
+    /// Forgets all per-client state for `client` (disconnect). Without
+    /// this the Diff-coherence counters grow without bound and a reused
+    /// client id would inherit the stale accumulated-change count.
+    pub fn drop_client(&mut self, client: u64) {
+        self.diff_counters.remove(&client);
+    }
+
+    /// The Diff-coherence counter currently tracked for `client`
+    /// (diagnostics and tests).
+    pub fn diff_counter(&self, client: u64) -> Option<u64> {
+        self.diff_counters.get(&client).copied()
+    }
+
+    /// Number of clients with a live Diff-coherence counter.
+    pub fn diff_counter_count(&self) -> usize {
+        self.diff_counters.len()
+    }
+
     /// Builds the diff that brings a copy at `have_version` up to the
     /// current version, and resets the requesting client's Diff-coherence
     /// counter. Checks the diff cache first (§3.3 "Diff caching").
@@ -428,10 +457,12 @@ impl ServerSegment {
             if let Some(chain) = self.cached_chain(have_version) {
                 let composed = compose_chain(&chain, have_version, self.version);
                 self.diff_cache_hits += 1;
+                self.chain_compositions += 1;
                 self.cache_diff(composed.clone());
                 return Ok(composed);
             }
         }
+        self.diff_cache_misses += 1;
         let diff = self.build_update(have_version)?;
         self.cache_diff(diff.clone());
         Ok(diff)
@@ -479,8 +510,7 @@ impl ServerSegment {
             .collect();
         for (serial, is_new) in keys {
             let block = &self.blocks[&serial];
-            let (type_serial, count, name) =
-                (block.type_serial, block.count, block.name.clone());
+            let (type_serial, count, name) = (block.type_serial, block.count, block.name.clone());
             let layout = self.layout(type_serial, count)?;
             let block = &self.blocks[&serial];
             if is_new {
@@ -499,12 +529,11 @@ impl ServerSegment {
                 let mut runs = Vec::new();
                 let mut i = 0u64;
                 let n_sub = block.subblock_versions.len() as u64;
+                self.subblocks_scanned += n_sub;
                 while i < n_sub {
                     if block.subblock_versions[i as usize] > have_version {
                         let start_sb = i;
-                        while i < n_sub
-                            && block.subblock_versions[i as usize] > have_version
-                        {
+                        while i < n_sub && block.subblock_versions[i as usize] > have_version {
                             i += 1;
                         }
                         let start = start_sb * SUBBLOCK_PRIMS;
@@ -624,7 +653,10 @@ impl ServerSegment {
     }
 
     pub(crate) fn block_data(&mut self, serial: u32) -> Result<Bytes, ServerError> {
-        let block = self.blocks.get(&serial).ok_or(ServerError::UnknownBlock(serial))?;
+        let block = self
+            .blocks
+            .get(&serial)
+            .ok_or(ServerError::UnknownBlock(serial))?;
         let layout = self.layout(block.type_serial, block.count)?;
         let block = &self.blocks[&serial];
         Ok(block.store.extract_all(&layout)?)
@@ -641,7 +673,11 @@ impl ServerSegment {
 /// order, which diff application handles correctly (later data wins).
 fn compose_chain(chain: &[SegmentDiff], from: u64, to: u64) -> SegmentDiff {
     use std::collections::HashMap;
-    let mut out = SegmentDiff { from_version: from, to_version: to, ..Default::default() };
+    let mut out = SegmentDiff {
+        from_version: from,
+        to_version: to,
+        ..Default::default()
+    };
     let mut seen_types: std::collections::HashSet<u32> = Default::default();
     let mut block_runs: HashMap<u32, Vec<DiffRun>> = HashMap::new();
     let mut block_order: Vec<u32> = Vec::new();
@@ -664,8 +700,7 @@ fn compose_chain(chain: &[SegmentDiff], from: u64, to: u64) -> SegmentDiff {
                 let mut replaced = false;
                 for i in (0..runs.len()).rev() {
                     let r = &runs[i];
-                    let overlaps = r.start < run.start + run.count
-                        && run.start < r.start + r.count;
+                    let overlaps = r.start < run.start + run.count && run.start < r.start + r.count;
                     if !overlaps {
                         continue;
                     }
@@ -887,10 +922,17 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let mut s = seg_with_int_block(16);
-        let diff = SegmentDiff { from_version: 5, to_version: 6, ..Default::default() };
+        let diff = SegmentDiff {
+            from_version: 5,
+            to_version: 6,
+            ..Default::default()
+        };
         assert!(matches!(
             s.apply_diff(&diff),
-            Err(ServerError::VersionMismatch { diff_from: 5, current: 1 })
+            Err(ServerError::VersionMismatch {
+                diff_from: 5,
+                current: 1
+            })
         ));
     }
 
@@ -1052,7 +1094,10 @@ mod tests {
             block_diffs: vec![int_block_diff(77, &[(0, 1)])],
             ..Default::default()
         };
-        assert!(matches!(s.apply_diff(&bad), Err(ServerError::UnknownBlock(77))));
+        assert!(matches!(
+            s.apply_diff(&bad),
+            Err(ServerError::UnknownBlock(77))
+        ));
         let bad = SegmentDiff {
             from_version: 1,
             to_version: 2,
@@ -1065,7 +1110,10 @@ mod tests {
             }],
             ..Default::default()
         };
-        assert!(matches!(s.apply_diff(&bad), Err(ServerError::UnknownType(9))));
+        assert!(matches!(
+            s.apply_diff(&bad),
+            Err(ServerError::UnknownType(9))
+        ));
     }
 
     #[test]
@@ -1079,7 +1127,11 @@ mod tests {
         };
         assert!(matches!(
             s.apply_diff(&bad),
-            Err(ServerError::RunOutOfRange { serial: 0, start: 16, count: 1 })
+            Err(ServerError::RunOutOfRange {
+                serial: 0,
+                start: 16,
+                count: 1
+            })
         ));
     }
 
@@ -1098,7 +1150,10 @@ mod tests {
             }],
             ..Default::default()
         };
-        assert!(matches!(s.apply_diff(&dup), Err(ServerError::DuplicateBlock(0))));
+        assert!(matches!(
+            s.apply_diff(&dup),
+            Err(ServerError::DuplicateBlock(0))
+        ));
         let dup = SegmentDiff {
             from_version: 1,
             to_version: 2,
@@ -1111,7 +1166,10 @@ mod tests {
             }],
             ..Default::default()
         };
-        assert!(matches!(s.apply_diff(&dup), Err(ServerError::DuplicateName(_))));
+        assert!(matches!(
+            s.apply_diff(&dup),
+            Err(ServerError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -1145,6 +1203,9 @@ mod tests {
             };
             s.apply_diff(&diff).unwrap();
         }
-        assert!(s.pred_hits > 0, "sequential updates should hit the predictor");
+        assert!(
+            s.pred_hits > 0,
+            "sequential updates should hit the predictor"
+        );
     }
 }

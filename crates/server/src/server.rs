@@ -11,15 +11,19 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 
 use iw_proto::msg::{LockMode, Reply, Request};
 use iw_proto::Coherence;
+use iw_telemetry::{Registry, Snapshot};
 
 use crate::checkpoint;
 use crate::error::ServerError;
 use crate::locks::LockTable;
+use crate::metrics::ServerMetrics;
 use crate::segment::ServerSegment;
 
 /// Per-client bookkeeping.
@@ -43,6 +47,7 @@ pub struct Server {
     /// their metadata to persistent storage", §2.2).
     checkpoint_dir: Option<PathBuf>,
     checkpoint_interval: u64,
+    metrics: ServerMetrics,
 }
 
 impl Server {
@@ -78,8 +83,12 @@ impl Server {
     /// Registers a client and returns its id.
     pub fn hello(&mut self, info: &str) -> u64 {
         self.next_client += 1;
-        self.clients
-            .insert(self.next_client, ClientInfo { info: info.to_string() });
+        self.clients.insert(
+            self.next_client,
+            ClientInfo {
+                info: info.to_string(),
+            },
+        );
         self.next_client
     }
 
@@ -106,10 +115,75 @@ impl Server {
         self.clients.len()
     }
 
-    /// Drops a client, releasing all its locks.
+    /// Drops a client, releasing all its locks and forgetting its
+    /// per-segment Diff-coherence counters (so a reused id cannot inherit
+    /// stale accumulated-change counts, and the counters do not grow
+    /// without bound as clients come and go).
     pub fn disconnect(&mut self, client: u64) {
         self.clients.remove(&client);
+        let before = self.locks.held_count();
         self.locks.release_all(client);
+        self.metrics
+            .lock_released
+            .add((before - self.locks.held_count()) as u64);
+        for seg in self.segments.values_mut() {
+            seg.drop_client(client);
+        }
+    }
+
+    /// The server's metric registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// Point-in-time copy of every server metric: the registry's
+    /// counters/histograms, instantaneous gauges refreshed first, plus
+    /// synthetic per-segment entries (`server.segment.<name>.*`) and
+    /// aggregates of the per-segment ablation counters.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.locks_held.set(self.locks.held_count() as i64);
+        self.metrics.clients.set(self.clients.len() as i64);
+        let mut snap = self.metrics.registry().snapshot();
+        let mut diff_cache_hits = 0u64;
+        let mut diff_cache_misses = 0u64;
+        let mut chain_compositions = 0u64;
+        let mut subblocks_scanned = 0u64;
+        let mut pred_hits = 0u64;
+        for (name, seg) in &self.segments {
+            diff_cache_hits += seg.diff_cache_hits;
+            diff_cache_misses += seg.diff_cache_misses;
+            chain_compositions += seg.chain_compositions;
+            subblocks_scanned += seg.subblocks_scanned;
+            pred_hits += seg.pred_hits;
+            snap.counters
+                .push((format!("server.segment.{name}.version"), seg.version()));
+            snap.gauges.push((
+                format!("server.segment.{name}.blocks"),
+                seg.block_count() as i64,
+            ));
+            snap.gauges.push((
+                format!("server.segment.{name}.readers"),
+                self.locks.reader_count(name) as i64,
+            ));
+            snap.gauges.push((
+                format!("server.segment.{name}.diff_clients"),
+                seg.diff_counter_count() as i64,
+            ));
+        }
+        snap.counters
+            .push(("server.diff_cache.hits_total".into(), diff_cache_hits));
+        snap.counters
+            .push(("server.diff_cache.misses_total".into(), diff_cache_misses));
+        snap.counters.push((
+            "server.diff_cache.chain_compositions_total".into(),
+            chain_compositions,
+        ));
+        snap.counters
+            .push(("server.subblocks_scanned_total".into(), subblocks_scanned));
+        snap.counters
+            .push(("server.pred_hits_total".into(), pred_hits));
+        snap.sort();
+        snap
     }
 
     fn acquire(
@@ -121,11 +195,15 @@ impl Server {
         coherence: Coherence,
     ) -> Reply {
         let Some(seg) = self.segments.get_mut(segment) else {
-            return Reply::Error { message: format!("no such segment `{segment}`") };
+            return Reply::Error {
+                message: format!("no such segment `{segment}`"),
+            };
         };
         if !self.locks.acquire(segment, client, mode) {
+            self.metrics.lock_busy.inc();
             return Reply::Busy;
         }
+        self.metrics.lock_granted.inc();
         // Writers must start from the current version, so they always get
         // a Full-coherence update; readers follow their model.
         let effective = match mode {
@@ -137,7 +215,9 @@ impl Server {
                 Ok(d) => Some(d),
                 Err(e) => {
                     self.locks.release(segment, client);
-                    return Reply::Error { message: e.to_string() };
+                    return Reply::Error {
+                        message: e.to_string(),
+                    };
                 }
             }
         } else {
@@ -158,7 +238,9 @@ impl Server {
         diff: Option<&iw_wire::diff::SegmentDiff>,
     ) -> Reply {
         let Some(seg) = self.segments.get_mut(segment) else {
-            return Reply::Error { message: format!("no such segment `{segment}`") };
+            return Reply::Error {
+                message: format!("no such segment `{segment}`"),
+            };
         };
         if let Some(diff) = diff {
             if !self.locks.is_writer(segment, client) {
@@ -168,7 +250,11 @@ impl Server {
             }
             match seg.apply_diff(diff) {
                 Ok(_) => {}
-                Err(e) => return Reply::Error { message: e.to_string() },
+                Err(e) => {
+                    return Reply::Error {
+                        message: e.to_string(),
+                    }
+                }
             }
             self.maybe_checkpoint(segment);
         }
@@ -177,8 +263,12 @@ impl Server {
             .get(segment)
             .map(ServerSegment::version)
             .unwrap_or(0);
-        self.locks.release(segment, client);
-        Reply::Released { version: seg_version }
+        if self.locks.release(segment, client) {
+            self.metrics.lock_released.inc();
+        }
+        Reply::Released {
+            version: seg_version,
+        }
     }
 
     fn commit(
@@ -190,7 +280,9 @@ impl Server {
         // segments exist. Nothing is applied unless all entries pass.
         for (segment, diff) in entries {
             let Some(seg) = self.segments.get(segment) else {
-                return Reply::Error { message: format!("no such segment `{segment}`") };
+                return Reply::Error {
+                    message: format!("no such segment `{segment}`"),
+                };
             };
             if !self.locks.is_writer(segment, client) {
                 return Reply::Error {
@@ -219,7 +311,9 @@ impl Server {
                         // Structural failure after validation indicates a
                         // client bug; report it (earlier entries stand, as
                         // documented for the prototype).
-                        return Reply::Error { message: e.to_string() };
+                        return Reply::Error {
+                            message: e.to_string(),
+                        };
                     }
                 }
             } else {
@@ -230,7 +324,9 @@ impl Server {
             if diff.is_some() {
                 self.maybe_checkpoint(segment);
             }
-            self.locks.release(segment, client);
+            if self.locks.release(segment, client) {
+                self.metrics.lock_released.inc();
+            }
         }
         Reply::Committed { versions }
     }
@@ -243,48 +339,80 @@ impl Server {
         coherence: Coherence,
     ) -> Reply {
         let Some(seg) = self.segments.get_mut(segment) else {
-            return Reply::Error { message: format!("no such segment `{segment}`") };
+            return Reply::Error {
+                message: format!("no such segment `{segment}`"),
+            };
         };
         if !seg.needs_update(client, have_version, coherence) {
             return Reply::UpToDate;
         }
         match seg.collect_update(client, have_version) {
             Ok(diff) => Reply::Update { diff },
-            Err(e) => Reply::Error { message: e.to_string() },
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
         }
     }
 
     fn maybe_checkpoint(&mut self, segment: &str) {
-        let Some(dir) = &self.checkpoint_dir else { return };
+        let Some(dir) = &self.checkpoint_dir else {
+            return;
+        };
         let dir = dir.clone();
         let interval = self.checkpoint_interval;
         if let Some(seg) = self.segments.get_mut(segment) {
             if seg.version() % interval == 0 {
                 // Checkpointing is best-effort; failures must not take the
                 // release path down.
-                let _ = checkpoint::write(&dir, seg);
+                let started = Instant::now();
+                if checkpoint::write(&dir, seg).is_ok() {
+                    self.metrics.checkpoints.inc();
+                }
+                self.metrics
+                    .checkpoint_us
+                    .record_duration(started.elapsed());
             }
         }
     }
 
     /// Handles one decoded request (the protocol entry point).
     pub fn handle_request(&mut self, req: &Request) -> Reply {
-        match req {
-            Request::Hello { info } => Reply::Welcome { client: self.hello(info) },
-            Request::Open { client: _, segment } => {
-                Reply::Opened { version: self.open(segment) }
-            }
-            Request::Acquire { client, segment, mode, have_version, coherence } => {
-                self.acquire(*client, segment, *mode, *have_version, *coherence)
-            }
-            Request::Release { client, segment, diff } => {
-                self.release(*client, segment, diff.as_ref())
-            }
+        self.metrics.requests.inc();
+        self.metrics.req_kind[req.kind_index()].inc();
+        let reply = match req {
+            Request::Hello { info } => Reply::Welcome {
+                client: self.hello(info),
+            },
+            Request::Open { client: _, segment } => Reply::Opened {
+                version: self.open(segment),
+            },
+            Request::Acquire {
+                client,
+                segment,
+                mode,
+                have_version,
+                coherence,
+            } => self.acquire(*client, segment, *mode, *have_version, *coherence),
+            Request::Release {
+                client,
+                segment,
+                diff,
+            } => self.release(*client, segment, diff.as_ref()),
             Request::Commit { client, entries } => self.commit(*client, entries),
-            Request::Poll { client, segment, have_version, coherence } => {
-                self.poll(*client, segment, *have_version, *coherence)
-            }
+            Request::Poll {
+                client,
+                segment,
+                have_version,
+                coherence,
+            } => self.poll(*client, segment, *have_version, *coherence),
+            Request::Stats { client: _ } => Reply::Stats {
+                snapshot: self.metrics_snapshot(),
+            },
+        };
+        if matches!(reply, Reply::Error { .. }) {
+            self.metrics.errors.inc();
         }
+        reply
     }
 }
 
@@ -292,7 +420,10 @@ impl iw_proto::Handler for Server {
     fn handle(&mut self, request: Bytes) -> Bytes {
         match Request::decode(request) {
             Ok(req) => self.handle_request(&req).encode(),
-            Err(e) => Reply::Error { message: format!("bad request: {e}") }.encode(),
+            Err(e) => Reply::Error {
+                message: format!("bad request: {e}"),
+            }
+            .encode(),
         }
     }
 }
@@ -348,7 +479,14 @@ mod tests {
             have_version: 0,
             coherence: Coherence::Full,
         });
-        assert!(matches!(r, Reply::Granted { version: 0, update: None, .. }));
+        assert!(matches!(
+            r,
+            Reply::Granted {
+                version: 0,
+                update: None,
+                ..
+            }
+        ));
         let r = s.handle_request(&Request::Release {
             client: c,
             segment: "h/s".into(),
@@ -419,7 +557,12 @@ mod tests {
             have_version: 0,
             coherence: Coherence::Full,
         });
-        let Reply::Granted { version: 1, update: Some(d), .. } = r else {
+        let Reply::Granted {
+            version: 1,
+            update: Some(d),
+            ..
+        } = r
+        else {
             panic!("want update, got {r:?}");
         };
         assert_eq!(d.new_blocks.len(), 1);
@@ -471,7 +614,11 @@ mod tests {
                 have_version: 0,
                 coherence: Coherence::Full,
             },
-            Request::Release { client: c, segment: "nope".into(), diff: None },
+            Request::Release {
+                client: c,
+                segment: "nope".into(),
+                diff: None,
+            },
         ] {
             assert!(matches!(s.handle_request(&req), Reply::Error { .. }));
         }
@@ -502,13 +649,76 @@ mod tests {
     }
 
     #[test]
+    fn disconnect_drops_diff_counters() {
+        let mut s = Server::new();
+        let w = s.hello("w");
+        let rd = s.hello("r");
+        s.open("h/s");
+        // Writer publishes v1; reader polls under Diff coherence, which
+        // creates its per-segment counter.
+        s.handle_request(&Request::Acquire {
+            client: w,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        s.handle_request(&Request::Release {
+            client: w,
+            segment: "h/s".into(),
+            diff: Some(seed_diff(0)),
+        });
+        s.handle_request(&Request::Poll {
+            client: rd,
+            segment: "h/s".into(),
+            have_version: 0,
+            coherence: Coherence::Diff(100),
+        });
+        let seg = s.segment("h/s").unwrap();
+        assert_eq!(seg.diff_counter(rd), Some(0));
+        s.disconnect(rd);
+        let seg = s.segment("h/s").unwrap();
+        assert_eq!(
+            seg.diff_counter(rd),
+            None,
+            "disconnect must drop the counter"
+        );
+        assert_eq!(seg.diff_counter_count(), 0);
+    }
+
+    #[test]
+    fn stats_request_returns_live_snapshot() {
+        let mut s = Server::new();
+        let c = s.hello("c");
+        s.open("h/s");
+        s.handle_request(&Request::Acquire {
+            client: c,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        let r = s.handle_request(&Request::Stats { client: c });
+        let Reply::Stats { snapshot } = r else {
+            panic!("want Stats, got {r:?}")
+        };
+        // hello/open went through the direct methods, not handle_request,
+        // so only the Acquire and Stats requests are counted.
+        assert_eq!(snapshot.counter("server.req.hello_total"), Some(0));
+        assert_eq!(snapshot.counter("server.req.acquire_total"), Some(1));
+        assert_eq!(snapshot.counter("server.lock.granted_total"), Some(1));
+        assert_eq!(snapshot.gauge("server.locks_held"), Some(1));
+        assert_eq!(snapshot.gauge("server.clients"), Some(1));
+        assert_eq!(snapshot.counter("server.segment.h/s.version"), Some(0));
+        // The Stats request itself was counted before the snapshot.
+        assert_eq!(snapshot.counter("server.req.stats_total"), Some(1));
+    }
+
+    #[test]
     fn handler_rejects_garbage_bytes() {
         use iw_proto::Handler;
         let mut s = Server::new();
         let reply = s.handle(Bytes::from_static(&[0xFF, 0x01]));
-        assert!(matches!(
-            Reply::decode(reply).unwrap(),
-            Reply::Error { .. }
-        ));
+        assert!(matches!(Reply::decode(reply).unwrap(), Reply::Error { .. }));
     }
 }

@@ -51,13 +51,9 @@ fn storage_type(ty: &TypeDesc, memo: &mut HashMap<TypeDesc, TypeDesc>) -> TypeDe
         return t.clone();
     }
     let out = match ty.kind() {
-        TypeKind::Prim(PrimKind::Str { .. }) | TypeKind::Prim(PrimKind::Ptr) => {
-            TypeDesc::int32()
-        }
+        TypeKind::Prim(PrimKind::Str { .. }) | TypeKind::Prim(PrimKind::Ptr) => TypeDesc::int32(),
         TypeKind::Prim(_) => ty.clone(),
-        TypeKind::Array { elem, len } => {
-            TypeDesc::array(storage_type(elem, memo), *len)
-        }
+        TypeKind::Array { elem, len } => TypeDesc::array(storage_type(elem, memo), *len),
         TypeKind::Struct { name, fields } => TypeDesc::structure(
             name.clone(),
             fields
@@ -145,9 +141,13 @@ impl WireStore {
     }
 
     fn slot_at(&self, off: usize) -> Result<usize, WireError> {
-        let raw: [u8; 4] = self.fixed[off..off + 4]
-            .try_into()
-            .map_err(|_| WireError::UnexpectedEof { wanted: 4, available: 0 })?;
+        let raw: [u8; 4] =
+            self.fixed[off..off + 4]
+                .try_into()
+                .map_err(|_| WireError::UnexpectedEof {
+                    wanted: 4,
+                    available: 0,
+                })?;
         let slot = u32::from_be_bytes(raw) as usize;
         if slot >= self.vars.len() {
             return Err(WireError::LengthOverflow { len: slot as u64 });
@@ -397,10 +397,7 @@ mod tests {
 
     #[test]
     fn nested_arrays_of_strings() {
-        let ty = TypeDesc::structure(
-            "s",
-            vec![("tags", TypeDesc::array(TypeDesc::string(8), 3))],
-        );
+        let ty = TypeDesc::structure("s", vec![("tags", TypeDesc::array(TypeDesc::string(8), 3))]);
         let l = StoreLayout::new(&ty, 2);
         assert_eq!(l.prim_count(), 6);
         let mut store = WireStore::new(&l);

@@ -29,7 +29,11 @@ fn run(start: u64, vals: &[i32]) -> DiffRun {
     for v in vals {
         data.extend_from_slice(&v.to_be_bytes());
     }
-    DiffRun { start, count: vals.len() as u64, data: Bytes::from(data) }
+    DiffRun {
+        start,
+        count: vals.len() as u64,
+        data: Bytes::from(data),
+    }
 }
 
 proptest! {

@@ -168,7 +168,9 @@ pub struct TypeDesc {
 impl TypeDesc {
     /// Builds a descriptor from a [`TypeKind`].
     pub fn new(kind: TypeKind) -> Self {
-        TypeDesc { kind: Arc::new(kind) }
+        TypeDesc {
+            kind: Arc::new(kind),
+        }
     }
 
     /// The pre-defined descriptor for `char`.
@@ -222,7 +224,10 @@ impl TypeDesc {
             name: name.into(),
             fields: fields
                 .into_iter()
-                .map(|(n, ty)| Field { name: n.to_string(), ty })
+                .map(|(n, ty)| Field {
+                    name: n.to_string(),
+                    ty,
+                })
                 .collect(),
         })
     }
@@ -240,9 +245,7 @@ impl TypeDesc {
         match self.kind() {
             TypeKind::Prim(_) => 1,
             TypeKind::Array { elem, len } => elem.prim_count() * u64::from(*len),
-            TypeKind::Struct { fields, .. } => {
-                fields.iter().map(|f| f.ty.prim_count()).sum()
-            }
+            TypeKind::Struct { fields, .. } => fields.iter().map(|f| f.ty.prim_count()).sum(),
         }
     }
 
@@ -264,9 +267,7 @@ impl TypeDesc {
         match self.kind() {
             TypeKind::Prim(p) => *p == PrimKind::Ptr,
             TypeKind::Array { elem, .. } => elem.contains_pointer(),
-            TypeKind::Struct { fields, .. } => {
-                fields.iter().any(|f| f.ty.contains_pointer())
-            }
+            TypeKind::Struct { fields, .. } => fields.iter().any(|f| f.ty.contains_pointer()),
         }
     }
 
@@ -276,9 +277,7 @@ impl TypeDesc {
         match self.kind() {
             TypeKind::Prim(p) => p.is_variable(),
             TypeKind::Array { elem, .. } => elem.contains_variable(),
-            TypeKind::Struct { fields, .. } => {
-                fields.iter().any(|f| f.ty.contains_variable())
-            }
+            TypeKind::Struct { fields, .. } => fields.iter().any(|f| f.ty.contains_variable()),
         }
     }
 
@@ -344,10 +343,8 @@ mod tests {
 
     #[test]
     fn nested_prim_count() {
-        let inner = TypeDesc::structure(
-            "inner",
-            vec![("a", TypeDesc::array(TypeDesc::char8(), 3))],
-        );
+        let inner =
+            TypeDesc::structure("inner", vec![("a", TypeDesc::array(TypeDesc::char8(), 3))]);
         let outer = TypeDesc::structure(
             "outer",
             vec![("x", inner.clone()), ("y", TypeDesc::array(inner, 2))],

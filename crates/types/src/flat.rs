@@ -64,9 +64,11 @@ impl FlatNode {
     fn prim_len(&self) -> u64 {
         match self {
             FlatNode::Run { count, .. } => u64::from(*count),
-            FlatNode::Repeat { count, prims_per_iter, .. } => {
-                u64::from(*count) * prims_per_iter
-            }
+            FlatNode::Repeat {
+                count,
+                prims_per_iter,
+                ..
+            } => u64::from(*count) * prims_per_iter,
         }
     }
 
@@ -80,15 +82,21 @@ impl FlatNode {
     /// assuming primitives of `kind` occupy `kind.local_size` bytes.
     fn local_end(&self, arch: &MachineArch) -> u32 {
         match self {
-            FlatNode::Run { kind, count, local_off, stride, .. } => {
-                local_off + (count - 1) * stride + kind.local_size(arch)
-            }
-            FlatNode::Repeat { count, local_off, stride, body, .. } => {
-                let body_end = body
-                    .iter()
-                    .map(|n| n.local_end(arch))
-                    .max()
-                    .unwrap_or(0);
+            FlatNode::Run {
+                kind,
+                count,
+                local_off,
+                stride,
+                ..
+            } => local_off + (count - 1) * stride + kind.local_size(arch),
+            FlatNode::Repeat {
+                count,
+                local_off,
+                stride,
+                body,
+                ..
+            } => {
+                let body_end = body.iter().map(|n| n.local_end(arch)).max().unwrap_or(0);
                 local_off + (count - 1) * stride + body_end
             }
         }
@@ -242,7 +250,13 @@ impl FlatLayout {
     /// Enables arithmetic primitive lookup without tree descent.
     pub fn single_run(&self) -> Option<RunRef> {
         match &self.nodes[..] {
-            [FlatNode::Run { kind, count, local_off, stride, prim_off }] => Some(RunRef {
+            [FlatNode::Run {
+                kind,
+                count,
+                local_off,
+                stride,
+                prim_off,
+            }] => Some(RunRef {
                 prim_off: *prim_off,
                 local_off: *local_off,
                 stride: *stride,
@@ -264,13 +278,17 @@ impl FlatLayout {
     /// Iterates runs starting at machine-independent offset `prim_off`
     /// (the first yielded run may be a tail of a larger run).
     pub fn seek_prim_runs(&self, prim_off: u64) -> RunIter<'_> {
-        RunIter { inner: self.seek_prim(prim_off) }
+        RunIter {
+            inner: self.seek_prim(prim_off),
+        }
     }
 
     /// Iterates runs starting with the first primitive whose local extent
     /// ends after `byte_off`.
     pub fn seek_byte_runs(&self, byte_off: u32) -> RunIter<'_> {
-        RunIter { inner: self.seek_byte(byte_off) }
+        RunIter {
+            inner: self.seek_byte(byte_off),
+        }
     }
 }
 
@@ -307,7 +325,13 @@ impl Iterator for RunIter<'_> {
                 continue;
             }
             match &frame.nodes[frame.node_idx] {
-                FlatNode::Run { kind, count, local_off, stride, prim_off } => {
+                FlatNode::Run {
+                    kind,
+                    count,
+                    local_off,
+                    stride,
+                    prim_off,
+                } => {
                     if frame.iter < *count {
                         let i = frame.iter;
                         let remaining = *count - i;
@@ -335,8 +359,7 @@ impl Iterator for RunIter<'_> {
                         let i = frame.iter;
                         frame.iter += 1;
                         let base_local = frame.base_local + local_off + i * stride;
-                        let base_prim =
-                            frame.base_prim + prim_off + u64::from(i) * prims_per_iter;
+                        let base_prim = frame.base_prim + prim_off + u64::from(i) * prims_per_iter;
                         let body = body.clone();
                         self.inner.stack.push(Frame {
                             nodes: body,
@@ -360,12 +383,8 @@ impl Iterator for RunIter<'_> {
 fn wire_size_of(ty: &TypeDesc) -> Option<u64> {
     match ty.kind() {
         TypeKind::Prim(p) => p.wire_size().map(u64::from),
-        TypeKind::Array { elem, len } => {
-            wire_size_of(elem).map(|s| s * u64::from(*len))
-        }
-        TypeKind::Struct { fields, .. } => {
-            fields.iter().map(|f| wire_size_of(&f.ty)).sum()
-        }
+        TypeKind::Array { elem, len } => wire_size_of(elem).map(|s| s * u64::from(*len)),
+        TypeKind::Struct { fields, .. } => fields.iter().map(|f| wire_size_of(&f.ty)).sum(),
     }
 }
 
@@ -396,19 +415,18 @@ fn flatten(
             // element stride, the array is itself one big run (isomorphic
             // descriptor).
             if merge && body.len() == 1 {
-                if let FlatNode::Run { kind, count, local_off, stride, .. } = body[0] {
+                if let FlatNode::Run {
+                    kind,
+                    count,
+                    local_off,
+                    stride,
+                    ..
+                } = body[0]
+                {
                     let covers = local_off == 0
                         && u64::from(count) * u64::from(stride) == u64::from(el.size);
                     if covers {
-                        push_run(
-                            out,
-                            kind,
-                            count * len,
-                            local_base,
-                            stride,
-                            *prim,
-                            merge,
-                        );
+                        push_run(out, kind, count * len, local_base, stride, *prim, merge);
                         *prim += elem_prims * u64::from(*len);
                         return;
                     }
@@ -472,7 +490,13 @@ fn push_run(
             }
         }
     }
-    out.push(FlatNode::Run { kind, count, local_off, stride, prim_off });
+    out.push(FlatNode::Run {
+        kind,
+        count,
+        local_off,
+        stride,
+        prim_off,
+    });
 }
 
 /// Iterator over the primitives of a [`FlatLayout`].
@@ -506,7 +530,10 @@ impl<'a> PrimIter<'a> {
     }
 
     fn empty(fl: &'a FlatLayout) -> Self {
-        PrimIter { arch: &fl.arch, stack: Vec::new() }
+        PrimIter {
+            arch: &fl.arch,
+            stack: Vec::new(),
+        }
     }
 
     /// Positions the iterator at absolute primitive offset `target`
@@ -520,16 +547,15 @@ impl<'a> PrimIter<'a> {
     ) {
         let rel = target - base_prim;
         // Find the node containing `rel`.
-        let idx = match nodes
-            .binary_search_by(|n| {
-                if n.prim_off() + n.prim_len() <= rel {
-                    std::cmp::Ordering::Less
-                } else if n.prim_off() > rel {
-                    std::cmp::Ordering::Greater
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            }) {
+        let idx = match nodes.binary_search_by(|n| {
+            if n.prim_off() + n.prim_len() <= rel {
+                std::cmp::Ordering::Less
+            } else if n.prim_off() > rel {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
             Ok(i) => i,
             Err(_) => unreachable!("target primitive out of node range"),
         };
@@ -586,7 +612,13 @@ impl<'a> PrimIter<'a> {
             return;
         }
         match &nodes[idx] {
-            FlatNode::Run { kind, count, local_off, stride, prim_off } => {
+            FlatNode::Run {
+                kind,
+                count,
+                local_off,
+                stride,
+                prim_off,
+            } => {
                 let start = base_local + local_off;
                 let size = kind.local_size(arch);
                 let step = (*stride).max(1);
@@ -595,7 +627,11 @@ impl<'a> PrimIter<'a> {
                 } else {
                     let k = (byte - start) / step;
                     // Element k may already end at or before `byte`.
-                    if start + k * step + size <= byte { k + 1 } else { k }
+                    if start + k * step + size <= byte {
+                        k + 1
+                    } else {
+                        k
+                    }
                 };
                 debug_assert!(iter < *count);
                 let _ = prim_off;
@@ -607,7 +643,14 @@ impl<'a> PrimIter<'a> {
                     base_prim,
                 });
             }
-            FlatNode::Repeat { count, local_off, stride, prims_per_iter, prim_off, body } => {
+            FlatNode::Repeat {
+                count,
+                local_off,
+                stride,
+                prims_per_iter,
+                prim_off,
+                body,
+            } => {
                 let start = base_local + local_off;
                 let i = if byte <= start {
                     0
@@ -618,8 +661,7 @@ impl<'a> PrimIter<'a> {
                 // (trailing padding); try it, and fall forward if empty.
                 for i in i..*count {
                     let child_local = start + i * stride;
-                    let child_prim =
-                        base_prim + prim_off + u64::from(i) * prims_per_iter;
+                    let child_prim = base_prim + prim_off + u64::from(i) * prims_per_iter;
                     let depth = self.stack.len();
                     self.stack.push(Frame {
                         nodes: nodes.clone(),
@@ -662,7 +704,13 @@ impl Iterator for PrimIter<'_> {
             // Work around borrow rules: extract what we need first.
             let node = frame.nodes[frame.node_idx].clone();
             match node {
-                FlatNode::Run { kind, count, local_off, stride, prim_off } => {
+                FlatNode::Run {
+                    kind,
+                    count,
+                    local_off,
+                    stride,
+                    prim_off,
+                } => {
                     if frame.iter < count {
                         let i = frame.iter;
                         frame.iter += 1;
@@ -687,8 +735,7 @@ impl Iterator for PrimIter<'_> {
                         let i = frame.iter;
                         frame.iter += 1;
                         let base_local = frame.base_local + local_off + i * stride;
-                        let base_prim =
-                            frame.base_prim + prim_off + u64::from(i) * prims_per_iter;
+                        let base_prim = frame.base_prim + prim_off + u64::from(i) * prims_per_iter;
                         self.stack.push(Frame {
                             nodes: body,
                             node_idx: 0,
@@ -721,7 +768,12 @@ mod tests {
         assert_eq!(fl.nodes().len(), 1);
         assert!(matches!(
             fl.nodes()[0],
-            FlatNode::Run { kind: PrimKind::Int32, count: 1000, stride: 4, .. }
+            FlatNode::Run {
+                kind: PrimKind::Int32,
+                count: 1000,
+                stride: 4,
+                ..
+            }
         ));
         assert_eq!(fl.prim_count(), 1000);
         assert_eq!(fl.local_size(), 4000);
@@ -751,8 +803,9 @@ mod tests {
     #[test]
     fn array_of_homogeneous_structs_is_one_run() {
         // struct of 32 ints (the paper's int_struct) tiles perfectly.
-        let fields: Vec<(String, TypeDesc)> =
-            (0..32).map(|i| (format!("f{i}"), TypeDesc::int32())).collect();
+        let fields: Vec<(String, TypeDesc)> = (0..32)
+            .map(|i| (format!("f{i}"), TypeDesc::int32()))
+            .collect();
         let t = TypeDesc::new(TypeKind::Struct {
             name: "int_struct".into(),
             fields: fields

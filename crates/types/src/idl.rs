@@ -70,9 +70,7 @@ impl IdlModule {
 
     /// Iterates `(name, descriptor)` pairs in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &TypeDesc)> {
-        self.names
-            .iter()
-            .map(move |n| (n.as_str(), &self.types[n]))
+        self.names.iter().map(move |n| (n.as_str(), &self.types[n]))
     }
 
     /// Looks up a declared constant.
@@ -103,7 +101,11 @@ pub struct IdlError {
 
 impl fmt::Display for IdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "idl error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "idl error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -118,7 +120,12 @@ impl Error for IdlError {}
 /// zero-capacity strings.
 pub fn compile(src: &str) -> Result<IdlModule, IdlError> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0, module: IdlModule::default() }.parse()
+    Parser {
+        tokens,
+        pos: 0,
+        module: IdlModule::default(),
+    }
+    .parse()
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,7 +219,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IdlError> {
                     break;
                 }
             }
-            out.push(Spanned { tok: Tok::Ident(s), line: l0, col: c0 });
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                line: l0,
+                col: c0,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -232,12 +243,20 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IdlError> {
                     break;
                 }
             }
-            out.push(Spanned { tok: Tok::Num(n), line: l0, col: c0 });
+            out.push(Spanned {
+                tok: Tok::Num(n),
+                line: l0,
+                col: c0,
+            });
             continue;
         }
         if "{}[]<>*;,=".contains(c) {
             bump!();
-            out.push(Spanned { tok: Tok::Punct(c), line: l0, col: c0 });
+            out.push(Spanned {
+                tok: Tok::Punct(c),
+                line: l0,
+                col: c0,
+            });
             continue;
         }
         return Err(IdlError {
@@ -295,11 +314,19 @@ impl Parser {
             .last()
             .map(|s| (s.line, s.col))
             .unwrap_or((1, 1));
-        IdlError { line, col, message: "unexpected end of input".into() }
+        IdlError {
+            line,
+            col,
+            message: "unexpected end of input".into(),
+        }
     }
 
     fn next(&mut self) -> Result<Spanned, IdlError> {
-        let t = self.tokens.get(self.pos).cloned().ok_or_else(|| self.err_eof())?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err_eof())?;
         self.pos += 1;
         Ok(t)
     }
@@ -372,9 +399,7 @@ impl Parser {
         let base = self.base_type()?;
         let (name, ty) = self.declarator(base)?;
         self.expect_punct(';')?;
-        self.module
-            .insert(name, ty)
-            .map_err(|m| self.err_here(m))
+        self.module.insert(name, ty).map_err(|m| self.err_here(m))
     }
 
     fn structdef(&mut self) -> Result<(), IdlError> {
@@ -390,9 +415,7 @@ impl Parser {
             let base = self.base_type()?;
             let (fname, fty) = self.declarator(base)?;
             if fields.iter().any(|(n, _)| *n == fname) {
-                return Err(self.err_here(format!(
-                    "duplicate field `{fname}` in struct `{name}`"
-                )));
+                return Err(self.err_here(format!("duplicate field `{fname}` in struct `{name}`")));
             }
             fields.push((fname, fty));
             self.expect_punct(';')?;
@@ -400,11 +423,12 @@ impl Parser {
         self.expect_punct(';')?;
         let ty = TypeDesc::structure(
             name.clone(),
-            fields.iter().map(|(n, t)| (n.as_str(), t.clone())).collect(),
+            fields
+                .iter()
+                .map(|(n, t)| (n.as_str(), t.clone()))
+                .collect(),
         );
-        self.module
-            .insert(name, ty)
-            .map_err(|m| self.err_here(m))
+        self.module.insert(name, ty).map_err(|m| self.err_here(m))
     }
 
     /// Parses `"<" size ">"`, validating the capacity.
@@ -451,9 +475,7 @@ impl Parser {
                     .get(&sname)
                     .cloned()
                     .map(BaseTy::Ty)
-                    .ok_or_else(|| {
-                        self.err_here(format!("undefined struct `{sname}`"))
-                    })
+                    .ok_or_else(|| self.err_here(format!("undefined struct `{sname}`")))
             }
             other => self
                 .module
@@ -514,10 +536,7 @@ mod tests {
 
     #[test]
     fn paper_linked_list_node() {
-        let m = compile(
-            "struct node { int key; struct node *next; };",
-        )
-        .unwrap();
+        let m = compile("struct node { int key; struct node *next; };").unwrap();
         let node = m.get("node").unwrap();
         let TypeKind::Struct { fields, .. } = node.kind() else {
             panic!("expected struct")
@@ -545,24 +564,27 @@ mod tests {
     fn multidimensional_arrays_outermost_first() {
         let m = compile("typedef int mat[2][3];").unwrap();
         let t = m.get("mat").unwrap();
-        let TypeKind::Array { elem, len } = t.kind() else { panic!() };
+        let TypeKind::Array { elem, len } = t.kind() else {
+            panic!()
+        };
         assert_eq!(*len, 2);
-        let TypeKind::Array { len: inner, .. } = elem.kind() else { panic!() };
+        let TypeKind::Array { len: inner, .. } = elem.kind() else {
+            panic!()
+        };
         assert_eq!(*inner, 3);
     }
 
     #[test]
     fn strings_and_pointers() {
-        let m = compile(
-            "struct rec { string name<256>; string tag<4>; int *vals[8]; };",
-        )
-        .unwrap();
+        let m = compile("struct rec { string name<256>; string tag<4>; int *vals[8]; };").unwrap();
         let r = m.get("rec").unwrap();
         let (_, f) = r.field("name").unwrap();
         assert_eq!(f.ty.as_prim(), Some(PrimKind::Str { cap: 256 }));
         let (_, f) = r.field("vals").unwrap();
         // int *vals[8] is an array of 8 pointers.
-        let TypeKind::Array { elem, len: 8 } = f.ty.kind() else { panic!() };
+        let TypeKind::Array { elem, len: 8 } = f.ty.kind() else {
+            panic!()
+        };
         assert_eq!(elem.as_prim(), Some(PrimKind::Ptr));
     }
 
@@ -580,10 +602,7 @@ mod tests {
     fn nested_struct_by_value_requires_definition() {
         let err = compile("struct a { struct b inner; };").unwrap_err();
         assert!(err.message.contains("undefined struct `b`"), "{err}");
-        let ok = compile(
-            "struct b { int x; };\nstruct a { struct b inner; };",
-        )
-        .unwrap();
+        let ok = compile("struct b { int x; };\nstruct a { struct b inner; };").unwrap();
         assert_eq!(ok.get("a").unwrap().prim_count(), 1);
     }
 
@@ -621,10 +640,7 @@ mod tests {
 
     #[test]
     fn declaration_order_preserved() {
-        let m = compile(
-            "typedef int a; typedef int b; struct c { int x; };",
-        )
-        .unwrap();
+        let m = compile("typedef int a; typedef int b; struct c { int x; };").unwrap();
         assert_eq!(m.names(), &["a", "b", "c"]);
         let collected: Vec<&str> = m.iter().map(|(n, _)| n).collect();
         assert_eq!(collected, vec!["a", "b", "c"]);
@@ -655,10 +671,14 @@ mod tests {
 
     #[test]
     fn const_errors() {
-        assert!(compile("const A = 1; const A = 2;").unwrap_err()
-            .message.contains("duplicate const"));
-        assert!(compile("struct s { int v[UNDEF]; };").unwrap_err()
-            .message.contains("undefined const"));
+        assert!(compile("const A = 1; const A = 2;")
+            .unwrap_err()
+            .message
+            .contains("duplicate const"));
+        assert!(compile("struct s { int v[UNDEF]; };")
+            .unwrap_err()
+            .message
+            .contains("undefined const"));
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn layout_of(ty: &TypeDesc, arch: &MachineArch) -> Layout {
         },
         TypeKind::Array { elem, len } => {
             let el = layout_of(elem, arch);
-            Layout { size: el.size * len, align: el.align }
+            Layout {
+                size: el.size * len,
+                align: el.align,
+            }
         }
         TypeKind::Struct { fields, .. } => {
             let mut off = 0u32;
@@ -67,7 +70,10 @@ pub fn layout_of(ty: &TypeDesc, arch: &MachineArch) -> Layout {
                 off = Layout::align_up(off, fl.align) + fl.size;
                 align = align.max(fl.align);
             }
-            Layout { size: Layout::align_up(off.max(1), align), align }
+            Layout {
+                size: Layout::align_up(off.max(1), align),
+                align,
+            }
         }
     }
 }
@@ -206,10 +212,7 @@ mod tests {
             "inner",
             vec![("c", TypeDesc::char8()), ("i", TypeDesc::int32())],
         );
-        let outer = TypeDesc::structure(
-            "outer",
-            vec![("c", TypeDesc::char8()), ("in", inner)],
-        );
+        let outer = TypeDesc::structure("outer", vec![("c", TypeDesc::char8()), ("in", inner)]);
         let x86 = MachineArch::x86();
         // inner: c@0, i@4 -> size 8 align 4. outer: c@0, in@4 -> size 12.
         assert_eq!(field_offsets(&outer, &x86), vec![0, 4]);

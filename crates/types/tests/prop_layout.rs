@@ -34,8 +34,7 @@ fn arb_type() -> impl Strategy<Value = TypeDesc> {
                         .enumerate()
                         .map(|(i, t)| -> (&str, TypeDesc) {
                             // Leak tiny names; fine for tests.
-                            let name: &'static str =
-                                Box::leak(format!("f{i}").into_boxed_str());
+                            let name: &'static str = Box::leak(format!("f{i}").into_boxed_str());
                             (name, t.clone())
                         })
                         .collect(),

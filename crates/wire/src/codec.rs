@@ -89,12 +89,16 @@ pub struct WireWriter {
 impl WireWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        WireWriter { buf: BytesMut::new() }
+        WireWriter {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Creates a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        WireWriter { buf: BytesMut::with_capacity(cap) }
+        WireWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -183,7 +187,10 @@ impl WireReader {
 
     fn need(&self, n: usize) -> Result<(), WireError> {
         if self.buf.len() < n {
-            return Err(WireError::UnexpectedEof { wanted: n, available: self.buf.len() });
+            return Err(WireError::UnexpectedEof {
+                wanted: n,
+                available: self.buf.len(),
+            });
         }
         Ok(())
     }
@@ -343,7 +350,13 @@ mod tests {
     fn eof_is_detected() {
         let mut r = WireReader::new(Bytes::from_static(&[1, 2]));
         let err = r.get_u32().unwrap_err();
-        assert_eq!(err, WireError::UnexpectedEof { wanted: 4, available: 2 });
+        assert_eq!(
+            err,
+            WireError::UnexpectedEof {
+                wanted: 4,
+                available: 2
+            }
+        );
         assert!(err.to_string().contains("unexpected end"));
     }
 
@@ -374,7 +387,10 @@ mod tests {
         let mut r = WireReader::new(w.finish());
         assert!(matches!(
             r.get_len_bytes().unwrap_err(),
-            WireError::UnexpectedEof { wanted: 10, available: 3 }
+            WireError::UnexpectedEof {
+                wanted: 10,
+                available: 3
+            }
         ));
     }
 

@@ -93,7 +93,10 @@ impl SegmentDiff {
     /// Total wire payload size in bytes: run data plus new-block images.
     /// This is the quantity the bandwidth experiments report.
     pub fn payload_len(&self) -> usize {
-        self.block_diffs.iter().map(BlockDiff::diff_len).sum::<usize>()
+        self.block_diffs
+            .iter()
+            .map(BlockDiff::diff_len)
+            .sum::<usize>()
             + self.new_blocks.iter().map(|b| b.data.len()).sum::<usize>()
     }
 
@@ -162,12 +165,23 @@ impl SegmentDiff {
             let name = match r.get_u8()? {
                 0 => None,
                 1 => Some(r.get_str()?),
-                tag => return Err(WireError::BadTag { what: "block name flag", tag }),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "block name flag",
+                        tag,
+                    })
+                }
             };
             let type_serial = r.get_u32()?;
             let count = r.get_u32()?;
             let data = r.get_len_bytes()?;
-            new_blocks.push(NewBlock { serial, name, type_serial, count, data });
+            new_blocks.push(NewBlock {
+                serial,
+                name,
+                type_serial,
+                count,
+                data,
+            });
         }
         let n_diffs = checked_count(r.get_u32()?)?;
         let mut block_diffs = Vec::with_capacity(n_diffs);
@@ -271,7 +285,11 @@ mod tests {
 
     #[test]
     fn empty_diff_roundtrips() {
-        let d = SegmentDiff { from_version: 1, to_version: 1, ..Default::default() };
+        let d = SegmentDiff {
+            from_version: 1,
+            to_version: 1,
+            ..Default::default()
+        };
         let mut r = WireReader::new(d.encode());
         assert_eq!(SegmentDiff::decode(&mut r).unwrap(), d);
     }
@@ -328,7 +346,10 @@ mod tests {
         let mut r = WireReader::new(w.finish());
         assert!(matches!(
             SegmentDiff::decode(&mut r),
-            Err(WireError::BadTag { what: "block name flag", .. })
+            Err(WireError::BadTag {
+                what: "block name flag",
+                ..
+            })
         ));
     }
 }

@@ -84,7 +84,11 @@ pub struct Mip {
 impl Mip {
     /// Builds a MIP from parts.
     pub fn new(segment: impl Into<String>, block: impl Into<BlockRef>, offset: u64) -> Self {
-        Mip { segment: segment.into(), block: block.into(), offset }
+        Mip {
+            segment: segment.into(),
+            block: block.into(),
+            offset,
+        }
     }
 
     /// A MIP to the start of a block.
@@ -118,7 +122,11 @@ impl FromStr for Mip {
         if parts.next().is_some() {
             return Err(bad());
         }
-        Ok(Mip { segment: segment.to_string(), block: BlockRef::from(block), offset })
+        Ok(Mip {
+            segment: segment.to_string(),
+            block: BlockRef::from(block),
+            offset,
+        })
     }
 }
 

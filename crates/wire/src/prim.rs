@@ -119,7 +119,9 @@ pub fn prim_from_wire(
         PrimKind::Str { cap } => {
             let b = r.get_len_bytes()?;
             if b.len() + 1 > cap as usize {
-                return Err(WireError::LengthOverflow { len: b.len() as u64 });
+                return Err(WireError::LengthOverflow {
+                    len: b.len() as u64,
+                });
             }
             local[..b.len()].copy_from_slice(&b);
             local[b.len()..].fill(0);
@@ -184,12 +186,24 @@ mod tests {
         let sparc = MachineArch::sparc_v9();
         let v = -123456789i32;
         let mut w = WireWriter::new();
-        prim_to_wire(&mut w, PrimKind::Int32, &v.to_le_bytes(), &x86, &mut no_pointers)
-            .unwrap();
+        prim_to_wire(
+            &mut w,
+            PrimKind::Int32,
+            &v.to_le_bytes(),
+            &x86,
+            &mut no_pointers,
+        )
+        .unwrap();
         let mut r = WireReader::new(w.finish());
         let mut out = [0u8; 4];
-        prim_from_wire(&mut r, PrimKind::Int32, &mut out, &sparc, &mut no_pointers_in)
-            .unwrap();
+        prim_from_wire(
+            &mut r,
+            PrimKind::Int32,
+            &mut out,
+            &sparc,
+            &mut no_pointers_in,
+        )
+        .unwrap();
         assert_eq!(i32::from_be_bytes(out), v);
     }
 
@@ -199,12 +213,24 @@ mod tests {
         let mips = MachineArch::mips32();
         let v = -2.75e17f64;
         let mut w = WireWriter::new();
-        prim_to_wire(&mut w, PrimKind::Float64, &v.to_le_bytes(), &x86, &mut no_pointers)
-            .unwrap();
+        prim_to_wire(
+            &mut w,
+            PrimKind::Float64,
+            &v.to_le_bytes(),
+            &x86,
+            &mut no_pointers,
+        )
+        .unwrap();
         let mut r = WireReader::new(w.finish());
         let mut out = [0u8; 8];
-        prim_from_wire(&mut r, PrimKind::Float64, &mut out, &mips, &mut no_pointers_in)
-            .unwrap();
+        prim_from_wire(
+            &mut r,
+            PrimKind::Float64,
+            &mut out,
+            &mips,
+            &mut no_pointers_in,
+        )
+        .unwrap();
         assert_eq!(f64::from_be_bytes(out), v);
     }
 
@@ -219,7 +245,12 @@ mod tests {
                 (PrimKind::Float32, vec![9, 8, 7, 6]),
                 (PrimKind::Float64, vec![9, 8, 7, 6, 5, 4, 3, 2]),
             ] {
-                assert_eq!(roundtrip(kind, &bytes, &arch), bytes, "{kind:?} on {}", arch.name);
+                assert_eq!(
+                    roundtrip(kind, &bytes, &arch),
+                    bytes,
+                    "{kind:?} on {}",
+                    arch.name
+                );
             }
         }
     }
@@ -230,7 +261,10 @@ mod tests {
         let kind = PrimKind::Str { cap: 8 };
         let mut local = *b"hi\0AAAAA"; // garbage after NUL
         let out = roundtrip(kind, &local, &arch);
-        assert_eq!(&out, b"hi\0\0\0\0\0\0", "garbage after NUL must not survive");
+        assert_eq!(
+            &out, b"hi\0\0\0\0\0\0",
+            "garbage after NUL must not survive"
+        );
         // Unterminated string: whole window travels.
         local = *b"ABCDEFGH";
         let mut w = WireWriter::new();

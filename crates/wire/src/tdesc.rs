@@ -76,7 +76,9 @@ pub fn decode_type(r: &mut WireReader) -> Result<TypeDesc, WireError> {
 
 fn decode_at_depth(r: &mut WireReader, depth: u32) -> Result<TypeDesc, WireError> {
     if depth > MAX_TYPE_DEPTH {
-        return Err(WireError::LengthOverflow { len: u64::from(depth) });
+        return Err(WireError::LengthOverflow {
+            len: u64::from(depth),
+        });
     }
     match r.get_u8()? {
         TAG_PRIM => {
@@ -95,7 +97,12 @@ fn decode_at_depth(r: &mut WireReader, depth: u32) -> Result<TypeDesc, WireError
                     PrimKind::Str { cap }
                 }
                 KIND_PTR => PrimKind::Ptr,
-                tag => return Err(WireError::BadTag { what: "primitive kind", tag }),
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "primitive kind",
+                        tag,
+                    })
+                }
             };
             Ok(TypeDesc::new(TypeKind::Prim(kind)))
         }
@@ -114,11 +121,17 @@ fn decode_at_depth(r: &mut WireReader, depth: u32) -> Result<TypeDesc, WireError
             for _ in 0..n {
                 let fname = r.get_str()?;
                 let fty = decode_at_depth(r, depth + 1)?;
-                fields.push(Field { name: fname, ty: fty });
+                fields.push(Field {
+                    name: fname,
+                    ty: fty,
+                });
             }
             Ok(TypeDesc::new(TypeKind::Struct { name, fields }))
         }
-        tag => Err(WireError::BadTag { what: "type descriptor", tag }),
+        tag => Err(WireError::BadTag {
+            what: "type descriptor",
+            tag,
+        }),
     }
 }
 
@@ -175,12 +188,18 @@ mod tests {
         let mut r = WireReader::new(Bytes::from_static(&[0x99]));
         assert!(matches!(
             decode_type(&mut r),
-            Err(WireError::BadTag { what: "type descriptor", .. })
+            Err(WireError::BadTag {
+                what: "type descriptor",
+                ..
+            })
         ));
         let mut r = WireReader::new(Bytes::from_static(&[TAG_PRIM, 0x77]));
         assert!(matches!(
             decode_type(&mut r),
-            Err(WireError::BadTag { what: "primitive kind", .. })
+            Err(WireError::BadTag {
+                what: "primitive kind",
+                ..
+            })
         ));
     }
 

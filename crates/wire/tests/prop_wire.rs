@@ -42,19 +42,17 @@ fn arb_type() -> impl Strategy<Value = TypeDesc> {
     leaf.prop_recursive(4, 32, 5, |inner| {
         prop_oneof![
             (inner.clone(), 0u32..6).prop_map(|(t, n)| TypeDesc::array(t, n)),
-            (prop::collection::vec(inner, 0..5), "[a-z]{1,6}").prop_map(
-                |(tys, name)| {
-                    TypeDesc::structure(
-                        name,
-                        tys.iter()
-                            .enumerate()
-                            .map(|(i, t)| -> (&str, TypeDesc) {
-                                (Box::leak(format!("f{i}").into_boxed_str()), t.clone())
-                            })
-                            .collect(),
-                    )
-                }
-            ),
+            (prop::collection::vec(inner, 0..5), "[a-z]{1,6}").prop_map(|(tys, name)| {
+                TypeDesc::structure(
+                    name,
+                    tys.iter()
+                        .enumerate()
+                        .map(|(i, t)| -> (&str, TypeDesc) {
+                            (Box::leak(format!("f{i}").into_boxed_str()), t.clone())
+                        })
+                        .collect(),
+                )
+            }),
         ]
     })
 }

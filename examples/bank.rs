@@ -26,7 +26,11 @@ fn open_account(
     owner: &str,
     opening: i64,
 ) -> Result<(), CoreError> {
-    let acct_t = idl::compile(ACCT_IDL).expect("static idl").get("acct").unwrap().clone();
+    let acct_t = idl::compile(ACCT_IDL)
+        .expect("static idl")
+        .get("acct")
+        .unwrap()
+        .clone();
     let h = s.open_segment(segment)?;
     s.wl_acquire(&h)?;
     let a = s.malloc(&h, &acct_t, 1, Some("acct"))?;
@@ -84,8 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let south: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
 
     // The teller speaks to both; segments route by URL host.
-    let mut teller =
-        Session::new(MachineArch::x86_64(), Box::new(Loopback::new(north.clone())))?;
+    let mut teller = Session::new(
+        MachineArch::x86_64(),
+        Box::new(Loopback::new(north.clone())),
+    )?;
     teller.add_server("south.bank", Box::new(Loopback::new(south.clone())))?;
 
     open_account(&mut teller, "north.bank/ada", "Ada", 120)?;

@@ -54,7 +54,11 @@ impl CalClient {
         room: &str,
     ) -> Result<Ptr, CoreError> {
         let s = &mut self.session;
-        let appt_t = idl::compile(CAL_IDL).expect("static idl").get("appt").unwrap().clone();
+        let appt_t = idl::compile(CAL_IDL)
+            .expect("static idl")
+            .get("appt")
+            .unwrap()
+            .clone();
         s.wl_acquire(&self.handle)?;
         let cal = s.mip_to_ptr("team/week27#cal")?;
         let a = s.malloc(&self.handle, &appt_t, 1, None)?;
@@ -113,7 +117,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut alice = CalClient::connect(&srv, MachineArch::x86_64())?;
     let cal_t = idl::compile(CAL_IDL)?.get("calendar").unwrap().clone();
     alice.session.wl_acquire(&alice.handle)?;
-    alice.session.malloc(&alice.handle, &cal_t, 1, Some("cal"))?;
+    alice
+        .session
+        .malloc(&alice.handle, &cal_t, 1, Some("cal"))?;
     alice.session.wl_release(&alice.handle)?;
 
     let mut bob = CalClient::connect(&srv, MachineArch::mips32())?;

@@ -23,10 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The database server runs on a 64-bit Alpha; the analyst's mining
     // client on a 32-bit x86 desktop.
-    let mut dbserver =
-        Session::new(MachineArch::alpha(), Box::new(Loopback::new(server.clone())))?;
-    let mut analyst =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(server)))?;
+    let mut dbserver = Session::new(
+        MachineArch::alpha(),
+        Box::new(Loopback::new(server.clone())),
+    )?;
+    let mut analyst = Session::new(MachineArch::x86(), Box::new(Loopback::new(server)))?;
 
     // A scaled-down database (the benchmark harness runs the paper-sized
     // one); same structure: patterns hidden in customer streams.

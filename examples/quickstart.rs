@@ -21,7 +21,11 @@ const LIST_IDL: &str = "struct node { int key; struct node *next; };";
 /// `list_insert` from Figure 1.
 fn list_insert(s: &mut Session, h: &SegHandle, head: &Ptr, key: i32) -> Result<(), CoreError> {
     s.wl_acquire(h)?; // write lock
-    let node_t = idl::compile(LIST_IDL).expect("static idl").get("node").unwrap().clone();
+    let node_t = idl::compile(LIST_IDL)
+        .expect("static idl")
+        .get("node")
+        .unwrap()
+        .clone();
     let p = s.malloc(h, &node_t, 1, None)?;
     s.write_i32(&s.field(&p, "key")?, key)?;
     let old_first = s.read_ptr(&s.field(head, "next")?)?;
@@ -99,7 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for key in [4, 42] {
         println!(
             "search key {key:2}: {}",
-            if list_search(&mut b, &hb, &head_b, key)? { "found" } else { "absent" }
+            if list_search(&mut b, &hb, &head_b, key)? {
+                "found"
+            } else {
+                "absent"
+            }
         );
     }
 

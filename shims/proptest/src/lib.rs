@@ -1,0 +1,709 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait (`prop_map`, `prop_recursive`, `boxed`), strategies for ranges,
+//! tuples, `Just`, regex-subset `&str` patterns, `prop::collection::vec`,
+//! `prop::option::of`, `any::<T>()`, weighted [`prop_oneof!`], and the
+//! [`proptest!`] test macro. Cases are generated from a seed derived from the
+//! test's module path, so runs are deterministic. Failing inputs are **not**
+//! shrunk — the failing assert fires directly.
+
+pub mod test_runner {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (e.g. a test name).
+        pub fn for_test(label: &str) -> Self {
+            let mut h = DefaultHasher::new();
+            label.hash(&mut h);
+            TestRng {
+                state: h.finish() | 1,
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf, and `f` wraps an
+        /// inner strategy into one more level of nesting, up to `depth`
+        /// levels. The `_desired_size`/`_expected_branch` hints are accepted
+        /// for API compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(cur).boxed();
+                cur = Union::new(vec![(1, leaf.clone()), (1, deeper)]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cheaply cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies; backs [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(
+                total > 0,
+                "prop_oneof! needs at least one arm with nonzero weight"
+            );
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights changed during generation")
+        }
+    }
+
+    /// Types with a natural uniform strategy over a half-open range.
+    pub trait RangeValue: Copy {
+        /// Uniform sample in `[lo, hi)`.
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_range_value_int {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128;
+                    assert!(span > 0, "empty range strategy");
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl RangeValue for f64 {
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+            lo + (hi - lo) * rng.unit_f64()
+        }
+    }
+
+    impl RangeValue for f32 {
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+            lo + (hi - lo) * rng.unit_f64() as f32
+        }
+    }
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_range(rng, self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A);
+    impl_strategy_tuple!(A, B);
+    impl_strategy_tuple!(A, B, C);
+    impl_strategy_tuple!(A, B, C, D);
+    impl_strategy_tuple!(A, B, C, D, E);
+    impl_strategy_tuple!(A, B, C, D, E, F);
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::regex_gen::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values across many magnitudes; no NaN/inf so equality
+            // round-trips are well-defined.
+            let mag = (rng.below(613) as f64) - 306.0;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * rng.unit_f64() * 10f64.powf(mag / 10.0)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`; generates `None` about 1 in 4 times.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option` values wrapping `inner`'s output.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+mod regex_gen {
+    //! Generator for the small regex subset the workspace's patterns use:
+    //! literals, `\`-escapes, character classes with ranges, groups, and the
+    //! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped).
+
+    use super::test_runner::TestRng;
+
+    #[derive(Debug)]
+    enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Group(Vec<Elem>),
+    }
+
+    #[derive(Debug)]
+    struct Elem {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (elems, rest) = parse_seq(&chars, 0, pattern);
+        assert!(rest == chars.len(), "unsupported regex pattern {pattern:?}");
+        let mut out = String::new();
+        emit_seq(&elems, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(elems: &[Elem], rng: &mut TestRng, out: &mut String) {
+        for e in elems {
+            let span = u64::from(e.max - e.min + 1);
+            let n = e.min + rng.below(span) as u32;
+            for _ in 0..n {
+                match &e.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Node::Group(inner) => emit_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    fn parse_seq(chars: &[char], mut i: usize, pat: &str) -> (Vec<Elem>, usize) {
+        let mut elems = Vec::new();
+        while i < chars.len() && chars[i] != ')' {
+            let (node, next) = parse_atom(chars, i, pat);
+            let (min, max, next) = parse_quant(chars, next, pat);
+            elems.push(Elem { node, min, max });
+            i = next;
+        }
+        (elems, i)
+    }
+
+    fn parse_atom(chars: &[char], i: usize, pat: &str) -> (Node, usize) {
+        match chars[i] {
+            '[' => parse_class(chars, i + 1, pat),
+            '(' => {
+                let (inner, j) = parse_seq(chars, i + 1, pat);
+                assert!(
+                    j < chars.len() && chars[j] == ')',
+                    "unclosed group in {pat:?}"
+                );
+                (Node::Group(inner), j + 1)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing escape in {pat:?}");
+                (Node::Lit(chars[i + 1]), i + 2)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '|' | '.' | '^' | '$' | '{' | '}' | '*' | '+' | '?'),
+                    "unsupported regex metachar {c:?} in {pat:?}"
+                );
+                (Node::Lit(c), i + 1)
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pat: &str) -> (Node, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let hi = chars[i + 2];
+                assert!(lo <= hi, "inverted class range in {pat:?}");
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(lo);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unclosed class in {pat:?}");
+        assert!(!set.is_empty(), "empty class in {pat:?}");
+        (Node::Class(set), i + 1)
+    }
+
+    fn parse_quant(chars: &[char], i: usize, pat: &str) -> (u32, u32, usize) {
+        if i >= chars.len() {
+            return (1, 1, i);
+        }
+        match chars[i] {
+            '?' => (0, 1, i + 1),
+            '*' => (0, 4, i + 1),
+            '+' => (1, 4, i + 1),
+            '{' => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                let close = close.unwrap_or_else(|| panic!("unclosed quantifier in {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pat:?}")),
+                        n.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pat:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pat:?}"));
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted quantifier in {pat:?}");
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+}
+
+/// The everything-you-need import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // A tuple of strategies is itself a strategy.
+                let strat = ($($strat,)+);
+                for _case in 0..config.cases {
+                    let ($($arg,)+) = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = crate::regex_gen::generate("[a-z]{1,8}(\\.[a-z]{2,3})?/[a-z]{1,8}", &mut rng);
+            assert!(s.contains('/'));
+            assert!(s.len() >= 3);
+            let printable = crate::regex_gen::generate("[ -~]{0,40}", &mut rng);
+            assert!(printable.len() <= 40);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn oneof_and_vec_work(v in prop::collection::vec(prop_oneof![2 => 0u32..5, 1 => 10u32..12], 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in v {
+                prop_assert!(x < 5 || (10..12).contains(&x));
+            }
+        }
+
+        #[test]
+        fn map_and_option_work(o in prop::option::of((1u8..4).prop_map(|x| x * 2)), s in "[a-z]{2}") {
+            if let Some(x) = o {
+                prop_assert!([2, 4, 6].contains(&x));
+            }
+            prop_assert_eq!(s.len(), 2);
+        }
+    }
+}

@@ -22,8 +22,7 @@ fn astro_frames_drive_no_diff_adaptation() {
     // workload no-diff mode exists for. After a few frames the frame
     // segment must have adapted, and correctness must be unaffected.
     let srv = handler();
-    let mut simc =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
+    let mut simc = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
     let mut sim = Simulation::new(16, 16);
     let mut chan = FrameChannel::create(&mut simc, "xf/astro", &sim).unwrap();
 
@@ -54,8 +53,7 @@ fn astro_frames_drive_no_diff_adaptation() {
     );
 
     // A fresh reader still sees a consistent frame.
-    let mut viz =
-        Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv))).unwrap();
+    let mut viz = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv))).unwrap();
     let frame = iw_astro::read_frame(&mut viz, "xf/astro").unwrap();
     assert_eq!(frame.cells[0], 42.0);
     assert_eq!(frame.cells.len(), 256);
@@ -66,10 +64,12 @@ fn transaction_on_lattice_publisher_rolls_back_cleanly() {
     // Mix transactions with the mining application: an aborted publish
     // leaves the shared lattice exactly as before.
     let srv = handler();
-    let mut p =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
+    let mut p = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
     let mut lat = Lattice::new(2, 1);
-    lat.update(&[CustomerSeq { id: 0, transactions: vec![vec![1, 2]] }]);
+    lat.update(&[CustomerSeq {
+        id: 0,
+        transactions: vec![vec![1, 2]],
+    }]);
     let mut publisher = LatticePublisher::create(&mut p, "xf/lat").unwrap();
     publisher.publish(&mut p, &lat).unwrap();
     let before = read_lattice(&mut p, "xf/lat").unwrap();
@@ -83,7 +83,8 @@ fn transaction_on_lattice_publisher_rolls_back_cleanly() {
         .read_ptr(&p.field(&root, "first_child").unwrap())
         .unwrap()
         .expect("lattice non-empty");
-    p.write_i32(&p.field(&first, "support").unwrap(), 999_999).unwrap();
+    p.write_i32(&p.field(&first, "support").unwrap(), 999_999)
+        .unwrap();
     p.tx_abort().unwrap();
 
     let after = read_lattice(&mut p, "xf/lat").unwrap();
@@ -99,14 +100,23 @@ fn diff_coherence_reader_with_no_diff_writer() {
     let mut w = Session::with_options(
         MachineArch::x86(),
         Box::new(Loopback::new(srv.clone())),
-        SessionOptions { no_diff_adaptation: false, ..Default::default() },
+        SessionOptions {
+            no_diff_adaptation: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let h = w.open_segment("xf/dc").unwrap();
     w.wl_acquire(&h).unwrap();
     let arr = w.malloc(&h, &TypeDesc::int32(), 256, Some("arr")).unwrap();
     w.wl_release(&h).unwrap();
-    w.set_tracking_mode(&h, TrackMode::NoDiff { remaining: u32::MAX }).unwrap();
+    w.set_tracking_mode(
+        &h,
+        TrackMode::NoDiff {
+            remaining: u32::MAX,
+        },
+    )
+    .unwrap();
 
     let mut r = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
     let hr = r.open_segment("xf/dc").unwrap();
@@ -134,11 +144,9 @@ fn checkpoint_recovery_preserves_pointer_graphs() {
     let dir = std::env::temp_dir().join(format!("xf-ck-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(
-            Server::with_checkpointing(dir.clone(), 1),
-        ));
-        let mut s =
-            Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+        let srv: Arc<Mutex<dyn Handler>> =
+            Arc::new(Mutex::new(Server::with_checkpointing(dir.clone(), 1)));
+        let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
         let ty = iw_types::idl::compile("struct n { int v; struct n *next; };")
             .unwrap()
             .get("n")
@@ -153,15 +161,17 @@ fn checkpoint_recovery_preserves_pointer_graphs() {
         for (node, v) in [(&a, 1), (&b, 2), (&c, 3)] {
             s.write_i32(&s.field(node, "v").unwrap(), v).unwrap();
         }
-        s.write_ptr(&s.field(&a, "next").unwrap(), Some(&b)).unwrap();
-        s.write_ptr(&s.field(&b, "next").unwrap(), Some(&c)).unwrap();
-        s.write_ptr(&s.field(&c, "next").unwrap(), Some(&a)).unwrap();
+        s.write_ptr(&s.field(&a, "next").unwrap(), Some(&b))
+            .unwrap();
+        s.write_ptr(&s.field(&b, "next").unwrap(), Some(&c))
+            .unwrap();
+        s.write_ptr(&s.field(&c, "next").unwrap(), Some(&a))
+            .unwrap();
         s.wl_release(&h).unwrap();
     }
     let recovered = Server::recover(dir.clone(), 1).unwrap();
     let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(recovered));
-    let mut s =
-        Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv))).unwrap();
+    let mut s = Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv))).unwrap();
     let h = s.open_segment("xf/ring").unwrap();
     s.rl_acquire(&h).unwrap();
     let a = s.mip_to_ptr("xf/ring#a").unwrap();
@@ -169,7 +179,10 @@ fn checkpoint_recovery_preserves_pointer_graphs() {
     let mut cur = a.clone();
     for _ in 0..6 {
         vals.push(s.read_i32(&s.field(&cur, "v").unwrap()).unwrap());
-        cur = s.read_ptr(&s.field(&cur, "next").unwrap()).unwrap().expect("ring");
+        cur = s
+            .read_ptr(&s.field(&cur, "next").unwrap())
+            .unwrap()
+            .expect("ring");
     }
     assert_eq!(vals, vec![1, 2, 3, 1, 2, 3], "the ring survived recovery");
     assert_eq!(cur.va(), a.va(), "and it still cycles");

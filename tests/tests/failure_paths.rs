@@ -25,8 +25,10 @@ impl Handler for CommitSabotage {
         if self.armed {
             if let Ok(Request::Commit { .. }) = Request::decode(request.clone()) {
                 self.armed = false;
-                return Reply::Error { message: "injected commit failure".into() }
-                    .encode();
+                return Reply::Error {
+                    message: "injected commit failure".into(),
+                }
+                .encode();
             }
         }
         self.inner.handle(request)
@@ -40,9 +42,11 @@ fn rejected_commit_rolls_back_and_releases_locks() {
         armed: false,
     }));
     let dyn_handler: Arc<Mutex<dyn Handler>> = handler.clone();
-    let mut s =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(dyn_handler.clone())))
-            .unwrap();
+    let mut s = Session::new(
+        MachineArch::x86(),
+        Box::new(Loopback::new(dyn_handler.clone())),
+    )
+    .unwrap();
     let h = s.open_segment("fp/acct").unwrap();
     s.wl_acquire(&h).unwrap();
     let bal = s.malloc(&h, &TypeDesc::int64(), 1, Some("bal")).unwrap();
@@ -65,8 +69,7 @@ fn rejected_commit_rolls_back_and_releases_locks() {
 
     // The write lock was released: another client can proceed, and the
     // server state is untouched.
-    let mut other =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(dyn_handler))).unwrap();
+    let mut other = Session::new(MachineArch::x86(), Box::new(Loopback::new(dyn_handler))).unwrap();
     let ho = other.open_segment("fp/acct").unwrap();
     other.wl_acquire(&ho).unwrap();
     let b = other.mip_to_ptr("fp/acct#bal").unwrap();
@@ -86,8 +89,7 @@ fn first_fetch_places_same_version_blocks_contiguously() {
     // a client for the first time, blocks that have the same version
     // number … are placed in contiguous locations."
     let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-    let mut w =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
+    let mut w = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
     let h = w.open_segment("fp/layout").unwrap();
     // Three write sections, three blocks each.
     for section in 0..3 {
@@ -100,8 +102,7 @@ fn first_fetch_places_same_version_blocks_contiguously() {
     }
 
     // A fresh client's first fetch must group each section's blocks.
-    let mut r =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
+    let mut r = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
     let hr = r.open_segment("fp/layout").unwrap();
     r.rl_acquire(&hr).unwrap();
     for section in 0..3 {

@@ -44,8 +44,10 @@ fn linked_list_over_real_tcp() {
         let n = w.malloc(&h, &node_t, 1, None).unwrap();
         w.write_i32(&w.field(&n, "key").unwrap(), key).unwrap();
         let old = w.read_ptr(&w.field(&head, "next").unwrap()).unwrap();
-        w.write_ptr(&w.field(&n, "next").unwrap(), old.as_ref()).unwrap();
-        w.write_ptr(&w.field(&head, "next").unwrap(), Some(&n)).unwrap();
+        w.write_ptr(&w.field(&n, "next").unwrap(), old.as_ref())
+            .unwrap();
+        w.write_ptr(&w.field(&head, "next").unwrap(), Some(&n))
+            .unwrap();
     }
     w.wl_release(&h).unwrap();
 
@@ -73,19 +75,15 @@ fn server_recovers_segments_from_checkpoints() {
 
     // Phase 1: a server with checkpointing every version.
     {
-        let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(
-            Server::with_checkpointing(dir.clone(), 1),
-        ));
-        let mut s = Session::new(
-            MachineArch::x86(),
-            Box::new(Loopback::new(handler)),
-        )
-        .unwrap();
+        let handler: Arc<Mutex<dyn Handler>> =
+            Arc::new(Mutex::new(Server::with_checkpointing(dir.clone(), 1)));
+        let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
         let h = s.open_segment("ck/data").unwrap();
         s.wl_acquire(&h).unwrap();
         let arr = s.malloc(&h, &TypeDesc::int32(), 100, Some("arr")).unwrap();
         for i in 0..100 {
-            s.write_i32(&s.index(&arr, i).unwrap(), i as i32 * 3).unwrap();
+            s.write_i32(&s.index(&arr, i).unwrap(), i as i32 * 3)
+                .unwrap();
         }
         s.wl_release(&h).unwrap();
         // A second version.
@@ -97,8 +95,7 @@ fn server_recovers_segments_from_checkpoints() {
     // Phase 2: a new server process recovers from the checkpoint dir.
     let recovered = Server::recover(dir.clone(), 1).unwrap();
     let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(recovered));
-    let mut s = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(handler)))
-        .unwrap();
+    let mut s = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(handler))).unwrap();
     let h = s.open_segment("ck/data").unwrap();
     s.rl_acquire(&h).unwrap();
     let arr = s.mip_to_ptr("ck/data#arr").unwrap();
@@ -141,24 +138,27 @@ fn transport_faults_surface_as_errors_not_corruption() {
     assert!(saw_error, "fault injection must surface");
 
     // A fresh, healthy client still sees consistent server state.
-    let mut s2 =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
+    let mut s2 = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
     let h2 = s2.open_segment("fault/seg").unwrap();
     s2.rl_acquire(&h2).unwrap();
     let x2 = s2.mip_to_ptr("fault/seg#x").unwrap();
     let v = s2.read_i32(&x2).unwrap();
-    assert!(v == 0 || v == 1, "value must be one of the committed states");
+    assert!(
+        v == 0 || v == 1,
+        "value must be one of the committed states"
+    );
     s2.rl_release(&h2).unwrap();
 }
 
 #[test]
 fn mining_pipeline_end_to_end() {
     let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-    let mut dbsrv =
-        Session::new(MachineArch::alpha(), Box::new(Loopback::new(handler.clone())))
-            .unwrap();
-    let mut miner =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
+    let mut dbsrv = Session::new(
+        MachineArch::alpha(),
+        Box::new(Loopback::new(handler.clone())),
+    )
+    .unwrap();
+    let mut miner = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
 
     let db = generate(&GenConfig::small(11));
     let mut lattice = Lattice::new(3, 3);
@@ -188,11 +188,12 @@ fn mining_pipeline_end_to_end() {
 #[test]
 fn astro_pipeline_end_to_end() {
     let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-    let mut simc =
-        Session::new(MachineArch::alpha(), Box::new(Loopback::new(handler.clone())))
-            .unwrap();
-    let mut viz =
-        Session::new(MachineArch::mips32(), Box::new(Loopback::new(handler))).unwrap();
+    let mut simc = Session::new(
+        MachineArch::alpha(),
+        Box::new(Loopback::new(handler.clone())),
+    )
+    .unwrap();
+    let mut viz = Session::new(MachineArch::mips32(), Box::new(Loopback::new(handler))).unwrap();
 
     let mut sim = Simulation::new(10, 10);
     let mut chan = FrameChannel::create(&mut simc, "it/astro", &sim).unwrap();
@@ -216,8 +217,7 @@ fn astro_pipeline_end_to_end() {
 #[test]
 fn many_segments_one_server() {
     let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-    let mut s =
-        Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
+    let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
     let mut handles = Vec::new();
     for i in 0..20 {
         let name = format!("multi/seg{i}");
@@ -248,9 +248,7 @@ fn heterogeneous_quartet_shares_one_structure() {
     ];
     let mut sessions: Vec<Session> = archs
         .iter()
-        .map(|a| {
-            Session::new(a.clone(), Box::new(Loopback::new(handler.clone()))).unwrap()
-        })
+        .map(|a| Session::new(a.clone(), Box::new(Loopback::new(handler.clone()))).unwrap())
         .collect();
 
     let h0 = sessions[0].open_segment("quad/ctrs").unwrap();

@@ -29,13 +29,23 @@ enum Op {
     /// Allocate a block of `len` ints named `bN` in segment `seg_pick`.
     Alloc { seg_pick: u8, len: u8 },
     /// Write `value` at `idx` (mod len) of a random existing block.
-    Write { seg_pick: u8, block_pick: u8, idx: u8, value: i32 },
+    Write {
+        seg_pick: u8,
+        block_pick: u8,
+        idx: u8,
+        value: i32,
+    },
     /// Free a random existing block.
     Free { seg_pick: u8, block_pick: u8 },
     /// Full read-back validation of one segment.
     Validate { seg_pick: u8 },
     /// A transaction that writes then aborts: must be invisible.
-    AbortedTx { seg_pick: u8, block_pick: u8, idx: u8, value: i32 },
+    AbortedTx {
+        seg_pick: u8,
+        block_pick: u8,
+        idx: u8,
+        value: i32,
+    },
     /// Switch the acting client.
     SwitchClient { client_pick: u8 },
 }

@@ -28,21 +28,22 @@ fn parallel_writers_and_relaxed_readers_over_tcp() {
         let h = s.open_segment("stress/ctrs").unwrap();
         s.wl_acquire(&h).unwrap();
         for i in 0..WRITERS {
-            s.malloc(&h, &TypeDesc::int64(), 4, Some(&format!("w{i}"))).unwrap();
+            s.malloc(&h, &TypeDesc::int64(), 4, Some(&format!("w{i}")))
+                .unwrap();
         }
         s.wl_release(&h).unwrap();
     }
 
-    let archs = [MachineArch::x86(), MachineArch::sparc_v9(), MachineArch::alpha()];
+    let archs = [
+        MachineArch::x86(),
+        MachineArch::sparc_v9(),
+        MachineArch::alpha(),
+    ];
     let mut threads = Vec::new();
     for (i, arch) in archs.iter().enumerate().take(WRITERS) {
         let arch = arch.clone();
         threads.push(std::thread::spawn(move || {
-            let mut s = Session::new(
-                arch,
-                Box::new(TcpTransport::connect(addr).unwrap()),
-            )
-            .unwrap();
+            let mut s = Session::new(arch, Box::new(TcpTransport::connect(addr).unwrap())).unwrap();
             let h = s.open_segment("stress/ctrs").unwrap();
             for _ in 0..ROUNDS {
                 s.wl_acquire(&h).unwrap();
@@ -74,8 +75,7 @@ fn parallel_writers_and_relaxed_readers_over_tcp() {
                     if let Ok(p) = s.mip_to_ptr(&format!("stress/ctrs#w{i}")) {
                         let lane0 = s.read_i64(&s.index(&p, 0).unwrap()).unwrap();
                         for k in 1..4 {
-                            let lane =
-                                s.read_i64(&s.index(&p, k).unwrap()).unwrap();
+                            let lane = s.read_i64(&s.index(&p, k).unwrap()).unwrap();
                             assert_eq!(
                                 lane, lane0,
                                 "reader saw a torn block w{i} (lanes {lane0} vs {lane})"
