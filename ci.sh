@@ -9,10 +9,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test"
 cargo test -q
+
+echo "== cluster failover e2e"
+cargo test -q -p iw-cli --test cluster
 
 echo "CI OK"

@@ -2,19 +2,27 @@
 //!
 //! ```text
 //! iwsrv [--listen 127.0.0.1:7474] [--checkpoint-dir DIR]
-//!       [--checkpoint-every N] [--recover]
+//!       [--checkpoint-every N] [--recover] [--backup-of ADDR]
 //! ```
 //!
 //! With `--checkpoint-dir`, every segment is checkpointed every N
 //! versions (default 8); with `--recover`, segments found in the
 //! directory are restored before serving — the paper's "partial
 //! protection against server failure" (§2.2).
+//!
+//! Every `iwsrv` is replication-capable: it accepts `AttachBackup`
+//! requests and streams committed diffs to attached backups. With
+//! `--backup-of ADDR`, this instance additionally registers itself as a
+//! backup of the primary at `ADDR` (retrying until the primary is
+//! reachable), after which the primary keeps it bit-identical via the
+//! diff stream plus full-image catch-up.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use iw_cli::Args;
-use iw_proto::{Handler, TcpServer};
+use iw_cluster::Primary;
+use iw_proto::{Handler, Reply, Request, TcpServer, TcpTransport, Transport};
 use iw_server::Server;
 use parking_lot::Mutex;
 
@@ -36,9 +44,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(dir) => Server::with_checkpointing(PathBuf::from(dir), every),
         None => Server::new(),
     };
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(server));
+    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Primary::new(server)));
     let tcp = TcpServer::spawn(listen.parse()?, handler)?;
     eprintln!("iwsrv: serving on {}", tcp.addr());
+
+    if let Some(primary) = args.flag("backup-of") {
+        let primary: std::net::SocketAddr = primary.parse()?;
+        let own = tcp.addr().to_string();
+        std::thread::spawn(move || loop {
+            if let Ok(mut t) = TcpTransport::connect(primary) {
+                let attach = Request::AttachBackup { addr: own.clone() };
+                if matches!(t.request(&attach), Ok(Reply::Replicated { .. })) {
+                    eprintln!("iwsrv: attached as backup of {primary}");
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        });
+    }
+
     eprintln!("iwsrv: press ctrl-c to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

@@ -1,0 +1,173 @@
+//! End-to-end cluster failover: a primary/backup `iwsrv` pair over TCP,
+//! a client writing through a replica group, the primary killed mid-run,
+//! transparent failover, and a fresh reader verifying the backup holds
+//! bit-identical pre-kill contents.
+
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use iw_core::Session;
+use iw_types::{desc::TypeDesc, MachineArch};
+
+const PRIMARY_PORT: u16 = 17561;
+const BACKUP_PORT: u16 = 17562;
+
+struct Srv(Child);
+
+impl Drop for Srv {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[allow(clippy::zombie_processes)] // killed + waited in Srv::drop
+fn spawn_srv(port: u16, extra: &[String]) -> Srv {
+    let child = Command::new(env!("CARGO_BIN_EXE_iwsrv"))
+        .arg("--listen")
+        .arg(format!("127.0.0.1:{port}"))
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn iwsrv");
+    for _ in 0..100 {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return Srv(child);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("iwsrv did not come up on port {port}");
+}
+
+fn iwstat_json(port: u16) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_iwstat"))
+        .arg("--server")
+        .arg(format!("127.0.0.1:{port}"))
+        .arg("--json")
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("run iwstat");
+    assert!(out.status.success(), "iwstat exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+/// Pulls `"name":value` out of the iwstat JSON dump, if present.
+fn json_value(json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key)?;
+    json[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// Polls the backup until its copy of `clu/data` reaches `version`.
+fn await_backup_version(version: u64) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let json = iwstat_json(BACKUP_PORT);
+        if json_value(&json, "server.segment.clu/data.version") >= Some(version) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backup never reached version {version}: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn two_node_cluster_survives_primary_death() {
+    let primary = spawn_srv(PRIMARY_PORT, &[]);
+    let _backup = spawn_srv(
+        BACKUP_PORT,
+        &[
+            "--backup-of".to_string(),
+            format!("127.0.0.1:{PRIMARY_PORT}"),
+        ],
+    );
+
+    // The client speaks to the replica group: primary first, backup next.
+    let addrs = [
+        format!("127.0.0.1:{PRIMARY_PORT}").parse().unwrap(),
+        format!("127.0.0.1:{BACKUP_PORT}").parse().unwrap(),
+    ];
+    let mut s = Session::new(
+        MachineArch::x86(),
+        Box::new(iw_proto::TcpTransport::connect(addrs[0]).expect("primary reachable")),
+    )
+    .unwrap();
+    s.add_tcp_server_group("clu", &addrs).unwrap();
+
+    // Version 1: the block; versions 2..=5: distinct values.
+    let h = s.open_segment("clu/data").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let vals = s.malloc(&h, &TypeDesc::int64(), 8, Some("vals")).unwrap();
+    s.wl_release(&h).unwrap();
+    for round in 0..4u64 {
+        s.wl_acquire(&h).unwrap();
+        let slot = s.index(&vals, round as u32).unwrap();
+        s.write_i64(&slot, 100 + round as i64).unwrap();
+        s.wl_release(&h).unwrap();
+    }
+
+    // Replication is asynchronous: wait for the backup to catch up, so
+    // everything written so far survives the kill.
+    await_backup_version(5);
+    let primary_stats = iwstat_json(PRIMARY_PORT);
+    assert!(
+        json_value(&primary_stats, "cluster.diffs_shipped_total") > Some(0),
+        "{primary_stats}"
+    );
+    assert_eq!(
+        json_value(&primary_stats, "cluster.backups"),
+        Some(1),
+        "{primary_stats}"
+    );
+
+    // Kill the primary between releases; the next lock round trip hits a
+    // dead socket and must fail over transparently.
+    drop(primary);
+    for round in 4..6u64 {
+        s.wl_acquire(&h).unwrap();
+        let slot = s.index(&vals, round as u32).unwrap();
+        s.write_i64(&slot, 100 + round as i64).unwrap();
+        s.wl_release(&h).unwrap();
+    }
+    assert_eq!(
+        s.metrics_snapshot().counter("client.failovers_total"),
+        Some(1)
+    );
+
+    // A fresh reader bound to the backup alone sees every write: the
+    // replicated pre-kill versions and the failed-over post-kill ones.
+    let mut r = Session::new(
+        MachineArch::alpha(),
+        Box::new(iw_proto::TcpTransport::connect(addrs[1]).unwrap()),
+    )
+    .unwrap();
+    let hr = r.open_segment("clu/data").unwrap();
+    r.rl_acquire(&hr).unwrap();
+    let rv = r.mip_to_ptr("clu/data#vals").unwrap();
+    for round in 0..6u64 {
+        let slot = r.index(&rv, round as u32).unwrap();
+        assert_eq!(r.read_i64(&slot).unwrap(), 100 + round as i64);
+    }
+    r.rl_release(&hr).unwrap();
+
+    // The backup's own registry shows the replication and the failover.
+    let backup_stats = iwstat_json(BACKUP_PORT);
+    assert!(
+        json_value(&backup_stats, "cluster.diffs_applied_total") > Some(0),
+        "{backup_stats}"
+    );
+    assert!(
+        json_value(&backup_stats, "cluster.failovers_total") >= Some(1),
+        "{backup_stats}"
+    );
+}

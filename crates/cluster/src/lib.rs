@@ -1,0 +1,653 @@
+//! Primary/backup segment replication (`iw-cluster`).
+//!
+//! The paper pins each segment to the single server named by its URL
+//! (§2.1); this crate removes that single point of failure. A
+//! [`Primary`] wraps a [`Server`] behind the normal [`Handler`]
+//! interface and streams every committed write-release diff — the same
+//! machine-independent wire diff the coherence protocol already uses —
+//! to an ordered set of backup servers over any [`Transport`]
+//! (loopback in tests, TCP in production).
+//!
+//! Replication is **asynchronous**: the client's release path only
+//! clones the diff into a channel; a background ship thread delivers it.
+//! Backups apply diffs through the ordinary version chain
+//! (`Request::Replicate`), so their `ServerSegment` state is
+//! bit-identical to the primary's. A backup that joins late or falls
+//! behind (version gap) is caught up with a full checkpoint-encoded
+//! image (`Request::SyncFull`), after which the diff stream resumes.
+//!
+//! The asynchrony buys a bounded window: diffs acknowledged to a client
+//! but not yet shipped are lost if the primary dies. The window is
+//! observable as the per-segment `cluster.lag.<segment>` gauge.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+
+use iw_proto::msg::{Reply, Request};
+use iw_proto::{Handler, TcpTransport, Transport};
+use iw_server::checkpoint;
+use iw_server::Server;
+use iw_telemetry::{Counter, Gauge, Registry};
+use iw_wire::diff::SegmentDiff;
+use parking_lot::Mutex;
+
+/// Work for the ship thread.
+enum Job {
+    /// A committed diff to replicate to every backup.
+    Ship {
+        segment: String,
+        diff: SegmentDiff,
+    },
+    /// A backup connection established by the caller (tests, local
+    /// wiring).
+    Attach(Box<dyn Transport>),
+    /// A backup that asked to join by address (`iwsrv --backup-of`);
+    /// the ship thread dials it so connect timeouts never stall the
+    /// request path.
+    AttachAddr(String),
+    /// Signals when every job enqueued before it has been processed.
+    Barrier(mpsc::Sender<()>),
+    Stop,
+}
+
+/// One backup replica as the ship thread sees it.
+struct BackupLink {
+    transport: Box<dyn Transport>,
+    /// Last version each segment acked; drives catch-up and the lag
+    /// gauge.
+    acked: HashMap<String, u64>,
+    /// Set on a channel error; a dead backup is skipped until it
+    /// re-attaches.
+    dead: bool,
+}
+
+/// Counters the ship thread updates, registered in the wrapped server's
+/// own registry so `iwstat` against the primary shows them.
+struct ShipMetrics {
+    registry: Arc<Registry>,
+    /// `cluster.diffs_shipped_total` — diffs delivered to a backup.
+    diffs_shipped: Arc<Counter>,
+    /// `cluster.sync_full_total` — full catch-up images shipped.
+    syncs_shipped: Arc<Counter>,
+    /// `cluster.catchup_bytes_shipped_total` — bytes of those images.
+    catchup_bytes: Arc<Counter>,
+    /// `cluster.ship_errors_total` — failed deliveries (backup marked
+    /// dead or sync fallback needed).
+    ship_errors: Arc<Counter>,
+    /// `cluster.backups` — live attached backups.
+    backups: Arc<Gauge>,
+}
+
+impl ShipMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        ShipMetrics {
+            diffs_shipped: registry.counter("cluster.diffs_shipped_total"),
+            syncs_shipped: registry.counter("cluster.sync_full_total"),
+            catchup_bytes: registry.counter("cluster.catchup_bytes_shipped_total"),
+            ship_errors: registry.counter("cluster.ship_errors_total"),
+            backups: registry.gauge("cluster.backups"),
+            registry,
+        }
+    }
+}
+
+/// A replicating front-end over a [`Server`].
+///
+/// Implements [`Handler`], so it drops into every place a bare server
+/// fits (loopback, [`iw_proto::TcpServer`]). Requests pass through to
+/// the wrapped server; replies that prove a diff was committed
+/// (`Released`, `Committed`) enqueue that diff for asynchronous
+/// replication, and `AttachBackup` requests register new backups.
+pub struct Primary {
+    server: Arc<Mutex<Server>>,
+    tx: mpsc::Sender<Job>,
+    ship: Option<JoinHandle<()>>,
+    /// Attached (or attaching) backups. While zero, the release path
+    /// skips the enqueue entirely — a lone server pays nothing for
+    /// being replication-capable. Diffs committed before a pending
+    /// attach is processed are covered by its attach-time full sync.
+    attached: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for Primary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Primary").finish_non_exhaustive()
+    }
+}
+
+impl Primary {
+    /// Wraps `server`, spawning the replication ship thread.
+    pub fn new(server: Server) -> Self {
+        let registry = server.registry().clone();
+        let server = Arc::new(Mutex::new(server));
+        let (tx, rx) = mpsc::channel();
+        let ship_server = server.clone();
+        let metrics = ShipMetrics::new(registry);
+        let attached = Arc::new(AtomicUsize::new(0));
+        let ship_attached = attached.clone();
+        let ship = std::thread::Builder::new()
+            .name("iw-cluster-ship".into())
+            .spawn(move || ship_loop(&rx, &ship_server, &metrics, &ship_attached))
+            .expect("spawn ship thread");
+        Primary {
+            server,
+            tx,
+            ship: Some(ship),
+            attached,
+        }
+    }
+
+    /// The wrapped server (benchmarks and tests).
+    pub fn server(&self) -> &Arc<Mutex<Server>> {
+        &self.server
+    }
+
+    /// Attaches an already-connected backup transport (tests, local
+    /// wiring). The backup is first brought up to date with full images
+    /// of every segment, then follows the diff stream.
+    pub fn add_backup(&self, transport: Box<dyn Transport>) {
+        self.attached.fetch_add(1, Ordering::SeqCst);
+        let _ = self.tx.send(Job::Attach(transport));
+    }
+
+    /// Blocks until every job enqueued so far has been shipped (tests:
+    /// replication is asynchronous, so assertions need a barrier).
+    pub fn drain(&self) {
+        let (done_tx, done_rx) = mpsc::channel();
+        let _ = self.tx.send(Job::Barrier(done_tx));
+        let _ = done_rx.recv_timeout(std::time::Duration::from_secs(10));
+    }
+}
+
+impl Drop for Primary {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Job::Stop);
+        if let Some(t) = self.ship.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Handler for Primary {
+    fn handle(&mut self, request: Bytes) -> Bytes {
+        let req = match Request::decode(request) {
+            Ok(req) => req,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("bad request: {e}"),
+                }
+                .encode()
+            }
+        };
+        if let Request::AttachBackup { addr } = &req {
+            self.attached.fetch_add(1, Ordering::SeqCst);
+            let _ = self.tx.send(Job::AttachAddr(addr.clone()));
+            return Reply::Replicated { acked_version: 0 }.encode();
+        }
+        let reply = self.server.lock().handle_request(&req);
+        if self.attached.load(Ordering::Relaxed) == 0 {
+            // No backups: the release path stays exactly the bare
+            // server's (no clone, no channel, no ship-thread wakeup).
+            return reply.encode();
+        }
+        // Ship whatever the server just durably applied. Matching on the
+        // (request, reply) pair means failed releases/commits (Error
+        // replies) are never replicated.
+        match (&req, &reply) {
+            (
+                Request::Release {
+                    segment,
+                    diff: Some(diff),
+                    ..
+                },
+                Reply::Released { .. },
+            ) => {
+                let _ = self.tx.send(Job::Ship {
+                    segment: segment.clone(),
+                    diff: diff.clone(),
+                });
+            }
+            (Request::Commit { entries, .. }, Reply::Committed { .. }) => {
+                for (segment, diff) in entries {
+                    if let Some(diff) = diff {
+                        let _ = self.tx.send(Job::Ship {
+                            segment: segment.clone(),
+                            diff: diff.clone(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        reply.encode()
+    }
+}
+
+/// Delivers one diff to one backup, falling back to a full image on a
+/// version gap. Returns `false` if the backup's channel died.
+fn ship_one(
+    backup: &mut BackupLink,
+    segment: &str,
+    diff: &SegmentDiff,
+    server: &Arc<Mutex<Server>>,
+    metrics: &ShipMetrics,
+) -> bool {
+    if backup.acked.get(segment).copied().unwrap_or(0) >= diff.to_version {
+        return true; // already has it (e.g. from the attach-time sync)
+    }
+    let req = Request::Replicate {
+        segment: segment.to_string(),
+        from_version: diff.from_version,
+        diff: diff.clone(),
+    };
+    match backup.transport.request(&req) {
+        Ok(Reply::Replicated { acked_version }) => {
+            backup.acked.insert(segment.to_string(), acked_version);
+            metrics.diffs_shipped.inc();
+            true
+        }
+        Ok(_) => {
+            // Version gap (or any server-side refusal): catch up with a
+            // full image.
+            metrics.ship_errors.inc();
+            sync_one(backup, segment, server, metrics)
+        }
+        Err(_) => {
+            metrics.ship_errors.inc();
+            false
+        }
+    }
+}
+
+/// Ships a full checkpoint image of `segment` to one backup. Returns
+/// `false` if the backup's channel died.
+fn sync_one(
+    backup: &mut BackupLink,
+    segment: &str,
+    server: &Arc<Mutex<Server>>,
+    metrics: &ShipMetrics,
+) -> bool {
+    let image = {
+        let mut srv = server.lock();
+        let Some(seg) = srv.segment_mut(segment) else {
+            return true; // segment vanished; nothing to sync
+        };
+        match checkpoint::encode_segment(seg) {
+            Ok(image) => image,
+            Err(_) => return true, // unencodable: skip, don't kill the link
+        }
+    };
+    let req = Request::SyncFull {
+        segment: segment.to_string(),
+        image: image.clone(),
+    };
+    match backup.transport.request(&req) {
+        Ok(Reply::Replicated { acked_version }) => {
+            backup.acked.insert(segment.to_string(), acked_version);
+            metrics.syncs_shipped.inc();
+            metrics.catchup_bytes.add(image.len() as u64);
+            true
+        }
+        Ok(_) | Err(_) => {
+            metrics.ship_errors.inc();
+            false
+        }
+    }
+}
+
+/// Brings a newly attached backup fully up to date.
+fn attach(
+    mut backup: BackupLink,
+    backups: &mut Vec<BackupLink>,
+    server: &Arc<Mutex<Server>>,
+    metrics: &ShipMetrics,
+) {
+    let names = server.lock().segment_names();
+    for name in names {
+        if !sync_one(&mut backup, &name, server, metrics) {
+            backup.dead = true;
+            break;
+        }
+    }
+    if !backup.dead {
+        backups.push(backup);
+    }
+    metrics
+        .backups
+        .set(backups.iter().filter(|b| !b.dead).count() as i64);
+}
+
+fn ship_loop(
+    rx: &mpsc::Receiver<Job>,
+    server: &Arc<Mutex<Server>>,
+    metrics: &ShipMetrics,
+    attached: &AtomicUsize,
+) {
+    let mut backups: Vec<BackupLink> = Vec::new();
+    // Pre-resolved per-segment lag gauges (the registry's name map is a
+    // lock; resolve each gauge once, not per shipped diff).
+    let mut lag: HashMap<String, Arc<Gauge>> = HashMap::new();
+    // A failed attach or a death drops the live count; pending attaches
+    // re-raise it via fetch_add, and any diffs skipped at zero are
+    // covered by the pending attach's full sync.
+    let refresh_live = |backups: &[BackupLink]| {
+        let live = backups.iter().filter(|b| !b.dead).count();
+        metrics.backups.set(live as i64);
+        attached.store(live, Ordering::SeqCst);
+    };
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Stop => break,
+            Job::Barrier(done) => {
+                let _ = done.send(());
+            }
+            Job::Attach(transport) => {
+                attach(
+                    BackupLink {
+                        transport,
+                        acked: HashMap::new(),
+                        dead: false,
+                    },
+                    &mut backups,
+                    server,
+                    metrics,
+                );
+                refresh_live(&backups);
+            }
+            Job::AttachAddr(addr) => {
+                let Ok(sockaddr) = addr.parse::<SocketAddr>() else {
+                    metrics.ship_errors.inc();
+                    refresh_live(&backups);
+                    continue;
+                };
+                match TcpTransport::connect(sockaddr) {
+                    Ok(t) => attach(
+                        BackupLink {
+                            transport: Box::new(t),
+                            acked: HashMap::new(),
+                            dead: false,
+                        },
+                        &mut backups,
+                        server,
+                        metrics,
+                    ),
+                    Err(_) => metrics.ship_errors.inc(),
+                }
+                refresh_live(&backups);
+            }
+            Job::Ship { segment, diff } => {
+                for backup in &mut backups {
+                    if backup.dead {
+                        continue;
+                    }
+                    if !ship_one(backup, &segment, &diff, server, metrics) {
+                        backup.dead = true;
+                    }
+                }
+                refresh_live(&backups);
+                // Lag = newest shipped version minus the slowest live
+                // backup's ack. Zero backups means nothing to lag behind.
+                let live = backups.iter().filter(|b| !b.dead);
+                let min_acked = live
+                    .map(|b| b.acked.get(&segment).copied().unwrap_or(0))
+                    .min();
+                if let Some(min_acked) = min_acked {
+                    lag.entry(segment.clone())
+                        .or_insert_with(|| {
+                            metrics.registry.gauge(&format!("cluster.lag.{segment}"))
+                        })
+                        .set(diff.to_version.saturating_sub(min_acked) as i64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iw_proto::msg::LockMode;
+    use iw_proto::{Coherence, Loopback};
+    use iw_types::desc::TypeDesc;
+    use iw_wire::diff::NewBlock;
+
+    fn seed_diff(from: u64) -> SegmentDiff {
+        SegmentDiff {
+            from_version: from,
+            to_version: from + 1,
+            new_types: if from == 0 {
+                vec![(0, TypeDesc::int32())]
+            } else {
+                vec![]
+            },
+            new_blocks: vec![NewBlock {
+                serial: from as u32,
+                name: None,
+                type_serial: 0,
+                count: 4,
+                data: Bytes::from(vec![from as u8; 16]),
+            }],
+            ..Default::default()
+        }
+    }
+
+    fn write_version(primary: &Arc<Mutex<dyn Handler>>, client: u64, from: u64) {
+        let mut t = Loopback::new(primary.clone());
+        let r = t
+            .request(&Request::Acquire {
+                client,
+                segment: "h/s".into(),
+                mode: LockMode::Write,
+                have_version: from,
+                coherence: Coherence::Full,
+            })
+            .unwrap();
+        assert!(matches!(r, Reply::Granted { .. }), "{r:?}");
+        let r = t
+            .request(&Request::Release {
+                client,
+                segment: "h/s".into(),
+                diff: Some(seed_diff(from)),
+            })
+            .unwrap();
+        assert_eq!(r, Reply::Released { version: from + 1 });
+    }
+
+    /// Primary (kept addressable for drain/inspection) + one loopback
+    /// backup server.
+    fn cluster() -> (Arc<Mutex<Primary>>, Arc<Mutex<Server>>) {
+        let backup = Arc::new(Mutex::new(Server::new()));
+        let backup_handler: Arc<Mutex<dyn Handler>> = backup.clone();
+        let primary = Arc::new(Mutex::new(Primary::new(Server::new())));
+        {
+            let p = primary.lock();
+            p.add_backup(Box::new(Loopback::new(backup_handler)));
+            // Settle the attach before the test opens segments, so each
+            // test sees a deterministic ship sequence (otherwise the
+            // attach-time sync can race ahead of the first writes and
+            // legitimately absorb them).
+            p.drain();
+        }
+        (primary, backup)
+    }
+
+    fn connect(primary: &Arc<Mutex<Primary>>) -> (Loopback, u64) {
+        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        let mut t = Loopback::new(handler);
+        let Reply::Welcome { client } = t.request(&Request::Hello { info: "t".into() }).unwrap()
+        else {
+            panic!("no welcome")
+        };
+        t.request(&Request::Open {
+            client,
+            segment: "h/s".into(),
+        })
+        .unwrap();
+        (t, client)
+    }
+
+    #[test]
+    fn diffs_stream_to_backup() {
+        let (primary, backup) = cluster();
+        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        let (_t, client) = connect(&primary);
+        for v in 0..3 {
+            write_version(&handler, client, v);
+        }
+        primary.lock().drain();
+        let b = backup.lock();
+        let seg = b.segment("h/s").expect("backup has the segment");
+        assert_eq!(seg.version(), 3);
+        let snap = primary.lock().server().lock().metrics_snapshot();
+        assert_eq!(snap.counter("cluster.diffs_shipped_total"), Some(3));
+        let bsnap = b.metrics_snapshot();
+        assert_eq!(bsnap.counter("cluster.diffs_applied_total"), Some(3));
+    }
+
+    #[test]
+    fn late_backup_catches_up_with_full_image() {
+        let primary = Arc::new(Mutex::new(Primary::new(Server::new())));
+        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        let (_t, client) = connect(&primary);
+        for v in 0..2 {
+            write_version(&handler, client, v);
+        }
+        // Backup joins after two versions already exist.
+        let backup = Arc::new(Mutex::new(Server::new()));
+        let backup_handler: Arc<Mutex<dyn Handler>> = backup.clone();
+        primary
+            .lock()
+            .add_backup(Box::new(Loopback::new(backup_handler)));
+        primary.lock().drain();
+        {
+            let mut b = backup.lock();
+            assert_eq!(b.segment("h/s").unwrap().version(), 2);
+            // Attach-time sync made the backup bit-identical.
+            let image = checkpoint::encode_segment(b.segment_mut("h/s").unwrap()).unwrap();
+            let p = primary.lock();
+            let mut p = p.server().lock();
+            assert_eq!(
+                checkpoint::encode_segment(p.segment_mut("h/s").unwrap()).unwrap(),
+                image
+            );
+        }
+        // And the diff stream continues from there.
+        write_version(&handler, client, 2);
+        primary.lock().drain();
+        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 3);
+        let snap = primary.lock().server().lock().metrics_snapshot();
+        assert_eq!(snap.counter("cluster.sync_full_total"), Some(1));
+        assert!(snap.counter("cluster.catchup_bytes_shipped_total").unwrap() > 0);
+    }
+
+    #[test]
+    fn version_gap_triggers_full_sync() {
+        let (primary, backup) = cluster();
+        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        let (_t, client) = connect(&primary);
+        write_version(&handler, client, 0);
+        primary.lock().drain();
+        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 1);
+        // A version applied behind the replication stream's back (as if
+        // shipped diffs were lost) opens a gap.
+        primary
+            .lock()
+            .server()
+            .lock()
+            .segment_mut("h/s")
+            .unwrap()
+            .apply_diff(&seed_diff(1))
+            .unwrap();
+        write_version(&handler, client, 2);
+        primary.lock().drain();
+        let b = backup.lock();
+        assert_eq!(b.segment("h/s").unwrap().version(), 3);
+        let snap = primary.lock().server().lock().metrics_snapshot();
+        assert_eq!(snap.counter("cluster.sync_full_total"), Some(1));
+        let bsnap = b.metrics_snapshot();
+        assert_eq!(bsnap.counter("cluster.sync_full_applied_total"), Some(1));
+    }
+
+    #[test]
+    fn dead_backup_is_skipped_live_one_keeps_streaming() {
+        let (primary, backup) = cluster();
+        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        // Second backup whose channel drops every request.
+        let flaky_srv = Arc::new(Mutex::new(Server::new()));
+        let flaky_handler: Arc<Mutex<dyn Handler>> = flaky_srv.clone();
+        let mut flaky = Loopback::new(flaky_handler);
+        flaky.drop_every(1);
+        primary.lock().add_backup(Box::new(flaky));
+
+        let (_t, client) = connect(&primary);
+        for v in 0..3 {
+            write_version(&handler, client, v);
+        }
+        primary.lock().drain();
+        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 3);
+        assert!(flaky_srv.lock().segment("h/s").is_none());
+        let snap = primary.lock().server().lock().metrics_snapshot();
+        assert!(snap.counter("cluster.ship_errors_total").unwrap() > 0);
+        assert_eq!(snap.gauge("cluster.backups"), Some(1));
+    }
+
+    #[test]
+    fn committed_transaction_diffs_replicate() {
+        let (primary, backup) = cluster();
+        let (mut t, client) = connect(&primary);
+        let r = t
+            .request(&Request::Acquire {
+                client,
+                segment: "h/s".into(),
+                mode: LockMode::Write,
+                have_version: 0,
+                coherence: Coherence::Full,
+            })
+            .unwrap();
+        assert!(matches!(r, Reply::Granted { .. }));
+        let r = t
+            .request(&Request::Commit {
+                client,
+                entries: vec![("h/s".into(), Some(seed_diff(0)))],
+            })
+            .unwrap();
+        assert!(matches!(r, Reply::Committed { .. }), "{r:?}");
+        primary.lock().drain();
+        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 1);
+    }
+
+    #[test]
+    fn lag_gauge_tracks_slowest_backup() {
+        let (primary, _backup) = cluster();
+        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        let (_t, client) = connect(&primary);
+        write_version(&handler, client, 0);
+        primary.lock().drain();
+        let snap = primary.lock().server().lock().metrics_snapshot();
+        assert_eq!(snap.gauge("cluster.lag.h/s"), Some(0));
+    }
+
+    #[test]
+    fn failed_release_is_not_replicated() {
+        let (primary, backup) = cluster();
+        let (mut t, client) = connect(&primary);
+        // Release with a diff but no write lock: server refuses, and the
+        // refused diff must not reach the backup.
+        let r = t
+            .request(&Request::Release {
+                client,
+                segment: "h/s".into(),
+                diff: Some(seed_diff(0)),
+            })
+            .unwrap();
+        assert!(matches!(r, Reply::Error { .. }));
+        primary.lock().drain();
+        assert_eq!(backup.lock().segment("h/s").map(|s| s.version()), None);
+    }
+}

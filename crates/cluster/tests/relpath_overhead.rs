@@ -1,0 +1,84 @@
+//! Ad-hoc release-path overhead measurement (run manually).
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use iw_cluster::Primary;
+use iw_proto::msg::{LockMode, Reply, Request};
+use iw_proto::{Coherence, Handler, Loopback, Transport};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_wire::diff::{NewBlock, SegmentDiff};
+use parking_lot::Mutex;
+
+fn seed_diff(from: u64) -> SegmentDiff {
+    SegmentDiff {
+        from_version: from,
+        to_version: from + 1,
+        new_types: if from == 0 {
+            vec![(0, TypeDesc::int32())]
+        } else {
+            vec![]
+        },
+        new_blocks: vec![NewBlock {
+            serial: from as u32,
+            name: None,
+            type_serial: 0,
+            count: 256,
+            data: Bytes::from(vec![from as u8; 1024]),
+        }],
+        ..Default::default()
+    }
+}
+
+fn run(handler: Arc<Mutex<dyn Handler>>, n: u64) -> f64 {
+    let mut t = Loopback::new(handler);
+    let Reply::Welcome { client } = t.request(&Request::Hello { info: "b".into() }).unwrap() else {
+        panic!()
+    };
+    t.request(&Request::Open {
+        client,
+        segment: "h/s".into(),
+    })
+    .unwrap();
+    let start = Instant::now();
+    for v in 0..n {
+        t.request(&Request::Acquire {
+            client,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: v,
+            coherence: Coherence::Full,
+        })
+        .unwrap();
+        t.request(&Request::Release {
+            client,
+            segment: "h/s".into(),
+            diff: Some(seed_diff(v)),
+        })
+        .unwrap();
+    }
+    start.elapsed().as_secs_f64() / n as f64 * 1e6
+}
+
+#[test]
+fn measure() {
+    let n = 3000;
+    // warmup + measure bare
+    let bare: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    run(bare, n);
+    let bare: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let bare_us = run(bare, n);
+    // primary with one backup attached
+    let backup: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let p = Primary::new(Server::new());
+    p.add_backup(Box::new(Loopback::new(backup)));
+    p.drain();
+    let ph: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(p));
+    let prim_us = run(ph, n);
+    // primary with no backup: isolates the synchronous enqueue overhead
+    let p0 = Primary::new(Server::new());
+    let ph0: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(p0));
+    let prim0_us = run(ph0, n);
+    eprintln!("bare: {bare_us:.2} us, primary+0 backups: {prim0_us:.2} us ({:.2}%), primary+1 backup: {prim_us:.2} us ({:.2}%)", (prim0_us / bare_us - 1.0) * 100.0, (prim_us / bare_us - 1.0) * 100.0);
+}

@@ -28,6 +28,13 @@ pub enum CoreError {
     },
     /// A lock acquisition gave up after too many busy retries.
     LockTimeout(String),
+    /// A write lock was lost when the session failed over to a backup
+    /// replica. Local modifications were rolled back to the state at
+    /// acquisition; the caller can re-acquire and redo them.
+    LockLost {
+        /// The segment whose write lock was lost.
+        segment: String,
+    },
     /// A typed access did not match the declared type.
     TypeMismatch {
         /// What the accessor expected.
@@ -59,6 +66,10 @@ impl fmt::Display for CoreError {
             CoreError::LockTimeout(s) => {
                 write!(f, "gave up acquiring lock on `{s}` (still busy)")
             }
+            CoreError::LockLost { segment } => write!(
+                f,
+                "write lock on `{segment}` lost in failover; modifications rolled back"
+            ),
             CoreError::TypeMismatch { expected, found } => {
                 write!(f, "typed access expected {expected}, found {found}")
             }

@@ -48,6 +48,13 @@ pub(crate) struct SessionMetrics {
     pub lock_acquires: Arc<Counter>,
     /// `client.lock.busy_retries_total` — `Busy` replies retried.
     pub lock_busy_retries: Arc<Counter>,
+    /// `client.lock.retries_exhausted_total` — acquisitions that gave up
+    /// after the full retry budget (distinct from individual busy
+    /// retries).
+    pub lock_retries_exhausted: Arc<Counter>,
+    /// `client.failovers_total` — successful fail-overs to a backup
+    /// replica.
+    pub failovers: Arc<Counter>,
     /// `client.lock.wait_us` — wall time from first request to grant.
     pub lock_wait_us: Arc<Histogram>,
     /// `client.update.piggyback_bytes` — payload of updates piggybacked on
@@ -79,6 +86,8 @@ impl SessionMetrics {
             unswizzle_cache_misses: registry.counter("client.unswizzle.cache_misses_total"),
             lock_acquires: registry.counter("client.lock.acquires_total"),
             lock_busy_retries: registry.counter("client.lock.busy_retries_total"),
+            lock_retries_exhausted: registry.counter("client.lock.retries_exhausted_total"),
+            failovers: registry.counter("client.failovers_total"),
             lock_wait_us: registry.histogram_us("client.lock.wait_us"),
             update_bytes: registry.histogram_bytes("client.update.piggyback_bytes"),
             no_diff_transitions: registry.counter("client.no_diff.transitions_total"),

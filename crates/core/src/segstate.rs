@@ -73,6 +73,10 @@ pub(crate) struct SegState {
     pub block_nodiff: HashSet<u32>,
     /// Per-block consecutive mostly-modified release counts.
     pub block_streak: HashMap<u32, u32>,
+    /// Set when a held write lock was lost in a failover; the next
+    /// `wl_release` surfaces it as [`crate::CoreError::LockLost`] and
+    /// clears it.
+    pub lock_lost: bool,
 }
 
 impl SegState {
@@ -93,6 +97,7 @@ impl SegState {
             high_streak: 0,
             block_nodiff: HashSet::new(),
             block_streak: HashMap::new(),
+            lock_lost: false,
         }
     }
 

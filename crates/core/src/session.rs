@@ -78,8 +78,17 @@ pub struct SessionOptions {
     pub prediction: bool,
     /// How many times to retry a busy lock before giving up.
     pub lock_retries: u32,
-    /// Microseconds to sleep between busy-lock retries.
+    /// Microseconds to sleep after the first busy-lock retry; each
+    /// further retry doubles the sleep (plus deterministic jitter) up to
+    /// [`SessionOptions::lock_backoff_cap_us`].
     pub lock_backoff_us: u64,
+    /// Upper bound on the exponential busy-lock backoff.
+    pub lock_backoff_cap_us: u64,
+    /// Rounds through the replica list before a failover gives up.
+    pub failover_rounds: u32,
+    /// Milliseconds to sleep between failover rounds (with the same
+    /// doubling-plus-jitter schedule as lock backoff).
+    pub failover_backoff_ms: u64,
     /// Page size for modification tracking (`None` = the platform
     /// default of 4096). Small pages let tests exercise page-boundary
     /// logic cheaply.
@@ -94,6 +103,9 @@ impl Default for SessionOptions {
             prediction: true,
             lock_retries: 10_000,
             lock_backoff_us: 100,
+            lock_backoff_cap_us: 10_000,
+            failover_rounds: 3,
+            failover_backoff_ms: 100,
             page_size: None,
         }
     }
@@ -137,10 +149,19 @@ pub struct Session {
     pub(crate) extra_links: HashMap<String, ServerLink>,
 }
 
+/// Reconnects to one replica of a server group (`Ok` = a fresh, unused
+/// transport). Called again on every failover attempt.
+pub type Connector = Box<dyn FnMut() -> Result<Box<dyn Transport>, CoreError> + Send>;
+
 /// A connection to one InterWeave server plus the client id it assigned.
 pub(crate) struct ServerLink {
     pub transport: Box<dyn Transport>,
     pub client_id: u64,
+    /// Ordered replica group (primary first). Empty for plain
+    /// [`Session::add_server`] links, which never fail over.
+    pub connectors: Vec<Connector>,
+    /// Index into `connectors` of the replica `transport` talks to.
+    pub active: usize,
 }
 
 impl std::fmt::Debug for Session {
@@ -276,9 +297,79 @@ impl Session {
             ServerLink {
                 transport,
                 client_id,
+                connectors: Vec::new(),
+                active: 0,
             },
         );
         Ok(())
+    }
+
+    /// Registers a replica *group* (primary first, then ordered backups)
+    /// for segments whose URL host is `host`. The session connects to
+    /// the first reachable replica; when a request later fails with a
+    /// transport error, it transparently reconnects to the next replica,
+    /// re-issues `Hello`/`Open`, reconciles cached versions, and retries
+    /// — except for in-flight write releases and commits, which surface
+    /// as [`CoreError::LockLost`] (the lock died with the old primary).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Server`] when no replica is reachable.
+    pub fn add_server_group(
+        &mut self,
+        host: &str,
+        mut connectors: Vec<Connector>,
+    ) -> Result<(), CoreError> {
+        let info = format!("interweave-rs client on {}", self.heap.arch());
+        for idx in 0..connectors.len() {
+            let Ok(mut transport) = connectors[idx]() else {
+                continue;
+            };
+            transport.bind_registry(self.metrics.registry());
+            let Ok(Reply::Welcome { client }) =
+                transport.request(&Request::Hello { info: info.clone() })
+            else {
+                continue;
+            };
+            self.extra_links.insert(
+                host.to_string(),
+                ServerLink {
+                    transport,
+                    client_id: client,
+                    connectors,
+                    active: idx,
+                },
+            );
+            return Ok(());
+        }
+        Err(CoreError::Server(format!(
+            "no replica for `{host}` is reachable"
+        )))
+    }
+
+    /// As [`Session::add_server_group`] for TCP replicas given by socket
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Server`] when no replica is reachable.
+    pub fn add_tcp_server_group(
+        &mut self,
+        host: &str,
+        addrs: &[std::net::SocketAddr],
+    ) -> Result<(), CoreError> {
+        let connectors = addrs
+            .iter()
+            .map(|&addr| -> Connector {
+                Box::new(move || {
+                    let t = iw_proto::TcpTransport::connect(addr).map_err(|e| {
+                        CoreError::Proto(iw_proto::ProtoError::Channel(e.to_string()))
+                    })?;
+                    Ok(Box::new(t) as Box<dyn Transport>)
+                })
+            })
+            .collect();
+        self.add_server_group(host, connectors)
     }
 
     /// The host component of a segment name (everything before the first
@@ -288,18 +379,201 @@ impl Session {
     }
 
     /// Performs one request against the server responsible for `segment`,
-    /// substituting that server's client id. `make` receives the id.
+    /// substituting that server's client id. `make` receives the id (it
+    /// may be called more than once: after a failover the request is
+    /// rebuilt with the new server's client id).
+    ///
+    /// A transport (channel) error against a replica *group* triggers
+    /// transparent failover and a single retry — except for requests
+    /// that carry a committed diff (`Release`/`Commit`), whose write
+    /// locks died with the old server: those surface as
+    /// [`CoreError::LockLost`] after the local state has been rolled
+    /// back.
     pub(crate) fn request_for(
         &mut self,
         segment: &str,
-        make: impl FnOnce(u64) -> Request,
+        make: impl Fn(u64) -> Request,
     ) -> Result<Reply, CoreError> {
         let host = Session::host_of(segment).to_string();
-        if let Some(link) = self.extra_links.get_mut(&host) {
-            Ok(link.transport.request(&make(link.client_id))?)
-        } else {
-            Ok(self.transport.request(&make(self.client_id))?)
+        let Some(link) = self.extra_links.get_mut(&host) else {
+            return Ok(self.transport.request(&make(self.client_id))?);
+        };
+        let req = make(link.client_id);
+        match link.transport.request(&req) {
+            Ok(reply) => Ok(reply),
+            Err(iw_proto::ProtoError::Channel(_)) if link.connectors.len() > 1 => {
+                // The lock a Release/Commit relies on died with the old
+                // server; retrying against the new one cannot succeed
+                // and must not silently drop the diff semantics.
+                let lock_bound = matches!(
+                    req,
+                    Request::Release { diff: Some(_), .. } | Request::Commit { .. }
+                );
+                self.fail_over(&host)?;
+                if lock_bound {
+                    if let Ok(st) = self.state_mut(segment) {
+                        st.lock_lost = false;
+                    }
+                    return Err(CoreError::LockLost {
+                        segment: segment.to_string(),
+                    });
+                }
+                // The closure captured pre-failover state; version
+                // reconciliation may have invalidated the cache, so the
+                // rebuilt request must carry the *current* version or
+                // the new server would skip the refetch.
+                let reconciled = self.state(segment).map(|st| st.version).ok();
+                let link = self
+                    .extra_links
+                    .get_mut(&host)
+                    .expect("link survives failover");
+                let mut retry = make(link.client_id);
+                if let Some(version) = reconciled {
+                    match &mut retry {
+                        Request::Acquire { have_version, .. }
+                        | Request::Poll { have_version, .. } => *have_version = version,
+                        _ => {}
+                    }
+                }
+                Ok(link.transport.request(&retry)?)
+            }
+            Err(e) => Err(e.into()),
         }
+    }
+
+    /// Reconnects the `host` replica group to the next healthy replica:
+    /// cycles through the group (with capped exponential backoff between
+    /// rounds), re-issues `Hello` (marked as a failover) and `Open` for
+    /// every cached segment of that host, and reconciles cached
+    /// versions. Held write locks are lost: their local modifications
+    /// are rolled back from the twins and the segment is flagged so the
+    /// next `wl_release` reports [`CoreError::LockLost`].
+    ///
+    /// Version reconciliation: replicated version chains are
+    /// bit-identical prefixes of the primary's, so a cached version at
+    /// or below the replica's is still valid and reads resume
+    /// incrementally. A cached version *above* the replica's names
+    /// updates the replica never received (the asynchronous-replication
+    /// window); the cache cannot be reconciled against the replica's
+    /// future chain, so it is invalidated (version 0, full refetch on
+    /// next acquisition).
+    fn fail_over(&mut self, host: &str) -> Result<(), CoreError> {
+        let mut link = self
+            .extra_links
+            .remove(host)
+            .ok_or_else(|| CoreError::Server(format!("no server group for `{host}`")))?;
+        let info = format!("interweave-rs client on {} (failover)", self.heap.arch());
+        let mut jitter_state = 0x9E37_79B9u64 ^ ((link.active as u64) << 32) ^ host.len() as u64;
+        let mut backoff_us = self.opts.failover_backoff_ms.saturating_mul(1000).max(1);
+        let mut found: Option<(Box<dyn Transport>, u64, usize)> = None;
+        'rounds: for round in 0..self.opts.failover_rounds.max(1) {
+            if round > 0 {
+                let jitter = splitmix64(&mut jitter_state) % (backoff_us / 2 + 1);
+                std::thread::sleep(std::time::Duration::from_micros(backoff_us + jitter));
+                backoff_us = backoff_us.saturating_mul(2);
+            }
+            for step in 1..=link.connectors.len() {
+                let idx = (link.active + step) % link.connectors.len();
+                let Ok(mut t) = (link.connectors[idx])() else {
+                    continue;
+                };
+                t.bind_registry(self.metrics.registry());
+                if let Ok(Reply::Welcome { client }) =
+                    t.request(&Request::Hello { info: info.clone() })
+                {
+                    found = Some((t, client, idx));
+                    break 'rounds;
+                }
+            }
+        }
+        let Some((transport, client_id, active)) = found else {
+            self.extra_links.insert(host.to_string(), link);
+            return Err(CoreError::Server(format!(
+                "failover: no replica for `{host}` is reachable"
+            )));
+        };
+        link.transport = transport;
+        link.client_id = client_id;
+        link.active = active;
+        self.extra_links.insert(host.to_string(), link);
+        self.metrics.failovers.inc();
+
+        // Re-open this host's segments on the new server and reconcile.
+        let names: Vec<String> = self
+            .segs
+            .keys()
+            .filter(|n| Session::host_of(n) == host)
+            .cloned()
+            .collect();
+        let mut write_locked: Vec<String> = Vec::new();
+        let mut stale: Vec<String> = Vec::new();
+        for name in &names {
+            let reply = {
+                let link = self.extra_links.get_mut(host).expect("just inserted");
+                link.transport.request(&Request::Open {
+                    client: link.client_id,
+                    segment: name.clone(),
+                })?
+            };
+            let Reply::Opened {
+                version: replica_version,
+            } = reply
+            else {
+                return Err(unexpected(reply));
+            };
+            let st = self.state_mut(name)?;
+            if st.version > replica_version {
+                st.version = 0;
+                stale.push(name.clone());
+            }
+            match st.lock {
+                Some(LockMode::Write) => write_locked.push(name.clone()),
+                Some(LockMode::Read) => {
+                    // Server-side read locks died with the server; the
+                    // local read continues (coherence permits staleness)
+                    // and rl_release against the new server is a no-op.
+                    st.server_locked = false;
+                }
+                None => {}
+            }
+        }
+        // Write locks are gone: undo the uncommitted modifications (from
+        // the twins; exact in Diff mode, see DESIGN.md for the NoDiff
+        // caveat) and flag the loss for wl_release.
+        self.rollback_segments(&write_locked)?;
+        for name in &write_locked {
+            let st = self.state_mut(name)?;
+            st.lock = None;
+            st.server_locked = false;
+            st.lock_lost = true;
+        }
+        if let Some(tx) = &mut self.tx {
+            tx.segments.retain(|s| !write_locked.contains(s));
+        }
+        // A version-0 cache must also be *empty*: the refetch arrives as
+        // a from-scratch diff whose new_blocks cannot collide with
+        // leftover local blocks.
+        for name in &stale {
+            let id = self.state(name)?.id;
+            self.heap.clear_tracking(id);
+            let spans: Vec<(u32, u64, u64)> = self
+                .heap
+                .segment(id)
+                .blocks()
+                .map(|b| (b.serial, b.va, b.end()))
+                .collect();
+            for (serial, bva, bend) in spans {
+                self.heap.free_block(id, serial)?;
+                self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
+            }
+            let st = self.state_mut(name)?;
+            st.new_blocks.clear();
+            st.freed.clear();
+            st.pending_free.clear();
+            st.block_nodiff.clear();
+            st.block_streak.clear();
+        }
+        Ok(())
     }
 
     // ==================================================================
@@ -359,6 +633,14 @@ impl Session {
     ) -> Result<Reply, CoreError> {
         self.metrics.lock_acquires.inc();
         let started = Instant::now();
+        // Capped exponential backoff with deterministic jitter: the
+        // doubling bounds total wait under long contention, the jitter
+        // de-synchronizes clients that went Busy on the same release,
+        // and determinism (seeded from the client id and segment, no
+        // clock or OS entropy) keeps test runs reproducible.
+        let mut backoff_us = self.opts.lock_backoff_us.max(1);
+        let cap_us = self.opts.lock_backoff_cap_us.max(backoff_us);
+        let mut jitter_state = self.client_id ^ ((name.len() as u64) << 32) ^ have_version;
         for _ in 0..=self.opts.lock_retries {
             let reply = self.request_for(name, |client| Request::Acquire {
                 client,
@@ -370,7 +652,9 @@ impl Session {
             match reply {
                 Reply::Busy => {
                     self.metrics.lock_busy_retries.inc();
-                    std::thread::sleep(std::time::Duration::from_micros(self.opts.lock_backoff_us));
+                    let jitter = splitmix64(&mut jitter_state) % (backoff_us / 2 + 1);
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us + jitter));
+                    backoff_us = backoff_us.saturating_mul(2).min(cap_us);
                 }
                 Reply::Error { message } => return Err(CoreError::Server(message)),
                 other => {
@@ -379,6 +663,7 @@ impl Session {
                 }
             }
         }
+        self.metrics.lock_retries_exhausted.inc();
         Err(CoreError::LockTimeout(name.to_string()))
     }
 
@@ -457,6 +742,10 @@ impl Session {
                 "`{name}` is part of an open transaction; use tx_commit/tx_abort"
             )));
         }
+        if self.state(&name)?.lock_lost {
+            self.state_mut(&name)?.lock_lost = false;
+            return Err(CoreError::LockLost { segment: name });
+        }
         if self.state(&name)?.lock != Some(LockMode::Write) {
             return Err(CoreError::NotLocked {
                 segment: name,
@@ -472,7 +761,7 @@ impl Session {
         let reply = self.request_for(&name, |client| Request::Release {
             client,
             segment: name.clone(),
-            diff: payload,
+            diff: payload.clone(),
         })?;
         let Reply::Released { version } = reply else {
             return Err(unexpected(reply));
@@ -1700,6 +1989,16 @@ fn push_u64(s: &mut String, mut v: u64) {
         }
     }
     s.push_str(std::str::from_utf8(&buf[i..]).expect("digits are ASCII"));
+}
+
+/// SplitMix64 step: cheap deterministic jitter for backoff schedules
+/// (no OS entropy, so contention tests stay reproducible).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn unexpected(reply: Reply) -> CoreError {

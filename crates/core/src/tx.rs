@@ -159,7 +159,7 @@ impl Session {
             let group_clone = group.clone();
             let reply = self.request_for(&first_segment, |client| Request::Commit {
                 client,
-                entries: group_clone,
+                entries: group_clone.clone(),
             })?;
             match reply {
                 Reply::Committed { versions: vs } => {
@@ -257,7 +257,7 @@ impl Session {
 
     /// Restores local state of the given segments to their
     /// pre-transaction content.
-    fn rollback_segments(&mut self, segments: &[String]) -> Result<(), CoreError> {
+    pub(crate) fn rollback_segments(&mut self, segments: &[String]) -> Result<(), CoreError> {
         for name in segments {
             let (id, new_blocks) = {
                 let st = self.state(name)?;

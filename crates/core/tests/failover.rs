@@ -1,0 +1,305 @@
+//! Transparent client failover across a replica group.
+//!
+//! Two in-process `Server`s stand in for a primary/backup pair; the
+//! backup is brought up to date with the same `SyncFull` images the
+//! `iw-cluster` ship thread uses, so its state is bit-identical to the
+//! primary's. A shared "dead" flag on the transports simulates the
+//! primary crashing mid-session.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use iw_core::{Connector, CoreError, Session, SessionOptions};
+use iw_proto::msg::{Reply, Request};
+use iw_proto::{Handler, Loopback, ProtoError, Transport, TransportStats};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use parking_lot::Mutex;
+
+/// A loopback connection that starts failing like a dead TCP peer as
+/// soon as its shared `dead` flag is raised.
+struct Killable {
+    inner: Loopback,
+    dead: Arc<AtomicBool>,
+}
+
+impl Transport for Killable {
+    fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(ProtoError::Channel("replica is down".into()));
+        }
+        self.inner.request(req)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+fn connector(server: &Arc<Mutex<Server>>, dead: &Arc<AtomicBool>) -> Connector {
+    let handler: Arc<Mutex<dyn Handler>> = server.clone();
+    let dead = dead.clone();
+    Box::new(move || {
+        if dead.load(Ordering::SeqCst) {
+            return Err(CoreError::Proto(ProtoError::Channel(
+                "replica is down".into(),
+            )));
+        }
+        Ok(Box::new(Killable {
+            inner: Loopback::new(handler.clone()),
+            dead: dead.clone(),
+        }) as Box<dyn Transport>)
+    })
+}
+
+struct Cluster {
+    primary: Arc<Mutex<Server>>,
+    backup: Arc<Mutex<Server>>,
+    primary_dead: Arc<AtomicBool>,
+    #[allow(dead_code)]
+    backup_dead: Arc<AtomicBool>,
+}
+
+impl Cluster {
+    /// Copies `segment` from the primary to the backup with the same
+    /// full-image message the cluster ship thread uses.
+    fn sync_backup(&self, segment: &str) {
+        let image = {
+            let mut p = self.primary.lock();
+            let seg = p.segment_mut(segment).expect("segment exists on primary");
+            iw_server::checkpoint::encode_segment(seg).expect("image encodes")
+        };
+        let reply = self.backup.lock().handle_request(&Request::SyncFull {
+            segment: segment.to_string(),
+            image,
+        });
+        assert!(
+            matches!(reply, Reply::Replicated { .. }),
+            "sync rejected: {reply:?}"
+        );
+    }
+
+    fn kill_primary(&self) {
+        self.primary_dead.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A session whose `clu/*` segments are served by a replica group of
+/// two, plus the cluster handles to drive replication and failures.
+fn cluster_session() -> (Session, Cluster) {
+    let cluster = Cluster {
+        primary: Arc::new(Mutex::new(Server::new())),
+        backup: Arc::new(Mutex::new(Server::new())),
+        primary_dead: Arc::new(AtomicBool::new(false)),
+        backup_dead: Arc::new(AtomicBool::new(false)),
+    };
+    // The default transport points at an unrelated scratch server; every
+    // segment in these tests lives under the grouped host `clu`.
+    let scratch: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let opts = SessionOptions {
+        failover_backoff_ms: 1,
+        lock_backoff_us: 1,
+        ..SessionOptions::default()
+    };
+    let mut s =
+        Session::with_options(MachineArch::x86(), Box::new(Loopback::new(scratch)), opts).unwrap();
+    s.add_server_group(
+        "clu",
+        vec![
+            connector(&cluster.primary, &cluster.primary_dead),
+            connector(&cluster.backup, &cluster.backup_dead),
+        ],
+    )
+    .unwrap();
+    (s, cluster)
+}
+
+/// Seeds `clu/data#x = 7` through the session (version 1 on the
+/// primary) and returns the handle.
+fn seed(s: &mut Session) -> iw_core::SegHandle {
+    let h = s.open_segment("clu/data").unwrap();
+    s.wl_acquire(&h).unwrap();
+    let p = s.malloc(&h, &TypeDesc::int64(), 1, Some("x")).unwrap();
+    s.write_i64(&p, 7).unwrap();
+    s.wl_release(&h).unwrap();
+    h
+}
+
+fn failovers(s: &Session) -> u64 {
+    s.metrics_snapshot()
+        .counter("client.failovers_total")
+        .unwrap_or(0)
+}
+
+#[test]
+fn reads_fail_over_transparently_to_backup() {
+    let (mut s, cluster) = cluster_session();
+    let h = seed(&mut s);
+    cluster.sync_backup("clu/data");
+    cluster.kill_primary();
+
+    // The read lock round trip hits the dead primary, reconnects to the
+    // backup, and retries — the caller never sees an error.
+    s.rl_acquire(&h).unwrap();
+    let p = s.mip_to_ptr("clu/data#x").unwrap();
+    assert_eq!(s.read_i64(&p).unwrap(), 7);
+    s.rl_release(&h).unwrap();
+    assert_eq!(failovers(&s), 1);
+
+    // Later traffic sticks to the backup without another failover.
+    s.rl_acquire(&h).unwrap();
+    s.rl_release(&h).unwrap();
+    assert_eq!(failovers(&s), 1);
+}
+
+#[test]
+fn lost_write_lock_rolls_back_then_recovers() {
+    let (mut s, cluster) = cluster_session();
+    let h = seed(&mut s);
+    cluster.sync_backup("clu/data");
+
+    s.wl_acquire(&h).unwrap();
+    let p = s.mip_to_ptr("clu/data#x").unwrap();
+    s.write_i64(&p, 42).unwrap();
+    cluster.kill_primary();
+    // The release's diff relied on a lock that died with the primary.
+    match s.wl_release(&h) {
+        Err(CoreError::LockLost { segment }) => assert_eq!(segment, "clu/data"),
+        other => panic!("expected LockLost, got {other:?}"),
+    }
+    assert_eq!(failovers(&s), 1);
+
+    // The uncommitted write was rolled back to the acquisition state.
+    s.rl_acquire(&h).unwrap();
+    assert_eq!(s.read_i64(&p).unwrap(), 7);
+    s.rl_release(&h).unwrap();
+
+    // Re-acquire against the backup and redo the write.
+    s.wl_acquire(&h).unwrap();
+    s.write_i64(&p, 42).unwrap();
+    s.wl_release(&h).unwrap();
+
+    // A fresh client bound to the backup alone sees the redone write.
+    let b: Arc<Mutex<dyn Handler>> = cluster.backup.clone();
+    let mut r = Session::new(MachineArch::alpha(), Box::new(Loopback::new(b))).unwrap();
+    let hr = r.open_segment("clu/data").unwrap();
+    r.rl_acquire(&hr).unwrap();
+    let pr = r.mip_to_ptr("clu/data#x").unwrap();
+    assert_eq!(r.read_i64(&pr).unwrap(), 42);
+    r.rl_release(&hr).unwrap();
+}
+
+#[test]
+fn cache_ahead_of_backup_is_invalidated() {
+    let (mut s, cluster) = cluster_session();
+    let h = seed(&mut s);
+    cluster.sync_backup("clu/data"); // backup stops at version 1
+    let p = s.mip_to_ptr("clu/data#x").unwrap();
+    s.wl_acquire(&h).unwrap();
+    s.write_i64(&p, 42).unwrap();
+    s.wl_release(&h).unwrap(); // version 2, never replicated
+    cluster.kill_primary();
+
+    // The cached version (2) names an update the backup never received;
+    // failover must invalidate the cache and refetch, not trust it. The
+    // refetch re-creates the blocks, so pointers are re-resolved.
+    s.rl_acquire(&h).unwrap();
+    let p = s.mip_to_ptr("clu/data#x").unwrap();
+    assert_eq!(s.read_i64(&p).unwrap(), 7);
+    s.rl_release(&h).unwrap();
+    assert_eq!(failovers(&s), 1);
+}
+
+#[test]
+fn no_reachable_replica_fails_then_recovers_when_one_returns() {
+    let (mut s, cluster) = cluster_session();
+    let h = seed(&mut s);
+    cluster.sync_backup("clu/data");
+    cluster.kill_primary();
+    cluster.backup_dead.store(true, Ordering::SeqCst);
+
+    match s.rl_acquire(&h) {
+        Err(CoreError::Server(m)) => assert!(m.contains("no replica"), "{m}"),
+        other => panic!("expected Server error, got {other:?}"),
+    }
+    assert_eq!(failovers(&s), 0);
+
+    // The group stays registered: once a replica is back, the same
+    // session fails over to it and continues.
+    cluster.backup_dead.store(false, Ordering::SeqCst);
+    s.rl_acquire(&h).unwrap();
+    let p = s.mip_to_ptr("clu/data#x").unwrap();
+    assert_eq!(s.read_i64(&p).unwrap(), 7);
+    s.rl_release(&h).unwrap();
+    assert_eq!(failovers(&s), 1);
+}
+
+#[test]
+fn plain_links_and_default_transport_never_fail_over() {
+    // A single-member "group" behaves like add_server: channel errors
+    // surface to the caller instead of spinning on the only replica.
+    let primary = Arc::new(Mutex::new(Server::new()));
+    let dead = Arc::new(AtomicBool::new(false));
+    let scratch: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(scratch))).unwrap();
+    s.add_server_group("solo", vec![connector(&primary, &dead)])
+        .unwrap();
+    let h = s.open_segment("solo/data").unwrap();
+    dead.store(true, Ordering::SeqCst);
+    match s.rl_acquire(&h) {
+        Err(CoreError::Proto(ProtoError::Channel(_))) => {}
+        other => panic!("expected channel error, got {other:?}"),
+    }
+}
+
+#[test]
+fn exhausted_lock_retries_are_counted() {
+    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let holder_transport = Loopback::new(srv.clone());
+    let mut holder =
+        Session::new(MachineArch::x86(), Box::new(holder_transport.another())).unwrap();
+    let opts = SessionOptions {
+        lock_retries: 3,
+        lock_backoff_us: 1,
+        lock_backoff_cap_us: 4,
+        ..SessionOptions::default()
+    };
+    let mut waiter =
+        Session::with_options(MachineArch::x86(), Box::new(holder_transport), opts).unwrap();
+
+    let hh = holder.open_segment("host/contended").unwrap();
+    holder.wl_acquire(&hh).unwrap();
+    let hw = waiter.open_segment("host/contended").unwrap();
+    match waiter.wl_acquire(&hw) {
+        Err(CoreError::LockTimeout(seg)) => assert_eq!(seg, "host/contended"),
+        other => panic!("expected LockTimeout, got {other:?}"),
+    }
+    let snap = waiter.metrics_snapshot();
+    assert_eq!(
+        snap.counter("client.lock.retries_exhausted_total"),
+        Some(1),
+        "one exhausted acquisition"
+    );
+    assert_eq!(
+        snap.counter("client.lock.busy_retries_total"),
+        Some(4),
+        "initial attempt plus lock_retries retries, all Busy"
+    );
+
+    // Once the holder lets go, the same acquisition succeeds and the
+    // exhausted counter does not move again.
+    holder.wl_release(&hh).unwrap();
+    waiter.wl_acquire(&hw).unwrap();
+    waiter.wl_release(&hw).unwrap();
+    assert_eq!(
+        waiter
+            .metrics_snapshot()
+            .counter("client.lock.retries_exhausted_total"),
+        Some(1)
+    );
+}

@@ -94,13 +94,51 @@ pub enum Request {
         /// Requesting client.
         client: u64,
     },
+    /// Primary→backup (cluster replication): apply one committed
+    /// write-release diff through the backup's normal version chain.
+    Replicate {
+        /// Segment name.
+        segment: String,
+        /// The version the diff starts from. Duplicates
+        /// `diff.from_version` so a backup can refuse a stale or
+        /// inconsistent stream without touching the payload.
+        from_version: u64,
+        /// The committed diff, exactly as the writer shipped it.
+        diff: SegmentDiff,
+    },
+    /// Primary→backup (cluster replication): install a full segment
+    /// image — the catch-up path for backups that join late or fall
+    /// behind the diff stream.
+    SyncFull {
+        /// Segment name.
+        segment: String,
+        /// Checkpoint-encoded segment image (see
+        /// `iw-server::checkpoint`), machine-independent like every
+        /// other payload.
+        image: Bytes,
+    },
+    /// Backup→primary (cluster replication): register the sender's
+    /// listen address so the primary streams diffs to it.
+    AttachBackup {
+        /// Address the primary should connect back to.
+        addr: String,
+    },
 }
 
 impl Request {
     /// Short lowercase names of every request kind, indexed by
     /// [`Request::kind_index`] (used for per-kind transport counters).
-    pub const KINDS: [&'static str; 7] = [
-        "hello", "open", "acquire", "release", "poll", "commit", "stats",
+    pub const KINDS: [&'static str; 10] = [
+        "hello",
+        "open",
+        "acquire",
+        "release",
+        "poll",
+        "commit",
+        "stats",
+        "replicate",
+        "syncfull",
+        "attach",
     ];
 
     /// Index of this request's kind in [`Request::KINDS`].
@@ -113,6 +151,9 @@ impl Request {
             Request::Poll { .. } => 4,
             Request::Commit { .. } => 5,
             Request::Stats { .. } => 6,
+            Request::Replicate { .. } => 7,
+            Request::SyncFull { .. } => 8,
+            Request::AttachBackup { .. } => 9,
         }
     }
 
@@ -171,6 +212,13 @@ pub enum Reply {
     Stats {
         /// Every counter, gauge and histogram the server exposes.
         snapshot: Snapshot,
+    },
+    /// Reply to [`Request::Replicate`], [`Request::SyncFull`], and
+    /// [`Request::AttachBackup`]: the replica's segment version after the
+    /// operation (0 for an attach, which names no segment).
+    Replicated {
+        /// The backup's version of the segment after applying.
+        acked_version: u64,
     },
     /// The request failed.
     Error {
@@ -256,6 +304,25 @@ impl Request {
             Request::Stats { client } => {
                 w.put_u8(6);
                 w.put_u64(*client);
+            }
+            Request::Replicate {
+                segment,
+                from_version,
+                diff,
+            } => {
+                w.put_u8(7);
+                w.put_str(segment);
+                w.put_u64(*from_version);
+                w.put_len_bytes(&diff.encode());
+            }
+            Request::SyncFull { segment, image } => {
+                w.put_u8(8);
+                w.put_str(segment);
+                w.put_len_bytes(image);
+            }
+            Request::AttachBackup { addr } => {
+                w.put_u8(9);
+                w.put_str(addr);
             }
         }
         w.finish()
@@ -362,6 +429,22 @@ impl Request {
             6 => Request::Stats {
                 client: r.get_u64()?,
             },
+            7 => {
+                let segment = r.get_str()?;
+                let from_version = r.get_u64()?;
+                let body = r.get_len_bytes()?;
+                let mut dr = WireReader::new(body);
+                Request::Replicate {
+                    segment,
+                    from_version,
+                    diff: SegmentDiff::decode(&mut dr)?,
+                }
+            }
+            8 => Request::SyncFull {
+                segment: r.get_str()?,
+                image: r.get_len_bytes()?,
+            },
+            9 => Request::AttachBackup { addr: r.get_str()? },
             tag => {
                 return Err(WireError::BadTag {
                     what: "request",
@@ -428,6 +511,10 @@ impl Reply {
             Reply::Stats { snapshot } => {
                 w.put_u8(9);
                 encode_snapshot(&mut w, snapshot);
+            }
+            Reply::Replicated { acked_version } => {
+                w.put_u8(10);
+                w.put_u64(*acked_version);
             }
         }
         w.finish()
@@ -500,6 +587,9 @@ impl Reply {
             }
             9 => Reply::Stats {
                 snapshot: decode_snapshot(&mut r)?,
+            },
+            10 => Reply::Replicated {
+                acked_version: r.get_u64()?,
             },
             tag => return Err(WireError::BadTag { what: "reply", tag }),
         };
@@ -635,6 +725,18 @@ mod tests {
                 have_version: 1,
                 coherence: Coherence::Diff(100),
             },
+            Request::Replicate {
+                segment: "h/s".into(),
+                from_version: 1,
+                diff: sample_diff(),
+            },
+            Request::SyncFull {
+                segment: "h/s".into(),
+                image: Bytes::from_static(b"IWCK-image-bytes"),
+            },
+            Request::AttachBackup {
+                addr: "127.0.0.1:7475".into(),
+            },
         ];
         for req in reqs {
             assert_eq!(Request::decode(req.encode()).unwrap(), req);
@@ -667,6 +769,7 @@ mod tests {
             Reply::Error {
                 message: "no such segment".into(),
             },
+            Reply::Replicated { acked_version: 12 },
         ];
         for reply in replies {
             assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
@@ -760,6 +863,16 @@ mod tests {
                 entries: vec![],
             },
             Request::Stats { client: 0 },
+            Request::Replicate {
+                segment: "s".into(),
+                from_version: 0,
+                diff: SegmentDiff::default(),
+            },
+            Request::SyncFull {
+                segment: "s".into(),
+                image: Bytes::new(),
+            },
+            Request::AttachBackup { addr: "a".into() },
         ];
         let mut seen = std::collections::HashSet::new();
         for req in reqs {

@@ -9,6 +9,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bytes::Bytes;
 use iw_telemetry::Registry;
@@ -54,6 +55,12 @@ pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(body))
 }
 
+/// Default connect/read/write timeout for client connections: long enough
+/// for any healthy round trip, short enough that a hung or partitioned
+/// server surfaces as a transport error the failover machinery can act
+/// on, instead of blocking in `read_frame` forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// A client connection to an InterWeave server over TCP.
 #[derive(Debug)]
 pub struct TcpTransport {
@@ -62,18 +69,44 @@ pub struct TcpTransport {
 }
 
 impl TcpTransport {
-    /// Connects to a server.
+    /// Connects to a server with [`DEFAULT_IO_TIMEOUT`] applied to the
+    /// connect itself and to every subsequent read and write.
     ///
     /// # Errors
     ///
     /// Propagates connection errors.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        TcpTransport::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects to a server with an explicit I/O timeout (`None` =
+    /// block indefinitely, the pre-cluster behavior).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors, including a connect timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Option<Duration>) -> io::Result<Self> {
+        let stream = match timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         Ok(TcpTransport {
             stream,
             metrics: TransportMetrics::default(),
         })
+    }
+
+    /// Changes the read/write timeouts on the live connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 }
 
@@ -230,6 +263,31 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn hung_server_times_out_as_channel_error() {
+        // A listener that accepts connections but never answers: without
+        // read timeouts the client would block in read_frame forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let mut t =
+            TcpTransport::connect_with_timeout(addr, Some(Duration::from_millis(200))).unwrap();
+        let started = std::time::Instant::now();
+        let err = t.request(&Request::Hello {
+            info: "probe".into(),
+        });
+        assert!(matches!(err, Err(ProtoError::Channel(_))), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "timed out via the socket timeout, not the server's sleep"
+        );
+        hold.join().unwrap();
     }
 
     #[test]

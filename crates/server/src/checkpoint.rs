@@ -5,7 +5,10 @@
 //!
 //! One file per segment (`<escaped name>.iwck`), written atomically via a
 //! temp file + rename. The format reuses the wire codec, so a checkpoint
-//! is readable by any architecture.
+//! is readable by any architecture. The same image (see
+//! [`encode_segment`]/[`decode_segment`]) is what a cluster primary ships
+//! in `Request::SyncFull` to bring a lagging backup up to date, so a
+//! synced backup is bit-identical to a recovered checkpoint.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,13 +38,9 @@ fn file_name(segment: &str) -> String {
     out
 }
 
-/// Writes a checkpoint of `seg` into `dir`.
-///
-/// # Errors
-///
-/// I/O errors creating the directory or writing the file.
-pub fn write(dir: &Path, seg: &mut ServerSegment) -> Result<PathBuf, ServerError> {
-    fs::create_dir_all(dir)?;
+/// Serializes a segment into its machine-independent checkpoint image
+/// (also the `SyncFull` replication payload).
+pub fn encode_segment(seg: &mut ServerSegment) -> Result<Bytes, ServerError> {
     let mut w = WireWriter::new();
     w.put_bytes(MAGIC);
     w.put_u32(FORMAT_VERSION);
@@ -97,22 +96,38 @@ pub fn write(dir: &Path, seg: &mut ServerSegment) -> Result<PathBuf, ServerError
         w.put_u32(serial);
         w.put_u64(created);
     }
+    Ok(w.finish())
+}
 
+/// Writes a checkpoint of `seg` into `dir`.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing the file.
+pub fn write(dir: &Path, seg: &mut ServerSegment) -> Result<PathBuf, ServerError> {
+    fs::create_dir_all(dir)?;
+    let image = encode_segment(seg)?;
     let path = dir.join(file_name(&seg.name));
     let tmp = dir.join(format!("{}.tmp", file_name(&seg.name)));
-    fs::write(&tmp, w.finish())?;
+    fs::write(&tmp, image)?;
     fs::rename(&tmp, &path)?;
     Ok(path)
 }
 
-/// Restores one segment from a checkpoint file.
+/// Largest block element count a checkpoint image may claim: keeps a
+/// corrupted count field from driving a giant storage allocation before
+/// the (truncated) data would fail to parse anyway.
+const MAX_BLOCK_COUNT: u32 = 1 << 26;
+
+/// Reconstructs a segment from a checkpoint image (the inverse of
+/// [`encode_segment`]).
 ///
 /// # Errors
 ///
-/// I/O errors and [`ServerError::BadCheckpoint`] on corrupt contents.
-pub fn restore(path: &Path) -> Result<ServerSegment, ServerError> {
-    let bytes = fs::read(path)?;
-    let mut r = WireReader::new(Bytes::from(bytes));
+/// [`ServerError::BadCheckpoint`] or a wire error on corrupt or truncated
+/// input — never a panic, whatever the bytes.
+pub fn decode_segment(bytes: Bytes) -> Result<ServerSegment, ServerError> {
+    let mut r = WireReader::new(bytes);
     let bad = |m: &str| ServerError::BadCheckpoint(m.to_string());
 
     let magic = r.get_bytes(4).map_err(|_| bad("truncated magic"))?;
@@ -145,6 +160,9 @@ pub fn restore(path: &Path) -> Result<ServerSegment, ServerError> {
         };
         let type_serial = r.get_u32()?;
         let count = r.get_u32()?;
+        if count > MAX_BLOCK_COUNT {
+            return Err(bad("absurd block count"));
+        }
         let created = r.get_u64()?;
         let bversion = r.get_u64()?;
         let n_subs = r.get_u32()?;
@@ -180,12 +198,25 @@ pub fn restore(path: &Path) -> Result<ServerSegment, ServerError> {
     Ok(seg)
 }
 
-/// Restores every checkpoint in `dir`.
+/// Restores one segment from a checkpoint file.
 ///
 /// # Errors
 ///
-/// I/O errors; individual corrupt files are skipped with a best-effort
-/// policy only for unreadable file names — corrupt contents error out.
+/// I/O errors and [`ServerError::BadCheckpoint`] on corrupt contents.
+pub fn restore(path: &Path) -> Result<ServerSegment, ServerError> {
+    let bytes = fs::read(path)?;
+    decode_segment(Bytes::from(bytes))
+}
+
+/// Restores every checkpoint in `dir`. A corrupt or truncated file is
+/// skipped (with a note on stderr) rather than failing the whole
+/// recovery: one bad checkpoint must not take down the segments whose
+/// checkpoints are healthy.
+///
+/// # Errors
+///
+/// I/O errors listing the directory (per-file read and parse failures are
+/// skipped, not propagated).
 pub fn restore_dir(dir: &Path) -> Result<Vec<ServerSegment>, ServerError> {
     let mut out = Vec::new();
     if !dir.exists() {
@@ -194,7 +225,13 @@ pub fn restore_dir(dir: &Path) -> Result<Vec<ServerSegment>, ServerError> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         if path.extension().is_some_and(|e| e == "iwck") {
-            out.push(restore(&path)?);
+            match restore(&path) {
+                Ok(seg) => out.push(seg),
+                Err(e) => eprintln!(
+                    "iw-server: skipping corrupt checkpoint {}: {e}",
+                    path.display()
+                ),
+            }
         }
     }
     Ok(out)
@@ -317,6 +354,59 @@ mod tests {
         fs::write(&path, b"NOTAMAGIC").unwrap();
         assert!(matches!(restore(&path), Err(ServerError::BadCheckpoint(_))));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoints_error_cleanly() {
+        let image = encode_segment(&mut populated_segment()).unwrap();
+        // Every strict prefix must fail with a clean error (the format
+        // has no optional tail), and must never panic.
+        for len in (0..image.len())
+            .step_by(7)
+            .chain(image.len() - 3..image.len())
+        {
+            let err = decode_segment(image.slice(0..len));
+            assert!(err.is_err(), "truncation at {len} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn bit_flipped_checkpoints_never_panic() {
+        let image = encode_segment(&mut populated_segment()).unwrap().to_vec();
+        for pos in (0..image.len()).step_by(3) {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = image.clone();
+                corrupt[pos] ^= 1 << bit;
+                // A flip in block payload bytes can still decode to a
+                // (different) valid segment; the contract is only that
+                // decode returns instead of panicking or ballooning.
+                let _ = decode_segment(Bytes::from(corrupt));
+            }
+        }
+    }
+
+    #[test]
+    fn restore_dir_skips_corrupt_files_loads_healthy_ones() {
+        let dir = temp_dir("skip");
+        let mut good = populated_segment();
+        write(&dir, &mut good).unwrap();
+        // One truncated image and one with garbage magic, both *.iwck.
+        let image = encode_segment(&mut populated_segment()).unwrap();
+        fs::write(dir.join("truncated.iwck"), &image[..image.len() / 2]).unwrap();
+        fs::write(dir.join("garbage.iwck"), b"NOTAMAGIC").unwrap();
+        let segs = restore_dir(&dir).unwrap();
+        assert_eq!(segs.len(), 1, "only the healthy checkpoint loads");
+        assert_eq!(segs[0].name, "host/data");
+        assert_eq!(segs[0].version(), good.version());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn image_roundtrip_is_bit_identical() {
+        let mut seg = populated_segment();
+        let image = encode_segment(&mut seg).unwrap();
+        let mut back = decode_segment(image.clone()).unwrap();
+        assert_eq!(encode_segment(&mut back).unwrap(), image);
     }
 
     #[test]

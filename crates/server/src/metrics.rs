@@ -35,6 +35,18 @@ pub(crate) struct ServerMetrics {
     pub locks_held: Arc<Gauge>,
     /// `server.clients` — registered clients (refreshed at scrape).
     pub clients: Arc<Gauge>,
+    /// `cluster.diffs_applied_total` — replication diffs applied (backup
+    /// role).
+    pub repl_diffs_applied: Arc<Counter>,
+    /// `cluster.sync_full_applied_total` — full catch-up images applied
+    /// (backup role).
+    pub repl_syncs_applied: Arc<Counter>,
+    /// `cluster.catchup_bytes_total` — bytes of full catch-up images
+    /// applied (backup role).
+    pub repl_catchup_bytes: Arc<Counter>,
+    /// `cluster.failovers_total` — clients that re-registered here after
+    /// failing over from another replica.
+    pub failovers: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -55,6 +67,10 @@ impl ServerMetrics {
             checkpoint_us: registry.histogram_us("server.checkpoint_us"),
             locks_held: registry.gauge("server.locks_held"),
             clients: registry.gauge("server.clients"),
+            repl_diffs_applied: registry.counter("cluster.diffs_applied_total"),
+            repl_syncs_applied: registry.counter("cluster.sync_full_applied_total"),
+            repl_catchup_bytes: registry.counter("cluster.catchup_bytes_total"),
+            failovers: registry.counter("cluster.failovers_total"),
             registry,
         }
     }

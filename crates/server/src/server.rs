@@ -19,6 +19,7 @@ use bytes::Bytes;
 use iw_proto::msg::{LockMode, Reply, Request};
 use iw_proto::Coherence;
 use iw_telemetry::{Registry, Snapshot};
+use iw_wire::diff::SegmentDiff;
 
 use crate::checkpoint;
 use crate::error::ServerError;
@@ -81,7 +82,15 @@ impl Server {
     }
 
     /// Registers a client and returns its id.
+    ///
+    /// A client re-registering after failing over from another replica
+    /// marks its info string with `"failover"`, which is how the
+    /// `cluster.failovers_total` counter on the surviving replica counts
+    /// failover events without a dedicated message type.
     pub fn hello(&mut self, info: &str) -> u64 {
+        if info.contains("failover") {
+            self.metrics.failovers.inc();
+        }
         self.next_client += 1;
         self.clients.insert(
             self.next_client,
@@ -103,6 +112,12 @@ impl Server {
     /// Direct access to a segment's state (benchmarks and tests).
     pub fn segment(&self, name: &str) -> Option<&ServerSegment> {
         self.segments.get(name)
+    }
+
+    /// Names of every segment this server holds (the cluster primary
+    /// walks these to full-sync a newly attached backup).
+    pub fn segment_names(&self) -> Vec<String> {
+        self.segments.keys().cloned().collect()
     }
 
     /// Mutable access to a segment's state (benchmarks and tests).
@@ -354,6 +369,68 @@ impl Server {
         }
     }
 
+    /// Applies one replicated diff (backup role). Idempotent: a diff the
+    /// segment already has (retransmitted after a primary restart or a
+    /// duplicated ship) is acked without being re-applied.
+    fn replicate(&mut self, segment: &str, from_version: u64, diff: &SegmentDiff) -> Reply {
+        let seg = self
+            .segments
+            .entry(segment.to_string())
+            .or_insert_with(|| ServerSegment::new(segment));
+        if diff.to_version <= seg.version() {
+            return Reply::Replicated {
+                acked_version: seg.version(),
+            };
+        }
+        if from_version != seg.version() || diff.from_version != seg.version() {
+            // The primary must fall back to a full catch-up image.
+            return Reply::Error {
+                message: format!(
+                    "replication gap on `{segment}`: have {}, diff is {}..{}",
+                    seg.version(),
+                    diff.from_version,
+                    diff.to_version
+                ),
+            };
+        }
+        match seg.apply_diff(diff) {
+            Ok(v) => {
+                self.metrics.repl_diffs_applied.inc();
+                self.maybe_checkpoint(segment);
+                Reply::Replicated { acked_version: v }
+            }
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Replaces a segment with a full catch-up image (backup role). The
+    /// image is a checkpoint encoding, so the installed segment is
+    /// bit-identical to the primary's — version, serials, subblock
+    /// versions and all.
+    fn sync_full(&mut self, segment: &str, image: &Bytes) -> Reply {
+        let seg = match checkpoint::decode_segment(image.clone()) {
+            Ok(seg) => seg,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("bad sync image for `{segment}`: {e}"),
+                }
+            }
+        };
+        if seg.name != segment {
+            return Reply::Error {
+                message: format!("sync image is for `{}`, not `{segment}`", seg.name),
+            };
+        }
+        let v = seg.version();
+        self.metrics.repl_syncs_applied.inc();
+        self.metrics.repl_catchup_bytes.add(image.len() as u64);
+        self.segments.insert(segment.to_string(), seg);
+        self.maybe_checkpoint(segment);
+        Reply::Replicated { acked_version: v }
+    }
+
     fn maybe_checkpoint(&mut self, segment: &str) {
         let Some(dir) = &self.checkpoint_dir else {
             return;
@@ -407,6 +484,18 @@ impl Server {
             } => self.poll(*client, segment, *have_version, *coherence),
             Request::Stats { client: _ } => Reply::Stats {
                 snapshot: self.metrics_snapshot(),
+            },
+            Request::Replicate {
+                segment,
+                from_version,
+                diff,
+            } => self.replicate(segment, *from_version, diff),
+            Request::SyncFull { segment, image } => self.sync_full(segment, image),
+            // Only a cluster primary (iw-cluster's `Primary` wrapper)
+            // accepts backups; a bare server refusing keeps a
+            // misconfigured `--backup-of` loud instead of silent.
+            Request::AttachBackup { .. } => Reply::Error {
+                message: "not a cluster primary".into(),
             },
         };
         if matches!(reply, Reply::Error { .. }) {
@@ -712,6 +801,103 @@ mod tests {
         assert_eq!(snapshot.counter("server.segment.h/s.version"), Some(0));
         // The Stats request itself was counted before the snapshot.
         assert_eq!(snapshot.counter("server.req.stats_total"), Some(1));
+    }
+
+    #[test]
+    fn replicate_applies_in_order_and_is_idempotent() {
+        let mut s = Server::new();
+        let r = s.handle_request(&Request::Replicate {
+            segment: "h/s".into(),
+            from_version: 0,
+            diff: seed_diff(0),
+        });
+        assert_eq!(r, Reply::Replicated { acked_version: 1 });
+        // Re-shipping the same diff acks without re-applying.
+        let r = s.handle_request(&Request::Replicate {
+            segment: "h/s".into(),
+            from_version: 0,
+            diff: seed_diff(0),
+        });
+        assert_eq!(r, Reply::Replicated { acked_version: 1 });
+        assert_eq!(s.segment("h/s").unwrap().version(), 1);
+        // A gap (diff from v5 when we hold v1) is an error, prompting a
+        // full sync from the primary.
+        let r = s.handle_request(&Request::Replicate {
+            segment: "h/s".into(),
+            from_version: 5,
+            diff: seed_diff(5),
+        });
+        assert!(matches!(r, Reply::Error { .. }));
+    }
+
+    #[test]
+    fn sync_full_installs_bit_identical_segment() {
+        // Build a primary-side segment two versions deep.
+        let mut primary = Server::new();
+        primary.open("h/s");
+        let seg = primary.segment_mut("h/s").unwrap();
+        seg.apply_diff(&seed_diff(0)).unwrap();
+        let diff2 = SegmentDiff {
+            from_version: 1,
+            to_version: 2,
+            freed: vec![0],
+            ..Default::default()
+        };
+        seg.apply_diff(&diff2).unwrap();
+        let image = checkpoint::encode_segment(seg).unwrap();
+
+        let mut backup = Server::new();
+        let r = s_sync(&mut backup, "h/s", image.clone());
+        assert_eq!(r, Reply::Replicated { acked_version: 2 });
+        let b = backup.segment_mut("h/s").unwrap();
+        assert_eq!(b.version(), 2);
+        assert_eq!(
+            checkpoint::encode_segment(b).unwrap(),
+            image,
+            "synced backup re-encodes to the identical image"
+        );
+        // After the sync, the version chain continues normally.
+        let r = backup.handle_request(&Request::Replicate {
+            segment: "h/s".into(),
+            from_version: 2,
+            diff: seed_diff(2),
+        });
+        assert_eq!(r, Reply::Replicated { acked_version: 3 });
+
+        // Wrong-name and corrupt images are rejected.
+        assert!(matches!(
+            s_sync(&mut backup, "h/other", image.clone()),
+            Reply::Error { .. }
+        ));
+        assert!(matches!(
+            s_sync(&mut backup, "h/s", Bytes::from_static(b"junk")),
+            Reply::Error { .. }
+        ));
+    }
+
+    fn s_sync(s: &mut Server, segment: &str, image: Bytes) -> Reply {
+        s.handle_request(&Request::SyncFull {
+            segment: segment.into(),
+            image,
+        })
+    }
+
+    #[test]
+    fn bare_server_refuses_attach_backup() {
+        let mut s = Server::new();
+        let r = s.handle_request(&Request::AttachBackup {
+            addr: "127.0.0.1:1".into(),
+        });
+        assert!(matches!(r, Reply::Error { .. }));
+    }
+
+    #[test]
+    fn failover_hello_is_counted() {
+        let mut s = Server::new();
+        s.hello("x86 client");
+        s.hello("x86 client (failover)");
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("cluster.failovers_total"), Some(1));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Offline stand-in for the `proptest` crate.
 //!
-//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! Implements the subset of proptest this workspace uses: the `Strategy`
 //! trait (`prop_map`, `prop_recursive`, `boxed`), strategies for ranges,
 //! tuples, `Just`, regex-subset `&str` patterns, `prop::collection::vec`,
-//! `prop::option::of`, `any::<T>()`, weighted [`prop_oneof!`], and the
-//! [`proptest!`] test macro. Cases are generated from a seed derived from the
+//! `prop::option::of`, `any::<T>()`, weighted `prop_oneof!`, and the
+//! `proptest!` test macro. Cases are generated from a seed derived from the
 //! test's module path, so runs are deterministic. Failing inputs are **not**
 //! shrunk — the failing assert fires directly.
 
