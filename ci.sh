@@ -21,4 +21,13 @@ cargo test -q
 echo "== cluster failover e2e"
 cargo test -q -p iw-cli --test cluster
 
+echo "== server concurrency suite (threads unpinned)"
+# The suite's whole point is real parallelism: make sure no inherited
+# RUST_TEST_THREADS=1 serializes it into meaninglessness.
+env -u RUST_TEST_THREADS cargo test -q -p iw-server --test concurrency
+env -u RUST_TEST_THREADS cargo test -q -p iw-server --test prop_interleave
+
+echo "== TCP contention stress (release)"
+env -u RUST_TEST_THREADS cargo test -q --release -p iw-cli --test contention -- --nocapture | grep "contention result"
+
 echo "CI OK"

@@ -255,11 +255,10 @@ mod tests {
     use iw_proto::{Coherence, Handler, Loopback};
     use iw_server::Server;
     use iw_types::MachineArch;
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     fn sessions() -> (Session, Session) {
-        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let srv: Arc<dyn Handler> = Arc::new(Server::new());
         (
             Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv.clone()))).unwrap(),
             Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap(),

@@ -10,7 +10,6 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const N_INTS: u32 = 1 << 16;
@@ -18,7 +17,7 @@ const N_INTS: u32 = 1 << 16;
 fn bench_granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("granularity");
     for ratio in [1u32, 16, 1024] {
-        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let srv: Arc<dyn Handler> = Arc::new(Server::new());
         let mut w = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
         let h = w.open_segment("g/bench").unwrap();
         w.wl_acquire(&h).unwrap();

@@ -8,11 +8,10 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn bench_swizzling(c: &mut Criterion) {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
 
     let h = s.open_segment("sw/bench").unwrap();

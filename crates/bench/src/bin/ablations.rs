@@ -25,13 +25,12 @@ use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::flat::FlatLayout;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 const N_INTS: u32 = 1 << 18; // 1 MB of ints
 
-fn session_pair(opts: SessionOptions) -> (Session, Session, Arc<Mutex<Server>>) {
-    let server = Arc::new(Mutex::new(Server::new()));
-    let handler: Arc<Mutex<dyn Handler>> = server.clone();
+fn session_pair(opts: SessionOptions) -> (Session, Session, Arc<Server>) {
+    let server = Arc::new(Server::new());
+    let handler: Arc<dyn Handler> = server.clone();
     let w = Session::with_options(
         MachineArch::x86(),
         Box::new(Loopback::new(handler.clone())),
@@ -230,13 +229,16 @@ fn diff_caching() {
     }
     w.wl_release(&h).expect("rel");
 
-    let mut srv = server.lock();
-    let seg = srv.segment_mut("ab/cache").expect("segment");
-    // Warm: the client's own diff is in the cache.
-    let (_, warm) = time(|| seg.collect_update(1001, 1).expect("upd"));
-    let hits = seg.diff_cache_hits;
-    seg.clear_diff_cache();
-    let (_, cold) = time(|| seg.collect_update(1002, 1).expect("upd"));
+    let (warm, hits, cold) = server
+        .with_segment_mut("ab/cache", |seg| {
+            // Warm: the client's own diff is in the cache.
+            let (_, warm) = time(|| seg.collect_update(1001, 1).expect("upd"));
+            let hits = seg.diff_cache_hits;
+            seg.clear_diff_cache();
+            let (_, cold) = time(|| seg.collect_update(1002, 1).expect("upd"));
+            (warm, hits, cold)
+        })
+        .expect("segment");
     println!(
         "  warm cache: {} s (hits {}), cold rebuild: {} s",
         secs(warm),

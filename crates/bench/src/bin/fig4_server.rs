@@ -25,7 +25,6 @@ use iw_core::Session;
 use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -41,8 +40,8 @@ fn main() {
     let mut ratios: Vec<(&str, f64)> = Vec::new();
     for w in figure4_workloads(scale) {
         // Build our own server so we can reach inside it.
-        let server = Arc::new(Mutex::new(Server::new()));
-        let handler: Arc<Mutex<dyn Handler>> = server.clone();
+        let server = Arc::new(Server::new());
+        let handler: Arc<dyn Handler> = server.clone();
         let mut writer =
             Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).expect("writer");
         // Recreate the bed manually against this server.
@@ -71,12 +70,14 @@ fn main() {
         dirty_all(&mut writer, &block, &w, 1);
         let ((diff, _, _), d_cli) = time(|| writer.collect_segment_diff(&h).expect("collect"));
 
-        let mut srv = server.lock();
-        let seg = srv.segment_mut("bench/data").expect("segment");
-        let (_, d_apply) = time(|| seg.apply_diff(&diff).expect("apply"));
-        seg.clear_diff_cache();
-        let (_, d_collect) = time(|| seg.collect_update(901, 1).expect("update"));
-        drop(srv);
+        let (d_apply, d_collect) = server
+            .with_segment_mut("bench/data", |seg| {
+                let (_, d_apply) = time(|| seg.apply_diff(&diff).expect("apply"));
+                seg.clear_diff_cache();
+                let (_, d_collect) = time(|| seg.collect_update(901, 1).expect("update"));
+                (d_apply, d_collect)
+            })
+            .expect("segment");
         // The diff was applied to the server out of band (for timing), so
         // a normal release would double-apply; just drop the session —
         // each workload gets a fresh server.

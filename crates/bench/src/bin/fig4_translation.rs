@@ -170,7 +170,7 @@ fn main() {
         // Registry snapshot for this workload: writer-side client metrics
         // merged with the loopback server's own registry.
         let mut snap = bed.session.metrics_snapshot();
-        snap.merge_prefixed("", bed.server.lock().metrics_snapshot());
+        snap.merge_prefixed("", bed.server.metrics_snapshot());
         metric_dumps.push((w.name, snap.to_json()));
 
         println!(

@@ -23,7 +23,6 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -42,8 +41,8 @@ fn main() {
     let mut ratio = 1u32;
     let mut last_metrics: Option<String> = None;
     while ratio <= 16384 {
-        let server = Arc::new(Mutex::new(Server::new()));
-        let handler: Arc<Mutex<dyn Handler>> = server.clone();
+        let server = Arc::new(Server::new());
+        let handler: Arc<dyn Handler> = server.clone();
         let mut writer = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler.clone())))
             .expect("writer");
         let mut reader =
@@ -88,16 +87,17 @@ fn main() {
         let ((diff, _, _), d_collect) = time(|| writer.collect_segment_diff(&h).expect("collect"));
         let d_translate = d_collect.saturating_sub(d_word);
 
-        // (c) Server applies the client's diff.
-        let mut srv = server.lock();
-        let seg = srv.segment_mut("g/seg").expect("server segment");
-        let (_, d_srv_apply) = time(|| seg.apply_diff(&diff).expect("apply"));
-
-        // (d) Server builds the update for a stale (v1) client, cache
-        // bypassed so construction cost is visible.
-        seg.clear_diff_cache();
-        let (upd, d_srv_collect) = time(|| seg.collect_update(999, 1).expect("update"));
-        drop(srv);
+        // (c) Server applies the client's diff, then (d) builds the
+        // update for a stale (v1) client, cache bypassed so construction
+        // cost is visible.
+        let (d_srv_apply, upd, d_srv_collect) = server
+            .with_segment_mut("g/seg", |seg| {
+                let (_, d_srv_apply) = time(|| seg.apply_diff(&diff).expect("apply"));
+                seg.clear_diff_cache();
+                let (upd, d_srv_collect) = time(|| seg.collect_update(999, 1).expect("update"));
+                (d_srv_apply, upd, d_srv_collect)
+            })
+            .expect("server segment");
 
         // (e) Client applies the server's update.
         let (_, d_cli_apply) = time(|| reader.apply_segment_diff(&rh, &upd).expect("apply"));
@@ -119,7 +119,7 @@ fn main() {
         // client metrics merged with the server's own registry.
         if ratio == 1 {
             let mut snap = writer.metrics_snapshot();
-            snap.merge_prefixed("", server.lock().metrics_snapshot());
+            snap.merge_prefixed("", server.metrics_snapshot());
             last_metrics = Some(snap.to_json());
         }
         ratio *= 2;

@@ -22,14 +22,13 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
-    let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let server: Arc<dyn Handler> = Arc::new(Server::new());
     let mut s =
         Session::new(MachineArch::x86(), Box::new(Loopback::new(server.clone()))).expect("session");
 

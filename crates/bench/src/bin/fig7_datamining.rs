@@ -24,7 +24,6 @@ use iw_mining::{generate, GenConfig, Lattice, LatticePublisher};
 use iw_proto::{Coherence, Handler, Loopback};
 use iw_server::Server;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 const SEGMENT: &str = "mine/lattice";
 const INCREMENTS: usize = 50;
@@ -108,8 +107,8 @@ fn run_config(
     min_support: u32,
     coherence: Option<Coherence>,
 ) -> (u64, u64, String) {
-    let server = Arc::new(Mutex::new(Server::new()));
-    let handler: Arc<Mutex<dyn Handler>> = server.clone();
+    let server = Arc::new(Server::new());
+    let handler: Arc<dyn Handler> = server.clone();
     let mut publisher_session = Session::new(
         MachineArch::alpha(),
         Box::new(Loopback::new(handler.clone())),
@@ -159,7 +158,7 @@ fn run_config(
                 // Full transfer: a cache-less client fetches everything.
                 let mut fresh = Session::new(
                     MachineArch::x86(),
-                    Box::new(Loopback::new(server.clone() as Arc<Mutex<dyn Handler>>)),
+                    Box::new(Loopback::new(server.clone() as Arc<dyn Handler>)),
                 )
                 .expect("fresh");
                 fresh.fetch_segment(SEGMENT).expect("full fetch");
@@ -179,7 +178,7 @@ fn run_config(
         }),
     };
     let mut snap = reader.metrics_snapshot();
-    snap.merge_prefixed("", server.lock().metrics_snapshot());
+    snap.merge_prefixed("", server.metrics_snapshot());
     (bytes, fetches, snap.to_json())
 }
 

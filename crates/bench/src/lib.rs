@@ -18,7 +18,6 @@ use iw_rpc::XdrType;
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 /// One of the paper's Figure 4 data mixes.
 #[derive(Debug, Clone)]
@@ -175,7 +174,7 @@ pub struct Bed {
     /// Pointer to the workload block.
     pub block: Ptr,
     /// The shared server (for attaching more clients or scraping metrics).
-    pub server: Arc<Mutex<Server>>,
+    pub server: Arc<Server>,
     /// The workload.
     pub workload: Workload,
 }
@@ -183,10 +182,10 @@ pub struct Bed {
 /// Creates a fresh server + session and allocates the workload block,
 /// with pointer fields (if any) aimed at an int-array target block.
 pub fn setup(workload: &Workload, arch: MachineArch) -> Bed {
-    let server = Arc::new(Mutex::new(Server::new()));
+    let server = Arc::new(Server::new());
     let mut session = Session::with_options(
         arch,
-        Box::new(Loopback::new(server.clone() as Arc<Mutex<dyn Handler>>)),
+        Box::new(Loopback::new(server.clone() as Arc<dyn Handler>)),
         SessionOptions::default(),
     )
     .expect("hello");

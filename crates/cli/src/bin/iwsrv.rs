@@ -24,7 +24,6 @@ use iw_cli::Args;
 use iw_cluster::Primary;
 use iw_proto::{Handler, Reply, Request, TcpServer, TcpTransport, Transport};
 use iw_server::Server;
-use parking_lot::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(std::env::args().skip(1));
@@ -44,8 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(dir) => Server::with_checkpointing(PathBuf::from(dir), every),
         None => Server::new(),
     };
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Primary::new(server)));
-    let tcp = TcpServer::spawn(listen.parse()?, handler)?;
+    let primary = Primary::new(server);
+    let registry = primary.server().registry().clone();
+    let handler: Arc<dyn Handler> = Arc::new(primary);
+    let tcp = TcpServer::spawn_with_registry(listen.parse()?, handler, &registry)?;
     eprintln!("iwsrv: serving on {}", tcp.addr());
 
     if let Some(primary) = args.flag("backup-of") {

@@ -8,13 +8,26 @@
 //! to an ordered set of backup servers over any [`Transport`]
 //! (loopback in tests, TCP in production).
 //!
-//! Replication is **asynchronous**: the client's release path only
-//! clones the diff into a channel; a background ship thread delivers it.
-//! Backups apply diffs through the ordinary version chain
+//! Replication is **asynchronous**: the commit path only clones the
+//! diff into a channel; a background ship thread delivers it. Backups
+//! apply diffs through the ordinary version chain
 //! (`Request::Replicate`), so their `ServerSegment` state is
 //! bit-identical to the primary's. A backup that joins late or falls
 //! behind (version gap) is caught up with a full checkpoint-encoded
 //! image (`Request::SyncFull`), after which the diff stream resumes.
+//!
+//! # Ordering under a concurrent server
+//!
+//! The wrapped server handles requests from many worker threads at
+//! once, so the primary cannot learn about commits by watching replies
+//! — two replies for one segment could be observed out of commit
+//! order. Instead it registers a [`iw_server::CommitHook`], which the
+//! server fires *while still holding that segment's write lock*: for
+//! any one segment, hook invocations (and therefore ship-queue entries)
+//! happen in exactly the version order the diffs committed in, and the
+//! single ship thread preserves that FIFO order on the wire. The
+//! ship queue is the bottom of the server's lock hierarchy (segment →
+//! lock table → ship queue; DESIGN.md §6a).
 //!
 //! The asynchrony buys a bounded window: diffs acknowledged to a client
 //! but not yet shipped are lost if the primary dies. The window is
@@ -35,7 +48,6 @@ use iw_server::checkpoint;
 use iw_server::Server;
 use iw_telemetry::{Counter, Gauge, Registry};
 use iw_wire::diff::SegmentDiff;
-use parking_lot::Mutex;
 
 /// Work for the ship thread.
 enum Job {
@@ -100,15 +112,16 @@ impl ShipMetrics {
 /// A replicating front-end over a [`Server`].
 ///
 /// Implements [`Handler`], so it drops into every place a bare server
-/// fits (loopback, [`iw_proto::TcpServer`]). Requests pass through to
-/// the wrapped server; replies that prove a diff was committed
-/// (`Released`, `Committed`) enqueue that diff for asynchronous
-/// replication, and `AttachBackup` requests register new backups.
+/// fits (loopback, [`iw_proto::TcpServer`]) and inherits the server's
+/// internal concurrency — requests pass straight through with no
+/// wrapper lock. Committed diffs reach the ship thread via the server's
+/// commit hook (see the module docs), and `AttachBackup` requests
+/// register new backups.
 pub struct Primary {
-    server: Arc<Mutex<Server>>,
+    server: Arc<Server>,
     tx: mpsc::Sender<Job>,
     ship: Option<JoinHandle<()>>,
-    /// Attached (or attaching) backups. While zero, the release path
+    /// Attached (or attaching) backups. While zero, the commit hook
     /// skips the enqueue entirely — a lone server pays nothing for
     /// being replication-capable. Diffs committed before a pending
     /// attach is processed are covered by its attach-time full sync.
@@ -122,10 +135,11 @@ impl std::fmt::Debug for Primary {
 }
 
 impl Primary {
-    /// Wraps `server`, spawning the replication ship thread.
+    /// Wraps `server`, spawning the replication ship thread and hooking
+    /// the server's commit path.
     pub fn new(server: Server) -> Self {
         let registry = server.registry().clone();
-        let server = Arc::new(Mutex::new(server));
+        let server = Arc::new(server);
         let (tx, rx) = mpsc::channel();
         let ship_server = server.clone();
         let metrics = ShipMetrics::new(registry);
@@ -135,6 +149,19 @@ impl Primary {
             .name("iw-cluster-ship".into())
             .spawn(move || ship_loop(&rx, &ship_server, &metrics, &ship_attached))
             .expect("spawn ship thread");
+        let hook_tx = tx.clone();
+        let hook_attached = attached.clone();
+        server.set_commit_hook(Arc::new(move |segment, diff| {
+            if hook_attached.load(Ordering::Relaxed) == 0 {
+                // No backups: the commit path stays exactly the bare
+                // server's (no clone, no channel, no ship-thread wakeup).
+                return;
+            }
+            let _ = hook_tx.send(Job::Ship {
+                segment: segment.to_string(),
+                diff: diff.clone(),
+            });
+        }));
         Primary {
             server,
             tx,
@@ -144,7 +171,7 @@ impl Primary {
     }
 
     /// The wrapped server (benchmarks and tests).
-    pub fn server(&self) -> &Arc<Mutex<Server>> {
+    pub fn server(&self) -> &Arc<Server> {
         &self.server
     }
 
@@ -175,7 +202,11 @@ impl Drop for Primary {
 }
 
 impl Handler for Primary {
-    fn handle(&mut self, request: Bytes) -> Bytes {
+    fn handle(&self, request: Bytes) -> Bytes {
+        // Hold the server's accounting span across our own decode and
+        // encode, so busy/concurrency metrics cover the full in-handler
+        // time on clustered servers too.
+        let _guard = self.server.begin_request();
         let req = match Request::decode(request) {
             Ok(req) => req,
             Err(e) => {
@@ -190,42 +221,10 @@ impl Handler for Primary {
             let _ = self.tx.send(Job::AttachAddr(addr.clone()));
             return Reply::Replicated { acked_version: 0 }.encode();
         }
-        let reply = self.server.lock().handle_request(&req);
-        if self.attached.load(Ordering::Relaxed) == 0 {
-            // No backups: the release path stays exactly the bare
-            // server's (no clone, no channel, no ship-thread wakeup).
-            return reply.encode();
-        }
-        // Ship whatever the server just durably applied. Matching on the
-        // (request, reply) pair means failed releases/commits (Error
-        // replies) are never replicated.
-        match (&req, &reply) {
-            (
-                Request::Release {
-                    segment,
-                    diff: Some(diff),
-                    ..
-                },
-                Reply::Released { .. },
-            ) => {
-                let _ = self.tx.send(Job::Ship {
-                    segment: segment.clone(),
-                    diff: diff.clone(),
-                });
-            }
-            (Request::Commit { entries, .. }, Reply::Committed { .. }) => {
-                for (segment, diff) in entries {
-                    if let Some(diff) = diff {
-                        let _ = self.tx.send(Job::Ship {
-                            segment: segment.clone(),
-                            diff: diff.clone(),
-                        });
-                    }
-                }
-            }
-            _ => {}
-        }
-        reply.encode()
+        // Committed diffs are enqueued by the commit hook, under the
+        // owning segment's write lock — not here, where concurrent
+        // replies could be observed out of commit order.
+        self.server.dispatch(&req).encode()
     }
 }
 
@@ -235,7 +234,7 @@ fn ship_one(
     backup: &mut BackupLink,
     segment: &str,
     diff: &SegmentDiff,
-    server: &Arc<Mutex<Server>>,
+    server: &Server,
     metrics: &ShipMetrics,
 ) -> bool {
     if backup.acked.get(segment).copied().unwrap_or(0) >= diff.to_version {
@@ -270,18 +269,13 @@ fn ship_one(
 fn sync_one(
     backup: &mut BackupLink,
     segment: &str,
-    server: &Arc<Mutex<Server>>,
+    server: &Server,
     metrics: &ShipMetrics,
 ) -> bool {
-    let image = {
-        let mut srv = server.lock();
-        let Some(seg) = srv.segment_mut(segment) else {
-            return true; // segment vanished; nothing to sync
-        };
-        match checkpoint::encode_segment(seg) {
-            Ok(image) => image,
-            Err(_) => return true, // unencodable: skip, don't kill the link
-        }
+    let image = match server.with_segment_mut(segment, checkpoint::encode_segment) {
+        Some(Ok(image)) => image,
+        // Vanished or unencodable: skip, don't kill the link.
+        Some(Err(_)) | None => return true,
     };
     let req = Request::SyncFull {
         segment: segment.to_string(),
@@ -305,11 +299,10 @@ fn sync_one(
 fn attach(
     mut backup: BackupLink,
     backups: &mut Vec<BackupLink>,
-    server: &Arc<Mutex<Server>>,
+    server: &Server,
     metrics: &ShipMetrics,
 ) {
-    let names = server.lock().segment_names();
-    for name in names {
+    for name in server.segment_names() {
         if !sync_one(&mut backup, &name, server, metrics) {
             backup.dead = true;
             break;
@@ -325,7 +318,7 @@ fn attach(
 
 fn ship_loop(
     rx: &mpsc::Receiver<Job>,
-    server: &Arc<Mutex<Server>>,
+    server: &Arc<Server>,
     metrics: &ShipMetrics,
     attached: &AtomicUsize,
 ) {
@@ -437,7 +430,7 @@ mod tests {
         }
     }
 
-    fn write_version(primary: &Arc<Mutex<dyn Handler>>, client: u64, from: u64) {
+    fn write_version(primary: &Arc<Primary>, client: u64, from: u64) {
         let mut t = Loopback::new(primary.clone());
         let r = t
             .request(&Request::Acquire {
@@ -459,27 +452,21 @@ mod tests {
         assert_eq!(r, Reply::Released { version: from + 1 });
     }
 
-    /// Primary (kept addressable for drain/inspection) + one loopback
-    /// backup server.
-    fn cluster() -> (Arc<Mutex<Primary>>, Arc<Mutex<Server>>) {
-        let backup = Arc::new(Mutex::new(Server::new()));
-        let backup_handler: Arc<Mutex<dyn Handler>> = backup.clone();
-        let primary = Arc::new(Mutex::new(Primary::new(Server::new())));
-        {
-            let p = primary.lock();
-            p.add_backup(Box::new(Loopback::new(backup_handler)));
-            // Settle the attach before the test opens segments, so each
-            // test sees a deterministic ship sequence (otherwise the
-            // attach-time sync can race ahead of the first writes and
-            // legitimately absorb them).
-            p.drain();
-        }
+    /// Primary + one loopback backup server.
+    fn cluster() -> (Arc<Primary>, Arc<Server>) {
+        let backup = Arc::new(Server::new());
+        let primary = Arc::new(Primary::new(Server::new()));
+        primary.add_backup(Box::new(Loopback::new(backup.clone())));
+        // Settle the attach before the test opens segments, so each
+        // test sees a deterministic ship sequence (otherwise the
+        // attach-time sync can race ahead of the first writes and
+        // legitimately absorb them).
+        primary.drain();
         (primary, backup)
     }
 
-    fn connect(primary: &Arc<Mutex<Primary>>) -> (Loopback, u64) {
-        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
-        let mut t = Loopback::new(handler);
+    fn connect(primary: &Arc<Primary>) -> (Loopback, u64) {
+        let mut t = Loopback::new(primary.clone());
         let Reply::Welcome { client } = t.request(&Request::Hello { info: "t".into() }).unwrap()
         else {
             panic!("no welcome")
@@ -495,53 +482,46 @@ mod tests {
     #[test]
     fn diffs_stream_to_backup() {
         let (primary, backup) = cluster();
-        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
         let (_t, client) = connect(&primary);
         for v in 0..3 {
-            write_version(&handler, client, v);
+            write_version(&primary, client, v);
         }
-        primary.lock().drain();
-        let b = backup.lock();
-        let seg = b.segment("h/s").expect("backup has the segment");
-        assert_eq!(seg.version(), 3);
-        let snap = primary.lock().server().lock().metrics_snapshot();
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(3));
+        let snap = primary.server().metrics_snapshot();
         assert_eq!(snap.counter("cluster.diffs_shipped_total"), Some(3));
-        let bsnap = b.metrics_snapshot();
+        let bsnap = backup.metrics_snapshot();
         assert_eq!(bsnap.counter("cluster.diffs_applied_total"), Some(3));
     }
 
     #[test]
     fn late_backup_catches_up_with_full_image() {
-        let primary = Arc::new(Mutex::new(Primary::new(Server::new())));
-        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
+        let primary = Arc::new(Primary::new(Server::new()));
         let (_t, client) = connect(&primary);
         for v in 0..2 {
-            write_version(&handler, client, v);
+            write_version(&primary, client, v);
         }
         // Backup joins after two versions already exist.
-        let backup = Arc::new(Mutex::new(Server::new()));
-        let backup_handler: Arc<Mutex<dyn Handler>> = backup.clone();
-        primary
-            .lock()
-            .add_backup(Box::new(Loopback::new(backup_handler)));
-        primary.lock().drain();
-        {
-            let mut b = backup.lock();
-            assert_eq!(b.segment("h/s").unwrap().version(), 2);
-            // Attach-time sync made the backup bit-identical.
-            let image = checkpoint::encode_segment(b.segment_mut("h/s").unwrap()).unwrap();
-            let p = primary.lock();
-            let mut p = p.server().lock();
-            assert_eq!(
-                checkpoint::encode_segment(p.segment_mut("h/s").unwrap()).unwrap(),
-                image
-            );
-        }
+        let backup = Arc::new(Server::new());
+        primary.add_backup(Box::new(Loopback::new(backup.clone())));
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(2));
+        // Attach-time sync made the backup bit-identical.
+        let image = backup
+            .with_segment_mut("h/s", |seg| checkpoint::encode_segment(seg).unwrap())
+            .unwrap();
+        assert_eq!(
+            primary
+                .server()
+                .with_segment_mut("h/s", |seg| checkpoint::encode_segment(seg).unwrap())
+                .unwrap(),
+            image
+        );
         // And the diff stream continues from there.
-        write_version(&handler, client, 2);
-        primary.lock().drain();
-        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 3);
-        let snap = primary.lock().server().lock().metrics_snapshot();
+        write_version(&primary, client, 2);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(3));
+        let snap = primary.server().metrics_snapshot();
         assert_eq!(snap.counter("cluster.sync_full_total"), Some(1));
         assert!(snap.counter("cluster.catchup_bytes_shipped_total").unwrap() > 0);
     }
@@ -549,50 +529,42 @@ mod tests {
     #[test]
     fn version_gap_triggers_full_sync() {
         let (primary, backup) = cluster();
-        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
         let (_t, client) = connect(&primary);
-        write_version(&handler, client, 0);
-        primary.lock().drain();
-        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 1);
+        write_version(&primary, client, 0);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(1));
         // A version applied behind the replication stream's back (as if
         // shipped diffs were lost) opens a gap.
         primary
-            .lock()
             .server()
-            .lock()
-            .segment_mut("h/s")
-            .unwrap()
-            .apply_diff(&seed_diff(1))
+            .with_segment_mut("h/s", |seg| seg.apply_diff(&seed_diff(1)).unwrap())
             .unwrap();
-        write_version(&handler, client, 2);
-        primary.lock().drain();
-        let b = backup.lock();
-        assert_eq!(b.segment("h/s").unwrap().version(), 3);
-        let snap = primary.lock().server().lock().metrics_snapshot();
+        write_version(&primary, client, 2);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(3));
+        let snap = primary.server().metrics_snapshot();
         assert_eq!(snap.counter("cluster.sync_full_total"), Some(1));
-        let bsnap = b.metrics_snapshot();
+        let bsnap = backup.metrics_snapshot();
         assert_eq!(bsnap.counter("cluster.sync_full_applied_total"), Some(1));
     }
 
     #[test]
     fn dead_backup_is_skipped_live_one_keeps_streaming() {
         let (primary, backup) = cluster();
-        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
         // Second backup whose channel drops every request.
-        let flaky_srv = Arc::new(Mutex::new(Server::new()));
-        let flaky_handler: Arc<Mutex<dyn Handler>> = flaky_srv.clone();
-        let mut flaky = Loopback::new(flaky_handler);
+        let flaky_srv = Arc::new(Server::new());
+        let mut flaky = Loopback::new(flaky_srv.clone());
         flaky.drop_every(1);
-        primary.lock().add_backup(Box::new(flaky));
+        primary.add_backup(Box::new(flaky));
 
         let (_t, client) = connect(&primary);
         for v in 0..3 {
-            write_version(&handler, client, v);
+            write_version(&primary, client, v);
         }
-        primary.lock().drain();
-        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 3);
-        assert!(flaky_srv.lock().segment("h/s").is_none());
-        let snap = primary.lock().server().lock().metrics_snapshot();
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(3));
+        assert!(flaky_srv.segment_version("h/s").is_none());
+        let snap = primary.server().metrics_snapshot();
         assert!(snap.counter("cluster.ship_errors_total").unwrap() > 0);
         assert_eq!(snap.gauge("cluster.backups"), Some(1));
     }
@@ -618,18 +590,17 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(r, Reply::Committed { .. }), "{r:?}");
-        primary.lock().drain();
-        assert_eq!(backup.lock().segment("h/s").unwrap().version(), 1);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(1));
     }
 
     #[test]
     fn lag_gauge_tracks_slowest_backup() {
         let (primary, _backup) = cluster();
-        let handler: Arc<Mutex<dyn Handler>> = primary.clone();
         let (_t, client) = connect(&primary);
-        write_version(&handler, client, 0);
-        primary.lock().drain();
-        let snap = primary.lock().server().lock().metrics_snapshot();
+        write_version(&primary, client, 0);
+        primary.drain();
+        let snap = primary.server().metrics_snapshot();
         assert_eq!(snap.gauge("cluster.lag.h/s"), Some(0));
     }
 
@@ -647,7 +618,7 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(r, Reply::Error { .. }));
-        primary.lock().drain();
-        assert_eq!(backup.lock().segment("h/s").map(|s| s.version()), None);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), None);
     }
 }

@@ -9,7 +9,6 @@ use iw_proto::{Coherence, Handler, Loopback, Transport};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_wire::diff::{NewBlock, SegmentDiff};
-use parking_lot::Mutex;
 
 fn seed_diff(from: u64) -> SegmentDiff {
     SegmentDiff {
@@ -31,7 +30,7 @@ fn seed_diff(from: u64) -> SegmentDiff {
     }
 }
 
-fn run(handler: Arc<Mutex<dyn Handler>>, n: u64) -> f64 {
+fn run(handler: Arc<dyn Handler>, n: u64) -> f64 {
     let mut t = Loopback::new(handler);
     let Reply::Welcome { client } = t.request(&Request::Hello { info: "b".into() }).unwrap() else {
         panic!()
@@ -65,20 +64,20 @@ fn run(handler: Arc<Mutex<dyn Handler>>, n: u64) -> f64 {
 fn measure() {
     let n = 3000;
     // warmup + measure bare
-    let bare: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let bare: Arc<dyn Handler> = Arc::new(Server::new());
     run(bare, n);
-    let bare: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let bare: Arc<dyn Handler> = Arc::new(Server::new());
     let bare_us = run(bare, n);
     // primary with one backup attached
-    let backup: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let backup: Arc<dyn Handler> = Arc::new(Server::new());
     let p = Primary::new(Server::new());
     p.add_backup(Box::new(Loopback::new(backup)));
     p.drain();
-    let ph: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(p));
+    let ph: Arc<dyn Handler> = Arc::new(p);
     let prim_us = run(ph, n);
     // primary with no backup: isolates the synchronous enqueue overhead
     let p0 = Primary::new(Server::new());
-    let ph0: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(p0));
+    let ph0: Arc<dyn Handler> = Arc::new(p0);
     let prim0_us = run(ph0, n);
     eprintln!("bare: {bare_us:.2} us, primary+0 backups: {prim0_us:.2} us ({:.2}%), primary+1 backup: {prim_us:.2} us ({:.2}%)", (prim0_us / bare_us - 1.0) * 100.0, (prim_us / bare_us - 1.0) * 100.0);
 }

@@ -23,10 +23,9 @@
 //! use iw_proto::{Handler, Loopback};
 //! use iw_server::Server;
 //! use iw_types::{idl, MachineArch};
-//! use parking_lot::Mutex;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+//! let server: Arc<dyn Handler> = Arc::new(Server::new());
 //! let mut s = Session::new(
 //!     MachineArch::x86(),
 //!     Box::new(Loopback::new(server)),

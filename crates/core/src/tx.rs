@@ -23,9 +23,8 @@
 //! # use iw_proto::{Handler, Loopback};
 //! # use iw_server::Server;
 //! # use iw_types::{MachineArch, desc::TypeDesc};
-//! # use parking_lot::Mutex;
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! # let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+//! # let srv: Arc<dyn Handler> = Arc::new(Server::new());
 //! # let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv)))?;
 //! let h = s.open_segment("bank/accounts")?;
 //! s.wl_acquire(&h)?;

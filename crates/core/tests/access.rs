@@ -9,10 +9,9 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::{PrimKind, TypeDesc};
 use iw_types::{idl, MachineArch};
-use parking_lot::Mutex;
 
 fn session() -> Session {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap()
 }
 

@@ -9,13 +9,12 @@ use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::idl;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
-fn server() -> Arc<Mutex<dyn Handler>> {
-    Arc::new(Mutex::new(Server::new()))
+fn server() -> Arc<dyn Handler> {
+    Arc::new(Server::new())
 }
 
-fn session_on(srv: &Arc<Mutex<dyn Handler>>, arch: MachineArch) -> Session {
+fn session_on(srv: &Arc<dyn Handler>, arch: MachineArch) -> Session {
     Session::new(arch, Box::new(Loopback::new(srv.clone()))).unwrap()
 }
 

@@ -15,7 +15,6 @@ use iw_proto::{Handler, Loopback, ProtoError, Transport, TransportStats};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 /// A loopback connection that starts failing like a dead TCP peer as
 /// soon as its shared `dead` flag is raised.
@@ -41,8 +40,8 @@ impl Transport for Killable {
     }
 }
 
-fn connector(server: &Arc<Mutex<Server>>, dead: &Arc<AtomicBool>) -> Connector {
-    let handler: Arc<Mutex<dyn Handler>> = server.clone();
+fn connector(server: &Arc<Server>, dead: &Arc<AtomicBool>) -> Connector {
+    let handler: Arc<dyn Handler> = server.clone();
     let dead = dead.clone();
     Box::new(move || {
         if dead.load(Ordering::SeqCst) {
@@ -58,8 +57,8 @@ fn connector(server: &Arc<Mutex<Server>>, dead: &Arc<AtomicBool>) -> Connector {
 }
 
 struct Cluster {
-    primary: Arc<Mutex<Server>>,
-    backup: Arc<Mutex<Server>>,
+    primary: Arc<Server>,
+    backup: Arc<Server>,
     primary_dead: Arc<AtomicBool>,
     #[allow(dead_code)]
     backup_dead: Arc<AtomicBool>,
@@ -69,12 +68,13 @@ impl Cluster {
     /// Copies `segment` from the primary to the backup with the same
     /// full-image message the cluster ship thread uses.
     fn sync_backup(&self, segment: &str) {
-        let image = {
-            let mut p = self.primary.lock();
-            let seg = p.segment_mut(segment).expect("segment exists on primary");
-            iw_server::checkpoint::encode_segment(seg).expect("image encodes")
-        };
-        let reply = self.backup.lock().handle_request(&Request::SyncFull {
+        let image = self
+            .primary
+            .with_segment_mut(segment, |seg| {
+                iw_server::checkpoint::encode_segment(seg).expect("image encodes")
+            })
+            .expect("segment exists on primary");
+        let reply = self.backup.handle_request(&Request::SyncFull {
             segment: segment.to_string(),
             image,
         });
@@ -93,14 +93,14 @@ impl Cluster {
 /// two, plus the cluster handles to drive replication and failures.
 fn cluster_session() -> (Session, Cluster) {
     let cluster = Cluster {
-        primary: Arc::new(Mutex::new(Server::new())),
-        backup: Arc::new(Mutex::new(Server::new())),
+        primary: Arc::new(Server::new()),
+        backup: Arc::new(Server::new()),
         primary_dead: Arc::new(AtomicBool::new(false)),
         backup_dead: Arc::new(AtomicBool::new(false)),
     };
     // The default transport points at an unrelated scratch server; every
     // segment in these tests lives under the grouped host `clu`.
-    let scratch: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let scratch: Arc<dyn Handler> = Arc::new(Server::new());
     let opts = SessionOptions {
         failover_backoff_ms: 1,
         lock_backoff_us: 1,
@@ -185,7 +185,7 @@ fn lost_write_lock_rolls_back_then_recovers() {
     s.wl_release(&h).unwrap();
 
     // A fresh client bound to the backup alone sees the redone write.
-    let b: Arc<Mutex<dyn Handler>> = cluster.backup.clone();
+    let b: Arc<dyn Handler> = cluster.backup.clone();
     let mut r = Session::new(MachineArch::alpha(), Box::new(Loopback::new(b))).unwrap();
     let hr = r.open_segment("clu/data").unwrap();
     r.rl_acquire(&hr).unwrap();
@@ -243,9 +243,9 @@ fn no_reachable_replica_fails_then_recovers_when_one_returns() {
 fn plain_links_and_default_transport_never_fail_over() {
     // A single-member "group" behaves like add_server: channel errors
     // surface to the caller instead of spinning on the only replica.
-    let primary = Arc::new(Mutex::new(Server::new()));
+    let primary = Arc::new(Server::new());
     let dead = Arc::new(AtomicBool::new(false));
-    let scratch: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let scratch: Arc<dyn Handler> = Arc::new(Server::new());
     let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(scratch))).unwrap();
     s.add_server_group("solo", vec![connector(&primary, &dead)])
         .unwrap();
@@ -259,7 +259,7 @@ fn plain_links_and_default_transport_never_fail_over() {
 
 #[test]
 fn exhausted_lock_retries_are_counted() {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     let holder_transport = Loopback::new(srv.clone());
     let mut holder =
         Session::new(MachineArch::x86(), Box::new(holder_transport.another())).unwrap();

@@ -8,13 +8,12 @@ use iw_proto::{Coherence, Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
-fn server() -> Arc<Mutex<dyn Handler>> {
-    Arc::new(Mutex::new(Server::new()))
+fn server() -> Arc<dyn Handler> {
+    Arc::new(Server::new())
 }
 
-fn session(srv: &Arc<Mutex<dyn Handler>>) -> Session {
+fn session(srv: &Arc<dyn Handler>) -> Session {
     Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap()
 }
 

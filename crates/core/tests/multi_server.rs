@@ -9,17 +9,16 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
-fn handler() -> Arc<Mutex<dyn Handler>> {
-    Arc::new(Mutex::new(Server::new()))
+fn handler() -> Arc<dyn Handler> {
+    Arc::new(Server::new())
 }
 
 /// Builds a session whose default server hosts `main.org/*` and with a
 /// second server registered for `other.net/*`.
 fn dual_session_on(
-    main_srv: &Arc<Mutex<dyn Handler>>,
-    other_srv: &Arc<Mutex<dyn Handler>>,
+    main_srv: &Arc<dyn Handler>,
+    other_srv: &Arc<dyn Handler>,
     arch: MachineArch,
 ) -> Session {
     let mut s = Session::new(arch, Box::new(Loopback::new(main_srv.clone()))).unwrap();
@@ -28,7 +27,7 @@ fn dual_session_on(
     s
 }
 
-type SharedHandler = Arc<Mutex<dyn Handler>>;
+type SharedHandler = Arc<dyn Handler>;
 
 fn dual_session() -> (Session, SharedHandler, SharedHandler) {
     let main_srv = handler();

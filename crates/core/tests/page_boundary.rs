@@ -8,9 +8,8 @@ use iw_core::{Session, SessionOptions};
 use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::{idl, MachineArch};
-use parking_lot::Mutex;
 
-fn tiny_page_session(srv: &Arc<Mutex<dyn Handler>>) -> Session {
+fn tiny_page_session(srv: &Arc<dyn Handler>) -> Session {
     Session::with_options(
         MachineArch::x86(),
         Box::new(Loopback::new(srv.clone())),
@@ -24,7 +23,7 @@ fn tiny_page_session(srv: &Arc<Mutex<dyn Handler>>) -> Session {
 
 #[test]
 fn straddling_primitive_emitted_once() {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     let mut w = tiny_page_session(&srv);
     // struct { char c[4]; double d[64]; } on x86 puts doubles at offsets
     // 4, 12, …, 508 — several straddle the 256-byte page boundary.
@@ -84,7 +83,7 @@ fn straddling_primitive_emitted_once() {
 
 #[test]
 fn sparse_writes_in_distinct_pages_stay_distinct_runs() {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     let mut w = tiny_page_session(&srv);
     let h = w.open_segment("pb/sparse").unwrap();
     w.wl_acquire(&h).unwrap();
@@ -110,7 +109,7 @@ fn sparse_writes_in_distinct_pages_stay_distinct_runs() {
 
 #[test]
 fn adjacent_page_runs_merge_into_one_wire_run() {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     let mut w = tiny_page_session(&srv);
     let h = w.open_segment("pb/merge").unwrap();
     w.wl_acquire(&h).unwrap();

@@ -9,7 +9,6 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::{PrimKind, TypeDesc};
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 use proptest::prelude::*;
 
 fn arb_arch() -> impl Strategy<Value = MachineArch> {
@@ -103,7 +102,7 @@ proptest! {
         reader_arch in arb_arch(),
         mutations in prop::collection::vec((0u64..1000, 1u64..4), 0..12),
     ) {
-        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let srv: Arc<dyn Handler> = Arc::new(Server::new());
         let mut w = Session::new(writer_arch, Box::new(Loopback::new(srv.clone()))).unwrap();
         let mut r = Session::new(reader_arch, Box::new(Loopback::new(srv.clone()))).unwrap();
 

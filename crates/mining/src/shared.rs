@@ -204,7 +204,6 @@ mod tests {
     use iw_proto::{Handler, Loopback};
     use iw_server::Server;
     use iw_types::MachineArch;
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     fn customer(id: u32, items: &[Item]) -> CustomerSeq {
@@ -215,7 +214,7 @@ mod tests {
     }
 
     fn setup() -> (Session, Session) {
-        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let srv: Arc<dyn Handler> = Arc::new(Server::new());
         let pubr = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
         let sub = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(srv))).unwrap();
         (pubr, sub)

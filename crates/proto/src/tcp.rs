@@ -6,14 +6,14 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use iw_telemetry::Registry;
-use parking_lot::Mutex;
+use iw_telemetry::{Counter, Registry};
 
 use crate::msg::{Reply, Request};
 use crate::transport::{Handler, ProtoError, Transport, TransportMetrics, TransportStats};
@@ -137,7 +137,10 @@ impl Transport for TcpTransport {
 
 /// A running TCP server loop wrapping a [`Handler`].
 ///
-/// Dropping the value shuts the listener down and joins its threads.
+/// One worker thread per connection, all calling the shared handler
+/// concurrently — requests only serialize where the handler's own locks
+/// say they must. Dropping the value shuts the listener down and joins
+/// its threads.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
@@ -145,18 +148,67 @@ pub struct TcpServer {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// Serves one connection until EOF or a write failure.
+///
+/// A panic escaping the handler is caught here: the worker logs it,
+/// counts it (`tcp.worker_panics_total`), answers the offending request
+/// with a `Reply::Error`, and keeps serving the connection — one poison
+/// request must not silently kill the worker (the pre-catch behavior)
+/// or take the accept loop with it.
+fn serve_connection(stream: &mut TcpStream, handler: &Arc<dyn Handler>, panics: &Counter) {
+    while let Ok(Some(body)) = read_frame(stream) {
+        let reply = match catch_unwind(AssertUnwindSafe(|| handler.handle(Bytes::from(body)))) {
+            Ok(reply) => reply,
+            Err(cause) => {
+                panics.inc();
+                let msg = cause
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| cause.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                eprintln!("iw-tcp: handler panicked while serving a request: {msg}");
+                Reply::Error {
+                    message: format!("internal server error: request handler panicked: {msg}"),
+                }
+                .encode()
+            }
+        };
+        if write_frame(stream, &reply).is_err() {
+            break;
+        }
+    }
+}
+
 impl TcpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and serves
-    /// `handler` on connection-per-thread.
+    /// `handler` on connection-per-thread, with worker telemetry kept in
+    /// a private registry. See [`TcpServer::spawn_with_registry`].
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
-    pub fn spawn(addr: SocketAddr, handler: Arc<Mutex<dyn Handler>>) -> io::Result<TcpServer> {
+    pub fn spawn(addr: SocketAddr, handler: Arc<dyn Handler>) -> io::Result<TcpServer> {
+        TcpServer::spawn_with_registry(addr, handler, &Arc::new(Registry::new()))
+    }
+
+    /// Binds `addr` and serves `handler` on connection-per-thread,
+    /// homing worker telemetry (`tcp.worker_panics_total`) in `registry`
+    /// so a server-side scrape (`Request::Stats` via the handler's own
+    /// registry) surfaces transport health alongside server metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_with_registry(
+        addr: SocketAddr,
+        handler: Arc<dyn Handler>,
+        registry: &Arc<Registry>,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let panics = registry.counter("tcp.worker_panics_total");
         let accept_thread = std::thread::Builder::new()
             .name("iw-tcp-accept".into())
             .spawn(move || {
@@ -166,14 +218,15 @@ impl TcpServer {
                         break;
                     }
                     let Ok(mut stream) = conn else { continue };
+                    // Request/reply framing interacts badly with Nagle +
+                    // delayed ACK: the tail segment of a large reply can
+                    // stall ~40 ms waiting for the client's ACK. The
+                    // client side already disables Nagle (see `connect`).
+                    let _ = stream.set_nodelay(true);
                     let handler = handler.clone();
+                    let panics = panics.clone();
                     workers.push(std::thread::spawn(move || {
-                        while let Ok(Some(body)) = read_frame(&mut stream) {
-                            let reply = handler.lock().handle(Bytes::from(body));
-                            if write_frame(&mut stream, &reply).is_err() {
-                                break;
-                            }
-                        }
+                        serve_connection(&mut stream, &handler, &panics);
                     }));
                 }
                 for w in workers {
@@ -208,8 +261,8 @@ impl Drop for TcpServer {
 mod tests {
     use super::*;
 
-    fn handler() -> Arc<Mutex<dyn Handler>> {
-        Arc::new(Mutex::new(|req: Bytes| match Request::decode(req) {
+    fn handler() -> Arc<dyn Handler> {
+        Arc::new(|req: Bytes| match Request::decode(req) {
             Ok(Request::Hello { info }) => Reply::Welcome {
                 client: info.len() as u64,
             }
@@ -218,7 +271,7 @@ mod tests {
                 message: "unexpected".into(),
             }
             .encode(),
-        }))
+        })
     }
 
     #[test]
@@ -288,6 +341,58 @@ mod tests {
             "timed out via the socket timeout, not the server's sleep"
         );
         hold.join().unwrap();
+    }
+
+    #[test]
+    fn worker_panic_is_caught_counted_and_connection_survives() {
+        // A poison request (Hello with info "poison") panics the handler.
+        let poison: Arc<dyn Handler> = Arc::new(|req: Bytes| match Request::decode(req) {
+            Ok(Request::Hello { info }) if info == "poison" => {
+                panic!("poison request reached the handler")
+            }
+            Ok(Request::Hello { info }) => Reply::Welcome {
+                client: info.len() as u64,
+            }
+            .encode(),
+            _ => Reply::Error {
+                message: "unexpected".into(),
+            }
+            .encode(),
+        });
+        let registry = Arc::new(Registry::new());
+        let server =
+            TcpServer::spawn_with_registry("127.0.0.1:0".parse().unwrap(), poison, &registry)
+                .unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        // The poison request is answered with an error, not a dead socket.
+        let reply = t
+            .request(&Request::Hello {
+                info: "poison".into(),
+            })
+            .unwrap();
+        let Reply::Error { message } = reply else {
+            panic!("want Error, got {reply:?}");
+        };
+        assert!(message.contains("panicked"), "{message}");
+        assert_eq!(
+            registry.snapshot().counter("tcp.worker_panics_total"),
+            Some(1)
+        );
+        // The same connection keeps serving…
+        let reply = t.request(&Request::Hello { info: "ok".into() }).unwrap();
+        assert_eq!(reply, Reply::Welcome { client: 2 });
+        // …and the accept loop still takes new connections.
+        let mut t2 = TcpTransport::connect(server.addr()).unwrap();
+        let reply = t2
+            .request(&Request::Hello {
+                info: "fresh".into(),
+            })
+            .unwrap();
+        assert_eq!(reply, Reply::Welcome { client: 5 });
+        assert_eq!(
+            registry.snapshot().counter("tcp.worker_panics_total"),
+            Some(1)
+        );
     }
 
     #[test]

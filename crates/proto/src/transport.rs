@@ -10,7 +10,6 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use iw_telemetry::{Counter, Registry};
-use parking_lot::Mutex;
 
 use crate::msg::{Reply, Request};
 
@@ -176,13 +175,20 @@ pub trait Transport: Send {
 
 /// A message handler: something that can answer encoded requests with
 /// encoded replies (in practice, an `iw-server` instance).
-pub trait Handler: Send {
+///
+/// `handle` takes `&self`: handlers are internally synchronized, so a
+/// multi-threaded transport front-end (one thread per TCP connection,
+/// or many loopback clients) calls straight into the handler with no
+/// global serialization. Requests touching disjoint server state run
+/// fully in parallel; what still excludes what is the handler's own
+/// (fine-grained) locking decision.
+pub trait Handler: Send + Sync {
     /// Handles one encoded request, returning the encoded reply.
-    fn handle(&mut self, request: Bytes) -> Bytes;
+    fn handle(&self, request: Bytes) -> Bytes;
 }
 
-impl<F: FnMut(Bytes) -> Bytes + Send> Handler for F {
-    fn handle(&mut self, request: Bytes) -> Bytes {
+impl<F: Fn(Bytes) -> Bytes + Send + Sync> Handler for F {
+    fn handle(&self, request: Bytes) -> Bytes {
         self(request)
     }
 }
@@ -192,8 +198,10 @@ impl<F: FnMut(Bytes) -> Bytes + Send> Handler for F {
 /// what a socket would carry, without the socket.
 ///
 /// Cloning produces another client connection to the same handler.
+/// Concurrent connections invoke the handler concurrently, exactly like
+/// per-connection TCP worker threads.
 pub struct Loopback {
-    handler: Arc<Mutex<dyn Handler>>,
+    handler: Arc<dyn Handler>,
     metrics: TransportMetrics,
     /// Round trips attempted on this connection (drives fault injection;
     /// unlike the metrics counters, never shared with other connections).
@@ -213,7 +221,7 @@ impl fmt::Debug for Loopback {
 
 impl Loopback {
     /// Wraps a handler.
-    pub fn new(handler: Arc<Mutex<dyn Handler>>) -> Self {
+    pub fn new(handler: Arc<dyn Handler>) -> Self {
         Loopback {
             handler,
             metrics: TransportMetrics::default(),
@@ -242,7 +250,7 @@ impl Transport for Loopback {
         if self.drop_every != 0 && self.attempts.is_multiple_of(self.drop_every) {
             return Err(ProtoError::Channel("injected message drop".into()));
         }
-        let reply_bytes = self.handler.lock().handle(encoded);
+        let reply_bytes = self.handler.handle(encoded);
         self.metrics.received(reply_bytes.len() as u64);
         let reply = Reply::decode(reply_bytes)?;
         Ok(reply)
@@ -265,14 +273,14 @@ impl Transport for Loopback {
 mod tests {
     use super::*;
 
-    fn echo_handler() -> Arc<Mutex<dyn Handler>> {
-        Arc::new(Mutex::new(|req: Bytes| {
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: Bytes| {
             // Parrot a Welcome whose id is the request length.
             Reply::Welcome {
                 client: req.len() as u64,
             }
             .encode()
-        }))
+        })
     }
 
     #[test]
@@ -335,8 +343,7 @@ mod tests {
 
     #[test]
     fn undecodable_reply_is_wire_error() {
-        let garbage: Arc<Mutex<dyn Handler>> =
-            Arc::new(Mutex::new(|_req: Bytes| Bytes::from_static(&[0xFF, 0x00])));
+        let garbage: Arc<dyn Handler> = Arc::new(|_req: Bytes| Bytes::from_static(&[0xFF, 0x00]));
         let mut t = Loopback::new(garbage);
         assert!(matches!(
             t.request(&Request::Hello {

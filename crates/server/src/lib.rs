@@ -27,5 +27,5 @@ pub mod wirestore;
 pub use error::ServerError;
 pub use locks::LockTable;
 pub use segment::{ServerBlock, ServerSegment, DIFF_CACHE_CAP, SUBBLOCK_PRIMS};
-pub use server::Server;
+pub use server::{CommitHook, RequestGuard, Server};
 pub use wirestore::{StoreLayout, WireStore};

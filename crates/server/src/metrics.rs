@@ -35,6 +35,20 @@ pub(crate) struct ServerMetrics {
     pub locks_held: Arc<Gauge>,
     /// `server.clients` — registered clients (refreshed at scrape).
     pub clients: Arc<Gauge>,
+    /// `server.concurrent_requests` — requests currently inside
+    /// `handle_request` (live; the high-water mark is the synthetic
+    /// `server.concurrent_requests_peak` snapshot counter).
+    pub concurrent_requests: Arc<Gauge>,
+    /// `server.segment_lock_wait` — threads currently blocked waiting
+    /// for a per-segment lock.
+    pub segment_lock_wait: Arc<Gauge>,
+    /// `server.segment_lock_wait_us` — time spent acquiring per-segment
+    /// locks.
+    pub segment_lock_wait_us: Arc<Histogram>,
+    /// `server.busy_us_total` — cumulative wall time spent inside
+    /// `handle_request`, across all worker threads. Exceeding elapsed
+    /// wall time proves requests overlapped.
+    pub busy_us: Arc<Counter>,
     /// `cluster.diffs_applied_total` — replication diffs applied (backup
     /// role).
     pub repl_diffs_applied: Arc<Counter>,
@@ -67,6 +81,10 @@ impl ServerMetrics {
             checkpoint_us: registry.histogram_us("server.checkpoint_us"),
             locks_held: registry.gauge("server.locks_held"),
             clients: registry.gauge("server.clients"),
+            concurrent_requests: registry.gauge("server.concurrent_requests"),
+            segment_lock_wait: registry.gauge("server.segment_lock_wait"),
+            segment_lock_wait_us: registry.histogram_us("server.segment_lock_wait_us"),
+            busy_us: registry.counter("server.busy_us_total"),
             repl_diffs_applied: registry.counter("cluster.diffs_applied_total"),
             repl_syncs_applied: registry.counter("cluster.sync_full_applied_total"),
             repl_catchup_bytes: registry.counter("cluster.catchup_bytes_total"),

@@ -8,13 +8,38 @@
 //! A [`Server`] implements [`iw_proto::Handler`], so it can sit behind the
 //! loopback transport (in-process experiments) or [`iw_proto::TcpServer`]
 //! (real sockets) unchanged.
+//!
+//! # Concurrency
+//!
+//! `handle_request` takes `&self`: the server is internally sharded so
+//! requests against *different* segments execute fully in parallel, and
+//! version probes (`Poll` answered `UpToDate`) on the *same* segment
+//! share a read lock. The paper's server tracks versions and collects
+//! diffs independently per segment, so the sharding follows the data:
+//!
+//! - the segment table is a `RwLock<HashMap>` of per-segment
+//!   `Arc<RwLock<ServerSegment>>` shards (the outer lock is only written
+//!   on segment creation / full-sync install);
+//! - the reader-writer *client* lock table, the client registry, and the
+//!   commit hook each sit behind their own narrow lock.
+//!
+//! Lock-ordering hierarchy (documented in DESIGN.md §6a): **segment
+//! table → segment shard → lock table → ship queue**. A thread may skip
+//! levels but never acquires leftward while holding rightward, which
+//! makes deadlock impossible; no thread ever holds two segment shards at
+//! once (multi-segment commits lock one segment at a time). The commit
+//! hook fires *under the segment shard's write lock*, giving the cluster
+//! primary a per-segment commit sequence: ship order equals commit
+//! order, preserving FIFO replication without a global mutex.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use iw_proto::msg::{LockMode, Reply, Request};
 use iw_proto::Coherence;
@@ -35,20 +60,67 @@ struct ClientInfo {
     info: String,
 }
 
+/// One shard of the segment table.
+type SharedSegment = Arc<RwLock<ServerSegment>>;
+
+/// Called under the owning segment's write lock immediately after a
+/// client diff commits (write-release or transaction commit). Because
+/// the shard lock is still held, invocations for one segment happen in
+/// version order — the per-segment commit sequence replication relies
+/// on.
+pub type CommitHook = Arc<dyn Fn(&str, &SegmentDiff) + Send + Sync>;
+
 /// An InterWeave server instance.
 #[derive(Debug, Default)]
 pub struct Server {
-    segments: HashMap<String, ServerSegment>,
-    locks: LockTable,
-    clients: HashMap<u64, ClientInfo>,
-    next_client: u64,
+    /// Segment table: name → independently locked segment shard.
+    segments: RwLock<HashMap<String, SharedSegment>>,
+    /// Client reader/writer lock table (narrow global lock; grants are
+    /// non-blocking so it is never held across I/O or diff work).
+    locks: Mutex<LockTable>,
+    clients: Mutex<HashMap<u64, ClientInfo>>,
+    next_client: AtomicU64,
     /// When set, segments are checkpointed to this directory every
     /// `checkpoint_interval` versions ("as partial protection against
     /// server failure, InterWeave periodically checkpoints segments and
     /// their metadata to persistent storage", §2.2).
     checkpoint_dir: Option<PathBuf>,
     checkpoint_interval: u64,
+    /// Observer for committed client diffs (the cluster primary's ship
+    /// queue feed). Fired under the segment write lock.
+    commit_hook: RwLock<Option<CommitHook>>,
+    /// High-water mark of `metrics.concurrent_requests`.
+    peak_concurrent: AtomicU64,
     metrics: ServerMetrics,
+}
+
+/// RAII in-flight accounting for one request: created by
+/// [`Server::begin_request`], decrements the concurrency gauge and
+/// accumulates `server.busy_us_total` on drop — even when the handler
+/// unwinds (a panicking worker must not wedge the gauge).
+///
+/// Handlers that wrap the server and do their own wire work (the
+/// [`Handler`](iw_proto::Handler) impl here, iw-cluster's `Primary`)
+/// hold one of these across decode → dispatch → encode, so the busy
+/// counter reflects the full span a worker thread spends on a request.
+pub struct RequestGuard<'a> {
+    metrics: &'a ServerMetrics,
+    started: Instant,
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.concurrent_requests.sub(1);
+        self.metrics
+            .busy_us
+            .add(self.started.elapsed().as_micros() as u64);
+    }
+}
+
+impl std::fmt::Debug for RequestGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestGuard").finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -74,11 +146,21 @@ impl Server {
     ///
     /// I/O and corruption errors from checkpoint files.
     pub fn recover(dir: PathBuf, interval: u64) -> Result<Self, ServerError> {
-        let mut server = Server::with_checkpointing(dir.clone(), interval);
-        for seg in checkpoint::restore_dir(&dir)? {
-            server.segments.insert(seg.name.clone(), seg);
+        let server = Server::with_checkpointing(dir.clone(), interval);
+        {
+            let mut map = server.segments.write();
+            for seg in checkpoint::restore_dir(&dir)? {
+                map.insert(seg.name.clone(), Arc::new(RwLock::new(seg)));
+            }
         }
         Ok(server)
+    }
+
+    /// Installs the commit observer (see [`CommitHook`]). The cluster
+    /// primary uses this to enqueue every committed diff for replication
+    /// in per-segment commit order.
+    pub fn set_commit_hook(&self, hook: CommitHook) {
+        *self.commit_hook.write() = Some(hook);
     }
 
     /// Registers a client and returns its id.
@@ -87,62 +169,119 @@ impl Server {
     /// marks its info string with `"failover"`, which is how the
     /// `cluster.failovers_total` counter on the surviving replica counts
     /// failover events without a dedicated message type.
-    pub fn hello(&mut self, info: &str) -> u64 {
+    pub fn hello(&self, info: &str) -> u64 {
         if info.contains("failover") {
             self.metrics.failovers.inc();
         }
-        self.next_client += 1;
-        self.clients.insert(
-            self.next_client,
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed) + 1;
+        self.clients.lock().insert(
+            id,
             ClientInfo {
                 info: info.to_string(),
             },
         );
-        self.next_client
+        id
     }
 
     /// Opens (or creates) a segment, returning its current version.
-    pub fn open(&mut self, segment: &str) -> u64 {
-        self.segments
-            .entry(segment.to_string())
-            .or_insert_with(|| ServerSegment::new(segment))
-            .version()
+    pub fn open(&self, segment: &str) -> u64 {
+        self.segment_or_insert(segment).read().version()
     }
 
-    /// Direct access to a segment's state (benchmarks and tests).
-    pub fn segment(&self, name: &str) -> Option<&ServerSegment> {
-        self.segments.get(name)
+    /// Looks up a segment's shard (cheap: outer table read lock only).
+    fn segment_arc(&self, name: &str) -> Option<SharedSegment> {
+        self.segments.read().get(name).cloned()
+    }
+
+    /// Looks up or creates a segment's shard.
+    fn segment_or_insert(&self, name: &str) -> SharedSegment {
+        if let Some(seg) = self.segment_arc(name) {
+            return seg;
+        }
+        self.segments
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(RwLock::new(ServerSegment::new(name))))
+            .clone()
+    }
+
+    /// Acquires a shard's read lock, accounting the wait.
+    fn read_seg<'a>(&self, seg: &'a RwLock<ServerSegment>) -> RwLockReadGuard<'a, ServerSegment> {
+        self.metrics.segment_lock_wait.add(1);
+        let started = Instant::now();
+        let guard = seg.read();
+        self.metrics.segment_lock_wait.sub(1);
+        self.metrics
+            .segment_lock_wait_us
+            .record_duration(started.elapsed());
+        guard
+    }
+
+    /// Acquires a shard's write lock, accounting the wait.
+    fn write_seg<'a>(&self, seg: &'a RwLock<ServerSegment>) -> RwLockWriteGuard<'a, ServerSegment> {
+        self.metrics.segment_lock_wait.add(1);
+        let started = Instant::now();
+        let guard = seg.write();
+        self.metrics.segment_lock_wait.sub(1);
+        self.metrics
+            .segment_lock_wait_us
+            .record_duration(started.elapsed());
+        guard
+    }
+
+    /// Runs `f` with shared access to a segment's state (benchmarks,
+    /// tests, snapshotting).
+    pub fn with_segment<R>(&self, name: &str, f: impl FnOnce(&ServerSegment) -> R) -> Option<R> {
+        let seg = self.segment_arc(name)?;
+        let guard = self.read_seg(&seg);
+        Some(f(&guard))
+    }
+
+    /// Runs `f` with exclusive access to a segment's state (benchmarks,
+    /// tests, the cluster primary's full-sync encoder).
+    pub fn with_segment_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut ServerSegment) -> R,
+    ) -> Option<R> {
+        let seg = self.segment_arc(name)?;
+        let mut guard = self.write_seg(&seg);
+        Some(f(&mut guard))
+    }
+
+    /// A segment's current version, if it exists.
+    pub fn segment_version(&self, name: &str) -> Option<u64> {
+        self.with_segment(name, ServerSegment::version)
     }
 
     /// Names of every segment this server holds (the cluster primary
     /// walks these to full-sync a newly attached backup).
     pub fn segment_names(&self) -> Vec<String> {
-        self.segments.keys().cloned().collect()
-    }
-
-    /// Mutable access to a segment's state (benchmarks and tests).
-    pub fn segment_mut(&mut self, name: &str) -> Option<&mut ServerSegment> {
-        self.segments.get_mut(name)
+        self.segments.read().keys().cloned().collect()
     }
 
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
-        self.clients.len()
+        self.clients.lock().len()
     }
 
     /// Drops a client, releasing all its locks and forgetting its
     /// per-segment Diff-coherence counters (so a reused id cannot inherit
     /// stale accumulated-change counts, and the counters do not grow
     /// without bound as clients come and go).
-    pub fn disconnect(&mut self, client: u64) {
-        self.clients.remove(&client);
-        let before = self.locks.held_count();
-        self.locks.release_all(client);
-        self.metrics
-            .lock_released
-            .add((before - self.locks.held_count()) as u64);
-        for seg in self.segments.values_mut() {
-            seg.drop_client(client);
+    pub fn disconnect(&self, client: u64) {
+        self.clients.lock().remove(&client);
+        {
+            let mut locks = self.locks.lock();
+            let before = locks.held_count();
+            locks.release_all(client);
+            self.metrics
+                .lock_released
+                .add((before - locks.held_count()) as u64);
+        }
+        let shards: Vec<SharedSegment> = self.segments.read().values().cloned().collect();
+        for seg in shards {
+            self.write_seg(&seg).drop_client(client);
         }
     }
 
@@ -156,15 +295,28 @@ impl Server {
     /// synthetic per-segment entries (`server.segment.<name>.*`) and
     /// aggregates of the per-segment ablation counters.
     pub fn metrics_snapshot(&self) -> Snapshot {
-        self.metrics.locks_held.set(self.locks.held_count() as i64);
-        self.metrics.clients.set(self.clients.len() as i64);
+        self.metrics
+            .locks_held
+            .set(self.locks.lock().held_count() as i64);
+        self.metrics.clients.set(self.client_count() as i64);
         let mut snap = self.metrics.registry().snapshot();
+        snap.counters.push((
+            "server.concurrent_requests_peak".into(),
+            self.peak_concurrent.load(Ordering::Relaxed),
+        ));
         let mut diff_cache_hits = 0u64;
         let mut diff_cache_misses = 0u64;
         let mut chain_compositions = 0u64;
         let mut subblocks_scanned = 0u64;
         let mut pred_hits = 0u64;
-        for (name, seg) in &self.segments {
+        let shards: Vec<(String, SharedSegment)> = self
+            .segments
+            .read()
+            .iter()
+            .map(|(n, s)| (n.clone(), s.clone()))
+            .collect();
+        for (name, shard) in &shards {
+            let seg = shard.read();
             diff_cache_hits += seg.diff_cache_hits;
             diff_cache_misses += seg.diff_cache_misses;
             chain_compositions += seg.chain_compositions;
@@ -178,7 +330,7 @@ impl Server {
             ));
             snap.gauges.push((
                 format!("server.segment.{name}.readers"),
-                self.locks.reader_count(name) as i64,
+                self.locks.lock().reader_count(name) as i64,
             ));
             snap.gauges.push((
                 format!("server.segment.{name}.diff_clients"),
@@ -201,20 +353,31 @@ impl Server {
         snap
     }
 
+    /// Fires the commit hook (if installed) for one committed diff. Must
+    /// be called with the segment's write lock held so the per-segment
+    /// invocation order equals the version order.
+    fn fire_commit_hook(&self, segment: &str, diff: &SegmentDiff) {
+        if let Some(hook) = self.commit_hook.read().as_ref() {
+            hook(segment, diff);
+        }
+    }
+
     fn acquire(
-        &mut self,
+        &self,
         client: u64,
         segment: &str,
         mode: LockMode,
         have_version: u64,
         coherence: Coherence,
     ) -> Reply {
-        let Some(seg) = self.segments.get_mut(segment) else {
+        let Some(seg) = self.segment_arc(segment) else {
             return Reply::Error {
                 message: format!("no such segment `{segment}`"),
             };
         };
-        if !self.locks.acquire(segment, client, mode) {
+        // Lock order: segment shard before the client lock table.
+        let guard = self.read_seg(&seg);
+        if !self.locks.lock().acquire(segment, client, mode) {
             self.metrics.lock_busy.inc();
             return Reply::Busy;
         }
@@ -225,92 +388,93 @@ impl Server {
             LockMode::Write => Coherence::Full,
             LockMode::Read => coherence,
         };
-        let update = if seg.needs_update(client, have_version, effective) {
-            match seg.collect_update(client, have_version) {
-                Ok(d) => Some(d),
-                Err(e) => {
-                    self.locks.release(segment, client);
-                    return Reply::Error {
-                        message: e.to_string(),
-                    };
+        if !guard.needs_update(client, have_version, effective) {
+            // Version probe / already-fresh client: shared lock only.
+            return Reply::Granted {
+                version: guard.version(),
+                update: None,
+                next_serial: guard.next_serial(),
+                next_type_serial: guard.next_type_serial(),
+            };
+        }
+        // The update mutates per-segment state (diff cache, Diff-coherence
+        // counters): upgrade to the shard's write lock. The client lock
+        // just granted keeps writers out, so the version cannot move
+        // between the read and write critical sections.
+        drop(guard);
+        let mut guard = self.write_seg(&seg);
+        match guard.collect_update(client, have_version) {
+            Ok(d) => Reply::Granted {
+                version: guard.version(),
+                update: Some(d),
+                next_serial: guard.next_serial(),
+                next_type_serial: guard.next_type_serial(),
+            },
+            Err(e) => {
+                self.locks.lock().release(segment, client);
+                Reply::Error {
+                    message: e.to_string(),
                 }
             }
-        } else {
-            None
-        };
-        Reply::Granted {
-            version: seg.version(),
-            update,
-            next_serial: seg.next_serial(),
-            next_type_serial: seg.next_type_serial(),
         }
     }
 
-    fn release(
-        &mut self,
-        client: u64,
-        segment: &str,
-        diff: Option<&iw_wire::diff::SegmentDiff>,
-    ) -> Reply {
-        let Some(seg) = self.segments.get_mut(segment) else {
+    fn release(&self, client: u64, segment: &str, diff: Option<&SegmentDiff>) -> Reply {
+        let Some(seg) = self.segment_arc(segment) else {
             return Reply::Error {
                 message: format!("no such segment `{segment}`"),
             };
         };
-        if let Some(diff) = diff {
-            if !self.locks.is_writer(segment, client) {
+        let version = if let Some(diff) = diff {
+            let mut guard = self.write_seg(&seg);
+            if !self.locks.lock().is_writer(segment, client) {
                 return Reply::Error {
                     message: "release with diff requires the writer lock".into(),
                 };
             }
-            match seg.apply_diff(diff) {
-                Ok(_) => {}
-                Err(e) => {
-                    return Reply::Error {
-                        message: e.to_string(),
-                    }
-                }
+            if let Err(e) = guard.apply_diff(diff) {
+                return Reply::Error {
+                    message: e.to_string(),
+                };
             }
-            self.maybe_checkpoint(segment);
-        }
-        let seg_version = self
-            .segments
-            .get(segment)
-            .map(ServerSegment::version)
-            .unwrap_or(0);
-        if self.locks.release(segment, client) {
+            self.maybe_checkpoint(&mut guard);
+            self.fire_commit_hook(segment, diff);
+            guard.version()
+        } else {
+            self.read_seg(&seg).version()
+        };
+        if self.locks.lock().release(segment, client) {
             self.metrics.lock_released.inc();
         }
-        Reply::Released {
-            version: seg_version,
-        }
+        Reply::Released { version }
     }
 
-    fn commit(
-        &mut self,
-        client: u64,
-        entries: &[(String, Option<iw_wire::diff::SegmentDiff>)],
-    ) -> Reply {
+    fn commit(&self, client: u64, entries: &[(String, Option<SegmentDiff>)]) -> Reply {
         // Validate everything first: locks held, versions current,
         // segments exist. Nothing is applied unless all entries pass.
+        // Segments are locked strictly one at a time (never two shards at
+        // once), so multi-segment commits cannot deadlock; the client's
+        // writer locks — verified here — freeze every involved version
+        // until the apply phase below.
         for (segment, diff) in entries {
-            let Some(seg) = self.segments.get(segment) else {
+            let Some(seg) = self.segment_arc(segment) else {
                 return Reply::Error {
                     message: format!("no such segment `{segment}`"),
                 };
             };
-            if !self.locks.is_writer(segment, client) {
+            let guard = self.read_seg(&seg);
+            if !self.locks.lock().is_writer(segment, client) {
                 return Reply::Error {
                     message: format!("commit requires the writer lock on `{segment}`"),
                 };
             }
             if let Some(d) = diff {
-                if d.from_version != seg.version() {
+                if d.from_version != guard.version() {
                     return Reply::Error {
                         message: format!(
                             "commit base version {} stale for `{segment}` (current {})",
                             d.from_version,
-                            seg.version()
+                            guard.version()
                         ),
                     };
                 }
@@ -318,10 +482,15 @@ impl Server {
         }
         let mut versions = Vec::with_capacity(entries.len());
         for (segment, diff) in entries {
-            let seg = self.segments.get_mut(segment).expect("validated");
+            let seg = self.segment_arc(segment).expect("validated");
+            let mut guard = self.write_seg(&seg);
             if let Some(d) = diff {
-                match seg.apply_diff(d) {
-                    Ok(v) => versions.push(v),
+                match guard.apply_diff(d) {
+                    Ok(v) => {
+                        self.maybe_checkpoint(&mut guard);
+                        self.fire_commit_hook(segment, d);
+                        versions.push(v);
+                    }
                     Err(e) => {
                         // Structural failure after validation indicates a
                         // client bug; report it (earlier entries stand, as
@@ -332,36 +501,34 @@ impl Server {
                     }
                 }
             } else {
-                versions.push(seg.version());
+                versions.push(guard.version());
             }
         }
-        for (segment, diff) in entries {
-            if diff.is_some() {
-                self.maybe_checkpoint(segment);
-            }
-            if self.locks.release(segment, client) {
+        for (segment, _) in entries {
+            if self.locks.lock().release(segment, client) {
                 self.metrics.lock_released.inc();
             }
         }
         Reply::Committed { versions }
     }
 
-    fn poll(
-        &mut self,
-        client: u64,
-        segment: &str,
-        have_version: u64,
-        coherence: Coherence,
-    ) -> Reply {
-        let Some(seg) = self.segments.get_mut(segment) else {
+    fn poll(&self, client: u64, segment: &str, have_version: u64, coherence: Coherence) -> Reply {
+        let Some(seg) = self.segment_arc(segment) else {
             return Reply::Error {
                 message: format!("no such segment `{segment}`"),
             };
         };
-        if !seg.needs_update(client, have_version, coherence) {
-            return Reply::UpToDate;
+        {
+            // The common no-op probe ("is my version recent enough?")
+            // takes only the shared lock, so polls never serialize
+            // against each other or against same-segment readers.
+            let guard = self.read_seg(&seg);
+            if !guard.needs_update(client, have_version, coherence) {
+                return Reply::UpToDate;
+            }
         }
-        match seg.collect_update(client, have_version) {
+        let mut guard = self.write_seg(&seg);
+        match guard.collect_update(client, have_version) {
             Ok(diff) => Reply::Update { diff },
             Err(e) => Reply::Error {
                 message: e.to_string(),
@@ -372,31 +539,29 @@ impl Server {
     /// Applies one replicated diff (backup role). Idempotent: a diff the
     /// segment already has (retransmitted after a primary restart or a
     /// duplicated ship) is acked without being re-applied.
-    fn replicate(&mut self, segment: &str, from_version: u64, diff: &SegmentDiff) -> Reply {
-        let seg = self
-            .segments
-            .entry(segment.to_string())
-            .or_insert_with(|| ServerSegment::new(segment));
-        if diff.to_version <= seg.version() {
+    fn replicate(&self, segment: &str, from_version: u64, diff: &SegmentDiff) -> Reply {
+        let seg = self.segment_or_insert(segment);
+        let mut guard = self.write_seg(&seg);
+        if diff.to_version <= guard.version() {
             return Reply::Replicated {
-                acked_version: seg.version(),
+                acked_version: guard.version(),
             };
         }
-        if from_version != seg.version() || diff.from_version != seg.version() {
+        if from_version != guard.version() || diff.from_version != guard.version() {
             // The primary must fall back to a full catch-up image.
             return Reply::Error {
                 message: format!(
                     "replication gap on `{segment}`: have {}, diff is {}..{}",
-                    seg.version(),
+                    guard.version(),
                     diff.from_version,
                     diff.to_version
                 ),
             };
         }
-        match seg.apply_diff(diff) {
+        match guard.apply_diff(diff) {
             Ok(v) => {
                 self.metrics.repl_diffs_applied.inc();
-                self.maybe_checkpoint(segment);
+                self.maybe_checkpoint(&mut guard);
                 Reply::Replicated { acked_version: v }
             }
             Err(e) => Reply::Error {
@@ -409,7 +574,7 @@ impl Server {
     /// image is a checkpoint encoding, so the installed segment is
     /// bit-identical to the primary's — version, serials, subblock
     /// versions and all.
-    fn sync_full(&mut self, segment: &str, image: &Bytes) -> Reply {
+    fn sync_full(&self, segment: &str, image: &Bytes) -> Reply {
         let seg = match checkpoint::decode_segment(image.clone()) {
             Ok(seg) => seg,
             Err(e) => {
@@ -426,35 +591,59 @@ impl Server {
         let v = seg.version();
         self.metrics.repl_syncs_applied.inc();
         self.metrics.repl_catchup_bytes.add(image.len() as u64);
-        self.segments.insert(segment.to_string(), seg);
-        self.maybe_checkpoint(segment);
+        // Swap the image in place inside the existing shard, so any
+        // concurrently held Arc keeps pointing at the live state.
+        let shard = self.segment_or_insert(segment);
+        let mut guard = self.write_seg(&shard);
+        *guard = seg;
+        self.maybe_checkpoint(&mut guard);
         Reply::Replicated { acked_version: v }
     }
 
-    fn maybe_checkpoint(&mut self, segment: &str) {
+    fn maybe_checkpoint(&self, seg: &mut ServerSegment) {
         let Some(dir) = &self.checkpoint_dir else {
             return;
         };
-        let dir = dir.clone();
-        let interval = self.checkpoint_interval;
-        if let Some(seg) = self.segments.get_mut(segment) {
-            if seg.version() % interval == 0 {
-                // Checkpointing is best-effort; failures must not take the
-                // release path down.
-                let started = Instant::now();
-                if checkpoint::write(&dir, seg).is_ok() {
-                    self.metrics.checkpoints.inc();
-                }
-                self.metrics
-                    .checkpoint_us
-                    .record_duration(started.elapsed());
+        if seg.version().is_multiple_of(self.checkpoint_interval) {
+            // Checkpointing is best-effort; failures must not take the
+            // release path down.
+            let started = Instant::now();
+            if checkpoint::write(dir, seg).is_ok() {
+                self.metrics.checkpoints.inc();
             }
+            self.metrics
+                .checkpoint_us
+                .record_duration(started.elapsed());
         }
     }
 
-    /// Handles one decoded request (the protocol entry point).
-    pub fn handle_request(&mut self, req: &Request) -> Reply {
+    /// Opens the in-flight accounting span for one request: bumps the
+    /// request and concurrency counters, tracks the concurrency
+    /// high-water mark, and returns the guard whose drop closes the
+    /// span. Wrapping handlers hold it across their own decode/encode
+    /// so `server.busy_us_total` covers the whole in-handler time.
+    pub fn begin_request(&self) -> RequestGuard<'_> {
         self.metrics.requests.inc();
+        self.metrics.concurrent_requests.add(1);
+        let inflight = self.metrics.concurrent_requests.get().max(1) as u64;
+        self.peak_concurrent.fetch_max(inflight, Ordering::Relaxed);
+        RequestGuard {
+            metrics: &self.metrics,
+            started: Instant::now(),
+        }
+    }
+
+    /// Handles one decoded request (the protocol entry point). Safe to
+    /// call from any number of threads concurrently.
+    pub fn handle_request(&self, req: &Request) -> Reply {
+        let _guard = self.begin_request();
+        self.dispatch(req)
+    }
+
+    /// Dispatches one decoded request *without* opening an accounting
+    /// span — the caller must hold a [`RequestGuard`] (wrapping handlers
+    /// open it before decoding so the span covers their wire work).
+    pub fn dispatch(&self, req: &Request) -> Reply {
         self.metrics.req_kind[req.kind_index()].inc();
         let reply = match req {
             Request::Hello { info } => Reply::Welcome {
@@ -506,9 +695,13 @@ impl Server {
 }
 
 impl iw_proto::Handler for Server {
-    fn handle(&mut self, request: Bytes) -> Bytes {
+    fn handle(&self, request: Bytes) -> Bytes {
+        // The guard spans decode and encode too: for bulk requests the
+        // wire memcpys are a real share of the worker's time, and the
+        // busy counter must reflect it.
+        let _guard = self.begin_request();
         match Request::decode(request) {
-            Ok(req) => self.handle_request(&req).encode(),
+            Ok(req) => self.dispatch(&req).encode(),
             Err(e) => Reply::Error {
                 message: format!("bad request: {e}"),
             }
@@ -541,7 +734,7 @@ mod tests {
 
     #[test]
     fn hello_assigns_distinct_ids() {
-        let mut s = Server::new();
+        let s = Server::new();
         let a = s.hello("x86 client");
         let b = s.hello("sparc client");
         assert_ne!(a, b);
@@ -550,15 +743,15 @@ mod tests {
 
     #[test]
     fn open_creates_once() {
-        let mut s = Server::new();
+        let s = Server::new();
         assert_eq!(s.open("h/s"), 0);
         assert_eq!(s.open("h/s"), 0);
-        assert!(s.segment("h/s").is_some());
+        assert!(s.segment_version("h/s").is_some());
     }
 
     #[test]
     fn write_cycle_advances_version() {
-        let mut s = Server::new();
+        let s = Server::new();
         let c = s.hello("c");
         s.open("h/s");
         let r = s.handle_request(&Request::Acquire {
@@ -586,7 +779,7 @@ mod tests {
 
     #[test]
     fn second_writer_sees_busy_then_grant() {
-        let mut s = Server::new();
+        let s = Server::new();
         let a = s.hello("a");
         let b = s.hello("b");
         s.open("h/s");
@@ -609,7 +802,7 @@ mod tests {
 
     #[test]
     fn release_with_diff_requires_writer() {
-        let mut s = Server::new();
+        let s = Server::new();
         let c = s.hello("c");
         s.open("h/s");
         let r = s.handle_request(&Request::Release {
@@ -622,7 +815,7 @@ mod tests {
 
     #[test]
     fn reader_gets_update_only_when_stale() {
-        let mut s = Server::new();
+        let s = Server::new();
         let w = s.hello("w");
         let rd = s.hello("r");
         s.open("h/s");
@@ -673,7 +866,7 @@ mod tests {
 
     #[test]
     fn poll_path() {
-        let mut s = Server::new();
+        let s = Server::new();
         let c = s.hello("c");
         s.open("h/s");
         let r = s.handle_request(&Request::Poll {
@@ -687,7 +880,7 @@ mod tests {
 
     #[test]
     fn unknown_segment_errors() {
-        let mut s = Server::new();
+        let s = Server::new();
         let c = s.hello("c");
         for req in [
             Request::Acquire {
@@ -715,7 +908,7 @@ mod tests {
 
     #[test]
     fn disconnect_releases_locks() {
-        let mut s = Server::new();
+        let s = Server::new();
         let a = s.hello("a");
         let b = s.hello("b");
         s.open("h/s");
@@ -739,7 +932,7 @@ mod tests {
 
     #[test]
     fn disconnect_drops_diff_counters() {
-        let mut s = Server::new();
+        let s = Server::new();
         let w = s.hello("w");
         let rd = s.hello("r");
         s.open("h/s");
@@ -763,21 +956,26 @@ mod tests {
             have_version: 0,
             coherence: Coherence::Diff(100),
         });
-        let seg = s.segment("h/s").unwrap();
-        assert_eq!(seg.diff_counter(rd), Some(0));
-        s.disconnect(rd);
-        let seg = s.segment("h/s").unwrap();
         assert_eq!(
-            seg.diff_counter(rd),
+            s.with_segment("h/s", |seg| seg.diff_counter(rd)).unwrap(),
+            Some(0)
+        );
+        s.disconnect(rd);
+        assert_eq!(
+            s.with_segment("h/s", |seg| seg.diff_counter(rd)).unwrap(),
             None,
             "disconnect must drop the counter"
         );
-        assert_eq!(seg.diff_counter_count(), 0);
+        assert_eq!(
+            s.with_segment("h/s", ServerSegment::diff_counter_count)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]
     fn stats_request_returns_live_snapshot() {
-        let mut s = Server::new();
+        let s = Server::new();
         let c = s.hello("c");
         s.open("h/s");
         s.handle_request(&Request::Acquire {
@@ -801,11 +999,14 @@ mod tests {
         assert_eq!(snapshot.counter("server.segment.h/s.version"), Some(0));
         // The Stats request itself was counted before the snapshot.
         assert_eq!(snapshot.counter("server.req.stats_total"), Some(1));
+        // The Stats request is the only one in flight right now.
+        assert_eq!(snapshot.gauge("server.concurrent_requests"), Some(1));
+        assert!(snapshot.counter("server.concurrent_requests_peak").unwrap() >= 1);
     }
 
     #[test]
     fn replicate_applies_in_order_and_is_idempotent() {
-        let mut s = Server::new();
+        let s = Server::new();
         let r = s.handle_request(&Request::Replicate {
             segment: "h/s".into(),
             from_version: 0,
@@ -819,7 +1020,7 @@ mod tests {
             diff: seed_diff(0),
         });
         assert_eq!(r, Reply::Replicated { acked_version: 1 });
-        assert_eq!(s.segment("h/s").unwrap().version(), 1);
+        assert_eq!(s.segment_version("h/s"), Some(1));
         // A gap (diff from v5 when we hold v1) is an error, prompting a
         // full sync from the primary.
         let r = s.handle_request(&Request::Replicate {
@@ -833,27 +1034,31 @@ mod tests {
     #[test]
     fn sync_full_installs_bit_identical_segment() {
         // Build a primary-side segment two versions deep.
-        let mut primary = Server::new();
+        let primary = Server::new();
         primary.open("h/s");
-        let seg = primary.segment_mut("h/s").unwrap();
-        seg.apply_diff(&seed_diff(0)).unwrap();
-        let diff2 = SegmentDiff {
-            from_version: 1,
-            to_version: 2,
-            freed: vec![0],
-            ..Default::default()
-        };
-        seg.apply_diff(&diff2).unwrap();
-        let image = checkpoint::encode_segment(seg).unwrap();
+        let image = primary
+            .with_segment_mut("h/s", |seg| {
+                seg.apply_diff(&seed_diff(0)).unwrap();
+                let diff2 = SegmentDiff {
+                    from_version: 1,
+                    to_version: 2,
+                    freed: vec![0],
+                    ..Default::default()
+                };
+                seg.apply_diff(&diff2).unwrap();
+                checkpoint::encode_segment(seg).unwrap()
+            })
+            .unwrap();
 
-        let mut backup = Server::new();
-        let r = s_sync(&mut backup, "h/s", image.clone());
+        let backup = Server::new();
+        let r = s_sync(&backup, "h/s", image.clone());
         assert_eq!(r, Reply::Replicated { acked_version: 2 });
-        let b = backup.segment_mut("h/s").unwrap();
-        assert_eq!(b.version(), 2);
+        assert_eq!(backup.segment_version("h/s"), Some(2));
+        let reencoded = backup
+            .with_segment_mut("h/s", |seg| checkpoint::encode_segment(seg).unwrap())
+            .unwrap();
         assert_eq!(
-            checkpoint::encode_segment(b).unwrap(),
-            image,
+            reencoded, image,
             "synced backup re-encodes to the identical image"
         );
         // After the sync, the version chain continues normally.
@@ -866,16 +1071,16 @@ mod tests {
 
         // Wrong-name and corrupt images are rejected.
         assert!(matches!(
-            s_sync(&mut backup, "h/other", image.clone()),
+            s_sync(&backup, "h/other", image.clone()),
             Reply::Error { .. }
         ));
         assert!(matches!(
-            s_sync(&mut backup, "h/s", Bytes::from_static(b"junk")),
+            s_sync(&backup, "h/s", Bytes::from_static(b"junk")),
             Reply::Error { .. }
         ));
     }
 
-    fn s_sync(s: &mut Server, segment: &str, image: Bytes) -> Reply {
+    fn s_sync(s: &Server, segment: &str, image: Bytes) -> Reply {
         s.handle_request(&Request::SyncFull {
             segment: segment.into(),
             image,
@@ -884,7 +1089,7 @@ mod tests {
 
     #[test]
     fn bare_server_refuses_attach_backup() {
-        let mut s = Server::new();
+        let s = Server::new();
         let r = s.handle_request(&Request::AttachBackup {
             addr: "127.0.0.1:1".into(),
         });
@@ -893,7 +1098,7 @@ mod tests {
 
     #[test]
     fn failover_hello_is_counted() {
-        let mut s = Server::new();
+        let s = Server::new();
         s.hello("x86 client");
         s.hello("x86 client (failover)");
         let snap = s.metrics_snapshot();
@@ -903,8 +1108,61 @@ mod tests {
     #[test]
     fn handler_rejects_garbage_bytes() {
         use iw_proto::Handler;
-        let mut s = Server::new();
+        let s = Server::new();
         let reply = s.handle(Bytes::from_static(&[0xFF, 0x01]));
         assert!(matches!(Reply::decode(reply).unwrap(), Reply::Error { .. }));
+    }
+
+    #[test]
+    fn commit_hook_fires_per_committed_diff_in_version_order() {
+        let s = Server::new();
+        let seen: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        s.set_commit_hook(Arc::new(move |segment, diff| {
+            sink.lock().push((segment.to_string(), diff.to_version));
+        }));
+        let c = s.hello("c");
+        s.open("h/s");
+        for v in 0..3 {
+            s.handle_request(&Request::Acquire {
+                client: c,
+                segment: "h/s".into(),
+                mode: LockMode::Write,
+                have_version: v,
+                coherence: Coherence::Full,
+            });
+            let diff = if v == 0 {
+                seed_diff(0)
+            } else {
+                SegmentDiff {
+                    from_version: v,
+                    to_version: v + 1,
+                    freed: vec![],
+                    ..Default::default()
+                }
+            };
+            s.handle_request(&Request::Release {
+                client: c,
+                segment: "h/s".into(),
+                diff: Some(diff),
+            });
+        }
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                ("h/s".to_string(), 1),
+                ("h/s".to_string(), 2),
+                ("h/s".to_string(), 3)
+            ]
+        );
+        // Failed releases never fire the hook.
+        let before = seen.lock().len();
+        let r = s.handle_request(&Request::Release {
+            client: c,
+            segment: "h/s".into(),
+            diff: Some(seed_diff(0)), // stale base; also no writer lock
+        });
+        assert!(matches!(r, Reply::Error { .. }));
+        assert_eq!(seen.lock().len(), before);
     }
 }

@@ -18,11 +18,10 @@ use iw_core::Session;
 use iw_proto::{Coherence, Handler, TcpServer, TcpTransport};
 use iw_server::Server;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A real server on a real socket.
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let tcp = TcpServer::spawn("127.0.0.1:0".parse()?, handler)?;
     println!("InterWeave server listening on {}", tcp.addr());
 

@@ -16,7 +16,6 @@ use iw_core::{CoreError, Session};
 use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::{idl, MachineArch};
-use parking_lot::Mutex;
 
 const ACCT_IDL: &str = "struct acct { hyper balance; int ops; string owner<24>; };";
 
@@ -84,8 +83,8 @@ fn balance(s: &mut Session, segment: &str) -> Result<(String, i64, i32), CoreErr
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two independent banks, each its own InterWeave server.
-    let north: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
-    let south: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let north: Arc<dyn Handler> = Arc::new(Server::new());
+    let south: Arc<dyn Handler> = Arc::new(Server::new());
 
     // The teller speaks to both; segments route by URL host.
     let mut teller = Session::new(

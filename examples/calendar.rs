@@ -16,7 +16,6 @@ use iw_core::{CoreError, Ptr, Session};
 use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::{idl, MachineArch};
-use parking_lot::Mutex;
 
 const CAL_IDL: &str = "\
 struct appt {\n\
@@ -39,7 +38,7 @@ struct CalClient {
 }
 
 impl CalClient {
-    fn connect(srv: &Arc<Mutex<dyn Handler>>, arch: MachineArch) -> Result<Self, CoreError> {
+    fn connect(srv: &Arc<dyn Handler>, arch: MachineArch) -> Result<Self, CoreError> {
         let mut session = Session::new(arch, Box::new(Loopback::new(srv.clone())))?;
         let handle = session.open_segment("team/week27")?;
         Ok(CalClient { session, handle })
@@ -111,7 +110,7 @@ impl CalClient {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
 
     // The organizer creates the calendar.
     let mut alice = CalClient::connect(&srv, MachineArch::x86_64())?;

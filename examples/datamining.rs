@@ -16,10 +16,9 @@ use iw_mining::{generate, read_lattice, GenConfig, Lattice, LatticePublisher};
 use iw_proto::{Coherence, Handler, Loopback};
 use iw_server::Server;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let server: Arc<dyn Handler> = Arc::new(Server::new());
 
     // The database server runs on a 64-bit Alpha; the analyst's mining
     // client on a 32-bit x86 desktop.

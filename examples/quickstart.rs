@@ -14,7 +14,6 @@ use iw_core::{CoreError, Ptr, SegHandle, Session};
 use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::{idl, MachineArch};
-use parking_lot::Mutex;
 
 const LIST_IDL: &str = "struct node { int key; struct node *next; };";
 
@@ -63,7 +62,7 @@ fn walk(s: &mut Session, h: &SegHandle, head: &Ptr) -> Result<Vec<i32>, CoreErro
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let server: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let server: Arc<dyn Handler> = Arc::new(Server::new());
 
     // Client A: 32-bit little-endian x86.
     let mut a = Session::new(MachineArch::x86(), Box::new(Loopback::new(server.clone())))?;

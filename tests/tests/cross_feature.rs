@@ -10,10 +10,9 @@ use iw_proto::{Coherence, Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
-fn handler() -> Arc<Mutex<dyn Handler>> {
-    Arc::new(Mutex::new(Server::new()))
+fn handler() -> Arc<dyn Handler> {
+    Arc::new(Server::new())
 }
 
 #[test]
@@ -144,8 +143,7 @@ fn checkpoint_recovery_preserves_pointer_graphs() {
     let dir = std::env::temp_dir().join(format!("xf-ck-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let srv: Arc<Mutex<dyn Handler>> =
-            Arc::new(Mutex::new(Server::with_checkpointing(dir.clone(), 1)));
+        let srv: Arc<dyn Handler> = Arc::new(Server::with_checkpointing(dir.clone(), 1));
         let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv))).unwrap();
         let ty = iw_types::idl::compile("struct n { int v; struct n *next; };")
             .unwrap()
@@ -170,7 +168,7 @@ fn checkpoint_recovery_preserves_pointer_graphs() {
         s.wl_release(&h).unwrap();
     }
     let recovered = Server::recover(dir.clone(), 1).unwrap();
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(recovered));
+    let srv: Arc<dyn Handler> = Arc::new(recovered);
     let mut s = Session::new(MachineArch::alpha(), Box::new(Loopback::new(srv))).unwrap();
     let h = s.open_segment("xf/ring").unwrap();
     s.rl_acquire(&h).unwrap();

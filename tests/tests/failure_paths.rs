@@ -1,6 +1,7 @@
 //! Failure-path coverage: server-rejected transaction commits roll back,
 //! and the §3.3 locality layout materializes at first fetch.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -10,21 +11,20 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 /// A handler wrapper that turns the next `Commit` into a server error
 /// (simulating a concurrent administrative rejection or validation
 /// failure) while passing everything else through.
 struct CommitSabotage {
     inner: Server,
-    armed: bool,
+    armed: AtomicBool,
 }
 
 impl Handler for CommitSabotage {
-    fn handle(&mut self, request: Bytes) -> Bytes {
-        if self.armed {
+    fn handle(&self, request: Bytes) -> Bytes {
+        if self.armed.load(Ordering::SeqCst) {
             if let Ok(Request::Commit { .. }) = Request::decode(request.clone()) {
-                self.armed = false;
+                self.armed.store(false, Ordering::SeqCst);
                 return Reply::Error {
                     message: "injected commit failure".into(),
                 }
@@ -37,11 +37,11 @@ impl Handler for CommitSabotage {
 
 #[test]
 fn rejected_commit_rolls_back_and_releases_locks() {
-    let handler = Arc::new(Mutex::new(CommitSabotage {
+    let handler = Arc::new(CommitSabotage {
         inner: Server::new(),
-        armed: false,
-    }));
-    let dyn_handler: Arc<Mutex<dyn Handler>> = handler.clone();
+        armed: AtomicBool::new(false),
+    });
+    let dyn_handler: Arc<dyn Handler> = handler.clone();
     let mut s = Session::new(
         MachineArch::x86(),
         Box::new(Loopback::new(dyn_handler.clone())),
@@ -54,7 +54,7 @@ fn rejected_commit_rolls_back_and_releases_locks() {
     s.wl_release(&h).unwrap();
 
     // Arm the sabotage, run a transaction.
-    handler.lock().armed = true;
+    handler.armed.store(true, Ordering::SeqCst);
     s.tx_begin().unwrap();
     s.wl_acquire(&h).unwrap();
     s.write_i64(&bal, 0).unwrap();
@@ -88,7 +88,7 @@ fn first_fetch_places_same_version_blocks_contiguously() {
     // §3.3 "Data layout for cache locality": "When a segment is cached at
     // a client for the first time, blocks that have the same version
     // number … are placed in contiguous locations."
-    let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let srv: Arc<dyn Handler> = Arc::new(Server::new());
     let mut w = Session::new(MachineArch::x86(), Box::new(Loopback::new(srv.clone()))).unwrap();
     let h = w.open_segment("fp/layout").unwrap();
     // Three write sections, three blocks each.

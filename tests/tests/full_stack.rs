@@ -12,7 +12,6 @@ use iw_proto::{Coherence, Handler, Loopback, ProtoError, TcpServer, TcpTransport
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::{idl, MachineArch};
-use parking_lot::Mutex;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("iw-integ-{tag}-{}", std::process::id()));
@@ -22,7 +21,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn linked_list_over_real_tcp() {
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let tcp = TcpServer::spawn("127.0.0.1:0".parse().unwrap(), handler).unwrap();
 
     let node_t = idl::compile("struct node { int key; struct node *next; };")
@@ -75,8 +74,7 @@ fn server_recovers_segments_from_checkpoints() {
 
     // Phase 1: a server with checkpointing every version.
     {
-        let handler: Arc<Mutex<dyn Handler>> =
-            Arc::new(Mutex::new(Server::with_checkpointing(dir.clone(), 1)));
+        let handler: Arc<dyn Handler> = Arc::new(Server::with_checkpointing(dir.clone(), 1));
         let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
         let h = s.open_segment("ck/data").unwrap();
         s.wl_acquire(&h).unwrap();
@@ -94,7 +92,7 @@ fn server_recovers_segments_from_checkpoints() {
 
     // Phase 2: a new server process recovers from the checkpoint dir.
     let recovered = Server::recover(dir.clone(), 1).unwrap();
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(recovered));
+    let handler: Arc<dyn Handler> = Arc::new(recovered);
     let mut s = Session::new(MachineArch::sparc_v9(), Box::new(Loopback::new(handler))).unwrap();
     let h = s.open_segment("ck/data").unwrap();
     s.rl_acquire(&h).unwrap();
@@ -112,7 +110,7 @@ fn server_recovers_segments_from_checkpoints() {
 
 #[test]
 fn transport_faults_surface_as_errors_not_corruption() {
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let mut t = Loopback::new(handler.clone());
     t.drop_every(5);
     let mut s = Session::new(MachineArch::x86(), Box::new(t)).unwrap();
@@ -152,7 +150,7 @@ fn transport_faults_surface_as_errors_not_corruption() {
 
 #[test]
 fn mining_pipeline_end_to_end() {
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let mut dbsrv = Session::new(
         MachineArch::alpha(),
         Box::new(Loopback::new(handler.clone())),
@@ -187,7 +185,7 @@ fn mining_pipeline_end_to_end() {
 
 #[test]
 fn astro_pipeline_end_to_end() {
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let mut simc = Session::new(
         MachineArch::alpha(),
         Box::new(Loopback::new(handler.clone())),
@@ -216,7 +214,7 @@ fn astro_pipeline_end_to_end() {
 
 #[test]
 fn many_segments_one_server() {
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(handler))).unwrap();
     let mut handles = Vec::new();
     for i in 0..20 {
@@ -239,7 +237,7 @@ fn many_segments_one_server() {
 #[test]
 fn heterogeneous_quartet_shares_one_structure() {
     // Four architectures collaborating on one counter array.
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let archs = [
         MachineArch::x86(),
         MachineArch::alpha(),

@@ -16,7 +16,6 @@ use iw_proto::{Handler, Loopback};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 use proptest::prelude::*;
 
 /// The reference model: segment → block name → vector of i32 values.
@@ -90,7 +89,7 @@ proptest! {
 
     #[test]
     fn clients_always_agree_with_the_model(ops in prop::collection::vec(arb_op(), 1..80)) {
-        let srv: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+        let srv: Arc<dyn Handler> = Arc::new(Server::new());
         let archs = MachineArch::all();
         let mut clients: Vec<Session> = archs
             .iter()

@@ -8,11 +8,10 @@ use iw_proto::{Coherence, Handler, TcpServer, TcpTransport};
 use iw_server::Server;
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
-use parking_lot::Mutex;
 
 #[test]
 fn parallel_writers_and_relaxed_readers_over_tcp() {
-    let handler: Arc<Mutex<dyn Handler>> = Arc::new(Mutex::new(Server::new()));
+    let handler: Arc<dyn Handler> = Arc::new(Server::new());
     let tcp = TcpServer::spawn("127.0.0.1:0".parse().unwrap(), handler).unwrap();
     let addr = tcp.addr();
 
