@@ -30,4 +30,17 @@ env -u RUST_TEST_THREADS cargo test -q -p iw-server --test prop_interleave
 echo "== TCP contention stress (release)"
 env -u RUST_TEST_THREADS cargo test -q --release -p iw-cli --test contention -- --nocapture | grep "contention result"
 
+echo "== chaos soak (release, fixed seeds, 120s cap)"
+# Deterministic fault-injection soaks over the CI seed set. Bounded by
+# wall clock so a wedged run fails loudly instead of hanging the gate;
+# a failing seed is printed for replay with `iwchaos --seed N --trace`.
+cargo build --release -q -p iw-cli --bin iwchaos
+for seed in 1 7 42; do
+  if ! timeout 120 target/release/iwchaos --seed "$seed"; then
+    echo "chaos soak FAILED at seed $seed (replay: iwchaos --seed $seed --trace)"
+    exit 1
+  fi
+done
+env -u RUST_TEST_THREADS timeout 300 cargo test -q --release -p iw-faults
+
 echo "CI OK"

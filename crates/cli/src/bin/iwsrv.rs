@@ -3,6 +3,7 @@
 //! ```text
 //! iwsrv [--listen 127.0.0.1:7474] [--checkpoint-dir DIR]
 //!       [--checkpoint-every N] [--recover] [--backup-of ADDR]
+//!       [--chaos SEED] [--chaos-rate PER_10K]
 //! ```
 //!
 //! With `--checkpoint-dir`, every segment is checkpointed every N
@@ -16,12 +17,21 @@
 //! backup of the primary at `ADDR` (retrying until the primary is
 //! reachable), after which the primary keeps it bit-identical via the
 //! diff stream plus full-image catch-up.
+//!
+//! With `--chaos SEED`, a deterministic fault injector sits between the
+//! wire and the server: a seeded fraction of requests (default 200 per
+//! 10 000, tune with `--chaos-rate`) is dropped, truncated, duplicated,
+//! or delayed before dispatch. The injected faults are the *recoverable*
+//! class (no corruption), so well-behaved clients retry through them;
+//! `faults.injected_total` counters land in the registry `iwstat`
+//! scrapes.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use iw_cli::Args;
 use iw_cluster::Primary;
+use iw_faults::{FaultLog, FaultPlan, FaultyHandler};
 use iw_proto::{Handler, Reply, Request, TcpServer, TcpTransport, Transport};
 use iw_server::Server;
 
@@ -45,7 +55,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let primary = Primary::new(server);
     let registry = primary.server().registry().clone();
-    let handler: Arc<dyn Handler> = Arc::new(primary);
+    let handler: Arc<dyn Handler> = match args.flag("chaos") {
+        Some(seed) => {
+            let seed: u64 = seed.parse()?;
+            let rate: u32 = args
+                .flag("chaos-rate")
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or(200);
+            let faulty = FaultyHandler::new(
+                Arc::new(primary),
+                seed,
+                FaultPlan::recoverable(rate),
+                FaultLog::new(),
+            );
+            faulty.bind_registry(&registry);
+            eprintln!("iwsrv: chaos ingress enabled (seed {seed}, {rate}/10k)");
+            Arc::new(faulty)
+        }
+        None => Arc::new(primary),
+    };
     let tcp = TcpServer::spawn_with_registry(listen.parse()?, handler, &registry)?;
     eprintln!("iwsrv: serving on {}", tcp.addr());
 

@@ -71,11 +71,17 @@ enum Job {
 /// One backup replica as the ship thread sees it.
 struct BackupLink {
     transport: Box<dyn Transport>,
+    /// Dial address for address-attached backups (`iwsrv --backup-of`);
+    /// used to deduplicate re-announcements. `None` for transports
+    /// attached directly via [`Primary::add_backup`].
+    addr: Option<String>,
     /// Last version each segment acked; drives catch-up and the lag
     /// gauge.
     acked: HashMap<String, u64>,
-    /// Set on a channel error; a dead backup is skipped until it
-    /// re-attaches.
+    /// Set on a channel error; a dead link is pruned — transport,
+    /// acked-version map and all — at the next bookkeeping pass, so a
+    /// backup that re-attaches starts from a fresh full sync instead of
+    /// inheriting stale ack state.
     dead: bool,
 }
 
@@ -92,6 +98,12 @@ struct ShipMetrics {
     /// `cluster.ship_errors_total` — failed deliveries (backup marked
     /// dead or sync fallback needed).
     ship_errors: Arc<Counter>,
+    /// `cluster.resyncs_total` — mid-stream full resyncs forced by a
+    /// version gap (attach-time catch-up syncs are *not* counted here).
+    resyncs: Arc<Counter>,
+    /// `cluster.backups_pruned_total` — dead links discarded together
+    /// with their per-segment ack state.
+    backups_pruned: Arc<Counter>,
     /// `cluster.backups` — live attached backups.
     backups: Arc<Gauge>,
 }
@@ -103,6 +115,8 @@ impl ShipMetrics {
             syncs_shipped: registry.counter("cluster.sync_full_total"),
             catchup_bytes: registry.counter("cluster.catchup_bytes_shipped_total"),
             ship_errors: registry.counter("cluster.ship_errors_total"),
+            resyncs: registry.counter("cluster.resyncs_total"),
+            backups_pruned: registry.counter("cluster.backups_pruned_total"),
             backups: registry.gauge("cluster.backups"),
             registry,
         }
@@ -255,6 +269,7 @@ fn ship_one(
             // Version gap (or any server-side refusal): catch up with a
             // full image.
             metrics.ship_errors.inc();
+            metrics.resyncs.inc();
             sync_one(backup, segment, server, metrics)
         }
         Err(_) => {
@@ -326,13 +341,20 @@ fn ship_loop(
     // Pre-resolved per-segment lag gauges (the registry's name map is a
     // lock; resolve each gauge once, not per shipped diff).
     let mut lag: HashMap<String, Arc<Gauge>> = HashMap::new();
-    // A failed attach or a death drops the live count; pending attaches
-    // re-raise it via fetch_add, and any diffs skipped at zero are
-    // covered by the pending attach's full sync.
-    let refresh_live = |backups: &[BackupLink]| {
-        let live = backups.iter().filter(|b| !b.dead).count();
-        metrics.backups.set(live as i64);
-        attached.store(live, Ordering::SeqCst);
+    // Discards dead links — transport, acked map and all — so re-attached
+    // backups cannot inherit stale per-segment ack state, then republishes
+    // the live count. A failed attach or a death drops the count; pending
+    // attaches re-raise it via fetch_add, and any diffs skipped at zero
+    // are covered by the pending attach's full sync.
+    let prune_and_refresh = |backups: &mut Vec<BackupLink>| {
+        let before = backups.len();
+        backups.retain(|b| !b.dead);
+        let pruned = before - backups.len();
+        if pruned > 0 {
+            metrics.backups_pruned.add(pruned as u64);
+        }
+        metrics.backups.set(backups.len() as i64);
+        attached.store(backups.len(), Ordering::SeqCst);
     };
     while let Ok(job) = rx.recv() {
         match job {
@@ -344,6 +366,7 @@ fn ship_loop(
                 attach(
                     BackupLink {
                         transport,
+                        addr: None,
                         acked: HashMap::new(),
                         dead: false,
                     },
@@ -351,18 +374,29 @@ fn ship_loop(
                     server,
                     metrics,
                 );
-                refresh_live(&backups);
+                prune_and_refresh(&mut backups);
             }
             Job::AttachAddr(addr) => {
+                // A backup re-announcing itself (retried `--backup-of`,
+                // restart with the same address) must not open a second
+                // stream; the existing live link already covers it.
+                if backups
+                    .iter()
+                    .any(|b| !b.dead && b.addr.as_deref() == Some(addr.as_str()))
+                {
+                    prune_and_refresh(&mut backups);
+                    continue;
+                }
                 let Ok(sockaddr) = addr.parse::<SocketAddr>() else {
                     metrics.ship_errors.inc();
-                    refresh_live(&backups);
+                    prune_and_refresh(&mut backups);
                     continue;
                 };
                 match TcpTransport::connect(sockaddr) {
                     Ok(t) => attach(
                         BackupLink {
                             transport: Box::new(t),
+                            addr: Some(addr),
                             acked: HashMap::new(),
                             dead: false,
                         },
@@ -372,7 +406,7 @@ fn ship_loop(
                     ),
                     Err(_) => metrics.ship_errors.inc(),
                 }
-                refresh_live(&backups);
+                prune_and_refresh(&mut backups);
             }
             Job::Ship { segment, diff } => {
                 for backup in &mut backups {
@@ -383,11 +417,11 @@ fn ship_loop(
                         backup.dead = true;
                     }
                 }
-                refresh_live(&backups);
-                // Lag = newest shipped version minus the slowest live
+                prune_and_refresh(&mut backups);
+                // Lag = newest shipped version minus the slowest
                 // backup's ack. Zero backups means nothing to lag behind.
-                let live = backups.iter().filter(|b| !b.dead);
-                let min_acked = live
+                let min_acked = backups
+                    .iter()
                     .map(|b| b.acked.get(&segment).copied().unwrap_or(0))
                     .min();
                 if let Some(min_acked) = min_acked {
@@ -544,6 +578,9 @@ mod tests {
         assert_eq!(backup.segment_version("h/s"), Some(3));
         let snap = primary.server().metrics_snapshot();
         assert_eq!(snap.counter("cluster.sync_full_total"), Some(1));
+        // The gap forced a mid-stream resync (attach-time catch-up
+        // would not count).
+        assert_eq!(snap.counter("cluster.resyncs_total"), Some(1));
         let bsnap = backup.metrics_snapshot();
         assert_eq!(bsnap.counter("cluster.sync_full_applied_total"), Some(1));
     }
@@ -567,6 +604,71 @@ mod tests {
         let snap = primary.server().metrics_snapshot();
         assert!(snap.counter("cluster.ship_errors_total").unwrap() > 0);
         assert_eq!(snap.gauge("cluster.backups"), Some(1));
+    }
+
+    #[test]
+    fn dead_backup_is_pruned_and_reattach_starts_fresh() {
+        let (primary, backup) = cluster();
+        // A backup whose channel dies on its first shipped diff.
+        let flaky_srv = Arc::new(Server::new());
+        let mut flaky = Loopback::new(flaky_srv.clone());
+        flaky.drop_every(1);
+        primary.add_backup(Box::new(flaky));
+        // Settle the attach while no segments exist, so the link dies on
+        // a shipped diff (the pruning path under test), not mid-attach.
+        primary.drain();
+        let (_t, client) = connect(&primary);
+        write_version(&primary, client, 0);
+        primary.drain();
+        let snap = primary.server().metrics_snapshot();
+        // The dead link — acked-version map and all — was discarded,
+        // not just skipped.
+        assert_eq!(snap.counter("cluster.backups_pruned_total"), Some(1));
+        assert_eq!(snap.gauge("cluster.backups"), Some(1));
+        // A replacement attaches cleanly and full-syncs from scratch.
+        let fresh = Arc::new(Server::new());
+        primary.add_backup(Box::new(Loopback::new(fresh.clone())));
+        primary.drain();
+        assert_eq!(fresh.segment_version("h/s"), Some(1));
+        let snap = primary.server().metrics_snapshot();
+        assert_eq!(snap.gauge("cluster.backups"), Some(2));
+        // Both survivors keep streaming.
+        write_version(&primary, client, 1);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(2));
+        assert_eq!(fresh.segment_version("h/s"), Some(2));
+    }
+
+    #[test]
+    fn reannounced_backup_addr_attaches_once() {
+        let backup = Arc::new(Server::new());
+        let srv =
+            iw_proto::TcpServer::spawn("127.0.0.1:0".parse().unwrap(), backup.clone()).unwrap();
+        let primary = Arc::new(Primary::new(Server::new()));
+        let (mut t, client) = connect(&primary);
+        let announce = Request::AttachBackup {
+            addr: srv.addr().to_string(),
+        };
+        // The backup announces twice (e.g. a retried `--backup-of`
+        // loop); the second announcement must not open a second stream.
+        assert!(matches!(
+            t.request(&announce).unwrap(),
+            Reply::Replicated { .. }
+        ));
+        primary.drain();
+        assert!(matches!(
+            t.request(&announce).unwrap(),
+            Reply::Replicated { .. }
+        ));
+        primary.drain();
+        let snap = primary.server().metrics_snapshot();
+        assert_eq!(snap.gauge("cluster.backups"), Some(1));
+        write_version(&primary, client, 0);
+        primary.drain();
+        // One link ⇒ the diff was shipped exactly once.
+        let snap = primary.server().metrics_snapshot();
+        assert_eq!(snap.counter("cluster.diffs_shipped_total"), Some(1));
+        assert_eq!(backup.segment_version("h/s"), Some(1));
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub(crate) struct SessionMetrics {
     /// `client.failovers_total` — successful fail-overs to a backup
     /// replica.
     pub failovers: Arc<Counter>,
+    /// `client.reconnects_total` — successful reconnects after a channel
+    /// fault, whichever replica answered (the same server after a
+    /// transient fault, or a backup). Under chaos testing this counts
+    /// recoveries from injected faults.
+    pub reconnects: Arc<Counter>,
     /// `client.lock.wait_us` — wall time from first request to grant.
     pub lock_wait_us: Arc<Histogram>,
     /// `client.update.piggyback_bytes` — payload of updates piggybacked on
@@ -88,6 +93,7 @@ impl SessionMetrics {
             lock_busy_retries: registry.counter("client.lock.busy_retries_total"),
             lock_retries_exhausted: registry.counter("client.lock.retries_exhausted_total"),
             failovers: registry.counter("client.failovers_total"),
+            reconnects: registry.counter("client.reconnects_total"),
             lock_wait_us: registry.histogram_us("client.lock.wait_us"),
             update_bytes: registry.histogram_bytes("client.update.piggyback_bytes"),
             no_diff_transitions: registry.counter("client.no_diff.transitions_total"),

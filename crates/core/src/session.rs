@@ -463,6 +463,7 @@ impl Session {
             .remove(host)
             .ok_or_else(|| CoreError::Server(format!("no server group for `{host}`")))?;
         let info = format!("interweave-rs client on {} (failover)", self.heap.arch());
+        let old_client_id = link.client_id;
         let mut jitter_state = 0x9E37_79B9u64 ^ ((link.active as u64) << 32) ^ host.len() as u64;
         let mut backoff_us = self.opts.failover_backoff_ms.saturating_mul(1000).max(1);
         let mut found: Option<(Box<dyn Transport>, u64, usize)> = None;
@@ -481,8 +482,24 @@ impl Session {
                 if let Ok(Reply::Welcome { client }) =
                     t.request(&Request::Hello { info: info.clone() })
                 {
-                    found = Some((t, client, idx));
-                    break 'rounds;
+                    // Retire the old client id before trusting this
+                    // replica. The "dead" server may only have been
+                    // unreachable for a moment (a transient transport
+                    // fault): if this connection landed on the same
+                    // still-alive server, locks held under the old id
+                    // would stay orphaned forever. A genuinely new
+                    // replica never saw the id and replies trivially, so
+                    // requiring the round trip costs nothing there but
+                    // makes the retirement reliable — a replica that
+                    // cannot deliver it is treated as unreachable.
+                    if t.request(&Request::Goodbye {
+                        client: old_client_id,
+                    })
+                    .is_ok()
+                    {
+                        found = Some((t, client, idx));
+                        break 'rounds;
+                    }
                 }
             }
         }
@@ -497,6 +514,7 @@ impl Session {
         link.active = active;
         self.extra_links.insert(host.to_string(), link);
         self.metrics.failovers.inc();
+        self.metrics.reconnects.inc();
 
         // Re-open this host's segments on the new server and reconcile.
         let names: Vec<String> = self
@@ -702,6 +720,10 @@ impl Session {
             let st = self.state_mut(&name)?;
             st.version = version;
             st.lock = Some(LockMode::Write);
+            // A fresh grant supersedes a write lock lost in an earlier
+            // failover: the rollback already happened then, and a stale
+            // flag would fail this tenure's release spuriously.
+            st.lock_lost = false;
             st.server_locked = true;
             st.next_serial = st.next_serial.max(next_serial);
             st.types_synced = next_type_serial;
@@ -764,6 +786,16 @@ impl Session {
             diff: payload.clone(),
         })?;
         let Reply::Released { version } = reply else {
+            // A failover mid-release: an *empty* release is retried
+            // against the new server (unlike diff-carrying ones, which
+            // surface as LockLost from request_for directly), and that
+            // server never saw our lock. The loss is already flagged —
+            // report it as the loss it is, not as an opaque refusal.
+            if self.state(&name)?.lock_lost {
+                let st = self.state_mut(&name)?;
+                st.lock_lost = false;
+                return Err(CoreError::LockLost { segment: name });
+            }
             return Err(unexpected(reply));
         };
         let id = self.state(&name)?.id;

@@ -1,0 +1,420 @@
+//! Chaos soak harness: N clients against a degraded 2-node cluster.
+//!
+//! [`run_soak`] builds an in-process primary/backup pair, degrades the
+//! client links and the primary→backup ship link with independent
+//! [`FaultPlan`]s, runs a slot-writing workload, and then checks the
+//! standing invariants once the faults stop:
+//!
+//! - **Convergence against a fault-free oracle.** Each client `c`
+//!   writes `round * 1000 + c` into its own slot of a shared segment,
+//!   so the fault-free end state is a pure function of `(clients,
+//!   ops)`: slot `c` holds `(ops-1) * 1000 + c`. A run converged when
+//!   every slot matches — byte-for-byte what the identical run under
+//!   [`FaultPlan::none`] produces (versions may differ: recovered
+//!   rounds legitimately re-commit).
+//! - **Versions never regress.** Every client asserts its observed
+//!   segment version is monotone across acquisitions, failovers
+//!   included.
+//! - **Backup convergence.** Once faults stop (and the backup
+//!   re-attaches, if its link was killed mid-run), the backup's
+//!   segment must be byte-identical to the primary's checkpoint
+//!   encoding.
+//!
+//! Both clients in a replica group point at the *same* primary: the
+//! backup is a bare [`Server`] that would accept writes, so failing
+//! over to it mid-run would split the brain. What the group buys here
+//! is recovery from transient link faults — reconnect, old-id
+//! retirement, cache reconciliation — which is exactly the machinery
+//! under test. (Genuine kill-the-primary failover is covered by the
+//! cluster e2e tests.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use iw_cluster::Primary;
+use iw_core::{Connector, CoreError, Session, SessionOptions};
+use iw_proto::{Loopback, Transport};
+use iw_server::{checkpoint, Server};
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+
+use crate::{splitmix64, FaultInjector, FaultLog, FaultPlan};
+
+/// Everything a soak run needs; fully determines the run together with
+/// thread scheduling (single-client runs are fully deterministic).
+#[derive(Clone)]
+pub struct SoakConfig {
+    /// Base PRNG seed; client links and the ship link derive distinct
+    /// streams from it.
+    pub seed: u64,
+    /// Concurrent writer sessions (must be < 1000: the workload encodes
+    /// the client id in the low three decimal digits).
+    pub clients: usize,
+    /// Write rounds per client.
+    pub ops: usize,
+    /// Fault plan worn by every client link.
+    pub client_plan: FaultPlan,
+    /// Fault plan worn by the primary→backup ship link.
+    pub ship_plan: FaultPlan,
+    /// Acquire/write/release attempts per round before a client gives
+    /// up and reports a failure.
+    pub max_attempts: usize,
+}
+
+impl SoakConfig {
+    /// A small soak with recoverable fault plans on both links —
+    /// the CI configuration.
+    pub fn quick(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seed,
+            clients: 3,
+            ops: 12,
+            client_plan: FaultPlan::recoverable(400),
+            ship_plan: FaultPlan::recoverable(400),
+            max_attempts: 25,
+        }
+    }
+}
+
+/// What a soak run observed.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Every slot matched the fault-free oracle and no client reported
+    /// a failure.
+    pub converged: bool,
+    /// Backup checkpoint bytes equal the primary's after faults
+    /// stopped.
+    pub backup_identical: bool,
+    /// Human-readable invariant violations and given-up rounds.
+    pub failures: Vec<String>,
+    /// Injections on client links / the ship link.
+    pub client_injections: usize,
+    /// Injections on the ship link.
+    pub ship_injections: usize,
+    /// `seq:msg:fault` trace of the client links (the determinism
+    /// comparison unit; meaningful for single-client runs).
+    pub client_trace: String,
+    /// `seq:msg:fault` trace of the ship link.
+    pub ship_trace: String,
+    /// Final version of the shared segment at the primary.
+    pub final_version: u64,
+    /// Final slot values read back through a clean session.
+    pub final_slots: Vec<i64>,
+    /// Total successful client reconnects (recoveries from injected
+    /// channel faults).
+    pub client_reconnects: u64,
+}
+
+const SEGMENT: &str = "chaos/slots";
+const BLOCK_MIP: &str = "chaos/slots#slots";
+
+fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut s = base ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut s)
+}
+
+/// A connector producing loopback links to `primary`, each wearing a
+/// fresh injector whose seed is derived from the connection ordinal —
+/// a single-threaded session's fault stream is a pure function of the
+/// base seed, across however many reconnects it burns through.
+fn faulty_connector(
+    primary: &Arc<Primary>,
+    base_seed: u64,
+    plan: &FaultPlan,
+    log: &FaultLog,
+    conn_counter: &Arc<AtomicU64>,
+) -> Connector {
+    let primary = primary.clone();
+    let plan = plan.clone();
+    let log = log.clone();
+    let conn_counter = conn_counter.clone();
+    Box::new(move || {
+        let n = conn_counter.fetch_add(1, Ordering::SeqCst);
+        let mut t = Loopback::new(primary.clone());
+        t.set_fault_layer(Box::new(FaultInjector::new(
+            derive_seed(base_seed, n),
+            plan.clone(),
+            log.clone(),
+        )));
+        Ok(Box::new(t) as Box<dyn Transport>)
+    })
+}
+
+fn soak_options() -> SessionOptions {
+    SessionOptions {
+        // Short, bounded backoffs: chaos rounds retry at the harness
+        // level, so per-call patience just slows the soak down.
+        lock_retries: 2_000,
+        lock_backoff_us: 10,
+        lock_backoff_cap_us: 200,
+        failover_rounds: 3,
+        failover_backoff_ms: 1,
+        ..SessionOptions::default()
+    }
+}
+
+/// Creates the shared segment with one i64 slot per client, through a
+/// clean (fault-free) link — setup is scaffolding, not the code under
+/// test.
+fn setup_segment(primary: &Arc<Primary>, clients: usize) -> Result<(), CoreError> {
+    let mut s = Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(primary.clone())),
+        soak_options(),
+    )?;
+    let h = s.open_segment(SEGMENT)?;
+    s.wl_acquire(&h)?;
+    let slots = s.malloc(&h, &TypeDesc::int64(), clients.max(1) as u32, Some("slots"))?;
+    for c in 0..clients {
+        let slot = s.index(&slots, c as u32)?;
+        s.write_i64(&slot, -1)?;
+    }
+    s.wl_release(&h)?;
+    Ok(())
+}
+
+struct ClientOutcome {
+    failures: Vec<String>,
+    reconnects: u64,
+}
+
+/// One chaos client: `ops` rounds of acquire → write own slot →
+/// release, retrying each round until it commits (or `max_attempts` is
+/// spent), asserting version monotonicity along the way.
+fn run_client(primary: &Arc<Primary>, cfg: &SoakConfig, c: usize, log: &FaultLog) -> ClientOutcome {
+    let mut failures = Vec::new();
+    let conn_counter = Arc::new(AtomicU64::new(0));
+    let base_seed = derive_seed(cfg.seed, 1_000 + c as u64);
+    let connectors: Vec<Connector> = (0..2)
+        .map(|_| faulty_connector(primary, base_seed, &cfg.client_plan, log, &conn_counter))
+        .collect();
+
+    let mut session = match Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(primary.clone())),
+        soak_options(),
+    )
+    .and_then(|mut s| {
+        s.add_server_group("chaos", connectors)?;
+        Ok(s)
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("client {c}: session setup failed: {e}"));
+            return ClientOutcome {
+                failures,
+                reconnects: 0,
+            };
+        }
+    };
+    let h = match session.open_segment(SEGMENT) {
+        Ok(h) => h,
+        Err(e) => {
+            failures.push(format!("client {c}: open failed: {e}"));
+            return ClientOutcome {
+                failures,
+                reconnects: 0,
+            };
+        }
+    };
+
+    let mut last_version = 0u64;
+    // `locked` survives failed attempts: when a release fails because a
+    // failover itself failed (every replica momentarily unreachable),
+    // the session — and the server — still hold the write lock, and the
+    // retry must resume at the release, not re-acquire.
+    let mut locked = false;
+    'rounds: for r in 0..cfg.ops {
+        for _attempt in 0..cfg.max_attempts {
+            if !locked {
+                match session.wl_acquire(&h) {
+                    Ok(()) => locked = true,
+                    // Recoverable outcomes: the lock died in a failover
+                    // (local writes already rolled back), the retry
+                    // budget ran out, or the round trip failed — redo.
+                    Err(CoreError::LockLost { .. } | CoreError::LockTimeout(_)) => continue,
+                    Err(CoreError::Proto(_) | CoreError::Server(_)) => continue,
+                    Err(e) => {
+                        failures.push(format!("client {c} round {r}: acquire: {e}"));
+                        continue;
+                    }
+                }
+                // Invariant: the version observed under the lock never
+                // regresses, reconnects and rollbacks included.
+                match session.segment_version(&h) {
+                    Ok(v) if v < last_version => {
+                        failures.push(format!(
+                            "client {c} round {r}: version regressed {last_version} -> {v}"
+                        ));
+                    }
+                    Ok(v) => last_version = v,
+                    Err(_) => {}
+                }
+            }
+            let wrote = session
+                .mip_to_ptr(BLOCK_MIP)
+                .and_then(|base| session.index(&base, c as u32))
+                .and_then(|slot| session.write_i64(&slot, (r as i64) * 1000 + c as i64));
+            if let Err(e) = &wrote {
+                failures.push(format!("client {c} round {r}: write: {e}"));
+            }
+            match session.wl_release(&h) {
+                // Committed (an empty failed-write round commits
+                // nothing, and the retry below re-runs it).
+                Ok(()) if wrote.is_ok() => {
+                    locked = false;
+                    continue 'rounds;
+                }
+                Ok(()) => locked = false,
+                // Rolled back in a failover: this round never landed.
+                Err(CoreError::LockLost { .. }) => locked = false,
+                // The failover behind this release failed outright: the
+                // lock (local and server-side) is still ours; retry the
+                // release once a replica answers again.
+                Err(CoreError::Proto(_) | CoreError::Server(_)) => {}
+                Err(e) => {
+                    failures.push(format!("client {c} round {r}: release: {e}"));
+                    locked = false;
+                }
+            }
+        }
+        failures.push(format!(
+            "client {c} round {r}: gave up after {} attempts",
+            cfg.max_attempts
+        ));
+        break;
+    }
+    let reconnects = session
+        .metrics_snapshot()
+        .counter("client.reconnects_total")
+        .unwrap_or(0);
+    ClientOutcome {
+        failures,
+        reconnects,
+    }
+}
+
+/// Runs one soak: build the degraded cluster, run the workload, stop
+/// the faults, verify convergence and backup identity.
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    let client_log = FaultLog::new();
+    let ship_log = FaultLog::new();
+    let mut failures = Vec::new();
+
+    let backup = Arc::new(Server::new());
+    let primary = Arc::new(Primary::new(Server::new()));
+    let mut ship_t = Loopback::new(backup.clone());
+    ship_t.set_fault_layer(Box::new(FaultInjector::new(
+        derive_seed(cfg.seed, 2),
+        cfg.ship_plan.clone(),
+        ship_log.clone(),
+    )));
+    // Ship-link injections land in the primary's registry: one iwstat
+    // scrape shows faults next to the recovery counters they cause.
+    ship_t.bind_registry(primary.server().registry());
+    primary.add_backup(Box::new(ship_t));
+    primary.drain();
+
+    if let Err(e) = setup_segment(&primary, cfg.clients) {
+        failures.push(format!("setup failed: {e}"));
+    }
+
+    let mut reconnects = 0u64;
+    if failures.is_empty() {
+        let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.clients)
+                .map(|c| {
+                    let primary = &primary;
+                    let cfg = &*cfg;
+                    let log = &client_log;
+                    scope.spawn(move || run_client(primary, cfg, c, log))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| ClientOutcome {
+                        failures: vec!["client thread panicked".into()],
+                        reconnects: 0,
+                    })
+                })
+                .collect()
+        });
+        for o in outcomes {
+            failures.extend(o.failures);
+            reconnects += o.reconnects;
+        }
+    }
+
+    // Fault phase over: freeze both links and let replication settle.
+    client_log.set_enabled(false);
+    ship_log.set_enabled(false);
+    primary.drain();
+    // A ship link killed mid-run leaves the backup behind with no one
+    // streaming to it; re-attach a clean link (the attach-time full
+    // sync is the recovery path a rejoining backup uses in production).
+    let snap = primary.server().metrics_snapshot();
+    if snap.gauge("cluster.backups") != Some(1) {
+        primary.add_backup(Box::new(Loopback::new(backup.clone())));
+        primary.drain();
+    }
+
+    let backup_identical = match (
+        primary
+            .server()
+            .with_segment_mut(SEGMENT, checkpoint::encode_segment),
+        backup.with_segment_mut(SEGMENT, checkpoint::encode_segment),
+    ) {
+        (Some(Ok(p)), Some(Ok(b))) => p[..] == b[..],
+        _ => false,
+    };
+    if !backup_identical {
+        failures.push("backup checkpoint differs from primary after faults stopped".into());
+    }
+
+    // Read the end state through a clean session and compare with the
+    // fault-free oracle: slot c == (ops-1)*1000 + c.
+    let mut final_slots = Vec::new();
+    let read = (|| -> Result<(), CoreError> {
+        let mut s = Session::with_options(
+            MachineArch::x86(),
+            Box::new(Loopback::new(primary.clone())),
+            soak_options(),
+        )?;
+        let h = s.open_segment(SEGMENT)?;
+        s.rl_acquire(&h)?;
+        let base = s.mip_to_ptr(BLOCK_MIP)?;
+        for c in 0..cfg.clients {
+            let slot = s.index(&base, c as u32)?;
+            final_slots.push(s.read_i64(&slot)?);
+        }
+        s.rl_release(&h)?;
+        Ok(())
+    })();
+    if let Err(e) = read {
+        failures.push(format!("end-state read failed: {e}"));
+    }
+    if cfg.ops > 0 {
+        for (c, &got) in final_slots.iter().enumerate() {
+            let expected = (cfg.ops as i64 - 1) * 1000 + c as i64;
+            if got != expected {
+                failures.push(format!(
+                    "slot {c}: expected {expected} (fault-free oracle), got {got}"
+                ));
+            }
+        }
+    }
+
+    SoakReport {
+        converged: failures.is_empty(),
+        backup_identical,
+        failures,
+        client_injections: client_log.len(),
+        ship_injections: ship_log.len(),
+        client_trace: client_log.trace(),
+        ship_trace: ship_log.trace(),
+        final_version: primary.server().segment_version(SEGMENT).unwrap_or(0),
+        final_slots,
+        client_reconnects: reconnects,
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests over randomized fault schedules: any recoverable
+//! plan, at any rate, under any seed, must leave the soak converged —
+//! the oracle slots correct, versions monotonic, and the backup
+//! byte-identical once faults stop.
+//!
+//! Case counts are deliberately low (each case is a full soak run);
+//! a failing case prints its seed, which `iwchaos --seed` replays.
+
+use iw_faults::chaos::{run_soak, SoakConfig};
+use iw_faults::FaultPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn random_recoverable_schedules_converge(
+        seed in any::<u64>(),
+        client_rate in 0u32..600,
+        ship_rate in 0u32..600,
+    ) {
+        let cfg = SoakConfig {
+            seed,
+            clients: 2,
+            ops: 6,
+            client_plan: FaultPlan::recoverable(client_rate),
+            ship_plan: FaultPlan::recoverable(ship_rate),
+            max_attempts: 60,
+        };
+        let report = run_soak(&cfg);
+        prop_assert!(
+            report.converged,
+            "seed {seed} rates {client_rate}/{ship_rate}: {:?}",
+            report.failures
+        );
+        prop_assert!(
+            report.backup_identical,
+            "seed {seed}: backup diverged after faults stopped"
+        );
+    }
+
+    /// The degenerate corner stays exact: a zero-rate plan must inject
+    /// nothing and land precisely `clients × ops` commits.
+    #[test]
+    fn zero_rate_plans_inject_nothing(seed in any::<u64>()) {
+        let cfg = SoakConfig {
+            seed,
+            clients: 2,
+            ops: 4,
+            client_plan: FaultPlan::none(),
+            ship_plan: FaultPlan::none(),
+            max_attempts: 5,
+        };
+        let report = run_soak(&cfg);
+        prop_assert!(report.converged, "{:?}", report.failures);
+        prop_assert_eq!(report.client_injections, 0);
+        prop_assert_eq!(report.ship_injections, 0);
+        prop_assert_eq!(report.final_version, 2 * 4 + 1);
+    }
+}

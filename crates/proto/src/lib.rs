@@ -19,4 +19,6 @@ pub mod transport;
 pub use coherence::Coherence;
 pub use msg::{LockMode, Reply, Request};
 pub use tcp::{TcpServer, TcpTransport};
-pub use transport::{Handler, Loopback, ProtoError, Transport, TransportStats};
+pub use transport::{
+    FaultAction, FaultLayer, Handler, Loopback, ProtoError, Transport, TransportStats,
+};

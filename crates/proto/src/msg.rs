@@ -123,12 +123,22 @@ pub enum Request {
         /// Address the primary should connect back to.
         addr: String,
     },
+    /// Retires a client id: releases every lock it holds and drops its
+    /// per-client coherence state. A client that failed over sends this
+    /// best-effort with its *old* id — when the "dead" replica was in
+    /// fact alive (a transient transport fault), the locks orphaned
+    /// under the old id must not outlive the reconnect. A server that
+    /// never saw the id treats this as a no-op.
+    Goodbye {
+        /// The client id to retire.
+        client: u64,
+    },
 }
 
 impl Request {
     /// Short lowercase names of every request kind, indexed by
     /// [`Request::kind_index`] (used for per-kind transport counters).
-    pub const KINDS: [&'static str; 10] = [
+    pub const KINDS: [&'static str; 11] = [
         "hello",
         "open",
         "acquire",
@@ -139,6 +149,7 @@ impl Request {
         "replicate",
         "syncfull",
         "attach",
+        "goodbye",
     ];
 
     /// Index of this request's kind in [`Request::KINDS`].
@@ -154,6 +165,7 @@ impl Request {
             Request::Replicate { .. } => 7,
             Request::SyncFull { .. } => 8,
             Request::AttachBackup { .. } => 9,
+            Request::Goodbye { .. } => 10,
         }
     }
 
@@ -324,6 +336,10 @@ impl Request {
                 w.put_u8(9);
                 w.put_str(addr);
             }
+            Request::Goodbye { client } => {
+                w.put_u8(10);
+                w.put_u64(*client);
+            }
         }
         w.finish()
     }
@@ -445,6 +461,9 @@ impl Request {
                 image: r.get_len_bytes()?,
             },
             9 => Request::AttachBackup { addr: r.get_str()? },
+            10 => Request::Goodbye {
+                client: r.get_u64()?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "request",
@@ -737,6 +756,7 @@ mod tests {
             Request::AttachBackup {
                 addr: "127.0.0.1:7475".into(),
             },
+            Request::Goodbye { client: 7 },
         ];
         for req in reqs {
             assert_eq!(Request::decode(req.encode()).unwrap(), req);
@@ -873,6 +893,7 @@ mod tests {
                 image: Bytes::new(),
             },
             Request::AttachBackup { addr: "a".into() },
+            Request::Goodbye { client: 0 },
         ];
         let mut seen = std::collections::HashSet::new();
         for req in reqs {

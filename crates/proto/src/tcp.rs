@@ -5,7 +5,7 @@
 //! entry; here a [`TcpTransport`] is one such cached connection.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,7 +16,9 @@ use bytes::Bytes;
 use iw_telemetry::{Counter, Registry};
 
 use crate::msg::{Reply, Request};
-use crate::transport::{Handler, ProtoError, Transport, TransportMetrics, TransportStats};
+use crate::transport::{
+    FaultAction, FaultLayer, Handler, ProtoError, Transport, TransportMetrics, TransportStats,
+};
 
 /// Writes one length-prefixed frame.
 ///
@@ -62,10 +64,20 @@ pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A client connection to an InterWeave server over TCP.
-#[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
     metrics: TransportMetrics,
+    /// Optional per-message fault layer (see `iw-faults`).
+    faults: Option<Box<dyn FaultLayer>>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("stream", &self.stream)
+            .field("faulty", &self.faults.is_some())
+            .finish()
+    }
 }
 
 impl TcpTransport {
@@ -96,6 +108,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             stream,
             metrics: TransportMetrics::default(),
+            faults: None,
         })
     }
 
@@ -108,18 +121,80 @@ impl TcpTransport {
         self.stream.set_read_timeout(timeout)?;
         self.stream.set_write_timeout(timeout)
     }
+
+    /// Installs a per-message [`FaultLayer`] consulted on every round
+    /// trip. Connection-breaking faults (`Drop`, `DropReply`,
+    /// `Truncate`) shut the real socket down, so later requests on this
+    /// transport fail exactly like they would after a genuine reset.
+    pub fn set_fault_layer(&mut self, layer: Box<dyn FaultLayer>) {
+        self.faults = Some(layer);
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ProtoError> {
+        let reply = read_frame(&mut self.stream)
+            .map_err(|e| ProtoError::Channel(e.to_string()))?
+            .ok_or_else(|| ProtoError::Channel("server closed connection".into()))?;
+        self.metrics.received(reply.len() as u64);
+        Ok(Reply::decode(Bytes::from(reply))?)
+    }
 }
 
 impl Transport for TcpTransport {
     fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
         let body = req.encode();
         self.metrics.sent(req, body.len() as u64);
-        write_frame(&mut self.stream, &body).map_err(|e| ProtoError::Channel(e.to_string()))?;
-        let reply = read_frame(&mut self.stream)
-            .map_err(|e| ProtoError::Channel(e.to_string()))?
-            .ok_or_else(|| ProtoError::Channel("server closed connection".into()))?;
-        self.metrics.received(reply.len() as u64);
-        Ok(Reply::decode(Bytes::from(reply))?)
+        let action = match &mut self.faults {
+            Some(layer) => layer.plan(req, &body),
+            None => FaultAction::Deliver,
+        };
+        let sent: Bytes = match action {
+            FaultAction::Deliver => body,
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                body
+            }
+            FaultAction::Drop => {
+                let _ = self.stream.shutdown(Shutdown::Both);
+                return Err(ProtoError::Channel(
+                    "injected: connection reset before delivery".into(),
+                ));
+            }
+            FaultAction::DropReply => {
+                write_frame(&mut self.stream, &body)
+                    .map_err(|e| ProtoError::Channel(e.to_string()))?;
+                let _ = self.stream.shutdown(Shutdown::Both);
+                return Err(ProtoError::Channel(
+                    "injected: connection lost awaiting reply".into(),
+                ));
+            }
+            FaultAction::Corrupt(bytes) => bytes,
+            FaultAction::Truncate(n) => {
+                // Announce the full frame but deliver only a prefix,
+                // then die: the peer observes a torn frame mid-stream.
+                let keep = n.min(body.len());
+                let announce = (body.len() as u32).to_be_bytes();
+                let _ = self
+                    .stream
+                    .write_all(&announce)
+                    .and_then(|()| self.stream.write_all(&body[..keep]))
+                    .and_then(|()| self.stream.flush());
+                let _ = self.stream.shutdown(Shutdown::Both);
+                return Err(ProtoError::Channel("injected: truncated write".into()));
+            }
+            FaultAction::Duplicate => {
+                write_frame(&mut self.stream, &body)
+                    .map_err(|e| ProtoError::Channel(e.to_string()))?;
+                write_frame(&mut self.stream, &body)
+                    .map_err(|e| ProtoError::Channel(e.to_string()))?;
+                let first = self.read_reply()?;
+                // Drain the duplicate's reply so the stream stays in
+                // request/reply sync for the next round trip.
+                let _ = read_frame(&mut self.stream);
+                return Ok(first);
+            }
+        };
+        write_frame(&mut self.stream, &sent).map_err(|e| ProtoError::Channel(e.to_string()))?;
+        self.read_reply()
     }
 
     fn stats(&self) -> TransportStats {
@@ -132,6 +207,9 @@ impl Transport for TcpTransport {
 
     fn bind_registry(&mut self, registry: &Arc<Registry>) {
         self.metrics = TransportMetrics::new(registry);
+        if let Some(layer) = &mut self.faults {
+            layer.bind_registry(registry);
+        }
     }
 }
 

@@ -193,6 +193,51 @@ impl<F: Fn(Bytes) -> Bytes + Send + Sync> Handler for F {
     }
 }
 
+/// The fate a [`FaultLayer`] chose for one request leg.
+///
+/// Every variant corresponds to a failure a real network can produce;
+/// the transport wearing the layer acts the decision out so the rest of
+/// the system sees exactly what it would see in production.
+#[derive(Debug)]
+pub enum FaultAction {
+    /// Pass the message through untouched.
+    Deliver,
+    /// Sleep, then deliver normally (latency, head-of-line blocking).
+    Delay(std::time::Duration),
+    /// Never deliver; fail the round trip like a reset connection.
+    Drop,
+    /// Deliver the request but lose the reply — the connection died
+    /// after the server acted, the hardest case for exactly-once
+    /// assumptions.
+    DropReply,
+    /// Deliver these bytes instead of the encoded request (corruption
+    /// in flight; the reply path is left intact).
+    Corrupt(Bytes),
+    /// Partial write: the peer observes only the first `n` encoded
+    /// bytes of a frame that announced more, and the caller sees a
+    /// channel error (a torn frame from a mid-stream death).
+    Truncate(usize),
+    /// Deliver the request twice; the first reply wins (retry storms,
+    /// at-least-once delivery layers).
+    Duplicate,
+}
+
+/// A per-message fault-injection layer any [`Transport`] can wear.
+///
+/// The layer is consulted once per round trip with the decoded request
+/// and its encoded bytes, and returns the [`FaultAction`] the transport
+/// must act out. Implementations live in `iw-faults` (seeded PRNG plus
+/// scripted schedules); transports carry `Option<Box<dyn FaultLayer>>`
+/// so the default configuration pays nothing.
+pub trait FaultLayer: Send {
+    /// Decides the fate of one request leg.
+    fn plan(&mut self, req: &Request, encoded: &Bytes) -> FaultAction;
+
+    /// Re-homes any telemetry counters the layer keeps (same contract
+    /// as [`Transport::bind_registry`]). Default: no-op.
+    fn bind_registry(&mut self, _registry: &Arc<Registry>) {}
+}
+
 /// An in-process loopback transport: requests are encoded, handed to a
 /// shared [`Handler`], and the encoded reply is decoded — byte-for-byte
 /// what a socket would carry, without the socket.
@@ -209,6 +254,8 @@ pub struct Loopback {
     /// Optional fault injection: drop every Nth request (for failure
     /// tests). 0 = disabled.
     drop_every: u64,
+    /// Optional per-message fault layer (see `iw-faults`).
+    faults: Option<Box<dyn FaultLayer>>,
 }
 
 impl fmt::Debug for Loopback {
@@ -227,6 +274,7 @@ impl Loopback {
             metrics: TransportMetrics::default(),
             attempts: 0,
             drop_every: 0,
+            faults: None,
         }
     }
 
@@ -237,8 +285,16 @@ impl Loopback {
 
     /// Enables fault injection: every `n`-th request is dropped and
     /// surfaces as a channel error, as a lost TCP connection would.
+    /// (The crude predecessor of [`Loopback::set_fault_layer`]; kept for
+    /// tests that only need an unconditional periodic drop.)
     pub fn drop_every(&mut self, n: u64) {
         self.drop_every = n;
+    }
+
+    /// Installs a per-message [`FaultLayer`] consulted on every round
+    /// trip (see `iw-faults` for the seeded implementation).
+    pub fn set_fault_layer(&mut self, layer: Box<dyn FaultLayer>) {
+        self.faults = Some(layer);
     }
 }
 
@@ -250,7 +306,44 @@ impl Transport for Loopback {
         if self.drop_every != 0 && self.attempts.is_multiple_of(self.drop_every) {
             return Err(ProtoError::Channel("injected message drop".into()));
         }
-        let reply_bytes = self.handler.handle(encoded);
+        let action = match &mut self.faults {
+            Some(layer) => layer.plan(req, &encoded),
+            None => FaultAction::Deliver,
+        };
+        let delivered = match action {
+            FaultAction::Deliver => encoded,
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                encoded
+            }
+            FaultAction::Drop => {
+                return Err(ProtoError::Channel(
+                    "injected: connection reset before delivery".into(),
+                ));
+            }
+            FaultAction::DropReply => {
+                let _ = self.handler.handle(encoded);
+                return Err(ProtoError::Channel(
+                    "injected: connection lost awaiting reply".into(),
+                ));
+            }
+            FaultAction::Corrupt(bytes) => bytes,
+            FaultAction::Truncate(n) => {
+                // The handler observes the torn prefix (as a TCP peer
+                // would before the connection died); the caller only
+                // learns the write failed.
+                let keep = n.min(encoded.len());
+                let _ = self.handler.handle(encoded.slice(0..keep));
+                return Err(ProtoError::Channel("injected: truncated write".into()));
+            }
+            FaultAction::Duplicate => {
+                let first = self.handler.handle(encoded.clone());
+                let _ = self.handler.handle(encoded);
+                self.metrics.received(first.len() as u64);
+                return Ok(Reply::decode(first)?);
+            }
+        };
+        let reply_bytes = self.handler.handle(delivered);
         self.metrics.received(reply_bytes.len() as u64);
         let reply = Reply::decode(reply_bytes)?;
         Ok(reply)
@@ -266,6 +359,9 @@ impl Transport for Loopback {
 
     fn bind_registry(&mut self, registry: &Arc<Registry>) {
         self.metrics = TransportMetrics::new(registry);
+        if let Some(layer) = &mut self.faults {
+            layer.bind_registry(registry);
+        }
     }
 }
 
@@ -339,6 +435,36 @@ mod tests {
                 info: String::new()
             })
             .is_ok());
+    }
+
+    #[test]
+    fn fault_layer_scripts_per_message_actions() {
+        /// Deterministic script: drop the 2nd leg, duplicate the 4th,
+        /// deliver everything else.
+        struct Script {
+            n: u64,
+        }
+        impl FaultLayer for Script {
+            fn plan(&mut self, _req: &Request, _encoded: &Bytes) -> FaultAction {
+                self.n += 1;
+                match self.n {
+                    2 => FaultAction::Drop,
+                    4 => FaultAction::Duplicate,
+                    _ => FaultAction::Deliver,
+                }
+            }
+        }
+        let mut t = Loopback::new(echo_handler());
+        t.set_fault_layer(Box::new(Script { n: 0 }));
+        let hello = Request::Hello {
+            info: String::new(),
+        };
+        assert!(t.request(&hello).is_ok());
+        assert!(matches!(t.request(&hello), Err(ProtoError::Channel(_))));
+        assert!(t.request(&hello).is_ok());
+        // The duplicate leg still yields exactly one reply to the caller.
+        assert!(t.request(&hello).is_ok());
+        assert_eq!(t.stats().requests, 4);
     }
 
     #[test]

@@ -686,6 +686,13 @@ impl Server {
             Request::AttachBackup { .. } => Reply::Error {
                 message: "not a cluster primary".into(),
             },
+            // Retire a client id (failed-over clients send this against
+            // their old id, best-effort). Unknown ids are a no-op, so
+            // the reply carries no meaningful version.
+            Request::Goodbye { client } => {
+                self.disconnect(*client);
+                Reply::Released { version: 0 }
+            }
         };
         if matches!(reply, Reply::Error { .. }) {
             self.metrics.errors.inc();
@@ -928,6 +935,35 @@ mod tests {
             coherence: Coherence::Full,
         });
         assert!(matches!(r, Reply::Granted { .. }));
+    }
+
+    #[test]
+    fn goodbye_retires_client_and_frees_locks() {
+        let s = Server::new();
+        let a = s.hello("a");
+        let b = s.hello("b");
+        s.open("h/s");
+        s.handle_request(&Request::Acquire {
+            client: a,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        // Goodbye over the wire path retires `a`, releasing its lock.
+        let r = s.handle_request(&Request::Goodbye { client: a });
+        assert!(matches!(r, Reply::Released { .. }));
+        let r = s.handle_request(&Request::Acquire {
+            client: b,
+            segment: "h/s".into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        assert!(matches!(r, Reply::Granted { .. }));
+        // Goodbye for an id the server never saw is a harmless no-op.
+        let r = s.handle_request(&Request::Goodbye { client: 0xdead });
+        assert!(matches!(r, Reply::Released { .. }));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::thread;
 use std::time::Duration;
 
 use bytes::Bytes;
+use iw_faults::{FaultInjector, FaultLog, FaultPlan};
 use iw_proto::msg::{LockMode, Reply, Request};
 use iw_proto::{Coherence, Handler, Loopback, Transport};
 use iw_server::{checkpoint, Server};
@@ -483,5 +484,193 @@ fn mixed_readers_and_writers_stay_coherent() {
         assert_eq!(server.segment_version("c/mixed"), Some(31));
         let snap = server.metrics_snapshot();
         assert_eq!(snap.gauge("server.locks_held"), Some(0));
+    });
+}
+
+/// Faults a raw-protocol client can retry through without ambiguity:
+/// dropped requests (never delivered — the retry is exact), duplicated
+/// deliveries (the second Release hits an already-released lock and its
+/// error reply is discarded), and delays. DropReply and Truncate are
+/// excluded here: at the raw request/reply layer a lost *reply* to an
+/// applied Release can't be told apart from a lost request — that
+/// recovery contract belongs to the session layer and is exercised in
+/// `crates/faults/tests/chaos.rs`.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        drop_per_10k: 400,
+        duplicate_per_10k: 400,
+        delay_per_10k: 400,
+        max_delay_us: 200,
+        ..FaultPlan::none()
+    }
+}
+
+/// Sends `req` until the link delivers it, treating injected channel
+/// errors as retriable.
+fn insist(t: &mut Loopback, req: &Request) -> Reply {
+    loop {
+        match t.request(req) {
+            Ok(r) => break r,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// `write_cycle` hardened against injected channel faults: a dropped
+/// Acquire or Release never reached the server, so resending it is
+/// exact.
+fn chaos_write_cycle(t: &mut Loopback, client: u64, segment: &str, s: usize) -> u64 {
+    let granted = loop {
+        match insist(
+            t,
+            &Request::Acquire {
+                client,
+                segment: segment.into(),
+                mode: LockMode::Write,
+                have_version: 0,
+                coherence: Coherence::Full,
+            },
+        ) {
+            Reply::Granted { version, .. } => break version,
+            Reply::Busy => thread::yield_now(),
+            other => panic!("unexpected acquire reply: {other:?}"),
+        }
+    };
+    let diff = if granted == 0 {
+        seed_diff()
+    } else {
+        write_diff(granted, 0, &payload(s, granted + 1))
+    };
+    match insist(
+        t,
+        &Request::Release {
+            client,
+            segment: segment.into(),
+            diff: Some(diff),
+        },
+    ) {
+        Reply::Released { version } => version,
+        other => panic!("unexpected release reply: {other:?}"),
+    }
+}
+
+/// The disjoint-segment oracle test under a seeded faulty loopback:
+/// drops, duplicates and delays on every worker's link must not change
+/// the final bytes — each segment still ends byte-identical to the
+/// serial oracle, and each single-owner cycle still commits exactly one
+/// version.
+#[test]
+fn disjoint_segments_match_serial_oracle_under_chaos() {
+    with_watchdog(60, || {
+        const THREADS: usize = 4;
+        const SEGS_PER_THREAD: usize = 2;
+        const OPS: u64 = 25;
+        const SEED: u64 = 42;
+
+        let server = Arc::new(Server::new());
+        let handler: Arc<dyn Handler> = server.clone();
+        let log = FaultLog::new();
+        let mut workers = Vec::new();
+        for t_idx in 0..THREADS {
+            let handler = handler.clone();
+            let log = log.clone();
+            workers.push(thread::spawn(move || {
+                let mut t = Loopback::new(handler);
+                t.set_fault_layer(Box::new(FaultInjector::new(
+                    SEED ^ (t_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    chaos_plan(),
+                    log,
+                )));
+                let Reply::Welcome { client } = insist(
+                    &mut t,
+                    &Request::Hello {
+                        info: format!("chaos-{t_idx}"),
+                    },
+                ) else {
+                    panic!("no welcome")
+                };
+                for j in 0..SEGS_PER_THREAD {
+                    let r = insist(
+                        &mut t,
+                        &Request::Open {
+                            client,
+                            segment: format!("x/t{t_idx}s{j}"),
+                        },
+                    );
+                    assert!(matches!(r, Reply::Opened { .. }), "{r:?}");
+                }
+                for op in 0..OPS {
+                    for j in 0..SEGS_PER_THREAD {
+                        let s = t_idx * SEGS_PER_THREAD + j;
+                        let seg = format!("x/t{t_idx}s{j}");
+                        let v = chaos_write_cycle(&mut t, client, &seg, s);
+                        assert_eq!(v, op + 1, "one commit per cycle, faults or not");
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("worker");
+        }
+        assert!(
+            !log.is_empty(),
+            "the chaos run injected nothing — the oracle check is vacuous"
+        );
+
+        // Serial oracle, fault-free by construction.
+        let oracle = Server::new();
+        let client = oracle.hello("oracle");
+        for t_idx in 0..THREADS {
+            for j in 0..SEGS_PER_THREAD {
+                let s = t_idx * SEGS_PER_THREAD + j;
+                let seg = format!("x/t{t_idx}s{j}");
+                oracle.handle_request(&Request::Open {
+                    client,
+                    segment: seg.clone(),
+                });
+                for op in 0..OPS {
+                    let diff = if op == 0 {
+                        seed_diff()
+                    } else {
+                        write_diff(op, 0, &payload(s, op + 1))
+                    };
+                    let r = oracle.handle_request(&Request::Acquire {
+                        client,
+                        segment: seg.clone(),
+                        mode: LockMode::Write,
+                        have_version: 0,
+                        coherence: Coherence::Full,
+                    });
+                    assert!(matches!(r, Reply::Granted { .. }), "{r:?}");
+                    let r = oracle.handle_request(&Request::Release {
+                        client,
+                        segment: seg.clone(),
+                        diff: Some(diff),
+                    });
+                    assert_eq!(r, Reply::Released { version: op + 1 });
+                }
+            }
+        }
+
+        for t_idx in 0..THREADS {
+            for j in 0..SEGS_PER_THREAD {
+                let seg = format!("x/t{t_idx}s{j}");
+                assert_eq!(server.segment_version(&seg), Some(OPS));
+                let concurrent = server
+                    .with_segment_mut(&seg, |s| checkpoint::encode_segment(s).expect("encode"))
+                    .expect("segment");
+                let serial = oracle
+                    .with_segment_mut(&seg, |s| checkpoint::encode_segment(s).expect("encode"))
+                    .expect("segment");
+                assert_eq!(
+                    concurrent, serial,
+                    "{seg}: chaos-degraded run must end byte-identical to the serial oracle"
+                );
+            }
+        }
+        assert_eq!(
+            server.metrics_snapshot().gauge("server.locks_held"),
+            Some(0)
+        );
     });
 }
