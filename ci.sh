@@ -43,4 +43,12 @@ for seed in 1 7 42; do
 done
 env -u RUST_TEST_THREADS timeout 300 cargo test -q --release -p iw-faults
 
+echo "== bench smoke (translation hot path vs committed baseline)"
+# Fails when the auto-thread collect+apply total regresses more than 25%
+# against crates/bench/baselines/BENCH_5.json. Regenerate the baseline
+# with: target/release/bench_trajectory 1.0 --out crates/bench/baselines/BENCH_5.json
+cargo build --release -q -p iw-bench --bin bench_trajectory
+target/release/bench_trajectory 1.0 --out /tmp/BENCH_5.current.json \
+  --baseline crates/bench/baselines/BENCH_5.json --tolerance 25
+
 echo "CI OK"

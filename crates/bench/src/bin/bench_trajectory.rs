@@ -1,0 +1,222 @@
+//! Trajectory benchmark for the parallel hot path: measures Figure 4
+//! collect/apply across thread counts and emits `BENCH_5.json`.
+//!
+//! For each of the nine Figure 4 mixes, times `collect_segment_diff` and
+//! `apply_segment_diff` with translation pinned to 1 thread, 2 threads,
+//! and the auto thread count, then reports per-workload seconds and
+//! speedups. The JSON doubles as a CI regression gate: pass `--baseline
+//! <path>` to compare the auto-thread totals against a committed run and
+//! exit non-zero on a regression beyond `--tolerance` percent.
+//!
+//! Usage:
+//! ```console
+//! cargo run --release -p iw-bench --bin bench_trajectory -- \
+//!   [scale] [--out BENCH_5.json] [--baseline path] [--tolerance 25]
+//! ```
+
+use std::io::Write as _;
+
+use iw_bench::{dirty_all, figure4_workloads, setup_with_options, time, Workload};
+use iw_core::{Session, SessionOptions, TrackMode};
+use iw_proto::Loopback;
+use iw_types::MachineArch;
+
+const ITERS: u32 = 3;
+
+/// Ignore regressions when the baseline total is below this many seconds:
+/// sub-50 ms totals are dominated by scheduler noise, not translation.
+const ABS_FLOOR_SECS: f64 = 0.05;
+
+struct Row {
+    name: &'static str,
+    /// Best-of collect/apply seconds at 1, 2, and auto threads.
+    collect: [f64; 3],
+    apply: [f64; 3],
+}
+
+fn opts(threads: Option<usize>) -> SessionOptions {
+    SessionOptions {
+        translate_threads: threads,
+        ..SessionOptions::default()
+    }
+}
+
+/// Best-of-`ITERS` collect and apply seconds for one workload at one
+/// thread setting.
+fn measure(w: &Workload, threads: Option<usize>) -> (f64, f64) {
+    let mut bed = setup_with_options(w, MachineArch::x86(), opts(threads));
+    let mut reader = Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(bed.server.clone())),
+        opts(threads),
+    )
+    .expect("reader");
+    reader.fetch_segment("bench/data").expect("sync");
+    let rh = reader.open_segment("bench/data").expect("open");
+
+    bed.session.wl_acquire(&bed.handle).expect("wl");
+    bed.session
+        .set_tracking_mode(&bed.handle, TrackMode::Diff)
+        .expect("mode");
+    let block = bed.block.clone();
+    let (mut best_collect, mut best_apply) = (f64::MAX, f64::MAX);
+    for round in 1..=ITERS {
+        dirty_all(&mut bed.session, &block, w, round);
+        let ((diff, _, _), d_collect) = time(|| {
+            bed.session
+                .collect_segment_diff(&bed.handle)
+                .expect("collect")
+        });
+        let (_, d_apply) = time(|| reader.apply_segment_diff(&rh, &diff).expect("apply"));
+        best_collect = best_collect.min(d_collect.as_secs_f64());
+        best_apply = best_apply.min(d_apply.as_secs_f64());
+    }
+    bed.session.wl_release(&bed.handle).expect("release");
+    (best_collect, best_apply)
+}
+
+/// Extracts the number following `"key":` in a hand-rolled JSON document.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let tail = doc[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut out_path = String::from("BENCH_5.json");
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = args[i + 1].parse().expect("tolerance percent");
+                i += 2;
+            }
+            s => {
+                scale = s.parse().expect("scale");
+                i += 1;
+            }
+        }
+    }
+
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("# BENCH_5 — parallel translation trajectory (scale {scale}, auto = {auto} threads)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "workload",
+        "collect_1t",
+        "collect_2t",
+        "collect_at",
+        "apply_1t",
+        "apply_2t",
+        "apply_at",
+        "c_spdup",
+        "a_spdup"
+    );
+
+    let settings = [Some(1), Some(2), None];
+    let mut rows: Vec<Row> = Vec::new();
+    for w in figure4_workloads(scale) {
+        let mut collect = [0.0; 3];
+        let mut apply = [0.0; 3];
+        for (slot, threads) in settings.iter().enumerate() {
+            let (c, a) = measure(&w, *threads);
+            collect[slot] = c;
+            apply[slot] = a;
+        }
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>7.2}x {:>7.2}x",
+            w.name,
+            collect[0],
+            collect[1],
+            collect[2],
+            apply[0],
+            apply[1],
+            apply[2],
+            collect[0] / collect[2].max(1e-9),
+            apply[0] / apply[2].max(1e-9),
+        );
+        rows.push(Row {
+            name: w.name,
+            collect,
+            apply,
+        });
+    }
+
+    let total = |f: fn(&Row) -> f64| rows.iter().map(f).sum::<f64>();
+    let total_1 = total(|r| r.collect[0] + r.apply[0]);
+    let total_2 = total(|r| r.collect[1] + r.apply[1]);
+    let total_auto = total(|r| r.collect[2] + r.apply[2]);
+    println!("\n# totals (collect+apply, nine mixes): 1t {total_1:.4}s  2t {total_2:.4}s  auto {total_auto:.4}s");
+    println!(
+        "# combined speedup vs serial: 2t {:.2}x, auto {:.2}x",
+        total_1 / total_2.max(1e-9),
+        total_1 / total_auto.max(1e-9)
+    );
+
+    // Hand-rolled JSON (no serde in the tree).
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"bench\": \"BENCH_5\",\n  \"scale\": {scale},\n  \"auto_threads\": {auto},\n"
+    ));
+    j.push_str(&format!(
+        "  \"total_serial_secs\": {total_1:.6},\n  \"total_two_secs\": {total_2:.6},\n  \"total_auto_secs\": {total_auto:.6},\n"
+    ));
+    j.push_str(&format!(
+        "  \"combined_speedup_auto\": {:.4},\n  \"workloads\": [\n",
+        total_1 / total_auto.max(1e-9)
+    ));
+    for (k, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"collect_1t\": {:.6}, \"collect_2t\": {:.6}, \"collect_auto\": {:.6}, \"apply_1t\": {:.6}, \"apply_2t\": {:.6}, \"apply_auto\": {:.6}, \"collect_speedup\": {:.4}, \"apply_speedup\": {:.4}}}{}\n",
+            r.name,
+            r.collect[0],
+            r.collect[1],
+            r.collect[2],
+            r.apply[0],
+            r.apply[1],
+            r.apply[2],
+            r.collect[0] / r.collect[2].max(1e-9),
+            r.apply[0] / r.apply[2].max(1e-9),
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&out_path).expect("create output");
+    f.write_all(j.as_bytes()).expect("write output");
+    println!("# wrote {out_path}");
+
+    // Regression gate against a committed baseline.
+    if let Some(path) = baseline {
+        let doc = std::fs::read_to_string(&path).expect("read baseline");
+        let base = json_number(&doc, "total_auto_secs").expect("baseline total_auto_secs");
+        let limit = base * (1.0 + tolerance / 100.0);
+        println!(
+            "# baseline auto total {base:.4}s, current {total_auto:.4}s, limit {limit:.4}s (+{tolerance}%)"
+        );
+        if base >= ABS_FLOOR_SECS && total_auto > limit {
+            eprintln!(
+                "BENCH REGRESSION: auto-thread total {total_auto:.4}s exceeds {limit:.4}s \
+                 ({tolerance}% over the committed baseline {base:.4}s)"
+            );
+            std::process::exit(1);
+        }
+        println!("# bench-smoke: within tolerance");
+    }
+}

@@ -56,7 +56,10 @@ fn main() {
     let mut sum_rmi = 0.0f64;
     let mut sums_no_ptr_small = [0.0f64; 5];
     let mut metric_dumps: Vec<(&'static str, String)> = Vec::new();
-    for w in figure4_workloads(scale) {
+    for w in figure4_workloads(scale)
+        .into_iter()
+        .filter(|w| std::env::var("IW_FIG4_ONLY").map_or(true, |o| o == w.name))
+    {
         let mut bed = setup(&w, MachineArch::x86());
         let block_xdr = XdrType::array(w.xdr.clone(), w.count);
 

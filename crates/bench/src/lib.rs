@@ -182,11 +182,18 @@ pub struct Bed {
 /// Creates a fresh server + session and allocates the workload block,
 /// with pointer fields (if any) aimed at an int-array target block.
 pub fn setup(workload: &Workload, arch: MachineArch) -> Bed {
+    setup_with_options(workload, arch, SessionOptions::default())
+}
+
+/// As [`setup`], with explicit [`SessionOptions`] — used by the parallel
+/// translation benchmarks and determinism tests to pin
+/// `translate_threads`.
+pub fn setup_with_options(workload: &Workload, arch: MachineArch, opts: SessionOptions) -> Bed {
     let server = Arc::new(Server::new());
     let mut session = Session::with_options(
         arch,
         Box::new(Loopback::new(server.clone() as Arc<dyn Handler>)),
-        SessionOptions::default(),
+        opts,
     )
     .expect("hello");
     let handle = session.open_segment("bench/data").expect("open");

@@ -17,6 +17,11 @@
 /// Maximum number of unchanged words spliced into a surrounding run.
 pub const SPLICE_GAP_WORDS: usize = 2;
 
+/// Bytes compared at a time by the coarse scan: a multiple of both
+/// supported word sizes (4 and 8), so skipping an equal chunk skips only
+/// whole, unchanged words and word alignment is preserved.
+const CHUNK_BYTES: usize = 128;
+
 /// Compares `twin` and `current` (same length) word by word and returns
 /// the modified byte runs `[(begin, end)]`, with run splicing applied when
 /// `splice` is set.
@@ -24,10 +29,124 @@ pub const SPLICE_GAP_WORDS: usize = 2;
 /// `word` is the machine word size in bytes. A trailing partial word is
 /// compared as a unit.
 ///
+/// For the common word sizes (4 and 8 bytes) the scan is chunked: equal
+/// 128-byte chunks are skipped via `u128` lane compares, dropping to
+/// word-boundary refinement only inside changed chunks. The output is
+/// identical to [`find_byte_runs_scalar`], which is kept as the reference
+/// oracle (see the property tests).
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length or `word` is zero.
 pub fn find_byte_runs(
+    twin: &[u8],
+    current: &[u8],
+    word: usize,
+    splice: bool,
+) -> Vec<(usize, usize)> {
+    assert_eq!(twin.len(), current.len(), "twin and page must be same size");
+    assert!(word > 0, "word size must be non-zero");
+    if word == 4 || word == 8 {
+        find_byte_runs_chunked(twin, current, word, splice)
+    } else {
+        find_byte_runs_scalar(twin, current, word, splice)
+    }
+}
+
+/// `true` when the word `[i, end)` differs between the two buffers.
+/// Full 4/8-byte words compare as native integers (one load + compare
+/// instead of a variable-length `memcmp`); a trailing partial word falls
+/// back to a slice compare.
+#[inline]
+fn word_differs(twin: &[u8], current: &[u8], i: usize, end: usize) -> bool {
+    match end - i {
+        8 => {
+            u64::from_ne_bytes(twin[i..end].try_into().unwrap())
+                != u64::from_ne_bytes(current[i..end].try_into().unwrap())
+        }
+        4 => {
+            u32::from_ne_bytes(twin[i..end].try_into().unwrap())
+                != u32::from_ne_bytes(current[i..end].try_into().unwrap())
+        }
+        _ => twin[i..end] != current[i..end],
+    }
+}
+
+/// `true` when the [`CHUNK_BYTES`] chunk at `i` is byte-identical,
+/// compared as eight `u128` lanes.
+#[inline]
+fn chunk_equal(twin: &[u8], current: &[u8], i: usize) -> bool {
+    let a = &twin[i..i + CHUNK_BYTES];
+    let b = &current[i..i + CHUNK_BYTES];
+    let mut off = 0;
+    while off < CHUNK_BYTES {
+        let x = u128::from_ne_bytes(a[off..off + 16].try_into().unwrap());
+        let y = u128::from_ne_bytes(b[off..off + 16].try_into().unwrap());
+        if x != y {
+            return false;
+        }
+        off += 16;
+    }
+    true
+}
+
+/// The chunked scanner behind [`find_byte_runs`]: structurally the scalar
+/// loop, with equal chunks skipped coarsely between runs and word compares
+/// done as integer loads. `word` must be 4 or 8.
+fn find_byte_runs_chunked(
+    twin: &[u8],
+    current: &[u8],
+    word: usize,
+    splice: bool,
+) -> Vec<(usize, usize)> {
+    let n = twin.len();
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        // Coarse skip. `i` is a multiple of `word` whenever it is not past
+        // the trailing partial word, and CHUNK_BYTES is a multiple of
+        // `word`, so this skips only whole, unchanged words.
+        while i + CHUNK_BYTES <= n && chunk_equal(twin, current, i) {
+            i += CHUNK_BYTES;
+        }
+        if i >= n {
+            break;
+        }
+        let end = (i + word).min(n);
+        if word_differs(twin, current, i, end) {
+            let begin = i;
+            let mut last_changed_end = end;
+            i = end;
+            let mut gap = 0usize;
+            while i < n {
+                let wend = (i + word).min(n);
+                if word_differs(twin, current, i, wend) {
+                    last_changed_end = wend;
+                    gap = 0;
+                } else {
+                    gap += 1;
+                    if !splice || gap > SPLICE_GAP_WORDS {
+                        break;
+                    }
+                }
+                i = wend;
+            }
+            runs.push((begin, last_changed_end));
+            i = last_changed_end.max(i);
+        } else {
+            i = end;
+        }
+    }
+    runs
+}
+
+/// The original word-by-word scalar scan, kept as the reference oracle the
+/// chunked implementation is verified against.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `word` is zero.
+pub fn find_byte_runs_scalar(
     twin: &[u8],
     current: &[u8],
     word: usize,
@@ -194,5 +313,61 @@ mod tests {
     #[should_panic(expected = "same size")]
     fn mismatched_lengths_panic() {
         let _ = find_byte_runs(&[0; 4], &[0; 8], 4, true);
+    }
+
+    /// Deterministic cross-check of the chunked scanner against the scalar
+    /// oracle on patterns chosen around chunk boundaries. (Randomized
+    /// equivalence lives in the `prop_diffing` integration test.)
+    #[test]
+    fn chunked_matches_scalar_on_boundary_patterns() {
+        let n = 4096;
+        let twin = page(n);
+        let patterns: Vec<Vec<usize>> = vec![
+            vec![],                           // untouched page
+            vec![0],                          // first byte
+            vec![n - 1],                      // last byte
+            vec![127],                        // last byte of chunk 0
+            vec![128],                        // first byte of chunk 1
+            vec![127, 128],                   // straddling a chunk seam
+            vec![120, 132],                   // spliceable gap across seam
+            (0..n).step_by(8).collect(),      // every other 4-byte word
+            (0..n).collect(),                 // whole page
+            vec![256, 512, 1024, 2048, 4095], // sparse chunks
+        ];
+        for word in [4usize, 8] {
+            for splice in [true, false] {
+                for pat in &patterns {
+                    let mut cur = page(n);
+                    for &b in pat {
+                        cur[b] = cur[b].wrapping_add(1);
+                    }
+                    assert_eq!(
+                        find_byte_runs(&twin, &cur, word, splice),
+                        find_byte_runs_scalar(&twin, &cur, word, splice),
+                        "word={word} splice={splice} pat={pat:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Buffers shorter than one chunk, including partial trailing words,
+    /// go through the same code path and must agree with the oracle.
+    #[test]
+    fn chunked_matches_scalar_on_short_buffers() {
+        for n in [1usize, 3, 4, 7, 8, 9, 15, 16, 17, 127, 129, 130] {
+            let twin = page(n);
+            for changed in 0..n {
+                let mut cur = page(n);
+                cur[changed] = 9;
+                for word in [4usize, 8] {
+                    assert_eq!(
+                        find_byte_runs(&twin, &cur, word, true),
+                        find_byte_runs_scalar(&twin, &cur, word, true),
+                        "n={n} changed={changed} word={word}"
+                    );
+                }
+            }
+        }
     }
 }

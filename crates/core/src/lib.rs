@@ -57,6 +57,7 @@ mod access;
 pub mod diffing;
 mod error;
 mod metrics;
+mod parallel;
 mod segstate;
 mod session;
 pub mod tx;

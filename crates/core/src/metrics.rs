@@ -70,6 +70,26 @@ pub(crate) struct SessionMetrics {
     /// `client.twin_faults` — cumulative simulated write faults (refreshed
     /// from the heap at snapshot time).
     pub twin_faults: Arc<Gauge>,
+    /// `client.translate.threads` — resolved translation worker count.
+    pub translate_threads: Arc<Gauge>,
+    /// `client.translate.par_collects_total` — collects whose translation
+    /// actually fanned out over the worker pool.
+    pub par_collects: Arc<Counter>,
+    /// `client.translate.par_applies_total` — applies whose decode fanned
+    /// out over the worker pool.
+    pub par_applies: Arc<Counter>,
+    /// `client.scan.pages_total` — modified pages word-diffed.
+    pub scan_pages: Arc<Counter>,
+    /// `client.scan.bytes_total` — bytes covered by twin scans.
+    pub scan_bytes: Arc<Counter>,
+    /// `client.diff.scan_us` — wall time of one collect's twin-scan phase.
+    pub scan_us: Arc<Histogram>,
+    /// `client.pool.reuses_total` — scratch buffers served from the pool.
+    pub pool_reuses: Arc<Counter>,
+    /// `client.pool.allocs_total` — scratch buffers freshly allocated.
+    pub pool_allocs: Arc<Counter>,
+    /// `client.pool.buffers` — buffers currently held by the pool.
+    pub pool_buffers: Arc<Gauge>,
 }
 
 impl SessionMetrics {
@@ -98,6 +118,15 @@ impl SessionMetrics {
             update_bytes: registry.histogram_bytes("client.update.piggyback_bytes"),
             no_diff_transitions: registry.counter("client.no_diff.transitions_total"),
             twin_faults: registry.gauge("client.twin_faults"),
+            translate_threads: registry.gauge("client.translate.threads"),
+            par_collects: registry.counter("client.translate.par_collects_total"),
+            par_applies: registry.counter("client.translate.par_applies_total"),
+            scan_pages: registry.counter("client.scan.pages_total"),
+            scan_bytes: registry.counter("client.scan.bytes_total"),
+            scan_us: registry.histogram_us("client.diff.scan_us"),
+            pool_reuses: registry.counter("client.pool.reuses_total"),
+            pool_allocs: registry.counter("client.pool.allocs_total"),
+            pool_buffers: registry.gauge("client.pool.buffers"),
             registry,
         }
     }

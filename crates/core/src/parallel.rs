@@ -1,0 +1,212 @@
+//! Intra-client parallelism for the translation hot path.
+//!
+//! Block translation through the type descriptors is embarrassingly
+//! parallel — every block (and every decoded run) touches disjoint local
+//! memory and only *reads* shared session state — so collect and apply
+//! fan work out over a scoped worker pool and merge the results back in
+//! serial order. The wire bytes produced are **byte-identical** to a
+//! single-threaded run: FIFO replication, server-side diff caching, and
+//! the chaos oracle all compare diffs bit for bit.
+//!
+//! The pool is sized by [`std::thread::available_parallelism`], overridden
+//! per-session via [`crate::SessionOptions::translate_threads`] or the
+//! `IW_TRANSLATE_THREADS` environment variable; `1` reproduces the
+//! pre-parallel serial behavior exactly (same code path, no threads
+//! spawned).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work below this many bytes is translated inline: spawning scoped
+/// threads costs tens of microseconds, which swamps small diffs (the
+/// common case for lock-heavy, fine-grained workloads).
+pub(crate) const PAR_MIN_BYTES: u64 = 64 * 1024;
+
+/// Most buffers the scratch pool will hold on to; excess buffers are
+/// simply dropped.
+const POOL_MAX_BUFS: usize = 64;
+
+/// Largest buffer capacity the pool retains, so one giant apply does not
+/// pin its peak footprint for the session's lifetime.
+const POOL_MAX_CAP: usize = 4 << 20;
+
+/// Resolves the effective translation thread count for a session:
+/// an explicit option wins, then `IW_TRANSLATE_THREADS` (positive
+/// integer), then [`std::thread::available_parallelism`].
+pub(crate) fn resolve_threads(opt: Option<usize>) -> usize {
+    if let Some(n) = opt {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("IW_TRANSLATE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, returning results in item order.
+///
+/// With `threads <= 1` (or fewer than two items) this is a plain serial
+/// loop. Otherwise `min(threads, items)` scoped workers pull indices from
+/// a shared atomic and the per-worker results are stitched back into
+/// input order, so the output is independent of scheduling.
+pub(crate) fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("translation worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index dispatched exactly once"))
+        .collect()
+}
+
+/// A small free-list of scratch buffers shared by the apply-side decode
+/// workers, so steady-state diff application stops allocating per run.
+/// Buffers come back cleared; capacity is retained up to [`POOL_MAX_CAP`].
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    /// Takes a cleared buffer with at least `cap` capacity, preferring a
+    /// pooled one. Returns the buffer and whether it was reused.
+    pub fn get(&self, cap: usize) -> (Vec<u8>, bool) {
+        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        // Last-in first-out keeps the hottest buffer (and its pages) in
+        // use; any pooled buffer is acceptable — `Vec` grows on demand.
+        match bufs.pop() {
+            Some(mut b) => {
+                drop(bufs);
+                b.clear();
+                b.reserve(cap);
+                (b, true)
+            }
+            None => (Vec::with_capacity(cap), false),
+        }
+    }
+
+    /// Takes a buffer with exactly `len` initialized bytes of unspecified
+    /// content, for callers that overwrite every byte before reading any.
+    /// A reused pooled buffer keeps its old contents where it can, paying
+    /// neither the zero-fill of a fresh allocation nor a pre-fill copy.
+    pub fn get_filled(&self, len: usize) -> (Vec<u8>, bool) {
+        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        match bufs.pop() {
+            Some(mut b) => {
+                drop(bufs);
+                // Shrinking truncates for free; growing zero-fills only
+                // the new tail.
+                b.resize(len, 0);
+                (b, true)
+            }
+            None => (vec![0u8; len], false),
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped when the pool is full or the
+    /// buffer is oversized). Contents are left in place — [`Self::get`]
+    /// clears on the way out and [`Self::get_filled`] overwrites.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAP {
+            return;
+        }
+        let mut bufs = self.bufs.lock().expect("buffer pool poisoned");
+        if bufs.len() < POOL_MAX_BUFS {
+            bufs.push(buf);
+        }
+    }
+
+    /// Buffers currently pooled (for the gauge).
+    pub fn held(&self) -> usize {
+        self.bufs.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 2, 4, 9] {
+            let out = par_map(threads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |_, x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn buffer_pool_reuses() {
+        let pool = BufferPool::default();
+        let (b, reused) = pool.get(100);
+        assert!(!reused);
+        pool.put(b);
+        assert_eq!(pool.held(), 1);
+        let (b, reused) = pool.get(10);
+        assert!(reused);
+        assert!(b.is_empty());
+        assert_eq!(pool.held(), 0);
+    }
+
+    #[test]
+    fn oversized_buffers_not_pooled() {
+        let pool = BufferPool::default();
+        pool.put(Vec::with_capacity(POOL_MAX_CAP + 1));
+        pool.put(Vec::new());
+        assert_eq!(pool.held(), 0);
+    }
+
+    #[test]
+    fn env_override_must_be_positive() {
+        // Explicit option always wins and is clamped to >= 1.
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

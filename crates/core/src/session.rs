@@ -20,6 +20,7 @@ use iw_proto::{Coherence, LockMode, Transport, TransportStats};
 use iw_telemetry::{Registry, Snapshot};
 use iw_types::arch::MachineArch;
 use iw_types::desc::{PrimKind, TypeDesc};
+use iw_types::flat::FlatNode;
 use iw_wire::codec::{WireReader, WireWriter};
 use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
 use iw_wire::mip::{BlockRef, Mip};
@@ -28,6 +29,7 @@ use iw_wire::prim::{no_pointers_in, prim_from_wire};
 use crate::diffing::find_byte_runs;
 use crate::error::CoreError;
 use crate::metrics::SessionMetrics;
+use crate::parallel::{self, PAR_MIN_BYTES};
 use crate::segstate::{SegState, TrackMode};
 
 /// A handle to an open segment (the paper's `IW_handle_t`).
@@ -93,6 +95,12 @@ pub struct SessionOptions {
     /// default of 4096). Small pages let tests exercise page-boundary
     /// logic cheaply.
     pub page_size: Option<u32>,
+    /// Worker threads for diff translation (collect and apply). `None`
+    /// consults `IW_TRANSLATE_THREADS`, then
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the
+    /// serial path. The wire diffs produced are byte-identical at every
+    /// setting — this is purely a throughput knob.
+    pub translate_threads: Option<usize>,
 }
 
 impl Default for SessionOptions {
@@ -107,6 +115,7 @@ impl Default for SessionOptions {
             failover_rounds: 3,
             failover_backoff_ms: 100,
             page_size: None,
+            translate_threads: None,
         }
     }
 }
@@ -139,6 +148,11 @@ pub struct Session {
     pub(crate) unresolved: HashMap<u64, Mip>,
     pub(crate) opts: SessionOptions,
     pub(crate) metrics: SessionMetrics,
+    /// Resolved translation worker count (see
+    /// [`SessionOptions::translate_threads`]).
+    xlate_threads: usize,
+    /// Reusable scratch buffers for the apply-side decode workers.
+    scratch_pool: crate::parallel::BufferPool,
     /// Open transaction, if any (see [`crate::tx`]).
     pub(crate) tx: Option<crate::tx::TxState>,
     /// Additional servers, keyed by segment-URL host ("Every segment is
@@ -206,6 +220,8 @@ impl Session {
             Some(ps) => Heap::with_page_size(arch, ps),
             None => Heap::new(arch),
         };
+        let xlate_threads = crate::parallel::resolve_threads(opts.translate_threads);
+        metrics.translate_threads.set(xlate_threads as i64);
         Ok(Session {
             heap,
             transport,
@@ -214,6 +230,8 @@ impl Session {
             unresolved: HashMap::new(),
             opts,
             metrics,
+            xlate_threads,
+            scratch_pool: crate::parallel::BufferPool::default(),
             tx: None,
             extra_links: HashMap::new(),
         })
@@ -1262,37 +1280,24 @@ impl Session {
             }
         }
 
-        // New blocks travel whole.
+        // Phase 1 (serial bookkeeping): build the translation job list.
+        // New blocks travel whole; they join the same parallel batch as
+        // the modified blocks.
+        let mut jobs: Vec<XlateJob> = Vec::new();
         for serial in new_order {
-            let (type_serial, count, bname, data) = {
-                let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
-                let type_serial = self
-                    .heap
-                    .segment(id)
-                    .types
-                    .serial_of(&meta.ty)
-                    .expect("type registered at malloc");
-                let data = self.translate_block_range(
-                    &meta,
-                    meta.va,
-                    meta.end(),
-                    &mut 0,
-                    &mut Vec::new(),
-                )?;
-                (type_serial, meta.count, meta.name.clone(), data)
-            };
-            diff.new_blocks.push(NewBlock {
+            let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
+            let type_serial = self
+                .heap
+                .segment(id)
+                .types
+                .serial_of(&meta.ty)
+                .expect("type registered at malloc");
+            jobs.push(XlateJob {
                 serial,
-                name: bname,
-                type_serial,
-                count,
-                data,
+                meta,
+                kind: XlateKind::NewBlock { type_serial },
             });
         }
-
-        // Modified blocks.
-        let mut per_block: BTreeMap<u32, Vec<RunAcc>> = BTreeMap::new();
-        let mut changed: u64 = 0;
 
         if whole_segment {
             // No-diff mode: transmit every pre-existing block whole.
@@ -1305,51 +1310,58 @@ impl Session {
                 .collect();
             for serial in serials {
                 let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
-                let data = self.translate_block_range(
-                    &meta,
-                    meta.va,
-                    meta.end(),
-                    &mut 0,
-                    &mut Vec::new(),
-                )?;
-                let count = meta.prim_count();
-                changed += count;
-                push_run(
-                    per_block.entry(serial).or_default(),
-                    DiffRun {
-                        start: 0,
-                        count,
-                        data,
-                    },
-                );
+                jobs.push(XlateJob {
+                    serial,
+                    meta,
+                    kind: XlateKind::Whole,
+                });
             }
         } else {
             let word = self.heap.arch().word_size as usize;
             let splice = self.opts.splice;
             let ps = u64::from(self.heap.page_size());
-            let mut touched_flagged: Vec<u32> = Vec::new();
-            // Per-block floor prevents double-emitting a primitive that
-            // spans two dirty pages.
-            let mut floors: HashMap<u32, u64> = HashMap::new();
+            let scan_us = Arc::clone(&self.metrics.scan_us);
+            let scan_guard = scan_us.start_timer();
 
-            let subseg_idxs = self.heap.segment(id).subseg_indices().to_vec();
-            for ss_idx in subseg_idxs {
-                let base = self.heap.subseg(ss_idx).base();
-                // Gather the modified pages' byte runs first (pure word
-                // diffing), then translate.
-                let page_runs: Vec<(u64, u64)> = {
-                    let ss = self.heap.subseg(ss_idx);
-                    let mut v = Vec::new();
-                    for (page, twin, cur) in ss.modified_pages() {
-                        for (b0, b1) in find_byte_runs(twin, cur, word, splice) {
-                            let lo = base + page as u64 * ps + b0 as u64;
-                            let hi = base + page as u64 * ps + b1 as u64;
-                            v.push((lo, hi));
-                        }
-                    }
-                    v
-                };
-                for (lo, hi) in page_runs {
+            // Scan twins for changed byte runs (pure word diffing),
+            // page-parallel when there is enough dirty data. Results are
+            // keyed by page position, not scheduling, so the run order is
+            // exactly the serial walk's.
+            let mut pages: Vec<(usize, u64, &[u8], &[u8])> = Vec::new();
+            for &ss_idx in self.heap.segment(id).subseg_indices() {
+                let ss = self.heap.subseg(ss_idx);
+                let base = ss.base();
+                for (page, twin, cur) in ss.modified_pages() {
+                    pages.push((ss_idx, base + page as u64 * ps, twin, cur));
+                }
+            }
+            let scanned: u64 = pages.iter().map(|p| p.2.len() as u64).sum();
+            self.metrics.scan_pages.add(pages.len() as u64);
+            self.metrics.scan_bytes.add(scanned);
+            let scan_threads = if scanned >= PAR_MIN_BYTES {
+                self.xlate_threads
+            } else {
+                1
+            };
+            let page_runs: Vec<Vec<(u64, u64)>> =
+                parallel::par_map(scan_threads, &pages, |_, &(_, pbase, twin, cur)| {
+                    find_byte_runs(twin, cur, word, splice)
+                        .into_iter()
+                        .map(|(b0, b1)| (pbase + b0 as u64, pbase + b1 as u64))
+                        .collect()
+                });
+            drop(scan_guard);
+
+            // Group the changed ranges into one job per modified block.
+            // This is the serial block walk the translation used to be
+            // interleaved with; per-block range order is unchanged, and
+            // the per-block `floor` (which prevents double-emitting a
+            // primitive spanning two dirty pages) lives in the job runner.
+            let mut touched_flagged: Vec<u32> = Vec::new();
+            let mut job_of: HashMap<u32, usize> = HashMap::new();
+            for (pi, runs) in page_runs.iter().enumerate() {
+                let ss_idx = pages[pi].0;
+                for &(lo, hi) in runs {
                     let mut cursor = lo;
                     while cursor < hi {
                         let found = match self.heap.block_at(cursor) {
@@ -1373,21 +1385,22 @@ impl Session {
                             cursor = bend;
                             continue;
                         }
-                        let floor = floors.entry(serial).or_insert(0);
-                        let runs = per_block.entry(serial).or_default();
                         let lo_clamped = cursor.max(bva);
                         let hi_clamped = hi.min(bend);
-                        let mut emitted: Vec<DiffRun> = Vec::new();
-                        self.translate_block_range(
-                            &meta,
-                            lo_clamped,
-                            hi_clamped,
-                            floor,
-                            &mut emitted,
-                        )?;
-                        for run in emitted {
-                            changed += run.count;
-                            push_run(runs, run);
+                        match job_of.get(&serial) {
+                            Some(&ji) => {
+                                if let XlateKind::Ranges(rs) = &mut jobs[ji].kind {
+                                    rs.push((lo_clamped, hi_clamped));
+                                }
+                            }
+                            None => {
+                                job_of.insert(serial, jobs.len());
+                                jobs.push(XlateJob {
+                                    serial,
+                                    meta,
+                                    kind: XlateKind::Ranges(vec![(lo_clamped, hi_clamped)]),
+                                });
+                            }
                         }
                         cursor = bend;
                     }
@@ -1397,23 +1410,46 @@ impl Session {
             // transmit whole.
             for serial in touched_flagged {
                 let meta = self.heap.segment(id).block_by_serial(serial)?.clone();
-                let data = self.translate_block_range(
-                    &meta,
-                    meta.va,
-                    meta.end(),
-                    &mut 0,
-                    &mut Vec::new(),
-                )?;
-                let count = meta.prim_count();
-                changed += count;
-                push_run(
-                    per_block.entry(serial).or_default(),
-                    DiffRun {
-                        start: 0,
-                        count,
-                        data,
-                    },
-                );
+                jobs.push(XlateJob {
+                    serial,
+                    meta,
+                    kind: XlateKind::Whole,
+                });
+            }
+        }
+
+        // Phase 2: translate, fanning out over the worker pool when there
+        // is enough work to pay for the threads.
+        let xlate_bytes: u64 = jobs
+            .iter()
+            .map(|j| match &j.kind {
+                XlateKind::Ranges(rs) => rs.iter().map(|(lo, hi)| hi - lo).sum(),
+                _ => j.meta.end() - j.meta.va,
+            })
+            .sum();
+        let threads = if xlate_bytes >= PAR_MIN_BYTES {
+            self.xlate_threads
+        } else {
+            1
+        };
+        if threads > 1 && jobs.len() > 1 {
+            self.metrics.par_collects.inc();
+        }
+        let ctx = self.xlate();
+        let outs = parallel::par_map(threads, &jobs, |_, job| ctx.run_xlate_job(job));
+
+        // Phase 3: merge in serial block order — new blocks in allocation
+        // order, block diffs in ascending serial order — so the wire diff
+        // is byte-identical to a single-threaded collect.
+        let mut changed: u64 = 0;
+        let mut per_block: BTreeMap<u32, Vec<RunAcc>> = BTreeMap::new();
+        for (job, out) in jobs.iter().zip(outs) {
+            match out? {
+                XlateOut::NewBlock(nb) => diff.new_blocks.push(nb),
+                XlateOut::Diff { accs, changed: c } => {
+                    changed += c;
+                    per_block.insert(job.serial, accs);
+                }
             }
         }
 
@@ -1441,46 +1477,435 @@ impl Session {
         Ok((diff, changed, fractions))
     }
 
-    /// Translates the local bytes of `[lo_va, hi_va)` within one block to
-    /// wire format, appending one RLE run to `out` (primitives inside a
-    /// contiguous byte range have consecutive primitive offsets, so each
-    /// call yields at most one run). `floor` suppresses primitives already
-    /// emitted by an earlier overlapping range (a primitive spanning two
-    /// dirty pages) and advances past everything emitted here.
+    /// Borrows the read-only session state block translation needs into a
+    /// [`XlateCtx`] shareable across worker threads.
+    fn xlate(&self) -> XlateCtx<'_> {
+        XlateCtx {
+            heap: &self.heap,
+            unresolved: &self.unresolved,
+            metrics: &self.metrics,
+        }
+    }
+
+    /// Builds the MIP for an arbitrary local address (`IW_ptr_to_mip`'s
+    /// core).
+    pub(crate) fn mip_for_va(&self, va: u64) -> Result<Mip, CoreError> {
+        self.xlate().mip_for_va(va)
+    }
+
+    // ==================================================================
+    // Diff application (§3.1, inverse direction)
+    // ==================================================================
+
+    /// Applies a wire diff to the local cached copy. Public for the
+    /// benchmark harness; normal callers go through the lock API.
     ///
-    /// Translation proceeds run by run (the payoff of isomorphic type
-    /// descriptors, §3.3): fixed-size runs use tight per-kind loops,
-    /// strings and pointers go element by element.
+    /// Application is phased like collection: allocate and predict
+    /// serially, decode every wire run into a scratch image (in parallel
+    /// when the payload is large), then install the images and the
+    /// unresolved-pointer map operations in diff order. Decoded
+    /// primitives fully overwrite their byte windows, so the phased
+    /// install leaves memory byte-identical to a sequential walk — where
+    /// runs overlap, install order equals diff order, the same "later
+    /// data wins" rule the server's diff composition uses.
     ///
-    /// Returns the concatenated wire payload, which whole-block callers
-    /// use directly.
+    /// # Errors
+    ///
+    /// Wire decoding errors; heap errors on inconsistent diffs.
+    pub fn apply_segment_diff(
+        &mut self,
+        h: &SegHandle,
+        diff: &SegmentDiff,
+    ) -> Result<(), CoreError> {
+        let apply_us = Arc::clone(&self.metrics.apply_us);
+        let _timer = apply_us.start_timer();
+        let name = h.name().to_string();
+        let id = self.state(&name)?.id;
+
+        for (serial, ty) in &diff.new_types {
+            self.heap.segment_types_mut(id).install(*serial, ty.clone());
+        }
+
+        // Phase 1 (serial): allocate every new block, then turn each new
+        // block image and each diff run into a decode job. New blocks
+        // arrive in server version-list order; sequential allocation
+        // places same-version blocks contiguously ("data layout for
+        // cache locality", §3.3).
+        let mut jobs: Vec<DecodeJob> = Vec::new();
+        for nb in &diff.new_blocks {
+            let ty = self
+                .heap
+                .segment(id)
+                .types
+                .get(nb.type_serial)
+                .ok_or(CoreError::Server(format!(
+                    "diff references unknown type {}",
+                    nb.type_serial
+                )))?
+                .clone();
+            self.heap
+                .alloc_block(id, nb.serial, nb.name.as_deref(), &ty, nb.count)?;
+            let meta = self.heap.segment(id).block_by_serial(nb.serial)?.clone();
+            let prims = meta.prim_count();
+            self.metrics.prims_received.add(prims);
+            if prims > 0 {
+                jobs.push(DecodeJob {
+                    meta,
+                    start: 0,
+                    count: prims,
+                    data: nb.data.clone(),
+                });
+            }
+        }
+
+        // Modified blocks, with client-side last-block prediction: "we
+        // predict the next changed block in the diff to be the next
+        // consecutive block in memory for the client". The predictor
+        // walks serially here so its metrics match a sequential apply.
+        let mut pred: Option<u64> = None; // end VA of last applied block
+        for bd in &diff.block_diffs {
+            self.metrics.apply_block_lookups.inc();
+            let mut meta: Option<BlockMeta> = None;
+            if self.opts.prediction {
+                if let Some(end_va) = pred {
+                    if let Ok(idx) = self.heap.subseg_at(end_va.saturating_sub(1)) {
+                        if let Some((va, serial)) = self.heap.next_block_at_or_after(idx, end_va) {
+                            if serial == bd.serial {
+                                self.metrics.apply_pred_hits.inc();
+                                meta = Some(self.heap.segment(id).block_by_serial(serial)?.clone());
+                                let _ = va;
+                            }
+                        }
+                    }
+                }
+            }
+            let meta = match meta {
+                Some(m) => m,
+                None => self.heap.segment(id).block_by_serial(bd.serial)?.clone(),
+            };
+            pred = Some(meta.end());
+            for run in &bd.runs {
+                self.metrics.prims_received.add(run.count);
+                if run.count > 0 {
+                    jobs.push(DecodeJob {
+                        meta: meta.clone(),
+                        start: run.start,
+                        count: run.count,
+                        data: run.data.clone(),
+                    });
+                }
+            }
+        }
+
+        // Phase 2: decode wire runs into pooled scratch images, fanning
+        // out when there is enough payload to pay for the threads.
+        let payload: u64 = jobs.iter().map(|j| j.data.len() as u64).sum();
+        let threads = if payload >= PAR_MIN_BYTES {
+            self.xlate_threads
+        } else {
+            1
+        };
+        if threads > 1 && jobs.len() > 1 {
+            self.metrics.par_applies.inc();
+        }
+        let ctx = self.xlate();
+        let pool = &self.scratch_pool;
+        let outs = parallel::par_map(threads, &jobs, |_, job| ctx.decode_run(job, pool));
+
+        // Phase 3 (serial): install images and unresolved-map operations
+        // in diff order, then stamp block versions.
+        let mut reuses = 0u64;
+        let mut allocs = 0u64;
+        for out in outs {
+            let d = out?;
+            if d.reused {
+                reuses += 1;
+            } else {
+                allocs += 1;
+            }
+            if !d.scratch.is_empty() {
+                self.heap
+                    .bytes_mut_unprotected(d.span_va, d.scratch.len())?
+                    .copy_from_slice(&d.scratch);
+            }
+            // Clear stale unresolved entries for every pointer field this
+            // run rewrote, then record the fields that resolved to a MIP
+            // we cannot map locally yet. Skipping the walk when the map is
+            // empty is a pure no-op elision (nothing to remove), and it is
+            // re-evaluated per run, so a run that inserts entries makes
+            // later runs in the same diff walk their ranges — exactly the
+            // sequential apply's per-run `track_clears` behaviour.
+            if !self.unresolved.is_empty() {
+                for &(first_va, stride, count) in &d.clear_ranges {
+                    for k in 0..u64::from(count) {
+                        self.unresolved.remove(&(first_va + k * u64::from(stride)));
+                    }
+                }
+            }
+            for (field_va, mip) in d.unresolved_inserts {
+                self.unresolved.insert(field_va, mip);
+            }
+            self.scratch_pool.put(d.scratch);
+        }
+        self.metrics.pool_reuses.add(reuses);
+        self.metrics.pool_allocs.add(allocs);
+        self.metrics
+            .pool_buffers
+            .set(self.scratch_pool.held() as i64);
+
+        for nb in &diff.new_blocks {
+            self.heap
+                .set_block_version(id, nb.serial, diff.to_version)?;
+        }
+        for bd in &diff.block_diffs {
+            self.heap
+                .set_block_version(id, bd.serial, diff.to_version)?;
+        }
+
+        for &serial in &diff.freed {
+            // A tombstone for a block this cache never created (e.g. a
+            // create+free pair inside one composed chain, or a server
+            // being conservative) is simply a no-op.
+            let Ok(meta) = self.heap.segment(id).block_by_serial(serial) else {
+                continue;
+            };
+            let (bva, bend) = (meta.va, meta.end());
+            self.heap.free_block(id, serial)?;
+            self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
+        }
+
+        let st = self.state_mut(&name)?;
+        st.version = diff.to_version;
+        self.metrics.diffs_applied.inc();
+        Ok(())
+    }
+
+    /// Resolves a wire MIP string against locally cached segments.
+    pub(crate) fn resolve_mip_to_va(&self, mip_str: &str) -> Result<ResolvedPtr, CoreError> {
+        if mip_str.is_empty() {
+            return Ok(ResolvedPtr::Null);
+        }
+        let mip: Mip = mip_str.parse().map_err(CoreError::Wire)?;
+        let Some(seg_id) = self.heap.segment_id(&mip.segment) else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        let seg = self.heap.segment(seg_id);
+        let meta = match &mip.block {
+            BlockRef::Serial(n) => seg.block_by_serial(*n),
+            BlockRef::Name(n) => seg.block_by_name(n),
+        };
+        let Ok(meta) = meta else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        let Some(p) = meta.flat.prim_at(mip.offset) else {
+            return Ok(ResolvedPtr::Unresolved(mip));
+        };
+        Ok(ResolvedPtr::Local(meta.va + u64::from(p.local_off)))
+    }
+}
+
+/// Read-only view of the session state needed to translate blocks to and
+/// from wire format.
+///
+/// Every field is `Sync` — the heap is plain data plus `Arc`'d layouts,
+/// the metric handles are atomics — which is what lets
+/// [`crate::parallel::par_map`] share one context across scoped workers.
+/// The session itself is not `Sync` (it owns the transport), so the
+/// translation paths live here instead.
+pub(crate) struct XlateCtx<'a> {
+    heap: &'a Heap,
+    unresolved: &'a HashMap<u64, Mip>,
+    metrics: &'a SessionMetrics,
+}
+
+/// One block's translation work for a collect.
+struct XlateJob {
+    serial: u32,
+    meta: BlockMeta,
+    kind: XlateKind,
+}
+
+/// What part of the block an [`XlateJob`] transmits.
+enum XlateKind {
+    /// Newly allocated block, translated whole into a [`NewBlock`].
+    NewBlock { type_serial: u32 },
+    /// Pre-existing block transmitted whole (no-diff modes).
+    Whole,
+    /// Changed VA ranges within the block, in page-scan order.
+    Ranges(Vec<(u64, u64)>),
+}
+
+/// Result of one [`XlateJob`].
+enum XlateOut {
+    NewBlock(NewBlock),
+    Diff { accs: Vec<RunAcc>, changed: u64 },
+}
+
+/// One wire run to decode on apply.
+struct DecodeJob {
+    meta: BlockMeta,
+    start: u64,
+    count: u64,
+    data: Bytes,
+}
+
+/// A decoded run: a scratch image of the run's byte span plus the
+/// unresolved-pointer map operations to replay at install time.
+///
+/// Pointer clears are recorded as compact `(first_va, stride, count)`
+/// ranges — one per wire run, not one per pointer — and only walked when
+/// the unresolved map is non-empty at install, matching the sequential
+/// apply's `track_clears` fast path byte for byte without a per-pointer
+/// allocation on the (common) empty-map path.
+struct DecodedRun {
+    span_va: u64,
+    scratch: Vec<u8>,
+    reused: bool,
+    /// Fields whose MIPs could not be resolved locally, to insert.
+    unresolved_inserts: Vec<(u64, Mip)>,
+    /// Pointer-field ranges decoded by this run, to clear from the map
+    /// (insertions above win — each field appears in at most one op).
+    clear_ranges: Vec<(u64, u32, u32)>,
+}
+
+impl XlateCtx<'_> {
+    /// Runs one collect-side translation job. Each job owns its swizzle
+    /// cache, so jobs are independent and their outputs depend only on
+    /// heap state — never on scheduling.
+    fn run_xlate_job(&self, job: &XlateJob) -> Result<XlateOut, CoreError> {
+        let meta = &job.meta;
+        let mut swz_cache: Option<SwizzleCache> = None;
+        match &job.kind {
+            XlateKind::NewBlock { type_serial } => {
+                let data =
+                    self.translate_block_range(meta, meta.va, meta.end(), &mut 0, &mut swz_cache)?;
+                Ok(XlateOut::NewBlock(NewBlock {
+                    serial: job.serial,
+                    name: meta.name.clone(),
+                    type_serial: *type_serial,
+                    count: meta.count,
+                    data,
+                }))
+            }
+            XlateKind::Whole => {
+                let data =
+                    self.translate_block_range(meta, meta.va, meta.end(), &mut 0, &mut swz_cache)?;
+                let count = meta.prim_count();
+                let accs = vec![RunAcc {
+                    start: 0,
+                    count,
+                    data,
+                }];
+                Ok(XlateOut::Diff {
+                    accs,
+                    changed: count,
+                })
+            }
+            XlateKind::Ranges(ranges) => {
+                // All of a block's ranges share one writer, so each
+                // merged run's payload is a zero-copy slice of the job
+                // buffer — no per-range buffers, no gather copy at merge.
+                // The per-block floor prevents double-emitting a primitive
+                // that spans two dirty pages; ranges arrive in ascending
+                // scan order, exactly as the serial walk visited them.
+                let total_span: usize = ranges.iter().map(|&(lo, hi)| (hi - lo) as usize).sum();
+                let mut w = WireWriter::with_capacity(self.wire_capacity_for(meta, total_span));
+                let mut floor: u64 = 0;
+                // Merged runs as (prim start, prim count, byte lo, byte hi)
+                // into the shared writer; merging matches `push_run` (runs
+                // contiguous in primitive offsets coalesce).
+                let mut emitted: Vec<(u64, u64, usize, usize)> = Vec::new();
+                let mut changed: u64 = 0;
+                for &(lo, hi) in ranges {
+                    let b0 = w.len();
+                    if let Some((start, count)) =
+                        self.translate_range_into(meta, lo, hi, &mut floor, &mut w, &mut swz_cache)?
+                    {
+                        changed += count;
+                        let b1 = w.len();
+                        match emitted.last_mut() {
+                            Some(last) if last.0 + last.1 == start && last.3 == b0 => {
+                                last.1 += count;
+                                last.3 = b1;
+                            }
+                            _ => emitted.push((start, count, b0, b1)),
+                        }
+                    }
+                }
+                let payload = w.finish();
+                let accs = emitted
+                    .into_iter()
+                    .map(|(start, count, b0, b1)| RunAcc {
+                        start,
+                        count,
+                        data: payload.slice(b0..b1),
+                    })
+                    .collect();
+                Ok(XlateOut::Diff { accs, changed })
+            }
+        }
+    }
+
+    /// Estimated wire size for translating `span` local bytes of `meta`,
+    /// from the layout: fixed-width layouts never expand (padding only
+    /// shrinks), while pointers swizzle into length-prefixed MIP strings
+    /// and strings gain a length prefix. Over-estimating only costs
+    /// transient capacity; under-estimating costs a mid-run regrow.
+    fn wire_capacity_for(&self, meta: &BlockMeta, span: usize) -> usize {
+        if meta.flat.fixed_wire_size().is_some() {
+            return span + 16;
+        }
+        let local = u64::from(meta.size().max(1));
+        let wire = wire_upper(meta.flat.nodes(), self.heap.arch());
+        let est = (span as u64).saturating_mul(wire) / local;
+        est as usize + 64
+    }
+
+    /// Translates the whole span `[lo_va, hi_va)` of one block into a
+    /// fresh wire payload. Whole-block callers (new blocks, whole-segment
+    /// fallback) use this; the ranged collect path writes many ranges
+    /// into one shared per-job writer via [`Self::translate_range_into`]
+    /// so each run's payload can be a zero-copy slice of the job buffer.
     fn translate_block_range(
         &self,
         meta: &BlockMeta,
         lo_va: u64,
         hi_va: u64,
         floor: &mut u64,
-        out: &mut Vec<DiffRun>,
+        swz_cache: &mut Option<SwizzleCache>,
     ) -> Result<Bytes, CoreError> {
-        self.translate_block_range_cached(meta, lo_va, hi_va, floor, out, &mut None)
+        let span = (hi_va - lo_va) as usize;
+        let mut w = WireWriter::with_capacity(self.wire_capacity_for(meta, span));
+        self.translate_range_into(meta, lo_va, hi_va, floor, &mut w, swz_cache)?;
+        Ok(w.finish())
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn translate_block_range_cached(
+    /// Translates the local bytes of `[lo_va, hi_va)` within one block to
+    /// wire format, appending to `w`. Primitives inside a contiguous byte
+    /// range have consecutive primitive offsets, so each call contributes
+    /// at most one run: returns `Some((first primitive offset, primitive
+    /// count))` when anything was emitted. `floor` suppresses primitives
+    /// already emitted by an earlier overlapping range (a primitive
+    /// spanning two dirty pages) and advances past everything emitted
+    /// here.
+    ///
+    /// Translation proceeds run by run (the payoff of isomorphic type
+    /// descriptors, §3.3): fixed-size runs use tight per-kind loops,
+    /// strings and pointers go element by element.
+    fn translate_range_into(
         &self,
         meta: &BlockMeta,
         lo_va: u64,
         hi_va: u64,
         floor: &mut u64,
-        out: &mut Vec<DiffRun>,
+        w: &mut WireWriter,
         swz_cache: &mut Option<SwizzleCache>,
-    ) -> Result<Bytes, CoreError> {
+    ) -> Result<Option<(u64, u64)>, CoreError> {
         let arch = self.heap.arch().clone();
         let little = arch.endian.is_little();
         let slice = self.heap.read_bytes(meta.va, meta.size() as usize)?;
         let rel_lo = (lo_va - meta.va) as u32;
         let rel_hi = (hi_va - meta.va) as u32;
-        let mut w = WireWriter::with_capacity((rel_hi.saturating_sub(rel_lo)) as usize + 16);
         let mut start: Option<u64> = None;
         let mut total: u64 = 0;
         for mut run in meta.flat.seek_byte_runs(rel_lo) {
@@ -1523,7 +1948,7 @@ impl Session {
                 kind => {
                     let size = kind.local_size(&arch) as usize;
                     encode_fixed_run(
-                        &mut w,
+                        w,
                         &slice[run.local_off as usize..],
                         size,
                         run.stride as usize,
@@ -1544,20 +1969,13 @@ impl Session {
                 c.hits = 0;
             }
         }
-        let payload = w.finish();
-        if let Some(s) = start {
-            out.push(DiffRun {
-                start: s,
-                count: total,
-                data: payload.clone(),
-            });
-        }
-        Ok(payload)
+        Ok(start.map(|s| (s, total)))
     }
 
-    /// As [`Session::swizzle_window`], with a one-entry block cache for
-    /// pointer-dense translation loops. Appends the MIP into `out`
-    /// (cleared first) to avoid per-pointer allocations.
+    /// Swizzles one local pointer window into its MIP string, with a
+    /// one-entry block cache for pointer-dense translation loops. Appends
+    /// the MIP into `out` (cleared first) to avoid per-pointer
+    /// allocations.
     fn swizzle_window_into(
         &self,
         field_va: u64,
@@ -1650,132 +2068,21 @@ impl Session {
         })
     }
 
-    // ==================================================================
-    // Diff application (§3.1, inverse direction)
-    // ==================================================================
-
-    /// Applies a wire diff to the local cached copy. Public for the
-    /// benchmark harness; normal callers go through the lock API.
-    ///
-    /// # Errors
-    ///
-    /// Wire decoding errors; heap errors on inconsistent diffs.
-    pub fn apply_segment_diff(
-        &mut self,
-        h: &SegHandle,
-        diff: &SegmentDiff,
-    ) -> Result<(), CoreError> {
-        let apply_us = Arc::clone(&self.metrics.apply_us);
-        let _timer = apply_us.start_timer();
-        let name = h.name().to_string();
-        let id = self.state(&name)?.id;
-
-        for (serial, ty) in &diff.new_types {
-            self.heap.segment_types_mut(id).install(*serial, ty.clone());
-        }
+    /// Decodes one wire run (`count` primitives starting at `start`) into
+    /// a pooled scratch image of the run's byte span, without touching
+    /// heap memory. Pointer fields yield ordered unresolved-map
+    /// operations that the caller replays serially at install time, so
+    /// the map ends up exactly as a sequential apply would leave it.
+    /// Callers never build zero-`count` jobs.
+    fn decode_run(
+        &self,
+        job: &DecodeJob,
+        pool: &crate::parallel::BufferPool,
+    ) -> Result<DecodedRun, CoreError> {
+        let meta = &job.meta;
+        let (start, count) = (job.start, job.count);
+        let mut r = WireReader::new(job.data.clone());
         let mut unswz_cache: Option<UnswizzleCache> = None;
-
-        // New blocks arrive in server version-list order; sequential
-        // allocation places same-version blocks contiguously ("data
-        // layout for cache locality", §3.3).
-        for nb in &diff.new_blocks {
-            let ty = self
-                .heap
-                .segment(id)
-                .types
-                .get(nb.type_serial)
-                .ok_or(CoreError::Server(format!(
-                    "diff references unknown type {}",
-                    nb.type_serial
-                )))?
-                .clone();
-            let va = self
-                .heap
-                .alloc_block(id, nb.serial, nb.name.as_deref(), &ty, nb.count)?;
-            let meta = self.heap.segment(id).block_by_serial(nb.serial)?.clone();
-            let prims = meta.prim_count();
-            if prims > 0 {
-                let mut r = WireReader::new(Bytes::from(nb.data.to_vec()));
-                self.apply_run(&meta, 0, prims, &mut r, &mut unswz_cache)?;
-            }
-            self.heap
-                .set_block_version(id, nb.serial, diff.to_version)?;
-            self.metrics.prims_received.add(prims);
-            let _ = va;
-        }
-
-        // Modified blocks, with client-side last-block prediction: "we
-        // predict the next changed block in the diff to be the next
-        // consecutive block in memory for the client".
-        let mut pred: Option<u64> = None; // end VA of last applied block
-        for bd in &diff.block_diffs {
-            self.metrics.apply_block_lookups.inc();
-            let mut meta: Option<BlockMeta> = None;
-            if self.opts.prediction {
-                if let Some(end_va) = pred {
-                    if let Ok(idx) = self.heap.subseg_at(end_va.saturating_sub(1)) {
-                        if let Some((va, serial)) = self.heap.next_block_at_or_after(idx, end_va) {
-                            if serial == bd.serial {
-                                self.metrics.apply_pred_hits.inc();
-                                meta = Some(self.heap.segment(id).block_by_serial(serial)?.clone());
-                                let _ = va;
-                            }
-                        }
-                    }
-                }
-            }
-            let meta = match meta {
-                Some(m) => m,
-                None => self.heap.segment(id).block_by_serial(bd.serial)?.clone(),
-            };
-            for run in &bd.runs {
-                let mut r = WireReader::new(Bytes::from(run.data.to_vec()));
-                self.apply_run(&meta, run.start, run.count, &mut r, &mut unswz_cache)?;
-                self.metrics.prims_received.add(run.count);
-            }
-            self.heap
-                .set_block_version(id, bd.serial, diff.to_version)?;
-            pred = Some(meta.end());
-        }
-
-        for &serial in &diff.freed {
-            // A tombstone for a block this cache never created (e.g. a
-            // create+free pair inside one composed chain, or a server
-            // being conservative) is simply a no-op.
-            let Ok(meta) = self.heap.segment(id).block_by_serial(serial) else {
-                continue;
-            };
-            let (bva, bend) = (meta.va, meta.end());
-            self.heap.free_block(id, serial)?;
-            self.unresolved.retain(|&va, _| !(bva..bend).contains(&va));
-        }
-
-        if let Some(c) = &mut unswz_cache {
-            if c.hits > 0 {
-                self.metrics.unswizzle_cache_hits.add(c.hits);
-                c.hits = 0;
-            }
-        }
-        let st = self.state_mut(&name)?;
-        st.version = diff.to_version;
-        self.metrics.diffs_applied.inc();
-        Ok(())
-    }
-
-    /// Decodes `count` primitives starting at `start` from `r` into the
-    /// block's local image, bypassing modification tracking (this is a
-    /// library write, not an application write).
-    fn apply_run(
-        &mut self,
-        meta: &BlockMeta,
-        start: u64,
-        count: u64,
-        r: &mut WireReader,
-        unswz_cache: &mut Option<UnswizzleCache>,
-    ) -> Result<(), CoreError> {
-        if count == 0 {
-            return Ok(());
-        }
         let arch = self.heap.arch().clone();
         let first = meta.flat.prim_at(start).ok_or_else(|| {
             CoreError::Server(format!("run start {start} outside block {}", meta.serial))
@@ -1789,11 +2096,20 @@ impl Session {
         })?;
         let span_lo = first.local_off as usize;
         let span_hi = last.local_off as usize + last.local_size(&arch) as usize;
-        let mut scratch = self
-            .heap
-            .read_bytes(meta.va + span_lo as u64, span_hi - span_lo)?
-            .to_vec();
-        let mut unresolved_ops: Vec<(u64, Option<Mip>)> = Vec::new();
+        let span = span_hi - span_lo;
+        // Packed layouts (primitives tile the block, every window fully
+        // rewritten by decode) skip the heap pre-fill: decode overwrites
+        // every byte of the span, so any initialized buffer works —
+        // reused pool buffers cost nothing.
+        let (mut scratch, reused) = if meta.flat.is_packed() {
+            pool.get_filled(span)
+        } else {
+            let (mut s, r) = pool.get(span);
+            s.extend_from_slice(self.heap.read_bytes(meta.va + span_lo as u64, span)?);
+            (s, r)
+        };
+        let mut unresolved_inserts: Vec<(u64, Mip)> = Vec::new();
+        let mut clear_ranges: Vec<(u64, u32, u32)> = Vec::new();
         let little = arch.endian.is_little();
         let mut remaining = count;
         for mut run in meta.flat.seek_prim_runs(start) {
@@ -1808,31 +2124,24 @@ impl Session {
             match run.kind {
                 PrimKind::Ptr => {
                     let size = arch.pointer_size as usize;
-                    let track_clears = !self.unresolved.is_empty();
+                    clear_ranges.push((meta.va + u64::from(run.local_off), run.stride, run.count));
                     for k in 0..run.count {
                         let loff = run.local_off + k * run.stride;
                         let off = loff as usize - span_lo;
                         let mip_bytes = r.get_len_bytes().map_err(CoreError::Wire)?;
                         let mip_str = std::str::from_utf8(&mip_bytes)
                             .map_err(|_| CoreError::Wire(iw_wire::codec::WireError::InvalidUtf8))?;
-                        let field_va = meta.va + u64::from(loff);
                         let window = &mut scratch[off..off + size];
-                        match self.resolve_mip_cached(mip_str, unswz_cache)? {
+                        match self.resolve_mip_cached(mip_str, &mut unswz_cache)? {
                             ResolvedPtr::Null => {
                                 write_va(window, &arch, 0);
-                                if track_clears {
-                                    unresolved_ops.push((field_va, None));
-                                }
                             }
                             ResolvedPtr::Local(va) => {
                                 write_va(window, &arch, va);
-                                if track_clears {
-                                    unresolved_ops.push((field_va, None));
-                                }
                             }
                             ResolvedPtr::Unresolved(mip) => {
                                 write_va(window, &arch, 0);
-                                unresolved_ops.push((field_va, Some(mip)));
+                                unresolved_inserts.push((meta.va + u64::from(loff), mip));
                             }
                         }
                     }
@@ -1841,7 +2150,7 @@ impl Session {
                     for k in 0..run.count {
                         let off = (run.local_off + k * run.stride) as usize - span_lo;
                         let window = &mut scratch[off..off + cap as usize];
-                        prim_from_wire(r, run.kind, window, &arch, &mut no_pointers_in)
+                        prim_from_wire(&mut r, run.kind, window, &arch, &mut no_pointers_in)
                             .map_err(CoreError::Wire)?;
                     }
                 }
@@ -1849,7 +2158,7 @@ impl Session {
                     let size = kind.local_size(&arch) as usize;
                     let base = run.local_off as usize - span_lo;
                     decode_fixed_run(
-                        r,
+                        &mut r,
                         &mut scratch[base..],
                         size,
                         run.stride as usize,
@@ -1860,43 +2169,19 @@ impl Session {
                 }
             }
         }
-        self.heap
-            .bytes_mut_unprotected(meta.va + span_lo as u64, span_hi - span_lo)?
-            .copy_from_slice(&scratch);
-        for (field_va, mip) in unresolved_ops {
-            match mip {
-                Some(m) => {
-                    self.unresolved.insert(field_va, m);
-                }
-                None => {
-                    self.unresolved.remove(&field_va);
-                }
+        if let Some(c) = &mut unswz_cache {
+            if c.hits > 0 {
+                self.metrics.unswizzle_cache_hits.add(c.hits);
+                c.hits = 0;
             }
         }
-        Ok(())
-    }
-
-    /// Resolves a wire MIP string against locally cached segments.
-    pub(crate) fn resolve_mip_to_va(&self, mip_str: &str) -> Result<ResolvedPtr, CoreError> {
-        if mip_str.is_empty() {
-            return Ok(ResolvedPtr::Null);
-        }
-        let mip: Mip = mip_str.parse().map_err(CoreError::Wire)?;
-        let Some(seg_id) = self.heap.segment_id(&mip.segment) else {
-            return Ok(ResolvedPtr::Unresolved(mip));
-        };
-        let seg = self.heap.segment(seg_id);
-        let meta = match &mip.block {
-            BlockRef::Serial(n) => seg.block_by_serial(*n),
-            BlockRef::Name(n) => seg.block_by_name(n),
-        };
-        let Ok(meta) = meta else {
-            return Ok(ResolvedPtr::Unresolved(mip));
-        };
-        let Some(p) = meta.flat.prim_at(mip.offset) else {
-            return Ok(ResolvedPtr::Unresolved(mip));
-        };
-        Ok(ResolvedPtr::Local(meta.va + u64::from(p.local_off)))
+        Ok(DecodedRun {
+            span_va: meta.va + span_lo as u64,
+            scratch,
+            reused,
+            unresolved_inserts,
+            clear_ranges,
+        })
     }
 
     /// As [`Session::resolve_mip_to_va`], with a one-entry prefix cache
@@ -2040,54 +2325,44 @@ fn unexpected(reply: Reply) -> CoreError {
     }
 }
 
-/// A run being accumulated across page runs: payload chunks are kept as
-/// cheap `Bytes` handles and concatenated once at the end, so merging N
-/// adjacent page runs is O(total) instead of O(total²).
+/// A merged run produced by one translation job. The payload is a
+/// zero-copy slice of the job's single wire buffer (or the whole buffer
+/// for whole-block translation), so finalizing a run never copies.
 struct RunAcc {
     start: u64,
     count: u64,
-    chunks: Vec<Bytes>,
+    data: Bytes,
 }
 
-/// Appends `run` to `accs`, merging with the previous run when contiguous
-/// in primitive offsets.
-fn push_run(accs: &mut Vec<RunAcc>, run: DiffRun) {
-    if let Some(last) = accs.last_mut() {
-        if last.start + last.count == run.start {
-            last.count += run.count;
-            last.chunks.push(run.data);
-            return;
-        }
-    }
-    accs.push(RunAcc {
-        start: run.start,
-        count: run.count,
-        chunks: vec![run.data],
-    });
+/// Estimated wire bytes for one whole value of the layout, walked on the
+/// compact node tree (O(tree), not O(primitives)). Pointers swizzle into
+/// length-prefixed MIP strings — segment and block names are short, so
+/// 48 bytes covers typical swizzled pointers; strings gain a length
+/// prefix over their local capacity.
+fn wire_upper(nodes: &[FlatNode], arch: &MachineArch) -> u64 {
+    nodes
+        .iter()
+        .map(|n| match n {
+            FlatNode::Run { kind, count, .. } => {
+                let per = match kind {
+                    PrimKind::Ptr => 48,
+                    PrimKind::Str { cap } => u64::from(*cap) + 4,
+                    kind => u64::from(kind.local_size(arch)),
+                };
+                u64::from(*count) * per
+            }
+            FlatNode::Repeat { count, body, .. } => u64::from(*count) * wire_upper(body, arch),
+        })
+        .sum()
 }
 
 /// Finalizes accumulated runs into wire [`DiffRun`]s.
 fn finish_runs(accs: Vec<RunAcc>) -> Vec<DiffRun> {
     accs.into_iter()
-        .map(|a| {
-            if a.chunks.len() == 1 {
-                let mut chunks = a.chunks;
-                return DiffRun {
-                    start: a.start,
-                    count: a.count,
-                    data: chunks.pop().expect("one chunk"),
-                };
-            }
-            let total: usize = a.chunks.iter().map(Bytes::len).sum();
-            let mut data = Vec::with_capacity(total);
-            for c in &a.chunks {
-                data.extend_from_slice(c);
-            }
-            DiffRun {
-                start: a.start,
-                count: a.count,
-                data: Bytes::from(data),
-            }
+        .map(|a| DiffRun {
+            start: a.start,
+            count: a.count,
+            data: a.data,
         })
         .collect()
 }

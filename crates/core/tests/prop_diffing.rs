@@ -1,0 +1,79 @@
+//! Property test: the chunked twin scanner produces exactly the same
+//! changed-run list as the scalar reference scanner, for every word size,
+//! splice setting, buffer length (including partial trailing words and
+//! lengths straddling the chunk size), and change pattern — including
+//! runs touching the very first and very last word.
+
+use iw_core::diffing::{find_byte_runs, find_byte_runs_scalar};
+use proptest::prelude::*;
+
+/// Buffer lengths that stress the interesting seams: sub-word, sub-chunk,
+/// exact chunk multiples, chunk ± 1, and a partial trailing word.
+fn arb_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..17,
+        120usize..137,
+        250usize..261,
+        Just(128),
+        Just(256),
+        Just(1024),
+        Just(1023),
+        1000usize..1101,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunked_scan_matches_scalar(
+        len in arb_len(),
+        word in prop_oneof![Just(4usize), Just(8usize)],
+        splice in any::<bool>(),
+        // Byte positions to flip, as fractions of the length so every
+        // length gets starts/middles/ends covered.
+        flips in prop::collection::vec(0.0f64..1.0, 0..20),
+        force_first in any::<bool>(),
+        force_last in any::<bool>(),
+    ) {
+        let twin = vec![0xA5u8; len];
+        let mut cur = twin.clone();
+        for f in &flips {
+            let i = ((*f * len as f64) as usize).min(len - 1);
+            cur[i] ^= 0xFF;
+        }
+        if force_first {
+            cur[0] ^= 0x01;
+        }
+        if force_last {
+            cur[len - 1] ^= 0x80;
+        }
+        let fast = find_byte_runs(&twin, &cur, word, splice);
+        let slow = find_byte_runs_scalar(&twin, &cur, word, splice);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn chunked_scan_matches_scalar_on_dense_noise(
+        len in arb_len(),
+        word in prop_oneof![Just(4usize), Just(8usize)],
+        splice in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Dense pseudo-random difference patterns: roughly half the bytes
+        // change, exercising run starts/ends inside every chunk.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let twin: Vec<u8> = (0..len).map(|_| next()).collect();
+        let cur: Vec<u8> = twin
+            .iter()
+            .map(|&b| if next() & 1 == 0 { b } else { b ^ next().max(1) })
+            .collect();
+        let fast = find_byte_runs(&twin, &cur, word, splice);
+        let slow = find_byte_runs_scalar(&twin, &cur, word, splice);
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -242,7 +242,34 @@ pub enum Reply {
 impl Request {
     /// Serializes the request into framed wire bytes.
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::new();
+        // Pre-size the writer for the payload-bearing variants so
+        // serializing a large diff or image never regrows the buffer;
+        // control messages stay on the default small allocation.
+        let cap = match self {
+            Request::Release {
+                segment,
+                diff: Some(d),
+                ..
+            } => 64 + segment.len() + d.encoded_len_hint(),
+            Request::Commit { entries, .. } => {
+                64 + entries
+                    .iter()
+                    .map(|(s, d)| {
+                        16 + s.len() + d.as_ref().map_or(0, SegmentDiff::encoded_len_hint)
+                    })
+                    .sum::<usize>()
+            }
+            Request::Replicate { segment, diff, .. } => {
+                64 + segment.len() + diff.encoded_len_hint()
+            }
+            Request::SyncFull { segment, image } => 64 + segment.len() + image.len(),
+            _ => 0,
+        };
+        let mut w = if cap > 0 {
+            WireWriter::with_capacity(cap)
+        } else {
+            WireWriter::new()
+        };
         match self {
             Request::Hello { info } => {
                 w.put_u8(0);
@@ -478,7 +505,19 @@ impl Request {
 impl Reply {
     /// Serializes the reply into framed wire bytes.
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::new();
+        // As with requests: pre-size for the diff-bearing replies.
+        let cap = match self {
+            Reply::Granted {
+                update: Some(d), ..
+            } => 64 + d.encoded_len_hint(),
+            Reply::Update { diff } => 64 + diff.encoded_len_hint(),
+            _ => 0,
+        };
+        let mut w = if cap > 0 {
+            WireWriter::with_capacity(cap)
+        } else {
+            WireWriter::new()
+        };
         match self {
             Reply::Welcome { client } => {
                 w.put_u8(0);

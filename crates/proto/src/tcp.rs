@@ -20,14 +20,32 @@ use crate::transport::{
     FaultAction, FaultLayer, Handler, ProtoError, Transport, TransportMetrics, TransportStats,
 };
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame as a single vectored write, so the
+/// length prefix and the body leave in one syscall (and, with Nagle off,
+/// one TCP segment for small frames) instead of two `write_all` calls.
+/// Short writes fall back to plain writes of the remainder.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying stream.
 pub fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
-    stream.write_all(&(body.len() as u32).to_be_bytes())?;
-    stream.write_all(body)?;
+    let prefix = (body.len() as u32).to_be_bytes();
+    let total = prefix.len() + body.len();
+    let mut done = 0usize;
+    while done < total {
+        let n = if done < prefix.len() {
+            stream.write_vectored(&[io::IoSlice::new(&prefix[done..]), io::IoSlice::new(body)])?
+        } else {
+            stream.write(&body[done - prefix.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        done += n;
+    }
     stream.flush()
 }
 

@@ -153,6 +153,8 @@ pub struct FlatLayout {
     /// Total wire size in bytes when the type contains no variable-length
     /// primitives; `None` otherwise.
     fixed_wire_size: Option<u64>,
+    /// Whether primitives tile `[0, local_size)` with no padding.
+    packed: bool,
 }
 
 impl FlatLayout {
@@ -174,12 +176,14 @@ impl FlatLayout {
         flatten(ty, arch, 0, &mut prim, &mut nodes, merge);
         let layout = layout_of(ty, arch);
         let fixed_wire_size = wire_size_of(ty);
+        let packed = nodes_packed(&nodes, arch, layout.size);
         FlatLayout {
             nodes: nodes.into(),
             arch: arch.clone(),
             local_size: layout.size,
             prim_count: prim,
             fixed_wire_size,
+            packed,
         }
     }
 
@@ -206,6 +210,16 @@ impl FlatLayout {
     /// Total wire size in bytes, when fixed (no strings or pointers).
     pub fn fixed_wire_size(&self) -> Option<u64> {
         self.fixed_wire_size
+    }
+
+    /// True when the layout's primitives tile `[0, local_size)` back to
+    /// back with no padding: every byte of a value belongs to exactly one
+    /// primitive, in primitive order. For a packed layout, any contiguous
+    /// primitive range fully covers its local byte span — diff
+    /// application relies on this to skip pre-filling scratch buffers it
+    /// is about to overwrite completely.
+    pub fn is_packed(&self) -> bool {
+        self.packed
     }
 
     /// Iterates all primitives from the beginning.
@@ -376,6 +390,44 @@ impl Iterator for RunIter<'_> {
             }
         }
     }
+}
+
+/// Whether `nodes` tile `[0, span)` back to back: each run's stride
+/// equals its element width, each repeat's body tiles its own stride,
+/// and consecutive nodes leave no gaps. Checked structurally on the
+/// compact node tree, so the cost is O(tree), not O(primitives).
+fn nodes_packed(nodes: &[FlatNode], arch: &MachineArch, span: u32) -> bool {
+    let mut next = 0u32;
+    for n in nodes {
+        match n {
+            FlatNode::Run {
+                kind,
+                count,
+                local_off,
+                stride,
+                ..
+            } => {
+                let width = kind.local_size(arch);
+                if *local_off != next || *stride != width {
+                    return false;
+                }
+                next = local_off + count * width;
+            }
+            FlatNode::Repeat {
+                count,
+                local_off,
+                stride,
+                body,
+                ..
+            } => {
+                if *local_off != next || !nodes_packed(body, arch, *stride) {
+                    return false;
+                }
+                next = local_off + count * stride;
+            }
+        }
+    }
+    next == span
 }
 
 /// Wire-format size in bytes of a fixed-size type, or `None` when the type

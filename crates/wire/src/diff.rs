@@ -100,9 +100,31 @@ impl SegmentDiff {
             + self.new_blocks.iter().map(|b| b.data.len()).sum::<usize>()
     }
 
+    /// Exact encoded size in bytes, excluding the type-descriptor section
+    /// (descriptors are rare and variable; a generous fixed allowance per
+    /// descriptor keeps the estimate a one-pass sum). Used to pre-size
+    /// the encode buffer so serialization never reallocates, and by
+    /// transports to pre-size message frames.
+    pub fn encoded_len_hint(&self) -> usize {
+        let mut n = 8 + 8 + 4 + 4 + 4 + 4; // versions + four section counts
+        n += self.new_types.len() * 64;
+        for b in &self.new_blocks {
+            // serial + name flag (+ name) + type serial + count + data
+            n += 4 + 1 + b.name.as_ref().map_or(0, |s| 4 + s.len()) + 4 + 4 + 4 + b.data.len();
+        }
+        for d in &self.block_diffs {
+            // serial + declared len + run count, then per run start/count/data
+            n += 4 + 4 + 4;
+            for run in &d.runs {
+                n += 8 + 8 + 4 + run.data.len();
+            }
+        }
+        n + self.freed.len() * 4
+    }
+
     /// Serializes the diff (including its encoded size for framing).
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::with_capacity(64 + self.payload_len());
+        let mut w = WireWriter::with_capacity(self.encoded_len_hint());
         w.put_u64(self.from_version);
         w.put_u64(self.to_version);
         w.put_u32(self.new_types.len() as u32);
@@ -281,6 +303,18 @@ mod tests {
         assert_eq!(d.block_diffs[0].diff_len(), 12);
         assert_eq!(d.block_diffs[0].prims_changed(), 3);
         assert_eq!(d.payload_len(), 12 + 16);
+    }
+
+    #[test]
+    fn len_hint_covers_encoding() {
+        let d = sample();
+        assert!(d.encoded_len_hint() >= d.encode().len());
+        // Without type descriptors the hint is exact.
+        let no_types = SegmentDiff {
+            new_types: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(no_types.encoded_len_hint(), no_types.encode().len());
     }
 
     #[test]

@@ -14,9 +14,15 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// `Bytes::from(Vec<u8>)` (and therefore [`BytesMut::freeze`]) adopts the
+/// vector's allocation instead of copying it — the hot translation paths
+/// finalize multi-megabyte wire buffers and must not pay a copy (plus the
+/// page faults of a second fresh allocation) per diff.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -30,7 +36,7 @@ impl Bytes {
     /// Creates `Bytes` from a static slice (copied once into shared storage).
     pub fn from_static(s: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::from(s),
+            data: Arc::new(s.to_vec()),
             start: 0,
             end: s.len(),
         }
@@ -39,7 +45,7 @@ impl Bytes {
     /// Copies `s` into a new `Bytes`.
     pub fn copy_from_slice(s: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(s),
+            data: Arc::new(s.to_vec()),
             start: 0,
             end: s.len(),
         }
@@ -135,10 +141,11 @@ impl Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: adopts the vector's allocation (excess capacity and all).
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
