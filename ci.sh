@@ -43,6 +43,26 @@ for seed in 1 7 42; do
 done
 env -u RUST_TEST_THREADS timeout 300 cargo test -q --release -p iw-faults
 
+echo "== recovery (durable soak + SIGKILL mid-commit + restart, oracle byte-compare)"
+# iwchaos --recover runs two checks per seed: the chaos soak on a
+# durable primary whose data dir is reopened and byte-compared against
+# the soak-end image, and a real `iwsrv --data-dir` child SIGKILLed
+# mid-commit, restarted, and byte-compared against a fault-free oracle.
+cargo build --release -q -p iw-cli --bin iwchaos --bin iwsrv
+for seed in 1 7 42; do
+  if ! timeout 120 target/release/iwchaos --seed "$seed" --recover; then
+    echo "recovery FAILED at seed $seed (replay: iwchaos --seed $seed --recover)"
+    exit 1
+  fi
+done
+
+echo "== bench smoke (durable release-path overhead, wal on vs off)"
+# Informational: prints µs/release for off / wal / wal+checkpoint so a
+# durability regression is visible in the CI log (EXPERIMENTS.md §PR6
+# records the reference numbers for this host class).
+cargo build --release -q -p iw-bench --bin bench_durable
+target/release/bench_durable 2000
+
 echo "== bench smoke (translation hot path vs committed baseline)"
 # Fails when the auto-thread collect+apply total regresses more than 25%
 # against crates/bench/baselines/BENCH_5.json. Regenerate the baseline

@@ -1,0 +1,118 @@
+//! Release-path overhead of the durable diff store (`iw-durable`):
+//! the same acquire-write-release loop against an in-memory server, a
+//! WAL-only server, and a WAL+checkpoint server, each release carrying
+//! a fixed 1 KiB diff. Reports per-release latency and the relative
+//! overhead of making every ack durable (fsync included).
+//!
+//! Usage: `cargo run --release -p iw-bench --bin bench_durable [ROUNDS]`
+
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use iw_bench::{secs, time};
+use iw_proto::msg::{LockMode, Reply, Request};
+use iw_proto::Coherence;
+use iw_server::{DurabilityMode, DurableOptions, Server};
+use iw_types::desc::TypeDesc;
+use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+
+const SEGMENT: &str = "bench/durable";
+const WORDS: u32 = 256; // 1 KiB of int32 payload per release
+
+/// Version `r` → `r+1`: round 0 allocates the block, later rounds
+/// rewrite all of it — a steady 1 KiB diff per release.
+fn round_diff(r: u64) -> SegmentDiff {
+    let payload = Bytes::from((r as u32).to_be_bytes().repeat(WORDS as usize));
+    let mut d = SegmentDiff {
+        from_version: r,
+        to_version: r + 1,
+        ..Default::default()
+    };
+    if r == 0 {
+        d.new_types = vec![(0, TypeDesc::int32())];
+        d.new_blocks = vec![NewBlock {
+            serial: 0,
+            name: None,
+            type_serial: 0,
+            count: WORDS,
+            data: payload,
+        }];
+    } else {
+        d.block_diffs = vec![BlockDiff {
+            serial: 0,
+            runs: vec![DiffRun {
+                start: 0,
+                count: u64::from(WORDS),
+                data: payload,
+            }],
+        }];
+    }
+    d
+}
+
+/// Runs `rounds` releases against `server`; returns mean µs/release.
+fn drive(server: &Server, rounds: u64) -> f64 {
+    let c = server.hello("bench");
+    server.open(SEGMENT);
+    let (_, elapsed) = time(|| {
+        for r in 0..rounds {
+            let acq = server.handle_request(&Request::Acquire {
+                client: c,
+                segment: SEGMENT.into(),
+                mode: LockMode::Write,
+                have_version: r,
+                coherence: Coherence::Full,
+            });
+            assert!(matches!(acq, Reply::Granted { .. }));
+            let rel = server.handle_request(&Request::Release {
+                client: c,
+                segment: SEGMENT.into(),
+                diff: Some(round_diff(r)),
+            });
+            assert!(matches!(rel, Reply::Released { .. }));
+        }
+    });
+    println!(
+        "  {rounds} releases in {} ({:.1} µs/release)",
+        secs(elapsed),
+        elapsed.as_secs_f64() * 1e6 / rounds as f64
+    );
+    elapsed.as_secs_f64() * 1e6 / rounds as f64
+}
+
+fn durable(mode: DurabilityMode, dir: &PathBuf) -> Server {
+    let _ = std::fs::remove_dir_all(dir);
+    let opts = DurableOptions {
+        mode,
+        ..DurableOptions::default()
+    };
+    let (s, _) = Server::with_durability(dir.clone(), opts).expect("open durable store");
+    s
+}
+
+fn main() {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let scratch = std::env::temp_dir().join(format!("iw-bench-durable-{}", std::process::id()));
+
+    println!("durability off (in-memory server):");
+    let base = drive(&Server::new(), rounds);
+
+    println!("durability wal (fsync before every ack, group commit):");
+    let wal_dir = scratch.join("wal");
+    let wal = drive(&durable(DurabilityMode::Wal, &wal_dir), rounds);
+
+    println!("durability wal+checkpoint (default interval):");
+    let full_dir = scratch.join("full");
+    let full = drive(&durable(DurabilityMode::WalCheckpoint, &full_dir), rounds);
+
+    println!(
+        "overhead vs off: wal {:+.0}% ({:.1} µs/release added), wal+checkpoint {:+.0}%",
+        (wal / base - 1.0) * 100.0,
+        wal - base,
+        (full / base - 1.0) * 100.0,
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

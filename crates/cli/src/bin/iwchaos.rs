@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! iwchaos [--seed S] [--clients N] [--ops N] [--rate PER_10K] [--trace]
+//!         [--recover]
 //! ```
 //!
 //! Spins up a primary with an attached backup, degrades every client
@@ -11,13 +12,86 @@
 //! against the fault-free oracle and the backup byte-for-byte against
 //! the primary. Exits 1 when the run does not converge.
 //!
+//! With `--recover`, two durability checks run instead:
+//!
+//! 1. the same chaos soak on a *durable* primary
+//!    (`Server::with_durability`, real fsyncs), after which the data
+//!    dir is reopened and the recovered segment must byte-match the
+//!    image the primary held at soak end;
+//! 2. the process-kill harness: a real `iwsrv --data-dir` child is
+//!    SIGKILLed mid-commit at a seeded point, restarted, and its
+//!    recovered segment byte-compared against a fault-free oracle.
+//!
 //! The same seed always injects the same fault schedule — print it with
 //! `--trace` and replay at will (with `--clients 1` the trace is fully
 //! deterministic; more clients interleave their streams).
 
 use iw_cli::Args;
-use iw_faults::chaos::{run_soak, SoakConfig};
+use iw_faults::chaos::{run_soak, run_soak_on, soak_segment_image, SoakConfig};
+use iw_faults::kill::{run_kill_restart, KillConfig};
 use iw_faults::FaultPlan;
+use iw_server::{DurableOptions, Server};
+
+/// The `--recover` mode: durable soak + reopen compare, then the
+/// SIGKILL/restart harness. Returns `Ok(false)` on invariant failure.
+fn run_recover(cfg: &SoakConfig, seed: u64) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut ok = true;
+    let scratch =
+        std::env::temp_dir().join(format!("iwchaos-recover-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Check 1: the chaos soak on a durable primary, then reopen.
+    let soak_dir = scratch.join("soak");
+    let (server, _) = Server::with_durability(soak_dir.clone(), DurableOptions::default())?;
+    let report = run_soak_on(cfg, server);
+    for f in &report.failures {
+        eprintln!("iwchaos: FAIL (durable soak) {f}");
+        ok = false;
+    }
+    let (recovered, rec) = Server::with_durability(soak_dir, DurableOptions::default())?;
+    for w in &rec.warnings {
+        eprintln!("iwchaos: recovery warning: {w}");
+    }
+    if soak_segment_image(&recovered) == report.primary_image && report.primary_image.is_some() {
+        println!(
+            "iwchaos: durable soak recovered byte-identical (v{}, {} records replayed)",
+            report.final_version, rec.replayed_records
+        );
+    } else {
+        eprintln!("iwchaos: FAIL reopened data dir does not byte-match the soak-end primary");
+        ok = false;
+    }
+    drop(recovered);
+
+    // Check 2: SIGKILL a real iwsrv mid-commit and restart it.
+    let iwsrv = std::env::current_exe()?
+        .parent()
+        .map(|d| d.join("iwsrv"))
+        .filter(|p| p.exists())
+        .ok_or("iwsrv binary not found next to iwchaos (build the workspace first)")?;
+    let kill_cfg = KillConfig {
+        seed,
+        rounds: 200,
+        iwsrv,
+        data_dir: scratch.join("kill"),
+    };
+    let kr = run_kill_restart(&kill_cfg)?;
+    for f in &kr.failures {
+        eprintln!("iwchaos: FAIL (kill/restart) {f}");
+        ok = false;
+    }
+    if kr.passed() {
+        println!(
+            "iwchaos: SIGKILL mid-commit at ack {} → recovered v{} byte-identical \
+             ({} records replayed)",
+            kr.acked, kr.recovered_version, kr.replayed_records
+        );
+    }
+    if ok {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    Ok(ok)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(std::env::args().skip(1));
@@ -37,6 +111,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rate: u32 = v.parse()?;
         cfg.client_plan = FaultPlan::recoverable(rate);
         cfg.ship_plan = FaultPlan::recoverable(rate);
+    }
+
+    if args.switch("recover") {
+        if run_recover(&cfg, seed)? {
+            println!("iwchaos: recovery checks passed (seed {seed})");
+            return Ok(());
+        }
+        eprintln!("iwchaos: RECOVERY FAILED (seed {seed})");
+        std::process::exit(1);
     }
 
     let report = run_soak(&cfg);

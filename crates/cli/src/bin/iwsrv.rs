@@ -1,15 +1,28 @@
 //! `iwsrv` — a standalone InterWeave server over TCP.
 //!
 //! ```text
-//! iwsrv [--listen 127.0.0.1:7474] [--checkpoint-dir DIR]
-//!       [--checkpoint-every N] [--recover] [--backup-of ADDR]
-//!       [--chaos SEED] [--chaos-rate PER_10K]
+//! iwsrv [--listen 127.0.0.1:7474] [--data-dir DIR] [--durability MODE]
+//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--recover]
+//!       [--backup-of ADDR] [--chaos SEED] [--chaos-rate PER_10K]
+//!       [--port-file PATH]
 //! ```
 //!
-//! With `--checkpoint-dir`, every segment is checkpointed every N
-//! versions (default 8); with `--recover`, segments found in the
+//! With `--data-dir`, the server runs on the durable diff store
+//! (`iw-durable`): committed diffs are WAL-logged and fsynced before the
+//! release is acknowledged, checkpoint images bound the log, and a
+//! restart with the same `--data-dir` recovers everything — including a
+//! `kill -9` mid-commit (torn tail truncated). `--durability` picks the
+//! mode (`wal` or the default `wal+checkpoint`); `--checkpoint-every`
+//! doubles as the durable checkpoint interval.
+//!
+//! With the legacy `--checkpoint-dir`, every segment is checkpointed
+//! every N versions (default 8); with `--recover`, segments found in the
 //! directory are restored before serving — the paper's "partial
-//! protection against server failure" (§2.2).
+//! protection against server failure" (§2.2) without the WAL.
+//!
+//! `--port-file PATH` writes the actual bound address (useful with
+//! `--listen 127.0.0.1:0`) to PATH once serving — the handshake the
+//! kill/restart harness uses to find an ephemeral port.
 //!
 //! Every `iwsrv` is replication-capable: it accepts `AttachBackup`
 //! requests and streams committed diffs to attached backups. With
@@ -33,7 +46,7 @@ use iw_cli::Args;
 use iw_cluster::Primary;
 use iw_faults::{FaultLog, FaultPlan, FaultyHandler};
 use iw_proto::{Handler, Reply, Request, TcpServer, TcpTransport, Transport};
-use iw_server::Server;
+use iw_server::{DurabilityMode, DurableOptions, Server};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(std::env::args().skip(1));
@@ -44,14 +57,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(8);
 
-    let server = match args.flag("checkpoint-dir") {
-        Some(dir) if args.switch("recover") => {
-            let s = Server::recover(PathBuf::from(dir), every)?;
-            eprintln!("iwsrv: recovered checkpoints from {dir}");
-            s
+    let server = if let Some(dir) = args.flag("data-dir") {
+        let mode = match args.flag("durability") {
+            Some(m) => DurabilityMode::parse(m)
+                .ok_or_else(|| format!("unknown --durability mode `{m}`"))?,
+            None => DurabilityMode::WalCheckpoint,
+        };
+        let opts = DurableOptions {
+            mode,
+            checkpoint_interval: every.max(1),
+            ..DurableOptions::default()
+        };
+        let (s, recovery) = Server::with_durability(PathBuf::from(dir), opts)?;
+        for w in &recovery.warnings {
+            eprintln!("iwsrv: recovery warning: {w}");
         }
-        Some(dir) => Server::with_checkpointing(PathBuf::from(dir), every),
-        None => Server::new(),
+        eprintln!(
+            "iwsrv: durable store at {dir} (mode {mode}): {} segments recovered, {} records replayed",
+            recovery.segments.len(),
+            recovery.replayed_records
+        );
+        s
+    } else {
+        match args.flag("checkpoint-dir") {
+            Some(dir) if args.switch("recover") => {
+                let s = Server::recover(PathBuf::from(dir), every)?;
+                eprintln!("iwsrv: recovered checkpoints from {dir}");
+                s
+            }
+            Some(dir) => Server::with_checkpointing(PathBuf::from(dir), every),
+            None => Server::new(),
+        }
     };
     let primary = Primary::new(server);
     let registry = primary.server().registry().clone();
@@ -77,6 +113,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let tcp = TcpServer::spawn_with_registry(listen.parse()?, handler, &registry)?;
     eprintln!("iwsrv: serving on {}", tcp.addr());
+    if let Some(path) = args.flag("port-file") {
+        // tmp+rename so a poller never reads a half-written address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, tcp.addr().to_string())?;
+        std::fs::rename(&tmp, path)?;
+    }
 
     if let Some(primary) = args.flag("backup-of") {
         let primary: std::net::SocketAddr = primary.parse()?;

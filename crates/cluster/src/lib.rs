@@ -707,6 +707,48 @@ mod tests {
     }
 
     #[test]
+    fn recovered_primary_reships_from_persisted_frontier() {
+        use iw_server::{DurabilityMode, DurableOptions};
+        let dir = std::env::temp_dir().join(format!("iw-cluster-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurableOptions {
+            mode: DurabilityMode::WalCheckpoint,
+            fsync: false,
+            ..DurableOptions::default()
+        };
+        {
+            // A durable primary commits three versions, then "crashes"
+            // (dropped without shipping anywhere).
+            let (server, _) = Server::with_durability(dir.clone(), opts.clone()).unwrap();
+            let primary = Arc::new(Primary::new(server));
+            let (_t, client) = connect(&primary);
+            for v in 0..3 {
+                write_version(&primary, client, v);
+            }
+        }
+        // Restart from disk: the recovered primary's persisted frontier
+        // (v3) is what attach-time catch-up ships to a fresh backup.
+        let (server, rec) = Server::with_durability(dir.clone(), opts).unwrap();
+        assert!(rec.warnings.is_empty(), "{:?}", rec.warnings);
+        let primary = Arc::new(Primary::new(server));
+        let backup = Arc::new(Server::new());
+        primary.add_backup(Box::new(Loopback::new(backup.clone())));
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(3));
+        let image = |s: &Arc<Server>| {
+            s.with_segment_mut("h/s", |seg| checkpoint::encode_segment(seg).unwrap())
+                .unwrap()
+        };
+        assert_eq!(image(primary.server()), image(&backup));
+        // The replication stream continues past the recovered frontier.
+        let (_t, client) = connect(&primary);
+        write_version(&primary, client, 3);
+        primary.drain();
+        assert_eq!(backup.segment_version("h/s"), Some(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn failed_release_is_not_replicated() {
         let (primary, backup) = cluster();
         let (mut t, client) = connect(&primary);

@@ -103,6 +103,10 @@ pub struct SoakReport {
     /// Total successful client reconnects (recoveries from injected
     /// channel faults).
     pub client_reconnects: u64,
+    /// The primary's final checkpoint-encoded segment image. When the
+    /// soak ran on a durable server, a restart from the same data dir
+    /// must recover to exactly these bytes.
+    pub primary_image: Option<Vec<u8>>,
 }
 
 const SEGMENT: &str = "chaos/slots";
@@ -297,12 +301,20 @@ fn run_client(primary: &Arc<Primary>, cfg: &SoakConfig, c: usize, log: &FaultLog
 /// Runs one soak: build the degraded cluster, run the workload, stop
 /// the faults, verify convergence and backup identity.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    run_soak_on(cfg, Server::new())
+}
+
+/// [`run_soak`] with a caller-built primary server — the hook the
+/// recovery harness uses to run the identical chaos workload on a
+/// durable (`Server::with_durability`) primary, then restart it from
+/// disk and compare against [`SoakReport::primary_image`].
+pub fn run_soak_on(cfg: &SoakConfig, primary_server: Server) -> SoakReport {
     let client_log = FaultLog::new();
     let ship_log = FaultLog::new();
     let mut failures = Vec::new();
 
     let backup = Arc::new(Server::new());
-    let primary = Arc::new(Primary::new(Server::new()));
+    let primary = Arc::new(Primary::new(primary_server));
     let mut ship_t = Loopback::new(backup.clone());
     ship_t.set_fault_layer(Box::new(FaultInjector::new(
         derive_seed(cfg.seed, 2),
@@ -359,13 +371,16 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         primary.drain();
     }
 
+    let primary_image = primary
+        .server()
+        .with_segment_mut(SEGMENT, checkpoint::encode_segment)
+        .and_then(Result::ok)
+        .map(|b| b.to_vec());
     let backup_identical = match (
-        primary
-            .server()
-            .with_segment_mut(SEGMENT, checkpoint::encode_segment),
+        &primary_image,
         backup.with_segment_mut(SEGMENT, checkpoint::encode_segment),
     ) {
-        (Some(Ok(p)), Some(Ok(b))) => p[..] == b[..],
+        (Some(p), Some(Ok(b))) => p[..] == b[..],
         _ => false,
     };
     if !backup_identical {
@@ -416,5 +431,16 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         final_version: primary.server().segment_version(SEGMENT).unwrap_or(0),
         final_slots,
         client_reconnects: reconnects,
+        primary_image,
     }
+}
+
+/// The shared segment's checkpoint-encoded image on `server`, if it
+/// exists and encodes (the recovery harness compares this against
+/// [`SoakReport::primary_image`] after a restart-from-disk).
+pub fn soak_segment_image(server: &Server) -> Option<Vec<u8>> {
+    server
+        .with_segment_mut(SEGMENT, checkpoint::encode_segment)
+        .and_then(Result::ok)
+        .map(|b| b.to_vec())
 }

@@ -28,12 +28,16 @@
 //!   rather than one client's link.
 //!
 //! The [`chaos`] module builds on these to run whole degraded clusters
-//! against a fault-free oracle.
+//! against a fault-free oracle. The [`kill`] module covers the one
+//! fault class no in-process injector can: SIGKILLing a real `iwsrv`
+//! mid-commit and proving restart-from-disk recovers byte-identical
+//! state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod kill;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -11,7 +11,10 @@
 //! - [`locks`] — reader/writer lock table;
 //! - [`server`] — the protocol front-end implementing
 //!   [`iw_proto::Handler`];
-//! - [`checkpoint`] — periodic persistence and recovery.
+//! - [`checkpoint`] — periodic persistence and recovery;
+//! - durability — committed diffs WAL-logged at release time via
+//!   `iw-durable` ([`Server::with_durability`]), with checkpoint-plus-log
+//!   crash recovery ([`DurabilityMode`], [`DurableOptions`] re-exported).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod server;
 pub mod wirestore;
 
 pub use error::ServerError;
+pub use iw_durable::{DurabilityMode, DurableOptions, Recovery};
 pub use locks::LockTable;
 pub use segment::{ServerBlock, ServerSegment, DIFF_CACHE_CAP, SUBBLOCK_PRIMS};
 pub use server::{CommitHook, RequestGuard, Server};

@@ -41,6 +41,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use iw_durable::{DiffStore, DurabilityMode, DurableOptions, Recovery};
 use iw_proto::msg::{LockMode, Reply, Request};
 use iw_proto::Coherence;
 use iw_telemetry::{Registry, Snapshot};
@@ -89,6 +90,12 @@ pub struct Server {
     /// Observer for committed client diffs (the cluster primary's ship
     /// queue feed). Fired under the segment write lock.
     commit_hook: RwLock<Option<CommitHook>>,
+    /// The durable diff store (`--data-dir`). Committed diffs are
+    /// persisted at the same point the commit hook fires — still under
+    /// the segment shard's write lock, so the WAL sees every segment's
+    /// commits in version order and the PR-3 lock hierarchy gains one
+    /// bottom level (… → ship queue → wal) without reordering.
+    durable: Option<Arc<DiffStore>>,
     /// High-water mark of `metrics.concurrent_requests`.
     peak_concurrent: AtomicU64,
     metrics: ServerMetrics,
@@ -154,6 +161,85 @@ impl Server {
             }
         }
         Ok(server)
+    }
+
+    /// Opens (or creates) the durable diff store at `dir` and recovers
+    /// the server's segments from it: newest checkpoint image per
+    /// segment, then the WAL tail replayed diff by diff. Returns the
+    /// [`Recovery`] report so callers can surface warnings (torn tails,
+    /// corrupt records) and the replay count.
+    ///
+    /// With [`DurabilityMode::Off`] no store is opened and the server
+    /// behaves exactly like [`Server::new`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the store. Damaged store *contents* are not
+    /// errors — they surface as [`Recovery::warnings`], and a segment
+    /// whose checkpoint image no longer decodes is skipped (with a
+    /// warning) rather than taking the server down.
+    pub fn with_durability(
+        dir: PathBuf,
+        opts: DurableOptions,
+    ) -> Result<(Self, Recovery), ServerError> {
+        let server = Server::default();
+        if opts.mode == DurabilityMode::Off {
+            return Ok((server, Recovery::default()));
+        }
+        let (store, mut recovery) = DiffStore::open(dir, opts, server.registry())?;
+        {
+            let mut map = server.segments.write();
+            for sr in &recovery.segments {
+                let mut seg = match &sr.checkpoint {
+                    Some((version, image)) => match checkpoint::decode_segment(image.clone()) {
+                        Ok(seg) if seg.name == sr.name && seg.version() == *version => seg,
+                        Ok(seg) => {
+                            recovery.warnings.push(format!(
+                                "checkpoint image mismatch for `{}` (image is `{}` v{}); segment skipped",
+                                sr.name,
+                                seg.name,
+                                seg.version()
+                            ));
+                            continue;
+                        }
+                        Err(e) => {
+                            recovery.warnings.push(format!(
+                                "checkpoint image for `{}` failed to decode ({e}); segment skipped",
+                                sr.name
+                            ));
+                            continue;
+                        }
+                    },
+                    None => ServerSegment::new(&sr.name),
+                };
+                for diff in &sr.tail {
+                    if let Err(e) = seg.apply_diff(diff) {
+                        // The store already filtered for a contiguous
+                        // chain, so this is a codec-level surprise: keep
+                        // the prefix that applied and say so.
+                        recovery.warnings.push(format!(
+                            "replay stopped for `{}` at v{} ({e})",
+                            sr.name,
+                            seg.version()
+                        ));
+                        break;
+                    }
+                }
+                map.insert(sr.name.clone(), Arc::new(RwLock::new(seg)));
+            }
+        }
+        let mut server = server;
+        server.durable = Some(Arc::new(store));
+        Ok((server, recovery))
+    }
+
+    /// The active durability mode ([`DurabilityMode::Off`] unless the
+    /// server was built by [`Server::with_durability`]).
+    pub fn durability_mode(&self) -> DurabilityMode {
+        self.durable
+            .as_ref()
+            .map(|s| s.options().mode)
+            .unwrap_or(DurabilityMode::Off)
     }
 
     /// Installs the commit observer (see [`CommitHook`]). The cluster
@@ -362,6 +448,76 @@ impl Server {
         }
     }
 
+    /// Persists one committed diff. Called exactly where the commit hook
+    /// fires — under the segment's write lock, after `apply_diff`
+    /// succeeded, before the reply is encoded — so the fsync completes
+    /// before the client sees the ack: **acked ⇒ durable**. The WAL is
+    /// the bottom of the lock hierarchy (below the ship queue), and the
+    /// group-commit leader fsyncs outside the WAL mutex, so concurrent
+    /// shards stack their records into shared syncs instead of
+    /// serializing on the disk.
+    ///
+    /// An append failure cannot fail the commit (the in-memory apply
+    /// already happened); it increments `durable.errors_total` and the
+    /// server keeps serving with the durability window open — the
+    /// documented tradeoff (DESIGN.md §8).
+    fn persist_commit(&self, segment: &str, diff: &SegmentDiff, seg: &mut ServerSegment) {
+        let Some(store) = &self.durable else {
+            return;
+        };
+        let _ = store.append_diff(segment, diff);
+        if store.options().mode == DurabilityMode::WalCheckpoint
+            && seg
+                .version()
+                .is_multiple_of(store.options().checkpoint_interval.max(1))
+        {
+            Self::durable_image(store, seg);
+        }
+    }
+
+    /// Writes a fresh checkpoint image of `seg` into the durable store
+    /// (best-effort; an error leaves the previous image intact and is
+    /// counted by the store).
+    fn durable_image(store: &DiffStore, seg: &mut ServerSegment) -> bool {
+        match checkpoint::encode_segment(seg) {
+            Ok(image) => store
+                .write_checkpoint(&seg.name, seg.version(), &image)
+                .is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    /// Runs a log-compaction pass if the store is over its byte
+    /// threshold: rotate the WAL, fold every segment's outstanding diff
+    /// chain into a fresh checkpoint image, then delete the rotated
+    /// files. Called from `dispatch` *after* all commit-path guards are
+    /// dropped; images are taken one shard at a time (never two), so the
+    /// lock hierarchy holds. Crash-safe at any point: rotation precedes
+    /// the images, so no image ever covers a record that was deleted.
+    fn maybe_compact(&self) {
+        let Some(store) = &self.durable else {
+            return;
+        };
+        if !store.needs_compaction() {
+            return;
+        }
+        match store.begin_compaction() {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return, // another pass is running / rotate failed
+        }
+        let mut ok = true;
+        for name in self.segment_names() {
+            let wrote = self.with_segment_mut(&name, |seg| Self::durable_image(store, seg));
+            if wrote != Some(true) {
+                ok = false;
+            }
+        }
+        // On any failure the rotated files are kept: recovery reads all
+        // log files in sequence order, so an aborted pass costs disk
+        // space, never data.
+        store.finish_compaction(ok);
+    }
+
     fn acquire(
         &self,
         client: u64,
@@ -438,6 +594,7 @@ impl Server {
                 };
             }
             self.maybe_checkpoint(&mut guard);
+            self.persist_commit(segment, diff, &mut guard);
             self.fire_commit_hook(segment, diff);
             guard.version()
         } else {
@@ -488,6 +645,7 @@ impl Server {
                 match guard.apply_diff(d) {
                     Ok(v) => {
                         self.maybe_checkpoint(&mut guard);
+                        self.persist_commit(segment, d, &mut guard);
                         self.fire_commit_hook(segment, d);
                         versions.push(v);
                     }
@@ -562,6 +720,9 @@ impl Server {
             Ok(v) => {
                 self.metrics.repl_diffs_applied.inc();
                 self.maybe_checkpoint(&mut guard);
+                // A durable backup logs replicated diffs too, so a
+                // restarted backup re-attaches with most state local.
+                self.persist_commit(segment, diff, &mut guard);
                 Reply::Replicated { acked_version: v }
             }
             Err(e) => Reply::Error {
@@ -597,6 +758,12 @@ impl Server {
         let mut guard = self.write_seg(&shard);
         *guard = seg;
         self.maybe_checkpoint(&mut guard);
+        // A full sync jumps the version, breaking the WAL's diff chain:
+        // persist a full image (any durability mode) so recovery has a
+        // base to chain subsequent diff records from.
+        if let Some(store) = &self.durable {
+            Self::durable_image(store, &mut guard);
+        }
         Reply::Replicated { acked_version: v }
     }
 
@@ -696,6 +863,18 @@ impl Server {
         };
         if matches!(reply, Reply::Error { .. }) {
             self.metrics.errors.inc();
+        }
+        // Commit-shaped requests may have grown the WAL past its
+        // threshold; compaction runs here, after every shard guard from
+        // the request is gone (lock hierarchy: one shard at a time).
+        if matches!(
+            req,
+            Request::Release { .. }
+                | Request::Commit { .. }
+                | Request::Replicate { .. }
+                | Request::SyncFull { .. }
+        ) {
+            self.maybe_compact();
         }
         reply
     }

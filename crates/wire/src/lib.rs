@@ -12,7 +12,9 @@
 //!   (`segment#block#offset-in-primitive-units`);
 //! - [`tdesc`] — wire encoding of type descriptors (how servers learn
 //!   types from clients);
-//! - [`diff`] — the run-length-encoded wire diff ([`SegmentDiff`]).
+//! - [`diff`] — the run-length-encoded wire diff ([`SegmentDiff`]);
+//! - [`wal`] — CRC-protected log-record framing for the durable diff
+//!   store (`iw-durable`).
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@ pub mod diff;
 pub mod mip;
 pub mod prim;
 pub mod tdesc;
+pub mod wal;
 
 pub use codec::{WireError, WireReader, WireWriter};
 pub use diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
