@@ -71,4 +71,48 @@ cargo build --release -q -p iw-bench --bin bench_trajectory
 target/release/bench_trajectory 1.0 --out /tmp/BENCH_5.current.json \
   --baseline crates/bench/baselines/BENCH_5.json --tolerance 25
 
+echo "== many-client scale (event front end, release)"
+# A release iwsrv on an ephemeral port, driven by iwload: every session
+# is a live TCP connection committing acquire-write-release rounds, and
+# the run fails on any protocol error or content divergence. Three
+# checks: (1) the connections-vs-throughput curve through the
+# readiness-polled front end, topping out at >=2000 concurrent
+# sessions (reference numbers: EXPERIMENTS.md "Event-driven front
+# end"); (2) the admission contract — beyond --max-conns every
+# connection still gets a *typed* answer (Overloaded), never a hang or
+# reset; (3) a chaos-seeded smoke: recoverable ingress faults survived
+# by reconnect/retry with zero surviving errors.
+cargo build --release -q -p iw-cli --bin iwsrv --bin iwload
+if [ "$(ulimit -n)" -lt 8192 ]; then ulimit -n 8192 || true; fi
+scale_dir=$(mktemp -d)
+scale_pid=""
+start_iwsrv() {
+  rm -f "$scale_dir/port"
+  target/release/iwsrv --listen 127.0.0.1:0 --port-file "$scale_dir/port" \
+    "$@" 2>"$scale_dir/iwsrv.log" &
+  scale_pid=$!
+  for _ in $(seq 1 100); do [ -s "$scale_dir/port" ] && break; sleep 0.1; done
+  scale_addr=$(cat "$scale_dir/port")
+}
+stop_iwsrv() {
+  [ -n "$scale_pid" ] && kill "$scale_pid" 2>/dev/null || true
+  wait "$scale_pid" 2>/dev/null || true
+  scale_pid=""
+}
+trap 'stop_iwsrv' EXIT
+
+start_iwsrv
+timeout 300 target/release/iwload --addr "$scale_addr" \
+  --curve 256,1024,2000 --rounds 5 --drivers 32
+stop_iwsrv
+
+start_iwsrv --max-conns 32
+timeout 60 target/release/iwload --addr "$scale_addr" --expect-busy 48
+stop_iwsrv
+
+start_iwsrv --chaos 7
+timeout 120 target/release/iwload --addr "$scale_addr" \
+  --sessions 64 --rounds 5 --drivers 16 --chaos
+stop_iwsrv
+
 echo "CI OK"

@@ -1,0 +1,136 @@
+//! `iwload` — many-client scale harness.
+//!
+//! ```text
+//! iwload --addr 127.0.0.1:7474 [--sessions N | --curve N1,N2,...]
+//!        [--rounds R] [--drivers D] [--reconnect-every K]
+//!        [--timeout SECS] [--chaos] [--expect-busy N]
+//! ```
+//!
+//! Drives `N` concurrent live sessions (one TCP connection each, a
+//! private segment each) through `R` acquire-write-release rounds and
+//! verifies every segment's final version and content. With `--curve`,
+//! runs one point per session count and prints a
+//! connections-vs-throughput table. With `--expect-busy N`, opens `N`
+//! simultaneous connections instead and checks the admission contract:
+//! every connection gets a typed answer (`Welcome` or `Overloaded`),
+//! never a hang or a reset.
+//!
+//! Exit status is nonzero on any session error, verification
+//! divergence, or admission-contract violation.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use iw_cli::load::{admission_check, run, LoadConfig};
+use iw_cli::Args;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(std::env::args().skip(1));
+    let addr: SocketAddr = args.flag("addr").unwrap_or("127.0.0.1:7474").parse()?;
+    let timeout = Duration::from_secs(
+        args.flag("timeout")
+            .map(|v| v.parse())
+            .transpose()?
+            .unwrap_or(10u64),
+    );
+
+    if let Some(n) = args.flag("expect-busy") {
+        let attempts: usize = n.parse()?;
+        let report = admission_check(addr, attempts, timeout);
+        println!(
+            "admission: {} attempts, {} welcomed, {} overloaded, {} errors",
+            attempts,
+            report.welcomed,
+            report.overloaded,
+            report.errors.len()
+        );
+        for e in report.errors.iter().take(10) {
+            eprintln!("iwload: admission error: {e}");
+        }
+        if !report.errors.is_empty() {
+            return Err("admission contract violated: untyped failures".into());
+        }
+        if report.overloaded == 0 {
+            return Err("admission check expected at least one Overloaded".into());
+        }
+        if report.welcomed + report.overloaded != attempts {
+            return Err("admission check lost connections".into());
+        }
+        return Ok(());
+    }
+
+    let rounds: u64 = args
+        .flag("rounds")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(10);
+    let drivers: usize = args
+        .flag("drivers")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(16);
+    let reconnect_every: u64 = args
+        .flag("reconnect-every")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(0);
+    let chaos = args.switch("chaos");
+
+    let points: Vec<usize> = match args.flag("curve") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse())
+            .collect::<Result<_, _>>()?,
+        None => vec![args
+            .flag("sessions")
+            .map(|v| v.parse())
+            .transpose()?
+            .unwrap_or(100)],
+    };
+
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>7}",
+        "sessions", "rounds", "elapsed_s", "commits", "commits/s", "reconnects", "errors"
+    );
+    let mut failed = false;
+    for (point, sessions) in points.into_iter().enumerate() {
+        let config = LoadConfig {
+            addr,
+            sessions,
+            rounds,
+            drivers,
+            reconnect_every,
+            io_timeout: timeout,
+            chaos,
+            // Namespace by invocation (pid) and curve point: a later
+            // point — or a later `iwload` run against the same server —
+            // must never inherit versions or stray locks from an
+            // earlier one's segments.
+            segment_prefix: format!("load-{}-p{point}", std::process::id()),
+        };
+        let report = run(&config);
+        println!(
+            "{:>10} {:>8} {:>10.2} {:>12} {:>12.0} {:>10} {:>7}",
+            sessions,
+            rounds,
+            report.elapsed.as_secs_f64(),
+            report.committed_rounds,
+            report.throughput,
+            report.reconnects,
+            report.errors.len()
+        );
+        for e in report.errors.iter().take(10) {
+            eprintln!("iwload: {e}");
+        }
+        if report.errors.len() > 10 {
+            eprintln!("iwload: ... and {} more errors", report.errors.len() - 10);
+        }
+        if !report.passed() || report.completed_sessions != sessions {
+            failed = true;
+        }
+    }
+    if failed {
+        return Err("load run had session errors or divergence".into());
+    }
+    Ok(())
+}

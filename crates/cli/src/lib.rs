@@ -5,13 +5,18 @@
 //! - **`iwdump`** — connects to a server and pretty-prints a segment:
 //!   blocks, types, and leading values;
 //! - **`iwstat`** — scrapes a live server's metrics snapshot and renders
-//!   it as text, JSON, or Prometheus exposition.
+//!   it as text, JSON, or Prometheus exposition;
+//! - **`iwload`** — the many-client scale harness ([`load`]): thousands
+//!   of concurrent live sessions doing acquire/write/release churn,
+//!   reporting a connections-vs-throughput curve.
 //!
 //! Argument parsing is a deliberate 60-line hand-rolled affair
 //! ([`Args`]): two flags and a positional don't justify a dependency.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod load;
 
 use std::collections::HashMap;
 

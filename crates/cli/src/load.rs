@@ -1,0 +1,604 @@
+//! The `iwload` scale harness: drive thousands of concurrent live
+//! sessions against a server and measure sustained commit throughput.
+//!
+//! Each *session* is one cached TCP connection (exactly what a real
+//! client library holds per segment-table entry) working a private
+//! segment: `Hello` → `Open`, then `rounds` acquire-write → release
+//! cycles committing the deterministic diff `r → r+1` (round 0
+//! allocates one `int64` block, later rounds overwrite it with `r` —
+//! the same workload the kill harness uses, so content is verifiable:
+//! after `v` rounds the block holds `v-1`).
+//!
+//! Sessions vastly outnumber OS threads: a small pool of *driver*
+//! threads each owns a shard of sessions and steps them round-robin,
+//! so all `sessions` connections are simultaneously live (the server
+//! holds every socket) while at most `drivers` requests are in flight
+//! from the harness side. A [`std::sync::Barrier`] separates the
+//! connect phase from the churn phase: throughput is only measured
+//! once every session is established.
+//!
+//! Connect/disconnect churn: with `reconnect_every = k`, a session
+//! tears its connection down every `k` rounds — `Goodbye` (retiring
+//! the client id and its locks), fresh connect, `Hello`, `Open` —
+//! exercising the server's accept path under steady load.
+//!
+//! With `chaos` set, request errors are treated as injected faults:
+//! the session reconnects, retires its old id, re-probes the segment
+//! version (a lost-ack release may have landed), and resumes. Without
+//! it, any error is a harness failure.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use iw_proto::msg::{LockMode, Reply, Request};
+use iw_proto::{Coherence, ProtoError, TcpTransport, Transport};
+use iw_types::desc::TypeDesc;
+use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+
+/// Parameters for one load run (one point on the curve).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server to drive.
+    pub addr: SocketAddr,
+    /// Concurrent live sessions (= open connections).
+    pub sessions: usize,
+    /// Acquire-write-release rounds per session.
+    pub rounds: u64,
+    /// Driver threads sharing the sessions.
+    pub drivers: usize,
+    /// Tear down and re-establish each session's connection every this
+    /// many rounds (0 = never).
+    pub reconnect_every: u64,
+    /// Per-request I/O timeout.
+    pub io_timeout: Duration,
+    /// Tolerate recoverable injected faults (reconnect + resume).
+    pub chaos: bool,
+    /// Segment-name prefix (session `i` works `<prefix>/s<i>`). Give
+    /// each run against a shared server its own prefix; reusing a
+    /// prefix is tolerated (sessions adopt the server's version) but
+    /// skews the committed-rounds count.
+    pub segment_prefix: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7474".parse().expect("literal addr"),
+            sessions: 100,
+            rounds: 10,
+            drivers: 16,
+            reconnect_every: 0,
+            io_timeout: Duration::from_secs(10),
+            chaos: false,
+            segment_prefix: "load".into(),
+        }
+    }
+}
+
+/// What one load run observed.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Sessions that connected and finished every round.
+    pub completed_sessions: usize,
+    /// Total committed rounds across all sessions.
+    pub committed_rounds: u64,
+    /// Churn-phase wall time (connect and verify excluded).
+    pub elapsed: Duration,
+    /// Committed rounds per second of churn time.
+    pub throughput: f64,
+    /// Connection re-establishments (planned churn + chaos recovery).
+    pub reconnects: u64,
+    /// Protocol errors and verification failures, human-readable.
+    pub errors: Vec<String>,
+}
+
+impl LoadReport {
+    /// `true` when every session finished and verified cleanly.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// The deterministic diff committed in round `r` (version `r → r+1`);
+/// identical to the kill harness's workload.
+fn round_diff(r: u64) -> SegmentDiff {
+    let mut d = SegmentDiff {
+        from_version: r,
+        to_version: r + 1,
+        ..Default::default()
+    };
+    if r == 0 {
+        d.new_types = vec![(0, TypeDesc::int64())];
+        d.new_blocks = vec![NewBlock {
+            serial: 0,
+            name: Some("slot".into()),
+            type_serial: 0,
+            count: 1,
+            data: Bytes::from(0i64.to_be_bytes().to_vec()),
+        }];
+    } else {
+        d.block_diffs = vec![BlockDiff {
+            serial: 0,
+            runs: vec![DiffRun {
+                start: 0,
+                count: 1,
+                data: Bytes::from((r as i64).to_be_bytes().to_vec()),
+            }],
+        }];
+    }
+    d
+}
+
+/// One live session: a cached connection plus its protocol state.
+struct Session {
+    t: TcpTransport,
+    client: u64,
+    segment: String,
+    /// Committed version so far (== completed rounds).
+    version: u64,
+    done: bool,
+    /// Ids from earlier incarnations whose `Goodbye` was never
+    /// acknowledged — any of them may still hold the write lock, so
+    /// every reconnect re-retires all of them until each is acked.
+    stale_ids: Vec<u64>,
+}
+
+enum StepError {
+    /// The transport died or the server answered out of contract.
+    Broken(String),
+}
+
+fn connect_session(
+    addr: SocketAddr,
+    timeout: Duration,
+    segment: &str,
+    stale_ids: &mut Vec<u64>,
+) -> Result<(TcpTransport, u64), String> {
+    let mut t = TcpTransport::connect_with_timeout(addr, Some(timeout))
+        .map_err(|e| format!("{segment}: connect: {e}"))?;
+    let client = match t.request(&Request::Hello {
+        info: format!("iwload:{segment}"),
+    }) {
+        Ok(Reply::Welcome { client }) => client,
+        Ok(Reply::Overloaded) => return Err(format!("{segment}: admission-rejected (Overloaded)")),
+        other => return Err(format!("{segment}: hello: {other:?}")),
+    };
+    // Retire every previous incarnation whose Goodbye has not been
+    // acknowledged yet: an unacked Goodbye (e.g. dropped by chaos
+    // ingress) means that id may still hold the write lock. Ids stay on
+    // the list until the server's `Released` ack is actually seen.
+    stale_ids.retain(|&old| {
+        !matches!(
+            t.request(&Request::Goodbye { client: old }),
+            Ok(Reply::Released { .. })
+        )
+    });
+    match t.request(&Request::Open {
+        client,
+        segment: segment.into(),
+    }) {
+        Ok(Reply::Opened { .. }) => Ok((t, client)),
+        other => Err(format!("{segment}: open: {other:?}")),
+    }
+}
+
+impl Session {
+    /// One acquire-write-release round. On success `self.version`
+    /// advances (possibly by more than one in chaos mode, when a
+    /// lost-ack release turns out to have landed).
+    fn step(&mut self) -> Result<(), StepError> {
+        let acq = self.t.request(&Request::Acquire {
+            client: self.client,
+            segment: self.segment.clone(),
+            mode: LockMode::Write,
+            have_version: self.version,
+            coherence: Coherence::Full,
+        });
+        match acq {
+            Ok(Reply::Granted { version, .. }) => {
+                if version != self.version {
+                    // The server is ahead of us: a previous release's
+                    // ack was lost after the commit landed. Adopt.
+                    self.version = version;
+                }
+            }
+            Ok(Reply::Busy) => {
+                // Our own retired id may still hold the lock for a
+                // beat; surface as a broken step so the chaos path
+                // reconnects (which retires it) and retries.
+                return Err(StepError::Broken(format!(
+                    "{}: write lock busy",
+                    self.segment
+                )));
+            }
+            other => {
+                return Err(StepError::Broken(format!(
+                    "{}: acquire: {other:?}",
+                    self.segment
+                )))
+            }
+        }
+        let r = self.version;
+        let rel = self.t.request(&Request::Release {
+            client: self.client,
+            segment: self.segment.clone(),
+            diff: Some(round_diff(r)),
+        });
+        match rel {
+            Ok(Reply::Released { version }) => {
+                self.version = version;
+                Ok(())
+            }
+            other => Err(StepError::Broken(format!(
+                "{}: release: {other:?}",
+                self.segment
+            ))),
+        }
+    }
+
+    /// Planned churn or chaos recovery: tear down, reconnect, retire
+    /// every stale id, re-probe nothing (the next `step`'s acquire
+    /// adopts the server's version).
+    fn reconnect(&mut self, addr: SocketAddr, timeout: Duration) -> Result<(), String> {
+        if !self.stale_ids.contains(&self.client) {
+            self.stale_ids.push(self.client);
+        }
+        let (t, client) = connect_session(addr, timeout, &self.segment, &mut self.stale_ids)?;
+        self.t = t;
+        self.client = client;
+        Ok(())
+    }
+
+    /// Final read-back: the segment version and block content must
+    /// match what this session committed.
+    fn verify(&mut self, chaos: bool) -> Result<(), String> {
+        let reply = self.t.request(&Request::Acquire {
+            client: self.client,
+            segment: self.segment.clone(),
+            mode: LockMode::Read,
+            have_version: 0,
+            coherence: Coherence::Full,
+        });
+        let (version, diff) = match reply {
+            Ok(Reply::Granted {
+                version,
+                update: Some(diff),
+                ..
+            }) => (version, diff),
+            other => return Err(format!("{}: verify acquire: {other:?}", self.segment)),
+        };
+        if version != self.version {
+            return Err(format!(
+                "{}: verify: server version {version}, session committed {}",
+                self.segment, self.version
+            ));
+        }
+        // Content invariant: after v rounds the slot holds v-1.
+        let want = (version as i64 - 1).to_be_bytes();
+        let got = diff
+            .new_blocks
+            .iter()
+            .find(|b| b.serial == 0)
+            .map(|b| b.data.to_vec());
+        match got {
+            Some(data) if data == want => {}
+            other => {
+                return Err(format!(
+                    "{}: verify: slot bytes {other:?}, want {want:?} at version {version}",
+                    self.segment
+                ))
+            }
+        }
+        let _ = chaos; // same invariant either way: version is adopted
+                       // The read lock MUST come off: an unacked release (e.g. dropped
+                       // by chaos ingress) leaves this client a registered reader,
+                       // which blocks every later write acquire on the segment — a
+                       // poison pill for whoever reuses the namespace. Surfacing the
+                       // failure routes it into the caller's reconnect-retry loop,
+                       // whose Goodbye retires the reader.
+        match self.t.request(&Request::Release {
+            client: self.client,
+            segment: self.segment.clone(),
+            diff: None,
+        }) {
+            Ok(Reply::Released { .. }) => Ok(()),
+            other => Err(format!("{}: verify release: {other:?}", self.segment)),
+        }
+    }
+}
+
+/// Runs one load point: connect all sessions, churn, verify.
+///
+/// The returned report is complete even on failure — inspect
+/// [`LoadReport::passed`] / [`LoadReport::errors`].
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let drivers = config.drivers.clamp(1, config.sessions.max(1));
+    let barrier = Arc::new(Barrier::new(drivers));
+    let reconnects = Arc::new(AtomicU64::new(0));
+    let committed = Arc::new(AtomicU64::new(0));
+    let config = Arc::new(config.clone());
+
+    // Shard sessions across drivers as evenly as possible.
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); drivers];
+    for s in 0..config.sessions {
+        shards[s % drivers].push(s);
+    }
+
+    let churn_started = Arc::new(std::sync::Mutex::new(None::<Instant>));
+    let handles: Vec<_> = shards
+        .into_iter()
+        .map(|shard| {
+            let config = config.clone();
+            let barrier = barrier.clone();
+            let reconnects = reconnects.clone();
+            let committed = committed.clone();
+            let churn_started = churn_started.clone();
+            std::thread::spawn(move || {
+                drive_shard(
+                    &config,
+                    &shard,
+                    &barrier,
+                    &reconnects,
+                    &committed,
+                    &churn_started,
+                )
+            })
+        })
+        .collect();
+
+    let mut errors = Vec::new();
+    let mut completed_sessions = 0usize;
+    let mut last_finish = None::<Instant>;
+    for h in handles {
+        let outcome = h.join().unwrap_or_else(|_| ShardOutcome {
+            completed: 0,
+            finished_at: None,
+            errors: vec!["driver thread panicked".into()],
+        });
+        completed_sessions += outcome.completed;
+        errors.extend(outcome.errors);
+        last_finish = match (last_finish, outcome.finished_at) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    let started = churn_started.lock().unwrap_or_else(|e| e.into_inner());
+    let elapsed = match (*started, last_finish) {
+        (Some(s), Some(f)) => f.duration_since(s),
+        _ => Duration::ZERO,
+    };
+    let committed_rounds = committed.load(Ordering::SeqCst);
+    let throughput = if elapsed.as_secs_f64() > 0.0 {
+        committed_rounds as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    LoadReport {
+        completed_sessions,
+        committed_rounds,
+        elapsed,
+        throughput,
+        reconnects: reconnects.load(Ordering::SeqCst),
+        errors,
+    }
+}
+
+struct ShardOutcome {
+    completed: usize,
+    finished_at: Option<Instant>,
+    errors: Vec<String>,
+}
+
+/// How many reconnect-and-retry attempts a chaos-mode step gets before
+/// the session is declared broken.
+const CHAOS_RETRIES: u32 = 25;
+
+/// Formats a retry-budget exhaustion with the tail of what each attempt
+/// saw — "write lock busy" alone says nothing about *why* 25 retries
+/// could not get past it.
+fn chaos_exhausted(segment: &str, history: &[String]) -> String {
+    let tail = history
+        .iter()
+        .rev()
+        .take(5)
+        .rev()
+        .cloned()
+        .collect::<Vec<_>>();
+    format!(
+        "{segment}: chaos retries exhausted after {} attempts; last: [{}]",
+        history.len(),
+        tail.join(" | ")
+    )
+}
+
+fn drive_shard(
+    config: &LoadConfig,
+    shard: &[usize],
+    barrier: &Barrier,
+    reconnects: &AtomicU64,
+    committed: &AtomicU64,
+    churn_started: &std::sync::Mutex<Option<Instant>>,
+) -> ShardOutcome {
+    let mut errors = Vec::new();
+
+    // Phase 1: connect every session in the shard. Under chaos the
+    // handshake itself can be hit (dropped Hello, truncated Open), so
+    // each session gets the same retry budget a churn step does.
+    let mut sessions = Vec::with_capacity(shard.len());
+    for &i in shard {
+        let segment = format!("{}/s{i}", config.segment_prefix);
+        let mut stale_ids = Vec::new();
+        let mut attempts = 0u32;
+        let outcome = loop {
+            match connect_session(config.addr, config.io_timeout, &segment, &mut stale_ids) {
+                Ok(ok) => break Ok(ok),
+                Err(_) if config.chaos && attempts < CHAOS_RETRIES => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match outcome {
+            Ok((t, client)) => sessions.push(Session {
+                t,
+                client,
+                segment,
+                version: 0,
+                done: false,
+                stale_ids,
+            }),
+            Err(e) => errors.push(e),
+        }
+    }
+    // All drivers hold their full shard of live connections before any
+    // traffic flows: "N concurrent sessions" means N, not "up to N".
+    barrier.wait();
+    {
+        let mut g = churn_started.lock().unwrap_or_else(|e| e.into_inner());
+        g.get_or_insert_with(Instant::now);
+    }
+
+    // Phase 2: churn, stepping sessions round-robin.
+    let mut live: Vec<usize> = (0..sessions.len()).collect();
+    while !live.is_empty() {
+        live.retain_mut(|&mut idx| {
+            let s = &mut sessions[idx];
+            if s.version >= config.rounds {
+                s.done = true;
+                return false;
+            }
+            // Planned connection churn.
+            if config.reconnect_every > 0
+                && s.version > 0
+                && s.version % config.reconnect_every == 0
+            {
+                // Reconnect at most once per version boundary: step()
+                // below advances the version so this does not loop.
+                match s.reconnect(config.addr, config.io_timeout) {
+                    Ok(()) => {
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Under chaos, keep the old connection; the step
+                    // retry loop below recovers if it is broken too.
+                    Err(_) if config.chaos => {}
+                    Err(e) => {
+                        errors.push(format!("planned reconnect: {e}"));
+                        return false;
+                    }
+                }
+            }
+            let before = s.version;
+            let mut attempts = 0u32;
+            let mut history: Vec<String> = Vec::new();
+            loop {
+                match s.step() {
+                    Ok(()) => break,
+                    Err(StepError::Broken(e)) if config.chaos && attempts < CHAOS_RETRIES => {
+                        attempts += 1;
+                        history.push(e);
+                        std::thread::sleep(Duration::from_millis(5));
+                        if let Err(re) = s.reconnect(config.addr, config.io_timeout) {
+                            // Connect itself can be hit by chaos; keep
+                            // trying within the retry budget.
+                            history.push(format!("reconnect: {re}"));
+                            if attempts >= CHAOS_RETRIES {
+                                errors.push(chaos_exhausted(&s.segment, &history));
+                                return false;
+                            }
+                            continue;
+                        }
+                        reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(StepError::Broken(e)) if config.chaos => {
+                        history.push(e);
+                        errors.push(chaos_exhausted(&s.segment, &history));
+                        return false;
+                    }
+                    Err(StepError::Broken(e)) => {
+                        errors.push(e);
+                        return false;
+                    }
+                }
+            }
+            committed.fetch_add(s.version.saturating_sub(before), Ordering::Relaxed);
+            true
+        });
+    }
+    let finished_at = Instant::now();
+
+    // Phase 3: verify every surviving session's segment.
+    let mut completed = 0usize;
+    for s in &mut sessions {
+        if !s.done {
+            continue;
+        }
+        let mut outcome = s.verify(config.chaos);
+        if outcome.is_err() && config.chaos {
+            // The verify read itself can be hit by injected faults.
+            for _ in 0..CHAOS_RETRIES {
+                if s.reconnect(config.addr, config.io_timeout).is_err() {
+                    continue;
+                }
+                reconnects.fetch_add(1, Ordering::Relaxed);
+                outcome = s.verify(config.chaos);
+                if outcome.is_ok() {
+                    break;
+                }
+            }
+        }
+        match outcome {
+            Ok(()) => completed += 1,
+            Err(e) => errors.push(e),
+        }
+    }
+    ShardOutcome {
+        completed,
+        finished_at: Some(finished_at),
+        errors,
+    }
+}
+
+/// What the admission check observed.
+#[derive(Debug, Default)]
+pub struct AdmissionReport {
+    /// Connections answered `Welcome` (admitted).
+    pub welcomed: usize,
+    /// Connections answered the typed `Overloaded` rejection.
+    pub overloaded: usize,
+    /// Connections that hung, were reset, or got a malformed answer.
+    pub errors: Vec<String>,
+}
+
+/// Opens `attempts` simultaneous connections and sends `Hello` on each:
+/// every one must receive a *typed* answer — `Welcome` under the cap,
+/// `Overloaded` beyond it — never a hang or a bare reset. Admitted
+/// connections are held open for the duration so they keep their slots.
+pub fn admission_check(addr: SocketAddr, attempts: usize, timeout: Duration) -> AdmissionReport {
+    let mut report = AdmissionReport::default();
+    let mut held = Vec::new();
+    for i in 0..attempts {
+        match TcpTransport::connect_with_timeout(addr, Some(timeout)) {
+            Ok(mut t) => match t.request(&Request::Hello {
+                info: format!("admission:{i}"),
+            }) {
+                Ok(Reply::Welcome { .. }) => {
+                    report.welcomed += 1;
+                    held.push(t); // keep the slot occupied
+                }
+                Ok(Reply::Overloaded) => report.overloaded += 1,
+                Ok(other) => report.errors.push(format!("conn {i}: {other:?}")),
+                Err(ProtoError::Channel(e)) => {
+                    report.errors.push(format!("conn {i}: channel: {e}"))
+                }
+                Err(e) => report.errors.push(format!("conn {i}: {e}")),
+            },
+            Err(e) => report.errors.push(format!("conn {i}: connect: {e}")),
+        }
+    }
+    report
+}

@@ -1,0 +1,81 @@
+//! In-process scale smoke: `iwload`'s session engine against the
+//! event-driven front end serving a real `iw-server` — the fast CI
+//! version of the `ci.sh` scale stage (which drives thousands of
+//! sessions through the release binaries).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use iw_cli::load::{admission_check, run, LoadConfig};
+use iw_net::{NetOptions, NetServer};
+use iw_proto::Handler;
+use iw_server::Server;
+use iw_telemetry::Registry;
+
+fn spawn_server(opts: NetOptions) -> (NetServer, Arc<Registry>) {
+    let server = Server::new();
+    let registry = server.registry().clone();
+    let handler: Arc<dyn Handler> = Arc::new(server);
+    let net =
+        NetServer::spawn_with("127.0.0.1:0".parse().unwrap(), handler, opts, &registry).unwrap();
+    (net, registry)
+}
+
+#[test]
+fn load_sessions_commit_and_verify() {
+    let (net, registry) = spawn_server(NetOptions::default());
+    let report = run(&LoadConfig {
+        addr: net.addr(),
+        sessions: 48,
+        rounds: 6,
+        drivers: 8,
+        reconnect_every: 0,
+        io_timeout: Duration::from_secs(10),
+        chaos: false,
+        segment_prefix: "scale-basic".into(),
+    });
+    assert!(report.passed(), "errors: {:?}", report.errors);
+    assert_eq!(report.completed_sessions, 48);
+    assert_eq!(report.committed_rounds, 48 * 6);
+    assert!(report.throughput > 0.0);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("tcp.accepted_total"), Some(48));
+    assert_eq!(snap.counter("tcp.rejected_total"), Some(0));
+}
+
+#[test]
+fn load_with_reconnect_churn() {
+    let (net, _registry) = spawn_server(NetOptions::default());
+    let report = run(&LoadConfig {
+        addr: net.addr(),
+        sessions: 24,
+        rounds: 8,
+        drivers: 6,
+        reconnect_every: 3,
+        io_timeout: Duration::from_secs(10),
+        chaos: false,
+        segment_prefix: "scale-churn".into(),
+    });
+    assert!(report.passed(), "errors: {:?}", report.errors);
+    assert_eq!(report.completed_sessions, 24);
+    assert_eq!(report.committed_rounds, 24 * 8);
+    assert!(
+        report.reconnects >= 24,
+        "got {} reconnects",
+        report.reconnects
+    );
+}
+
+#[test]
+fn admission_contract_under_cap_pressure() {
+    let (net, registry) = spawn_server(NetOptions {
+        max_connections: 16,
+        ..NetOptions::default()
+    });
+    let report = admission_check(net.addr(), 40, Duration::from_secs(5));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.welcomed, 16, "cap admits exactly max_connections");
+    assert_eq!(report.overloaded, 24, "everyone else gets the typed reply");
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("tcp.rejected_total"), Some(24));
+}

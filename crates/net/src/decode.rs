@@ -1,0 +1,193 @@
+//! Incremental frame decoding for the nonblocking read path.
+//!
+//! The wire framing is the same `u32` big-endian length prefix the
+//! blocking codec ([`iw_proto::tcp::read_frame`]) reads — but a
+//! nonblocking socket hands bytes over in arbitrary slices: half a
+//! prefix now, three frames plus a tail later. [`FrameDecoder`] is the
+//! per-connection state machine that re-assembles exactly the frames
+//! the blocking codec would have produced, byte for byte (property
+//! tested against it at every split point in
+//! `tests/prop_decode.rs`).
+
+use bytes::Bytes;
+
+/// Frames longer than this are protocol violations (matches the
+/// blocking codec's cap in `iw_proto::tcp::read_frame`).
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// A framing violation found in the byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix announced more than [`MAX_FRAME`] bytes.
+    TooLarge {
+        /// The announced length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len } => write!(f, "frame of {len} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Re-assembles length-prefixed frames from arbitrarily split reads.
+///
+/// Feed raw socket bytes with [`FrameDecoder::extend`], then drain
+/// complete frames with [`FrameDecoder::next_frame`]. Incomplete tail
+/// bytes stay buffered until the next read. The internal buffer
+/// compacts lazily: consumed bytes are reclaimed once they outweigh
+/// the live remainder, so steady-state decoding does not memmove per
+/// frame.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Index of the first unconsumed byte in `buf`.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with nothing buffered.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw socket bytes to the reassembly buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] when the announced length exceeds
+    /// [`MAX_FRAME`]; the connection must be dropped (the stream can
+    /// never re-synchronize).
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let p = self.start;
+        let len = u32::from_be_bytes([
+            self.buf[p],
+            self.buf[p + 1],
+            self.buf[p + 2],
+            self.buf[p + 3],
+        ]) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge { len });
+        }
+        if avail < 4 + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let body = Bytes::copy_from_slice(&self.buf[p + 4..p + 4 + len]);
+        self.start = p + 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(body))
+    }
+
+    /// Reclaims consumed prefix bytes once they dominate the buffer.
+    fn maybe_compact(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut out = (body.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+
+    #[test]
+    fn single_byte_feeds_reassemble() {
+        let stream = [frame(b"hello"), frame(b""), frame(b"world!")].concat();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f.to_vec());
+            }
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn coalesced_frames_in_one_feed() {
+        let stream = [frame(b"a"), frame(b"bb"), frame(b"ccc")].concat();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap().to_vec(), b"a".to_vec());
+        assert_eq!(dec.next_frame().unwrap().unwrap().to_vec(), b"bb".to_vec());
+        assert_eq!(dec.next_frame().unwrap().unwrap().to_vec(), b"ccc".to_vec());
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn partial_tail_stays_buffered() {
+        let full = frame(b"abcdef");
+        let mut dec = FrameDecoder::new();
+        dec.extend(&full[..7]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 7);
+        dec.extend(&full[7..]);
+        assert_eq!(
+            dec.next_frame().unwrap().unwrap().to_vec(),
+            b"abcdef".to_vec()
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_an_error() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(dec.next_frame(), Err(FrameError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn compaction_preserves_stream() {
+        // Push enough small frames to trigger compaction mid-stream.
+        let mut dec = FrameDecoder::new();
+        let mut expect = Vec::new();
+        for i in 0..5000u32 {
+            let body = i.to_be_bytes();
+            dec.extend(&frame(&body));
+            expect.push(body.to_vec());
+        }
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f.to_vec());
+            // Interleave a fresh feed to exercise extend-after-consume.
+            if got.len() == 2500 {
+                dec.extend(&frame(b"tail"));
+                expect.push(b"tail".to_vec());
+            }
+        }
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,27 @@
+//! # iw-net — event-driven server front end
+//!
+//! A nonblocking, readiness-polled connection front end for
+//! InterWeave-rs servers: the scalable alternative to the
+//! thread-per-connection [`iw_proto::TcpServer`]. One event-loop
+//! thread multiplexes every connection through [`poller::Poller`]
+//! (epoll on Linux, `poll(2)` elsewhere), per-connection state
+//! machines reassemble frames incrementally and resume partial
+//! writes, and a bounded worker pool runs the actual
+//! [`iw_proto::Handler`] — the same `Arc<dyn Handler>` the blocking
+//! front end serves, so `iw-server`, the cluster `Primary`, chaos
+//! wrappers, and durability all slot in unchanged.
+//!
+//! See `DESIGN.md` §9 for the loop structure, backpressure rules, and
+//! where the worker pool sits in the lock hierarchy.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod decode;
+pub mod poller;
+pub mod server;
+pub mod sys;
+
+pub use decode::{FrameDecoder, FrameError, MAX_FRAME};
+pub use poller::{Event, Interest, Poller, PollerKind};
+pub use server::{NetOptions, NetServer};

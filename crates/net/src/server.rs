@@ -1,0 +1,1017 @@
+//! The event-driven server front end.
+//!
+//! One readiness-polled event loop owns every connection; a bounded
+//! worker pool calls the shared [`Handler`]. Connections are per-flow
+//! state machines (`Conn`): incremental frame decode on the way in
+//! ([`FrameDecoder`]), an outbound queue with partial-write resumption
+//! on the way out, and explicit budgets in between:
+//!
+//! - **Admission control** — beyond `max_connections`, a fresh
+//!   connection's first request is answered with the typed
+//!   [`Reply::Overloaded`] and the connection is closed after the
+//!   flush; beyond an additional headroom of rejecting slots the
+//!   connection is dropped outright (counted, never served).
+//! - **Backpressure** — per-connection and global in-flight budgets.
+//!   When a budget is hit the loop simply stops reading that socket;
+//!   the kernel's receive window fills and the client blocks in its
+//!   own `write` — natural TCP backpressure, no queues growing without
+//!   bound while the segment shards or the WAL saturate.
+//! - **Idle timeouts** — connections with nothing in flight and
+//!   nothing buffered are closed after `idle_timeout`.
+//! - **Graceful drain** — dropping the server stops accepting, lets
+//!   in-flight requests finish, flushes outbound queues (bounded by
+//!   `drain_timeout`), then closes.
+//!
+//! The loop thread never calls the handler and the workers never touch
+//! a socket: the only shared state is the job queue, the completion
+//! list, and a wake pipe. Replies are delivered strictly in per-
+//! connection request order, so pipelining clients stay in sync.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use iw_proto::msg::{Reply, Request};
+use iw_proto::tcp::{accept_retry_delay, is_fd_exhaustion};
+use iw_proto::{FaultAction, FaultLayer, Handler};
+use iw_telemetry::{Counter, Gauge, Registry};
+
+use crate::decode::FrameDecoder;
+use crate::poller::{Event, Interest, Poller, PollerKind};
+
+/// Token reserved for the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token reserved for the wake pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// How many admission-rejected connections may sit in their
+/// reply-then-close handshake at once; beyond this the accept loop
+/// drops new connections without a reply.
+const REJECT_HEADROOM: usize = 256;
+
+/// How long an admission-rejected connection may linger before the
+/// loop closes it even if its typed reply never flushed.
+const REJECT_LINGER: Duration = Duration::from_secs(10);
+
+/// Tuning knobs for a [`NetServer`].
+pub struct NetOptions {
+    /// Worker threads calling the handler.
+    pub workers: usize,
+    /// Served-connection cap; further connections get the typed
+    /// [`Reply::Overloaded`] answer (admission control).
+    pub max_connections: usize,
+    /// Global in-flight request budget: once this many decoded
+    /// requests are dispatched and unanswered, the loop stops reading
+    /// every socket.
+    pub max_inflight: usize,
+    /// Per-connection in-flight budget (pipelining depth).
+    pub max_inflight_per_conn: usize,
+    /// Close connections idle longer than this (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Bound on the graceful drain when the server is dropped.
+    pub drain_timeout: Duration,
+    /// Readiness backend.
+    pub poller: PollerKind,
+    /// Optional server-side fault layer consulted per request in the
+    /// worker (chaos testing: delays, duplicate dispatch, torn reply
+    /// writes on the nonblocking socket — see `iw-faults`).
+    pub fault_layer: Option<Box<dyn FaultLayer>>,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            workers: 4,
+            max_connections: 4096,
+            max_inflight: 512,
+            max_inflight_per_conn: 8,
+            idle_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+            poller: PollerKind::default_for_platform(),
+            fault_layer: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetOptions")
+            .field("workers", &self.workers)
+            .field("max_connections", &self.max_connections)
+            .field("max_inflight", &self.max_inflight)
+            .field("max_inflight_per_conn", &self.max_inflight_per_conn)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("drain_timeout", &self.drain_timeout)
+            .field("poller", &self.poller)
+            .field("faulty", &self.fault_layer.is_some())
+            .finish()
+    }
+}
+
+/// Front-end telemetry, shared with the thread-per-connection
+/// [`iw_proto::TcpServer`] by name so the two are directly comparable
+/// in one `iwstat` scrape.
+struct NetMetrics {
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    accept_errors: Arc<Counter>,
+    open: Arc<Gauge>,
+    read_stalls: Arc<Counter>,
+    write_stalls: Arc<Counter>,
+    idle_closed: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn new(registry: &Arc<Registry>) -> NetMetrics {
+        NetMetrics {
+            accepted: registry.counter("tcp.accepted_total"),
+            rejected: registry.counter("tcp.rejected_total"),
+            accept_errors: registry.counter("tcp.accept_errors_total"),
+            open: registry.gauge("tcp.open_connections"),
+            read_stalls: registry.counter("tcp.read_stalls_total"),
+            write_stalls: registry.counter("tcp.write_stalls_total"),
+            idle_closed: registry.counter("tcp.idle_closed_total"),
+        }
+    }
+}
+
+/// One unit of work for the pool: a decoded frame from one connection.
+struct Job {
+    token: u64,
+    gen: u64,
+    seq: u64,
+    body: Bytes,
+}
+
+/// What the worker decided the connection should see.
+enum Outcome {
+    /// Deliver this encoded reply.
+    Reply(Bytes),
+    /// Announce the full reply but deliver only `keep` bytes, then
+    /// close — a torn write on the nonblocking socket (fault
+    /// injection).
+    Torn { reply: Bytes, keep: usize },
+    /// Close the connection without replying (injected drop).
+    Kill,
+}
+
+struct Completion {
+    token: u64,
+    gen: u64,
+    seq: u64,
+    outcome: Outcome,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Loop → workers: an unbounded queue whose depth is externally
+/// bounded by the loop's global in-flight budget.
+struct JobQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        lock(&self.inner).0.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut guard = lock(&self.inner);
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                return Some(job);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.inner).1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Workers → loop: completed requests plus the wake pipe's write end.
+struct Completions {
+    list: Mutex<Vec<Completion>>,
+    wake_tx: File,
+}
+
+impl Completions {
+    fn push(&self, c: Completion) {
+        lock(&self.list).push(c);
+        // A full pipe means a wake is already pending — ignore.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut lock(&self.list))
+    }
+}
+
+/// An outbound buffer with partial-write resumption.
+struct OutBuf {
+    data: Vec<u8>,
+    off: usize,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    decoder: FrameDecoder,
+    out: VecDeque<OutBuf>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Requests dispatched to the pool and not yet answered.
+    inflight: usize,
+    /// Sequence number for the next dispatched request.
+    next_seq: u64,
+    /// Sequence number of the next reply to put on the wire (replies
+    /// are delivered strictly in request order).
+    next_reply: u64,
+    /// Out-of-order completions waiting for their turn.
+    pending: BTreeMap<u64, Outcome>,
+    /// Admission-rejected: first frame is answered `Overloaded`, then
+    /// the connection closes.
+    rejecting: bool,
+    /// Flush the outbound queue, then close.
+    close_after_flush: bool,
+    /// Reading paused by an in-flight budget.
+    paused: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64, rejecting: bool) -> Conn {
+        Conn {
+            stream,
+            gen,
+            decoder: FrameDecoder::new(),
+            out: VecDeque::new(),
+            interest: Interest::READ,
+            inflight: 0,
+            next_seq: 0,
+            next_reply: 0,
+            pending: BTreeMap::new(),
+            rejecting,
+            close_after_flush: false,
+            paused: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Frames `body` (length prefix + payload) onto the outbound queue.
+    fn enqueue_reply(&mut self, body: &[u8]) {
+        let mut data = Vec::with_capacity(4 + body.len());
+        data.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        data.extend_from_slice(body);
+        self.out.push_back(OutBuf { data, off: 0 });
+    }
+
+    /// Frames a torn reply: the prefix announces the full length but
+    /// only `keep` payload bytes follow (the peer sees a frame torn
+    /// mid-stream once we close).
+    fn enqueue_torn_reply(&mut self, body: &[u8], keep: usize) {
+        let keep = keep.min(body.len());
+        let mut data = Vec::with_capacity(4 + keep);
+        data.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        data.extend_from_slice(&body[..keep]);
+        self.out.push_back(OutBuf { data, off: 0 });
+    }
+
+    /// The interest this connection currently wants.
+    fn desired_interest(&self, draining: bool) -> Interest {
+        Interest {
+            read: !self.paused && !self.close_after_flush && !draining,
+            write: !self.out.is_empty(),
+        }
+    }
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: File,
+    stop: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+    completions: Arc<Completions>,
+    max_inflight: usize,
+    max_inflight_per_conn: usize,
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
+    drain_timeout: Duration,
+    metrics: NetMetrics,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Generation per slot, bumped on close so stale completions from
+    /// a previous tenant of the slot are discarded.
+    gens: Vec<u64>,
+    open: usize,
+    rejecting_open: usize,
+    paused_count: usize,
+    inflight_global: usize,
+    accept_paused_until: Option<Instant>,
+    accept_errs: u32,
+    listener_registered: bool,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    last_sweep: Instant,
+    read_buf: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // A failed wait is unrecoverable for the loop; drain
+                // hard so Drop does not hang.
+                break;
+            }
+            let mut accept_ready = false;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKE => self.drain_wake_pipe(),
+                    token => self.handle_conn_event(token as usize, ev),
+                }
+            }
+            self.drain_completions();
+            self.maybe_resume_accept();
+            if accept_ready {
+                self.do_accept();
+            }
+            self.sweep_idle();
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining && self.drain_finished() {
+                break;
+            }
+        }
+    }
+
+    fn next_timeout(&self) -> Duration {
+        let mut t = Duration::from_millis(250);
+        let now = Instant::now();
+        if let Some(until) = self.accept_paused_until {
+            t = t.min(
+                until
+                    .saturating_duration_since(now)
+                    .max(Duration::from_millis(1)),
+            );
+        }
+        if self.idle_timeout.is_some() || self.rejecting_open > 0 {
+            t = t.min(Duration::from_millis(100));
+        }
+        if let Some(deadline) = self.drain_deadline {
+            t = t.min(
+                deadline
+                    .saturating_duration_since(now)
+                    .max(Duration::from_millis(1)),
+            );
+            t = t.min(Duration::from_millis(20));
+        }
+        t
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!(self.wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn handle_conn_event(&mut self, slot: usize, ev: Event) {
+        if self.conns.get(slot).is_none_or(Option::is_none) {
+            return; // closed earlier in this batch
+        }
+        if ev.readable || ev.closed {
+            self.pump_read(slot);
+        }
+        if self.conns[slot].is_some() && (ev.writable || ev.closed) {
+            self.pump_write(slot);
+        }
+    }
+
+    // ---- accept path ------------------------------------------------
+
+    fn maybe_resume_accept(&mut self) {
+        if let Some(until) = self.accept_paused_until {
+            if Instant::now() >= until {
+                self.accept_paused_until = None;
+                self.register_listener(true);
+                self.do_accept();
+            }
+        }
+    }
+
+    fn register_listener(&mut self, on: bool) {
+        if on && !self.listener_registered && !self.draining {
+            let _ = self
+                .poller
+                .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ);
+            self.listener_registered = true;
+        } else if !on && self.listener_registered {
+            self.poller
+                .deregister(self.listener.as_raw_fd(), TOKEN_LISTENER);
+            self.listener_registered = false;
+        }
+    }
+
+    fn do_accept(&mut self) {
+        loop {
+            if self.draining || self.accept_paused_until.is_some() {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_errs = 0;
+                    self.install_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) => {
+                    self.metrics.accept_errors.inc();
+                    if is_fd_exhaustion(&e) {
+                        // Out of fds: stop accepting for a while and
+                        // keep serving the connections we have.
+                        let delay = accept_retry_delay(self.accept_errs);
+                        self.accept_errs = self.accept_errs.saturating_add(1);
+                        self.accept_paused_until = Some(Instant::now() + delay);
+                        self.register_listener(false);
+                        return;
+                    }
+                    // Transient per-connection errors (ECONNABORTED…):
+                    // keep accepting.
+                }
+            }
+        }
+    }
+
+    fn install_conn(&mut self, stream: TcpStream) {
+        let rejecting = self.open >= self.max_connections;
+        if rejecting {
+            self.metrics.rejected.inc();
+            if self.rejecting_open >= REJECT_HEADROOM {
+                // No reply slots left either: drop outright.
+                return;
+            }
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        self.gens[slot] += 1;
+        let conn = Conn::new(stream, self.gens[slot], rejecting);
+        if self
+            .poller
+            .register(conn.stream.as_raw_fd(), slot as u64, Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(conn);
+        if rejecting {
+            self.rejecting_open += 1;
+        } else {
+            self.open += 1;
+            self.metrics.accepted.inc();
+            self.metrics.open.add(1);
+        }
+    }
+
+    // ---- read path --------------------------------------------------
+
+    /// Reads and dispatches until the socket runs dry, a budget stalls
+    /// the connection, or the connection dies.
+    fn pump_read(&mut self, slot: usize) {
+        let mut close = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.close_after_flush {
+                return; // no longer reading
+            }
+            'outer: loop {
+                // Dispatch everything already buffered, budget
+                // permitting.
+                loop {
+                    if !conn.rejecting
+                        && (conn.inflight >= self.max_inflight_per_conn
+                            || self.inflight_global >= self.max_inflight)
+                    {
+                        if !conn.paused {
+                            conn.paused = true;
+                            self.paused_count += 1;
+                            self.metrics.read_stalls.inc();
+                        }
+                        break 'outer;
+                    }
+                    match conn.decoder.next_frame() {
+                        Ok(Some(body)) => {
+                            conn.last_activity = Instant::now();
+                            if conn.rejecting {
+                                // Typed admission answer, then close.
+                                conn.enqueue_reply(&Reply::Overloaded.encode());
+                                conn.close_after_flush = true;
+                                break 'outer;
+                            }
+                            if self.draining {
+                                // Stop consuming new work mid-drain;
+                                // the frame stays buffered.
+                                break 'outer;
+                            }
+                            let seq = conn.next_seq;
+                            conn.next_seq += 1;
+                            conn.inflight += 1;
+                            self.inflight_global += 1;
+                            self.queue.push(Job {
+                                token: slot as u64,
+                                gen: conn.gen,
+                                seq,
+                                body,
+                            });
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            close = true; // unframeable stream
+                            break 'outer;
+                        }
+                    }
+                }
+                // Refill from the socket.
+                match conn.stream.read(&mut self.read_buf) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.extend(&self.read_buf[..n]);
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if close {
+            self.close_conn(slot);
+        } else {
+            self.sync_interest(slot);
+            // A rejecting conn just got its reply queued: flush now.
+            self.pump_write(slot);
+        }
+    }
+
+    // ---- write path -------------------------------------------------
+
+    fn pump_write(&mut self, slot: usize) {
+        let mut close = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            while let Some(front) = conn.out.front_mut() {
+                match conn.stream.write(&front.data[front.off..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        front.off += n;
+                        conn.last_activity = Instant::now();
+                        if front.off == front.data.len() {
+                            conn.out.pop_front();
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // Partial write: resume when writable again.
+                        self.metrics.write_stalls.inc();
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if !close && conn.out.is_empty() && conn.close_after_flush {
+                close = true;
+            }
+        }
+        if close {
+            self.close_conn(slot);
+        } else {
+            self.sync_interest(slot);
+        }
+    }
+
+    // ---- completions ------------------------------------------------
+
+    fn drain_completions(&mut self) {
+        let completed = self.completions.take();
+        if completed.is_empty() {
+            return;
+        }
+        let mut touched = Vec::new();
+        for c in completed {
+            self.inflight_global -= 1;
+            let slot = c.token as usize;
+            let mut kill = false;
+            {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    continue; // connection died while the job ran
+                };
+                if conn.gen != c.gen {
+                    continue; // slot reused since
+                }
+                conn.inflight -= 1;
+                conn.pending.insert(c.seq, c.outcome);
+                // Release replies strictly in request order.
+                while let Some(outcome) = conn.pending.remove(&conn.next_reply) {
+                    conn.next_reply += 1;
+                    match outcome {
+                        Outcome::Reply(body) => conn.enqueue_reply(&body),
+                        Outcome::Torn { reply, keep } => {
+                            conn.enqueue_torn_reply(&reply, keep);
+                            conn.close_after_flush = true;
+                        }
+                        Outcome::Kill => {
+                            kill = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if kill {
+                self.close_conn(slot);
+            } else {
+                touched.push(slot);
+            }
+        }
+        for slot in touched {
+            self.pump_write(slot);
+        }
+        // Budget headroom may have opened up: resume paused readers.
+        self.resume_paused();
+    }
+
+    fn resume_paused(&mut self) {
+        if self.paused_count == 0 || self.inflight_global >= self.max_inflight {
+            return;
+        }
+        for slot in 0..self.conns.len() {
+            if self.inflight_global >= self.max_inflight {
+                break;
+            }
+            let resume = match self.conns[slot].as_mut() {
+                Some(conn) if conn.paused && conn.inflight < self.max_inflight_per_conn => {
+                    conn.paused = false;
+                    self.paused_count -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if resume {
+                self.pump_read(slot);
+            }
+        }
+    }
+
+    // ---- lifecycle --------------------------------------------------
+
+    fn sync_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let want = conn.desired_interest(self.draining);
+        if want != conn.interest {
+            conn.interest = want;
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), slot as u64, want);
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        self.poller.deregister(conn.stream.as_raw_fd(), slot as u64);
+        if conn.paused {
+            self.paused_count -= 1;
+        }
+        if conn.rejecting {
+            self.rejecting_open -= 1;
+        } else {
+            self.open -= 1;
+            self.metrics.open.sub(1);
+        }
+        self.free.push(slot);
+        self.gens[slot] += 1;
+        // conn (and its socket) drop here.
+    }
+
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        if now.duration_since(self.last_sweep) < Duration::from_millis(100) {
+            return;
+        }
+        self.last_sweep = now;
+        for slot in 0..self.conns.len() {
+            let close = match self.conns[slot].as_ref() {
+                Some(conn) if conn.rejecting => {
+                    now.duration_since(conn.last_activity) > REJECT_LINGER
+                }
+                Some(conn) => match self.idle_timeout {
+                    Some(t) => {
+                        conn.inflight == 0
+                            && conn.out.is_empty()
+                            && now.duration_since(conn.last_activity) > t
+                    }
+                    None => false,
+                },
+                None => false,
+            };
+            if close {
+                self.metrics.idle_closed.inc();
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.drain_timeout);
+        self.register_listener(false);
+        // Stop reading everywhere; finish what is in flight.
+        for slot in 0..self.conns.len() {
+            self.sync_interest(slot);
+        }
+    }
+
+    fn drain_finished(&mut self) -> bool {
+        if let Some(deadline) = self.drain_deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        self.inflight_global == 0
+            && self
+                .conns
+                .iter()
+                .flatten()
+                .all(|c| c.out.is_empty() && c.pending.is_empty())
+    }
+}
+
+fn worker_loop(
+    queue: Arc<JobQueue>,
+    completions: Arc<Completions>,
+    handler: Arc<dyn Handler>,
+    faults: Option<Arc<Mutex<Box<dyn FaultLayer>>>>,
+    panics: Arc<Counter>,
+) {
+    let call = |body: Bytes| -> Bytes {
+        match catch_unwind(AssertUnwindSafe(|| handler.handle(body))) {
+            Ok(reply) => reply,
+            Err(cause) => {
+                panics.inc();
+                let msg = cause
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| cause.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                eprintln!("iw-net: handler panicked while serving a request: {msg}");
+                Reply::Error {
+                    message: format!("internal server error: request handler panicked: {msg}"),
+                }
+                .encode()
+            }
+        }
+    };
+    while let Some(job) = queue.pop() {
+        let action = match &faults {
+            Some(layer) => match Request::decode(job.body.clone()) {
+                // Undecodable frames skip the injector (it plans per
+                // decoded request); the handler answers `bad request`.
+                Err(_) => FaultAction::Deliver,
+                Ok(req) => lock(layer).plan(&req, &job.body),
+            },
+            None => FaultAction::Deliver,
+        };
+        let outcome = match action {
+            FaultAction::Deliver => Outcome::Reply(call(job.body)),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                Outcome::Reply(call(job.body))
+            }
+            FaultAction::Drop => Outcome::Kill,
+            FaultAction::DropReply => {
+                let _ = call(job.body);
+                Outcome::Kill
+            }
+            FaultAction::Corrupt(bytes) => Outcome::Reply(call(bytes)),
+            FaultAction::Truncate(keep) => {
+                let reply = call(job.body);
+                let keep = keep.min(reply.len());
+                Outcome::Torn { reply, keep }
+            }
+            FaultAction::Duplicate => {
+                let first = call(job.body.clone());
+                let _ = call(job.body);
+                Outcome::Reply(first)
+            }
+        };
+        completions.push(Completion {
+            token: job.token,
+            gen: job.gen,
+            seq: job.seq,
+            outcome,
+        });
+    }
+}
+
+/// A running event-driven TCP server wrapping a [`Handler`].
+///
+/// The drop-in replacement for [`iw_proto::TcpServer`]: same `spawn` /
+/// `addr` shape, same handler contract, but one readiness-polled event
+/// loop plus a fixed worker pool instead of a thread per connection.
+/// Dropping the value drains gracefully (see [`NetOptions`]).
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    wake_tx: File,
+    queue: Arc<JobQueue>,
+    loop_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue").finish()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (port 0 for ephemeral) with default options and a
+    /// private registry.
+    ///
+    /// # Errors
+    ///
+    /// Bind or poller-creation failure.
+    pub fn spawn(addr: SocketAddr, handler: Arc<dyn Handler>) -> io::Result<NetServer> {
+        NetServer::spawn_with(
+            addr,
+            handler,
+            NetOptions::default(),
+            &Arc::new(Registry::new()),
+        )
+    }
+
+    /// Binds `addr` and serves `handler` with explicit options, homing
+    /// the front-end telemetry (`tcp.open_connections`,
+    /// `tcp.accepted_total`, `tcp.rejected_total`, stall counters,
+    /// `tcp.worker_panics_total`) in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Bind or poller-creation failure.
+    pub fn spawn_with(
+        addr: SocketAddr,
+        handler: Arc<dyn Handler>,
+        opts: NetOptions,
+        registry: &Arc<Registry>,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let mut poller = Poller::new(opts.poller)?;
+        let (wake_rx, wake_tx) = crate::sys::wake_pipe()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(JobQueue::new());
+        let completions = Arc::new(Completions {
+            list: Mutex::new(Vec::new()),
+            wake_tx: wake_tx.try_clone()?,
+        });
+        let panics = registry.counter("tcp.worker_panics_total");
+        let faults = opts.fault_layer.map(|mut layer| {
+            layer.bind_registry(registry);
+            Arc::new(Mutex::new(layer))
+        });
+
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let queue = queue.clone();
+                let completions = completions.clone();
+                let handler = handler.clone();
+                let faults = faults.clone();
+                let panics = panics.clone();
+                std::thread::Builder::new()
+                    .name(format!("iw-net-worker-{i}"))
+                    .spawn(move || worker_loop(queue, completions, handler, faults, panics))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let event_loop = EventLoop {
+            poller,
+            listener,
+            wake_rx,
+            stop: stop.clone(),
+            queue: queue.clone(),
+            completions,
+            max_inflight: opts.max_inflight.max(1),
+            max_inflight_per_conn: opts.max_inflight_per_conn.max(1),
+            max_connections: opts.max_connections.max(1),
+            idle_timeout: opts.idle_timeout,
+            drain_timeout: opts.drain_timeout,
+            metrics: NetMetrics::new(registry),
+            conns: Vec::new(),
+            free: Vec::new(),
+            gens: Vec::new(),
+            open: 0,
+            rejecting_open: 0,
+            paused_count: 0,
+            inflight_global: 0,
+            accept_paused_until: None,
+            accept_errs: 0,
+            listener_registered: true,
+            draining: false,
+            drain_deadline: None,
+            last_sweep: Instant::now(),
+            read_buf: vec![0u8; 64 << 10],
+        };
+        let loop_thread = std::thread::Builder::new()
+            .name("iw-net-loop".into())
+            .spawn(move || event_loop.run())?;
+
+        Ok(NetServer {
+            addr: local,
+            stop,
+            wake_tx,
+            queue,
+            loop_thread: Some(loop_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = (&self.wake_tx).write(&[1]);
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! End-to-end tests for the event-driven front end: real sockets, real
+//! readiness loop, both poller backends, pipelining, backpressure,
+//! admission control, idle reaping, graceful drain, and panic
+//! isolation.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use iw_net::{NetOptions, NetServer, PollerKind};
+use iw_proto::tcp::{read_frame, write_frame};
+use iw_proto::{Handler, Reply, Request, TcpTransport, Transport};
+use iw_telemetry::Registry;
+
+/// A handler speaking the Hello leg of the protocol: `Welcome` with
+/// `client = info.len()`. An info of `sleep:<ms>:<pad>` sleeps first,
+/// so tests can hold requests in flight deliberately.
+fn echo_handler() -> Arc<dyn Handler> {
+    Arc::new(|req: Bytes| match Request::decode(req) {
+        Ok(Request::Hello { info }) => {
+            let len = info.len() as u64;
+            if let Some(rest) = info.strip_prefix("sleep:") {
+                let ms: u64 = rest
+                    .split(':')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            Reply::Welcome { client: len }.encode()
+        }
+        _ => Reply::Error {
+            message: "unexpected".into(),
+        }
+        .encode(),
+    })
+}
+
+fn hello(info: &str) -> Request {
+    Request::Hello { info: info.into() }
+}
+
+fn opts() -> NetOptions {
+    NetOptions::default()
+}
+
+#[test]
+fn roundtrip_on_both_pollers() {
+    for kind in [PollerKind::Epoll, PollerKind::Poll] {
+        if kind == PollerKind::Epoll && !cfg!(target_os = "linux") {
+            continue;
+        }
+        let server = NetServer::spawn_with(
+            "127.0.0.1:0".parse().unwrap(),
+            echo_handler(),
+            NetOptions {
+                poller: kind,
+                ..opts()
+            },
+            &Arc::new(Registry::new()),
+        )
+        .unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let reply = t.request(&hello("abcd")).unwrap();
+        assert_eq!(reply, Reply::Welcome { client: 4 }, "poller {kind}");
+    }
+}
+
+#[test]
+fn many_concurrent_clients() {
+    let registry = Arc::new(Registry::new());
+    let server = NetServer::spawn_with(
+        "127.0.0.1:0".parse().unwrap(),
+        echo_handler(),
+        opts(),
+        &registry,
+    )
+    .unwrap();
+    let threads: Vec<_> = (0..16)
+        .map(|i| {
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                let mut t = TcpTransport::connect(addr).unwrap();
+                for _ in 0..20 {
+                    let reply = t.request(&hello(&"x".repeat(i + 1))).unwrap();
+                    assert_eq!(
+                        reply,
+                        Reply::Welcome {
+                            client: (i + 1) as u64
+                        }
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("tcp.accepted_total"), Some(16));
+    assert_eq!(snap.counter("tcp.rejected_total"), Some(0));
+    // All clients disconnected: the gauge drains back to zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if registry.snapshot().gauge("tcp.open_connections") == Some(0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "open_connections never drained");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn pipelined_requests_get_ordered_replies() {
+    // Later requests sleep less, so with 4 workers the handler finishes
+    // out of order; the loop must still deliver replies in request
+    // order.
+    let server = NetServer::spawn("127.0.0.1:0".parse().unwrap(), echo_handler()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut want = Vec::new();
+    for i in 0..8usize {
+        let pad = "p".repeat(i + 1);
+        let info = format!("sleep:{}:{pad}", (8 - i) * 15);
+        want.push(info.len() as u64);
+        write_frame(&mut stream, &hello(&info).encode()).unwrap();
+    }
+    for (i, want_len) in want.iter().enumerate() {
+        let body = read_frame(&mut stream).unwrap().expect("reply frame");
+        let reply = Reply::decode(Bytes::from(body)).unwrap();
+        assert_eq!(reply, Reply::Welcome { client: *want_len }, "reply {i}");
+    }
+}
+
+#[test]
+fn large_reply_resumes_across_partial_writes() {
+    // A multi-megabyte reply cannot leave in one nonblocking write;
+    // the connection must re-arm write interest and finish the frame.
+    let big = "B".repeat(16 << 20);
+    let handler: Arc<dyn Handler> = {
+        let big = big.clone();
+        Arc::new(move |req: Bytes| match Request::decode(req) {
+            Ok(Request::Hello { .. }) => Reply::Error {
+                message: big.clone(),
+            }
+            .encode(),
+            _ => Reply::Error {
+                message: "unexpected".into(),
+            }
+            .encode(),
+        })
+    };
+    let registry = Arc::new(Registry::new());
+    let server =
+        NetServer::spawn_with("127.0.0.1:0".parse().unwrap(), handler, opts(), &registry).unwrap();
+    // A raw client that does not read for a while: the kernel buffers
+    // fill, the nonblocking write hits WouldBlock, and the connection
+    // must park the remainder and resume on writability.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &hello("gimme").encode()).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let body = read_frame(&mut stream).unwrap().expect("big reply");
+    let Reply::Error { message } = Reply::decode(Bytes::from(body)).unwrap() else {
+        panic!("want the big Error reply");
+    };
+    assert_eq!(message.len(), big.len());
+    assert_eq!(message.as_bytes(), big.as_bytes());
+    let stalls = registry
+        .snapshot()
+        .counter("tcp.write_stalls_total")
+        .unwrap_or(0);
+    assert!(stalls > 0, "a 16 MiB reply to a slow reader must stall");
+}
+
+#[test]
+fn admission_cap_answers_typed_overloaded() {
+    let registry = Arc::new(Registry::new());
+    let server = NetServer::spawn_with(
+        "127.0.0.1:0".parse().unwrap(),
+        echo_handler(),
+        NetOptions {
+            max_connections: 1,
+            ..opts()
+        },
+        &registry,
+    )
+    .unwrap();
+    // Fill the only slot and prove it is installed with a round trip.
+    let mut held = TcpTransport::connect(server.addr()).unwrap();
+    assert_eq!(
+        held.request(&hello("x")).unwrap(),
+        Reply::Welcome { client: 1 }
+    );
+    // The next connection is admitted only to be told "Overloaded".
+    let mut over = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut over, &hello("straggler").encode()).unwrap();
+    let body = read_frame(&mut over).unwrap().expect("typed reply");
+    assert_eq!(Reply::decode(Bytes::from(body)).unwrap(), Reply::Overloaded);
+    // ...and then closed by the server, not reset mid-reply.
+    assert!(matches!(read_frame(&mut over), Ok(None) | Err(_)));
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("tcp.rejected_total"), Some(1));
+    assert_eq!(snap.counter("tcp.accepted_total"), Some(1));
+    // The held session is unaffected.
+    assert_eq!(
+        held.request(&hello("yy")).unwrap(),
+        Reply::Welcome { client: 2 }
+    );
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let registry = Arc::new(Registry::new());
+    let server = NetServer::spawn_with(
+        "127.0.0.1:0".parse().unwrap(),
+        echo_handler(),
+        NetOptions {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..opts()
+        },
+        &registry,
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &hello("hi").encode()).unwrap();
+    assert!(read_frame(&mut stream).unwrap().is_some());
+    // Go quiet past the timeout: the server closes us.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(matches!(read_frame(&mut stream), Ok(None) | Err(_)));
+    assert_eq!(
+        registry.snapshot().counter("tcp.idle_closed_total"),
+        Some(1)
+    );
+}
+
+#[test]
+fn inflight_budget_stalls_reads_but_serves_everything() {
+    let registry = Arc::new(Registry::new());
+    let server = NetServer::spawn_with(
+        "127.0.0.1:0".parse().unwrap(),
+        echo_handler(),
+        NetOptions {
+            workers: 2,
+            max_inflight_per_conn: 1,
+            ..opts()
+        },
+        &registry,
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // Burst 4 pipelined requests past a budget of 1.
+    for _ in 0..4 {
+        write_frame(&mut stream, &hello("sleep:30:x").encode()).unwrap();
+    }
+    for _ in 0..4 {
+        let body = read_frame(&mut stream).unwrap().expect("reply");
+        assert!(matches!(
+            Reply::decode(Bytes::from(body)).unwrap(),
+            Reply::Welcome { .. }
+        ));
+    }
+    let stalls = registry
+        .snapshot()
+        .counter("tcp.read_stalls_total")
+        .unwrap_or(0);
+    assert!(stalls > 0, "the burst must have stalled the read side");
+}
+
+#[test]
+fn graceful_drain_delivers_inflight_reply() {
+    let server = NetServer::spawn("127.0.0.1:0".parse().unwrap(), echo_handler()).unwrap();
+    let addr = server.addr();
+    let client = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &hello("sleep:200:pad").encode()).unwrap();
+        let body = read_frame(&mut stream).unwrap().expect("drained reply");
+        Reply::decode(Bytes::from(body)).unwrap()
+    });
+    // Let the request reach a worker, then shut the server down.
+    std::thread::sleep(Duration::from_millis(80));
+    drop(server);
+    let reply = client.join().unwrap();
+    assert!(matches!(reply, Reply::Welcome { .. }), "{reply:?}");
+}
+
+#[test]
+fn handler_panic_is_isolated_and_counted() {
+    let poison: Arc<dyn Handler> = Arc::new(|req: Bytes| match Request::decode(req) {
+        Ok(Request::Hello { info }) if info == "poison" => panic!("poison request"),
+        Ok(Request::Hello { info }) => Reply::Welcome {
+            client: info.len() as u64,
+        }
+        .encode(),
+        _ => Reply::Error {
+            message: "unexpected".into(),
+        }
+        .encode(),
+    });
+    let registry = Arc::new(Registry::new());
+    let server =
+        NetServer::spawn_with("127.0.0.1:0".parse().unwrap(), poison, opts(), &registry).unwrap();
+    let mut t = TcpTransport::connect(server.addr()).unwrap();
+    let Reply::Error { message } = t.request(&hello("poison")).unwrap() else {
+        panic!("want Error");
+    };
+    assert!(message.contains("panicked"), "{message}");
+    assert_eq!(
+        registry.snapshot().counter("tcp.worker_panics_total"),
+        Some(1)
+    );
+    // Connection and server both survive.
+    assert_eq!(
+        t.request(&hello("ok")).unwrap(),
+        Reply::Welcome { client: 2 }
+    );
+    let mut t2 = TcpTransport::connect(server.addr()).unwrap();
+    assert_eq!(
+        t2.request(&hello("fresh")).unwrap(),
+        Reply::Welcome { client: 5 }
+    );
+}
+
+#[test]
+fn worker_pool_runs_handlers_in_parallel() {
+    let inflight_peak = Arc::new(AtomicU64::new(0));
+    let inflight = Arc::new(AtomicU64::new(0));
+    let handler: Arc<dyn Handler> = {
+        let peak = inflight_peak.clone();
+        let cur = inflight.clone();
+        Arc::new(move |req: Bytes| {
+            let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(100));
+            cur.fetch_sub(1, Ordering::SeqCst);
+            match Request::decode(req) {
+                Ok(Request::Hello { info }) => Reply::Welcome {
+                    client: info.len() as u64,
+                }
+                .encode(),
+                _ => Reply::Error {
+                    message: "unexpected".into(),
+                }
+                .encode(),
+            }
+        })
+    };
+    let server = NetServer::spawn_with(
+        "127.0.0.1:0".parse().unwrap(),
+        handler,
+        NetOptions {
+            workers: 4,
+            ..opts()
+        },
+        &Arc::new(Registry::new()),
+    )
+    .unwrap();
+    let started = Instant::now();
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                let mut t = TcpTransport::connect(addr).unwrap();
+                t.request(&hello("go")).unwrap()
+            })
+        })
+        .collect();
+    for t in threads {
+        assert!(matches!(t.join().unwrap(), Reply::Welcome { .. }));
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(350),
+        "4 x 100 ms requests on 4 workers must overlap (took {:?})",
+        started.elapsed()
+    );
+    assert!(inflight_peak.load(Ordering::SeqCst) >= 2);
+}

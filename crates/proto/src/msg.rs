@@ -237,6 +237,11 @@ pub enum Reply {
         /// Human-readable reason.
         message: String,
     },
+    /// The server is at its connection cap and refused this session
+    /// (admission control). Unlike [`Reply::Busy`] — a per-lock,
+    /// retry-soon condition — `Overloaded` means the whole front end
+    /// declined the connection; the server closes it after this reply.
+    Overloaded,
 }
 
 impl Request {
@@ -574,6 +579,7 @@ impl Reply {
                 w.put_u8(10);
                 w.put_u64(*acked_version);
             }
+            Reply::Overloaded => w.put_u8(11),
         }
         w.finish()
     }
@@ -649,6 +655,7 @@ impl Reply {
             10 => Reply::Replicated {
                 acked_version: r.get_u64()?,
             },
+            11 => Reply::Overloaded,
             tag => return Err(WireError::BadTag { what: "reply", tag }),
         };
         Ok(reply)
@@ -829,6 +836,7 @@ mod tests {
                 message: "no such segment".into(),
             },
             Reply::Replicated { acked_version: 12 },
+            Reply::Overloaded,
         ];
         for reply in replies {
             assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);

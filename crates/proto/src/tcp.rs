@@ -25,10 +25,14 @@ use crate::transport::{
 /// one TCP segment for small frames) instead of two `write_all` calls.
 /// Short writes fall back to plain writes of the remainder.
 ///
+/// Generic over the stream so the blocking transports and test
+/// harnesses (in-memory cursors, instrumented sockets) share one
+/// codec.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying stream.
-pub fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+pub fn write_frame<S: Write>(stream: &mut S, body: &[u8]) -> io::Result<()> {
     let prefix = (body.len() as u32).to_be_bytes();
     let total = prefix.len() + body.len();
     let mut done = 0usize;
@@ -52,11 +56,15 @@ pub fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
 /// boundary.
 ///
+/// Generic over the stream (see [`write_frame`]); `iw-net`'s
+/// incremental decoder is property-tested byte-for-byte against this
+/// function.
+///
 /// # Errors
 ///
 /// Propagates I/O errors; a frame longer than 256 MiB is rejected as
 /// `InvalidData`.
-pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+pub fn read_frame<S: Read>(stream: &mut S) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -73,6 +81,20 @@ pub fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     Ok(Some(body))
+}
+
+/// The accept backoff after `errs` consecutive fd-exhaustion failures:
+/// 10 ms doubling to a ~1 s cap. Keeps a process at `EMFILE` serving
+/// its existing connections instead of spinning on (or abandoning) the
+/// accept loop. Shared by both server front ends.
+pub fn accept_retry_delay(errs: u32) -> Duration {
+    Duration::from_millis(10u64.saturating_mul(1 << errs.min(7)))
+}
+
+/// `true` for errno values meaning the process or system ran out of
+/// file descriptors (`ENFILE` / `EMFILE`).
+pub fn is_fd_exhaustion(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(23) | Some(24))
 }
 
 /// Default connect/read/write timeout for client connections: long enough
@@ -305,25 +327,58 @@ impl TcpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let panics = registry.counter("tcp.worker_panics_total");
+        let accepted = registry.counter("tcp.accepted_total");
+        let accept_errors = registry.counter("tcp.accept_errors_total");
+        let open = registry.gauge("tcp.open_connections");
+        // Register the remaining front-end metrics so a scrape of this
+        // front end is shape-compatible with `iw-net`'s (they stay zero
+        // here: blocking I/O never stalls a readiness loop and this
+        // front end has no admission cap or idle sweep).
+        let _ = registry.counter("tcp.rejected_total");
+        let _ = registry.counter("tcp.read_stalls_total");
+        let _ = registry.counter("tcp.write_stalls_total");
+        let _ = registry.counter("tcp.idle_closed_total");
         let accept_thread = std::thread::Builder::new()
             .name("iw-tcp-accept".into())
             .spawn(move || {
                 let mut workers = Vec::new();
-                for conn in listener.incoming() {
-                    if stop2.load(Ordering::SeqCst) {
-                        break;
+                let mut accept_errs: u32 = 0;
+                loop {
+                    match listener.accept() {
+                        Ok((mut stream, _)) => {
+                            accept_errs = 0;
+                            if stop2.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            accepted.inc();
+                            open.add(1);
+                            // Request/reply framing interacts badly with
+                            // Nagle + delayed ACK: the tail segment of a
+                            // large reply can stall ~40 ms waiting for the
+                            // client's ACK. The client side already
+                            // disables Nagle (see `connect`).
+                            let _ = stream.set_nodelay(true);
+                            let handler = handler.clone();
+                            let panics = panics.clone();
+                            let open = open.clone();
+                            workers.push(std::thread::spawn(move || {
+                                serve_connection(&mut stream, &handler, &panics);
+                                open.sub(1);
+                            }));
+                        }
+                        Err(e) => {
+                            if stop2.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            accept_errors.inc();
+                            if is_fd_exhaustion(&e) {
+                                // Out of fds: back off, keep serving the
+                                // connections we already have, try again.
+                                std::thread::sleep(accept_retry_delay(accept_errs));
+                                accept_errs = accept_errs.saturating_add(1);
+                            }
+                        }
                     }
-                    let Ok(mut stream) = conn else { continue };
-                    // Request/reply framing interacts badly with Nagle +
-                    // delayed ACK: the tail segment of a large reply can
-                    // stall ~40 ms waiting for the client's ACK. The
-                    // client side already disables Nagle (see `connect`).
-                    let _ = stream.set_nodelay(true);
-                    let handler = handler.clone();
-                    let panics = panics.clone();
-                    workers.push(std::thread::spawn(move || {
-                        serve_connection(&mut stream, &handler, &panics);
-                    }));
                 }
                 for w in workers {
                     let _ = w.join();
