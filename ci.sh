@@ -41,6 +41,18 @@ for seed in 1 7 42; do
     exit 1
   fi
 done
+
+echo "== replica-read soak (release, fixed seeds, 120s cap)"
+# One writer vs backup-pinned relaxed readers while the primary→backup
+# ship link wears seeded faults: every backup-served read must stay
+# within its staleness bound, with zero violations, and the settled
+# probe must be replica-served once the faults drain.
+for seed in 1 7 42; do
+  if ! timeout 120 target/release/iwchaos --replica-reads --seed "$seed"; then
+    echo "replica-read soak FAILED at seed $seed (replay: iwchaos --replica-reads --seed $seed --trace)"
+    exit 1
+  fi
+done
 env -u RUST_TEST_THREADS timeout 300 cargo test -q --release -p iw-faults
 
 echo "== recovery (durable soak + SIGKILL mid-commit + restart, oracle byte-compare)"
@@ -113,6 +125,37 @@ stop_iwsrv
 start_iwsrv --chaos 7
 timeout 120 target/release/iwload --addr "$scale_addr" \
   --sessions 64 --rounds 5 --drivers 16 --chaos
+stop_iwsrv
+
+echo "== read-replica fan-out (3-node group, 200 temporal readers)"
+# A primary plus two `--backup-of` replicas, then the iwload fan-out
+# harness: one writer streaming versions while 200 temporal reader
+# sessions pull the shared segment through the replica pool (discovered
+# from the primary's advertised set). Fails on any torn/regressing
+# read, any staleness-bound violation, zero replica-served reads, or a
+# replica share of network reads below 80%.
+backup_pids=""
+stop_backups() {
+  for p in $backup_pids; do kill "$p" 2>/dev/null || true; done
+  for p in $backup_pids; do wait "$p" 2>/dev/null || true; done
+  backup_pids=""
+}
+trap 'stop_backups; stop_iwsrv' EXIT
+start_iwsrv
+for b in 1 2; do
+  rm -f "$scale_dir/bport$b"
+  target/release/iwsrv --listen 127.0.0.1:0 --port-file "$scale_dir/bport$b" \
+    --backup-of "$scale_addr" 2>"$scale_dir/backup$b.log" &
+  backup_pids="$backup_pids $!"
+done
+for _ in $(seq 1 100); do
+  grep -q attached "$scale_dir/backup1.log" 2>/dev/null \
+    && grep -q attached "$scale_dir/backup2.log" 2>/dev/null && break
+  sleep 0.1
+done
+timeout 120 target/release/iwload --addr "$scale_addr" \
+  --readers 200 --reads 10 --writes 40 --window-ms 1 --min-share 80
+stop_backups
 stop_iwsrv
 
 echo "CI OK"

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! iwchaos [--seed S] [--clients N] [--ops N] [--rate PER_10K] [--trace]
-//!         [--recover]
+//!         [--recover] [--replica-reads]
 //! ```
 //!
 //! Spins up a primary with an attached backup, degrades every client
@@ -22,12 +22,21 @@
 //!    SIGKILLed mid-commit at a seeded point, restarted, and its
 //!    recovered segment byte-compared against a fault-free oracle.
 //!
+//! With `--replica-reads`, the replica-read soak runs instead: one
+//! writer streams versions through the primary while reader sessions
+//! pinned to the backup read under Delta/Temporal coherence and the
+//! primary→backup ship link wears the seeded fault plan. The run fails
+//! if any read is torn, regresses, or lands below its coherence floor —
+//! or if the backup never serves at all.
+//!
 //! The same seed always injects the same fault schedule — print it with
 //! `--trace` and replay at will (with `--clients 1` the trace is fully
 //! deterministic; more clients interleave their streams).
 
 use iw_cli::Args;
-use iw_faults::chaos::{run_soak, run_soak_on, soak_segment_image, SoakConfig};
+use iw_faults::chaos::{
+    run_replica_soak, run_soak, run_soak_on, soak_segment_image, ReplicaSoakConfig, SoakConfig,
+};
 use iw_faults::kill::{run_kill_restart, KillConfig};
 use iw_faults::FaultPlan;
 use iw_server::{DurableOptions, Server};
@@ -111,6 +120,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rate: u32 = v.parse()?;
         cfg.client_plan = FaultPlan::recoverable(rate);
         cfg.ship_plan = FaultPlan::recoverable(rate);
+    }
+
+    if args.switch("replica-reads") {
+        let mut rcfg = ReplicaSoakConfig::quick(seed);
+        if let Some(v) = args.flag("clients") {
+            rcfg.readers = v.parse()?;
+        }
+        if let Some(v) = args.flag("ops") {
+            rcfg.writes = v.parse()?;
+        }
+        if let Some(v) = args.flag("rate") {
+            rcfg.ship_plan = FaultPlan::recoverable(v.parse()?);
+        }
+        let report = run_replica_soak(&rcfg);
+        println!(
+            "iwchaos: replica-reads seed {seed}  readers {}  writes {}  ship injected {}  \
+             replica reads {}  fallbacks {}  not-fresh {}  violations {}  final version {}",
+            rcfg.readers,
+            rcfg.writes,
+            report.ship_injections,
+            report.replica_reads,
+            report.replica_fallbacks,
+            report.replica_not_fresh,
+            report.predicate_violations,
+            report.final_version,
+        );
+        if args.switch("trace") {
+            println!("ship trace: {}", report.ship_trace);
+        }
+        for f in &report.failures {
+            eprintln!("iwchaos: FAIL {f}");
+        }
+        if report.converged {
+            println!(
+                "iwchaos: replica reads clean — every backup-served read within its \
+                 staleness bound"
+            );
+            return Ok(());
+        }
+        eprintln!("iwchaos: REPLICA READS NOT CLEAN (seed {seed})");
+        std::process::exit(1);
     }
 
     if args.switch("recover") {

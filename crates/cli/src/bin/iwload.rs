@@ -4,6 +4,8 @@
 //! iwload --addr 127.0.0.1:7474 [--sessions N | --curve N1,N2,...]
 //!        [--rounds R] [--drivers D] [--reconnect-every K]
 //!        [--timeout SECS] [--chaos] [--expect-busy N]
+//!        [--readers N [--reads R] [--writes W] [--window-ms MS]
+//!         [--replicas A1,A2,...|none] [--min-share PCT]]
 //! ```
 //!
 //! Drives `N` concurrent live sessions (one TCP connection each, a
@@ -15,12 +17,24 @@
 //! every connection gets a typed answer (`Welcome` or `Overloaded`),
 //! never a hang or a reset.
 //!
+//! With `--readers N`, the read-fan-out harness runs instead: one
+//! writer streams versions through the primary at `--addr` while `N`
+//! reader sessions under `Temporal(--window-ms)` coherence pull the
+//! shared segment through the replica fan-out path. Replicas come from
+//! the primary's advertised set by default; `--replicas A1,A2` pins an
+//! explicit list, `--replicas none` measures the no-replica baseline.
+//! The harness waits for the backups to catch up before measuring,
+//! checks the `value == version` oracle on every read, and fails if
+//! any staleness bound broke or (with replicas) the replica-served
+//! share of network reads lands below `--min-share` (default 80).
+//!
 //! Exit status is nonzero on any session error, verification
 //! divergence, or admission-contract violation.
 
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use iw_cli::fanout::{await_replicas, run_fanout, FanoutConfig};
 use iw_cli::load::{admission_check, run, LoadConfig};
 use iw_cli::Args;
 
@@ -55,6 +69,99 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if report.welcomed + report.overloaded != attempts {
             return Err("admission check lost connections".into());
+        }
+        return Ok(());
+    }
+
+    if let Some(n) = args.flag("readers") {
+        let mut cfg = FanoutConfig::smoke(addr);
+        cfg.readers = n.parse()?;
+        if let Some(v) = args.flag("reads") {
+            cfg.reads_per_reader = v.parse()?;
+        }
+        if let Some(v) = args.flag("writes") {
+            cfg.writes = v.parse()?;
+        }
+        if let Some(v) = args.flag("window-ms") {
+            cfg.window = Duration::from_millis(v.parse()?);
+        }
+        if let Some(v) = args.flag("drivers") {
+            cfg.drivers = v.parse()?;
+        }
+        match args.flag("replicas") {
+            Some("none") => cfg.discover = false,
+            Some(list) => {
+                cfg.discover = false;
+                cfg.replicas = list
+                    .split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<Result<_, _>>()?;
+            }
+            None => {}
+        }
+        let min_share: f64 = args
+            .flag("min-share")
+            .map(|v| v.parse::<f64>())
+            .transpose()?
+            .unwrap_or(80.0)
+            / 100.0;
+
+        let expect_replicas = cfg.discover || !cfg.replicas.is_empty();
+        if expect_replicas && !await_replicas(&cfg, timeout) {
+            return Err("no backup answered a floored probe read before the timeout".into());
+        }
+        let report = run_fanout(&cfg);
+        println!(
+            "fanout: {} readers x {} reads, {} writes, window {}ms, {} replicas attached",
+            cfg.readers,
+            cfg.reads_per_reader,
+            cfg.writes,
+            cfg.window.as_millis(),
+            report.replicas_attached,
+        );
+        if report.replicas_attached == 0 {
+            println!(
+                "fanout: {} reads in {:.2}s ({:.0}/s): all primary/local (no replica pool)",
+                report.reads,
+                report.elapsed.as_secs_f64(),
+                report.reads_per_sec,
+            );
+        } else {
+            println!(
+                "fanout: {} reads in {:.2}s ({:.0}/s): {} local, {} replica-served, \
+                 {} primary fallbacks ({:.1}% replica share of network reads)",
+                report.reads,
+                report.elapsed.as_secs_f64(),
+                report.reads_per_sec,
+                report.local_reads,
+                report.replica_reads,
+                report.fallbacks,
+                report.replica_share() * 100.0,
+            );
+        }
+        println!(
+            "fanout: {} not-fresh refusals, {} frontier probes, {} violations, final version {}",
+            report.not_fresh, report.frontier_probes, report.violations, report.final_version,
+        );
+        for e in report.errors.iter().take(10) {
+            eprintln!("iwload: {e}");
+        }
+        if report.errors.len() > 10 {
+            eprintln!("iwload: ... and {} more errors", report.errors.len() - 10);
+        }
+        if !report.passed() {
+            return Err("fan-out run had oracle failures or staleness violations".into());
+        }
+        if expect_replicas && report.replica_reads == 0 {
+            return Err("fan-out run never used a replica despite replicas being expected".into());
+        }
+        if expect_replicas && report.replica_share() < min_share {
+            return Err(format!(
+                "replica share {:.1}% below the {:.0}% floor",
+                report.replica_share() * 100.0,
+                min_share * 100.0
+            )
+            .into());
         }
         return Ok(());
     }

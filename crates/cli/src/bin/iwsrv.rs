@@ -36,10 +36,17 @@
 //!
 //! Every `iwsrv` is replication-capable: it accepts `AttachBackup`
 //! requests and streams committed diffs to attached backups. With
-//! `--backup-of ADDR`, this instance additionally registers itself as a
-//! backup of the primary at `ADDR` (retrying until the primary is
-//! reachable), after which the primary keeps it bit-identical via the
-//! diff stream plus full-image catch-up.
+//! `--backup-of ADDR`, this instance instead serves the *read-replica*
+//! face: it registers itself as a backup of the primary at `ADDR`
+//! (retrying until the primary is reachable) and follows its diff
+//! stream, answers floored read polls locally whenever its copy
+//! satisfies the client's staleness floor (`NotFresh` otherwise), and
+//! bounces every write-shaped request with a `NotPrimary` redirect
+//! naming the primary. The face is promotable: the first
+//! failover-marked `Hello` (a client that lost the primary
+//! re-registering) permanently flips the node to its full primary
+//! face, so kill-the-primary failover keeps working with the
+//! replica face in front.
 //!
 //! With `--chaos SEED`, a deterministic fault injector sits between the
 //! wire and the server: a seeded fraction of requests (default 200 per
@@ -53,7 +60,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use iw_cli::Args;
-use iw_cluster::Primary;
+use iw_cluster::{Backup, Primary};
 use iw_faults::{FaultLog, FaultPlan, FaultyHandler};
 use iw_net::{NetOptions, NetServer, PollerKind};
 use iw_proto::{Handler, Reply, Request, TcpServer, TcpTransport, Transport};
@@ -115,8 +122,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => Server::new(),
         }
     };
-    let primary = Primary::new(server);
-    let registry = primary.server().registry().clone();
+    let registry = server.registry().clone();
+    let backup_of: Option<std::net::SocketAddr> =
+        args.flag("backup-of").map(|v| v.parse()).transpose()?;
+    // A `--backup-of` node serves the read-replica face: floored read
+    // polls answered locally, writes bounced toward the primary. The
+    // diff/sync stream from the primary passes through `Backup` to the
+    // same underlying server. The face is *promotable*: the wrapped
+    // `Primary` handler takes over on the first failover-marked
+    // `Hello`, restoring full write + replication capability once the
+    // primary is gone.
+    let core: Arc<dyn Handler> = match backup_of {
+        Some(primary) => {
+            let full = Primary::new(server);
+            let srv = full.server().clone();
+            Arc::new(Backup::promotable(
+                Arc::new(full),
+                srv,
+                Some(primary.to_string()),
+            ))
+        }
+        None => Arc::new(Primary::new(server)),
+    };
     let handler: Arc<dyn Handler> = match args.flag("chaos") {
         Some(seed) => {
             let seed: u64 = seed.parse()?;
@@ -125,17 +152,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|v| v.parse())
                 .transpose()?
                 .unwrap_or(200);
-            let faulty = FaultyHandler::new(
-                Arc::new(primary),
-                seed,
-                FaultPlan::recoverable(rate),
-                FaultLog::new(),
-            );
+            let faulty =
+                FaultyHandler::new(core, seed, FaultPlan::recoverable(rate), FaultLog::new());
             faulty.bind_registry(&registry);
             eprintln!("iwsrv: chaos ingress enabled (seed {seed}, {rate}/10k)");
             Arc::new(faulty)
         }
-        None => Arc::new(primary),
+        None => core,
     };
     let frontend = args.flag("frontend").unwrap_or("event");
     let tcp = match frontend {
@@ -192,8 +215,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::rename(&tmp, path)?;
     }
 
-    if let Some(primary) = args.flag("backup-of") {
-        let primary: std::net::SocketAddr = primary.parse()?;
+    if let Some(primary) = backup_of {
         let own = tcp.addr().to_string();
         std::thread::spawn(move || loop {
             if let Ok(mut t) = TcpTransport::connect(primary) {

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let client = match transport.request(&Request::Hello {
         info: "iwstat scraper".into(),
     })? {
-        Reply::Welcome { client } => client,
+        Reply::Welcome { client, .. } => client,
         other => return Err(format!("unexpected reply to Hello: {other:?}").into()),
     };
     let mut snapshot = match transport.request(&Request::Stats { client })? {

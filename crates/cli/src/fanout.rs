@@ -1,0 +1,424 @@
+//! The `iwload --readers` read-fan-out harness: one writer streaming
+//! versions through the primary while many relaxed-coherence reader
+//! sessions pull the segment through the replica fan-out path.
+//!
+//! Each reader is a full client [`Session`] under `Temporal(window)`
+//! coherence against a TCP server group, so reads route exactly as the
+//! library routes them: served locally while the staleness window
+//! holds, from whichever backup satisfies the floor once it ages out
+//! (a cheap `Frontier` probe re-arms the anchor), and from the primary
+//! only when every backup is too stale. The writer commits
+//! `value == version` into the shared slot, so every read is
+//! self-checking: a torn or mis-versioned reply fails the run, as does
+//! any non-monotonic version within one reader.
+//!
+//! The report splits reads into *local* (answered inside the staleness
+//! window, no network), *replica-served* and *primary fallbacks*, and
+//! carries the replica share of network reads — the number the scale
+//! claim in the paper reproduction rests on.
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use iw_core::{Connector, Session};
+use iw_proto::{Coherence, TcpTransport, Transport};
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+
+/// Parameters for one fan-out run.
+#[derive(Debug, Clone)]
+pub struct FanoutConfig {
+    /// The primary (the server group's first member).
+    pub primary: SocketAddr,
+    /// Explicit read replicas. Ignored when `discover` is set — the
+    /// group's advertised replica set is adopted instead. Note the
+    /// advertised set still rides in on `Frontier` responses mid-run,
+    /// *adding* to an explicit list: the effective replica count is a
+    /// topology property, so measure a baseline by not attaching
+    /// backups, not by trimming this list.
+    pub replicas: Vec<SocketAddr>,
+    /// Adopt the replicas the primary advertises (`Welcome` /
+    /// `Frontier`) instead of an explicit list.
+    pub discover: bool,
+    /// Concurrent reader sessions.
+    pub readers: usize,
+    /// Locked reads per reader.
+    pub reads_per_reader: u64,
+    /// Versions the writer commits while the readers run.
+    pub writes: u64,
+    /// Driver threads sharing the readers.
+    pub drivers: usize,
+    /// Each reader's `Temporal` staleness window.
+    pub window: Duration,
+    /// Segment-namespace prefix; the shared feed is `<prefix>/feed`.
+    /// Give each run against a shared server its own prefix.
+    pub prefix: String,
+}
+
+impl FanoutConfig {
+    /// A smoke-sized run against `primary` with advertised-replica
+    /// discovery: 200 temporal readers, 10 reads each, 40 writes.
+    pub fn smoke(primary: SocketAddr) -> FanoutConfig {
+        FanoutConfig {
+            primary,
+            replicas: Vec::new(),
+            discover: true,
+            readers: 200,
+            reads_per_reader: 10,
+            writes: 40,
+            drivers: 16,
+            window: Duration::from_millis(5),
+            prefix: format!("fan-{}", std::process::id()),
+        }
+    }
+}
+
+/// What one fan-out run observed, summed over every reader.
+#[derive(Debug, Default)]
+pub struct FanoutReport {
+    /// Locked reads completed.
+    pub reads: u64,
+    /// Reads served by a backup (`cluster.replica_reads_total`).
+    pub replica_reads: u64,
+    /// Reads that fell back to the primary after the replica pool
+    /// refused or failed (`cluster.replica_read_fallbacks_total`).
+    pub fallbacks: u64,
+    /// Reads not counted as replica-served or fallback. With replicas
+    /// registered these are the reads answered inside the staleness
+    /// window without touching the network; with an empty pool,
+    /// uncounted primary polls land here too.
+    pub local_reads: u64,
+    /// Replica refusals along the way (`cluster.replica_not_fresh_total`).
+    pub not_fresh: u64,
+    /// Staleness-bound violations — must be zero
+    /// (`cluster.replica_read_violations_total`).
+    pub violations: u64,
+    /// Cheap primary `Frontier` probes re-arming aged temporal anchors.
+    pub frontier_probes: u64,
+    /// Read replicas the first reader's group ended up with.
+    pub replicas_attached: usize,
+    /// The writer's final committed version.
+    pub final_version: u64,
+    /// Read-phase wall time.
+    pub elapsed: Duration,
+    /// Locked reads per second across all readers.
+    pub reads_per_sec: f64,
+    /// Oracle and session failures, human-readable.
+    pub errors: Vec<String>,
+}
+
+impl FanoutReport {
+    /// Replica-served share of *network* reads, in [0, 1]; 1.0 when no
+    /// read needed the network at all.
+    pub fn replica_share(&self) -> f64 {
+        let network = self.replica_reads + self.fallbacks;
+        if network == 0 {
+            return 1.0;
+        }
+        self.replica_reads as f64 / network as f64
+    }
+
+    /// `true` when every read verified and no staleness bound broke.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.violations == 0
+    }
+}
+
+fn tcp_connector(addr: SocketAddr) -> Connector {
+    Box::new(move || {
+        let t = TcpTransport::connect(addr)
+            .map_err(|e| iw_core::CoreError::Server(format!("connect {addr}: {e}")))?;
+        Ok(Box::new(t) as Box<dyn Transport>)
+    })
+}
+
+/// Opens a session against the group. With `discover`, the advertised
+/// replica set rides in on the `Welcome`; otherwise the configured
+/// replicas are registered explicitly.
+fn group_session(cfg: &FanoutConfig) -> Result<Session, String> {
+    let t = TcpTransport::connect(cfg.primary).map_err(|e| format!("connect primary: {e}"))?;
+    let mut s =
+        Session::new(MachineArch::x86_64(), Box::new(t)).map_err(|e| format!("session: {e}"))?;
+    if cfg.discover {
+        s.add_tcp_server_group(&cfg.prefix, &[cfg.primary])
+            .map_err(|e| format!("server group: {e}"))?;
+    } else {
+        s.add_server_group(&cfg.prefix, vec![tcp_connector(cfg.primary)])
+            .map_err(|e| format!("server group: {e}"))?;
+        if !cfg.replicas.is_empty() {
+            s.add_tcp_read_replicas(&cfg.prefix, &cfg.replicas)
+                .map_err(|e| format!("read replicas: {e}"))?;
+        }
+    }
+    Ok(s)
+}
+
+/// One live reader: its session, handle, and what it has seen so far.
+/// Readers vastly outnumber driver threads; each driver steps its
+/// shard round-robin (the `load` harness's idiom), so all sessions are
+/// simultaneously live and a reader's staleness anchor ages naturally
+/// between its turns.
+struct Reader {
+    s: Session,
+    h: iw_core::SegHandle,
+    id: usize,
+    /// Last version observed (per-reader monotonicity oracle).
+    last: u64,
+    /// Locked reads completed.
+    reads: u64,
+}
+
+impl Reader {
+    fn connect(cfg: &FanoutConfig, id: usize) -> Result<Reader, String> {
+        let feed = format!("{}/feed", cfg.prefix);
+        let mut s = group_session(cfg).map_err(|e| format!("reader {id}: {e}"))?;
+        let h = s
+            .open_segment(&feed)
+            .map_err(|e| format!("reader {id}: open: {e}"))?;
+        s.set_coherence(&h, Coherence::Temporal(cfg.window.as_millis() as u64))
+            .map_err(|e| format!("reader {id}: coherence: {e}"))?;
+        Ok(Reader {
+            s,
+            h,
+            id,
+            last: 0,
+            reads: 0,
+        })
+    }
+
+    /// One locked read checking the `value == version` oracle.
+    fn step(&mut self, mip: &str) -> Result<(), String> {
+        let (id, i) = (self.id, self.reads);
+        self.s
+            .rl_acquire(&self.h)
+            .map_err(|e| format!("reader {id}: acquire {i}: {e}"))?;
+        let p = self
+            .s
+            .mip_to_ptr(mip)
+            .map_err(|e| format!("reader {id}: mip {i}: {e}"))?;
+        let value = self
+            .s
+            .read_i64(&p)
+            .map_err(|e| format!("reader {id}: read {i}: {e}"))?;
+        let version = self
+            .s
+            .segment_version(&self.h)
+            .map_err(|e| format!("reader {id}: version {i}: {e}"))?;
+        self.s
+            .rl_release(&self.h)
+            .map_err(|e| format!("reader {id}: release {i}: {e}"))?;
+        if value != version as i64 {
+            return Err(format!(
+                "reader {id}: torn read: value {value} at version {version}"
+            ));
+        }
+        if version < self.last {
+            return Err(format!(
+                "reader {id}: version moved backwards: v{version} after v{}",
+                self.last
+            ));
+        }
+        self.last = version;
+        self.reads += 1;
+        Ok(())
+    }
+}
+
+/// Drives one shard: connect every reader, then step them round-robin
+/// until each has done `reads_per_reader` reads. Returns the finished
+/// sessions (their counters carry the routing split).
+fn drive_shard(cfg: &FanoutConfig, shard: &[usize]) -> (Vec<(Session, u64)>, Vec<String>) {
+    let mip = format!("{}/feed#x", cfg.prefix);
+    let mut errors = Vec::new();
+    let mut readers = Vec::with_capacity(shard.len());
+    for &id in shard {
+        match Reader::connect(cfg, id) {
+            Ok(r) => readers.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
+    let mut live: Vec<usize> = (0..readers.len()).collect();
+    while !live.is_empty() {
+        live.retain_mut(|&mut idx| {
+            let r = &mut readers[idx];
+            if r.reads >= cfg.reads_per_reader {
+                return false;
+            }
+            match r.step(&mip) {
+                Ok(()) => true,
+                Err(e) => {
+                    errors.push(e);
+                    false
+                }
+            }
+        });
+    }
+    (
+        readers.into_iter().map(|r| (r.s, r.reads)).collect(),
+        errors,
+    )
+}
+
+fn counter(s: &Session, name: &str) -> u64 {
+    s.metrics_snapshot().counter(name).unwrap_or(0)
+}
+
+/// Runs one fan-out point: seed the feed, race one writer against
+/// `readers` temporal readers, sum the routing counters.
+///
+/// The returned report is complete even on failure — inspect
+/// [`FanoutReport::passed`] / [`FanoutReport::errors`].
+pub fn run_fanout(cfg: &FanoutConfig) -> FanoutReport {
+    let mut report = FanoutReport::default();
+    let feed = format!("{}/feed", cfg.prefix);
+
+    // Seed version 1 with value == version before any reader opens.
+    let mut writer = match group_session(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            report.errors.push(format!("writer: {e}"));
+            return report;
+        }
+    };
+    let hw = match writer.open_segment(&feed) {
+        Ok(h) => h,
+        Err(e) => {
+            report.errors.push(format!("writer: open: {e}"));
+            return report;
+        }
+    };
+    let seeded = writer.wl_acquire(&hw).and_then(|()| {
+        let p = writer.malloc(&hw, &TypeDesc::int64(), 1, Some("x"))?;
+        writer.write_i64(&p, 1)?;
+        writer.wl_release(&hw)
+    });
+    if let Err(e) = seeded {
+        report.errors.push(format!("writer: seed: {e}"));
+        return report;
+    }
+
+    let errors = Mutex::new(Vec::new());
+    let sessions: Mutex<Vec<(Session, u64)>> = Mutex::new(Vec::new());
+    let drivers = cfg.drivers.clamp(1, cfg.readers.max(1));
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); drivers];
+    for r in 0..cfg.readers {
+        shards[r % drivers].push(r);
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        // The writer paces `writes` commits across the read phase.
+        scope.spawn(|| {
+            let mip = format!("{feed}#x");
+            for _ in 0..cfg.writes {
+                let committed = writer.wl_acquire(&hw).and_then(|()| {
+                    let next = writer.segment_version(&hw)? + 1;
+                    let p = writer.mip_to_ptr(&mip)?;
+                    writer.write_i64(&p, next as i64)?;
+                    writer.wl_release(&hw)
+                });
+                if let Err(e) = committed {
+                    errors.lock().unwrap().push(format!("writer: commit: {e}"));
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let (sessions, errors) = (&sessions, &errors);
+        for shard in &shards {
+            scope.spawn(move || {
+                let (done, errs) = drive_shard(cfg, shard);
+                sessions.lock().unwrap().extend(done);
+                errors.lock().unwrap().extend(errs);
+            });
+        }
+    });
+    report.elapsed = started.elapsed();
+    report.errors = errors.into_inner().unwrap();
+    report.final_version = writer.segment_version(&hw).unwrap_or(0);
+
+    for (s, reads) in sessions.into_inner().unwrap() {
+        report.reads += reads;
+        report.replica_reads += counter(&s, "cluster.replica_reads_total");
+        report.fallbacks += counter(&s, "cluster.replica_read_fallbacks_total");
+        report.not_fresh += counter(&s, "cluster.replica_not_fresh_total");
+        report.violations += counter(&s, "cluster.replica_read_violations_total");
+        report.frontier_probes += counter(&s, "cluster.frontier_probes_total");
+        report.replicas_attached = report
+            .replicas_attached
+            .max(s.read_replica_labels(&cfg.prefix).len());
+    }
+    report.local_reads = report
+        .reads
+        .saturating_sub(report.replica_reads + report.fallbacks);
+    report.reads_per_sec = if report.elapsed.as_secs_f64() > 0.0 {
+        report.reads as f64 / report.elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    report
+}
+
+/// Blocks until a floored probe read is served by a backup (the ship
+/// stream has caught the advertised replicas up), or `deadline` passes.
+/// Returns `true` on a replica-served probe. Call before measuring a
+/// fan-out point so attach-time catch-up races don't skew the share.
+///
+/// Probes live on their own `<prefix>.warm/feed` segment — the
+/// measured feed is left untouched.
+pub fn await_replicas(cfg: &FanoutConfig, deadline: Duration) -> bool {
+    let mut warm = cfg.clone();
+    warm.prefix = format!("{}.warm", cfg.prefix);
+    let feed = format!("{}/feed", warm.prefix);
+    let mip = format!("{feed}#x");
+
+    // Seed version 1 so probe reads have committed state to pull.
+    let Ok(mut writer) = group_session(&warm) else {
+        return false;
+    };
+    let Ok(hw) = writer.open_segment(&feed) else {
+        return false;
+    };
+    let seeded = writer.wl_acquire(&hw).and_then(|()| {
+        let p = writer.malloc(&hw, &TypeDesc::int64(), 1, Some("x"))?;
+        writer.write_i64(&p, 1)?;
+        writer.wl_release(&hw)
+    });
+    if seeded.is_err() {
+        return false;
+    }
+
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        // Advance the feed so every probe has a fresh version to fetch,
+        // then read it back through a brand-new session under Delta(1).
+        let bumped = writer.wl_acquire(&hw).and_then(|()| {
+            let next = writer.segment_version(&hw)? + 1;
+            let p = writer.mip_to_ptr(&mip)?;
+            writer.write_i64(&p, next as i64)?;
+            writer.wl_release(&hw)
+        });
+        if bumped.is_err() {
+            return false;
+        }
+        let served = (|| -> Result<bool, String> {
+            let mut s = group_session(&warm)?;
+            let h = s
+                .open_segment(&feed)
+                .map_err(|e| format!("probe open: {e}"))?;
+            s.set_coherence(&h, Coherence::Delta(1))
+                .map_err(|e| format!("probe coherence: {e}"))?;
+            s.rl_acquire(&h)
+                .map_err(|e| format!("probe acquire: {e}"))?;
+            s.rl_release(&h)
+                .map_err(|e| format!("probe release: {e}"))?;
+            Ok(counter(&s, "cluster.replica_reads_total") > 0)
+        })();
+        if matches!(served, Ok(true)) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}

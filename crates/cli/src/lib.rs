@@ -8,7 +8,9 @@
 //!   it as text, JSON, or Prometheus exposition;
 //! - **`iwload`** — the many-client scale harness ([`load`]): thousands
 //!   of concurrent live sessions doing acquire/write/release churn,
-//!   reporting a connections-vs-throughput curve.
+//!   reporting a connections-vs-throughput curve; with `--readers`, the
+//!   read-fan-out harness ([`fanout`]) instead — one writer against
+//!   hundreds of temporal readers served by the replica pool.
 //!
 //! Argument parsing is a deliberate 60-line hand-rolled affair
 //! ([`Args`]): two flags and a positional don't justify a dependency.
@@ -16,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fanout;
 pub mod load;
 
 use std::collections::HashMap;

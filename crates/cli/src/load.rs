@@ -162,7 +162,7 @@ fn connect_session(
     let client = match t.request(&Request::Hello {
         info: format!("iwload:{segment}"),
     }) {
-        Ok(Reply::Welcome { client }) => client,
+        Ok(Reply::Welcome { client, .. }) => client,
         Ok(Reply::Overloaded) => return Err(format!("{segment}: admission-rejected (Overloaded)")),
         other => return Err(format!("{segment}: hello: {other:?}")),
     };

@@ -97,7 +97,7 @@ fn iwsrv_chaos_ingress_counts_injections_in_iwstat() {
         TcpTransport::connect(format!("127.0.0.1:{CHAOS_PORT}").parse().unwrap()).expect("connect");
     let client = loop {
         match t.request(&Request::Hello { info: "c".into() }) {
-            Ok(Reply::Welcome { client }) => break client,
+            Ok(Reply::Welcome { client, .. }) => break client,
             Ok(_) | Err(_) => continue,
         }
     };
@@ -117,6 +117,7 @@ fn iwsrv_chaos_ingress_counts_injections_in_iwstat() {
             segment: "x/chaos".into(),
             have_version: 0,
             coherence: Coherence::Full,
+            floor: 0,
         }) {
             Ok(Reply::UpToDate) => {}
             _ => errors += 1,

@@ -93,7 +93,7 @@ fn json_value(json: &str, name: &str) -> Option<u64> {
 fn hammer(segment: String, fill: i32) {
     let addr = format!("127.0.0.1:{PORT}").parse().unwrap();
     let mut t = TcpTransport::connect(addr).expect("connect");
-    let Reply::Welcome { client } = t
+    let Reply::Welcome { client, .. } = t
         .request(&Request::Hello {
             info: format!("contender-{segment}"),
         })

@@ -35,9 +35,9 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
@@ -140,6 +140,13 @@ pub struct Primary {
     /// being replication-capable. Diffs committed before a pending
     /// attach is processed are covered by its attach-time full sync.
     attached: Arc<AtomicUsize>,
+    /// Dial addresses of *live* address-attached backups, advertised to
+    /// clients in `Welcome` and `Frontier` replies so they can route
+    /// relaxed reads at read replicas. Maintained by the ship thread: a
+    /// backup joins the set once its attach-time sync succeeds and
+    /// leaves it the moment its dead link is pruned — clients must
+    /// never be pointed at a backup the primary has given up on.
+    advertised: Arc<Mutex<Vec<String>>>,
 }
 
 impl std::fmt::Debug for Primary {
@@ -159,9 +166,19 @@ impl Primary {
         let metrics = ShipMetrics::new(registry);
         let attached = Arc::new(AtomicUsize::new(0));
         let ship_attached = attached.clone();
+        let advertised = Arc::new(Mutex::new(Vec::new()));
+        let ship_advertised = advertised.clone();
         let ship = std::thread::Builder::new()
             .name("iw-cluster-ship".into())
-            .spawn(move || ship_loop(&rx, &ship_server, &metrics, &ship_attached))
+            .spawn(move || {
+                ship_loop(
+                    &rx,
+                    &ship_server,
+                    &metrics,
+                    &ship_attached,
+                    &ship_advertised,
+                )
+            })
             .expect("spawn ship thread");
         let hook_tx = tx.clone();
         let hook_attached = attached.clone();
@@ -181,7 +198,14 @@ impl Primary {
             tx,
             ship: Some(ship),
             attached,
+            advertised,
         }
+    }
+
+    /// Dial addresses of live address-attached backups, as advertised to
+    /// clients (tests).
+    pub fn advertised_replicas(&self) -> Vec<String> {
+        self.advertised.lock().expect("advertised set").clone()
     }
 
     /// The wrapped server (benchmarks and tests).
@@ -238,7 +262,163 @@ impl Handler for Primary {
         // Committed diffs are enqueued by the commit hook, under the
         // owning segment's write lock — not here, where concurrent
         // replies could be observed out of commit order.
-        self.server.dispatch(&req).encode()
+        let mut reply = self.server.dispatch(&req);
+        if let Reply::Welcome { replicas, .. } | Reply::Frontier { replicas, .. } = &mut reply {
+            // Advertise the live backup set so clients can discover —
+            // and, after a prune, evict — read replicas.
+            *replicas = self.advertised.lock().expect("advertised set").clone();
+        }
+        reply.encode()
+    }
+}
+
+/// The serving face of a backup replica: delegates the read path
+/// (`Hello`, `Open`, relaxed `Poll`s, shared `Acquire`s, replication
+/// traffic) to the wrapped [`Server`] and refuses write-shaped requests
+/// with [`Reply::NotPrimary`], optionally pointing at the primary. A
+/// `Poll` carrying a non-zero version floor is a replica-routed read:
+/// the wrapped server answers it from the replicated state, refusing
+/// with `NotFresh` when it has not caught up to the floor — so a backup
+/// can serve relaxed-coherence reads without ever being able to serve
+/// one staler than the client's predicate allows.
+///
+/// Built [`Backup::promotable`], the face additionally *promotes*: the
+/// first failover-marked `Hello` (how a client that lost the primary
+/// re-registers — see [`Server::hello`]) flips the node to its inner
+/// [`Primary`] handler for good, so a dead primary's clients land on a
+/// fully writable, replication-capable survivor. While the primary
+/// lives, writes still bounce.
+pub struct Backup {
+    server: Arc<Server>,
+    primary: Option<String>,
+    /// The full primary face to serve once promoted (`iwsrv
+    /// --backup-of` wires the node's own [`Primary`] wrapper here).
+    inner: Option<Arc<dyn Handler>>,
+    /// Latched by the first failover-marked `Hello`.
+    promoted: AtomicBool,
+    /// `cluster.replica_reads_served_total` — floored polls this backup
+    /// answered (`UpToDate` or `Update`).
+    reads_served: Arc<Counter>,
+    /// `cluster.replica_not_fresh_total` — floored polls refused
+    /// because this backup trailed the requested floor.
+    not_fresh: Arc<Counter>,
+    /// `cluster.write_redirects_total` — write-shaped requests bounced
+    /// with `NotPrimary`.
+    redirects: Arc<Counter>,
+    /// `cluster.promotions_total` — failover-marked `Hello`s that
+    /// flipped this backup to its primary face (0 or 1 per process).
+    promotions: Arc<Counter>,
+}
+
+impl std::fmt::Debug for Backup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backup")
+            .field("primary", &self.primary)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backup {
+    /// Wraps `server` as a read-serving backup. `primary` is the dial
+    /// address redirected writers should use, when known. Never
+    /// promotes — writes bounce for the process lifetime.
+    pub fn new(server: Arc<Server>, primary: Option<String>) -> Self {
+        let registry = server.registry().clone();
+        Backup {
+            reads_served: registry.counter("cluster.replica_reads_served_total"),
+            not_fresh: registry.counter("cluster.replica_not_fresh_total"),
+            redirects: registry.counter("cluster.write_redirects_total"),
+            promotions: registry.counter("cluster.promotions_total"),
+            inner: None,
+            promoted: AtomicBool::new(false),
+            server,
+            primary,
+        }
+    }
+
+    /// As [`Backup::new`], but with a full primary face (`inner`, a
+    /// [`Primary`] wrapping the *same* `server`) that takes over
+    /// permanently when a failover-marked `Hello` arrives — the
+    /// standalone-daemon shape, where a backup must be able to survive
+    /// its primary.
+    pub fn promotable(
+        inner: Arc<dyn Handler>,
+        server: Arc<Server>,
+        primary: Option<String>,
+    ) -> Self {
+        let mut b = Backup::new(server, primary);
+        b.inner = Some(inner);
+        b
+    }
+
+    /// `true` once a failover-marked `Hello` flipped this node to its
+    /// primary face.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped server (benchmarks and tests).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+}
+
+impl Handler for Backup {
+    fn handle(&self, request: Bytes) -> Bytes {
+        if let Some(inner) = &self.inner {
+            if self.promoted.load(Ordering::SeqCst) {
+                return inner.handle(request);
+            }
+            // Peek for the promotion trigger before the redirect face
+            // sees it: a failover-marked `Hello` means the primary is
+            // dead as far as that client could tell, and somebody has
+            // to own the version chain from here on.
+            if let Ok(Request::Hello { info }) = Request::decode(request.clone()) {
+                if info.contains("failover") {
+                    self.promoted.store(true, Ordering::SeqCst);
+                    self.promotions.inc();
+                    return inner.handle(request);
+                }
+            }
+        }
+        let _guard = self.server.begin_request();
+        let req = match Request::decode(request) {
+            Ok(req) => req,
+            Err(e) => {
+                return Reply::Error {
+                    message: format!("bad request: {e}"),
+                }
+                .encode()
+            }
+        };
+        match &req {
+            // Write-shaped requests mutate the version chain, which only
+            // the primary owns. (A diff-less `Release` is a read-lock
+            // release and passes through.)
+            Request::Acquire {
+                mode: iw_proto::LockMode::Write,
+                ..
+            }
+            | Request::Release { diff: Some(_), .. }
+            | Request::Commit { .. }
+            | Request::AttachBackup { .. } => {
+                self.redirects.inc();
+                Reply::NotPrimary {
+                    primary: self.primary.clone(),
+                }
+                .encode()
+            }
+            Request::Poll { floor, .. } if *floor > 0 => {
+                let reply = self.server.dispatch(&req);
+                match &reply {
+                    Reply::NotFresh { .. } => self.not_fresh.inc(),
+                    Reply::UpToDate | Reply::Update { .. } => self.reads_served.inc(),
+                    _ => {}
+                }
+                reply.encode()
+            }
+            _ => self.server.dispatch(&req).encode(),
+        }
     }
 }
 
@@ -336,6 +516,7 @@ fn ship_loop(
     server: &Arc<Server>,
     metrics: &ShipMetrics,
     attached: &AtomicUsize,
+    advertised: &Mutex<Vec<String>>,
 ) {
     let mut backups: Vec<BackupLink> = Vec::new();
     // Pre-resolved per-segment lag gauges (the registry's name map is a
@@ -345,7 +526,10 @@ fn ship_loop(
     // backups cannot inherit stale per-segment ack state, then republishes
     // the live count. A failed attach or a death drops the count; pending
     // attaches re-raise it via fetch_add, and any diffs skipped at zero
-    // are covered by the pending attach's full sync.
+    // are covered by the pending attach's full sync. The client-facing
+    // advertised replica set is rebuilt from the survivors in the same
+    // pass: pruning a dead backup evicts it from what clients are told,
+    // so no new reader is routed at a replica the primary gave up on.
     let prune_and_refresh = |backups: &mut Vec<BackupLink>| {
         let before = backups.len();
         backups.retain(|b| !b.dead);
@@ -355,6 +539,10 @@ fn ship_loop(
         }
         metrics.backups.set(backups.len() as i64);
         attached.store(backups.len(), Ordering::SeqCst);
+        *advertised.lock().expect("advertised set") = backups
+            .iter()
+            .filter_map(|b| b.addr.clone())
+            .collect::<Vec<_>>();
     };
     while let Ok(job) = rx.recv() {
         match job {
@@ -501,7 +689,8 @@ mod tests {
 
     fn connect(primary: &Arc<Primary>) -> (Loopback, u64) {
         let mut t = Loopback::new(primary.clone());
-        let Reply::Welcome { client } = t.request(&Request::Hello { info: "t".into() }).unwrap()
+        let Reply::Welcome { client, .. } =
+            t.request(&Request::Hello { info: "t".into() }).unwrap()
         else {
             panic!("no welcome")
         };

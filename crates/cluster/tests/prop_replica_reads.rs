@@ -1,0 +1,229 @@
+//! Property test: random interleavings of writes, replica ships and
+//! relaxed-coherence reads against a model checker.
+//!
+//! One writer commits versions through the primary; two backups are
+//! brought forward at arbitrary points with the same full images the
+//! ship thread uses; two reader sessions — each under a randomly drawn
+//! coherence model — read through the replica fan-out path. The slot
+//! `clu/data#x` always holds the version that committed it, so every
+//! read is self-checking. For each read the model asserts:
+//!
+//! 1. **No torn read**: `value == version` (the reply was one committed
+//!    snapshot, whichever node served it).
+//! 2. **No future read**: `version <= primary's committed version`.
+//! 3. **Per-reader monotonicity**: a session never observes the
+//!    segment moving backwards, no matter which replica answered.
+//! 4. **Coherence predicate**: a *replica-served* read is no staler
+//!    than the model's floor — `best_known - x` under `Delta(x)`, the
+//!    reader's confirmed frontier under `Temporal`/`Diff` — where the
+//!    model tracks a sound lower bound of the client's `best_known`
+//!    (the largest version the reader has ever observed).
+//! 5. The client-side violation counter stays zero (the server-side
+//!    floor check never let a stale reply through).
+
+use std::sync::Arc;
+
+use iw_cluster::Backup;
+use iw_core::{Connector, SegHandle, Session};
+use iw_proto::msg::{Reply, Request};
+use iw_proto::{Coherence, Handler, Loopback, Transport};
+use iw_server::{checkpoint, Server};
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+use proptest::prelude::*;
+
+const SEG: &str = "clu/data";
+const BACKUPS: usize = 2;
+const READERS: usize = 2;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Commit the next version through the primary.
+    Write,
+    /// Bring backup `i` forward to the primary's current version.
+    Ship(usize),
+    /// One locked read on reader `i`.
+    Read(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        3 => Just(Op::Write),
+        2 => (0..BACKUPS).prop_map(Op::Ship),
+        4 => (0..READERS).prop_map(Op::Read),
+    ];
+    prop::collection::vec(op, 1..40)
+}
+
+fn coherence() -> impl Strategy<Value = Coherence> {
+    prop_oneof![
+        Just(Coherence::Full),
+        (0u32..3).prop_map(Coherence::Delta),
+        Just(Coherence::Temporal(0)),
+        // Large enough that the staleness window never expires
+        // mid-test: Temporal stays deterministic under a real clock.
+        Just(Coherence::Temporal(3_600_000)),
+        Just(Coherence::Diff(0)),
+        Just(Coherence::Diff(2_500)),
+    ]
+}
+
+fn connector(h: &Arc<dyn Handler>) -> Connector {
+    let h = h.clone();
+    Box::new(move || Ok(Box::new(Loopback::new(h.clone())) as Box<dyn Transport>))
+}
+
+fn session(primary: &Arc<Server>, replicas: &[Arc<dyn Handler>]) -> Session {
+    let scratch: Arc<dyn Handler> = Arc::new(Server::new());
+    let mut s = Session::new(MachineArch::x86(), Box::new(Loopback::new(scratch))).unwrap();
+    let ph: Arc<dyn Handler> = primary.clone();
+    s.add_server_group("clu", vec![connector(&ph)]).unwrap();
+    s.add_read_replicas("clu", replicas.iter().map(connector).collect())
+        .unwrap();
+    s
+}
+
+/// The ship thread's catch-up: a full image, primary → backup.
+fn ship(primary: &Arc<Server>, backup: &Arc<Server>) {
+    let image = primary
+        .with_segment_mut(SEG, |seg| {
+            checkpoint::encode_segment(seg).expect("image encodes")
+        })
+        .expect("segment exists");
+    let reply = backup.handle_request(&Request::SyncFull {
+        segment: SEG.to_string(),
+        image,
+    });
+    assert!(matches!(reply, Reply::Replicated { .. }), "{reply:?}");
+}
+
+fn counter(s: &Session, name: &str) -> u64 {
+    s.metrics_snapshot().counter(name).unwrap_or(0)
+}
+
+/// What the model knows about one reader.
+#[derive(Debug, Default, Clone, Copy)]
+struct ReaderModel {
+    /// Last version this reader observed (monotonicity).
+    last: u64,
+    /// Largest version ever observed: a sound lower bound of the
+    /// client's `best_known` frontier, hence of any replica floor.
+    known: u64,
+}
+
+fn model_floor(coherence: Coherence, known: u64) -> u64 {
+    match coherence {
+        Coherence::Full => 0,
+        Coherence::Delta(x) => known.saturating_sub(u64::from(x)),
+        Coherence::Temporal(_) | Coherence::Diff(_) => known,
+    }
+}
+
+fn run(ops: &[Op], coherences: [Coherence; READERS]) {
+    let primary = Arc::new(Server::new());
+    let backup_srvs: Vec<Arc<Server>> = (0..BACKUPS).map(|_| Arc::new(Server::new())).collect();
+    let backups: Vec<Arc<dyn Handler>> = backup_srvs
+        .iter()
+        .map(|b| Arc::new(Backup::new(b.clone(), None)) as Arc<dyn Handler>)
+        .collect();
+
+    // Seed version 1 (value == version) before any reader opens.
+    let mut writer = session(&primary, &[]);
+    let hw = writer.open_segment(SEG).unwrap();
+    writer.wl_acquire(&hw).unwrap();
+    let p = writer
+        .malloc(&hw, &TypeDesc::int64(), 1, Some("x"))
+        .unwrap();
+    writer.write_i64(&p, 1).unwrap();
+    writer.wl_release(&hw).unwrap();
+    let mut primary_version = 1u64;
+
+    let mut readers: Vec<(Session, SegHandle)> = Vec::new();
+    let mut models = [ReaderModel::default(); READERS];
+    for (i, model) in models.iter_mut().enumerate() {
+        let mut s = session(&primary, &backups);
+        let h = s.open_segment(SEG).unwrap();
+        s.set_coherence(&h, coherences[i]).unwrap();
+        // `Open` confirmed the current primary version to this reader.
+        model.known = primary_version;
+        readers.push((s, h));
+    }
+
+    for &op in ops {
+        match op {
+            Op::Write => {
+                writer.wl_acquire(&hw).unwrap();
+                let committing = writer.segment_version(&hw).unwrap() + 1;
+                let p = writer.mip_to_ptr("clu/data#x").unwrap();
+                writer.write_i64(&p, committing as i64).unwrap();
+                writer.wl_release(&hw).unwrap();
+                primary_version = committing;
+            }
+            Op::Ship(b) => ship(&primary, &backup_srvs[b]),
+            Op::Read(r) => {
+                let (s, h) = &mut readers[r];
+                let replica_before = counter(s, "cluster.replica_reads_total");
+                s.rl_acquire(h).unwrap();
+                let p = s.mip_to_ptr("clu/data#x").unwrap();
+                let value = s.read_i64(&p).unwrap();
+                let version = s.segment_version(h).unwrap();
+                s.rl_release(h).unwrap();
+                let replica_served = counter(s, "cluster.replica_reads_total") - replica_before;
+
+                prop_assert_eq!(value, version as i64, "torn read on reader {}", r);
+                prop_assert!(
+                    version <= primary_version,
+                    "future read: reader {} saw v{} with the primary at v{}",
+                    r,
+                    version,
+                    primary_version
+                );
+                prop_assert!(
+                    version >= models[r].last,
+                    "reader {} moved backwards: v{} after v{}",
+                    r,
+                    version,
+                    models[r].last
+                );
+                prop_assert!(replica_served <= 1, "one read, one replica serve at most");
+                if replica_served == 1 {
+                    prop_assert!(
+                        !matches!(coherences[r], Coherence::Full),
+                        "Full-coherence read served by a replica"
+                    );
+                    let floor = model_floor(coherences[r], models[r].known);
+                    prop_assert!(
+                        version >= floor,
+                        "predicate violated: reader {} ({:?}) got v{} below floor v{} \
+                         (frontier bound v{})",
+                        r,
+                        coherences[r],
+                        version,
+                        floor,
+                        models[r].known
+                    );
+                }
+                prop_assert_eq!(
+                    counter(s, "cluster.replica_read_violations_total"),
+                    0,
+                    "server-side floor check let a stale reply through"
+                );
+                models[r].last = version;
+                models[r].known = models[r].known.max(version);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replica_served_reads_satisfy_their_coherence_predicate(
+        ops in ops(),
+        c0 in coherence(),
+        c1 in coherence(),
+    ) {
+        run(&ops, [c0, c1]);
+    }
+}

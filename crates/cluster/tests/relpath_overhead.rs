@@ -32,7 +32,8 @@ fn seed_diff(from: u64) -> SegmentDiff {
 
 fn run(handler: Arc<dyn Handler>, n: u64) -> f64 {
     let mut t = Loopback::new(handler);
-    let Reply::Welcome { client } = t.request(&Request::Hello { info: "b".into() }).unwrap() else {
+    let Reply::Welcome { client, .. } = t.request(&Request::Hello { info: "b".into() }).unwrap()
+    else {
         panic!()
     };
     t.request(&Request::Open {

@@ -558,6 +558,7 @@ impl Session {
             segment: segment.to_string(),
             have_version: have,
             coherence: Coherence::Full,
+            floor: 0,
         })?;
         match reply {
             Reply::UpToDate => Ok(()),

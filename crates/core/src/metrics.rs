@@ -90,6 +90,24 @@ pub(crate) struct SessionMetrics {
     pub pool_allocs: Arc<Counter>,
     /// `client.pool.buffers` — buffers currently held by the pool.
     pub pool_buffers: Arc<Gauge>,
+    /// `cluster.replica_reads_total` — relaxed reads served by a read
+    /// replica instead of the primary.
+    pub replica_reads: Arc<Counter>,
+    /// `cluster.replica_read_fallbacks_total` — relaxed reads that fell
+    /// back to the primary because no replica satisfied the coherence
+    /// predicate (or none answered).
+    pub replica_fallbacks: Arc<Counter>,
+    /// `cluster.replica_not_fresh_total` — replica polls refused with
+    /// `NotFresh` (the replica's version was below the requested floor).
+    pub replica_not_fresh: Arc<Counter>,
+    /// `cluster.replica_read_violations_total` — replica-served reads
+    /// whose final cached version landed below the coherence floor.
+    /// The server-side floor check makes this impossible; a non-zero
+    /// count is a protocol bug.
+    pub replica_violations: Arc<Counter>,
+    /// `cluster.frontier_probes_total` — version-frontier probes sent to
+    /// the primary to refresh the replica-read anchor.
+    pub frontier_probes: Arc<Counter>,
 }
 
 impl SessionMetrics {
@@ -127,6 +145,11 @@ impl SessionMetrics {
             pool_reuses: registry.counter("client.pool.reuses_total"),
             pool_allocs: registry.counter("client.pool.allocs_total"),
             pool_buffers: registry.gauge("client.pool.buffers"),
+            replica_reads: registry.counter("cluster.replica_reads_total"),
+            replica_fallbacks: registry.counter("cluster.replica_read_fallbacks_total"),
+            replica_not_fresh: registry.counter("cluster.replica_not_fresh_total"),
+            replica_violations: registry.counter("cluster.replica_read_violations_total"),
+            frontier_probes: registry.counter("cluster.frontier_probes_total"),
             registry,
         }
     }

@@ -51,6 +51,16 @@ pub(crate) struct SegState {
     /// When the cached copy was last brought up to date (Temporal
     /// coherence).
     pub last_update: Instant,
+    /// Newest version of this segment confirmed at the *primary* (or
+    /// learned from a replica, whose chains are prefixes of the
+    /// primary's). Drives the replica-read eligibility floor
+    /// ([`iw_proto::Coherence::replica_floor`]).
+    pub best_known: u64,
+    /// When `best_known` was last confirmed *at the primary*. Temporal
+    /// replica reads anchor their staleness bound to this instant: data
+    /// at or above the frontier confirmed then is at most that old.
+    /// `None` until the first primary round trip.
+    pub primary_confirm: Option<Instant>,
     /// Next block serial to allocate (granted by the server with the
     /// write lock).
     pub next_serial: u32,
@@ -88,6 +98,8 @@ impl SegState {
             server_locked: false,
             coherence: Coherence::Full,
             last_update: Instant::now(),
+            best_known: 0,
+            primary_confirm: None,
             next_serial: 0,
             types_synced: 0,
             new_blocks: Vec::new(),

@@ -176,6 +176,45 @@ pub(crate) struct ServerLink {
     pub connectors: Vec<Connector>,
     /// Index into `connectors` of the replica `transport` talks to.
     pub active: usize,
+    /// Read replicas relaxed-coherence reads may be served from.
+    pub read_replicas: Vec<ReadReplica>,
+    /// Backup addresses the primary advertised in its last
+    /// `Welcome`/`Frontier` reply (TCP groups; used to discover — and,
+    /// when the primary prunes a dead backup, evict — read replicas).
+    pub advertised: Vec<String>,
+    /// Deterministic rotation state for replica selection.
+    pub rr_seed: u64,
+}
+
+/// One read replica of a server group: relaxed-coherence reads may be
+/// served from it when its version satisfies the session's coherence
+/// predicate (see [`Coherence::replica_floor`]). Connected lazily on
+/// first use; a channel error marks it dead until the next failover
+/// resets the pool.
+pub(crate) struct ReadReplica {
+    /// Display label (the dial address for TCP replicas).
+    pub label: String,
+    pub connector: Connector,
+    pub transport: Option<Box<dyn Transport>>,
+    pub client_id: u64,
+    /// Last version this replica was seen to hold, per segment (from
+    /// `NotFresh` refusals and served reads), paired with the client's
+    /// `best_known` frontier at the time of the observation. The
+    /// observation is *staleness evidence* only while the frontier
+    /// hasn't advanced past it — the replica follows the ship stream,
+    /// so an older refusal says nothing about where it is now. Missing
+    /// or outdated entries are treated optimistically: the server-side
+    /// floor check keeps a wrong guess safe, it just costs the round
+    /// trip.
+    pub known: HashMap<String, (u64, u64)>,
+    /// Replicas auto-discovered from the primary's advertised set are
+    /// evicted when the primary stops advertising them; explicitly
+    /// registered ones are kept.
+    pub from_advert: bool,
+    pub dead: bool,
+    /// `cluster.replica_lag.<label>` — how far this replica trails the
+    /// client's confirmed frontier, in versions.
+    pub lag: Arc<iw_telemetry::Gauge>,
 }
 
 impl std::fmt::Debug for Session {
@@ -213,7 +252,7 @@ impl Session {
         transport.bind_registry(metrics.registry());
         let info = format!("interweave-rs client on {arch}");
         let client_id = match transport.request(&Request::Hello { info })? {
-            Reply::Welcome { client } => client,
+            Reply::Welcome { client, .. } => client,
             other => return Err(unexpected(other)),
         };
         let heap = match opts.page_size {
@@ -307,7 +346,7 @@ impl Session {
     ) -> Result<(), CoreError> {
         let info = format!("interweave-rs client on {}", self.heap.arch());
         let client_id = match transport.request(&Request::Hello { info })? {
-            Reply::Welcome { client } => client,
+            Reply::Welcome { client, .. } => client,
             other => return Err(unexpected(other)),
         };
         self.extra_links.insert(
@@ -317,6 +356,9 @@ impl Session {
                 client_id,
                 connectors: Vec::new(),
                 active: 0,
+                read_replicas: Vec::new(),
+                advertised: Vec::new(),
+                rr_seed: 0x9E37_79B9u64 ^ client_id,
             },
         );
         Ok(())
@@ -344,7 +386,7 @@ impl Session {
                 continue;
             };
             transport.bind_registry(self.metrics.registry());
-            let Ok(Reply::Welcome { client }) =
+            let Ok(Reply::Welcome { client, replicas }) =
                 transport.request(&Request::Hello { info: info.clone() })
             else {
                 continue;
@@ -356,6 +398,9 @@ impl Session {
                     client_id: client,
                     connectors,
                     active: idx,
+                    read_replicas: Vec::new(),
+                    advertised: replicas,
+                    rr_seed: 0x9E37_79B9u64 ^ client,
                 },
             );
             return Ok(());
@@ -366,7 +411,9 @@ impl Session {
     }
 
     /// As [`Session::add_server_group`] for TCP replicas given by socket
-    /// address.
+    /// address. Backup addresses the primary advertises in its `Welcome`
+    /// reply are automatically registered as read replicas (see
+    /// [`Session::add_read_replicas`]).
     ///
     /// # Errors
     ///
@@ -378,16 +425,162 @@ impl Session {
     ) -> Result<(), CoreError> {
         let connectors = addrs
             .iter()
-            .map(|&addr| -> Connector {
-                Box::new(move || {
-                    let t = iw_proto::TcpTransport::connect(addr).map_err(|e| {
-                        CoreError::Proto(iw_proto::ProtoError::Channel(e.to_string()))
-                    })?;
-                    Ok(Box::new(t) as Box<dyn Transport>)
-                })
-            })
+            .map(|&addr| -> Connector { tcp_connector(addr) })
             .collect();
-        self.add_server_group(host, connectors)
+        self.add_server_group(host, connectors)?;
+        let advertised = self
+            .extra_links
+            .get(host)
+            .map(|l| l.advertised.clone())
+            .unwrap_or_default();
+        self.sync_advertised_replicas(host, &advertised);
+        Ok(())
+    }
+
+    /// Registers read replicas for `host`'s server group: relaxed-
+    /// coherence read acquisitions (`rl_acquire` under `Delta`,
+    /// `Temporal` or `Diff` coherence with a non-zero bound) may be
+    /// served from any of them whose version satisfies the coherence
+    /// predicate, falling back to the primary otherwise. The write path
+    /// is unaffected. Replicas are dialed lazily on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Server`] when `host` has no registered server group.
+    pub fn add_read_replicas(
+        &mut self,
+        host: &str,
+        connectors: Vec<Connector>,
+    ) -> Result<(), CoreError> {
+        let registry = self.metrics.registry().clone();
+        let link = self
+            .extra_links
+            .get_mut(host)
+            .ok_or_else(|| CoreError::Server(format!("no server group for `{host}`")))?;
+        for connector in connectors {
+            let label = format!("{host}.r{}", link.read_replicas.len());
+            link.read_replicas
+                .push(new_replica(label, connector, false, &registry));
+        }
+        Ok(())
+    }
+
+    /// As [`Session::add_read_replicas`] for TCP replicas given by
+    /// socket address.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Server`] when `host` has no registered server group.
+    pub fn add_tcp_read_replicas(
+        &mut self,
+        host: &str,
+        addrs: &[std::net::SocketAddr],
+    ) -> Result<(), CoreError> {
+        let registry = self.metrics.registry().clone();
+        let link = self
+            .extra_links
+            .get_mut(host)
+            .ok_or_else(|| CoreError::Server(format!("no server group for `{host}`")))?;
+        for &addr in addrs {
+            if link
+                .read_replicas
+                .iter()
+                .any(|r| r.label == addr.to_string())
+            {
+                continue;
+            }
+            link.read_replicas.push(new_replica(
+                addr.to_string(),
+                tcp_connector(addr),
+                false,
+                &registry,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Labels of the read replicas currently registered for `host`'s
+    /// server group, in rotation order (tests and fan-out harnesses).
+    pub fn read_replica_labels(&self, host: &str) -> Vec<String> {
+        self.extra_links.get(host).map_or_else(Vec::new, |l| {
+            l.read_replicas.iter().map(|r| r.label.clone()).collect()
+        })
+    }
+
+    /// Reconciles the auto-discovered read-replica pool with the
+    /// primary's currently advertised backup set: newly advertised
+    /// addresses are added, and auto-discovered replicas the primary no
+    /// longer advertises (pruned dead backups) are evicted. Explicitly
+    /// registered replicas are never evicted.
+    fn sync_advertised_replicas(&mut self, host: &str, advertised: &[String]) {
+        let registry = self.metrics.registry().clone();
+        let Some(link) = self.extra_links.get_mut(host) else {
+            return;
+        };
+        link.advertised = advertised.to_vec();
+        link.read_replicas
+            .retain(|r| !r.from_advert || advertised.iter().any(|a| a == &r.label));
+        for addr in advertised {
+            if link.read_replicas.iter().any(|r| &r.label == addr) {
+                continue;
+            }
+            let Ok(sockaddr) = addr.parse::<std::net::SocketAddr>() else {
+                continue;
+            };
+            link.read_replicas.push(new_replica(
+                addr.clone(),
+                tcp_connector(sockaddr),
+                true,
+                &registry,
+            ));
+        }
+    }
+
+    /// Probes the primary for `host`'s version frontier: a cheap round
+    /// trip that refreshes each open segment's confirmed-version anchor
+    /// (`best_known`) without transferring any data, and reconciles the
+    /// auto-discovered read-replica pool with the primary's advertised
+    /// backup set. Called automatically when a Temporal replica read's
+    /// anchor has aged out; public so fan-out harnesses can pre-warm.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors from the probe.
+    pub fn refresh_frontier(&mut self, host: &str) -> Result<(), CoreError> {
+        self.metrics.frontier_probes.inc();
+        let reply = self.request_for(host, |client| Request::Frontier { client })?;
+        let Reply::Frontier { segments, replicas } = reply else {
+            return Err(unexpected(reply));
+        };
+        let now = Instant::now();
+        for (name, version) in segments {
+            if Session::host_of(&name) != host {
+                continue;
+            }
+            if let Some(st) = self.segs.get_mut(&name) {
+                st.best_known = st.best_known.max(version);
+                st.primary_confirm = Some(now);
+            }
+        }
+        if !replicas.is_empty()
+            || self
+                .extra_links
+                .get(host)
+                .is_some_and(|l| !l.advertised.is_empty())
+        {
+            self.sync_advertised_replicas(host, &replicas);
+        }
+        Ok(())
+    }
+
+    /// Records a version confirmed at `segment`'s primary just now:
+    /// advances the replica-read floor anchor and re-arms the Temporal
+    /// staleness clock.
+    fn note_primary_version(&mut self, segment: &str, version: u64) {
+        if let Some(st) = self.segs.get_mut(segment) {
+            st.best_known = st.best_known.max(version);
+            st.primary_confirm = Some(Instant::now());
+        }
     }
 
     /// The host component of a segment name (everything before the first
@@ -497,7 +690,7 @@ impl Session {
                     continue;
                 };
                 t.bind_registry(self.metrics.registry());
-                if let Ok(Reply::Welcome { client }) =
+                if let Ok(Reply::Welcome { client, .. }) =
                     t.request(&Request::Hello { info: info.clone() })
                 {
                     // Retire the old client id before trusting this
@@ -530,6 +723,17 @@ impl Session {
         link.transport = transport;
         link.client_id = client_id;
         link.active = active;
+        // The read-replica pool was built against the old primary's
+        // world: drop connections, dead flags and version knowledge so
+        // the pool re-proves itself against the new primary's chain
+        // (lazy reconnect; the next Frontier probe re-syncs the
+        // advertised set).
+        for rep in &mut link.read_replicas {
+            rep.transport = None;
+            rep.client_id = 0;
+            rep.known.clear();
+            rep.dead = false;
+        }
         self.extra_links.insert(host.to_string(), link);
         self.metrics.failovers.inc();
         self.metrics.reconnects.inc();
@@ -558,6 +762,11 @@ impl Session {
                 return Err(unexpected(reply));
             };
             let st = self.state_mut(name)?;
+            // The anchor is *reset*, not maxed: versions past the new
+            // primary's chain died with the old one, and a stale floor
+            // would refuse every replica forever.
+            st.best_known = replica_version;
+            st.primary_confirm = Some(Instant::now());
             if st.version > replica_version {
                 st.version = 0;
                 stale.push(name.clone());
@@ -624,15 +833,16 @@ impl Session {
     /// handle.
     pub fn open_segment(&mut self, name: &str) -> Result<SegHandle, CoreError> {
         if !self.segs.contains_key(name) {
-            match self.request_for(name, |client| Request::Open {
+            let version = match self.request_for(name, |client| Request::Open {
                 client,
                 segment: name.to_string(),
             })? {
-                Reply::Opened { .. } => {}
+                Reply::Opened { version } => version,
                 other => return Err(unexpected(other)),
-            }
+            };
             let id = self.heap.create_segment(name)?;
             self.segs.insert(name.to_string(), SegState::new(id));
+            self.note_primary_version(name, version);
         }
         Ok(SegHandle { name: name.into() })
     }
@@ -733,6 +943,7 @@ impl Session {
             self.metrics.update_bytes.record(diff.payload_len() as u64);
             self.apply_segment_diff(h, &diff)?;
         }
+        self.note_primary_version(&name, version);
         let in_tx = self.tx.is_some();
         let protect = {
             let st = self.state_mut(&name)?;
@@ -825,6 +1036,7 @@ impl Session {
             .map(BlockMeta::prim_count)
             .sum();
         let adapt = self.opts.no_diff_adaptation;
+        self.note_primary_version(&name, version);
         let st = self.state_mut(&name)?;
         st.version = version;
         st.lock = None;
@@ -886,6 +1098,7 @@ impl Session {
                     self.metrics.update_bytes.record(diff.payload_len() as u64);
                     self.apply_segment_diff(h, &diff)?;
                 }
+                self.note_primary_version(&name, version);
                 let st = self.state_mut(&name)?;
                 st.version = version;
                 st.lock = Some(LockMode::Read);
@@ -893,23 +1106,42 @@ impl Session {
                 st.last_update = Instant::now();
             }
             _ => {
-                // Relaxed models: poll for an update; no server-side lock.
-                let reply = self.request_for(&name, |client| Request::Poll {
-                    client,
-                    segment: name.clone(),
-                    have_version: have,
-                    coherence,
-                })?;
-                match reply {
-                    Reply::UpToDate => {}
-                    Reply::Update { diff } => {
-                        self.metrics.update_bytes.record(diff.payload_len() as u64);
-                        self.apply_segment_diff(h, &diff)?;
-                        let st = self.state_mut(&name)?;
-                        st.last_update = Instant::now();
+                // Relaxed models: poll for an update; no server-side
+                // lock. The poll is served by a read replica when one
+                // satisfies the coherence predicate, else the primary.
+                if !self.try_replica_read(h, coherence, have)? {
+                    let reply = self.request_for(&name, |client| Request::Poll {
+                        client,
+                        segment: name.clone(),
+                        have_version: have,
+                        coherence,
+                        floor: 0,
+                    })?;
+                    match reply {
+                        Reply::UpToDate => {
+                            // Under Temporal the primary answers
+                            // `UpToDate` only at version parity, so the
+                            // cache version *is* the current one and
+                            // re-arms the anchor. Delta/Diff tolerate a
+                            // distance, so parity is not implied — the
+                            // cache version is only a frontier bound.
+                            if matches!(coherence, Coherence::Temporal(_)) {
+                                self.note_primary_version(&name, have);
+                            } else if let Ok(st) = self.state_mut(&name) {
+                                st.best_known = st.best_known.max(have);
+                            }
+                        }
+                        Reply::Update { diff } => {
+                            self.metrics.update_bytes.record(diff.payload_len() as u64);
+                            self.apply_segment_diff(h, &diff)?;
+                            let version = self.state(&name)?.version;
+                            self.note_primary_version(&name, version);
+                            let st = self.state_mut(&name)?;
+                            st.last_update = Instant::now();
+                        }
+                        Reply::Error { message } => return Err(CoreError::Server(message)),
+                        other => return Err(unexpected(other)),
                     }
-                    Reply::Error { message } => return Err(CoreError::Server(message)),
-                    other => return Err(unexpected(other)),
                 }
                 let st = self.state_mut(&name)?;
                 st.lock = Some(LockMode::Read);
@@ -917,6 +1149,191 @@ impl Session {
             }
         }
         Ok(())
+    }
+
+    /// Attempts to serve a relaxed read from the segment's read-replica
+    /// pool. Returns `Ok(true)` when a replica answered within the
+    /// coherence predicate — the cache is then current enough and the
+    /// Temporal clock is anchored to the primary confirmation the
+    /// predicate was evaluated against — and `Ok(false)` when the read
+    /// must go to the primary (no pool, zero-bound model, no eligible
+    /// replica, or every candidate refused/failed).
+    ///
+    /// Safety does not rest on the client-side eligibility guesses: the
+    /// request carries a version `floor`, and the server refuses
+    /// (`NotFresh`) under the same lock that guards its version, so a
+    /// replica can never silently serve data below the floor.
+    fn try_replica_read(
+        &mut self,
+        h: &SegHandle,
+        coherence: Coherence,
+        have: u64,
+    ) -> Result<bool, CoreError> {
+        let name = h.name().to_string();
+        let host = Session::host_of(&name).to_string();
+        if self
+            .extra_links
+            .get(&host)
+            .is_none_or(|l| l.read_replicas.is_empty())
+        {
+            return Ok(false);
+        }
+        let anchor = |st: &SegState| {
+            let age = st.primary_confirm.map_or(u64::MAX, |t| {
+                u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX)
+            });
+            (st.best_known, age)
+        };
+        let (mut best_known, mut age_ms) = anchor(self.state(&name)?);
+        if coherence.replica_floor(best_known).is_none() {
+            // Full or zero-bound: always the primary's to answer.
+            return Ok(false);
+        }
+        // `replica_eligible` with a maximally fresh replica isolates the
+        // anchor-age condition: when the Temporal anchor has aged out, a
+        // cheap Frontier probe re-arms it so the (potentially heavy)
+        // diff fetch can still be offloaded to a replica.
+        if !coherence.replica_eligible(u64::MAX, best_known, age_ms)
+            && self.refresh_frontier(&host).is_ok()
+        {
+            (best_known, age_ms) = anchor(self.state(&name)?);
+        }
+        let floor = match coherence.replica_floor(best_known) {
+            Some(f) if coherence.replica_eligible(u64::MAX, best_known, age_ms) => f,
+            _ => {
+                self.metrics.replica_fallbacks.inc();
+                return Ok(false);
+            }
+        };
+        // Never ask a replica for a version below the cache: the floor
+        // also forces the *served* version to be >= it (see the server's
+        // poll), so a reply can neither regress the cache nor leave it
+        // below the coherence floor.
+        let wire_floor = floor.max(have);
+        let registry = self.metrics.registry().clone();
+        let not_fresh = Arc::clone(&self.metrics.replica_not_fresh);
+        let info = format!(
+            "interweave-rs client on {} (replica-read)",
+            self.heap.arch()
+        );
+        let served = {
+            // Re-fetched: the frontier refresh may have failed over or
+            // evicted replicas the primary no longer advertises.
+            let Some(link) = self.extra_links.get_mut(&host) else {
+                self.metrics.replica_fallbacks.inc();
+                return Ok(false);
+            };
+            let n = link.read_replicas.len();
+            if n == 0 {
+                self.metrics.replica_fallbacks.inc();
+                return Ok(false);
+            }
+            let start = (splitmix64(&mut link.rr_seed) as usize) % n;
+            let mut served = None;
+            for step in 0..n {
+                let idx = (start + step) % n;
+                let rep = &mut link.read_replicas[idx];
+                if rep.dead {
+                    continue;
+                }
+                if let Some(&(kv, seen_at)) = rep.known.get(&name) {
+                    // Known-stale replicas are skipped without a round
+                    // trip — but only while the evidence is current
+                    // (the frontier hasn't advanced since it was
+                    // recorded). Unknown or outdated entries are probed
+                    // optimistically.
+                    if seen_at >= best_known
+                        && !coherence.replica_eligible(kv.max(have), best_known, age_ms)
+                    {
+                        continue;
+                    }
+                }
+                if rep.transport.is_none() {
+                    let Ok(mut t) = (rep.connector)() else {
+                        rep.dead = true;
+                        continue;
+                    };
+                    t.bind_registry(&registry);
+                    match t.request(&Request::Hello { info: info.clone() }) {
+                        Ok(Reply::Welcome { client, .. }) => {
+                            rep.client_id = client;
+                            rep.transport = Some(t);
+                        }
+                        _ => {
+                            rep.dead = true;
+                            continue;
+                        }
+                    }
+                }
+                let req = Request::Poll {
+                    client: rep.client_id,
+                    segment: name.clone(),
+                    have_version: have,
+                    coherence,
+                    floor: wire_floor,
+                };
+                let reply = match rep.transport.as_mut().expect("connected").request(&req) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        rep.dead = true;
+                        rep.transport = None;
+                        continue;
+                    }
+                };
+                match reply {
+                    Reply::NotFresh { version } => {
+                        rep.known.insert(name.clone(), (version, best_known));
+                        rep.lag.set(best_known.saturating_sub(version) as i64);
+                        not_fresh.inc();
+                    }
+                    r @ (Reply::UpToDate | Reply::Update { .. }) => {
+                        served = Some((idx, r));
+                        break;
+                    }
+                    // NotPrimary, Error, …: this node cannot serve the
+                    // read; leave it alone and try the next one.
+                    _ => {}
+                }
+            }
+            served
+        };
+        let Some((idx, reply)) = served else {
+            self.metrics.replica_fallbacks.inc();
+            return Ok(false);
+        };
+        // Anchor captured *before* the poll: every version the replica
+        // could be missing relative to it was committed after it, so the
+        // served data is at most `age_ms` (+ this read's latency) old.
+        let confirm = self.state(&name)?.primary_confirm;
+        if let Reply::Update { diff } = reply {
+            self.metrics.update_bytes.record(diff.payload_len() as u64);
+            self.apply_segment_diff(h, &diff)?;
+        }
+        let version = {
+            let st = self.state_mut(&name)?;
+            if let Some(t) = confirm {
+                st.last_update = t;
+            }
+            // A replica's chain is a prefix of the primary's, so a
+            // version learned from one is a confirmed *version* bound
+            // (but not a fresh Temporal time anchor).
+            st.best_known = st.best_known.max(st.version);
+            st.version
+        };
+        if version < floor {
+            // The server-side floor check makes this unreachable; count
+            // it rather than trust it silently.
+            self.metrics.replica_violations.inc();
+        }
+        self.metrics.replica_reads.inc();
+        if let Some(link) = self.extra_links.get_mut(&host) {
+            let rep = &mut link.read_replicas[idx];
+            let known = rep.known.entry(name).or_insert((0, 0));
+            known.0 = known.0.max(version);
+            known.1 = known.1.max(best_known);
+            rep.lag.set(best_known.saturating_sub(version) as i64);
+        }
+        Ok(true)
     }
 
     /// Releases a read lock: the paper's `IW_rl_release`.
@@ -2322,6 +2739,35 @@ fn unexpected(reply: Reply) -> CoreError {
     match reply {
         Reply::Error { message } => CoreError::Server(message),
         other => CoreError::Server(format!("unexpected reply: {other:?}")),
+    }
+}
+
+/// Builds a [`Connector`] that dials `addr` over TCP.
+fn tcp_connector(addr: std::net::SocketAddr) -> Connector {
+    Box::new(move || {
+        let t = iw_proto::TcpTransport::connect(addr)
+            .map_err(|e| CoreError::Proto(iw_proto::ProtoError::Channel(e.to_string())))?;
+        Ok(Box::new(t) as Box<dyn Transport>)
+    })
+}
+
+/// Builds an unconnected [`ReadReplica`] with its lag gauge resolved.
+fn new_replica(
+    label: String,
+    connector: Connector,
+    from_advert: bool,
+    registry: &Arc<Registry>,
+) -> ReadReplica {
+    let lag = registry.gauge(&format!("cluster.replica_lag.{label}"));
+    ReadReplica {
+        label,
+        connector,
+        transport: None,
+        client_id: 0,
+        known: HashMap::new(),
+        from_advert,
+        dead: false,
+        lag,
     }
 }
 

@@ -31,9 +31,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use iw_cluster::Primary;
+use iw_cluster::{Backup, Primary};
 use iw_core::{Connector, CoreError, Session, SessionOptions};
-use iw_proto::{Loopback, Transport};
+use iw_proto::{Coherence, Handler, Loopback, Transport};
 use iw_server::{checkpoint, Server};
 use iw_types::desc::TypeDesc;
 use iw_types::MachineArch;
@@ -443,4 +443,353 @@ pub fn soak_segment_image(server: &Server) -> Option<Vec<u8>> {
         .with_segment_mut(SEGMENT, checkpoint::encode_segment)
         .and_then(Result::ok)
         .map(|b| b.to_vec())
+}
+
+// ----------------------------------------------------------------------
+// Replica-read soak
+// ----------------------------------------------------------------------
+
+const FEED: &str = "chaos/feed";
+const FEED_MIP: &str = "chaos/feed#x";
+
+/// Configuration for [`run_replica_soak`]: one writer streams versions
+/// through the primary while reader sessions pinned to a backup read
+/// under relaxed coherence, with the primary→backup ship link degraded
+/// by a seeded fault plan. The client↔primary links stay clean — the
+/// chaos under test is the *replica lag* the faulty ship link creates,
+/// racing the staleness floors the readers carry.
+#[derive(Clone)]
+pub struct ReplicaSoakConfig {
+    /// Base PRNG seed for the ship-link fault stream.
+    pub seed: u64,
+    /// Concurrent reader sessions, alternating Delta and Temporal
+    /// coherence.
+    pub readers: usize,
+    /// Versions the writer commits while the readers run.
+    pub writes: usize,
+    /// Locked reads each reader performs.
+    pub reads_per_reader: usize,
+    /// Fault plan worn by the primary→backup ship link.
+    pub ship_plan: FaultPlan,
+}
+
+impl ReplicaSoakConfig {
+    /// A small soak with a recoverable ship-fault plan — the CI
+    /// configuration.
+    pub fn quick(seed: u64) -> ReplicaSoakConfig {
+        ReplicaSoakConfig {
+            seed,
+            readers: 4,
+            writes: 40,
+            reads_per_reader: 50,
+            ship_plan: FaultPlan::recoverable(600),
+        }
+    }
+}
+
+/// What a replica-read soak observed.
+#[derive(Debug)]
+pub struct ReplicaSoakReport {
+    /// No invariant violations, the staleness battery stayed clean and
+    /// the backup actually served reads.
+    pub converged: bool,
+    /// Human-readable invariant violations.
+    pub failures: Vec<String>,
+    /// Injections on the ship link.
+    pub ship_injections: usize,
+    /// `seq:msg:fault` trace of the ship link (determinism unit).
+    pub ship_trace: String,
+    /// Reads served by the backup, across all readers (including the
+    /// settled probe).
+    pub replica_reads: u64,
+    /// Reads that fell back to the primary.
+    pub replica_fallbacks: u64,
+    /// Replica refusals (`NotFresh`) observed client-side.
+    pub replica_not_fresh: u64,
+    /// Replica-served reads below the client's floor — any non-zero
+    /// value is a coherence-protocol bug.
+    pub predicate_violations: u64,
+    /// Final version of the feed segment at the primary.
+    pub final_version: u64,
+}
+
+fn clean_connector(handler: &Arc<dyn Handler>) -> Connector {
+    let handler = handler.clone();
+    Box::new(move || Ok(Box::new(Loopback::new(handler.clone())) as Box<dyn Transport>))
+}
+
+/// Seeds `chaos/feed#x = 1` (the value always equals the version that
+/// committed it) through a clean link.
+fn setup_feed(primary: &Arc<Primary>) -> Result<(), CoreError> {
+    let mut s = Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(primary.clone())),
+        soak_options(),
+    )?;
+    let h = s.open_segment(FEED)?;
+    s.wl_acquire(&h)?;
+    let p = s.malloc(&h, &TypeDesc::int64(), 1, Some("x"))?;
+    s.write_i64(&p, 1)?;
+    s.wl_release(&h)?;
+    Ok(())
+}
+
+struct ReaderOutcome {
+    failures: Vec<String>,
+    replica_reads: u64,
+    fallbacks: u64,
+    not_fresh: u64,
+    violations: u64,
+}
+
+fn session_counters(s: &Session) -> (u64, u64, u64, u64) {
+    let snap = s.metrics_snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    (
+        c("cluster.replica_reads_total"),
+        c("cluster.replica_read_fallbacks_total"),
+        c("cluster.replica_not_fresh_total"),
+        c("cluster.replica_read_violations_total"),
+    )
+}
+
+/// One soak reader: `reads_per_reader` locked reads pinned to the
+/// backup, checking the `value == version` oracle and per-session
+/// version monotonicity on every one.
+fn run_replica_reader(
+    primary: &Arc<Primary>,
+    backup: &Arc<dyn Handler>,
+    cfg: &ReplicaSoakConfig,
+    r: usize,
+) -> ReaderOutcome {
+    let mut failures = Vec::new();
+    // Alternate the two time-like models; vary the bounds so the floors
+    // race the replica lag differently per reader.
+    let coherence = if r.is_multiple_of(2) {
+        Coherence::Delta(1 + (r as u32 / 2) % 3)
+    } else {
+        Coherence::Temporal(5 * (1 + (r as u64 / 2) % 4))
+    };
+    let built = Session::with_options(
+        MachineArch::x86(),
+        Box::new(Loopback::new(primary.clone())),
+        soak_options(),
+    )
+    .and_then(|mut s| {
+        let ph: Arc<dyn Handler> = primary.clone();
+        s.add_server_group("chaos", vec![clean_connector(&ph)])?;
+        s.add_read_replicas("chaos", vec![clean_connector(backup)])?;
+        let h = s.open_segment(FEED)?;
+        s.set_coherence(&h, coherence)?;
+        Ok((s, h))
+    });
+    let (mut s, h) = match built {
+        Ok(sh) => sh,
+        Err(e) => {
+            failures.push(format!("reader {r}: setup failed: {e}"));
+            return ReaderOutcome {
+                failures,
+                replica_reads: 0,
+                fallbacks: 0,
+                not_fresh: 0,
+                violations: 0,
+            };
+        }
+    };
+    let mut last = 0u64;
+    for i in 0..cfg.reads_per_reader {
+        let read = (|| -> Result<(i64, u64), CoreError> {
+            s.rl_acquire(&h)?;
+            let p = s.mip_to_ptr(FEED_MIP)?;
+            let value = s.read_i64(&p)?;
+            let version = s.segment_version(&h)?;
+            s.rl_release(&h)?;
+            Ok((value, version))
+        })();
+        match read {
+            Ok((value, version)) => {
+                if value != version as i64 {
+                    failures.push(format!(
+                        "reader {r} read {i}: torn read — value {value} at version {version}"
+                    ));
+                }
+                if version < last {
+                    failures.push(format!(
+                        "reader {r} read {i}: version regressed {last} -> {version}"
+                    ));
+                }
+                last = version;
+            }
+            Err(e) => failures.push(format!("reader {r} read {i}: {e}")),
+        }
+        std::thread::yield_now();
+    }
+    let (replica_reads, fallbacks, not_fresh, violations) = session_counters(&s);
+    ReaderOutcome {
+        failures,
+        replica_reads,
+        fallbacks,
+        not_fresh,
+        violations,
+    }
+}
+
+/// Runs one replica-read soak: degraded ship link, one writer, readers
+/// pinned to the backup, then a settled probe that must be
+/// replica-served once the faults stop.
+pub fn run_replica_soak(cfg: &ReplicaSoakConfig) -> ReplicaSoakReport {
+    let ship_log = FaultLog::new();
+    let mut failures = Vec::new();
+
+    let backup_srv = Arc::new(Server::new());
+    let primary = Arc::new(Primary::new(Server::new()));
+    let mut ship_t = Loopback::new(backup_srv.clone());
+    ship_t.set_fault_layer(Box::new(FaultInjector::new(
+        derive_seed(cfg.seed, 3),
+        cfg.ship_plan.clone(),
+        ship_log.clone(),
+    )));
+    ship_t.bind_registry(primary.server().registry());
+    primary.add_backup(Box::new(ship_t));
+    primary.drain();
+    let backup: Arc<dyn Handler> = Arc::new(Backup::new(backup_srv.clone(), None));
+
+    if let Err(e) = setup_feed(&primary) {
+        failures.push(format!("setup failed: {e}"));
+    }
+
+    let mut replica_reads = 0u64;
+    let mut fallbacks = 0u64;
+    let mut not_fresh = 0u64;
+    let mut violations = 0u64;
+    if failures.is_empty() {
+        let outcomes: Vec<ReaderOutcome> = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| -> Vec<String> {
+                let run = (|| -> Result<(), CoreError> {
+                    let mut s = Session::with_options(
+                        MachineArch::x86(),
+                        Box::new(Loopback::new(primary.clone())),
+                        soak_options(),
+                    )?;
+                    let h = s.open_segment(FEED)?;
+                    for _ in 0..cfg.writes {
+                        s.wl_acquire(&h)?;
+                        let committing = s.segment_version(&h)? + 1;
+                        let p = s.mip_to_ptr(FEED_MIP)?;
+                        s.write_i64(&p, committing as i64)?;
+                        s.wl_release(&h)?;
+                        std::thread::yield_now();
+                    }
+                    Ok(())
+                })();
+                match run {
+                    Ok(()) => Vec::new(),
+                    Err(e) => vec![format!("writer failed: {e}")],
+                }
+            });
+            let handles: Vec<_> = (0..cfg.readers)
+                .map(|r| {
+                    let primary = &primary;
+                    let backup = &backup;
+                    let cfg = &*cfg;
+                    scope.spawn(move || run_replica_reader(primary, backup, cfg, r))
+                })
+                .collect();
+            let outcomes = handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| ReaderOutcome {
+                        failures: vec!["reader thread panicked".into()],
+                        replica_reads: 0,
+                        fallbacks: 0,
+                        not_fresh: 0,
+                        violations: 0,
+                    })
+                })
+                .collect();
+            if let Ok(wf) = writer.join() {
+                failures.extend(wf);
+            } else {
+                failures.push("writer thread panicked".into());
+            }
+            outcomes
+        });
+        for o in outcomes {
+            failures.extend(o.failures);
+            replica_reads += o.replica_reads;
+            fallbacks += o.fallbacks;
+            not_fresh += o.not_fresh;
+            violations += o.violations;
+        }
+    }
+
+    // Fault phase over: freeze the ship link and let replication
+    // settle; re-attach a clean link if the faulty one died.
+    ship_log.set_enabled(false);
+    primary.drain();
+    let snap = primary.server().metrics_snapshot();
+    if snap.gauge("cluster.backups") != Some(1) {
+        primary.add_backup(Box::new(Loopback::new(backup_srv.clone())));
+        primary.drain();
+    }
+
+    // Settled probe: with the backup caught up, a fresh Delta reader's
+    // floor is satisfiable there, so the read *must* be replica-served
+    // and must carry the final version's value.
+    let probe = (|| -> Result<(Session, i64, u64), CoreError> {
+        let mut s = Session::with_options(
+            MachineArch::x86(),
+            Box::new(Loopback::new(primary.clone())),
+            soak_options(),
+        )?;
+        let ph: Arc<dyn Handler> = primary.clone();
+        s.add_server_group("chaos", vec![clean_connector(&ph)])?;
+        s.add_read_replicas("chaos", vec![clean_connector(&backup)])?;
+        let h = s.open_segment(FEED)?;
+        s.set_coherence(&h, Coherence::Delta(1))?;
+        s.rl_acquire(&h)?;
+        let p = s.mip_to_ptr(FEED_MIP)?;
+        let value = s.read_i64(&p)?;
+        let version = s.segment_version(&h)?;
+        s.rl_release(&h)?;
+        Ok((s, value, version))
+    })();
+    let final_version = primary.server().segment_version(FEED).unwrap_or(0);
+    match probe {
+        Ok((s, value, version)) => {
+            let (pr, pf, pn, pv) = session_counters(&s);
+            replica_reads += pr;
+            fallbacks += pf;
+            not_fresh += pn;
+            violations += pv;
+            if pr != 1 {
+                failures.push(format!(
+                    "settled probe was not replica-served ({pr} replica reads, {pf} fallbacks)"
+                ));
+            }
+            if version != final_version || value != final_version as i64 {
+                failures.push(format!(
+                    "settled probe read v{version} (value {value}); primary is at v{final_version}"
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("settled probe failed: {e}")),
+    }
+    if violations > 0 {
+        failures.push(format!(
+            "{violations} replica-served reads violated their coherence predicate"
+        ));
+    }
+
+    ReplicaSoakReport {
+        converged: failures.is_empty(),
+        failures,
+        ship_injections: ship_log.len(),
+        ship_trace: ship_log.trace(),
+        replica_reads,
+        replica_fallbacks: fallbacks,
+        replica_not_fresh: not_fresh,
+        predicate_violations: violations,
+        final_version,
+    }
 }

@@ -161,7 +161,7 @@ fn spawn_iwsrv(iwsrv: &Path, data_dir: &Path) -> Result<Victim, String> {
 
 fn connect(addr: SocketAddr) -> Result<(TcpTransport, u64), String> {
     let mut t = TcpTransport::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let Ok(Reply::Welcome { client }) = t.request(&Request::Hello {
+    let Ok(Reply::Welcome { client, .. }) = t.request(&Request::Hello {
         info: "kill-harness".into(),
     }) else {
         return Err("no Welcome from iwsrv".to_string());

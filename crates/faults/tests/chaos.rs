@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use iw_cluster::Primary;
 use iw_core::{Connector, CoreError, Session, SessionOptions};
-use iw_faults::chaos::{run_soak, SoakConfig};
+use iw_faults::chaos::{run_replica_soak, run_soak, ReplicaSoakConfig, SoakConfig};
 use iw_faults::{FaultInjector, FaultKind, FaultLog, FaultPlan, FaultRule};
 use iw_proto::{Loopback, TcpServer, TcpTransport, Transport};
 use iw_server::{checkpoint, Server};
@@ -64,6 +64,34 @@ fn soak_converges_for_ci_seed_set() {
         assert!(
             report.client_injections + report.ship_injections > 0,
             "seed={seed}: the chaos run injected nothing — the plans are not exercising anything"
+        );
+    }
+}
+
+/// The staleness-bound battery under a degraded ship link: readers
+/// pinned to a lagging backup must never see a torn value, a version
+/// regression, or a predicate violation — and once the faults stop the
+/// backup must actually serve.
+#[test]
+fn replica_soak_keeps_staleness_bounds_for_ci_seed_set() {
+    for seed in CI_SEEDS {
+        let report = run_replica_soak(&ReplicaSoakConfig::quick(seed));
+        assert!(
+            report.converged,
+            "seed={seed}: not converged: {:?}\nship trace: {}",
+            report.failures, report.ship_trace
+        );
+        assert_eq!(
+            report.predicate_violations, 0,
+            "seed={seed}: coherence predicate violated"
+        );
+        assert!(
+            report.replica_reads > 0,
+            "seed={seed}: the backup never served a read — the fan-out path is dead"
+        );
+        assert!(
+            report.ship_injections > 0,
+            "seed={seed}: the ship plan injected nothing — the soak is not exercising lag"
         );
     }
 }

@@ -29,7 +29,7 @@ fn echo_handler() -> Arc<dyn Handler> {
                     .unwrap_or(0);
                 std::thread::sleep(Duration::from_millis(ms));
             }
-            Reply::Welcome { client: len }.encode()
+            Reply::welcome(len).encode()
         }
         _ => Reply::Error {
             message: "unexpected".into(),
@@ -64,7 +64,7 @@ fn roundtrip_on_both_pollers() {
         .unwrap();
         let mut t = TcpTransport::connect(server.addr()).unwrap();
         let reply = t.request(&hello("abcd")).unwrap();
-        assert_eq!(reply, Reply::Welcome { client: 4 }, "poller {kind}");
+        assert_eq!(reply, Reply::welcome(4), "poller {kind}");
     }
 }
 
@@ -85,12 +85,7 @@ fn many_concurrent_clients() {
                 let mut t = TcpTransport::connect(addr).unwrap();
                 for _ in 0..20 {
                     let reply = t.request(&hello(&"x".repeat(i + 1))).unwrap();
-                    assert_eq!(
-                        reply,
-                        Reply::Welcome {
-                            client: (i + 1) as u64
-                        }
-                    );
+                    assert_eq!(reply, Reply::welcome((i + 1) as u64));
                 }
             })
         })
@@ -129,7 +124,7 @@ fn pipelined_requests_get_ordered_replies() {
     for (i, want_len) in want.iter().enumerate() {
         let body = read_frame(&mut stream).unwrap().expect("reply frame");
         let reply = Reply::decode(Bytes::from(body)).unwrap();
-        assert_eq!(reply, Reply::Welcome { client: *want_len }, "reply {i}");
+        assert_eq!(reply, Reply::welcome(*want_len), "reply {i}");
     }
 }
 
@@ -188,10 +183,7 @@ fn admission_cap_answers_typed_overloaded() {
     .unwrap();
     // Fill the only slot and prove it is installed with a round trip.
     let mut held = TcpTransport::connect(server.addr()).unwrap();
-    assert_eq!(
-        held.request(&hello("x")).unwrap(),
-        Reply::Welcome { client: 1 }
-    );
+    assert_eq!(held.request(&hello("x")).unwrap(), Reply::welcome(1));
     // The next connection is admitted only to be told "Overloaded".
     let mut over = TcpStream::connect(server.addr()).unwrap();
     write_frame(&mut over, &hello("straggler").encode()).unwrap();
@@ -203,10 +195,7 @@ fn admission_cap_answers_typed_overloaded() {
     assert_eq!(snap.counter("tcp.rejected_total"), Some(1));
     assert_eq!(snap.counter("tcp.accepted_total"), Some(1));
     // The held session is unaffected.
-    assert_eq!(
-        held.request(&hello("yy")).unwrap(),
-        Reply::Welcome { client: 2 }
-    );
+    assert_eq!(held.request(&hello("yy")).unwrap(), Reply::welcome(2));
 }
 
 #[test]
@@ -288,10 +277,7 @@ fn graceful_drain_delivers_inflight_reply() {
 fn handler_panic_is_isolated_and_counted() {
     let poison: Arc<dyn Handler> = Arc::new(|req: Bytes| match Request::decode(req) {
         Ok(Request::Hello { info }) if info == "poison" => panic!("poison request"),
-        Ok(Request::Hello { info }) => Reply::Welcome {
-            client: info.len() as u64,
-        }
-        .encode(),
+        Ok(Request::Hello { info }) => Reply::welcome(info.len() as u64).encode(),
         _ => Reply::Error {
             message: "unexpected".into(),
         }
@@ -310,15 +296,9 @@ fn handler_panic_is_isolated_and_counted() {
         Some(1)
     );
     // Connection and server both survive.
-    assert_eq!(
-        t.request(&hello("ok")).unwrap(),
-        Reply::Welcome { client: 2 }
-    );
+    assert_eq!(t.request(&hello("ok")).unwrap(), Reply::welcome(2));
     let mut t2 = TcpTransport::connect(server.addr()).unwrap();
-    assert_eq!(
-        t2.request(&hello("fresh")).unwrap(),
-        Reply::Welcome { client: 5 }
-    );
+    assert_eq!(t2.request(&hello("fresh")).unwrap(), Reply::welcome(5));
 }
 
 #[test]
@@ -334,10 +314,7 @@ fn worker_pool_runs_handlers_in_parallel() {
             std::thread::sleep(Duration::from_millis(100));
             cur.fetch_sub(1, Ordering::SeqCst);
             match Request::decode(req) {
-                Ok(Request::Hello { info }) => Reply::Welcome {
-                    client: info.len() as u64,
-                }
-                .encode(),
+                Ok(Request::Hello { info }) => Reply::welcome(info.len() as u64).encode(),
                 _ => Reply::Error {
                     message: "unexpected".into(),
                 }

@@ -20,10 +20,7 @@ fn counting_handler(calls: Arc<AtomicU64>) -> Arc<dyn Handler> {
     Arc::new(move |req: Bytes| {
         calls.fetch_add(1, Ordering::SeqCst);
         match Request::decode(req) {
-            Ok(Request::Hello { info }) => Reply::Welcome {
-                client: info.len() as u64,
-            }
-            .encode(),
+            Ok(Request::Hello { info }) => Reply::welcome(info.len() as u64).encode(),
             _ => Reply::Error {
                 message: "unexpected".into(),
             }
@@ -72,10 +69,7 @@ fn injected_delay_is_visible_on_the_wire() {
     );
     let mut t = TcpTransport::connect(server.addr()).unwrap();
     let started = Instant::now();
-    assert_eq!(
-        t.request(&hello("zz")).unwrap(),
-        Reply::Welcome { client: 2 }
-    );
+    assert_eq!(t.request(&hello("zz")).unwrap(), Reply::welcome(2));
     assert!(
         started.elapsed() >= Duration::from_millis(120),
         "delay swallowed: {:?}",
@@ -164,18 +158,12 @@ fn injected_duplicate_sends_one_reply_and_stays_in_sync() {
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     write_frame(&mut stream, &hello("dup").encode()).unwrap();
     let body = read_frame(&mut stream).unwrap().expect("first reply");
-    assert_eq!(
-        Reply::decode(Bytes::from(body)).unwrap(),
-        Reply::Welcome { client: 3 }
-    );
+    assert_eq!(Reply::decode(Bytes::from(body)).unwrap(), Reply::welcome(3));
     // The duplicate executed server-side but produced no second frame;
     // the next round trip must not read a stale reply.
     write_frame(&mut stream, &hello("next1").encode()).unwrap();
     let body = read_frame(&mut stream).unwrap().expect("second reply");
-    assert_eq!(
-        Reply::decode(Bytes::from(body)).unwrap(),
-        Reply::Welcome { client: 5 }
-    );
+    assert_eq!(Reply::decode(Bytes::from(body)).unwrap(), Reply::welcome(5));
     assert_eq!(calls.load(Ordering::SeqCst), 3, "dup executed twice");
 }
 
@@ -218,7 +206,7 @@ fn seeded_chaos_smoke_with_reconnecting_clients() {
         // injector; retry until a clean round trip proves liveness.
         match fresh.request(&hello("post")) {
             Ok(reply) => {
-                assert_eq!(reply, Reply::Welcome { client: 4 });
+                assert_eq!(reply, Reply::welcome(4));
                 break;
             }
             Err(_) => {

@@ -64,11 +64,7 @@ fn sample_messages(tag: u8, text: String) -> Vec<u8> {
         }
         .encode()
         .to_vec(),
-        _ => Reply::Welcome {
-            client: text.len() as u64,
-        }
-        .encode()
-        .to_vec(),
+        _ => Reply::welcome(text.len() as u64).encode().to_vec(),
     }
 }
 
@@ -83,7 +79,7 @@ fn every_split_point_of_every_message_boundary() {
         }
         .encode()
         .to_vec(),
-        Reply::Welcome { client: 7 }.encode().to_vec(),
+        Reply::welcome(7).encode().to_vec(),
         Vec::new(), // empty frame
         Reply::Error {
             message: "x".repeat(300),

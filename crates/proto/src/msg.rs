@@ -78,7 +78,7 @@ pub enum Request {
         entries: Vec<(String, Option<SegmentDiff>)>,
     },
     /// Read-only fetch of an update without locking (used by the
-    /// adaptive polling path).
+    /// adaptive polling path, and by replica reads).
     Poll {
         /// Requesting client.
         client: u64,
@@ -88,6 +88,15 @@ pub enum Request {
         have_version: u64,
         /// Coherence requirement.
         coherence: Coherence,
+        /// Minimum segment version the answering server must have
+        /// reached to serve this poll; a server that is behind answers
+        /// [`Reply::NotFresh`] instead of silently serving stale data.
+        /// `0` (no floor) is what polls to the primary use — the primary
+        /// is by definition current. Replica reads set it to the
+        /// coherence predicate's floor (see
+        /// `Coherence::replica_floor`), making the staleness bound a
+        /// per-request server-side check rather than a client guess.
+        floor: u64,
     },
     /// Fetches the server's metrics snapshot (used by `iwstat`).
     Stats {
@@ -133,12 +142,21 @@ pub enum Request {
         /// The client id to retire.
         client: u64,
     },
+    /// Cheap version probe: asks a server for its per-segment version
+    /// frontier (no diff payload). Clients use it against the primary to
+    /// refresh `best_known` (the Temporal staleness anchor) and against
+    /// replicas to refresh routing tables; the primary's reply also
+    /// re-advertises the live replica set.
+    Frontier {
+        /// Requesting client.
+        client: u64,
+    },
 }
 
 impl Request {
     /// Short lowercase names of every request kind, indexed by
     /// [`Request::kind_index`] (used for per-kind transport counters).
-    pub const KINDS: [&'static str; 11] = [
+    pub const KINDS: [&'static str; 12] = [
         "hello",
         "open",
         "acquire",
@@ -150,6 +168,7 @@ impl Request {
         "syncfull",
         "attach",
         "goodbye",
+        "frontier",
     ];
 
     /// Index of this request's kind in [`Request::KINDS`].
@@ -166,6 +185,7 @@ impl Request {
             Request::SyncFull { .. } => 8,
             Request::AttachBackup { .. } => 9,
             Request::Goodbye { .. } => 10,
+            Request::Frontier { .. } => 11,
         }
     }
 
@@ -182,6 +202,12 @@ pub enum Reply {
     Welcome {
         /// The id the client must present in subsequent requests.
         client: u64,
+        /// Addresses of the live read replicas this server advertises
+        /// (cluster primaries only; empty elsewhere). Clients may route
+        /// relaxed-coherence reads to these; a pruned backup disappears
+        /// from the list, so clients stop routing to it without waiting
+        /// for a connect timeout.
+        replicas: Vec<String>,
     },
     /// Reply to [`Request::Open`].
     Opened {
@@ -242,6 +268,29 @@ pub enum Reply {
     /// retry-soon condition — `Overloaded` means the whole front end
     /// declined the connection; the server closes it after this reply.
     Overloaded,
+    /// A write-path request (write acquire, release-with-diff, commit)
+    /// landed on a read replica. The write path never touches backups —
+    /// the client must redirect to the primary.
+    NotPrimary {
+        /// The primary's address, when the replica knows it.
+        primary: Option<String>,
+    },
+    /// Reply to [`Request::Poll`] with a nonzero `floor`: this server's
+    /// copy is behind the floor and may not serve the read. Carries the
+    /// server's current version so the client refreshes its routing
+    /// frontier for free.
+    NotFresh {
+        /// The answering server's current version of the segment.
+        version: u64,
+    },
+    /// Reply to [`Request::Frontier`].
+    Frontier {
+        /// Every segment the server holds, with its current version.
+        segments: Vec<(String, u64)>,
+        /// Live advertised read replicas (primaries only; see
+        /// [`Reply::Welcome`]).
+        replicas: Vec<String>,
+    },
 }
 
 impl Request {
@@ -338,12 +387,14 @@ impl Request {
                 segment,
                 have_version,
                 coherence,
+                floor,
             } => {
                 w.put_u8(4);
                 w.put_u64(*client);
                 w.put_str(segment);
                 w.put_u64(*have_version);
                 coherence.encode(&mut w);
+                w.put_u64(*floor);
             }
             Request::Stats { client } => {
                 w.put_u8(6);
@@ -370,6 +421,10 @@ impl Request {
             }
             Request::Goodbye { client } => {
                 w.put_u8(10);
+                w.put_u64(*client);
+            }
+            Request::Frontier { client } => {
+                w.put_u8(11);
                 w.put_u64(*client);
             }
         }
@@ -440,11 +495,13 @@ impl Request {
                 let segment = r.get_str()?;
                 let have_version = r.get_u64()?;
                 let coherence = Coherence::decode(&mut r)?;
+                let floor = r.get_u64()?;
                 Request::Poll {
                     client,
                     segment,
                     have_version,
                     coherence,
+                    floor,
                 }
             }
             5 => {
@@ -496,6 +553,9 @@ impl Request {
             10 => Request::Goodbye {
                 client: r.get_u64()?,
             },
+            11 => Request::Frontier {
+                client: r.get_u64()?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "request",
@@ -508,6 +568,15 @@ impl Request {
 }
 
 impl Reply {
+    /// A [`Reply::Welcome`] with no advertised replicas — what every
+    /// non-clustered server answers.
+    pub fn welcome(client: u64) -> Reply {
+        Reply::Welcome {
+            client,
+            replicas: Vec::new(),
+        }
+    }
+
     /// Serializes the reply into framed wire bytes.
     pub fn encode(&self) -> Bytes {
         // As with requests: pre-size for the diff-bearing replies.
@@ -524,9 +593,13 @@ impl Reply {
             WireWriter::new()
         };
         match self {
-            Reply::Welcome { client } => {
+            Reply::Welcome { client, replicas } => {
                 w.put_u8(0);
                 w.put_u64(*client);
+                w.put_u32(replicas.len() as u32);
+                for addr in replicas {
+                    w.put_str(addr);
+                }
             }
             Reply::Opened { version } => {
                 w.put_u8(1);
@@ -580,6 +653,32 @@ impl Reply {
                 w.put_u64(*acked_version);
             }
             Reply::Overloaded => w.put_u8(11),
+            Reply::NotPrimary { primary } => {
+                w.put_u8(12);
+                match primary {
+                    None => w.put_u8(0),
+                    Some(addr) => {
+                        w.put_u8(1);
+                        w.put_str(addr);
+                    }
+                }
+            }
+            Reply::NotFresh { version } => {
+                w.put_u8(13);
+                w.put_u64(*version);
+            }
+            Reply::Frontier { segments, replicas } => {
+                w.put_u8(14);
+                w.put_u32(segments.len() as u32);
+                for (name, version) in segments {
+                    w.put_str(name);
+                    w.put_u64(*version);
+                }
+                w.put_u32(replicas.len() as u32);
+                for addr in replicas {
+                    w.put_str(addr);
+                }
+            }
         }
         w.finish()
     }
@@ -592,9 +691,15 @@ impl Reply {
     pub fn decode(bytes: Bytes) -> Result<Self, WireError> {
         let mut r = WireReader::new(bytes);
         let reply = match r.get_u8()? {
-            0 => Reply::Welcome {
-                client: r.get_u64()?,
-            },
+            0 => {
+                let client = r.get_u64()?;
+                let n = checked_len(r.get_u32()?)?;
+                let mut replicas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replicas.push(r.get_str()?);
+                }
+                Reply::Welcome { client, replicas }
+            }
             1 => Reply::Opened {
                 version: r.get_u64()?,
             },
@@ -656,6 +761,36 @@ impl Reply {
                 acked_version: r.get_u64()?,
             },
             11 => Reply::Overloaded,
+            12 => {
+                let primary = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_str()?),
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "not-primary addr flag",
+                            tag,
+                        })
+                    }
+                };
+                Reply::NotPrimary { primary }
+            }
+            13 => Reply::NotFresh {
+                version: r.get_u64()?,
+            },
+            14 => {
+                let n = checked_len(r.get_u32()?)?;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.get_str()?;
+                    segments.push((name, r.get_u64()?));
+                }
+                let n = checked_len(r.get_u32()?)?;
+                let mut replicas = Vec::with_capacity(n);
+                for _ in 0..n {
+                    replicas.push(r.get_str()?);
+                }
+                Reply::Frontier { segments, replicas }
+            }
             tag => return Err(WireError::BadTag { what: "reply", tag }),
         };
         Ok(reply)
@@ -789,6 +924,7 @@ mod tests {
                 segment: "h/s".into(),
                 have_version: 1,
                 coherence: Coherence::Diff(100),
+                floor: 4,
             },
             Request::Replicate {
                 segment: "h/s".into(),
@@ -803,6 +939,7 @@ mod tests {
                 addr: "127.0.0.1:7475".into(),
             },
             Request::Goodbye { client: 7 },
+            Request::Frontier { client: 7 },
         ];
         for req in reqs {
             assert_eq!(Request::decode(req.encode()).unwrap(), req);
@@ -812,7 +949,14 @@ mod tests {
     #[test]
     fn replies_roundtrip() {
         let replies = [
-            Reply::Welcome { client: 9 },
+            Reply::Welcome {
+                client: 9,
+                replicas: vec![],
+            },
+            Reply::Welcome {
+                client: 9,
+                replicas: vec!["127.0.0.1:7475".into(), "127.0.0.1:7476".into()],
+            },
             Reply::Opened { version: 4 },
             Reply::Granted {
                 version: 5,
@@ -837,6 +981,19 @@ mod tests {
             },
             Reply::Replicated { acked_version: 12 },
             Reply::Overloaded,
+            Reply::NotPrimary { primary: None },
+            Reply::NotPrimary {
+                primary: Some("127.0.0.1:7474".into()),
+            },
+            Reply::NotFresh { version: 17 },
+            Reply::Frontier {
+                segments: vec![],
+                replicas: vec![],
+            },
+            Reply::Frontier {
+                segments: vec![("h/a".into(), 3), ("h/b".into(), 0)],
+                replicas: vec!["127.0.0.1:7475".into()],
+            },
         ];
         for reply in replies {
             assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
@@ -924,6 +1081,7 @@ mod tests {
                 segment: "s".into(),
                 have_version: 0,
                 coherence: Coherence::Full,
+                floor: 0,
             },
             Request::Commit {
                 client: 0,
@@ -941,6 +1099,7 @@ mod tests {
             },
             Request::AttachBackup { addr: "a".into() },
             Request::Goodbye { client: 0 },
+            Request::Frontier { client: 0 },
         ];
         let mut seen = std::collections::HashSet::new();
         for req in reqs {

@@ -414,10 +414,7 @@ mod tests {
 
     fn handler() -> Arc<dyn Handler> {
         Arc::new(|req: Bytes| match Request::decode(req) {
-            Ok(Request::Hello { info }) => Reply::Welcome {
-                client: info.len() as u64,
-            }
-            .encode(),
+            Ok(Request::Hello { info }) => Reply::welcome(info.len() as u64).encode(),
             _ => Reply::Error {
                 message: "unexpected".into(),
             }
@@ -434,7 +431,7 @@ mod tests {
                 info: "abcd".into(),
             })
             .unwrap();
-        assert_eq!(reply, Reply::Welcome { client: 4 });
+        assert_eq!(reply, Reply::welcome(4));
         assert_eq!(t.stats().requests, 1);
         assert!(t.stats().bytes_sent > 0);
         assert!(t.stats().bytes_received > 0);
@@ -454,12 +451,7 @@ mod tests {
                                 info: "x".repeat(i + 1),
                             })
                             .unwrap();
-                        assert_eq!(
-                            reply,
-                            Reply::Welcome {
-                                client: (i + 1) as u64
-                            }
-                        );
+                        assert_eq!(reply, Reply::welcome((i + 1) as u64));
                     }
                 })
             })
@@ -501,10 +493,7 @@ mod tests {
             Ok(Request::Hello { info }) if info == "poison" => {
                 panic!("poison request reached the handler")
             }
-            Ok(Request::Hello { info }) => Reply::Welcome {
-                client: info.len() as u64,
-            }
-            .encode(),
+            Ok(Request::Hello { info }) => Reply::welcome(info.len() as u64).encode(),
             _ => Reply::Error {
                 message: "unexpected".into(),
             }
@@ -531,7 +520,7 @@ mod tests {
         );
         // The same connection keeps serving…
         let reply = t.request(&Request::Hello { info: "ok".into() }).unwrap();
-        assert_eq!(reply, Reply::Welcome { client: 2 });
+        assert_eq!(reply, Reply::welcome(2));
         // …and the accept loop still takes new connections.
         let mut t2 = TcpTransport::connect(server.addr()).unwrap();
         let reply = t2
@@ -539,7 +528,7 @@ mod tests {
                 info: "fresh".into(),
             })
             .unwrap();
-        assert_eq!(reply, Reply::Welcome { client: 5 });
+        assert_eq!(reply, Reply::welcome(5));
         assert_eq!(
             registry.snapshot().counter("tcp.worker_panics_total"),
             Some(1)

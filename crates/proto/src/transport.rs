@@ -374,6 +374,7 @@ mod tests {
             // Parrot a Welcome whose id is the request length.
             Reply::Welcome {
                 client: req.len() as u64,
+                replicas: vec![],
             }
             .encode()
         })
@@ -385,7 +386,13 @@ mod tests {
         let req = Request::Hello { info: "abc".into() };
         let expect_len = req.encode().len() as u64;
         let reply = t.request(&req).unwrap();
-        assert_eq!(reply, Reply::Welcome { client: expect_len });
+        assert_eq!(
+            reply,
+            Reply::Welcome {
+                client: expect_len,
+                replicas: vec![]
+            }
+        );
         let s = t.stats();
         assert_eq!(s.requests, 1);
         assert_eq!(s.bytes_sent, expect_len);

@@ -105,21 +105,31 @@ fn arb_request() -> impl Strategy<Value = Request> {
             prop::collection::vec(("[a-z./]{1,12}", prop::option::of(arb_diff())), 0..3)
         )
             .prop_map(|(client, entries)| Request::Commit { client, entries }),
-        (any::<u64>(), "[a-z./]{1,20}", any::<u64>(), arb_coherence()).prop_map(
-            |(client, segment, have_version, coherence)| Request::Poll {
-                client,
-                segment,
-                have_version,
-                coherence
-            }
-        ),
+        (
+            any::<u64>(),
+            "[a-z./]{1,20}",
+            any::<u64>(),
+            arb_coherence(),
+            any::<u64>()
+        )
+            .prop_map(|(client, segment, have_version, coherence, floor)| {
+                Request::Poll {
+                    client,
+                    segment,
+                    have_version,
+                    coherence,
+                    floor,
+                }
+            }),
         any::<u64>().prop_map(|client| Request::Stats { client }),
+        any::<u64>().prop_map(|client| Request::Frontier { client }),
     ]
 }
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![
-        any::<u64>().prop_map(|client| Reply::Welcome { client }),
+        (any::<u64>(), prop::collection::vec("[0-9.:]{1,21}", 0..3))
+            .prop_map(|(client, replicas)| Reply::Welcome { client, replicas }),
         any::<u64>().prop_map(|version| Reply::Opened { version }),
         (
             any::<u64>(),
@@ -143,6 +153,13 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
         arb_diff().prop_map(|diff| Reply::Update { diff }),
         arb_snapshot().prop_map(|snapshot| Reply::Stats { snapshot }),
         "[ -~]{0,60}".prop_map(|message| Reply::Error { message }),
+        prop::option::of("[0-9.:]{1,21}").prop_map(|primary| Reply::NotPrimary { primary }),
+        any::<u64>().prop_map(|version| Reply::NotFresh { version }),
+        (
+            prop::collection::vec(("[a-z./]{1,20}", any::<u64>()), 0..4),
+            prop::collection::vec("[0-9.:]{1,21}", 0..3)
+        )
+            .prop_map(|(segments, replicas)| Reply::Frontier { segments, replicas }),
     ]
 }
 

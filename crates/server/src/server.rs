@@ -346,6 +346,23 @@ impl Server {
         self.segments.read().keys().cloned().collect()
     }
 
+    /// Every segment with its current version, sorted by name — the
+    /// payload of [`Reply::Frontier`]. Versions are read one shard at a
+    /// time (never two shard locks at once), so the frontier is a
+    /// per-segment-consistent snapshot, not a cross-segment one — all a
+    /// staleness floor needs.
+    pub fn frontier(&self) -> Vec<(String, u64)> {
+        let mut names = self.segment_names();
+        names.sort_unstable();
+        names
+            .into_iter()
+            .filter_map(|n| {
+                let v = self.segment_version(&n)?;
+                Some((n, v))
+            })
+            .collect()
+    }
+
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
         self.clients.lock().len()
@@ -670,7 +687,14 @@ impl Server {
         Reply::Committed { versions }
     }
 
-    fn poll(&self, client: u64, segment: &str, have_version: u64, coherence: Coherence) -> Reply {
+    fn poll(
+        &self,
+        client: u64,
+        segment: &str,
+        have_version: u64,
+        coherence: Coherence,
+        floor: u64,
+    ) -> Reply {
         let Some(seg) = self.segment_arc(segment) else {
             return Reply::Error {
                 message: format!("no such segment `{segment}`"),
@@ -681,7 +705,21 @@ impl Server {
             // takes only the shared lock, so polls never serialize
             // against each other or against same-segment readers.
             let guard = self.read_seg(&seg);
-            if !guard.needs_update(client, have_version, coherence) {
+            // The staleness floor is checked under the same lock that
+            // guards the version, so a served reply always reflects a
+            // version >= floor — replicas can never silently serve data
+            // older than the client's coherence predicate allows.
+            if guard.version() < floor {
+                return Reply::NotFresh {
+                    version: guard.version(),
+                };
+            }
+            // The floor constrains the *served* version too: a client
+            // whose cache is below it must receive an update even when
+            // the coherence model alone would tolerate the distance —
+            // `UpToDate` would otherwise leave the client holding data
+            // older than the floor it asked for.
+            if have_version >= floor && !guard.needs_update(client, have_version, coherence) {
                 return Reply::UpToDate;
             }
         }
@@ -813,9 +851,7 @@ impl Server {
     pub fn dispatch(&self, req: &Request) -> Reply {
         self.metrics.req_kind[req.kind_index()].inc();
         let reply = match req {
-            Request::Hello { info } => Reply::Welcome {
-                client: self.hello(info),
-            },
+            Request::Hello { info } => Reply::welcome(self.hello(info)),
             Request::Open { client: _, segment } => Reply::Opened {
                 version: self.open(segment),
             },
@@ -837,7 +873,8 @@ impl Server {
                 segment,
                 have_version,
                 coherence,
-            } => self.poll(*client, segment, *have_version, *coherence),
+                floor,
+            } => self.poll(*client, segment, *have_version, *coherence, *floor),
             Request::Stats { client: _ } => Reply::Stats {
                 snapshot: self.metrics_snapshot(),
             },
@@ -860,6 +897,12 @@ impl Server {
                 self.disconnect(*client);
                 Reply::Released { version: 0 }
             }
+            // A bare server advertises no replicas; the cluster wrappers
+            // (`Primary`) splice the live advertised set in.
+            Request::Frontier { client: _ } => Reply::Frontier {
+                segments: self.frontier(),
+                replicas: Vec::new(),
+            },
         };
         if matches!(reply, Reply::Error { .. }) {
             self.metrics.errors.inc();
@@ -1060,6 +1103,7 @@ mod tests {
             segment: "h/s".into(),
             have_version: 0,
             coherence: Coherence::Full,
+            floor: 0,
         });
         assert_eq!(r, Reply::UpToDate);
     }
@@ -1081,6 +1125,7 @@ mod tests {
                 segment: "nope".into(),
                 have_version: 0,
                 coherence: Coherence::Full,
+                floor: 0,
             },
             Request::Release {
                 client: c,
@@ -1170,6 +1215,7 @@ mod tests {
             segment: "h/s".into(),
             have_version: 0,
             coherence: Coherence::Diff(100),
+            floor: 0,
         });
         assert_eq!(
             s.with_segment("h/s", |seg| seg.diff_counter(rd)).unwrap(),

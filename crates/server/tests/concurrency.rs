@@ -144,7 +144,7 @@ fn disjoint_segments_match_serial_oracle() {
             let handler = handler.clone();
             workers.push(thread::spawn(move || {
                 let mut t = Loopback::new(handler);
-                let Reply::Welcome { client } = t
+                let Reply::Welcome { client, .. } = t
                     .request(&Request::Hello {
                         info: format!("worker-{t_idx}"),
                     })
@@ -253,7 +253,7 @@ fn same_segment_writers_serialize_without_deadlock() {
             let handler = handler.clone();
             workers.push(thread::spawn(move || {
                 let mut t = Loopback::new(handler);
-                let Reply::Welcome { client } = t
+                let Reply::Welcome { client, .. } = t
                     .request(&Request::Hello {
                         info: format!("fighter-{t_idx}"),
                     })
@@ -325,7 +325,7 @@ fn requests_overlap_across_segments() {
         let writer_handler = handler.clone();
         let writer = thread::spawn(move || {
             let mut t = Loopback::new(writer_handler);
-            let Reply::Welcome { client } = t
+            let Reply::Welcome { client, .. } = t
                 .request(&Request::Hello { info: "w".into() })
                 .expect("hello")
             else {
@@ -343,7 +343,7 @@ fn requests_overlap_across_segments() {
 
         // Poller: hammers a different segment until the writer is done.
         let mut t = Loopback::new(handler);
-        let Reply::Welcome { client } = t
+        let Reply::Welcome { client, .. } = t
             .request(&Request::Hello { info: "p".into() })
             .expect("hello")
         else {
@@ -361,6 +361,7 @@ fn requests_overlap_across_segments() {
                     segment: "c/other".into(),
                     have_version: 0,
                     coherence: Coherence::Full,
+                    floor: 0,
                 })
                 .expect("poll");
             assert_eq!(r, Reply::UpToDate);
@@ -413,7 +414,7 @@ fn mixed_readers_and_writers_stay_coherent() {
             let handler = handler.clone();
             workers.push(thread::spawn(move || {
                 let mut t = Loopback::new(handler);
-                let Reply::Welcome { client } = t
+                let Reply::Welcome { client, .. } = t
                     .request(&Request::Hello {
                         info: format!("m{t_idx}"),
                     })
@@ -581,7 +582,7 @@ fn disjoint_segments_match_serial_oracle_under_chaos() {
                     chaos_plan(),
                     log,
                 )));
-                let Reply::Welcome { client } = insist(
+                let Reply::Welcome { client, .. } = insist(
                     &mut t,
                     &Request::Hello {
                         info: format!("chaos-{t_idx}"),

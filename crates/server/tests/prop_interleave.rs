@@ -70,7 +70,7 @@ struct PerSeg {
 /// or non-monotonic committed version.
 fn run_client(handler: Arc<dyn Handler>, c: usize, ops: Vec<(bool, i32)>) -> [PerSeg; 2] {
     let mut t = Loopback::new(handler);
-    let Reply::Welcome { client } = t
+    let Reply::Welcome { client, .. } = t
         .request(&Request::Hello {
             info: format!("prop-{c}"),
         })
