@@ -76,12 +76,15 @@ cargo build --release -q -p iw-bench --bin bench_durable
 target/release/bench_durable 2000
 
 echo "== bench smoke (translation hot path vs committed baseline)"
-# Fails when the auto-thread collect+apply total regresses more than 25%
-# against crates/bench/baselines/BENCH_5.json. Regenerate the baseline
-# with: target/release/bench_trajectory 1.0 --out crates/bench/baselines/BENCH_5.json
+# Fails when either gated total regresses more than 25% against
+# crates/bench/baselines/BENCH_9.json: the auto-thread collect+apply
+# total across all mixes, or the isomorphic fast-path total across the
+# iso-eligible mixes (big-endian writer, layout-identity dimension).
+# Regenerate the baseline with:
+#   target/release/bench_trajectory 1.0 --out crates/bench/baselines/BENCH_9.json
 cargo build --release -q -p iw-bench --bin bench_trajectory
-target/release/bench_trajectory 1.0 --out /tmp/BENCH_5.current.json \
-  --baseline crates/bench/baselines/BENCH_5.json --tolerance 25
+target/release/bench_trajectory 1.0 --out /tmp/BENCH_9.current.json \
+  --baseline crates/bench/baselines/BENCH_9.json --tolerance 25
 
 echo "== many-client scale (event front end, release)"
 # A release iwsrv on an ephemeral port, driven by iwload: every session

@@ -1,17 +1,26 @@
-//! Trajectory benchmark for the parallel hot path: measures Figure 4
-//! collect/apply across thread counts and emits `BENCH_5.json`.
+//! Trajectory benchmark for the translation hot path: measures Figure 4
+//! collect/apply across thread counts and across the layout-identity
+//! dimension (isomorphic fast path on vs off), and emits `BENCH_9.json`.
 //!
-//! For each of the nine Figure 4 mixes, times `collect_segment_diff` and
-//! `apply_segment_diff` with translation pinned to 1 thread, 2 threads,
-//! and the auto thread count, then reports per-workload seconds and
-//! speedups. The JSON doubles as a CI regression gate: pass `--baseline
-//! <path>` to compare the auto-thread totals against a committed run and
-//! exit non-zero on a regression beyond `--tolerance` percent.
+//! Two dimensions per mix:
+//!
+//! - **thread count** (on x86, where translation always walks the
+//!   descriptor): `collect_segment_diff` and `apply_segment_diff` with
+//!   translation pinned to 1 thread, 2 threads, and auto;
+//! - **layout identity** (on big-endian sparc_v9, where packed
+//!   pointer-free mixes are wire-identical): the same pair with the
+//!   isomorphic fast path enabled vs disabled, plus a raw `memcpy`
+//!   bandwidth reference over the same image size.
+//!
+//! The JSON doubles as a CI regression gate: pass `--baseline <path>` to
+//! compare both the auto-thread total and the iso-mix total against a
+//! committed run and exit non-zero on a regression beyond `--tolerance`
+//! percent.
 //!
 //! Usage:
 //! ```console
 //! cargo run --release -p iw-bench --bin bench_trajectory -- \
-//!   [scale] [--out BENCH_5.json] [--baseline path] [--tolerance 25]
+//!   [scale] [--out BENCH_9.json] [--baseline path] [--tolerance 25]
 //! ```
 
 use std::io::Write as _;
@@ -19,7 +28,7 @@ use std::io::Write as _;
 use iw_bench::{dirty_all, figure4_workloads, setup_with_options, time, Workload};
 use iw_core::{Session, SessionOptions, TrackMode};
 use iw_proto::Loopback;
-use iw_types::MachineArch;
+use iw_types::{FlatLayout, MachineArch};
 
 const ITERS: u32 = 3;
 
@@ -41,16 +50,13 @@ fn opts(threads: Option<usize>) -> SessionOptions {
     }
 }
 
-/// Best-of-`ITERS` collect and apply seconds for one workload at one
-/// thread setting.
-fn measure(w: &Workload, threads: Option<usize>) -> (f64, f64) {
-    let mut bed = setup_with_options(w, MachineArch::x86(), opts(threads));
-    let mut reader = Session::with_options(
-        MachineArch::x86(),
-        Box::new(Loopback::new(bed.server.clone())),
-        opts(threads),
-    )
-    .expect("reader");
+/// Best-of-`ITERS` collect and apply seconds for one workload under the
+/// given architecture and session options.
+fn measure_cfg(w: &Workload, arch: &MachineArch, o: SessionOptions) -> (f64, f64) {
+    let mut bed = setup_with_options(w, arch.clone(), o.clone());
+    let mut reader =
+        Session::with_options(arch.clone(), Box::new(Loopback::new(bed.server.clone())), o)
+            .expect("reader");
     reader.fetch_segment("bench/data").expect("sync");
     let rh = reader.open_segment("bench/data").expect("open");
 
@@ -75,6 +81,48 @@ fn measure(w: &Workload, threads: Option<usize>) -> (f64, f64) {
     (best_collect, best_apply)
 }
 
+fn measure(w: &Workload, threads: Option<usize>) -> (f64, f64) {
+    measure_cfg(w, &MachineArch::x86(), opts(threads))
+}
+
+/// Best-of-`ITERS` seconds to memcpy a buffer of the workload's local
+/// image size — the floor any translation scheme can aspire to. Returns
+/// `(hot, cold)` seconds: hot reuses a warmed destination (pure copy
+/// bandwidth), cold allocates a fresh destination per copy (first-touch
+/// page faults included — what applying a network payload into newly
+/// mapped segment memory actually pays).
+fn measure_memcpy(bytes: usize) -> (f64, f64) {
+    let src = vec![0xA5u8; bytes.max(1)];
+    let mut dst = vec![0u8; bytes.max(1)];
+    let (mut hot, mut cold) = (f64::MAX, f64::MAX);
+    for _ in 0..ITERS {
+        let (_, d) = time(|| {
+            dst.copy_from_slice(&src);
+            std::hint::black_box(&mut dst);
+        });
+        hot = hot.min(d.as_secs_f64());
+        let (_, d) = time(|| {
+            let mut fresh = vec![0u8; bytes.max(1)];
+            fresh.copy_from_slice(&src);
+            std::hint::black_box(&mut fresh);
+        });
+        cold = cold.min(d.as_secs_f64());
+    }
+    (hot, cold)
+}
+
+struct IsoRow {
+    name: &'static str,
+    eligible: bool,
+    /// Best-of collect/apply seconds with the fast path on and off.
+    collect: [f64; 2],
+    apply: [f64; 2],
+    /// Local image bytes and the raw memcpy floors over them.
+    bytes: usize,
+    memcpy_hot_secs: f64,
+    memcpy_cold_secs: f64,
+}
+
 /// Extracts the number following `"key":` in a hand-rolled JSON document.
 fn json_number(doc: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -89,7 +137,7 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut baseline: Option<String> = None;
     let mut tolerance = 25.0f64;
     let mut i = 0;
@@ -115,7 +163,7 @@ fn main() {
     }
 
     let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    println!("# BENCH_5 — parallel translation trajectory (scale {scale}, auto = {auto} threads)");
+    println!("# BENCH_9 — translation trajectory (scale {scale}, auto = {auto} threads)");
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "workload",
@@ -169,14 +217,95 @@ fn main() {
         total_1 / total_auto.max(1e-9)
     );
 
+    // Layout-identity dimension: the same mixes on a big-endian machine,
+    // fast path on vs off, against a raw memcpy floor.
+    let be = MachineArch::sparc_v9();
+    println!(
+        "\n# layout identity on {} (iso fast path on vs off)",
+        be.name
+    );
+    println!(
+        "{:<14} {:>4} {:>11} {:>11} {:>10} {:>10} {:>8} {:>11} {:>11}",
+        "workload",
+        "iso",
+        "collect_iso",
+        "collect_wlk",
+        "apply_iso",
+        "apply_wlk",
+        "c_spdup",
+        "iso_bw_mbs",
+        "mcpy_bw_mbs"
+    );
+    let mut iso_rows: Vec<IsoRow> = Vec::new();
+    for w in figure4_workloads(scale) {
+        let eligible = FlatLayout::new(&w.ty, &be).wire_identity().is_iso();
+        let bytes = iw_types::layout::layout_of(&w.ty, &be).size as usize * w.count as usize;
+        let (c_iso, a_iso) = measure_cfg(
+            &w,
+            &be,
+            SessionOptions {
+                iso_fast_path: true,
+                ..SessionOptions::default()
+            },
+        );
+        let (c_walk, a_walk) = measure_cfg(
+            &w,
+            &be,
+            SessionOptions {
+                iso_fast_path: false,
+                ..SessionOptions::default()
+            },
+        );
+        let (memcpy_hot_secs, memcpy_cold_secs) = measure_memcpy(bytes);
+        let mb = bytes as f64 / 1e6;
+        println!(
+            "{:<14} {:>4} {:>11.4} {:>11.4} {:>10.4} {:>10.4} {:>7.2}x {:>11.1} {:>11.1}",
+            w.name,
+            if eligible { "yes" } else { "no" },
+            c_iso,
+            c_walk,
+            a_iso,
+            a_walk,
+            c_walk / c_iso.max(1e-9),
+            mb / c_iso.max(1e-9),
+            mb / memcpy_hot_secs.max(1e-9),
+        );
+        iso_rows.push(IsoRow {
+            name: w.name,
+            eligible,
+            collect: [c_iso, c_walk],
+            apply: [a_iso, a_walk],
+            bytes,
+            memcpy_hot_secs,
+            memcpy_cold_secs,
+        });
+    }
+    let total_iso: f64 = iso_rows
+        .iter()
+        .filter(|r| r.eligible)
+        .map(|r| r.collect[0] + r.apply[0])
+        .sum();
+    let total_walk: f64 = iso_rows
+        .iter()
+        .filter(|r| r.eligible)
+        .map(|r| r.collect[1] + r.apply[1])
+        .sum();
+    println!(
+        "# iso-eligible totals (collect+apply): fast path {total_iso:.4}s, walk {total_walk:.4}s ({:.2}x)",
+        total_walk / total_iso.max(1e-9)
+    );
+
     // Hand-rolled JSON (no serde in the tree).
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
-        "  \"bench\": \"BENCH_5\",\n  \"scale\": {scale},\n  \"auto_threads\": {auto},\n"
+        "  \"bench\": \"BENCH_9\",\n  \"scale\": {scale},\n  \"auto_threads\": {auto},\n"
     ));
     j.push_str(&format!(
         "  \"total_serial_secs\": {total_1:.6},\n  \"total_two_secs\": {total_2:.6},\n  \"total_auto_secs\": {total_auto:.6},\n"
+    ));
+    j.push_str(&format!(
+        "  \"total_iso_secs\": {total_iso:.6},\n  \"total_walk_secs\": {total_walk:.6},\n"
     ));
     j.push_str(&format!(
         "  \"combined_speedup_auto\": {:.4},\n  \"workloads\": [\n",
@@ -197,24 +326,56 @@ fn main() {
             if k + 1 < rows.len() { "," } else { "" }
         ));
     }
+    j.push_str("  ],\n  \"iso\": [\n");
+    for (k, r) in iso_rows.iter().enumerate() {
+        let mb = r.bytes as f64 / 1e6;
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"eligible\": {}, \"collect_iso\": {:.6}, \"collect_walk\": {:.6}, \"apply_iso\": {:.6}, \"apply_walk\": {:.6}, \"collect_speedup\": {:.4}, \"image_bytes\": {}, \"iso_apply_mb_per_s\": {:.1}, \"iso_collect_mb_per_s\": {:.1}, \"memcpy_hot_mb_per_s\": {:.1}, \"memcpy_cold_mb_per_s\": {:.1}}}{}\n",
+            r.name,
+            r.eligible,
+            r.collect[0],
+            r.collect[1],
+            r.apply[0],
+            r.apply[1],
+            r.collect[1] / r.collect[0].max(1e-9),
+            r.bytes,
+            mb / r.apply[0].max(1e-9),
+            mb / r.collect[0].max(1e-9),
+            mb / r.memcpy_hot_secs.max(1e-9),
+            mb / r.memcpy_cold_secs.max(1e-9),
+            if k + 1 < iso_rows.len() { "," } else { "" }
+        ));
+    }
     j.push_str("  ]\n}\n");
     let mut f = std::fs::File::create(&out_path).expect("create output");
     f.write_all(j.as_bytes()).expect("write output");
     println!("# wrote {out_path}");
 
-    // Regression gate against a committed baseline.
+    // Regression gate against a committed baseline: both the auto-thread
+    // total and the iso-mix fast-path total must stay within tolerance.
     if let Some(path) = baseline {
         let doc = std::fs::read_to_string(&path).expect("read baseline");
-        let base = json_number(&doc, "total_auto_secs").expect("baseline total_auto_secs");
-        let limit = base * (1.0 + tolerance / 100.0);
-        println!(
-            "# baseline auto total {base:.4}s, current {total_auto:.4}s, limit {limit:.4}s (+{tolerance}%)"
-        );
-        if base >= ABS_FLOOR_SECS && total_auto > limit {
-            eprintln!(
-                "BENCH REGRESSION: auto-thread total {total_auto:.4}s exceeds {limit:.4}s \
-                 ({tolerance}% over the committed baseline {base:.4}s)"
+        let mut failed = false;
+        let mut gate = |key: &str, current: f64| {
+            let Some(base) = json_number(&doc, key) else {
+                println!("# baseline lacks {key}; skipping that gate");
+                return;
+            };
+            let limit = base * (1.0 + tolerance / 100.0);
+            println!(
+                "# baseline {key} {base:.4}s, current {current:.4}s, limit {limit:.4}s (+{tolerance}%)"
             );
+            if base >= ABS_FLOOR_SECS && current > limit {
+                eprintln!(
+                    "BENCH REGRESSION: {key} {current:.4}s exceeds {limit:.4}s \
+                     ({tolerance}% over the committed baseline {base:.4}s)"
+                );
+                failed = true;
+            }
+        };
+        gate("total_auto_secs", total_auto);
+        gate("total_iso_secs", total_iso);
+        if failed {
             std::process::exit(1);
         }
         println!("# bench-smoke: within tolerance");

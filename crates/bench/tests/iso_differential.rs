@@ -1,0 +1,127 @@
+//! Isomorphic fast-path differential across the paper's Figure 4 data
+//! mixes: for every mix, on a little-endian and a big-endian machine,
+//! the wire diff collected with the fast path enabled is byte-identical
+//! to the one collected with it disabled, and a reader applying updates
+//! through either path ends with the identical block image.
+//!
+//! The pointer- and string-bearing mixes never take the fast path (the
+//! identity predicate blocks them) but run here anyway: they prove the
+//! per-block gate leaves them byte-for-byte untouched.
+
+use std::sync::Arc;
+
+use iw_bench::{dirty_all, figure4_workloads, setup_with_options};
+use iw_core::{Session, SessionOptions};
+use iw_proto::{Handler, Loopback};
+use iw_types::MachineArch;
+
+/// Same scale the parallel-determinism suite uses: large enough that the
+/// dirty data crosses the parallel-translation threshold.
+const SCALE: f64 = 0.25;
+
+fn opts(iso: bool) -> SessionOptions {
+    SessionOptions {
+        iso_fast_path: iso,
+        ..SessionOptions::default()
+    }
+}
+
+fn arches() -> [MachineArch; 2] {
+    // One side where the fast path engages (big-endian sparc_v9), one
+    // where the endianness blocker keeps it off (x86_64).
+    [MachineArch::x86_64(), MachineArch::sparc_v9()]
+}
+
+#[test]
+fn fast_path_collect_wire_identical_across_fig4_mixes() {
+    for arch in arches() {
+        for w in figure4_workloads(SCALE) {
+            let mut encs = Vec::new();
+            for iso in [true, false] {
+                let mut bed = setup_with_options(&w, arch.clone(), opts(iso));
+                bed.session.wl_acquire(&bed.handle).unwrap();
+                dirty_all(&mut bed.session, &bed.block.clone(), &w, 3);
+                let (diff, _, _) = bed.session.collect_segment_diff(&bed.handle).unwrap();
+                encs.push(diff.encode());
+                bed.session.wl_release(&bed.handle).unwrap();
+            }
+            assert_eq!(
+                encs[0], encs[1],
+                "{} on {}: fast-path vs descriptor-walk wire diffs differ",
+                w.name, arch.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_path_apply_state_identical_across_fig4_mixes() {
+    for arch in arches() {
+        for w in figure4_workloads(SCALE) {
+            let mut images = Vec::new();
+            for iso in [true, false] {
+                // The writer always uses the fast path (its output is
+                // proven identical above); only the reader's apply path
+                // varies here.
+                let mut bed = setup_with_options(&w, arch.clone(), opts(true));
+                let mut reader = Session::with_options(
+                    arch.clone(),
+                    Box::new(Loopback::new(bed.server.clone() as Arc<dyn Handler>)),
+                    opts(iso),
+                )
+                .unwrap();
+                let rh = reader.open_segment("bench/data").unwrap();
+                // Cache the initial version, then pick up one update.
+                reader.rl_acquire(&rh).unwrap();
+                reader.rl_release(&rh).unwrap();
+                bed.session.wl_acquire(&bed.handle).unwrap();
+                dirty_all(&mut bed.session, &bed.block.clone(), &w, 7);
+                bed.session.wl_release(&bed.handle).unwrap();
+                reader.rl_acquire(&rh).unwrap();
+                let blk = reader.mip_to_ptr("bench/data#blk").unwrap();
+                let size = iw_types::layout::layout_of(&w.ty, reader.arch()).size as usize
+                    * w.count as usize;
+                images.push(reader.read_bytes_raw(&blk, size).unwrap().to_vec());
+                reader.rl_release(&rh).unwrap();
+            }
+            assert_eq!(
+                images[0], images[1],
+                "{} on {}: fast-path vs descriptor-walk applied images differ",
+                w.name, arch.name
+            );
+        }
+    }
+}
+
+/// The fast path actually fires where it should: the packed pointer-free
+/// mixes on the big-endian machine tick the iso counters, and every mix
+/// on the little-endian machine leaves them at zero.
+#[test]
+fn fast_path_engages_exactly_on_iso_mixes() {
+    for arch in arches() {
+        for w in figure4_workloads(0.02) {
+            let mut bed = setup_with_options(&w, arch.clone(), opts(true));
+            bed.session.wl_acquire(&bed.handle).unwrap();
+            dirty_all(&mut bed.session, &bed.block.clone(), &w, 5);
+            bed.session.wl_release(&bed.handle).unwrap();
+            let collects = bed
+                .session
+                .metrics_snapshot()
+                .counter("client.translate.iso_collects_total")
+                .unwrap_or(0);
+            let ty_iso = !w.ty.contains_pointer()
+                && !w.ty.contains_variable()
+                && iw_types::FlatLayout::new(&w.ty, &arch).is_packed();
+            // Pointer-bearing beds also hold an int-array target block,
+            // which is itself isomorphic on a big-endian machine.
+            let expect_iso = !arch.endian.is_little() && (ty_iso || w.has_pointers);
+            assert_eq!(
+                collects > 0,
+                expect_iso,
+                "{} on {}: iso_collects={collects}, expected engagement={expect_iso}",
+                w.name,
+                arch.name
+            );
+        }
+    }
+}

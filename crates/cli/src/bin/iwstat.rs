@@ -1,7 +1,7 @@
 //! `iwstat` — scrapes a live `iwsrv` and prints its metrics.
 //!
 //! ```text
-//! iwstat [--server 127.0.0.1:7474] [--json | --prom] [--filter PREFIX]
+//! iwstat [--server 127.0.0.1:7474] [--json | --prom] [--filter PREFIX] [--probe]
 //! ```
 //!
 //! Connects over TCP, performs the Hello handshake, sends a `Stats`
@@ -9,13 +9,95 @@
 //! text by default, JSON with `--json`, Prometheus text exposition with
 //! `--prom`. `--filter` keeps only metrics whose name starts with the
 //! given prefix (e.g. `server.lock.`).
+//!
+//! `--probe` additionally drives a small writer/reader workload against
+//! the server from this process and merges the client library's own
+//! counters (`client.*`) into the scrape. The probe runs as a simulated
+//! big-endian machine so the isomorphic-layout fast path engages, making
+//! `client.translate.iso_collects_total`, `iso_applies_total`, and
+//! `iso_memcpy_bytes_total` observable from the command line — the
+//! client registry is in-process state and is invisible to a plain
+//! server scrape.
+
+use std::net::SocketAddr;
 
 use iw_cli::Args;
+use iw_core::Session;
 use iw_proto::{Reply, Request, TcpTransport, Transport};
+use iw_telemetry::Snapshot;
+use iw_types::desc::TypeDesc;
+use iw_types::MachineArch;
+
+/// Adds `extra`'s metrics into `acc`, summing counters that share a
+/// name (the probe's writer and reader sessions each carry a full
+/// client registry).
+fn sum_into(acc: &mut Snapshot, extra: Snapshot) {
+    for (n, v) in extra.counters {
+        match acc.counters.iter_mut().find(|(an, _)| *an == n) {
+            Some(e) => e.1 += v,
+            None => acc.counters.push((n, v)),
+        }
+    }
+    for (n, v) in extra.gauges {
+        match acc.gauges.iter_mut().find(|(an, _)| *an == n) {
+            Some(e) => e.1 += v,
+            None => acc.gauges.push((n, v)),
+        }
+    }
+    for (n, h) in extra.histograms {
+        if !acc.histograms.iter().any(|(an, _)| *an == n) {
+            acc.histograms.push((n, h));
+        }
+    }
+}
+
+/// Writer/reader round trip against `addr` on a simulated big-endian
+/// machine; returns the merged client-side metrics of both sessions.
+fn run_probe(addr: SocketAddr) -> Result<Snapshot, Box<dyn std::error::Error>> {
+    let arch = MachineArch::sparc_v9();
+    let mut w = Session::new(arch.clone(), Box::new(TcpTransport::connect(addr)?))?;
+    let h = w.open_segment("iwstat/probe")?;
+    w.wl_acquire(&h)?;
+    // Reuse the block when a previous probe already created it.
+    let blk = match w.mip_to_ptr("iwstat/probe#blk") {
+        Ok(p) => p,
+        Err(_) => w.malloc(&h, &TypeDesc::int32(), 4096, Some("blk"))?,
+    };
+    // Salt the values so repeated probes against the same server still
+    // dirty the block (identical bytes would yield an empty diff).
+    let salt = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as i32 | 1)
+        .unwrap_or(1);
+    for i in 0..4096 {
+        w.write_i32(&w.index(&blk, i)?, (i as i32) ^ salt)?;
+    }
+    w.wl_release(&h)?;
+
+    let mut r = Session::new(arch, Box::new(TcpTransport::connect(addr)?))?;
+    let rh = r.open_segment("iwstat/probe")?;
+    r.rl_acquire(&rh)?;
+    let q = r.mip_to_ptr("iwstat/probe#blk")?;
+    let last = r.read_i32(&r.index(&q, 4095)?)?;
+    if last != 4095 ^ salt {
+        return Err(format!("probe read back {last}, expected {}", 4095 ^ salt).into());
+    }
+    r.rl_release(&rh)?;
+
+    let mut merged = w.metrics_snapshot();
+    sum_into(&mut merged, r.metrics_snapshot());
+    Ok(merged)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(std::env::args().skip(1));
     let addr = args.flag("server").unwrap_or("127.0.0.1:7474");
+
+    let probe = if args.switch("probe") {
+        Some(run_probe(addr.parse()?)?)
+    } else {
+        None
+    };
 
     let mut transport = TcpTransport::connect(addr.parse()?)?;
     let client = match transport.request(&Request::Hello {
@@ -28,6 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Reply::Stats { snapshot } => snapshot,
         other => return Err(format!("unexpected reply to Stats: {other:?}").into()),
     };
+
+    if let Some(p) = probe {
+        // Client metric names are already namespaced (`client.*`,
+        // `proto.*`); merge them alongside the server's sections.
+        snapshot.merge_prefixed("", p);
+    }
 
     if let Some(prefix) = args.flag("filter") {
         snapshot.counters.retain(|(n, _)| n.starts_with(prefix));

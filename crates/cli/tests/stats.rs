@@ -157,3 +157,48 @@ fn workload_metrics_visible_through_iwstat() {
     assert!(filtered.contains("server.lock.granted_total"), "{filtered}");
     assert!(!filtered.contains("server.req.acquire_total"), "{filtered}");
 }
+
+#[test]
+fn probe_mode_surfaces_client_iso_counters() {
+    let port = 17494;
+    let _srv = spawn_srv(port);
+
+    // The probe runs as a big-endian machine over a packed int array, so
+    // both translation directions must take the isomorphic fast path.
+    let json = iwstat(port, &["--probe", "--json"]);
+    assert!(
+        json_counter(&json, "client.translate.iso_collects_total") > 0,
+        "probe writer skipped the fast path: {json}"
+    );
+    assert!(
+        json_counter(&json, "client.translate.iso_applies_total") > 0,
+        "probe reader skipped the fast path: {json}"
+    );
+    // 4096 ints travel by memcpy at least once in each direction.
+    assert!(
+        json_counter(&json, "client.translate.iso_memcpy_bytes_total") >= 2 * 4096 * 4,
+        "iso memcpy volume too low: {json}"
+    );
+    // The merged scrape still carries the server's own sections.
+    assert!(json_counter(&json, "server.req.acquire_total") > 0);
+
+    // A second probe against the same server reuses the probe segment.
+    let again = iwstat(port, &["--probe", "--json"]);
+    assert!(json_counter(&again, "client.translate.iso_collects_total") > 0);
+
+    // Probe counters compose with --filter and --prom like any metric.
+    let filtered = iwstat(
+        port,
+        &["--probe", "--json", "--filter", "client.translate.iso"],
+    );
+    assert!(
+        filtered.contains("client.translate.iso_applies_total"),
+        "{filtered}"
+    );
+    assert!(!filtered.contains("server.req.acquire_total"), "{filtered}");
+    let prom = iwstat(port, &["--probe", "--prom"]);
+    assert!(
+        prom.contains("# TYPE client_translate_iso_collects_total counter"),
+        "{prom}"
+    );
+}

@@ -78,6 +78,16 @@ pub(crate) struct SessionMetrics {
     /// `client.translate.par_applies_total` — applies whose decode fanned
     /// out over the worker pool.
     pub par_applies: Arc<Counter>,
+    /// `client.translate.iso_collects_total` — collects where at least one
+    /// block took the isomorphic memcpy fast path.
+    pub iso_collects: Arc<Counter>,
+    /// `client.translate.iso_applies_total` — applies where at least one
+    /// run took the isomorphic memcpy fast path.
+    pub iso_applies: Arc<Counter>,
+    /// `client.translate.iso_memcpy_bytes_total` — wire bytes moved by
+    /// the isomorphic fast path instead of the descriptor walk, both
+    /// directions.
+    pub iso_memcpy_bytes: Arc<Counter>,
     /// `client.scan.pages_total` — modified pages word-diffed.
     pub scan_pages: Arc<Counter>,
     /// `client.scan.bytes_total` — bytes covered by twin scans.
@@ -139,6 +149,9 @@ impl SessionMetrics {
             translate_threads: registry.gauge("client.translate.threads"),
             par_collects: registry.counter("client.translate.par_collects_total"),
             par_applies: registry.counter("client.translate.par_applies_total"),
+            iso_collects: registry.counter("client.translate.iso_collects_total"),
+            iso_applies: registry.counter("client.translate.iso_applies_total"),
+            iso_memcpy_bytes: registry.counter("client.translate.iso_memcpy_bytes_total"),
             scan_pages: registry.counter("client.scan.pages_total"),
             scan_bytes: registry.counter("client.scan.bytes_total"),
             scan_us: registry.histogram_us("client.diff.scan_us"),

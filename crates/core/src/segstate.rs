@@ -87,6 +87,15 @@ pub(crate) struct SegState {
     /// `wl_release` surfaces it as [`crate::CoreError::LockLost`] and
     /// clears it.
     pub lock_lost: bool,
+    /// Isomorphic-layout stamp: true while every block allocated into
+    /// this cached copy (locally or from an applied diff) has a layout
+    /// byte-identical to its wire encoding, so the whole segment
+    /// translates by memcpy. Stamped at open (vacuously true) and
+    /// ANDed at every allocation; sticky — freeing the one offending
+    /// block does not restore it. The translation paths check per block,
+    /// so a mixed segment still fast-paths its isomorphic blocks; this
+    /// summary is what [`crate::Session::segment_iso`] reports.
+    pub iso: bool,
 }
 
 impl SegState {
@@ -110,6 +119,7 @@ impl SegState {
             block_nodiff: HashSet::new(),
             block_streak: HashMap::new(),
             lock_lost: false,
+            iso: true,
         }
     }
 

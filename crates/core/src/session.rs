@@ -101,6 +101,13 @@ pub struct SessionOptions {
     /// serial path. The wire diffs produced are byte-identical at every
     /// setting — this is purely a throughput knob.
     pub translate_threads: Option<usize>,
+    /// Collapse translation to `memcpy` for blocks whose layout is
+    /// byte-identical to the wire encoding
+    /// ([`iw_types::flat::WireIdentity::Iso`]). The wire diffs and
+    /// applied images are byte-identical either way; disable for
+    /// ablation benchmarks and differential tests of the general
+    /// descriptor walk.
+    pub iso_fast_path: bool,
 }
 
 impl Default for SessionOptions {
@@ -116,6 +123,7 @@ impl Default for SessionOptions {
             failover_backoff_ms: 100,
             page_size: None,
             translate_threads: None,
+            iso_fast_path: true,
         }
     }
 }
@@ -858,6 +866,22 @@ impl Session {
         Ok(())
     }
 
+    /// Whether this segment's cached copy carries the isomorphic-layout
+    /// stamp: every block allocated so far (locally or from an applied
+    /// diff) has a layout byte-identical to its wire encoding, so the
+    /// whole segment translates by memcpy. An empty segment is vacuously
+    /// stamped. The stamp is sticky — freeing the one offending block
+    /// does not restore it; the per-block identity check in the
+    /// translation paths stays authoritative, so a mixed segment still
+    /// fast-paths its isomorphic blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOpen`] when the segment is not open.
+    pub fn segment_iso(&self, h: &SegHandle) -> Result<bool, CoreError> {
+        Ok(self.state(h.name())?.iso)
+    }
+
     pub(crate) fn state(&self, name: &str) -> Result<&SegState, CoreError> {
         self.segs
             .get(name)
@@ -1597,9 +1621,17 @@ impl Session {
         // Register the type so it travels in the next diff (a no-op when
         // already known).
         self.heap.segment_types_mut(id).register(ty);
+        let iso = self
+            .heap
+            .segment(id)
+            .block_by_serial(serial)?
+            .flat
+            .wire_identity()
+            .is_iso();
         let st = self.state_mut(&seg_name)?;
         st.next_serial += 1;
         st.new_blocks.push(serial);
+        st.iso &= iso;
         Ok(Ptr { va, ty: ty.clone() })
     }
 
@@ -1852,6 +1884,13 @@ impl Session {
         if threads > 1 && jobs.len() > 1 {
             self.metrics.par_collects.inc();
         }
+        if self.opts.iso_fast_path
+            && jobs
+                .iter()
+                .any(|j| j.meta.flat.wire_identity().is_iso() && j.meta.prim_count() > 0)
+        {
+            self.metrics.iso_collects.inc();
+        }
         let ctx = self.xlate();
         let outs = parallel::par_map(threads, &jobs, |_, job| ctx.run_xlate_job(job));
 
@@ -1901,6 +1940,7 @@ impl Session {
             heap: &self.heap,
             unresolved: &self.unresolved,
             metrics: &self.metrics,
+            iso: self.opts.iso_fast_path,
         }
     }
 
@@ -1949,6 +1989,7 @@ impl Session {
         // places same-version blocks contiguously ("data layout for
         // cache locality", §3.3).
         let mut jobs: Vec<DecodeJob> = Vec::new();
+        let mut new_all_iso = true;
         for nb in &diff.new_blocks {
             let ty = self
                 .heap
@@ -1963,6 +2004,7 @@ impl Session {
             self.heap
                 .alloc_block(id, nb.serial, nb.name.as_deref(), &ty, nb.count)?;
             let meta = self.heap.segment(id).block_by_serial(nb.serial)?.clone();
+            new_all_iso &= meta.flat.wire_identity().is_iso();
             let prims = meta.prim_count();
             self.metrics.prims_received.add(prims);
             if prims > 0 {
@@ -2025,6 +2067,9 @@ impl Session {
         if threads > 1 && jobs.len() > 1 {
             self.metrics.par_applies.inc();
         }
+        if self.opts.iso_fast_path && jobs.iter().any(|j| j.meta.flat.wire_identity().is_iso()) {
+            self.metrics.iso_applies.inc();
+        }
         let ctx = self.xlate();
         let pool = &self.scratch_pool;
         let outs = parallel::par_map(threads, &jobs, |_, job| ctx.decode_run(job, pool));
@@ -2033,18 +2078,9 @@ impl Session {
         // in diff order, then stamp block versions.
         let mut reuses = 0u64;
         let mut allocs = 0u64;
+        let mut iso_bytes = 0u64;
         for out in outs {
             let d = out?;
-            if d.reused {
-                reuses += 1;
-            } else {
-                allocs += 1;
-            }
-            if !d.scratch.is_empty() {
-                self.heap
-                    .bytes_mut_unprotected(d.span_va, d.scratch.len())?
-                    .copy_from_slice(&d.scratch);
-            }
             // Clear stale unresolved entries for every pointer field this
             // run rewrote, then record the fields that resolved to a MIP
             // we cannot map locally yet. Skipping the walk when the map is
@@ -2052,6 +2088,8 @@ impl Session {
             // re-evaluated per run, so a run that inserts entries makes
             // later runs in the same diff walk their ranges — exactly the
             // sequential apply's per-run `track_clears` behaviour.
+            // (Isomorphic runs carry no pointer fields, so both lists are
+            // empty for them.)
             if !self.unresolved.is_empty() {
                 for &(first_va, stride, count) in &d.clear_ranges {
                     for k in 0..u64::from(count) {
@@ -2062,8 +2100,31 @@ impl Session {
             for (field_va, mip) in d.unresolved_inserts {
                 self.unresolved.insert(field_va, mip);
             }
-            self.scratch_pool.put(d.scratch);
+            match d.image {
+                RunImage::Scratch { buf, reused } => {
+                    if reused {
+                        reuses += 1;
+                    } else {
+                        allocs += 1;
+                    }
+                    if !buf.is_empty() {
+                        self.heap
+                            .bytes_mut_unprotected(d.span_va, buf.len())?
+                            .copy_from_slice(&buf);
+                    }
+                    self.scratch_pool.put(buf);
+                }
+                RunImage::Wire(bytes) => {
+                    iso_bytes += bytes.len() as u64;
+                    if !bytes.is_empty() {
+                        self.heap
+                            .bytes_mut_unprotected(d.span_va, bytes.len())?
+                            .copy_from_slice(&bytes);
+                    }
+                }
+            }
         }
+        self.metrics.iso_memcpy_bytes.add(iso_bytes);
         self.metrics.pool_reuses.add(reuses);
         self.metrics.pool_allocs.add(allocs);
         self.metrics
@@ -2093,6 +2154,7 @@ impl Session {
 
         let st = self.state_mut(&name)?;
         st.version = diff.to_version;
+        st.iso &= new_all_iso;
         self.metrics.diffs_applied.inc();
         Ok(())
     }
@@ -2133,6 +2195,9 @@ pub(crate) struct XlateCtx<'a> {
     heap: &'a Heap,
     unresolved: &'a HashMap<u64, Mip>,
     metrics: &'a SessionMetrics,
+    /// Whether the isomorphic fast path may engage
+    /// ([`SessionOptions::iso_fast_path`]).
+    iso: bool,
 }
 
 /// One block's translation work for a collect.
@@ -2176,13 +2241,27 @@ struct DecodeJob {
 /// allocation on the (common) empty-map path.
 struct DecodedRun {
     span_va: u64,
-    scratch: Vec<u8>,
-    reused: bool,
+    image: RunImage,
     /// Fields whose MIPs could not be resolved locally, to insert.
     unresolved_inserts: Vec<(u64, Mip)>,
     /// Pointer-field ranges decoded by this run, to clear from the map
     /// (insertions above win — each field appears in at most one op).
     clear_ranges: Vec<(u64, u32, u32)>,
+}
+
+/// The bytes a [`DecodedRun`] installs into the mapped segment.
+enum RunImage {
+    /// Decoded by the general descriptor walk into a pooled scratch
+    /// buffer.
+    Scratch {
+        buf: Vec<u8>,
+        /// Whether the buffer came from the pool (for the reuse metrics).
+        reused: bool,
+    },
+    /// Isomorphic fast path: the wire payload *is* the local image, so
+    /// install is one direct memcpy into the mapped segment — no
+    /// descriptor traversal, no scratch buffer round trip.
+    Wire(Bytes),
 }
 
 impl XlateCtx<'_> {
@@ -2192,10 +2271,14 @@ impl XlateCtx<'_> {
     fn run_xlate_job(&self, job: &XlateJob) -> Result<XlateOut, CoreError> {
         let meta = &job.meta;
         let mut swz_cache: Option<SwizzleCache> = None;
+        let iso = self.iso && meta.flat.wire_identity().is_iso();
         match &job.kind {
             XlateKind::NewBlock { type_serial } => {
                 let data =
                     self.translate_block_range(meta, meta.va, meta.end(), &mut 0, &mut swz_cache)?;
+                if iso {
+                    self.metrics.iso_memcpy_bytes.add(data.len() as u64);
+                }
                 Ok(XlateOut::NewBlock(NewBlock {
                     serial: job.serial,
                     name: meta.name.clone(),
@@ -2207,6 +2290,9 @@ impl XlateCtx<'_> {
             XlateKind::Whole => {
                 let data =
                     self.translate_block_range(meta, meta.va, meta.end(), &mut 0, &mut swz_cache)?;
+                if iso {
+                    self.metrics.iso_memcpy_bytes.add(data.len() as u64);
+                }
                 let count = meta.prim_count();
                 let accs = vec![RunAcc {
                     start: 0,
@@ -2250,6 +2336,9 @@ impl XlateCtx<'_> {
                     }
                 }
                 let payload = w.finish();
+                if iso {
+                    self.metrics.iso_memcpy_bytes.add(payload.len() as u64);
+                }
                 let accs = emitted
                     .into_iter()
                     .map(|(start, count, b0, b1)| RunAcc {
@@ -2318,6 +2407,9 @@ impl XlateCtx<'_> {
         w: &mut WireWriter,
         swz_cache: &mut Option<SwizzleCache>,
     ) -> Result<Option<(u64, u64)>, CoreError> {
+        if self.iso && meta.flat.wire_identity().is_iso() {
+            return self.translate_range_iso(meta, lo_va, hi_va, floor, w);
+        }
         let arch = self.heap.arch().clone();
         let little = arch.endian.is_little();
         let slice = self.heap.read_bytes(meta.va, meta.size() as usize)?;
@@ -2387,6 +2479,72 @@ impl XlateCtx<'_> {
             }
         }
         Ok(start.map(|s| (s, total)))
+    }
+
+    /// Isomorphic fast path for [`Self::translate_range_into`]: the
+    /// block's local image *is* its wire encoding, so the whole range
+    /// collapses to one `memcpy` — no descriptor traversal, no per-run
+    /// dispatch. Only the run boundary needs computing: the emitted
+    /// primitives are exactly those whose byte extent intersects
+    /// `[lo_va, hi_va)` (minus the `floor` suppression), the same set the
+    /// descriptor walk emits, and since local bytes equal wire bytes the
+    /// payload is byte-identical to the walk's.
+    fn translate_range_iso(
+        &self,
+        meta: &BlockMeta,
+        lo_va: u64,
+        hi_va: u64,
+        floor: &mut u64,
+        w: &mut WireWriter,
+    ) -> Result<Option<(u64, u64)>, CoreError> {
+        if hi_va <= lo_va || meta.prim_count() == 0 {
+            return Ok(None);
+        }
+        let rel_lo = (lo_va - meta.va) as u32;
+        let rel_hi = (hi_va - meta.va) as u32;
+        // First and last primitives whose byte extent intersects the
+        // range: pure arithmetic for homogeneous layouts, two O(depth)
+        // tree descents otherwise. A packed layout has no padding, so
+        // every in-bounds byte belongs to a primitive.
+        let (mut first_prim, mut first_byte, last_prim, end_byte) = match meta.flat.single_run() {
+            Some(r) => {
+                let s = r.stride.max(1);
+                let fp = rel_lo / s;
+                let lp = (rel_hi - 1) / s;
+                (u64::from(fp), fp * s, u64::from(lp), (lp + 1) * s)
+            }
+            None => {
+                let arch = self.heap.arch();
+                let Some(p1) = meta.flat.seek_byte(rel_lo).next() else {
+                    return Ok(None);
+                };
+                let Some(p2) = meta.flat.seek_byte(rel_hi - 1).next() else {
+                    return Ok(None);
+                };
+                (
+                    p1.prim_off,
+                    p1.local_off,
+                    p2.prim_off,
+                    p2.local_off + p2.local_size(arch),
+                )
+            }
+        };
+        // Skip primitives an earlier overlapping range already emitted.
+        if last_prim < *floor {
+            return Ok(None);
+        }
+        if first_prim < *floor {
+            let Some(p) = meta.flat.prim_at(*floor) else {
+                return Ok(None);
+            };
+            first_prim = p.prim_off;
+            first_byte = p.local_off;
+        }
+        let len = (end_byte - first_byte) as usize;
+        let slice = self.heap.read_bytes(meta.va + u64::from(first_byte), len)?;
+        w.put_bytes(slice);
+        *floor = last_prim + 1;
+        Ok(Some((first_prim, last_prim - first_prim + 1)))
     }
 
     /// Swizzles one local pointer window into its MIP string, with a
@@ -2514,6 +2672,24 @@ impl XlateCtx<'_> {
         let span_lo = first.local_off as usize;
         let span_hi = last.local_off as usize + last.local_size(&arch) as usize;
         let span = span_hi - span_lo;
+        // Isomorphic layouts: the wire payload is already the local image
+        // of the span — install it directly, bypassing the descriptor
+        // walk and the scratch buffer entirely. A short payload is the
+        // same wire error the general walk's first starved read raises.
+        if self.iso && meta.flat.wire_identity().is_iso() {
+            if job.data.len() < span {
+                return Err(CoreError::Wire(iw_wire::codec::WireError::UnexpectedEof {
+                    wanted: span,
+                    available: job.data.len(),
+                }));
+            }
+            return Ok(DecodedRun {
+                span_va: meta.va + span_lo as u64,
+                image: RunImage::Wire(job.data.slice(0..span)),
+                unresolved_inserts: Vec::new(),
+                clear_ranges: Vec::new(),
+            });
+        }
         // Packed layouts (primitives tile the block, every window fully
         // rewritten by decode) skip the heap pre-fill: decode overwrites
         // every byte of the span, so any initialized buffer works —
@@ -2594,8 +2770,10 @@ impl XlateCtx<'_> {
         }
         Ok(DecodedRun {
             span_va: meta.va + span_lo as u64,
-            scratch,
-            reused,
+            image: RunImage::Scratch {
+                buf: scratch,
+                reused,
+            },
             unresolved_inserts,
             clear_ranges,
         })

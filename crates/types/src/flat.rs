@@ -155,6 +155,63 @@ pub struct FlatLayout {
     fixed_wire_size: Option<u64>,
     /// Whether primitives tile `[0, local_size)` with no padding.
     packed: bool,
+    /// Whether the local image equals the wire encoding byte for byte
+    /// (see [`FlatLayout::wire_identity`]).
+    identity: WireIdentity,
+}
+
+/// Why a [`FlatLayout`] is *not* byte-identical to its wire encoding.
+///
+/// The wire format is the canonical packed big-endian encoding, so each
+/// blocker names one axis on which the local representation diverges from
+/// it. When several axes diverge at once the first in this declaration
+/// order is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsoBlocker {
+    /// The layout contains pointer fields. A pointer is
+    /// [`MachineArch::pointer_size`] local bytes holding a virtual
+    /// address, but travels as a variable-length MIP string — no pointer
+    /// width makes the two representations equal, so pointer fields
+    /// always need element-wise patching.
+    Pointer,
+    /// The layout contains string fields: a fixed local capacity versus
+    /// length-prefixed live bytes on the wire.
+    String,
+    /// Alignment padding (or trailing struct padding): the primitives do
+    /// not tile `[0, local_size)`, so local byte offsets differ from wire
+    /// offsets.
+    Padding,
+    /// The architecture stores multi-byte primitives little-endian; the
+    /// wire is big-endian, so every primitive needs a byte swap.
+    Endianness,
+}
+
+/// Whether a layout's local image is byte-for-byte identical to its wire
+/// encoding (the paper's *isomorphic* case), produced by
+/// [`FlatLayout::wire_identity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireIdentity {
+    /// Local image == wire encoding for every value: translation in
+    /// either direction is a plain `memcpy`.
+    Iso,
+    /// Translation is required; the blocker names the first axis that
+    /// breaks identity.
+    NotIso(IsoBlocker),
+}
+
+impl WireIdentity {
+    /// True for [`WireIdentity::Iso`].
+    pub fn is_iso(self) -> bool {
+        matches!(self, WireIdentity::Iso)
+    }
+
+    /// The blocking axis, if any.
+    pub fn blocker(self) -> Option<IsoBlocker> {
+        match self {
+            WireIdentity::Iso => None,
+            WireIdentity::NotIso(b) => Some(b),
+        }
+    }
 }
 
 impl FlatLayout {
@@ -177,6 +234,7 @@ impl FlatLayout {
         let layout = layout_of(ty, arch);
         let fixed_wire_size = wire_size_of(ty);
         let packed = nodes_packed(&nodes, arch, layout.size);
+        let identity = wire_identity_of(&nodes, arch, packed);
         FlatLayout {
             nodes: nodes.into(),
             arch: arch.clone(),
@@ -184,6 +242,7 @@ impl FlatLayout {
             prim_count: prim,
             fixed_wire_size,
             packed,
+            identity,
         }
     }
 
@@ -220,6 +279,45 @@ impl FlatLayout {
     /// is about to overwrite completely.
     pub fn is_packed(&self) -> bool {
         self.packed
+    }
+
+    /// Whether a value's local image equals its wire encoding byte for
+    /// byte — the structural layout-identity check behind the isomorphic
+    /// fast path. Identity requires all of:
+    ///
+    /// - no pointer fields (local virtual addresses travel as
+    ///   variable-length MIP strings at *any* pointer width);
+    /// - no string fields (length-prefixed on the wire);
+    /// - a packed layout (field offsets and sizes match the wire's
+    ///   back-to-back placement, with no alignment padding);
+    /// - matching byte order: the architecture is big-endian, or every
+    ///   primitive is a single byte.
+    ///
+    /// An empty layout (zero primitives, zero bytes) is vacuously
+    /// identical. The result is computed once at flatten time, so hot
+    /// paths can branch on it per block at no cost.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iw_types::arch::MachineArch;
+    /// use iw_types::desc::TypeDesc;
+    /// use iw_types::flat::{FlatLayout, IsoBlocker};
+    ///
+    /// let ints = TypeDesc::array(TypeDesc::int32(), 16);
+    /// // Big-endian SPARC matches the wire; little-endian x86 does not.
+    /// assert!(FlatLayout::new(&ints, &MachineArch::sparc_v9())
+    ///     .wire_identity()
+    ///     .is_iso());
+    /// assert_eq!(
+    ///     FlatLayout::new(&ints, &MachineArch::x86())
+    ///         .wire_identity()
+    ///         .blocker(),
+    ///     Some(IsoBlocker::Endianness)
+    /// );
+    /// ```
+    pub fn wire_identity(&self) -> WireIdentity {
+        self.identity
     }
 
     /// Iterates all primitives from the beginning.
@@ -428,6 +526,38 @@ fn nodes_packed(nodes: &[FlatNode], arch: &MachineArch, span: u32) -> bool {
         }
     }
     next == span
+}
+
+/// Computes [`WireIdentity`] for a flattened node tree: scans the tree
+/// once for blocking primitive kinds, then applies the axis precedence
+/// documented on [`IsoBlocker`]. O(tree), like [`nodes_packed`].
+fn wire_identity_of(nodes: &[FlatNode], arch: &MachineArch, packed: bool) -> WireIdentity {
+    fn scan(nodes: &[FlatNode], ptr: &mut bool, string: &mut bool, multi: &mut bool) {
+        for n in nodes {
+            match n {
+                FlatNode::Run { kind, .. } => match kind {
+                    PrimKind::Ptr => *ptr = true,
+                    PrimKind::Str { .. } => *string = true,
+                    PrimKind::Char => {}
+                    _ => *multi = true,
+                },
+                FlatNode::Repeat { body, .. } => scan(body, ptr, string, multi),
+            }
+        }
+    }
+    let (mut ptr, mut string, mut multi) = (false, false, false);
+    scan(nodes, &mut ptr, &mut string, &mut multi);
+    if ptr {
+        WireIdentity::NotIso(IsoBlocker::Pointer)
+    } else if string {
+        WireIdentity::NotIso(IsoBlocker::String)
+    } else if !packed {
+        WireIdentity::NotIso(IsoBlocker::Padding)
+    } else if multi && arch.endian.is_little() {
+        WireIdentity::NotIso(IsoBlocker::Endianness)
+    } else {
+        WireIdentity::Iso
+    }
 }
 
 /// Wire-format size in bytes of a fixed-size type, or `None` when the type

@@ -48,9 +48,13 @@ pub mod desc;
 pub mod flat;
 pub mod idl;
 pub mod layout;
+#[cfg(feature = "testgen")]
+pub mod testgen;
 
 pub use arch::{Endian, MachineArch};
 pub use desc::{Field, PrimKind, TypeDesc, TypeKind, TypeSerial};
-pub use flat::{FlatLayout, FlatNode, PrimIter, PrimRef, RunIter, RunRef};
+pub use flat::{
+    FlatLayout, FlatNode, IsoBlocker, PrimIter, PrimRef, RunIter, RunRef, WireIdentity,
+};
 pub use idl::{compile, IdlError, IdlModule};
 pub use layout::{field_offsets, field_prim_offsets, layout_of, Layout};

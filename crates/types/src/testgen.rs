@@ -1,0 +1,90 @@
+//! Shared property-test generators for random type descriptors
+//! (`feature = "testgen"`).
+//!
+//! Both the `iw-types` and `iw-core` test suites generate random type
+//! trees — nested structs, arrays, strings, pointer fields, and the
+//! padding that falls out of each architecture's layout rules. Keeping
+//! the strategies here means every suite explores the same shape space,
+//! and widening it (say, deeper nesting) upgrades all of them at once.
+//!
+//! Not part of the crate's public API proper: the feature exists for
+//! `dev-dependencies` of downstream test suites.
+
+use proptest::prelude::*;
+
+use crate::arch::MachineArch;
+use crate::desc::TypeDesc;
+
+/// All primitive leaves, including the variable-length kinds (strings)
+/// and pointer fields.
+fn leaf_any() -> BoxedStrategy<TypeDesc> {
+    prop_oneof![
+        Just(TypeDesc::char8()),
+        Just(TypeDesc::int16()),
+        Just(TypeDesc::int32()),
+        Just(TypeDesc::int64()),
+        Just(TypeDesc::float32()),
+        Just(TypeDesc::float64()),
+        (1u32..12).prop_map(TypeDesc::string),
+        Just(TypeDesc::pointer()),
+    ]
+    .boxed()
+}
+
+/// Fixed-size primitive leaves only — no strings, no pointers. Types
+/// built from these are the candidates for the isomorphic fast path
+/// (whether they qualify still depends on padding and endianness).
+fn leaf_fixed() -> BoxedStrategy<TypeDesc> {
+    prop_oneof![
+        Just(TypeDesc::char8()),
+        Just(TypeDesc::int16()),
+        Just(TypeDesc::int32()),
+        Just(TypeDesc::int64()),
+        Just(TypeDesc::float32()),
+        Just(TypeDesc::float64()),
+    ]
+    .boxed()
+}
+
+/// Wraps `leaf` in up to three levels of arrays and structs.
+fn compose(leaf: BoxedStrategy<TypeDesc>) -> impl Strategy<Value = TypeDesc> {
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            (inner.clone(), 1u32..5).prop_map(|(t, n)| TypeDesc::array(t, n)),
+            prop::collection::vec(inner, 1..5).prop_map(|fields| {
+                TypeDesc::structure(
+                    "s",
+                    fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| -> (&str, TypeDesc) {
+                            // Leak tiny names; fine for tests.
+                            let name: &'static str = Box::leak(format!("f{i}").into_boxed_str());
+                            (name, t.clone())
+                        })
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Arbitrary bounded type trees over every primitive kind: nested
+/// structs, arrays, strings, pointer fields, and whatever padding the
+/// target architecture's layout rules introduce.
+pub fn arb_type() -> impl Strategy<Value = TypeDesc> {
+    compose(leaf_any())
+}
+
+/// Arbitrary bounded type trees over fixed-size primitives only (no
+/// strings or pointers) — safe targets for raw byte-noise writes, and
+/// the population the isomorphic fast path samples from.
+pub fn arb_fixed_type() -> impl Strategy<Value = TypeDesc> {
+    compose(leaf_fixed())
+}
+
+/// One of the five preset architectures, covering both endiannesses and
+/// both pointer widths.
+pub fn arb_arch() -> impl Strategy<Value = MachineArch> {
+    (0usize..MachineArch::all().len()).prop_map(|i| MachineArch::all().swap_remove(i))
+}

@@ -1,0 +1,248 @@
+//! Edge and negative-path tests for `FlatLayout::is_packed` and the
+//! wire-identity predicate behind the isomorphic fast path.
+//!
+//! The negative tests pin one case per mismatch axis — pointer width,
+//! endianness, alignment padding, strings — and every assertion runs
+//! through both layout engines (the merging `FlatLayout::new` and the
+//! ablation `FlatLayout::new_unoptimized`), since a fast path that
+//! silently engages across mismatched representations is the classic
+//! correctness trap.
+
+use iw_types::arch::MachineArch;
+use iw_types::desc::TypeDesc;
+use iw_types::flat::{FlatLayout, IsoBlocker, WireIdentity};
+use iw_types::testgen::arb_fixed_type;
+use proptest::prelude::*;
+
+/// Identity as seen by both layout engines; asserts they agree.
+fn identity_both(ty: &TypeDesc, arch: &MachineArch) -> WireIdentity {
+    let merged = FlatLayout::new(ty, arch).wire_identity();
+    let plain = FlatLayout::new_unoptimized(ty, arch).wire_identity();
+    assert_eq!(
+        merged, plain,
+        "layout engines disagree on {ty:?} for {}",
+        arch.name
+    );
+    merged
+}
+
+fn packed_both(ty: &TypeDesc, arch: &MachineArch) -> bool {
+    let merged = FlatLayout::new(ty, arch).is_packed();
+    let plain = FlatLayout::new_unoptimized(ty, arch).is_packed();
+    assert_eq!(
+        merged, plain,
+        "layout engines disagree on packing of {ty:?} for {}",
+        arch.name
+    );
+    merged
+}
+
+// ====================================================================
+// Negative paths: one case per mismatch axis.
+// ====================================================================
+
+/// Pointer axis: a pointer field blocks identity at *every* pointer
+/// width. mips32 is the sharpest case — big-endian, so nothing else
+/// diverges — and its 4-byte pointers vs sparc_v9's 8-byte ones cover
+/// both widths.
+#[test]
+fn pointer_fields_block_identity_at_both_widths() {
+    let ty = TypeDesc::array(TypeDesc::pointer(), 8);
+    for arch in MachineArch::all() {
+        assert_eq!(
+            identity_both(&ty, &arch),
+            WireIdentity::NotIso(IsoBlocker::Pointer),
+            "pointer layout must never be isomorphic on {} ({}B pointers)",
+            arch.name,
+            arch.pointer_size
+        );
+    }
+    // Both widths were actually exercised.
+    let widths: Vec<u32> = MachineArch::all().iter().map(|a| a.pointer_size).collect();
+    assert!(widths.contains(&4) && widths.contains(&8));
+}
+
+/// Endianness axis: the same packed int array is isomorphic on the
+/// big-endian architectures and blocked on every little-endian one.
+#[test]
+fn little_endian_blocks_identity_for_multibyte_prims() {
+    let ty = TypeDesc::array(TypeDesc::int32(), 64);
+    for arch in MachineArch::all() {
+        let want = if arch.endian.is_little() {
+            WireIdentity::NotIso(IsoBlocker::Endianness)
+        } else {
+            WireIdentity::Iso
+        };
+        assert_eq!(identity_both(&ty, &arch), want, "on {}", arch.name);
+        // The layout is packed either way — only the byte order diverges.
+        assert!(packed_both(&ty, &arch));
+    }
+}
+
+/// Padding axis: interior alignment padding blocks identity even on a
+/// big-endian architecture where the byte order matches the wire.
+#[test]
+fn alignment_padding_blocks_identity() {
+    let ty = TypeDesc::structure(
+        "p",
+        vec![("c", TypeDesc::char8()), ("i", TypeDesc::int32())],
+    );
+    for arch in MachineArch::all() {
+        assert_eq!(
+            identity_both(&ty, &arch),
+            WireIdentity::NotIso(IsoBlocker::Padding),
+            "on {}",
+            arch.name
+        );
+        assert!(!packed_both(&ty, &arch));
+    }
+}
+
+/// String axis: a string is length-prefixed live bytes on the wire but a
+/// fixed capacity locally, so it blocks identity everywhere.
+#[test]
+fn strings_block_identity() {
+    let ty = TypeDesc::array(TypeDesc::string(16), 4);
+    for arch in MachineArch::all() {
+        assert_eq!(
+            identity_both(&ty, &arch),
+            WireIdentity::NotIso(IsoBlocker::String),
+            "on {}",
+            arch.name
+        );
+    }
+}
+
+// ====================================================================
+// Fuzz-style edges for is_packed / identity.
+// ====================================================================
+
+/// A zero-length array field is invisible to packing and identity: the
+/// surrounding struct behaves exactly as if the field were absent.
+#[test]
+fn zero_size_fields_are_transparent() {
+    let with = TypeDesc::structure(
+        "z",
+        vec![
+            ("a", TypeDesc::array(TypeDesc::int32(), 0)),
+            ("b", TypeDesc::int32()),
+            ("c", TypeDesc::array(TypeDesc::char8(), 0)),
+        ],
+    );
+    let without = TypeDesc::structure("z", vec![("b", TypeDesc::int32())]);
+    for arch in MachineArch::all() {
+        assert_eq!(identity_both(&with, &arch), identity_both(&without, &arch));
+        assert_eq!(packed_both(&with, &arch), packed_both(&without, &arch));
+        let fl = FlatLayout::new(&with, &arch);
+        assert_eq!(fl.prim_count(), 1);
+    }
+}
+
+/// A zero-length array on its own: zero primitives tile zero bytes, so
+/// it is packed and vacuously wire-identical.
+#[test]
+fn zero_length_array_is_vacuously_iso() {
+    let ty = TypeDesc::array(TypeDesc::int64(), 0);
+    for arch in MachineArch::all() {
+        let fl = FlatLayout::new(&ty, &arch);
+        assert_eq!(fl.local_size(), 0);
+        assert_eq!(fl.prim_count(), 0);
+        assert!(packed_both(&ty, &arch));
+        assert_eq!(identity_both(&ty, &arch), WireIdentity::Iso);
+    }
+}
+
+/// An empty struct occupies one byte locally (C convention) but carries
+/// zero primitives — that byte is pure padding, so identity is blocked.
+#[test]
+fn empty_struct_is_one_padding_byte() {
+    let ty = TypeDesc::structure("e", vec![]);
+    for arch in MachineArch::all() {
+        let fl = FlatLayout::new(&ty, &arch);
+        assert_eq!(fl.local_size(), 1);
+        assert_eq!(fl.prim_count(), 0);
+        assert!(!packed_both(&ty, &arch));
+        assert_eq!(
+            identity_both(&ty, &arch),
+            WireIdentity::NotIso(IsoBlocker::Padding)
+        );
+    }
+}
+
+/// Max-alignment tail: a struct whose widest member forces trailing
+/// padding after the last field. The primitives tile the front of the
+/// value but not `[0, size)`, so packing — and identity — fail.
+#[test]
+fn max_alignment_tail_padding_blocks_identity() {
+    let ty = TypeDesc::structure(
+        "t",
+        vec![("d", TypeDesc::float64()), ("c", TypeDesc::char8())],
+    );
+    // sparc_v9 aligns doubles to 8: 9 bytes of fields pad out to 16.
+    let arch = MachineArch::sparc_v9();
+    let fl = FlatLayout::new(&ty, &arch);
+    assert_eq!(fl.local_size(), 16);
+    assert!(!packed_both(&ty, &arch));
+    assert_eq!(
+        identity_both(&ty, &arch),
+        WireIdentity::NotIso(IsoBlocker::Padding)
+    );
+}
+
+/// Single-byte segments are isomorphic on *every* architecture: byte
+/// order is moot at width 1, and chars tile without padding.
+#[test]
+fn single_byte_layouts_are_iso_everywhere() {
+    let plain = TypeDesc::array(TypeDesc::char8(), 4096);
+    let nested = TypeDesc::array(
+        TypeDesc::structure(
+            "b",
+            vec![("x", TypeDesc::char8()), ("y", TypeDesc::char8())],
+        ),
+        32,
+    );
+    for ty in [&plain, &nested] {
+        for arch in MachineArch::all() {
+            assert!(packed_both(ty, &arch));
+            assert_eq!(identity_both(ty, &arch), WireIdentity::Iso);
+        }
+    }
+}
+
+/// A single primitive is the smallest packed layout; identity then
+/// depends only on endianness.
+#[test]
+fn lone_primitive_identity_matches_endianness() {
+    for arch in MachineArch::all() {
+        assert_eq!(identity_both(&TypeDesc::char8(), &arch), WireIdentity::Iso);
+        let want = if arch.endian.is_little() {
+            WireIdentity::NotIso(IsoBlocker::Endianness)
+        } else {
+            WireIdentity::Iso
+        };
+        assert_eq!(identity_both(&TypeDesc::int64(), &arch), want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random fixed types: identity reduces exactly to
+    /// `packed && (big-endian || all prims single-byte)` — the structural
+    /// check can neither over- nor under-claim against the definition.
+    #[test]
+    fn identity_matches_definition_on_fixed_types(ty in arb_fixed_type()) {
+        for arch in MachineArch::all() {
+            let fl = FlatLayout::new(&ty, &arch);
+            let all_bytes = fl.iter().all(|p| p.local_size(&arch) == 1);
+            let want = if !fl.is_packed() {
+                WireIdentity::NotIso(IsoBlocker::Padding)
+            } else if arch.endian.is_little() && !all_bytes {
+                WireIdentity::NotIso(IsoBlocker::Endianness)
+            } else {
+                WireIdentity::Iso
+            };
+            prop_assert_eq!(identity_both(&ty, &arch), want);
+        }
+    }
+}

@@ -6,43 +6,10 @@
 //! plain iteration.
 
 use iw_types::arch::MachineArch;
-use iw_types::desc::TypeDesc;
-use iw_types::flat::FlatLayout;
+use iw_types::flat::{FlatLayout, IsoBlocker, WireIdentity};
 use iw_types::layout::{field_offsets, layout_of};
+use iw_types::testgen::arb_type;
 use proptest::prelude::*;
-
-/// Strategy producing arbitrary (bounded) type trees.
-fn arb_type() -> impl Strategy<Value = TypeDesc> {
-    let leaf = prop_oneof![
-        Just(TypeDesc::char8()),
-        Just(TypeDesc::int16()),
-        Just(TypeDesc::int32()),
-        Just(TypeDesc::int64()),
-        Just(TypeDesc::float32()),
-        Just(TypeDesc::float64()),
-        (1u32..12).prop_map(TypeDesc::string),
-        Just(TypeDesc::pointer()),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        prop_oneof![
-            (inner.clone(), 1u32..5).prop_map(|(t, n)| TypeDesc::array(t, n)),
-            prop::collection::vec(inner, 1..5).prop_map(|fields| {
-                TypeDesc::structure(
-                    "s",
-                    fields
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| -> (&str, TypeDesc) {
-                            // Leak tiny names; fine for tests.
-                            let name: &'static str = Box::leak(format!("f{i}").into_boxed_str());
-                            (name, t.clone())
-                        })
-                        .collect(),
-                )
-            }),
-        ]
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -99,6 +66,55 @@ proptest! {
             let a: Vec<_> = FlatLayout::new(&ty, &arch).iter().collect();
             let b: Vec<_> = FlatLayout::new_unoptimized(&ty, &arch).iter().collect();
             prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn wire_identity_invariants(ty in arb_type()) {
+        for arch in MachineArch::all() {
+            let fl = FlatLayout::new(&ty, &arch);
+            let id = fl.wire_identity();
+            // Both layout engines agree on identity.
+            prop_assert_eq!(
+                id,
+                FlatLayout::new_unoptimized(&ty, &arch).wire_identity(),
+                "engines disagree on {} for {:?}", arch.name, ty
+            );
+            if id.is_iso() {
+                // Identity implies a packed layout whose wire size equals
+                // its local size: the memcpy the fast path performs is
+                // length-preserving by construction.
+                prop_assert!(fl.is_packed());
+                prop_assert_eq!(fl.fixed_wire_size(), Some(u64::from(fl.local_size())));
+                prop_assert!(!ty.contains_pointer());
+                prop_assert!(!ty.contains_variable());
+                // Multi-byte primitives only survive on big-endian archs.
+                if arch.endian.is_little() {
+                    for p in fl.iter() {
+                        prop_assert_eq!(p.local_size(&arch), 1);
+                    }
+                }
+            } else {
+                // Every blocker names a real divergence.
+                match id.blocker().unwrap() {
+                    IsoBlocker::Pointer => prop_assert!(ty.contains_pointer()),
+                    IsoBlocker::String => prop_assert!(ty.contains_variable()),
+                    IsoBlocker::Padding => prop_assert!(!fl.is_packed()),
+                    IsoBlocker::Endianness => {
+                        prop_assert!(arch.endian.is_little());
+                        prop_assert!(fl.iter().any(|p| p.local_size(&arch) > 1));
+                    }
+                }
+            }
+            // A packed, variable-free layout on a big-endian arch must be
+            // recognized as isomorphic — the predicate can't under-claim.
+            if fl.is_packed()
+                && !ty.contains_pointer()
+                && !ty.contains_variable()
+                && !arch.endian.is_little()
+            {
+                prop_assert_eq!(id, WireIdentity::Iso);
+            }
         }
     }
 
