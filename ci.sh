@@ -75,16 +75,20 @@ echo "== bench smoke (durable release-path overhead, wal on vs off)"
 cargo build --release -q -p iw-bench --bin bench_durable
 target/release/bench_durable 2000
 
-echo "== bench smoke (translation hot path vs committed baseline)"
-# Fails when either gated total regresses more than 25% against
-# crates/bench/baselines/BENCH_9.json: the auto-thread collect+apply
-# total across all mixes, or the isomorphic fast-path total across the
-# iso-eligible mixes (big-endian writer, layout-identity dimension).
-# Regenerate the baseline with:
-#   target/release/bench_trajectory 1.0 --out crates/bench/baselines/BENCH_9.json
+echo "== bench smoke (translation hot path + wire bytes vs committed baselines)"
+# Fails when any gated total regresses more than 25% against the
+# committed baselines: the auto-thread collect+apply total and the
+# isomorphic fast-path total (seconds, BENCH_9.json), plus the v2 and
+# v2+lz encoded-byte totals across the wire mixes (bytes, BENCH_10.json
+# — deterministic, so the gate catches any encoding regression at all).
+# Regenerate the baselines with:
+#   target/release/bench_trajectory 1.0 --out crates/bench/baselines/BENCH_9.json \
+#     --wire-out crates/bench/baselines/BENCH_10.json
 cargo build --release -q -p iw-bench --bin bench_trajectory
 target/release/bench_trajectory 1.0 --out /tmp/BENCH_9.current.json \
-  --baseline crates/bench/baselines/BENCH_9.json --tolerance 25
+  --wire-out /tmp/BENCH_10.current.json \
+  --baseline crates/bench/baselines/BENCH_9.json \
+  --wire-baseline crates/bench/baselines/BENCH_10.json --tolerance 25
 
 echo "== many-client scale (event front end, release)"
 # A release iwsrv on an ephemeral port, driven by iwload: every session

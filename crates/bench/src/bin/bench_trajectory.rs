@@ -12,15 +12,23 @@
 //!   isomorphic fast path enabled vs disabled, plus a raw `memcpy`
 //!   bandwidth reference over the same image size.
 //!
+//! A third dimension measures the wire itself: every mix's full-dirty
+//! diff encoded as v1, v2 (varint/delta), and v2 with adaptive LZ
+//! compression — bytes on the wire plus encode/decode wall time — and
+//! emits `BENCH_10.json`. Bytes are deterministic (same diff → same
+//! encoding), so the byte gate is far tighter than any timing gate.
+//!
 //! The JSON doubles as a CI regression gate: pass `--baseline <path>` to
 //! compare both the auto-thread total and the iso-mix total against a
 //! committed run and exit non-zero on a regression beyond `--tolerance`
-//! percent.
+//! percent; pass `--wire-baseline <path>` to gate the v2/v2+lz byte
+//! totals against a committed `BENCH_10.json` the same way.
 //!
 //! Usage:
 //! ```console
 //! cargo run --release -p iw-bench --bin bench_trajectory -- \
-//!   [scale] [--out BENCH_9.json] [--baseline path] [--tolerance 25]
+//!   [scale] [--out BENCH_9.json] [--wire-out BENCH_10.json] \
+//!   [--baseline path] [--wire-baseline path] [--tolerance 25]
 //! ```
 
 use std::io::Write as _;
@@ -29,6 +37,8 @@ use iw_bench::{dirty_all, figure4_workloads, setup_with_options, time, Workload}
 use iw_core::{Session, SessionOptions, TrackMode};
 use iw_proto::Loopback;
 use iw_types::{FlatLayout, MachineArch};
+use iw_wire::codec::WireReader;
+use iw_wire::diff::{DiffWire, SegmentDiff};
 
 const ITERS: u32 = 3;
 
@@ -123,6 +133,90 @@ struct IsoRow {
     memcpy_cold_secs: f64,
 }
 
+/// Per-mix wire measurements: encoded bytes and best-of encode/decode
+/// seconds for each diff wire revision (v1, v2, v2+lz, in that order).
+struct WireRow {
+    name: &'static str,
+    bytes: [usize; 3],
+    enc_secs: [f64; 3],
+    dec_secs: [f64; 3],
+}
+
+const WIRE_FORMATS: [DiffWire; 3] = [
+    DiffWire::V1,
+    DiffWire::V2 { compress: false },
+    DiffWire::V2 { compress: true },
+];
+
+/// Collects one full-dirty diff for the workload and measures each wire
+/// revision over it. The diff's encode cache stays unarmed, so every
+/// `encode_as` really encodes (no serve-many shortcut in the timing).
+fn measure_wire(w: &Workload) -> WireRow {
+    let mut bed = setup_with_options(w, MachineArch::x86(), SessionOptions::default());
+    bed.session.wl_acquire(&bed.handle).expect("wl");
+    bed.session
+        .set_tracking_mode(&bed.handle, TrackMode::Diff)
+        .expect("mode");
+    let block = bed.block.clone();
+    dirty_all(&mut bed.session, &block, w, 1);
+    let (diff, _, _) = bed
+        .session
+        .collect_segment_diff(&bed.handle)
+        .expect("collect");
+    bed.session.wl_release(&bed.handle).expect("release");
+    measure_formats(w.name, &diff)
+}
+
+/// The steady-state traffic shape the full-dirty mixes can't show: many
+/// tiny runs, where v1's fixed 20-byte run header dominates the 4-byte
+/// payloads and the v2 delta-varint header is the whole win.
+fn measure_wire_sparse(scale: f64) -> WireRow {
+    let runs = ((1024.0 * scale) as u64).max(16);
+    let mut block_runs = Vec::with_capacity(runs as usize);
+    for i in 0..runs {
+        block_runs.push(iw_wire::diff::DiffRun {
+            start: i * 16,
+            count: 1,
+            data: bytes::Bytes::from((i as i32).to_be_bytes().to_vec()),
+        });
+    }
+    let diff = SegmentDiff {
+        from_version: 7,
+        to_version: 8,
+        block_diffs: vec![iw_wire::diff::BlockDiff {
+            serial: 0,
+            runs: block_runs,
+        }],
+        ..Default::default()
+    };
+    measure_formats("sparse_stride", &diff)
+}
+
+fn measure_formats(name: &'static str, diff: &SegmentDiff) -> WireRow {
+    let mut row = WireRow {
+        name,
+        bytes: [0; 3],
+        enc_secs: [f64::MAX; 3],
+        dec_secs: [f64::MAX; 3],
+    };
+    for (slot, fmt) in WIRE_FORMATS.iter().enumerate() {
+        let mut encoded = diff.encode_as(*fmt);
+        row.bytes[slot] = encoded.len();
+        for _ in 0..ITERS {
+            let (enc, d_enc) = time(|| std::hint::black_box(diff.encode_as(*fmt)));
+            encoded = enc;
+            let (decoded, d_dec) = time(|| {
+                let mut r = WireReader::new(encoded.clone());
+                SegmentDiff::decode(&mut r).expect("decode")
+            });
+            assert_eq!(&decoded, diff, "{fmt:?} must decode losslessly");
+            row.enc_secs[slot] = row.enc_secs[slot].min(d_enc.as_secs_f64());
+            row.dec_secs[slot] = row.dec_secs[slot].min(d_dec.as_secs_f64());
+        }
+    }
+    row
+}
+
 /// Extracts the number following `"key":` in a hand-rolled JSON document.
 fn json_number(doc: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -138,7 +232,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut out_path = String::from("BENCH_9.json");
+    let mut wire_out_path = String::from("BENCH_10.json");
     let mut baseline: Option<String> = None;
+    let mut wire_baseline: Option<String> = None;
     let mut tolerance = 25.0f64;
     let mut i = 0;
     while i < args.len() {
@@ -147,8 +243,16 @@ fn main() {
                 out_path = args[i + 1].clone();
                 i += 2;
             }
+            "--wire-out" => {
+                wire_out_path = args[i + 1].clone();
+                i += 2;
+            }
             "--baseline" => {
                 baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--wire-baseline" => {
+                wire_baseline = Some(args[i + 1].clone());
                 i += 2;
             }
             "--tolerance" => {
@@ -295,6 +399,68 @@ fn main() {
         total_walk / total_iso.max(1e-9)
     );
 
+    // Wire dimension: per-mix encoded bytes and encode/decode time for
+    // each diff wire revision.
+    println!("\n# wire revisions (full-dirty diff per mix)");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "workload",
+        "v1_B",
+        "v2_B",
+        "v2lz_B",
+        "v2_sav",
+        "lz_sav",
+        "enc_v2_us",
+        "enc_lz_us",
+        "dec_v2_us",
+        "dec_lz_us"
+    );
+    let mut wire_rows: Vec<WireRow> = Vec::new();
+    for w in figure4_workloads(scale) {
+        let r = measure_wire(&w);
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>6.1}% {:>6.1}% {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            r.name,
+            r.bytes[0],
+            r.bytes[1],
+            r.bytes[2],
+            100.0 * (1.0 - r.bytes[1] as f64 / r.bytes[0].max(1) as f64),
+            100.0 * (1.0 - r.bytes[2] as f64 / r.bytes[0].max(1) as f64),
+            r.enc_secs[1] * 1e6,
+            r.enc_secs[2] * 1e6,
+            r.dec_secs[1] * 1e6,
+            r.dec_secs[2] * 1e6,
+        );
+        wire_rows.push(r);
+    }
+    {
+        let r = measure_wire_sparse(scale);
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>6.1}% {:>6.1}% {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            r.name,
+            r.bytes[0],
+            r.bytes[1],
+            r.bytes[2],
+            100.0 * (1.0 - r.bytes[1] as f64 / r.bytes[0].max(1) as f64),
+            100.0 * (1.0 - r.bytes[2] as f64 / r.bytes[0].max(1) as f64),
+            r.enc_secs[1] * 1e6,
+            r.enc_secs[2] * 1e6,
+            r.dec_secs[1] * 1e6,
+            r.dec_secs[2] * 1e6,
+        );
+        wire_rows.push(r);
+    }
+    let wire_total = |slot: usize| wire_rows.iter().map(|r| r.bytes[slot]).sum::<usize>();
+    let (total_v1_b, total_v2_b, total_v2lz_b) = (wire_total(0), wire_total(1), wire_total(2));
+    println!(
+        "# wire totals: v1 {} B, v2 {} B (-{:.1}%), v2+lz {} B (-{:.1}%)",
+        total_v1_b,
+        total_v2_b,
+        100.0 * (1.0 - total_v2_b as f64 / total_v1_b.max(1) as f64),
+        total_v2lz_b,
+        100.0 * (1.0 - total_v2lz_b as f64 / total_v1_b.max(1) as f64),
+    );
+
     // Hand-rolled JSON (no serde in the tree).
     let mut j = String::new();
     j.push_str("{\n");
@@ -351,6 +517,42 @@ fn main() {
     f.write_all(j.as_bytes()).expect("write output");
     println!("# wrote {out_path}");
 
+    // The wire dimension's own JSON (BENCH_10): byte totals are exact,
+    // so a committed baseline catches any encoding regression at all.
+    let mut jw = String::new();
+    jw.push_str("{\n");
+    jw.push_str(&format!(
+        "  \"bench\": \"BENCH_10\",\n  \"scale\": {scale},\n"
+    ));
+    jw.push_str(&format!(
+        "  \"total_v1_bytes\": {total_v1_b},\n  \"total_v2_bytes\": {total_v2_b},\n  \"total_v2lz_bytes\": {total_v2lz_b},\n"
+    ));
+    jw.push_str(&format!(
+        "  \"v2_reduction_pct\": {:.2},\n  \"v2lz_reduction_pct\": {:.2},\n  \"mixes\": [\n",
+        100.0 * (1.0 - total_v2_b as f64 / total_v1_b.max(1) as f64),
+        100.0 * (1.0 - total_v2lz_b as f64 / total_v1_b.max(1) as f64),
+    ));
+    for (k, r) in wire_rows.iter().enumerate() {
+        jw.push_str(&format!(
+            "    {{\"name\": \"{}\", \"v1_bytes\": {}, \"v2_bytes\": {}, \"v2lz_bytes\": {}, \"enc_v1_us\": {:.1}, \"enc_v2_us\": {:.1}, \"enc_v2lz_us\": {:.1}, \"dec_v1_us\": {:.1}, \"dec_v2_us\": {:.1}, \"dec_v2lz_us\": {:.1}}}{}\n",
+            r.name,
+            r.bytes[0],
+            r.bytes[1],
+            r.bytes[2],
+            r.enc_secs[0] * 1e6,
+            r.enc_secs[1] * 1e6,
+            r.enc_secs[2] * 1e6,
+            r.dec_secs[0] * 1e6,
+            r.dec_secs[1] * 1e6,
+            r.dec_secs[2] * 1e6,
+            if k + 1 < wire_rows.len() { "," } else { "" }
+        ));
+    }
+    jw.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&wire_out_path).expect("create wire output");
+    f.write_all(jw.as_bytes()).expect("write wire output");
+    println!("# wrote {wire_out_path}");
+
     // Regression gate against a committed baseline: both the auto-thread
     // total and the iso-mix fast-path total must stay within tolerance.
     if let Some(path) = baseline {
@@ -379,5 +581,34 @@ fn main() {
             std::process::exit(1);
         }
         println!("# bench-smoke: within tolerance");
+    }
+
+    // Byte gate against a committed BENCH_10: encodings are
+    // deterministic, so growth beyond tolerance means the wire format
+    // (or the diff collector) regressed, not the machine.
+    if let Some(path) = wire_baseline {
+        let doc = std::fs::read_to_string(&path).expect("read wire baseline");
+        let mut failed = false;
+        let mut gate = |key: &str, current: usize| {
+            let Some(base) = json_number(&doc, key) else {
+                println!("# wire baseline lacks {key}; skipping that gate");
+                return;
+            };
+            let limit = base * (1.0 + tolerance / 100.0);
+            println!("# wire baseline {key} {base:.0} B, current {current} B, limit {limit:.0} B (+{tolerance}%)");
+            if current as f64 > limit {
+                eprintln!(
+                    "BENCH REGRESSION: {key} {current} B exceeds {limit:.0} B \
+                     ({tolerance}% over the committed baseline {base:.0} B)"
+                );
+                failed = true;
+            }
+        };
+        gate("total_v2_bytes", total_v2_b);
+        gate("total_v2lz_bytes", total_v2lz_b);
+        if failed {
+            std::process::exit(1);
+        }
+        println!("# wire gate: within tolerance");
     }
 }

@@ -183,6 +183,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.client_reconnects,
         report.final_version,
     );
+    println!(
+        "iwchaos: diff wire {} B sent ({} B raw, {:.1}% saved) in {:.2}s ({:.1} KB/s)",
+        report.diff_bytes_sent,
+        report.diff_bytes_raw,
+        100.0 * (1.0 - report.diff_bytes_sent as f64 / report.diff_bytes_raw.max(1) as f64),
+        report.elapsed.as_secs_f64(),
+        report.wire_bytes_per_sec() / 1024.0,
+    );
     if args.switch("trace") {
         println!("client trace: {}", report.client_trace);
         println!("ship trace: {}", report.ship_trace);

@@ -143,6 +143,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "fanout: {} not-fresh refusals, {} frontier probes, {} violations, final version {}",
             report.not_fresh, report.frontier_probes, report.violations, report.final_version,
         );
+        println!(
+            "fanout: {} wire bytes across readers ({:.1} KB/s)",
+            report.wire_bytes,
+            report.wire_bytes_per_sec / 1024.0,
+        );
         for e in report.errors.iter().take(10) {
             eprintln!("iwload: {e}");
         }
@@ -196,8 +201,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!(
-        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>7}",
-        "sessions", "rounds", "elapsed_s", "commits", "commits/s", "reconnects", "errors"
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>7}",
+        "sessions",
+        "rounds",
+        "elapsed_s",
+        "commits",
+        "commits/s",
+        "wire_KB/s",
+        "reconnects",
+        "errors"
     );
     let mut failed = false;
     for (point, sessions) in points.into_iter().enumerate() {
@@ -217,12 +229,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let report = run(&config);
         println!(
-            "{:>10} {:>8} {:>10.2} {:>12} {:>12.0} {:>10} {:>7}",
+            "{:>10} {:>8} {:>10.2} {:>12} {:>12.0} {:>12.1} {:>10} {:>7}",
             sessions,
             rounds,
             report.elapsed.as_secs_f64(),
             report.committed_rounds,
             report.throughput,
+            report.wire_bytes_per_sec / 1024.0,
             report.reconnects,
             report.errors.len()
         );

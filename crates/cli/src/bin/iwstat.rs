@@ -129,6 +129,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", snapshot.render_prometheus());
     } else {
         print!("{}", snapshot.render_text());
+        print_wire_summary(&snapshot);
     }
     Ok(())
+}
+
+/// Derived wire-compaction lines for the human-readable view: the raw
+/// counters travel in the snapshot, but the ratio is what an operator
+/// actually wants to read.
+fn print_wire_summary(s: &Snapshot) {
+    let counter = |name: &str| {
+        s.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let raw = counter("wire.diff_bytes_raw_total");
+    let sent = counter("wire.diff_bytes_sent_total");
+    if raw > 0 {
+        println!(
+            "# wire: diff payload {raw} B raw -> {sent} B sent ({:.1}% saved)",
+            100.0 * (1.0 - sent as f64 / raw as f64)
+        );
+    }
+    let hits = counter("server.enc_cache.hits_total");
+    let misses = counter("server.enc_cache.misses_total");
+    if hits + misses > 0 {
+        println!(
+            "# wire: encode cache {hits} hits / {misses} misses ({:.1}% served pre-encoded)",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
 }

@@ -104,6 +104,11 @@ pub struct FanoutReport {
     pub elapsed: Duration,
     /// Locked reads per second across all readers.
     pub reads_per_sec: f64,
+    /// Wire bytes moved by the reader sessions, both directions
+    /// (`proto.bytes_sent_total` + `proto.bytes_received_total`).
+    pub wire_bytes: u64,
+    /// Reader wire bytes per second of read-phase time.
+    pub wire_bytes_per_sec: f64,
     /// Oracle and session failures, human-readable.
     pub errors: Vec<String>,
 }
@@ -345,6 +350,8 @@ pub fn run_fanout(cfg: &FanoutConfig) -> FanoutReport {
         report.not_fresh += counter(&s, "cluster.replica_not_fresh_total");
         report.violations += counter(&s, "cluster.replica_read_violations_total");
         report.frontier_probes += counter(&s, "cluster.frontier_probes_total");
+        report.wire_bytes +=
+            counter(&s, "proto.bytes_sent_total") + counter(&s, "proto.bytes_received_total");
         report.replicas_attached = report
             .replicas_attached
             .max(s.read_replica_labels(&cfg.prefix).len());
@@ -354,6 +361,11 @@ pub fn run_fanout(cfg: &FanoutConfig) -> FanoutReport {
         .saturating_sub(report.replica_reads + report.fallbacks);
     report.reads_per_sec = if report.elapsed.as_secs_f64() > 0.0 {
         report.reads as f64 / report.elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    report.wire_bytes_per_sec = if report.elapsed.as_secs_f64() > 0.0 {
+        report.wire_bytes as f64 / report.elapsed.as_secs_f64()
     } else {
         0.0
     };

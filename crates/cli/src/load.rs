@@ -89,6 +89,11 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Committed rounds per second of churn time.
     pub throughput: f64,
+    /// Total wire bytes moved in both directions across every session's
+    /// connection lifetime (handshake, churn, and verify included).
+    pub wire_bytes: u64,
+    /// Wire bytes per second of churn time.
+    pub wire_bytes_per_sec: f64,
     /// Connection re-establishments (planned churn + chaos recovery).
     pub reconnects: u64,
     /// Protocol errors and verification failures, human-readable.
@@ -144,6 +149,9 @@ struct Session {
     /// acknowledged — any of them may still hold the write lock, so
     /// every reconnect re-retires all of them until each is acked.
     stale_ids: Vec<u64>,
+    /// Wire bytes from connections already torn down by reconnects;
+    /// the live connection's bytes live in `t.stats()` until then.
+    carried_bytes: u64,
 }
 
 enum StepError {
@@ -246,6 +254,7 @@ impl Session {
         if !self.stale_ids.contains(&self.client) {
             self.stale_ids.push(self.client);
         }
+        self.carried_bytes += self.t.stats().total_bytes();
         let (t, client) = connect_session(addr, timeout, &self.segment, &mut self.stale_ids)?;
         self.t = t;
         self.client = client;
@@ -319,6 +328,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     let barrier = Arc::new(Barrier::new(drivers));
     let reconnects = Arc::new(AtomicU64::new(0));
     let committed = Arc::new(AtomicU64::new(0));
+    let wire_bytes = Arc::new(AtomicU64::new(0));
     let config = Arc::new(config.clone());
 
     // Shard sessions across drivers as evenly as possible.
@@ -335,6 +345,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
             let barrier = barrier.clone();
             let reconnects = reconnects.clone();
             let committed = committed.clone();
+            let wire_bytes = wire_bytes.clone();
             let churn_started = churn_started.clone();
             std::thread::spawn(move || {
                 drive_shard(
@@ -343,6 +354,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                     &barrier,
                     &reconnects,
                     &committed,
+                    &wire_bytes,
                     &churn_started,
                 )
             })
@@ -377,11 +389,19 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     } else {
         0.0
     };
+    let total_wire_bytes = wire_bytes.load(Ordering::SeqCst);
+    let wire_bytes_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        total_wire_bytes as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
     LoadReport {
         completed_sessions,
         committed_rounds,
         elapsed,
         throughput,
+        wire_bytes: total_wire_bytes,
+        wire_bytes_per_sec,
         reconnects: reconnects.load(Ordering::SeqCst),
         errors,
     }
@@ -421,6 +441,7 @@ fn drive_shard(
     barrier: &Barrier,
     reconnects: &AtomicU64,
     committed: &AtomicU64,
+    wire_bytes: &AtomicU64,
     churn_started: &std::sync::Mutex<Option<Instant>>,
 ) -> ShardOutcome {
     let mut errors = Vec::new();
@@ -451,6 +472,7 @@ fn drive_shard(
                 version: 0,
                 done: false,
                 stale_ids,
+                carried_bytes: 0,
             }),
             Err(e) => errors.push(e),
         }
@@ -556,6 +578,11 @@ fn drive_shard(
             Err(e) => errors.push(e),
         }
     }
+    let shard_bytes: u64 = sessions
+        .iter()
+        .map(|s| s.carried_bytes + s.t.stats().total_bytes())
+        .sum();
+    wire_bytes.fetch_add(shard_bytes, Ordering::Relaxed);
     ShardOutcome {
         completed,
         finished_at: Some(finished_at),

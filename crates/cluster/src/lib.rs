@@ -245,8 +245,8 @@ impl Handler for Primary {
         // encode, so busy/concurrency metrics cover the full in-handler
         // time on clustered servers too.
         let _guard = self.server.begin_request();
-        let req = match Request::decode(request) {
-            Ok(req) => req,
+        let (req, hello_caps) = match Request::decode_full(request) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 return Reply::Error {
                     message: format!("bad request: {e}"),
@@ -268,7 +268,9 @@ impl Handler for Primary {
             // and, after a prune, evict — read replicas.
             *replicas = self.advertised.lock().expect("advertised set").clone();
         }
-        reply.encode()
+        // The server's caps-aware encoder: negotiates on Hello, serves
+        // diffs in the client's revision, accounts wire bytes.
+        self.server.encode_reply(&req, hello_caps, &reply)
     }
 }
 
@@ -382,8 +384,8 @@ impl Handler for Backup {
             }
         }
         let _guard = self.server.begin_request();
-        let req = match Request::decode(request) {
-            Ok(req) => req,
+        let (req, hello_caps) = match Request::decode_full(request) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 return Reply::Error {
                     message: format!("bad request: {e}"),
@@ -415,9 +417,14 @@ impl Handler for Backup {
                     Reply::UpToDate | Reply::Update { .. } => self.reads_served.inc(),
                     _ => {}
                 }
-                reply.encode()
+                // Replica-served updates ride the negotiated revision
+                // too — read replicas must not undo the compaction.
+                self.server.encode_reply(&req, hello_caps, &reply)
             }
-            _ => self.server.dispatch(&req).encode(),
+            _ => {
+                let reply = self.server.dispatch(&req);
+                self.server.encode_reply(&req, hello_caps, &reply)
+            }
         }
     }
 }
@@ -497,6 +504,14 @@ fn attach(
     server: &Server,
     metrics: &ShipMetrics,
 ) {
+    // One Hello probe negotiates the ship link's wire caps: a current
+    // backup answers with a capability trailer and every subsequent
+    // Replicate body rides the compact v2 revision; an old backup
+    // answers without one and the link stays on v1. Probe failures are
+    // ignored — a dead transport surfaces in the sync loop below.
+    let _ = backup.transport.request(&Request::Hello {
+        info: "iw-cluster ship-link".into(),
+    });
     for name in server.segment_names() {
         if !sync_one(&mut backup, &name, server, metrics) {
             backup.dead = true;

@@ -666,6 +666,7 @@ mod tests {
             new_blocks: Vec::new(),
             block_diffs: Vec::new(),
             freed,
+            ..Default::default()
         }
     }
 

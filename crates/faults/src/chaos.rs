@@ -107,6 +107,23 @@ pub struct SoakReport {
     /// soak ran on a durable server, a restart from the same data dir
     /// must recover to exactly these bytes.
     pub primary_image: Option<Vec<u8>>,
+    /// Wall time of the fault-injected client phase.
+    pub elapsed: std::time::Duration,
+    /// Diff payload the primary accounted at the raw (v1) size.
+    pub diff_bytes_raw: u64,
+    /// Diff payload the primary actually put on the wire.
+    pub diff_bytes_sent: u64,
+}
+
+impl SoakReport {
+    /// Diff wire bytes per second of chaos-phase time.
+    pub fn wire_bytes_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() > 0.0 {
+            self.diff_bytes_sent as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
 }
 
 const SEGMENT: &str = "chaos/slots";
@@ -332,6 +349,7 @@ pub fn run_soak_on(cfg: &SoakConfig, primary_server: Server) -> SoakReport {
     }
 
     let mut reconnects = 0u64;
+    let chaos_started = std::time::Instant::now();
     if failures.is_empty() {
         let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..cfg.clients)
@@ -357,6 +375,7 @@ pub fn run_soak_on(cfg: &SoakConfig, primary_server: Server) -> SoakReport {
             reconnects += o.reconnects;
         }
     }
+    let elapsed = chaos_started.elapsed();
 
     // Fault phase over: freeze both links and let replication settle.
     client_log.set_enabled(false);
@@ -432,6 +451,9 @@ pub fn run_soak_on(cfg: &SoakConfig, primary_server: Server) -> SoakReport {
         final_slots,
         client_reconnects: reconnects,
         primary_image,
+        elapsed,
+        diff_bytes_raw: snap.counter("wire.diff_bytes_raw_total").unwrap_or(0),
+        diff_bytes_sent: snap.counter("wire.diff_bytes_sent_total").unwrap_or(0),
     }
 }
 

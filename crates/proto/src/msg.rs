@@ -15,8 +15,9 @@ use bytes::Bytes;
 
 use iw_telemetry::{HistogramSnapshot, Snapshot};
 use iw_wire::codec::{WireError, WireReader, WireWriter};
-use iw_wire::diff::SegmentDiff;
+use iw_wire::diff::{DiffWire, SegmentDiff};
 
+use crate::caps::PeerCaps;
 use crate::coherence::Coherence;
 
 /// Lock mode requested by a client.
@@ -294,8 +295,20 @@ pub enum Reply {
 }
 
 impl Request {
-    /// Serializes the request into framed wire bytes.
+    /// Serializes the request into framed wire bytes (v1 diffs, no
+    /// capability trailer — the universal form any peer decodes).
     pub fn encode(&self) -> Bytes {
+        self.encode_inner(DiffWire::V1, None)
+    }
+
+    /// Serializes with negotiated capabilities: embedded diffs use the
+    /// revision `caps` permits, and a Hello carries `caps` as its
+    /// trailing advertisement byte.
+    pub fn encode_caps(&self, caps: PeerCaps) -> Bytes {
+        self.encode_inner(caps.diff_wire(), Some(caps))
+    }
+
+    fn encode_inner(&self, fmt: DiffWire, trailer: Option<PeerCaps>) -> Bytes {
         // Pre-size the writer for the payload-bearing variants so
         // serializing a large diff or image never regrows the buffer;
         // control messages stay on the default small allocation.
@@ -363,7 +376,7 @@ impl Request {
                     None => w.put_u8(0),
                     Some(d) => {
                         w.put_u8(1);
-                        w.put_len_bytes(&d.encode());
+                        w.put_len_bytes(&d.encode_as(fmt));
                     }
                 }
             }
@@ -377,7 +390,7 @@ impl Request {
                         None => w.put_u8(0),
                         Some(d) => {
                             w.put_u8(1);
-                            w.put_len_bytes(&d.encode());
+                            w.put_len_bytes(&d.encode_as(fmt));
                         }
                     }
                 }
@@ -408,7 +421,7 @@ impl Request {
                 w.put_u8(7);
                 w.put_str(segment);
                 w.put_u64(*from_version);
-                w.put_len_bytes(&diff.encode());
+                w.put_len_bytes(&diff.encode_as(fmt));
             }
             Request::SyncFull { segment, image } => {
                 w.put_u8(8);
@@ -428,7 +441,31 @@ impl Request {
                 w.put_u64(*client);
             }
         }
+        if let (Some(caps), Request::Hello { .. }) = (trailer, self) {
+            w.put_u8(caps.byte());
+        }
         w.finish()
+    }
+
+    /// The session id a request acts for, when it carries one. The
+    /// server uses it to look up the connection's negotiated wire
+    /// capabilities; replication-plane requests (`Replicate`,
+    /// `SyncFull`, `AttachBackup`) and `Hello` itself have none.
+    pub fn client_id(&self) -> Option<u64> {
+        match self {
+            Request::Open { client, .. }
+            | Request::Acquire { client, .. }
+            | Request::Release { client, .. }
+            | Request::Commit { client, .. }
+            | Request::Poll { client, .. }
+            | Request::Stats { client }
+            | Request::Goodbye { client }
+            | Request::Frontier { client } => Some(*client),
+            Request::Hello { .. }
+            | Request::Replicate { .. }
+            | Request::SyncFull { .. }
+            | Request::AttachBackup { .. } => None,
+        }
     }
 
     /// Decodes a request from wire bytes.
@@ -437,6 +474,16 @@ impl Request {
     ///
     /// Any [`WireError`] from malformed input.
     pub fn decode(bytes: Bytes) -> Result<Self, WireError> {
+        Ok(Self::decode_full(bytes)?.0)
+    }
+
+    /// Decodes a request plus, for a Hello, the client's advertised
+    /// capability byte ([`PeerCaps::NONE`] when absent — an old peer).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from malformed input.
+    pub fn decode_full(bytes: Bytes) -> Result<(Self, PeerCaps), WireError> {
         let mut r = WireReader::new(bytes);
         let req = match r.get_u8()? {
             0 => Request::Hello { info: r.get_str()? },
@@ -563,7 +610,11 @@ impl Request {
                 })
             }
         };
-        Ok(req)
+        let caps = match (&req, r.is_empty()) {
+            (Request::Hello { .. }, false) => PeerCaps::from_byte(r.get_u8()?),
+            _ => PeerCaps::NONE,
+        };
+        Ok((req, caps))
     }
 }
 
@@ -577,8 +628,20 @@ impl Reply {
         }
     }
 
-    /// Serializes the reply into framed wire bytes.
+    /// Serializes the reply into framed wire bytes (v1 diffs, no
+    /// capability trailer — the universal form any peer decodes).
     pub fn encode(&self) -> Bytes {
+        self.encode_inner(DiffWire::V1, None)
+    }
+
+    /// Serializes with negotiated capabilities: embedded diffs use the
+    /// revision `caps` permits, and a Welcome carries `caps` as its
+    /// trailing negotiation byte.
+    pub fn encode_caps(&self, caps: PeerCaps) -> Bytes {
+        self.encode_inner(caps.diff_wire(), Some(caps))
+    }
+
+    fn encode_inner(&self, fmt: DiffWire, trailer: Option<PeerCaps>) -> Bytes {
         // As with requests: pre-size for the diff-bearing replies.
         let cap = match self {
             Reply::Granted {
@@ -617,7 +680,7 @@ impl Reply {
                     None => w.put_u8(0),
                     Some(d) => {
                         w.put_u8(1);
-                        w.put_len_bytes(&d.encode());
+                        w.put_len_bytes(&d.encode_as(fmt));
                     }
                 }
                 w.put_u32(*next_serial);
@@ -638,7 +701,7 @@ impl Reply {
             }
             Reply::Update { diff } => {
                 w.put_u8(6);
-                w.put_len_bytes(&diff.encode());
+                w.put_len_bytes(&diff.encode_as(fmt));
             }
             Reply::Error { message } => {
                 w.put_u8(7);
@@ -680,6 +743,9 @@ impl Reply {
                 }
             }
         }
+        if let (Some(caps), Reply::Welcome { .. }) = (trailer, self) {
+            w.put_u8(caps.byte());
+        }
         w.finish()
     }
 
@@ -689,6 +755,16 @@ impl Reply {
     ///
     /// Any [`WireError`] from malformed input.
     pub fn decode(bytes: Bytes) -> Result<Self, WireError> {
+        Ok(Self::decode_full(bytes)?.0)
+    }
+
+    /// Decodes a reply plus, for a Welcome, the server's negotiated
+    /// capability byte ([`PeerCaps::NONE`] when absent — an old peer).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from malformed input.
+    pub fn decode_full(bytes: Bytes) -> Result<(Self, PeerCaps), WireError> {
         let mut r = WireReader::new(bytes);
         let reply = match r.get_u8()? {
             0 => {
@@ -793,7 +869,11 @@ impl Reply {
             }
             tag => return Err(WireError::BadTag { what: "reply", tag }),
         };
-        Ok(reply)
+        let caps = match (&reply, r.is_empty()) {
+            (Reply::Welcome { .. }, false) => PeerCaps::from_byte(r.get_u8()?),
+            _ => PeerCaps::NONE,
+        };
+        Ok((reply, caps))
     }
 }
 

@@ -15,6 +15,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use iw_telemetry::{Counter, Registry};
 
+use crate::caps::PeerCaps;
 use crate::msg::{Reply, Request};
 use crate::transport::{
     FaultAction, FaultLayer, Handler, ProtoError, Transport, TransportMetrics, TransportStats,
@@ -109,6 +110,10 @@ pub struct TcpTransport {
     metrics: TransportMetrics,
     /// Optional per-message fault layer (see `iw-faults`).
     faults: Option<Box<dyn FaultLayer>>,
+    /// Capabilities advertised on Hello.
+    local_caps: PeerCaps,
+    /// Capabilities the server's Welcome agreed to (v1 until then).
+    negotiated: PeerCaps,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -149,7 +154,21 @@ impl TcpTransport {
             stream,
             metrics: TransportMetrics::default(),
             faults: None,
+            local_caps: PeerCaps::ALL,
+            negotiated: PeerCaps::NONE,
         })
+    }
+
+    /// Caps what this client advertises on Hello ([`PeerCaps::NONE`]
+    /// simulates a pre-v2 client against a modern server).
+    pub fn set_local_caps(&mut self, caps: PeerCaps) {
+        self.local_caps = caps;
+        self.negotiated = self.negotiated.intersect(caps);
+    }
+
+    /// The capabilities negotiated with the server so far.
+    pub fn negotiated_caps(&self) -> PeerCaps {
+        self.negotiated
     }
 
     /// Changes the read/write timeouts on the live connection.
@@ -171,17 +190,24 @@ impl TcpTransport {
     }
 
     fn read_reply(&mut self) -> Result<Reply, ProtoError> {
-        let reply = read_frame(&mut self.stream)
+        let bytes = read_frame(&mut self.stream)
             .map_err(|e| ProtoError::Channel(e.to_string()))?
             .ok_or_else(|| ProtoError::Channel("server closed connection".into()))?;
-        self.metrics.received(reply.len() as u64);
-        Ok(Reply::decode(Bytes::from(reply))?)
+        self.metrics.received(bytes.len() as u64);
+        let (reply, caps) = Reply::decode_full(Bytes::from(bytes))?;
+        if matches!(reply, Reply::Welcome { .. }) {
+            self.negotiated = caps.intersect(self.local_caps);
+        }
+        Ok(reply)
     }
 }
 
 impl Transport for TcpTransport {
     fn request(&mut self, req: &Request) -> Result<Reply, ProtoError> {
-        let body = req.encode();
+        let body = match req {
+            Request::Hello { .. } => req.encode_caps(self.local_caps),
+            _ => req.encode_caps(self.negotiated),
+        };
         self.metrics.sent(req, body.len() as u64);
         let action = match &mut self.faults {
             Some(layer) => layer.plan(req, &body),

@@ -61,6 +61,19 @@ pub(crate) struct ServerMetrics {
     /// `cluster.failovers_total` — clients that re-registered here after
     /// failing over from another replica.
     pub failovers: Arc<Counter>,
+    /// `wire.diff_bytes_raw_total` — v1-equivalent bytes of every diff
+    /// shipped in a reply (what the wire would have carried before the
+    /// v2/compression overhaul; the baseline of the compaction ratio).
+    pub diff_bytes_raw: Arc<Counter>,
+    /// `wire.diff_bytes_sent_total` — bytes diffs actually occupied in
+    /// replies under the negotiated revision.
+    pub diff_bytes_sent: Arc<Counter>,
+    /// `server.enc_cache.hits_total` — reply diffs served straight from
+    /// an already-materialized encoding (encode-once/serve-many).
+    pub enc_cache_hits: Arc<Counter>,
+    /// `server.enc_cache.misses_total` — reply diffs that had to be
+    /// encoded on this request.
+    pub enc_cache_misses: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -89,6 +102,10 @@ impl ServerMetrics {
             repl_syncs_applied: registry.counter("cluster.sync_full_applied_total"),
             repl_catchup_bytes: registry.counter("cluster.catchup_bytes_total"),
             failovers: registry.counter("cluster.failovers_total"),
+            diff_bytes_raw: registry.counter("wire.diff_bytes_raw_total"),
+            diff_bytes_sent: registry.counter("wire.diff_bytes_sent_total"),
+            enc_cache_hits: registry.counter("server.enc_cache.hits_total"),
+            enc_cache_misses: registry.counter("server.enc_cache.misses_total"),
             registry,
         }
     }

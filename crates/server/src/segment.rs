@@ -17,7 +17,7 @@
 //! blocks into smaller contiguous subblocks [16 primitive data units]. It
 //! then stores version numbers for these subblocks in a per-block array."
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use iw_types::desc::TypeDesc;
@@ -33,6 +33,14 @@ pub const SUBBLOCK_PRIMS: u64 = 16;
 
 /// Maximum number of recently seen diffs kept in the diff cache.
 pub const DIFF_CACHE_CAP: usize = 16;
+
+/// One diff-cache entry: the structural diff (its encode cache armed)
+/// plus the recency stamp LRU eviction keys on.
+#[derive(Debug)]
+struct CachedDiff {
+    diff: SegmentDiff,
+    stamp: u64,
+}
 
 /// One block as stored by the server.
 #[derive(Debug, Clone)]
@@ -92,8 +100,19 @@ pub struct ServerSegment {
     layouts: HashMap<(u32, u32), StoreLayout>,
     /// Tombstones: (version freed, serial, version created).
     freed: Vec<(u64, u32, u64)>,
-    /// Recently seen diffs, keyed by (from, to) version.
-    diff_cache: VecDeque<((u64, u64), SegmentDiff)>,
+    /// Recently seen diffs, indexed by (from, to) version window.
+    ///
+    /// A `BTreeMap` replaces the original linear-scan `VecDeque`: exact
+    /// windows resolve with one ordered lookup, and chain composition
+    /// finds the longest cached step from any version with one bounded
+    /// `range` probe instead of a full scan per link. Entries carry an
+    /// LRU stamp; eviction at [`DIFF_CACHE_CAP`] drops the stalest
+    /// window. Every cached diff has its encode cache armed, so the
+    /// bytes sent to one reader are reused verbatim for every other
+    /// reader of the same window (encode-once/serve-many).
+    diff_cache: BTreeMap<(u64, u64), CachedDiff>,
+    /// Monotonic recency clock for [`CachedDiff::stamp`].
+    cache_clock: u64,
     /// Diff-cache hit counter (diagnostics / ablation).
     pub diff_cache_hits: u64,
     /// Updates built from scratch because no cached diff (or chain)
@@ -132,7 +151,8 @@ impl ServerSegment {
             type_index: HashMap::new(),
             layouts: HashMap::new(),
             freed: Vec::new(),
-            diff_cache: VecDeque::new(),
+            diff_cache: BTreeMap::new(),
+            cache_clock: 0,
             diff_cache_hits: 0,
             diff_cache_misses: 0,
             chain_compositions: 0,
@@ -438,14 +458,14 @@ impl ServerSegment {
         have_version: u64,
     ) -> Result<SegmentDiff, ServerError> {
         self.diff_counters.insert(client, 0);
-        if let Some(hit) = self
-            .diff_cache
-            .iter()
-            .find(|((f, t), _)| *f == have_version && *t == self.version)
-            .map(|(_, d)| d.clone())
-        {
+        self.cache_clock += 1;
+        let stamp = self.cache_clock;
+        if let Some(entry) = self.diff_cache.get_mut(&(have_version, self.version)) {
+            entry.stamp = stamp;
             self.diff_cache_hits += 1;
-            return Ok(hit);
+            // Clones share the armed encode cache: if this window's
+            // bytes were ever materialized, they are served as-is.
+            return Ok(entry.diff.clone());
         }
         // Chain composition: a multi-version update can often be served
         // by splicing cached per-version diffs end to end (with run
@@ -454,33 +474,37 @@ impl ServerSegment {
         // fetches (version 0) always get a clean snapshot — replaying the
         // whole history would resend long-dead data.
         if have_version > 0 {
-            if let Some(chain) = self.cached_chain(have_version) {
-                let composed = compose_chain(&chain, have_version, self.version);
+            let composed = self
+                .cached_chain(have_version)
+                .map(|chain| compose_chain(&chain, have_version, self.version));
+            if let Some(composed) = composed {
                 self.diff_cache_hits += 1;
                 self.chain_compositions += 1;
-                self.cache_diff(composed.clone());
-                return Ok(composed);
+                return Ok(self.cache_diff(composed));
             }
         }
         self.diff_cache_misses += 1;
         let diff = self.build_update(have_version)?;
-        self.cache_diff(diff.clone());
-        Ok(diff)
+        Ok(self.cache_diff(diff))
     }
 
     /// Finds a complete chain of cached diffs covering
-    /// `have_version → current`, if one exists.
-    fn cached_chain(&self, have_version: u64) -> Option<Vec<SegmentDiff>> {
+    /// `have_version → current`, if one exists. Borrows straight from
+    /// the cache — composition reads through the references and only
+    /// the composed result is materialized (no per-link diff clones).
+    fn cached_chain(&self, have_version: u64) -> Option<Vec<&SegmentDiff>> {
         let mut out = Vec::new();
         let mut at = have_version;
         while at < self.version {
-            let step = self
+            // The longest cached step out of `at`: the greatest
+            // (at, to <= current) key. One O(log n) probe per link.
+            let ((_, to), entry) = self
                 .diff_cache
-                .iter()
-                .filter(|((f, t), _)| *f == at && *t <= self.version && *t > at)
-                .max_by_key(|((_, t), _)| *t)?;
-            out.push(step.1.clone());
-            at = step.0 .1;
+                .range((at, 0)..=(at, self.version))
+                .next_back()
+                .filter(|((_, to), _)| *to > at)?;
+            out.push(&entry.diff);
+            at = *to;
         }
         (!out.is_empty()).then_some(out)
     }
@@ -562,15 +586,34 @@ impl ServerSegment {
         Ok(out)
     }
 
-    fn cache_diff(&mut self, diff: SegmentDiff) {
+    /// Inserts `diff` into the cache (arming its encode cache first) and
+    /// returns a clone sharing that armed cache — callers hand the clone
+    /// out, so the first encoding of the window is the last.
+    fn cache_diff(&mut self, mut diff: SegmentDiff) -> SegmentDiff {
+        diff.arm_enc_cache();
         let key = (diff.from_version, diff.to_version);
-        if self.diff_cache.iter().any(|(k, _)| *k == key) {
-            return;
+        self.cache_clock += 1;
+        let stamp = self.cache_clock;
+        if let Some(entry) = self.diff_cache.get_mut(&key) {
+            entry.stamp = stamp;
+            return entry.diff.clone();
         }
-        if self.diff_cache.len() == DIFF_CACHE_CAP {
-            self.diff_cache.pop_front();
+        if self.diff_cache.len() >= DIFF_CACHE_CAP {
+            // O(cap) LRU eviction — cap is small and insertions are rare
+            // next to lookups, so a second recency index would cost more
+            // than this scan.
+            if let Some(stalest) = self
+                .diff_cache
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.diff_cache.remove(&stalest);
+            }
         }
-        self.diff_cache.push_back((key, diff));
+        let out = diff.clone();
+        self.diff_cache.insert(key, CachedDiff { diff, stamp });
+        out
     }
 
     /// Drops all cached diffs (used by checkpoint restore and ablations).
@@ -671,7 +714,7 @@ impl ServerSegment {
 /// the exact same primitive range in multiple steps are deduplicated to
 /// the most recent data; everything else is concatenated in version
 /// order, which diff application handles correctly (later data wins).
-fn compose_chain(chain: &[SegmentDiff], from: u64, to: u64) -> SegmentDiff {
+fn compose_chain(chain: &[&SegmentDiff], from: u64, to: u64) -> SegmentDiff {
     use std::collections::HashMap;
     let mut out = SegmentDiff {
         from_version: from,
@@ -770,7 +813,7 @@ mod compose_tests {
     fn exact_duplicates_dedup_to_latest() {
         let a = step(1, vec![run(5, 1, 0xA1)]);
         let b = step(2, vec![run(5, 1, 0xB2)]);
-        let c = compose_chain(&[a.clone(), b.clone()], 1, 3);
+        let c = compose_chain(&[&a, &b], 1, 3);
         assert_eq!(c.block_diffs[0].runs.len(), 1);
         assert_eq!(c.block_diffs[0].runs[0].data[0], 0xB2);
         assert_eq!(replay(&[&c], 8), replay(&[&a, &b], 8));
@@ -783,7 +826,7 @@ mod compose_tests {
         let a = step(1, vec![run(5, 4, 0xA1)]);
         let b = step(2, vec![run(6, 2, 0xC3)]);
         let c3 = step(3, vec![run(5, 4, 0xB2)]);
-        let composed = compose_chain(&[a.clone(), b.clone(), c3.clone()], 1, 4);
+        let composed = compose_chain(&[&a, &b, &c3], 1, 4);
         assert_eq!(replay(&[&composed], 12), replay(&[&a, &b, &c3], 12));
     }
 
@@ -791,7 +834,7 @@ mod compose_tests {
     fn disjoint_runs_concatenate() {
         let a = step(1, vec![run(0, 2, 1)]);
         let b = step(2, vec![run(10, 2, 2)]);
-        let c = compose_chain(&[a, b], 1, 3);
+        let c = compose_chain(&[&a, &b], 1, 3);
         assert_eq!(c.block_diffs[0].runs.len(), 2);
         assert_eq!(c.from_version, 1);
         assert_eq!(c.to_version, 3);

@@ -43,7 +43,7 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use iw_durable::{DiffStore, DurabilityMode, DurableOptions, Recovery};
 use iw_proto::msg::{LockMode, Reply, Request};
-use iw_proto::Coherence;
+use iw_proto::{Coherence, PeerCaps};
 use iw_telemetry::{Registry, Snapshot};
 use iw_wire::diff::SegmentDiff;
 
@@ -59,6 +59,10 @@ struct ClientInfo {
     /// Free-form description from the Hello (architecture etc.).
     #[allow(dead_code)]
     info: String,
+    /// Wire capabilities negotiated at Hello time (client's advertised
+    /// set ∩ what this server offers). Replies to this client carry
+    /// diffs in the best revision both sides speak.
+    caps: PeerCaps,
 }
 
 /// One shard of the segment table.
@@ -98,6 +102,11 @@ pub struct Server {
     durable: Option<Arc<DiffStore>>,
     /// High-water mark of `metrics.concurrent_requests`.
     peak_concurrent: AtomicU64,
+    /// Wire capabilities this server *withholds* from negotiation,
+    /// stored inverted so the derived `Default` (0) means "offer
+    /// everything". `set_wire_caps(PeerCaps::NONE)` turns the server
+    /// into a v1-only peer for interop tests.
+    wire_caps_disabled: std::sync::atomic::AtomicU8,
     metrics: ServerMetrics,
 }
 
@@ -264,9 +273,33 @@ impl Server {
             id,
             ClientInfo {
                 info: info.to_string(),
+                caps: PeerCaps::NONE,
             },
         );
         id
+    }
+
+    /// The wire capabilities this server offers in Hello negotiation.
+    pub fn wire_caps(&self) -> PeerCaps {
+        let disabled = self.wire_caps_disabled.load(Ordering::Relaxed);
+        PeerCaps::from_byte(PeerCaps::ALL.byte() & !disabled)
+    }
+
+    /// Restricts what the server offers peers (e.g. [`PeerCaps::NONE`]
+    /// makes it behave like a pre-v2 build for interop tests). Affects
+    /// clients that say Hello *after* the call.
+    pub fn set_wire_caps(&self, caps: PeerCaps) {
+        self.wire_caps_disabled
+            .store(!caps.byte(), Ordering::Relaxed);
+    }
+
+    /// The capabilities negotiated with a registered client (v1 for
+    /// unknown ids — never send a revision the peer may not decode).
+    fn client_caps(&self, client: u64) -> PeerCaps {
+        self.clients
+            .lock()
+            .get(&client)
+            .map_or(PeerCaps::NONE, |c| c.caps)
     }
 
     /// Opens (or creates) a segment, returning its current version.
@@ -921,6 +954,66 @@ impl Server {
         }
         reply
     }
+
+    /// Encodes `reply` in the wire revision negotiated with the client
+    /// behind `req`, and accounts outbound diff bytes.
+    ///
+    /// A Hello closes the negotiation: the client's advertised caps
+    /// (`hello_caps`, from `Request::decode_full`) are intersected with
+    /// what this server offers, recorded against the new client id, and
+    /// echoed in the Welcome's capability trailer. Every other request
+    /// looks the negotiated caps up by client id — requests carrying no
+    /// id (replication traffic) fall back to v1, whose replies carry no
+    /// diffs anyway.
+    ///
+    /// Shared by this server's own [`Handler`](iw_proto::Handler) front
+    /// end and the cluster wrappers, so every front end accounts
+    /// `wire.diff_bytes_{raw,sent}_total` identically.
+    pub fn encode_reply(&self, req: &Request, hello_caps: PeerCaps, reply: &Reply) -> Bytes {
+        let caps = if matches!(req, Request::Hello { .. }) {
+            let caps = hello_caps.intersect(self.wire_caps());
+            if let Reply::Welcome { client, .. } = reply {
+                if let Some(c) = self.clients.lock().get_mut(client) {
+                    c.caps = caps;
+                }
+            }
+            caps
+        } else {
+            req.client_id()
+                .map_or(PeerCaps::NONE, |id| self.client_caps(id))
+        };
+        self.account_reply_diff(reply, caps);
+        reply.encode_caps(caps)
+    }
+
+    /// Accounts the diff an outbound reply carries (if any):
+    /// `wire.diff_bytes_raw_total` grows by the diff's v1-equivalent
+    /// size (`encoded_len_hint`), `wire.diff_bytes_sent_total` by the
+    /// bytes actually leaving in the negotiated revision, and the
+    /// encode-cache hit/miss counters record whether this encoding was
+    /// already materialized (fan-out readers served the same window).
+    fn account_reply_diff(&self, reply: &Reply, caps: PeerCaps) {
+        let diff = match reply {
+            Reply::Granted {
+                update: Some(d), ..
+            } => d,
+            Reply::Update { diff } => diff,
+            _ => return,
+        };
+        let fmt = caps.diff_wire();
+        if diff.enc_cached(fmt) {
+            self.metrics.enc_cache_hits.inc();
+        } else {
+            self.metrics.enc_cache_misses.inc();
+        }
+        // Populates the armed encode cache, so the reply encoding below
+        // (and every later reader of the same window) reuses the bytes.
+        let sent = diff.encode_as(fmt).len();
+        self.metrics
+            .diff_bytes_raw
+            .add(diff.encoded_len_hint() as u64);
+        self.metrics.diff_bytes_sent.add(sent as u64);
+    }
 }
 
 impl iw_proto::Handler for Server {
@@ -929,8 +1022,11 @@ impl iw_proto::Handler for Server {
         // wire memcpys are a real share of the worker's time, and the
         // busy counter must reflect it.
         let _guard = self.begin_request();
-        match Request::decode(request) {
-            Ok(req) => self.dispatch(&req).encode(),
+        match Request::decode_full(request) {
+            Ok((req, hello_caps)) => {
+                let reply = self.dispatch(&req);
+                self.encode_reply(&req, hello_caps, &reply)
+            }
             Err(e) => Reply::Error {
                 message: format!("bad request: {e}"),
             }

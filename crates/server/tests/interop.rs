@@ -1,0 +1,230 @@
+//! Cross-version wire interop and encode-once/serve-many fan-out.
+//!
+//! The capability negotiation must make the v2 diff revision invisible
+//! to old peers: a pre-v2 client (advertising nothing) against a
+//! current server, and a current client against a pre-v2 server
+//! (offering nothing), must both run the full write/read protocol on
+//! plain v1 bytes — no flag day. When both sides are current, updates
+//! ride the compact revision and the server's per-window encode cache
+//! serves repeated readers the same bytes without re-encoding.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use iw_proto::msg::{LockMode, Reply, Request};
+use iw_proto::{Coherence, Handler, Loopback, PeerCaps, Transport};
+use iw_server::Server;
+use iw_types::desc::TypeDesc;
+use iw_wire::diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+
+const PRIMS: u32 = 256;
+const SEG: &str = "h/interop";
+
+/// The version-1 diff: one int block, serial 0, all zeros.
+fn seed_diff() -> SegmentDiff {
+    SegmentDiff {
+        from_version: 0,
+        to_version: 1,
+        new_types: vec![(0, TypeDesc::int32())],
+        new_blocks: vec![NewBlock {
+            serial: 0,
+            name: None,
+            type_serial: 0,
+            count: PRIMS,
+            data: Bytes::from(vec![0u8; PRIMS as usize * 4]),
+        }],
+        ..Default::default()
+    }
+}
+
+/// A diff advancing `from` → `from + 1` writing `vals` at prim `start`.
+fn write_diff(from: u64, start: u64, vals: &[i32]) -> SegmentDiff {
+    let mut data = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        data.extend_from_slice(&v.to_be_bytes());
+    }
+    SegmentDiff {
+        from_version: from,
+        to_version: from + 1,
+        block_diffs: vec![BlockDiff {
+            serial: 0,
+            runs: vec![DiffRun {
+                start,
+                count: vals.len() as u64,
+                data: Bytes::from(data),
+            }],
+        }],
+        ..Default::default()
+    }
+}
+
+fn hello(t: &mut Loopback) -> u64 {
+    match t
+        .request(&Request::Hello {
+            info: "interop-test".into(),
+        })
+        .expect("hello")
+    {
+        Reply::Welcome { client, .. } => client,
+        other => panic!("unexpected hello reply: {other:?}"),
+    }
+}
+
+/// Acquire-write / release-with-diff against version `from`.
+fn commit(t: &mut Loopback, client: u64, diff: SegmentDiff) -> u64 {
+    t.request(&Request::Open {
+        client,
+        segment: SEG.into(),
+    })
+    .expect("open");
+    match t
+        .request(&Request::Acquire {
+            client,
+            segment: SEG.into(),
+            mode: LockMode::Write,
+            have_version: 0,
+            coherence: Coherence::Full,
+        })
+        .expect("acquire")
+    {
+        Reply::Granted { .. } => {}
+        other => panic!("unexpected acquire reply: {other:?}"),
+    }
+    match t
+        .request(&Request::Release {
+            client,
+            segment: SEG.into(),
+            diff: Some(diff),
+        })
+        .expect("release")
+    {
+        Reply::Released { version } => version,
+        other => panic!("unexpected release reply: {other:?}"),
+    }
+}
+
+fn poll_update(t: &mut Loopback, client: u64, have_version: u64) -> SegmentDiff {
+    match t
+        .request(&Request::Poll {
+            client,
+            segment: SEG.into(),
+            have_version,
+            coherence: Coherence::Full,
+            floor: 0,
+        })
+        .expect("poll")
+    {
+        Reply::Update { diff } => diff,
+        other => panic!("unexpected poll reply: {other:?}"),
+    }
+}
+
+/// Seeds the segment and commits one write, returning the server.
+fn seeded_server() -> Arc<Server> {
+    let server = Arc::new(Server::new());
+    let handler: Arc<dyn Handler> = server.clone();
+    let mut t = Loopback::new(handler);
+    let w = hello(&mut t);
+    assert_eq!(commit(&mut t, w, seed_diff()), 1);
+    let vals: Vec<i32> = (0..64).collect();
+    assert_eq!(commit(&mut t, w, write_diff(1, 16, &vals)), 2);
+    server
+}
+
+fn counter(server: &Server, name: &str) -> u64 {
+    server.metrics_snapshot().counter(name).unwrap_or(0)
+}
+
+/// A pre-v2 client (advertises nothing) against a current server: the
+/// whole protocol runs on v1 bytes, and the bytes accounted as sent
+/// equal the raw v1 baseline — no compaction, but no breakage either.
+#[test]
+fn old_client_against_new_server_stays_on_v1() {
+    let server = seeded_server();
+    // Deltas from here on: the seeding writer (a modern peer) may have
+    // already been served a compact piggybacked update.
+    let raw0 = counter(&server, "wire.diff_bytes_raw_total");
+    let sent0 = counter(&server, "wire.diff_bytes_sent_total");
+    let mut t = Loopback::new(server.clone() as Arc<dyn Handler>);
+    t.set_local_caps(PeerCaps::NONE);
+    let c = hello(&mut t);
+    assert_eq!(t.negotiated_caps(), PeerCaps::NONE);
+
+    let upd = poll_update(&mut t, c, 1);
+    assert_eq!((upd.from_version, upd.to_version), (1, 2));
+    // The old client can write, too.
+    let vals: Vec<i32> = (100..120).collect();
+    assert_eq!(commit(&mut t, c, write_diff(2, 0, &vals)), 3);
+
+    assert_eq!(
+        counter(&server, "wire.diff_bytes_sent_total") - sent0,
+        counter(&server, "wire.diff_bytes_raw_total") - raw0,
+        "v1 traffic must be accounted at exactly the raw baseline"
+    );
+}
+
+/// A current client against a pre-v2 server (offers nothing): the
+/// Welcome carries an empty capability set and the client falls back to
+/// v1 for everything it sends.
+#[test]
+fn new_client_against_old_server_stays_on_v1() {
+    let server = seeded_server();
+    server.set_wire_caps(PeerCaps::NONE);
+    let mut t = Loopback::new(server.clone() as Arc<dyn Handler>);
+    let c = hello(&mut t);
+    assert_eq!(t.negotiated_caps(), PeerCaps::NONE);
+
+    let upd = poll_update(&mut t, c, 1);
+    assert_eq!((upd.from_version, upd.to_version), (1, 2));
+    let vals: Vec<i32> = (200..232).collect();
+    assert_eq!(commit(&mut t, c, write_diff(2, 32, &vals)), 3);
+}
+
+/// Two current peers negotiate the v2 revision, and a v1 reader of the
+/// same window sees a structurally identical diff — the revision is
+/// pure encoding, invisible at the protocol level.
+#[test]
+fn v2_and_v1_readers_decode_identical_updates() {
+    let server = seeded_server();
+
+    let mut t2 = Loopback::new(server.clone() as Arc<dyn Handler>);
+    let c2 = hello(&mut t2);
+    assert_eq!(t2.negotiated_caps(), PeerCaps::ALL);
+    let upd_v2 = poll_update(&mut t2, c2, 1);
+
+    let mut t1 = Loopback::new(server.clone() as Arc<dyn Handler>);
+    t1.set_local_caps(PeerCaps::NONE);
+    let c1 = hello(&mut t1);
+    let upd_v1 = poll_update(&mut t1, c1, 1);
+
+    assert_eq!(upd_v2, upd_v1);
+    // The v2 leg must be accounted below the raw (v1) baseline.
+    let raw = counter(&server, "wire.diff_bytes_raw_total");
+    let sent = counter(&server, "wire.diff_bytes_sent_total");
+    assert!(sent < raw, "v2 sent {sent} must beat raw {raw}");
+}
+
+/// 200 readers of the same update window: the first poll pays the
+/// encode, everyone after is served the cached bytes — ≥95% of reply
+/// diffs must come straight from the encode cache.
+#[test]
+fn fanout_readers_hit_encoded_cache() {
+    let server = seeded_server();
+    const READERS: usize = 200;
+    for _ in 0..READERS {
+        let mut t = Loopback::new(server.clone() as Arc<dyn Handler>);
+        let c = hello(&mut t);
+        let upd = poll_update(&mut t, c, 1);
+        assert_eq!((upd.from_version, upd.to_version), (1, 2));
+    }
+    let hits = counter(&server, "server.enc_cache.hits_total");
+    let misses = counter(&server, "server.enc_cache.misses_total");
+    println!("fan-out encode cache: {hits} hits / {misses} misses");
+    // The seeding writer's piggybacked acquire update may add one more
+    // accounted diff on top of the 200 reader polls.
+    assert!(hits + misses >= READERS as u64);
+    assert!(
+        hits * 100 >= (hits + misses) * 95,
+        "want ≥95% encode-cache serves, got {hits} hits / {misses} misses"
+    );
+}

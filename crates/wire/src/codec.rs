@@ -157,6 +157,29 @@ impl WireWriter {
         self.put_len_bytes(v.as_bytes());
     }
 
+    /// Appends an LEB128 unsigned varint (7 data bits per byte,
+    /// little-endian groups, high bit = continuation). Values below 128
+    /// cost one byte; a full `u64` costs at most ten.
+    pub fn put_varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.put_u8((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Appends a zigzag-mapped signed varint: small magnitudes of either
+    /// sign encode to few bytes (`0 → 0`, `-1 → 1`, `1 → 2`, …).
+    pub fn put_svarint(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Appends varint length-prefixed raw bytes.
+    pub fn put_varint_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.put_bytes(v);
+    }
+
     /// Finalizes the writer into immutable bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
@@ -301,6 +324,64 @@ impl WireReader {
         let b = self.get_len_bytes()?;
         String::from_utf8(b.to_vec()).map_err(|_| WireError::InvalidUtf8)
     }
+
+    /// Peeks at the next byte without consuming it, or `None` at EOF.
+    pub fn peek_u8(&self) -> Option<u8> {
+        self.buf.first().copied()
+    }
+
+    /// Reads an LEB128 unsigned varint (see [`WireWriter::put_varint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] on truncation;
+    /// [`WireError::LengthOverflow`] on an encoding longer than ten bytes
+    /// or whose tenth byte carries bits a `u64` cannot hold (overlong or
+    /// overflowing encodings are rejected, never wrapped).
+    pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for i in 0..10 {
+            let b = self.get_u8()?;
+            if i == 9 && b > 1 {
+                return Err(WireError::LengthOverflow { len: u64::MAX });
+            }
+            v |= u64::from(b & 0x7F) << (7 * i);
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::LengthOverflow { len: u64::MAX })
+    }
+
+    /// Reads a zigzag-mapped signed varint (see [`WireWriter::put_svarint`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireReader::get_varint`].
+    pub fn get_svarint(&mut self) -> Result<i64, WireError> {
+        let z = self.get_varint()?;
+        Ok((z >> 1) as i64 ^ -((z & 1) as i64))
+    }
+
+    /// Reads varint length-prefixed raw bytes (zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] on truncation;
+    /// [`WireError::LengthOverflow`] when the declared length exceeds
+    /// [`MAX_ITEM_LEN`].
+    pub fn get_varint_bytes(&mut self) -> Result<Bytes, WireError> {
+        let n = self.get_varint()?;
+        if n > MAX_ITEM_LEN {
+            return Err(WireError::LengthOverflow { len: n });
+        }
+        self.get_bytes(n as usize)
+    }
+}
+
+/// Number of bytes [`WireWriter::put_varint`] emits for `v`.
+pub fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7).max(1)
 }
 
 #[cfg(test)]
@@ -392,6 +473,92 @@ mod tests {
                 available: 3
             }
         ));
+    }
+
+    #[test]
+    fn varint_roundtrip_and_lengths() {
+        let cases = [
+            (0u64, 1usize),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ];
+        for (v, want_len) in cases {
+            let mut w = WireWriter::new();
+            w.put_varint(v);
+            assert_eq!(w.len(), want_len, "encoded length of {v}");
+            assert_eq!(varint_len(v), want_len, "varint_len of {v}");
+            let mut r = WireReader::new(w.finish());
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn svarint_zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 63, -64, 64, i64::MAX, i64::MIN] {
+            let mut w = WireWriter::new();
+            w.put_svarint(v);
+            let mut r = WireReader::new(w.finish());
+            assert_eq!(r.get_svarint().unwrap(), v);
+        }
+        // Small magnitudes of either sign stay single-byte.
+        let mut w = WireWriter::new();
+        w.put_svarint(-1);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn varint_overflow_and_truncation_rejected() {
+        // Eleven continuation bytes: longer than any valid u64 varint.
+        let mut r = WireReader::new(Bytes::from_static(&[0xFF; 11]));
+        assert!(matches!(
+            r.get_varint().unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+        // Tenth byte carrying bits beyond 2^64.
+        let mut bytes = vec![0x80u8; 9];
+        bytes.push(0x7F);
+        let mut r = WireReader::new(Bytes::from(bytes));
+        assert!(matches!(
+            r.get_varint().unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+        // Truncated mid-varint.
+        let mut r = WireReader::new(Bytes::from_static(&[0x80]));
+        assert!(matches!(
+            r.get_varint().unwrap_err(),
+            WireError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn varint_bytes_roundtrip_and_bounds() {
+        let mut w = WireWriter::new();
+        w.put_varint_bytes(&[1, 2, 3]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(&r.get_varint_bytes().unwrap()[..], &[1, 2, 3]);
+        let mut w = WireWriter::new();
+        w.put_varint(MAX_ITEM_LEN + 1);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            r.get_varint_bytes().unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = WireReader::new(Bytes::from_static(&[9, 8]));
+        assert_eq!(r.peek_u8(), Some(9));
+        assert_eq!(r.get_u8().unwrap(), 9);
+        assert_eq!(r.peek_u8(), Some(8));
+        assert_eq!(r.get_u8().unwrap(), 8);
+        assert_eq!(r.peek_u8(), None);
     }
 
     #[test]

@@ -10,12 +10,65 @@
 //! segment from one version to another: type-descriptor registrations, new
 //! blocks (with their full wire images), per-block run diffs, and freed
 //! blocks.
+//!
+//! # Wire revisions
+//!
+//! Two encodings exist, selected by [`DiffWire`] and negotiated per
+//! connection by a capability bit in the Hello/Welcome handshake:
+//!
+//! - **v1** — the original fixed-width big-endian layout. Every count
+//!   and serial is a `u32`, every run header is `u64 start + u64 count +
+//!   u32 len` (20 bytes before any payload).
+//! - **v2** — a self-describing envelope (`0xD2` magic, then a 1-byte
+//!   codec tag: raw or LZ-compressed) around a varint body: LEB128
+//!   varints for all counts/serials/lengths and zigzag *delta-encoded*
+//!   run starts (each start is stored relative to the previous run's
+//!   end, so sorted runs cost one or two bytes each). The codec tag is
+//!   `1` when the body is LZ-compressed ([`crate::lz`]), chosen
+//!   adaptively per diff by a size + entropy heuristic.
+//!
+//! [`SegmentDiff::decode`] accepts both transparently: v1 bodies start
+//! with the high byte of `from_version`, which is zero for any version
+//! below 2⁵⁶, so the `0xD2` first byte unambiguously marks a v2
+//! envelope in practice (a v1 diff would need `from_version ≥
+//! 0xD2 << 56 ≈ 1.5 × 10¹⁹` to collide — versions advance by one per
+//! commit).
+
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use iw_types::desc::TypeDesc;
 
 use crate::codec::{WireError, WireReader, WireWriter};
-use crate::tdesc::{decode_type, encode_type};
+use crate::lz;
+use crate::tdesc::{decode_type, encode_type, encoded_type_len};
+
+/// First byte of every v2-encoded diff. See the module docs for why
+/// this cannot collide with a v1 body.
+pub const V2_MAGIC: u8 = 0xD2;
+
+/// v2 codec tag: the body follows uncompressed.
+const CODEC_RAW: u8 = 0;
+/// v2 codec tag: the body is LZ-compressed (`varint raw_len`,
+/// `varint comp_len`, compressed bytes).
+const CODEC_LZ: u8 = 1;
+
+/// Ceiling on a v2 compressed body's declared decompressed size (1 GiB,
+/// matching the WAL frame cap).
+const MAX_V2_BODY: u64 = 1 << 30;
+
+/// Which wire revision to emit for a [`SegmentDiff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffWire {
+    /// Fixed-width big-endian layout understood by every peer.
+    V1,
+    /// Varint/delta envelope; `compress` additionally allows the
+    /// adaptive LZ codec when the heuristic predicts a win.
+    V2 {
+        /// Permit per-diff LZ compression inside the envelope.
+        compress: bool,
+    },
+}
 
 /// One run-length-encoded change within a block.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,11 +121,31 @@ pub struct NewBlock {
     pub data: Bytes,
 }
 
+/// Per-revision encoded-bytes slots filled lazily, at most once each.
+#[derive(Debug, Default)]
+struct EncSlots {
+    v1: OnceLock<Bytes>,
+    v2: OnceLock<Bytes>,
+    v2_lz: OnceLock<Bytes>,
+}
+
+/// Lazy encode-once/serve-many cache riding a [`SegmentDiff`].
+///
+/// Disarmed (the default) it is a single `None` pointer and
+/// [`SegmentDiff::encode_as`] serializes afresh — client-built diffs
+/// pay nothing. The server *arms* it before parking a diff in its
+/// serve cache; every clone then shares the same slots, so the first
+/// encode per revision is kept and every later reply for the same
+/// version window is a cheap `Bytes` clone. Excluded from equality:
+/// two diffs are equal when their structure is, cached bytes or not.
+#[derive(Debug, Clone, Default)]
+pub struct EncCache(Option<Arc<EncSlots>>);
+
 /// A complete wire diff for one segment version transition.
 ///
 /// `from_version == 0` denotes a full segment transfer (the initial cache
 /// fill at first lock acquisition).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SegmentDiff {
     /// Version the receiver must hold for the diff to apply (0 = none).
     pub from_version: u64,
@@ -87,6 +160,19 @@ pub struct SegmentDiff {
     pub block_diffs: Vec<BlockDiff>,
     /// Serial numbers of blocks freed in this version range.
     pub freed: Vec<u32>,
+    /// Shared encoded-bytes cache (see [`EncCache`]); ignored by `==`.
+    pub enc: EncCache,
+}
+
+impl PartialEq for SegmentDiff {
+    fn eq(&self, other: &Self) -> bool {
+        self.from_version == other.from_version
+            && self.to_version == other.to_version
+            && self.new_types == other.new_types
+            && self.new_blocks == other.new_blocks
+            && self.block_diffs == other.block_diffs
+            && self.freed == other.freed
+    }
 }
 
 impl SegmentDiff {
@@ -100,14 +186,18 @@ impl SegmentDiff {
             + self.new_blocks.iter().map(|b| b.data.len()).sum::<usize>()
     }
 
-    /// Exact encoded size in bytes, excluding the type-descriptor section
-    /// (descriptors are rare and variable; a generous fixed allowance per
-    /// descriptor keeps the estimate a one-pass sum). Used to pre-size
-    /// the encode buffer so serialization never reallocates, and by
-    /// transports to pre-size message frames.
+    /// Exact v1 encoded size in bytes — a structural mirror of
+    /// [`SegmentDiff::encode`], including the type-descriptor section
+    /// (via [`encoded_type_len`]). Used to pre-size the encode buffer so
+    /// serialization never reallocates, by transports to pre-size
+    /// message frames, and by the server as the "raw bytes" term of its
+    /// compression-ratio accounting (the v1-equivalent cost of a diff
+    /// without ever serializing it).
     pub fn encoded_len_hint(&self) -> usize {
         let mut n = 8 + 8 + 4 + 4 + 4 + 4; // versions + four section counts
-        n += self.new_types.len() * 64;
+        for (_, ty) in &self.new_types {
+            n += 4 + encoded_type_len(ty);
+        }
         for b in &self.new_blocks {
             // serial + name flag (+ name) + type serial + count + data
             n += 4 + 1 + b.name.as_ref().map_or(0, |s| 4 + s.len()) + 4 + 4 + 4 + b.data.len();
@@ -122,8 +212,110 @@ impl SegmentDiff {
         n + self.freed.len() * 4
     }
 
-    /// Serializes the diff (including its encoded size for framing).
+    /// Arms the encode-once cache (idempotent). The server calls this
+    /// before parking a diff in its serve cache so that the diff, its
+    /// cached clones, and every reply built from them share one set of
+    /// lazily-encoded bytes per wire revision.
+    pub fn arm_enc_cache(&mut self) {
+        if self.enc.0.is_none() {
+            self.enc.0 = Some(Arc::new(EncSlots::default()));
+        }
+    }
+
+    /// `true` when [`SegmentDiff::encode_as`] for `fmt` would be served
+    /// from the armed cache without serializing. Always `false` while
+    /// disarmed.
+    pub fn enc_cached(&self, fmt: DiffWire) -> bool {
+        self.enc
+            .0
+            .as_ref()
+            .is_some_and(|s| slot(s, fmt).get().is_some())
+    }
+
+    /// Serializes the diff in the given wire revision. With an armed
+    /// cache ([`SegmentDiff::arm_enc_cache`]) the first call per
+    /// revision encodes and every later call (from any clone sharing
+    /// the cache) returns the same `Bytes` for free.
+    pub fn encode_as(&self, fmt: DiffWire) -> Bytes {
+        match &self.enc.0 {
+            Some(s) => slot(s, fmt).get_or_init(|| self.encode_fresh(fmt)).clone(),
+            None => self.encode_fresh(fmt),
+        }
+    }
+
+    fn encode_fresh(&self, fmt: DiffWire) -> Bytes {
+        match fmt {
+            DiffWire::V1 => self.encode_v1(),
+            DiffWire::V2 { compress } => {
+                let body = self.encode_v2_body();
+                let mut w = WireWriter::with_capacity(body.len() + 12);
+                w.put_u8(V2_MAGIC);
+                if compress && lz::likely_compressible(&body) {
+                    if let Some(c) = lz::compress(&body) {
+                        w.put_u8(CODEC_LZ);
+                        w.put_varint(body.len() as u64);
+                        w.put_varint_bytes(&c);
+                        return w.finish();
+                    }
+                }
+                w.put_u8(CODEC_RAW);
+                w.put_bytes(&body);
+                w.finish()
+            }
+        }
+    }
+
+    fn encode_v2_body(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(self.encoded_len_hint());
+        w.put_varint(self.from_version);
+        w.put_varint(self.to_version);
+        w.put_varint(self.new_types.len() as u64);
+        for (serial, ty) in &self.new_types {
+            w.put_varint(u64::from(*serial));
+            encode_type(&mut w, ty);
+        }
+        w.put_varint(self.new_blocks.len() as u64);
+        for b in &self.new_blocks {
+            w.put_varint(u64::from(b.serial));
+            match &b.name {
+                Some(n) => {
+                    w.put_u8(1);
+                    w.put_varint_bytes(n.as_bytes());
+                }
+                None => w.put_u8(0),
+            }
+            w.put_varint(u64::from(b.type_serial));
+            w.put_varint(u64::from(b.count));
+            w.put_varint_bytes(&b.data);
+        }
+        w.put_varint(self.block_diffs.len() as u64);
+        for d in &self.block_diffs {
+            w.put_varint(u64::from(d.serial));
+            w.put_varint(d.runs.len() as u64);
+            // Run starts are stored relative to the previous run's end;
+            // signed, because chain composition may dedup runs out of
+            // strictly ascending order.
+            let mut cursor: u64 = 0;
+            for run in &d.runs {
+                w.put_svarint(run.start.wrapping_sub(cursor) as i64);
+                w.put_varint(run.count);
+                w.put_varint_bytes(&run.data);
+                cursor = run.start.saturating_add(run.count);
+            }
+        }
+        w.put_varint(self.freed.len() as u64);
+        for s in &self.freed {
+            w.put_varint(u64::from(*s));
+        }
+        w.finish()
+    }
+
+    /// Serializes the diff in the v1 revision (the universal format).
     pub fn encode(&self) -> Bytes {
+        self.encode_as(DiffWire::V1)
+    }
+
+    fn encode_v1(&self) -> Bytes {
         let mut w = WireWriter::with_capacity(self.encoded_len_hint());
         w.put_u64(self.from_version);
         w.put_u64(self.to_version);
@@ -164,13 +356,129 @@ impl SegmentDiff {
         w.finish()
     }
 
-    /// Decodes a diff previously produced by [`SegmentDiff::encode`].
+    /// Decodes a diff in either wire revision, auto-detected by the
+    /// first byte (see the module docs on the `0xD2` magic).
     ///
     /// # Errors
     ///
-    /// Any [`WireError`] arising from truncation, bad tags, or hostile
-    /// length fields.
+    /// Any [`WireError`] arising from truncation, bad tags, hostile
+    /// length fields, or a corrupt compressed body.
     pub fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        if r.peek_u8() == Some(V2_MAGIC) {
+            Self::decode_v2(r)
+        } else {
+            Self::decode_v1(r)
+        }
+    }
+
+    fn decode_v2(r: &mut WireReader) -> Result<Self, WireError> {
+        let _magic = r.get_u8()?;
+        match r.get_u8()? {
+            CODEC_RAW => Self::decode_v2_body(r),
+            CODEC_LZ => {
+                let raw_len = r.get_varint()?;
+                if raw_len > MAX_V2_BODY {
+                    return Err(WireError::LengthOverflow { len: raw_len });
+                }
+                let comp_len = r.get_varint()?;
+                if comp_len > MAX_V2_BODY {
+                    return Err(WireError::LengthOverflow { len: comp_len });
+                }
+                let comp = r.get_bytes(comp_len as usize)?;
+                let raw = lz::decompress(&comp, raw_len as usize)?;
+                let mut br = WireReader::new(Bytes::from(raw));
+                let d = Self::decode_v2_body(&mut br)?;
+                if !br.is_empty() {
+                    return Err(WireError::BadMip(format!(
+                        "v2 compressed diff body has {} trailing bytes",
+                        br.remaining()
+                    )));
+                }
+                Ok(d)
+            }
+            tag => Err(WireError::BadTag {
+                what: "diff codec",
+                tag,
+            }),
+        }
+    }
+
+    fn decode_v2_body(r: &mut WireReader) -> Result<Self, WireError> {
+        let get_u32v = |r: &mut WireReader| -> Result<u32, WireError> {
+            let v = r.get_varint()?;
+            u32::try_from(v).map_err(|_| WireError::LengthOverflow { len: v })
+        };
+        let from_version = r.get_varint()?;
+        let to_version = r.get_varint()?;
+        let n_types = checked_count_v2(r)?;
+        let mut new_types = Vec::with_capacity(n_types.min(r.remaining()));
+        for _ in 0..n_types {
+            let serial = get_u32v(r)?;
+            let ty = decode_type(r)?;
+            new_types.push((serial, ty));
+        }
+        let n_new = checked_count_v2(r)?;
+        let mut new_blocks = Vec::with_capacity(n_new.min(r.remaining()));
+        for _ in 0..n_new {
+            let serial = get_u32v(r)?;
+            let name = match r.get_u8()? {
+                0 => None,
+                1 => {
+                    let b = r.get_varint_bytes()?;
+                    Some(String::from_utf8(b.to_vec()).map_err(|_| WireError::InvalidUtf8)?)
+                }
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "block name flag",
+                        tag,
+                    })
+                }
+            };
+            let type_serial = get_u32v(r)?;
+            let count = get_u32v(r)?;
+            let data = r.get_varint_bytes()?;
+            new_blocks.push(NewBlock {
+                serial,
+                name,
+                type_serial,
+                count,
+                data,
+            });
+        }
+        let n_diffs = checked_count_v2(r)?;
+        let mut block_diffs = Vec::with_capacity(n_diffs.min(r.remaining()));
+        for _ in 0..n_diffs {
+            let serial = get_u32v(r)?;
+            let n_runs = checked_count_v2(r)?;
+            let mut runs = Vec::with_capacity(n_runs.min(r.remaining()));
+            let mut cursor: u64 = 0;
+            for _ in 0..n_runs {
+                let delta = r.get_svarint()?;
+                let start = cursor.wrapping_add(delta as u64);
+                let count = r.get_varint()?;
+                let data = r.get_varint_bytes()?;
+                cursor = start.saturating_add(count);
+                runs.push(DiffRun { start, count, data });
+            }
+            block_diffs.push(BlockDiff { serial, runs });
+        }
+        let n_freed = checked_count_v2(r)?;
+        let mut freed = Vec::with_capacity(n_freed.min(r.remaining()));
+        for _ in 0..n_freed {
+            freed.push(get_u32v(r)?);
+        }
+        Ok(SegmentDiff {
+            from_version,
+            to_version,
+            new_types,
+            new_blocks,
+            block_diffs,
+            freed,
+            enc: EncCache::default(),
+        })
+    }
+
+    fn decode_v1(r: &mut WireReader) -> Result<Self, WireError> {
         let from_version = r.get_u64()?;
         let to_version = r.get_u64()?;
         let n_types = checked_count(r.get_u32()?)?;
@@ -239,7 +547,17 @@ impl SegmentDiff {
             new_blocks,
             block_diffs,
             freed,
+            enc: EncCache::default(),
         })
+    }
+}
+
+/// Selects the [`EncSlots`] slot for a wire revision.
+fn slot(s: &EncSlots, fmt: DiffWire) -> &OnceLock<Bytes> {
+    match fmt {
+        DiffWire::V1 => &s.v1,
+        DiffWire::V2 { compress: false } => &s.v2,
+        DiffWire::V2 { compress: true } => &s.v2_lz,
     }
 }
 
@@ -248,6 +566,15 @@ impl SegmentDiff {
 fn checked_count(n: u32) -> Result<usize, WireError> {
     if n > 1 << 24 {
         return Err(WireError::LengthOverflow { len: u64::from(n) });
+    }
+    Ok(n as usize)
+}
+
+/// Varint-read counterpart of [`checked_count`] for the v2 body.
+fn checked_count_v2(r: &mut WireReader) -> Result<usize, WireError> {
+    let n = r.get_varint()?;
+    if n > 1 << 24 {
+        return Err(WireError::LengthOverflow { len: n });
     }
     Ok(n as usize)
 }
@@ -284,6 +611,7 @@ mod tests {
                 ],
             }],
             freed: vec![99, 100],
+            enc: EncCache::default(),
         }
     }
 
@@ -306,15 +634,149 @@ mod tests {
     }
 
     #[test]
-    fn len_hint_covers_encoding() {
+    fn len_hint_is_exact() {
+        // The hint mirrors the v1 encoder structurally, descriptors
+        // included, so it is exact — not merely an upper bound.
         let d = sample();
-        assert!(d.encoded_len_hint() >= d.encode().len());
-        // Without type descriptors the hint is exact.
+        assert_eq!(d.encoded_len_hint(), d.encode().len());
         let no_types = SegmentDiff {
             new_types: Vec::new(),
             ..sample()
         };
         assert_eq!(no_types.encoded_len_hint(), no_types.encode().len());
+        assert_eq!(
+            SegmentDiff::default().encoded_len_hint(),
+            SegmentDiff::default().encode().len()
+        );
+    }
+
+    #[test]
+    fn v2_roundtrips_and_shrinks() {
+        let d = sample();
+        for fmt in [
+            DiffWire::V2 { compress: false },
+            DiffWire::V2 { compress: true },
+        ] {
+            let enc = d.encode_as(fmt);
+            assert_eq!(enc[0], V2_MAGIC);
+            let mut r = WireReader::new(enc.clone());
+            let out = SegmentDiff::decode(&mut r).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(out, d);
+            assert!(
+                enc.len() < d.encode().len(),
+                "v2 ({fmt:?}) must be smaller than v1 on this sample"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_compresses_large_low_entropy_payloads() {
+        let d = SegmentDiff {
+            from_version: 1,
+            to_version: 2,
+            block_diffs: vec![BlockDiff {
+                serial: 1,
+                runs: vec![DiffRun {
+                    start: 0,
+                    count: 1024,
+                    data: Bytes::from(vec![0u8; 4096]),
+                }],
+            }],
+            ..Default::default()
+        };
+        let plain = d.encode_as(DiffWire::V2 { compress: false });
+        let squeezed = d.encode_as(DiffWire::V2 { compress: true });
+        assert!(squeezed.len() < plain.len() / 4);
+        let mut r = WireReader::new(squeezed);
+        assert_eq!(SegmentDiff::decode(&mut r).unwrap(), d);
+    }
+
+    #[test]
+    fn v2_handles_non_monotonic_run_starts() {
+        // Chain composition can dedup runs out of ascending order; the
+        // zigzag delta encoding must survive a backwards jump.
+        let d = SegmentDiff {
+            from_version: 1,
+            to_version: 3,
+            block_diffs: vec![BlockDiff {
+                serial: 4,
+                runs: vec![
+                    DiffRun {
+                        start: 100,
+                        count: 2,
+                        data: Bytes::from_static(&[1; 8]),
+                    },
+                    DiffRun {
+                        start: 0,
+                        count: 1,
+                        data: Bytes::from_static(&[2; 4]),
+                    },
+                ],
+            }],
+            ..Default::default()
+        };
+        let enc = d.encode_as(DiffWire::V2 { compress: false });
+        let mut r = WireReader::new(enc);
+        assert_eq!(SegmentDiff::decode(&mut r).unwrap(), d);
+    }
+
+    #[test]
+    fn enc_cache_is_lazy_shared_and_ignored_by_eq() {
+        let mut d = sample();
+        assert!(!d.enc_cached(DiffWire::V1));
+        d.encode(); // disarmed: nothing retained
+        assert!(!d.enc_cached(DiffWire::V1));
+        d.arm_enc_cache();
+        let clone = d.clone();
+        assert!(!d.enc_cached(DiffWire::V1));
+        let a = clone.encode(); // the *clone* encodes…
+        assert!(d.enc_cached(DiffWire::V1)); // …and the original sees it
+        let b = d.encode();
+        assert_eq!(a, b);
+        // Other revisions fill independently.
+        assert!(!d.enc_cached(DiffWire::V2 { compress: false }));
+        // Equality is structural, armed or not.
+        assert_eq!(d, sample());
+    }
+
+    #[test]
+    fn bad_codec_tag_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(V2_MAGIC);
+        w.put_u8(9);
+        let mut r = WireReader::new(w.finish());
+        assert!(matches!(
+            SegmentDiff::decode(&mut r),
+            Err(WireError::BadTag {
+                what: "diff codec",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupt_compressed_body_rejected() {
+        let d = SegmentDiff {
+            from_version: 1,
+            to_version: 2,
+            block_diffs: vec![BlockDiff {
+                serial: 1,
+                runs: vec![DiffRun {
+                    start: 0,
+                    count: 256,
+                    data: Bytes::from(vec![7u8; 1024]),
+                }],
+            }],
+            ..Default::default()
+        };
+        let enc = d.encode_as(DiffWire::V2 { compress: true });
+        assert_eq!(enc[1], 1, "sample must actually take the LZ path");
+        // Truncation anywhere inside the envelope must fail cleanly.
+        for cut in 0..enc.len() {
+            let mut r = WireReader::new(enc.slice(..cut));
+            assert!(SegmentDiff::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   (`segment#block#offset-in-primitive-units`);
 //! - [`tdesc`] — wire encoding of type descriptors (how servers learn
 //!   types from clients);
-//! - [`diff`] — the run-length-encoded wire diff ([`SegmentDiff`]);
+//! - [`diff`] — the run-length-encoded wire diff ([`SegmentDiff`]), in
+//!   two negotiable revisions (fixed-width v1 and varint/delta v2);
+//! - [`lz`] — the dependency-free LZ compressor the v2 envelope uses
+//!   when its entropy heuristic predicts a win;
 //! - [`wal`] — CRC-protected log-record framing for the durable diff
 //!   store (`iw-durable`).
 //!
@@ -31,11 +34,12 @@
 
 pub mod codec;
 pub mod diff;
+pub mod lz;
 pub mod mip;
 pub mod prim;
 pub mod tdesc;
 pub mod wal;
 
 pub use codec::{WireError, WireReader, WireWriter};
-pub use diff::{BlockDiff, DiffRun, NewBlock, SegmentDiff};
+pub use diff::{BlockDiff, DiffRun, DiffWire, NewBlock, SegmentDiff};
 pub use mip::{BlockRef, Mip};

@@ -63,6 +63,26 @@ pub fn encode_type(w: &mut WireWriter, ty: &TypeDesc) {
     }
 }
 
+/// Exact number of bytes [`encode_type`] emits for `ty` — a structural
+/// mirror of the encoder, so [`crate::SegmentDiff::encoded_len_hint`]
+/// can be exact without serializing anything.
+pub fn encoded_type_len(ty: &TypeDesc) -> usize {
+    match ty.kind() {
+        TypeKind::Prim(PrimKind::Str { .. }) => 2 + 4,
+        TypeKind::Prim(_) => 2,
+        TypeKind::Array { elem, .. } => 1 + 4 + encoded_type_len(elem),
+        TypeKind::Struct { name, fields } => {
+            1 + 4
+                + name.len()
+                + 4
+                + fields
+                    .iter()
+                    .map(|f| 4 + f.name.len() + encoded_type_len(&f.ty))
+                    .sum::<usize>()
+        }
+    }
+}
+
 /// Decodes a type descriptor from `r`.
 ///
 /// # Errors
@@ -143,6 +163,7 @@ mod tests {
     fn roundtrip(ty: &TypeDesc) -> TypeDesc {
         let mut w = WireWriter::new();
         encode_type(&mut w, ty);
+        assert_eq!(w.len(), encoded_type_len(ty), "encoded_type_len is exact");
         let mut r = WireReader::new(w.finish());
         let out = decode_type(&mut r).unwrap();
         assert!(r.is_empty());

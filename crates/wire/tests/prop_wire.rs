@@ -147,6 +147,7 @@ proptest! {
                     .collect(),
             }],
             freed,
+            ..Default::default()
         };
         let mut r = WireReader::new(d.encode());
         let back = SegmentDiff::decode(&mut r).unwrap();
